@@ -1,0 +1,157 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6 and Appendix A), then times the heuristics and the
+   substrate with Bechamel.
+
+   Usage: main.exe [--trials N] [--seed S] [--only ID[,ID...]] [--no-micro]
+                   [--no-figures] [--full]
+
+   Defaults use the paper's 50 trials per point (the whole harness runs in
+   seconds); [--full] is a synonym kept for compatibility. *)
+
+let trials = ref 50
+let seed = ref 2017
+let only : string list ref = ref []
+let run_micro = ref true
+let run_figures = ref true
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--trials N] [--seed S] [--only id,id] [--no-micro] \
+     [--no-figures] [--full]";
+  exit 2
+
+let rec parse = function
+  | [] -> ()
+  | "--trials" :: v :: rest ->
+    trials := int_of_string v;
+    parse rest
+  | "--seed" :: v :: rest ->
+    seed := int_of_string v;
+    parse rest
+  | "--only" :: v :: rest ->
+    only := String.split_on_char ',' v;
+    parse rest
+  | "--no-micro" :: rest ->
+    run_micro := false;
+    parse rest
+  | "--no-figures" :: rest ->
+    run_figures := false;
+    parse rest
+  | "--full" :: rest ->
+    trials := 50;
+    parse rest
+  | _ -> usage ()
+
+let figures config =
+  let ids =
+    match !only with [] -> Experiments.Figures.all_ids | ids -> ids
+  in
+  List.iter
+    (fun id ->
+      let figs = Experiments.Figures.run ~config id in
+      List.iter
+        (fun fig -> print_string (Experiments.Report.render fig ^ "\n"))
+        figs)
+    ids
+
+(* --- Bechamel micro-benchmarks --------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let instance_of_size n =
+  let rng = Util.Rng.create !seed in
+  let platform = Model.Platform.paper_default in
+  let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
+  (platform, apps)
+
+let policy_test name policy n =
+  let platform, apps = instance_of_size n in
+  let rng = Util.Rng.create (!seed + 1) in
+  Test.make
+    ~name:(Printf.sprintf "%s/n=%d" name n)
+    (Staged.stage (fun () ->
+         ignore (Sched.Heuristics.makespan ~rng ~platform ~apps policy)))
+
+let micro_tests () =
+  let sizes = [ 16; 64; 256 ] in
+  let policy_tests =
+    List.concat_map
+      (fun policy ->
+        let name = Sched.Heuristics.name policy in
+        List.map (policy_test name policy) sizes)
+      (Sched.Heuristics.dominant_min_ratio
+       :: Sched.Heuristics.
+            [ DominantPartition (DominantRev, MaxRatio); Fair; ZeroCache ])
+  in
+  let exact_test =
+    let platform, apps = instance_of_size 12 in
+    Test.make ~name:"Exact.optimal/n=12"
+      (Staged.stage (fun () -> ignore (Theory.Exact.optimal ~platform ~apps ())))
+  in
+  let mattson_test =
+    let rng = Util.Rng.create !seed in
+    let trace = Cachesim.Trace.zipf ~rng ~blocks:4096 ~length:100_000 () in
+    Test.make ~name:"Mattson.analyze/100k"
+      (Staged.stage (fun () -> ignore (Cachesim.Mattson.analyze trace)))
+  in
+  let lru_test =
+    let rng = Util.Rng.create !seed in
+    let trace = Cachesim.Trace.zipf ~rng ~blocks:4096 ~length:100_000 () in
+    Test.make ~name:"Lru.run/100k"
+      (Staged.stage (fun () -> ignore (Cachesim.Lru.run ~capacity:1024 trace)))
+  in
+  let des_test =
+    let platform, apps = instance_of_size 64 in
+    let rng = Util.Rng.create !seed in
+    let r =
+      Sched.Heuristics.run ~rng ~platform ~apps
+        Sched.Heuristics.dominant_min_ratio
+    in
+    let schedule = Option.get r.Sched.Heuristics.schedule in
+    Test.make ~name:"Coschedule_sim.run/n=64"
+      (Staged.stage (fun () -> ignore (Simulator.Coschedule_sim.run schedule)))
+  in
+  Test.make_grouped ~name:"cosched"
+    (policy_tests @ [ exact_test; mattson_test; lru_test; des_test ])
+
+let micro () =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let table = Util.Table.create [ "benchmark"; "ns/run"; "r^2" ] in
+  List.iter
+    (fun (name, ns, r2) ->
+      Util.Table.add_row table
+        [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.3f" r2 ])
+    rows;
+  print_endline "== micro-benchmarks (Bechamel, OLS ns/run) ==";
+  Util.Table.print table
+
+let () =
+  parse (List.tl (Array.to_list Sys.argv));
+  let config = { Experiments.Runner.trials = !trials; seed = !seed } in
+  Printf.printf
+    "cosched benchmark harness: %d trials per point, seed %d\n\
+     (paper settings: 256 processors, 32 GB LLC, ls=0.17, ll=1, alpha=0.5)\n\n"
+    !trials !seed;
+  if !run_figures then figures config;
+  if !run_micro then micro ()

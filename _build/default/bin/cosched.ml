@@ -1,0 +1,297 @@
+(* Command-line interface.
+
+   Subcommands:
+     experiment  — regenerate a paper table/figure (or all of them)
+     schedule    — run one policy on a generated instance and print it
+     cachesim    — calibrate a synthetic NPB-like kernel's power law
+     validate    — replay a schedule in the discrete-event simulator
+     instance    — print a generated instance's application parameters *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 2017 & info [ "seed" ] ~docv:"SEED" ~doc:"Master RNG seed.")
+
+let trials_arg =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "trials" ] ~docv:"N" ~doc:"Repetitions per sweep point (paper: 50).")
+
+let dataset_arg =
+  let parse s =
+    try Ok (Model.Workload.dataset_of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf d = Format.pp_print_string ppf (Model.Workload.dataset_name d) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Model.Workload.NpbSynth
+    & info [ "dataset" ] ~docv:"DS" ~doc:"Data set: npb6, npb-synth or random.")
+
+let napps_arg =
+  Arg.(value & opt int 16 & info [ "n"; "apps" ] ~docv:"N" ~doc:"Number of applications.")
+
+let procs_arg =
+  Arg.(value & opt float 256. & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+
+let cs_arg =
+  Arg.(
+    value
+    & opt float 32e9
+    & info [ "cs"; "cache-size" ] ~docv:"BYTES" ~doc:"Shared LLC size in bytes.")
+
+let policy_arg =
+  let parse s =
+    try Ok (Sched.Heuristics.of_string s) with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf p = Format.pp_print_string ppf (Sched.Heuristics.name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Sched.Heuristics.dominant_min_ratio
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Co-scheduling policy: DominantMinRatio, DominantRevMaxRatio, ... \
+           AllProcCache, Fair, 0cache, RandomPart.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file" ] ~docv:"CSV"
+        ~doc:
+          "Load the applications from a CSV instance file (see \
+           Model.Instance_io) instead of generating them.")
+
+let platform_of ~procs ~cs = Model.Platform.make ~p:procs ~cs ()
+
+let make_instance ?file ~seed ~dataset ~napps ~procs ~cs () =
+  let rng = Util.Rng.create seed in
+  let platform = platform_of ~procs ~cs in
+  let apps =
+    match file with
+    | Some path -> Model.Instance_io.load path
+    | None -> Model.Workload.generate ~rng dataset napps
+  in
+  (rng, platform, apps)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id (fig1..fig18, table2, optgap, alpha, \
+                validation, rounding, integer, speedup, ucp, profiles, \
+                tracedriven) or 'all'.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write <id>.dat and <id>.gp gnuplot files into DIR.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  in
+  let run id trials seed csv out =
+    let config = { Experiments.Runner.trials; seed } in
+    let ids =
+      if String.lowercase_ascii id = "all" then Experiments.Figures.all_ids
+      else [ id ]
+    in
+    List.iter
+      (fun id ->
+        List.iter
+          (fun fig ->
+            if csv then print_string (Experiments.Report.to_csv fig)
+            else print_string (Experiments.Report.render fig ^ "\n");
+            match out with
+            | None -> ()
+            | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let fig_id = fig.Experiments.Report.id in
+              let dat = Filename.concat dir (fig_id ^ ".dat") in
+              write_file dat (Experiments.Report.to_dat fig);
+              write_file
+                (Filename.concat dir (fig_id ^ ".gp"))
+                (Experiments.Report.to_gnuplot ~datfile:(fig_id ^ ".dat") fig))
+          (Experiments.Figures.run ~config id))
+      ids
+  in
+  let term =
+    Term.(const run $ id_arg $ trials_arg $ seed_arg $ csv_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper.")
+    term
+
+(* --- schedule --------------------------------------------------------- *)
+
+let schedule_cmd =
+  let run seed dataset napps procs cs policy file =
+    let rng, platform, apps =
+      make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
+    in
+    let result = Sched.Heuristics.run ~rng ~platform ~apps policy in
+    (match result.Sched.Heuristics.schedule with
+    | Some schedule -> Format.printf "%a@." Model.Schedule.pp schedule
+    | None ->
+      Format.printf
+        "%s runs applications sequentially (no concurrent allocation).@."
+        (Sched.Heuristics.name policy));
+    Format.printf "policy   = %s@.makespan = %.6g@."
+      (Sched.Heuristics.name policy)
+      result.Sched.Heuristics.makespan;
+    match result.Sched.Heuristics.cached with
+    | Some subset ->
+      Format.printf "cached   = {%s}@."
+        (String.concat ", "
+           (List.map
+              (fun i -> apps.(i).Model.App.name)
+              (Theory.Dominant.indices subset)))
+    | None -> ()
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ policy_arg $ file_arg)
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Run one co-scheduling policy on a generated instance.")
+    term
+
+(* --- cachesim ---------------------------------------------------------- *)
+
+let cachesim_cmd =
+  let kernel_arg =
+    Arg.(
+      value
+      & opt string "CG"
+      & info [ "kernel" ] ~docv:"NAME" ~doc:"Kernel: CG, BT, LU, SP, MG or FT.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 2048 & info [ "scale" ] ~docv:"BLOCKS" ~doc:"Footprint scale.")
+  in
+  let length_arg =
+    Arg.(value & opt int 200_000 & info [ "length" ] ~docv:"N" ~doc:"Trace length.")
+  in
+  let run seed kernel scale length =
+    let rng = Util.Rng.create seed in
+    let cal = Cachesim.Kernels.calibrate_kernel ~rng ~scale ~length kernel in
+    let table = Util.Table.create [ "capacity(blocks)"; "miss rate" ] in
+    Array.iter
+      (fun (c, m) ->
+        Util.Table.add_row table [ string_of_int c; Printf.sprintf "%.5f" m ])
+      cal.Cachesim.Miss_curve.curve.Cachesim.Miss_curve.points;
+    Util.Table.print table;
+    let fit = cal.Cachesim.Miss_curve.fit in
+    Printf.printf
+      "power-law fit: m0 = %.4g at %d blocks, alpha = %.3f, R^2 = %.3f\n"
+      fit.Util.Regress.m0 cal.Cachesim.Miss_curve.c0_blocks
+      fit.Util.Regress.alpha fit.Util.Regress.r2
+  in
+  let term = Term.(const run $ seed_arg $ kernel_arg $ scale_arg $ length_arg) in
+  Cmd.v
+    (Cmd.info "cachesim"
+       ~doc:"Calibrate a synthetic kernel's miss-rate power law.")
+    term
+
+(* --- validate ---------------------------------------------------------- *)
+
+let validate_cmd =
+  let redistribute_arg =
+    Arg.(
+      value & flag
+      & info [ "redistribute" ]
+          ~doc:"Work-conserving mode: survivors inherit freed processors and \
+                cache.")
+  in
+  let run seed dataset napps procs cs policy redistribute file =
+    let rng, platform, apps =
+      make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
+    in
+    let result = Sched.Heuristics.run ~rng ~platform ~apps policy in
+    match result.Sched.Heuristics.schedule with
+    | None -> prerr_endline "policy has no concurrent schedule to replay"
+    | Some schedule ->
+      let options =
+        {
+          Simulator.Coschedule_sim.default_options with
+          redistribute_procs = redistribute;
+          redistribute_cache = redistribute;
+        }
+      in
+      let outcome = Simulator.Coschedule_sim.run ~options schedule in
+      Printf.printf "analytic makespan  = %.6g\n"
+        (Model.Schedule.makespan schedule);
+      Printf.printf "simulated makespan = %.6g\n"
+        outcome.Simulator.Coschedule_sim.makespan;
+      Printf.printf "max model error    = %.3g\n"
+        (Simulator.Coschedule_sim.model_error schedule)
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ policy_arg $ redistribute_arg $ file_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Replay a policy's schedule in the discrete-event simulator.")
+    term
+
+(* --- instance ---------------------------------------------------------- *)
+
+let instance_cmd =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"CSV" ~doc:"Also write the instance to a CSV file.")
+  in
+  let run seed dataset napps procs cs save =
+    let _, platform, apps = make_instance ~seed ~dataset ~napps ~procs ~cs () in
+    (match save with
+    | Some path -> Model.Instance_io.save path apps
+    | None -> ());
+    Format.printf "%a@." Model.Platform.pp platform;
+    let table = Util.Table.create [ "name"; "w"; "s"; "f"; "m0@40MB"; "d_i" ] in
+    Array.iter
+      (fun (app : Model.App.t) ->
+        Util.Table.add_row table
+          [
+            app.name;
+            Printf.sprintf "%.4g" app.w;
+            Printf.sprintf "%.4g" app.s;
+            Printf.sprintf "%.4g" app.f;
+            Printf.sprintf "%.4g" app.m0;
+            Printf.sprintf "%.4g" (Model.Power_law.d_of ~app ~platform);
+          ])
+      apps;
+    Util.Table.print table
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ save_arg)
+  in
+  Cmd.v
+    (Cmd.info "instance" ~doc:"Print a generated instance's parameters.")
+    term
+
+let main_cmd =
+  let doc = "Co-scheduling algorithms for cache-partitioned systems" in
+  Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
+    [ experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; instance_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cache_study.ml: Array Cachesim Format List Model Printf Sched Util

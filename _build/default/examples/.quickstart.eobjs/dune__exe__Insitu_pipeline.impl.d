@@ -1,0 +1,1 @@
+examples/insitu_pipeline.ml: Array Float Format List Model Printf Sched Util

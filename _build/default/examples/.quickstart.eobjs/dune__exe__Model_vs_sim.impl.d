@@ -1,0 +1,1 @@
+examples/model_vs_sim.ml: Array List Model Option Printf Sched Simulator Util

@@ -1,0 +1,1 @@
+examples/npb_cosched.ml: Array Float Format List Model Printf Sched Theory Util

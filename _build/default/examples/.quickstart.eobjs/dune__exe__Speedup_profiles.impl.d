@@ -1,0 +1,1 @@
+examples/speedup_profiles.ml: Array List Model Printf Sched Util

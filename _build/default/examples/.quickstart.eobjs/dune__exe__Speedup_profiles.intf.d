@@ -1,0 +1,1 @@
+examples/speedup_profiles.mli:

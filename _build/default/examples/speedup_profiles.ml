@@ -1,0 +1,84 @@
+(* The paper's future work, exercised: co-scheduling applications whose
+   speedup profiles go beyond Amdahl's law — sublinear power-law scaling
+   and communication-bound codes whose runtime *degrades* past an optimal
+   processor count (the Section 1 motivation for co-scheduling).
+
+   Run with: dune exec examples/speedup_profiles.exe *)
+
+let () =
+  let platform = Model.Platform.paper_default in
+  let rng = Util.Rng.create 2024 in
+  let bases = Model.Workload.generate ~rng Model.Workload.NpbSynth 16 in
+
+  let scenarios =
+    [
+      ("Amdahl (the paper's model)",
+       fun (b : Model.App.t) -> Model.Speedup.Amdahl b.s);
+      ("Power p^0.9 (sublinear, no sequential floor)",
+       fun _ -> Model.Speedup.Power 0.9);
+      ("Amdahl + communication overhead 1e-2 * ln p",
+       fun (b : Model.App.t) -> Model.Speedup.Comm { s = b.s; overhead = 1e-2 });
+    ]
+  in
+
+  let table =
+    Util.Table.create
+      [ "profile"; "makespan"; "idle procs"; "min procs"; "max procs" ]
+  in
+  List.iter
+    (fun (label, profile_of) ->
+      let apps =
+        Array.map
+          (fun base -> { Sched.General.base; profile = profile_of base })
+          bases
+      in
+      let r =
+        Sched.General.solve_with_dominant ~rng:(Util.Rng.create 7) ~platform ~apps
+      in
+      let lo, hi = Util.Stats.min_max r.Sched.General.procs in
+      Util.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.4g" r.Sched.General.makespan;
+          Printf.sprintf "%.1f" r.Sched.General.idle;
+          Printf.sprintf "%.2f" lo;
+          Printf.sprintf "%.2f" hi;
+        ])
+    scenarios;
+  Util.Table.print table;
+  print_newline ();
+  print_endline
+    "With communication overhead, every application has an optimal processor \
+     count p* = (1-s)/overhead beyond which more processors slow it down. \
+     The generalised equalizer pins such applications at p* and leaves the \
+     surplus idle — co-scheduling more applications is the only way to use \
+     those processors, which is precisely the scenario the paper's \
+     introduction motivates.";
+  print_newline ();
+
+  (* Demonstrate: with Comm profiles, doubling the number of co-scheduled
+     applications keeps eating the idle capacity. *)
+  let table = Util.Table.create [ "#apps"; "makespan/app"; "idle procs" ] in
+  List.iter
+    (fun n ->
+      let rng = Util.Rng.create 99 in
+      let bases = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
+      let apps =
+        Array.map
+          (fun (base : Model.App.t) ->
+            {
+              Sched.General.base;
+              profile = Model.Speedup.Comm { s = base.s; overhead = 1e-2 };
+            })
+          bases
+      in
+      let r = Sched.General.solve_with_dominant ~rng ~platform ~apps in
+      Util.Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.4g" (r.Sched.General.makespan /. float_of_int n);
+          Printf.sprintf "%.1f" r.Sched.General.idle;
+        ])
+    [ 2; 4; 8; 16; 32; 64 ];
+  print_endline "Communication-bound applications: throughput vs co-schedule width";
+  Util.Table.print table

@@ -1,0 +1,1 @@
+lib/cachesim/kernels.ml: List Miss_curve String Trace

@@ -1,0 +1,1 @@
+lib/cachesim/kernels.mli: Miss_curve Trace Util

@@ -1,0 +1,1 @@
+lib/cachesim/lru.mli: Trace

@@ -1,0 +1,1 @@
+lib/cachesim/mattson.ml: Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/cachesim/miss_curve.ml: Array Float List Mattson Model Util

@@ -1,0 +1,1 @@
+lib/cachesim/miss_curve.mli: Mattson Model Trace Util

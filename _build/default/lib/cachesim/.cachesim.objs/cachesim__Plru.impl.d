@@ -1,0 +1,1 @@
+lib/cachesim/plru.ml: Array

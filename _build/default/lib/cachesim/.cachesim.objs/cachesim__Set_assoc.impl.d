@@ -1,0 +1,1 @@
+lib/cachesim/set_assoc.ml: Array

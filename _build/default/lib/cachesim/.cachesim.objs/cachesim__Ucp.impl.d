@@ -1,0 +1,1 @@
+lib/cachesim/ucp.ml: Array Mattson

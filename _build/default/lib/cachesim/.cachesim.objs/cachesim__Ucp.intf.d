@@ -1,0 +1,1 @@
+lib/cachesim/ucp.mli: Mattson Trace

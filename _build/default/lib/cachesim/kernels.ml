@@ -1,0 +1,78 @@
+type spec = { name : string; ops_per_access : float; work : float }
+
+(* Work and frequency mirror Table 2: f = accesses per operation. *)
+let specs =
+  [
+    { name = "CG"; ops_per_access = 1. /. 0.535; work = 5.70e10 };
+    { name = "BT"; ops_per_access = 1. /. 0.829; work = 2.10e11 };
+    { name = "LU"; ops_per_access = 1. /. 0.750; work = 1.52e11 };
+    { name = "SP"; ops_per_access = 1. /. 0.762; work = 1.38e11 };
+    { name = "MG"; ops_per_access = 1. /. 0.540; work = 1.23e10 };
+    { name = "FT"; ops_per_access = 1. /. 0.582; work = 1.65e10 };
+  ]
+
+let names = List.map (fun s -> s.name) specs
+
+let spec name =
+  let target = String.uppercase_ascii name in
+  List.find (fun s -> s.name = target) specs
+
+let check_params ~scale ~length =
+  if scale <= 0 || length <= 0 then
+    invalid_arg "Kernels.trace: scale and length must be positive"
+
+let trace ~rng ~scale ~length name =
+  check_params ~scale ~length;
+  match String.uppercase_ascii name with
+  | "CG" ->
+    (* Streaming vector plus Zipf gathers into a 4x larger sparse matrix. *)
+    let vector = Trace.sequential ~blocks:scale ~length in
+    let matrix = Trace.zipf ~rng ~s:0.9 ~blocks:(4 * scale) ~length () in
+    Trace.mix ~rng [ (0.45, vector); (0.55, matrix) ] ~length
+  | "BT" ->
+    (* Long-dwell block solves over large working sets. *)
+    Trace.working_sets ~rng ~set_blocks:(max 1 (scale / 2)) ~sets:8
+      ~dwell:(max 1 (scale / 4)) ~length
+  | "SP" ->
+    (* Same structure as BT with smaller, shorter-lived blocks. *)
+    Trace.working_sets ~rng ~set_blocks:(max 1 (scale / 8)) ~sets:32
+      ~dwell:(max 1 (scale / 16)) ~length
+  | "LU" ->
+    (* Triangular sweeps reuse the pivot rows heavily (skewed), the rest of
+       the matrix is walked with a stride. *)
+    let sweep = Trace.strided ~stride:3 ~blocks:(2 * scale) ~length in
+    let pivots = Trace.zipf ~rng ~s:1.0 ~blocks:scale ~length () in
+    let stream = Trace.sequential ~blocks:scale ~length in
+    Trace.mix ~rng [ (0.4, sweep); (0.35, pivots); (0.25, stream) ] ~length
+  | "MG" ->
+    (* V-cycle: geometrically shrinking grids visited in turn, plus the
+       skewed gathers of restriction/prolongation stencils. *)
+    let level blocks = Trace.sequential ~blocks:(max 1 blocks) ~length in
+    let stencil = Trace.zipf ~rng ~s:0.7 ~blocks:(2 * scale) ~length () in
+    Trace.mix ~rng
+      [
+        (0.35, level scale);
+        (0.18, level (scale / 2));
+        (0.12, level (scale / 4));
+        (0.05, level (scale / 8));
+        (0.3, stencil);
+      ]
+      ~length
+  | "FT" ->
+    let butterfly =
+      Trace.strided ~stride:(max 2 (scale / 8)) ~blocks:(2 * scale) ~length
+    in
+    let shuffle = Trace.uniform ~rng ~blocks:(2 * scale) ~length in
+    Trace.mix ~rng [ (0.7, butterfly); (0.3, shuffle) ] ~length
+  | _ -> raise Not_found
+
+let calibrate_kernel ~rng ?(scale = 2048) ?(length = 200_000) ?(points = 12) name
+    =
+  let t = trace ~rng ~scale ~length name in
+  let capacities = Miss_curve.log_spaced ~min:16 ~max:(8 * scale) ~points in
+  Miss_curve.calibrate t ~capacities
+
+let table2_analogue ~rng ?scale ?length () =
+  List.map
+    (fun s -> (s, calibrate_kernel ~rng ?scale ?length s.name))
+    specs

@@ -1,0 +1,52 @@
+(** Synthetic NPB-like kernels.
+
+    The paper's Table 2 profiles six NAS Parallel Benchmarks with PEBIL.
+    These generators mimic each benchmark's dominant access structure at a
+    configurable scale, so the whole pipeline — trace, Mattson analysis,
+    power-law fit, model application — can be regenerated from scratch
+    (the [table2] experiment).  The miss-rate {e values} differ from the
+    hardware measurements (scaled-down footprints, synthetic locality);
+    the {e shape} (a power-law decay with alpha around 0.3–0.7) is what
+    matters to the co-scheduling model. *)
+
+type spec = {
+  name : string;
+  ops_per_access : float;
+      (** Inverse of the access frequency [f]: the paper's [f_i] is
+          reproduced as [1 / ops_per_access]. *)
+  work : float;  (** Operation count [w] assigned to the kernel. *)
+}
+
+val spec : string -> spec
+(** Specification by NPB name (CG, BT, LU, SP, MG, FT).
+    @raise Not_found for other names. *)
+
+val names : string list
+(** The six kernel names in Table 2 order. *)
+
+val trace : rng:Util.Rng.t -> scale:int -> length:int -> string -> Trace.t
+(** [trace ~rng ~scale ~length name] generates an access trace whose
+    footprint is proportional to [scale] (in cache blocks):
+
+    - CG: streaming vector sweeps mixed with Zipf-skewed gathers into a
+      sparse matrix (irregular reuse);
+    - BT / SP: phase-local block solves — dwelling working sets, larger
+      blocks for BT than SP;
+    - LU: triangular sweeps — strided walks plus streaming;
+    - MG: multigrid V-cycle — streaming over a hierarchy of geometrically
+      shrinking grids;
+    - FT: butterfly — large power-of-two strides plus uniform shuffles.
+
+    @raise Not_found for unknown names;
+    @raise Invalid_argument if [scale] or [length] is not positive. *)
+
+val calibrate_kernel :
+  rng:Util.Rng.t -> ?scale:int -> ?length:int -> ?points:int -> string ->
+  Miss_curve.calibration
+(** Generate a trace (defaults: [scale = 2048] blocks, [length = 200_000]
+    accesses, [points = 12] curve samples) and fit its power law. *)
+
+val table2_analogue :
+  rng:Util.Rng.t -> ?scale:int -> ?length:int -> unit ->
+  (spec * Miss_curve.calibration) list
+(** Regenerate a Table 2 analogue for all six kernels. *)

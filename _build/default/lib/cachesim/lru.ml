@@ -1,0 +1,89 @@
+(* Intrusive doubly linked list over nodes indexed by a hash table:
+   the classic O(1) LRU.  [head] is most recently used, [tail] least. *)
+
+type node = {
+  block : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 65536);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.block
+
+let access t block =
+  match Hashtbl.find_opt t.table block with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let node = { block; prev = None; next = None } in
+    Hashtbl.replace t.table block node;
+    push_front t node;
+    false
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+let occupancy t = Hashtbl.length t.table
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
+let contains t block = Hashtbl.mem t.table block
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.hits <- 0;
+  t.misses <- 0
+
+let run ~capacity trace =
+  let t = create ~capacity in
+  Array.iter (fun b -> ignore (access t b)) trace;
+  misses t

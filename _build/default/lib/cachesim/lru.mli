@@ -1,0 +1,36 @@
+(** Fully associative LRU cache simulation.
+
+    The model assumes the small storage is "governed by a LRU replacement
+    policy" (Section 3).  This is the reference simulator: O(1) amortised
+    per access via a hash table over an intrusive doubly linked list.
+    {!Mattson} computes the same miss counts for {e all} capacities in one
+    pass; tests cross-check the two. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty cache holding [capacity] blocks.  @raise Invalid_argument if
+    [capacity <= 0]. *)
+
+val access : t -> int -> bool
+(** [access t block] touches [block]; returns [true] on hit.  On a miss
+    the block is inserted, evicting the least recently used one when
+    full. *)
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val occupancy : t -> int
+(** Blocks currently resident. *)
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 before any access. *)
+
+val contains : t -> int -> bool
+(** Residency check without touching recency. *)
+
+val reset : t -> unit
+(** Empty the cache and zero the counters. *)
+
+val run : capacity:int -> Trace.t -> int
+(** Misses incurred by a trace on a fresh cache of the given capacity. *)

@@ -1,0 +1,68 @@
+type histogram = { cold : int; reuse : int array; total : int }
+
+(* Fenwick (binary indexed) tree over 1-based positions. *)
+module Fenwick = struct
+  type t = int array (* index 0 unused *)
+
+  let create n : t = Array.make (n + 1) 0
+
+  let add (t : t) i delta =
+    let n = Array.length t - 1 in
+    let i = ref i in
+    while !i <= n do
+      t.(!i) <- t.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of positions 1..i. *)
+  let prefix (t : t) i =
+    let acc = ref 0 and i = ref i in
+    while !i > 0 do
+      acc := !acc + t.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+let analyze trace =
+  let n = Array.length trace in
+  let tree = Fenwick.create n in
+  let last = Hashtbl.create 4096 in
+  let cold = ref 0 in
+  let counts = Hashtbl.create 256 in
+  for t = 1 to n do
+    let block = trace.(t - 1) in
+    (match Hashtbl.find_opt last block with
+    | None -> incr cold
+    | Some tp ->
+      (* Marked positions strictly between tp and t are the most recent
+         accesses of blocks touched since, i.e. the distinct blocks in
+         between: exactly the LRU stack depth minus one. *)
+      let d = Fenwick.prefix tree (t - 1) - Fenwick.prefix tree tp in
+      Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d));
+      Fenwick.add tree tp (-1));
+    Fenwick.add tree t 1;
+    Hashtbl.replace last block t
+  done;
+  let max_d = Hashtbl.fold (fun d _ acc -> max acc d) counts (-1) in
+  let reuse = Array.make (max_d + 1) 0 in
+  Hashtbl.iter (fun d c -> reuse.(d) <- c) counts;
+  { cold = !cold; reuse; total = n }
+
+let misses { cold; reuse; _ } ~capacity =
+  if capacity <= 0 then invalid_arg "Mattson.misses: capacity must be positive";
+  (* Hit iff distance < capacity; distance counts distinct blocks between
+     consecutive accesses, so a distance-d access needs d+1 slots.  With the
+     convention above: hit iff d <= capacity - 1. *)
+  let m = ref cold in
+  for d = capacity to Array.length reuse - 1 do
+    m := !m + reuse.(d)
+  done;
+  !m
+
+let miss_rate h ~capacity =
+  if h.total = 0 then 0.0
+  else float_of_int (misses h ~capacity) /. float_of_int h.total
+
+let miss_curve h ~capacities =
+  Array.map (fun c -> (c, miss_rate h ~capacity:c)) capacities

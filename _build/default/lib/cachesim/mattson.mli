@@ -1,0 +1,32 @@
+(** One-pass LRU reuse-distance analysis (Mattson et al., 1970).
+
+    LRU has the stack property: an access hits in a fully associative LRU
+    cache of capacity [C] iff its {e reuse distance} — the number of
+    distinct blocks referenced since the previous access to the same block
+    — is strictly less than [C].  Computing the reuse-distance histogram
+    in one pass therefore yields the miss count for {e every} capacity at
+    once, which is how the miss-rate curves feeding the power-law fit are
+    produced.  The implementation uses a Fenwick tree over access
+    positions, marking the most recent access of each live block:
+    O(N log N) time, O(N) space. *)
+
+type histogram = {
+  cold : int;            (** Compulsory (first-touch) misses. *)
+  reuse : int array;     (** [reuse.(d)] = accesses with reuse distance [d];
+                             length = max distance + 1 (possibly 0). *)
+  total : int;           (** Trace length. *)
+}
+
+val analyze : Trace.t -> histogram
+(** Reuse-distance histogram of a trace. *)
+
+val misses : histogram -> capacity:int -> int
+(** Misses of a fully associative LRU cache of [capacity] blocks:
+    [cold + #{accesses with distance >= capacity}].
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val miss_rate : histogram -> capacity:int -> float
+(** [misses / total]. *)
+
+val miss_curve : histogram -> capacities:int array -> (int * float) array
+(** Miss rate at each requested capacity, as [(capacity, rate)] pairs. *)

@@ -1,0 +1,59 @@
+let log_spaced ~min ~max ~points =
+  if min < 1 || max < min then invalid_arg "Miss_curve.log_spaced: bad range";
+  if points < 2 then invalid_arg "Miss_curve.log_spaced: need >= 2 points";
+  let lmin = log (float_of_int min) and lmax = log (float_of_int max) in
+  let raw =
+    Array.init points (fun i ->
+        let t = float_of_int i /. float_of_int (points - 1) in
+        int_of_float (Float.round (exp (lmin +. (t *. (lmax -. lmin))))))
+  in
+  (* Deduplicate while preserving order (rounding can collide). *)
+  let out = ref [] in
+  Array.iter
+    (fun c -> match !out with prev :: _ when prev = c -> () | _ -> out := c :: !out)
+    raw;
+  Array.of_list (List.rev !out)
+
+type curve = {
+  histogram : Mattson.histogram;
+  points : (int * float) array;
+}
+
+let of_trace trace ~capacities =
+  let histogram = Mattson.analyze trace in
+  { histogram; points = Mattson.miss_curve histogram ~capacities }
+
+type calibration = {
+  fit : Util.Regress.power_fit;
+  c0_blocks : int;
+  curve : curve;
+}
+
+let calibrate ?c0_blocks trace ~capacities =
+  let curve = of_trace trace ~capacities in
+  let usable =
+    Array.of_list
+      (List.filter (fun (_, m) -> m > 0. && m < 1.) (Array.to_list curve.points))
+  in
+  if Array.length usable < 2 then
+    invalid_arg "Miss_curve.calibrate: fewer than two unsaturated points";
+  let c0_blocks =
+    match c0_blocks with
+    | Some c -> c
+    | None -> fst usable.(Array.length usable - 1)
+  in
+  let sizes = Array.map (fun (c, _) -> float_of_int c) usable in
+  let misses = Array.map snd usable in
+  let fit = Util.Regress.power_law ~c0:(float_of_int c0_blocks) sizes misses in
+  { fit; c0_blocks; curve }
+
+let to_app ?(name = "calibrated") ?(s = 0.) ?(block_size = 64) ~w ~f calibration =
+  let c0 = float_of_int (calibration.c0_blocks * block_size) in
+  let m0 = Util.Floatx.clamp ~lo:0. ~hi:1. calibration.fit.Util.Regress.m0 in
+  (* Footprint: one past the largest block id would overestimate sparse
+     address spaces, so use the distinct-block count. *)
+  let footprint =
+    float_of_int
+      (calibration.curve.histogram.Mattson.cold * block_size)
+  in
+  Model.App.make ~name ~s ~footprint ~c0 ~w ~f ~m0 ()

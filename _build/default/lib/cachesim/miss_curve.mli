@@ -1,0 +1,39 @@
+(** Miss-rate curves and power-law calibration.
+
+    Ties the substrate together: simulate a trace once ({!Mattson}),
+    sample the miss rate at log-spaced capacities, fit Eq. (1)'s power law
+    in log–log space, and package the result as a {!Model.App.t} — the
+    same artefact the paper produced with PEBIL for Table 2. *)
+
+val log_spaced : min:int -> max:int -> points:int -> int array
+(** Distinct, increasing, roughly log-spaced integer capacities from [min]
+    to [max] inclusive.  @raise Invalid_argument unless
+    [1 <= min <= max] and [points >= 2]. *)
+
+type curve = {
+  histogram : Mattson.histogram;
+  points : (int * float) array;   (** (capacity in blocks, miss rate). *)
+}
+
+val of_trace : Trace.t -> capacities:int array -> curve
+
+type calibration = {
+  fit : Util.Regress.power_fit;   (** [m0] at [c0_blocks], exponent, R². *)
+  c0_blocks : int;                (** Reference capacity of the fit. *)
+  curve : curve;
+}
+
+val calibrate : ?c0_blocks:int -> Trace.t -> capacities:int array -> calibration
+(** Fit the power law through the sampled curve.  [c0_blocks] defaults to
+    the largest sampled capacity with a nonzero unsaturated miss rate.
+    @raise Invalid_argument when fewer than two usable points exist
+    (e.g. a purely streaming trace that always misses). *)
+
+val to_app :
+  ?name:string -> ?s:float -> ?block_size:int -> w:float -> f:float ->
+  calibration -> Model.App.t
+(** Package a calibration as a model application: [m0] is the fitted rate
+    at [c0 = c0_blocks * block_size] bytes ([block_size] defaults to 64),
+    and the footprint is the trace's distinct-block span in bytes.
+    [w] and [f] (operation count and access frequency) come from the
+    workload definition, as they did for PEBIL's instruction counts. *)

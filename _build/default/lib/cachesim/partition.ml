@@ -1,0 +1,148 @@
+type t = {
+  sets : int;
+  ways : int;
+  tenants : int;
+  owner : int array;            (* owner.(way) = tenant or -1 *)
+  first_way : int array;        (* first way of each tenant, -1 if none *)
+  way_count : int array;
+  tags : int array array;       (* tags.(set).(way); -1 invalid *)
+  stamps : int array array;
+  mutable clock : int;
+  mutable next_free_way : int;
+  hits : int array;
+  misses : int array;
+}
+
+let create ~sets ~ways ~tenants =
+  if sets <= 0 || ways <= 0 || tenants <= 0 then
+    invalid_arg "Partition.create: sets, ways and tenants must be positive";
+  {
+    sets;
+    ways;
+    tenants;
+    owner = Array.make ways (-1);
+    first_way = Array.make tenants (-1);
+    way_count = Array.make tenants 0;
+    tags = Array.make_matrix sets ways (-1);
+    stamps = Array.make_matrix sets ways 0;
+    clock = 0;
+    next_free_way = 0;
+    hits = Array.make tenants 0;
+    misses = Array.make tenants 0;
+  }
+
+let check_tenant t tenant =
+  if tenant < 0 || tenant >= t.tenants then
+    invalid_arg "Partition: tenant out of range"
+
+let assign t ~tenant ~way_count =
+  check_tenant t tenant;
+  if way_count < 0 then invalid_arg "Partition.assign: negative way count";
+  if t.way_count.(tenant) > 0 then
+    invalid_arg "Partition.assign: tenant already has ways";
+  if t.next_free_way + way_count > t.ways then
+    invalid_arg "Partition.assign: not enough free ways";
+  if way_count > 0 then begin
+    t.first_way.(tenant) <- t.next_free_way;
+    for w = t.next_free_way to t.next_free_way + way_count - 1 do
+      t.owner.(w) <- tenant
+    done
+  end;
+  t.way_count.(tenant) <- way_count;
+  t.next_free_way <- t.next_free_way + way_count
+
+let assign_fractions t fractions =
+  if Array.length fractions <> t.tenants then
+    invalid_arg "Partition.assign_fractions: need one fraction per tenant";
+  let sum = Array.fold_left ( +. ) 0.0 fractions in
+  Array.iter
+    (fun x ->
+      if x < 0. || x > 1. then
+        invalid_arg "Partition.assign_fractions: fraction outside [0, 1]")
+    fractions;
+  if sum > 1. +. 1e-9 then
+    invalid_arg "Partition.assign_fractions: fractions sum beyond 1";
+  Array.iteri
+    (fun tenant x ->
+      let ways = int_of_float (floor (x *. float_of_int t.ways)) in
+      assign t ~tenant ~way_count:ways)
+    fractions
+
+let access t ~tenant block =
+  check_tenant t tenant;
+  let nw = t.way_count.(tenant) in
+  if nw = 0 then begin
+    t.misses.(tenant) <- t.misses.(tenant) + 1;
+    false
+  end
+  else begin
+    t.clock <- t.clock + 1;
+    let set = ((block mod t.sets) + t.sets) mod t.sets in
+    let base = t.first_way.(tenant) in
+    let tags = t.tags.(set) and stamps = t.stamps.(set) in
+    let rec find w =
+      if w = base + nw then None
+      else if tags.(w) = block then Some w
+      else find (w + 1)
+    in
+    match find base with
+    | Some w ->
+      t.hits.(tenant) <- t.hits.(tenant) + 1;
+      stamps.(w) <- t.clock;
+      true
+    | None ->
+      t.misses.(tenant) <- t.misses.(tenant) + 1;
+      let victim = ref base in
+      (try
+         for w = base to base + nw - 1 do
+           if tags.(w) = -1 then begin
+             victim := w;
+             raise Exit
+           end;
+           if stamps.(w) < stamps.(!victim) then victim := w
+         done
+       with Exit -> ());
+      tags.(!victim) <- block;
+      stamps.(!victim) <- t.clock;
+      false
+  end
+
+let tenant_hits t tenant =
+  check_tenant t tenant;
+  t.hits.(tenant)
+
+let tenant_misses t tenant =
+  check_tenant t tenant;
+  t.misses.(tenant)
+
+let tenant_accesses t tenant = tenant_hits t tenant + tenant_misses t tenant
+
+let tenant_miss_rate t tenant =
+  let n = tenant_accesses t tenant in
+  if n = 0 then 0.0 else float_of_int (tenant_misses t tenant) /. float_of_int n
+
+let tenant_ways t tenant =
+  check_tenant t tenant;
+  t.way_count.(tenant)
+
+let run_interleaved t streams ~schedule =
+  match schedule with
+  | `Concatenated ->
+    Array.iter
+      (fun (tenant, trace) ->
+        Array.iter (fun b -> ignore (access t ~tenant b)) trace)
+      streams
+  | `Round_robin ->
+    let cursors = Array.make (Array.length streams) 0 in
+    let remaining = ref 0 in
+    Array.iter (fun (_, trace) -> remaining := !remaining + Array.length trace) streams;
+    let i = ref 0 in
+    while !remaining > 0 do
+      let tenant, trace = streams.(!i) in
+      if cursors.(!i) < Array.length trace then begin
+        ignore (access t ~tenant trace.(cursors.(!i)));
+        cursors.(!i) <- cursors.(!i) + 1;
+        decr remaining
+      end;
+      i := (!i + 1) mod Array.length streams
+    done

@@ -1,0 +1,104 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array array;       (* tags.(set).(way); -1 invalid *)
+  tree : bool array array;      (* tree.(set).(node); ways-1 internal nodes *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~sets ~ways =
+  if sets <= 0 then invalid_arg "Plru.create: sets must be positive";
+  if not (is_power_of_two ways) then
+    invalid_arg "Plru.create: ways must be a power of two";
+  {
+    sets;
+    ways;
+    tags = Array.make_matrix sets ways (-1);
+    tree = Array.make_matrix sets (max 1 (ways - 1)) false;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.sets * t.ways
+
+(* Update the tree so every node on the path to [way] points away from
+   it.  Nodes are heap-indexed: root 0, children 2i+1 / 2i+2; the leaves
+   correspond to ways in order. *)
+let touch t set way =
+  if t.ways > 1 then begin
+    let tree = t.tree.(set) in
+    let rec walk node lo hi =
+      if hi - lo > 1 then begin
+        let mid = (lo + hi) / 2 in
+        if way < mid then begin
+          (* The way lives on the left: point the node right. *)
+          tree.(node) <- true;
+          walk ((2 * node) + 1) lo mid
+        end
+        else begin
+          tree.(node) <- false;
+          walk ((2 * node) + 2) mid hi
+        end
+      end
+    in
+    walk 0 0 t.ways
+  end
+
+(* Follow the tree bits to the pseudo-LRU victim. *)
+let victim t set =
+  if t.ways = 1 then 0
+  else begin
+    let tree = t.tree.(set) in
+    let rec walk node lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if tree.(node) then walk ((2 * node) + 2) mid hi
+        else walk ((2 * node) + 1) lo mid
+    in
+    walk 0 0 t.ways
+  end
+
+let access t block =
+  let set = ((block mod t.sets) + t.sets) mod t.sets in
+  let tags = t.tags.(set) in
+  let rec find w =
+    if w = t.ways then None else if tags.(w) = block then Some w else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    touch t set w;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Prefer an invalid way before evicting. *)
+    let rec invalid w =
+      if w = t.ways then None else if tags.(w) = -1 then Some w else invalid (w + 1)
+    in
+    let w = match invalid 0 with Some w -> w | None -> victim t set in
+    tags.(w) <- block;
+    touch t set w;
+    false
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 t.ways (-1)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.tree;
+  t.hits <- 0;
+  t.misses <- 0
+
+let run ~sets ~ways trace =
+  let t = create ~sets ~ways in
+  Array.iter (fun b -> ignore (access t b)) trace;
+  misses t

@@ -1,0 +1,29 @@
+(** Tree-based pseudo-LRU set-associative cache.
+
+    Real last-level caches rarely implement true LRU: most use the
+    tree-PLRU approximation (one bit per internal node of a binary tree
+    over the ways).  This simulator quantifies how far the model's LRU
+    idealisation sits from deployed replacement policies: tests check that
+    PLRU equals LRU for 1- and 2-way sets (where the tree is exact) and
+    tracks it closely for wider sets. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+(** [ways] must be a power of two (the PLRU tree is complete).
+    @raise Invalid_argument otherwise or on nonpositive arguments. *)
+
+val capacity : t -> int
+val access : t -> int -> bool
+(** [true] on hit.  On a hit or fill, the tree bits along the way's path
+    are flipped to point away from it; on a miss the bits are followed to
+    the victim. *)
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val miss_rate : t -> float
+val reset : t -> unit
+
+val run : sets:int -> ways:int -> Trace.t -> int
+(** Misses of a trace on a fresh cache. *)

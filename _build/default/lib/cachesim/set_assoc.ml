@@ -1,0 +1,71 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array array;       (* tags.(set).(way); -1 = invalid *)
+  stamps : int array array;     (* LRU timestamps, larger = more recent *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || ways <= 0 then
+    invalid_arg "Set_assoc.create: sets and ways must be positive";
+  {
+    sets;
+    ways;
+    tags = Array.make_matrix sets ways (-1);
+    stamps = Array.make_matrix sets ways 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.sets * t.ways
+
+let access t block =
+  t.clock <- t.clock + 1;
+  let set = ((block mod t.sets) + t.sets) mod t.sets in
+  let tags = t.tags.(set) and stamps = t.stamps.(set) in
+  let rec find w = if w = t.ways then None else if tags.(w) = block then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    stamps.(w) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Victim: an invalid way if any, else the smallest timestamp. *)
+    let victim = ref 0 in
+    (try
+       for w = 0 to t.ways - 1 do
+         if tags.(w) = -1 then begin
+           victim := w;
+           raise Exit
+         end;
+         if stamps.(w) < stamps.(!victim) then victim := w
+       done
+     with Exit -> ());
+    tags.(!victim) <- block;
+    stamps.(!victim) <- t.clock;
+    false
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 t.ways (-1)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 t.ways 0) t.stamps;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let run ~sets ~ways trace =
+  let t = create ~sets ~ways in
+  Array.iter (fun b -> ignore (access t b)) trace;
+  misses t

@@ -1,0 +1,25 @@
+(** Set-associative cache with per-set LRU replacement.
+
+    Real LLCs are set-associative; the fully associative model (and the
+    power law built on it) is an idealisation.  This simulator quantifies
+    the gap and underlies the way-partitioned multi-tenant cache of
+    {!Partition}. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+(** [sets] and [ways] must be positive; capacity is [sets * ways] blocks.
+    Blocks map to set [block mod sets]. *)
+
+val capacity : t -> int
+val access : t -> int -> bool
+(** [true] on hit; misses insert and evict the set's LRU way. *)
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val miss_rate : t -> float
+val reset : t -> unit
+
+val run : sets:int -> ways:int -> Trace.t -> int
+(** Misses of a trace on a fresh cache. *)

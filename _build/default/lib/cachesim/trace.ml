@@ -1,0 +1,97 @@
+type t = int array
+
+let check_positive name v =
+  if v <= 0 then invalid_arg (Printf.sprintf "Trace.%s: argument must be positive" name)
+
+let sequential ~blocks ~length =
+  check_positive "sequential" blocks;
+  check_positive "sequential" length;
+  Array.init length (fun i -> i mod blocks)
+
+let strided ~stride ~blocks ~length =
+  check_positive "strided" stride;
+  check_positive "strided" blocks;
+  check_positive "strided" length;
+  Array.init length (fun i -> i * stride mod blocks)
+
+let uniform ~rng ~blocks ~length =
+  check_positive "uniform" blocks;
+  check_positive "uniform" length;
+  Array.init length (fun _ -> Util.Rng.int rng blocks)
+
+let zipf ~rng ?(s = 0.8) ~blocks ~length () =
+  check_positive "zipf" blocks;
+  check_positive "zipf" length;
+  (* Precompute the cumulative distribution once; ranks are then drawn by
+     binary search, and a random permutation decouples rank from address. *)
+  let weights = Array.init blocks (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let cum = Array.make blocks 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cum.(i) <- !acc)
+    weights;
+  let total = !acc in
+  let perm = Array.init blocks (fun i -> i) in
+  Util.Rng.shuffle rng perm;
+  let draw () =
+    let target = Util.Rng.float rng total in
+    (* Smallest index with cum.(i) >= target. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) >= target then search lo mid else search (mid + 1) hi
+    in
+    perm.(search 0 (blocks - 1))
+  in
+  Array.init length (fun _ -> draw ())
+
+let working_sets ~rng ~set_blocks ~sets ~dwell ~length =
+  check_positive "working_sets" set_blocks;
+  check_positive "working_sets" sets;
+  check_positive "working_sets" dwell;
+  check_positive "working_sets" length;
+  let current = ref (Util.Rng.int rng sets) in
+  Array.init length (fun i ->
+      if i mod dwell = 0 && i > 0 then current := Util.Rng.int rng sets;
+      (!current * set_blocks) + Util.Rng.int rng set_blocks)
+
+let mix ~rng components ~length =
+  if components = [] then invalid_arg "Trace.mix: empty component list";
+  List.iter
+    (fun (w, _) -> if not (w > 0.) then invalid_arg "Trace.mix: nonpositive weight")
+    components;
+  check_positive "mix" length;
+  let comps = Array.of_list components in
+  let cursors = Array.make (Array.length comps) 0 in
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 comps in
+  (* Offset each component's address space so components do not alias. *)
+  let offsets = Array.make (Array.length comps) 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i (_, trace) ->
+      offsets.(i) <- !off;
+      let span =
+        Array.fold_left (fun acc b -> max acc (b + 1)) 1 (trace : t)
+      in
+      off := !off + span)
+    comps;
+  Array.init length (fun _ ->
+      let target = Util.Rng.float rng total in
+      let rec pick i acc =
+        let w, _ = comps.(i) in
+        if acc +. w >= target || i = Array.length comps - 1 then i
+        else pick (i + 1) (acc +. w)
+      in
+      let i = pick 0 0.0 in
+      let _, trace = comps.(i) in
+      let v = trace.(cursors.(i) mod Array.length trace) + offsets.(i) in
+      cursors.(i) <- cursors.(i) + 1;
+      v)
+
+let distinct_blocks trace =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun b -> Hashtbl.replace seen b ()) trace;
+  Hashtbl.length seen

@@ -1,0 +1,46 @@
+(** Synthetic memory-access traces.
+
+    The paper obtained its application profiles (Table 2) by instrumenting
+    the NAS Parallel Benchmarks with PEBIL.  This library replaces that
+    proprietary tool-chain with synthetic traces whose locality structure
+    is controlled, so the whole measurement pipeline — trace, cache
+    simulation, miss-rate curve, power-law fit — runs from scratch.
+
+    A trace is an array of cache-block identifiers (block granularity;
+    byte addresses divided by the line size). *)
+
+type t = int array
+
+val sequential : blocks:int -> length:int -> t
+(** Cyclic streaming through [blocks] distinct blocks: positions
+    [0, 1, ..., blocks-1, 0, ...].  Pure spatial streaming, no reuse
+    within a window larger than [blocks]. *)
+
+val strided : stride:int -> blocks:int -> length:int -> t
+(** Stride-[stride] walk over [blocks] blocks, wrapping around — the FFT
+    butterfly / transpose pattern.  @raise Invalid_argument if
+    [stride <= 0] or [blocks <= 0]. *)
+
+val uniform : rng:Util.Rng.t -> blocks:int -> length:int -> t
+(** Independent uniformly random blocks — the worst-case locality floor. *)
+
+val zipf : rng:Util.Rng.t -> ?s:float -> blocks:int -> length:int -> unit -> t
+(** Zipf-distributed block popularity with exponent [s] (default 0.8) —
+    the skewed-reuse pattern typical of irregular sparse codes.  Block
+    ranks are randomly permuted so popularity is not correlated with
+    address. *)
+
+val working_sets :
+  rng:Util.Rng.t -> set_blocks:int -> sets:int -> dwell:int -> length:int -> t
+(** Phase-local behaviour: dwell for [dwell] accesses inside one working
+    set of [set_blocks] blocks (uniformly random within it), then jump to
+    another of the [sets] disjoint sets. *)
+
+val mix : rng:Util.Rng.t -> (float * t) list -> length:int -> t
+(** Probabilistic interleaving: at each step pick component [i] with the
+    given weight and emit its next access (each component is consumed
+    cyclically).  Weights must be positive.
+    @raise Invalid_argument on an empty list. *)
+
+val distinct_blocks : t -> int
+(** Number of distinct block ids in the trace (the footprint, in blocks). *)

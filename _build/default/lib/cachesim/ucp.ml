@@ -1,0 +1,61 @@
+let utility_curve h ~sets ~ways =
+  if sets <= 0 || ways <= 0 then
+    invalid_arg "Ucp.utility_curve: sets and ways must be positive";
+  Array.init (ways + 1) (fun k ->
+      if k = 0 then h.Mattson.total else Mattson.misses h ~capacity:(k * sets))
+
+let check_curves ~curves ~ways =
+  if Array.length curves = 0 then invalid_arg "Ucp: no tenants";
+  Array.iter
+    (fun c ->
+      if Array.length c <> ways + 1 then
+        invalid_arg "Ucp: curve length must be ways + 1";
+      for k = 1 to ways do
+        if c.(k) > c.(k - 1) then invalid_arg "Ucp: curve must be nonincreasing"
+      done)
+    curves
+
+(* Qureshi & Patt's lookahead: the best marginal utility per way over all
+   forward increments, to climb over plateaus in non-convex curves. *)
+let lookahead ~curves ~ways =
+  check_curves ~curves ~ways;
+  let n = Array.length curves in
+  let alloc = Array.make n 0 in
+  let remaining = ref ways in
+  let continue_ = ref true in
+  while !remaining > 0 && !continue_ do
+    let best = ref None in
+    for i = 0 to n - 1 do
+      let have = alloc.(i) in
+      for k = 1 to min !remaining (ways - have) do
+        let gain = curves.(i).(have) - curves.(i).(have + k) in
+        if gain > 0 then begin
+          let density = float_of_int gain /. float_of_int k in
+          match !best with
+          | Some (_, _, d) when d >= density -> ()
+          | _ -> best := Some (i, k, density)
+        end
+      done
+    done;
+    match !best with
+    | None -> continue_ := false (* nobody benefits from more ways *)
+    | Some (i, k, _) ->
+      alloc.(i) <- alloc.(i) + k;
+      remaining := !remaining - k
+  done;
+  alloc
+
+let total_misses ~curves alloc =
+  if Array.length curves <> Array.length alloc then
+    invalid_arg "Ucp.total_misses: length mismatch";
+  let acc = ref 0 in
+  Array.iteri (fun i a -> acc := !acc + curves.(i).(a)) alloc;
+  !acc
+
+let partition_traces ~traces ~sets ~ways =
+  let curves =
+    Array.map
+      (fun trace -> utility_curve (Mattson.analyze trace) ~sets ~ways)
+      traces
+  in
+  lookahead ~curves ~ways

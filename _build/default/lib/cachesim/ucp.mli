@@ -1,0 +1,36 @@
+(** Utility-based cache partitioning (Qureshi & Patt, MICRO 2006) — the
+    paper's reference [24] and the natural throughput-oriented baseline
+    for its makespan-oriented allocation.
+
+    UCP assigns cache {e ways} to tenants to minimise the {e total} miss
+    count, using each tenant's miss-vs-ways utility curve (obtained here
+    from a Mattson reuse-distance analysis).  The greedy "lookahead"
+    algorithm repeatedly grants the block of ways with the highest
+    marginal utility per way; it handles the non-convex utility curves
+    that defeat the plain one-way-at-a-time greedy.
+
+    The contrast with the paper's Theorem 3 allocation is an ablation in
+    EXPERIMENTS.md: UCP minimises aggregate misses, the paper minimises
+    the makespan — on heterogeneous workloads the two pick visibly
+    different partitions. *)
+
+val utility_curve : Mattson.histogram -> sets:int -> ways:int -> int array
+(** [utility_curve h ~sets ~ways] is the per-tenant miss count as a
+    function of allocated ways: entry [k] (0 <= k <= ways) is the misses
+    of an LRU cache of [k * sets] blocks (entry 0 = every access misses,
+    i.e. the trace length).  Monotone nonincreasing. *)
+
+val lookahead : curves:int array array -> ways:int -> int array
+(** [lookahead ~curves ~ways] splits [ways] among the tenants.  Each
+    [curves.(i)] must have length [ways + 1] and be nonincreasing.
+    Returns the per-tenant way counts (each >= 0, summing to at most
+    [ways]; remaining ways are handed out to the largest-utility tenants
+    so the sum is exactly [ways] whenever a tenant can still use them).
+    @raise Invalid_argument on empty input or malformed curves. *)
+
+val total_misses : curves:int array array -> int array -> int
+(** Total miss count of an assignment under the given curves. *)
+
+val partition_traces :
+  traces:Trace.t array -> sets:int -> ways:int -> int array
+(** Convenience: Mattson-analyse every trace and run {!lookahead}. *)

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Cachesim Float List Model Report Runner Sched Simulator String Theory Util

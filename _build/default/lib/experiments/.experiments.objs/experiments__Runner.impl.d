@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array List Model Report Sched Util

@@ -1,0 +1,129 @@
+(** One reproduction function per table/figure of the paper, plus the
+    ablations listed in DESIGN.md.
+
+    Each function returns one or more {!Report.figure}s (two when the
+    paper shows both the AllProcCache-normalised and the
+    DominantMinRatio-normalised panel).  The default configuration matches
+    the paper: 50 trials per point, 256 processors, 32 GB LLC,
+    [ls = 0.17], [ll = 1], [alpha = 0.5].  See DESIGN.md section 4 for the
+    experiment index. *)
+
+val fig1 : ?config:Runner.config -> unit -> Report.figure list
+(** Six dominant heuristics vs number of applications, NPB-SYNTH,
+    normalised by AllProcCache. *)
+
+val fig2 : ?config:Runner.config -> unit -> Report.figure list
+(** Six dominant heuristics vs baseline miss rate, 16 apps, 1 GB LLC,
+    normalised by DominantMinRatio. *)
+
+val fig3 : ?config:Runner.config -> unit -> Report.figure list
+(** DominantMinRatio vs baselines across the number of applications,
+    NPB-SYNTH; both normalisations. *)
+
+val fig4 : ?config:Runner.config -> unit -> Report.figure list
+(** Impact of the average processors-per-application ratio (p = 256 with
+    n = p / ratio), normalised by DominantMinRatio. *)
+
+val fig5 : ?config:Runner.config -> unit -> Report.figure list
+(** Impact of the processor count, 16 apps, NPB-SYNTH; both panels. *)
+
+val fig6 : ?config:Runner.config -> unit -> Report.figure list
+(** Impact of the sequential fraction, 16 apps, NPB-SYNTH; both panels. *)
+
+val fig7 : ?config:Runner.config -> unit -> Report.figure list
+(** Processor and cache repartition (avg/min/max) vs number of
+    applications, NPB-SYNTH: two figures. *)
+
+val fig8 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: number of applications, RANDOM data set; both panels. *)
+
+val fig9 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: processor count, NPB-SYNTH, 64 apps. *)
+
+val fig10 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: processor count, NPB-6 (6 apps); both panels. *)
+
+val fig11 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: processor count, RANDOM, 16 apps; both panels. *)
+
+val fig12 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: processor count, RANDOM, 64 apps. *)
+
+val fig13 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: sequential fraction, NPB-6; both panels. *)
+
+val fig14 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: sequential fraction, RANDOM, 16 apps; both panels. *)
+
+val fig15 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: cache latency [ls], NPB-SYNTH, 16 apps, s = 1e-4. *)
+
+val fig16 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: cache latency [ls], NPB-SYNTH, 64 apps. *)
+
+val fig17 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: repartition, RANDOM data set: two figures. *)
+
+val fig18 : ?config:Runner.config -> unit -> Report.figure list
+(** Appendix A: miss-rate sweep with all nine co-scheduling policies,
+    1 GB LLC, normalised by DominantMinRatio. *)
+
+val table2 : ?config:Runner.config -> unit -> Report.figure list
+(** Table 2 analogue: the paper's measured (w, f, m_40MB) next to the
+    cache-simulator calibration (fitted m0, alpha, R^2) for each of the
+    six NPB-like kernels.  Row x = kernel index in Table 2 order
+    (0 = CG, 1 = BT, 2 = LU, 3 = SP, 4 = MG, 5 = FT). *)
+
+(** {1 Ablations and extensions} (DESIGN.md section 5)} *)
+
+val optgap : ?config:Runner.config -> unit -> Report.figure list
+(** Heuristic-to-exact makespan ratio on small perfectly parallel
+    instances (2^n enumeration), vs instance size. *)
+
+val alpha_sens : ?config:Runner.config -> unit -> Report.figure list
+(** Sensitivity of the policy ranking to the power-law exponent
+    [alpha] in [0.3, 0.7]; normalised by DominantMinRatio. *)
+
+val validation : ?config:Runner.config -> unit -> Report.figure list
+(** Discrete-event simulation vs the analytical model: maximum relative
+    completion-time error, and the makespan gain of work-conserving
+    processor redistribution applied to Fair (which does not equalise
+    finish times). *)
+
+val rounding : ?config:Runner.config -> unit -> Report.figure list
+(** Cost of integral processor counts: makespan of the largest-remainder
+    rounding of DominantMinRatio relative to the rational schedule. *)
+
+val integer : ?config:Runner.config -> unit -> Report.figure list
+(** Exact greedy integral allocation ({!Sched.Integer_alloc}) vs
+    largest-remainder rounding, both relative to the rational bound. *)
+
+val speedup : ?config:Runner.config -> unit -> Report.figure list
+(** The paper's future-work extension: speedup-aware cache refinement
+    ({!Sched.Refine}) vs the Theorem 3 closed form under cache pressure. *)
+
+val ucp : ?config:Runner.config -> unit -> Report.figure list
+(** Way-partitioning ablation: UCP (reference [24], total-miss objective)
+    vs the Theorem 3 allocation (makespan objective) vs an equal split,
+    executed on the way-partitioned cache simulator. *)
+
+val profiles : ?config:Runner.config -> unit -> Report.figure list
+(** Generalised speedup profiles ({!Model.Speedup}, {!Sched.General}):
+    makespan and idle processors across Amdahl / Power / Comm profiles. *)
+
+val tracedriven : ?config:Runner.config -> unit -> Report.figure list
+(** End-to-end power-law fidelity: trace replay on the partitioned cache
+    vs the Eq. 2 prediction, per kernel. *)
+
+val footprint : ?config:Runner.config -> unit -> Report.figure list
+(** Finite footprints (Eq. 2's second case): KKT water-filling
+    ({!Theory.Dominant.cache_allocation_capped}) vs naively clamping the
+    Theorem 3 shares. *)
+
+val all_ids : string list
+(** Every experiment id accepted by {!run}, in presentation order. *)
+
+val run : ?config:Runner.config -> string -> Report.figure list
+(** Dispatch by id ("fig1" ... "fig18", "table2", "optgap", "alpha",
+    "validation", "rounding", "integer", "speedup").
+    @raise Invalid_argument on unknown ids. *)

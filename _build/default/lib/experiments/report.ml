@@ -1,0 +1,88 @@
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  columns : string list;
+  rows : (float * float list) list;
+}
+
+let make ~id ~title ~xlabel ~columns ~rows =
+  let width = List.length columns in
+  List.iter
+    (fun (_, cells) ->
+      if List.length cells <> width then
+        invalid_arg "Report.make: row width differs from column count")
+    rows;
+  { id; title; xlabel; columns; rows }
+
+let to_table fig =
+  let t = Util.Table.create (fig.xlabel :: fig.columns) in
+  List.iter
+    (fun (x, cells) -> Util.Table.add_floats t (Printf.sprintf "%g" x) cells)
+    fig.rows;
+  t
+
+let render fig =
+  Printf.sprintf "== %s: %s ==\n%s" fig.id fig.title
+    (Util.Table.to_string (to_table fig))
+
+let to_csv fig = Util.Table.to_csv (to_table fig)
+
+let to_dat fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    ("# " ^ String.concat " " (fig.xlabel :: fig.columns) ^ "\n");
+  List.iter
+    (fun (x, cells) ->
+      Buffer.add_string buf
+        (String.concat " "
+           (Printf.sprintf "%.17g" x
+           :: List.map (Printf.sprintf "%.17g") cells));
+      Buffer.add_char buf '\n')
+    fig.rows;
+  Buffer.contents buf
+
+let to_gnuplot ?(terminal = "pngcairo size 960,600") ~datfile fig =
+  let quoted s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
+  let plots =
+    List.mapi
+      (fun i name ->
+        Printf.sprintf "%s using 1:%d with linespoints title %s"
+          (quoted datfile) (i + 2) (quoted name))
+      fig.columns
+  in
+  String.concat "\n"
+    [
+      "set terminal " ^ terminal;
+      Printf.sprintf "set output %s" (quoted (fig.id ^ ".png"));
+      Printf.sprintf "set title %s" (quoted fig.title);
+      Printf.sprintf "set xlabel %s" (quoted fig.xlabel);
+      "set ylabel \"normalized makespan\"";
+      "set key outside right";
+      "plot " ^ String.concat ", \\\n     " plots;
+      "";
+    ]
+
+let column_index fig name =
+  let rec find i = function
+    | [] -> raise Not_found
+    | c :: _ when c = name -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 fig.columns
+
+let column fig name =
+  let i = column_index fig name in
+  List.map (fun (x, cells) -> (x, List.nth cells i)) fig.rows
+
+let normalize_by fig name =
+  let i = column_index fig name in
+  let rows =
+    List.map
+      (fun (x, cells) ->
+        let reference = List.nth cells i in
+        if reference = 0. then (x, cells)
+        else (x, List.map (fun v -> v /. reference) cells))
+      fig.rows
+  in
+  { fig with rows }

@@ -1,0 +1,43 @@
+(** Result containers for the figure/table reproductions.
+
+    Every experiment yields one or more [figure]s: a labelled sweep value
+    per row and one column per series (heuristic).  Rendering goes through
+    {!Util.Table} so the benchmark harness, the CLI and the tests all see
+    identical output. *)
+
+type figure = {
+  id : string;          (** "fig1", "table2", ... *)
+  title : string;       (** The paper's caption, abridged. *)
+  xlabel : string;      (** Sweep variable. *)
+  columns : string list; (** Series names (policy names, or statistics). *)
+  rows : (float * float list) list;
+      (** (sweep value, one cell per column), in sweep order. *)
+}
+
+val make :
+  id:string -> title:string -> xlabel:string -> columns:string list ->
+  rows:(float * float list) list -> figure
+(** @raise Invalid_argument if any row's width differs from [columns]. *)
+
+val render : figure -> string
+(** Human-readable table with a caption line. *)
+
+val to_csv : figure -> string
+
+val column : figure -> string -> (float * float) list
+(** [(x, y)] series for one named column.  @raise Not_found. *)
+
+val normalize_by : figure -> string -> figure
+(** Divide every cell by the same row's cell in the named column (the
+    paper's "normalized makespan" presentation); rows where the reference
+    is 0 are left untouched.  @raise Not_found if the column is absent. *)
+
+val to_dat : figure -> string
+(** Whitespace-separated data block (gnuplot-style): a comment header
+    naming the columns, then one row per sweep point. *)
+
+val to_gnuplot : ?terminal:string -> datfile:string -> figure -> string
+(** A gnuplot script plotting every column of [datfile] (as produced by
+    {!to_dat}) as a line with points, titled and labelled from the figure.
+    [terminal] defaults to ["pngcairo size 960,600"]; the output file is
+    [<figure id>.png]. *)

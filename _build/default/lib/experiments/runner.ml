@@ -1,0 +1,91 @@
+type instance = {
+  platform : Model.Platform.t;
+  apps : Model.App.t array;
+}
+
+type config = { trials : int; seed : int }
+
+let default_config = { trials = 50; seed = 2017 }
+
+let trial_rngs config =
+  let master = Util.Rng.create config.seed in
+  List.init config.trials (fun _ -> Util.Rng.split master)
+
+let mean_makespans ~config ~gen ~policies =
+  let acc = List.map (fun p -> (p, Util.Stats.Online.create ())) policies in
+  List.iter
+    (fun rng ->
+      let { platform; apps } = gen rng in
+      List.iter
+        (fun (policy, online) ->
+          let m = Sched.Heuristics.makespan ~rng ~platform ~apps policy in
+          Util.Stats.Online.add online m)
+        acc)
+    (trial_rngs config);
+  List.map (fun (p, online) -> (p, Util.Stats.Online.mean online)) acc
+
+let sweep ?(config = default_config) ~id ~title ~xlabel ~values ~gen ~policies ()
+    =
+  let rows =
+    List.map
+      (fun v ->
+        let means = mean_makespans ~config ~gen:(gen v) ~policies in
+        (v, List.map snd means))
+      values
+  in
+  Report.make ~id ~title ~xlabel
+    ~columns:(List.map Sched.Heuristics.name policies)
+    ~rows
+
+type repartition_stat = {
+  policy : Sched.Heuristics.t;
+  avg_procs : float;
+  min_procs : float;
+  max_procs : float;
+  avg_cache : float;
+  min_cache : float;
+  max_cache : float;
+}
+
+let repartition ?(config = default_config) ~values ~gen ~policies () =
+  List.map
+    (fun v ->
+      let per_policy =
+        List.map
+          (fun policy -> (policy, Util.Stats.Online.create (), Util.Stats.Online.create ()))
+          policies
+      in
+      List.iter
+        (fun rng ->
+          let { platform; apps } = gen v rng in
+          List.iter
+            (fun (policy, procs_acc, cache_acc) ->
+              match (Sched.Heuristics.run ~rng ~platform ~apps policy).schedule with
+              | None -> ()
+              | Some schedule ->
+                Array.iter
+                  (fun { Model.Schedule.procs; cache } ->
+                    Util.Stats.Online.add procs_acc procs;
+                    Util.Stats.Online.add cache_acc cache)
+                  schedule.Model.Schedule.allocs)
+            per_policy)
+        (trial_rngs config);
+      let stats =
+        List.filter_map
+          (fun (policy, procs_acc, cache_acc) ->
+            if Util.Stats.Online.count procs_acc = 0 then None
+            else
+              Some
+                {
+                  policy;
+                  avg_procs = Util.Stats.Online.mean procs_acc;
+                  min_procs = Util.Stats.Online.min procs_acc;
+                  max_procs = Util.Stats.Online.max procs_acc;
+                  avg_cache = Util.Stats.Online.mean cache_acc;
+                  min_cache = Util.Stats.Online.min cache_acc;
+                  max_cache = Util.Stats.Online.max cache_acc;
+                })
+          per_policy
+      in
+      (v, stats))
+    values

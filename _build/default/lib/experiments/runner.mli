@@ -1,0 +1,52 @@
+(** Repetition and aggregation machinery for the Section 6 simulations.
+
+    The paper executes every heuristic 50 times on freshly drawn instances
+    and reports the average makespan.  A [sweep] runs that protocol at
+    every point of a parameter sweep; instances are derived
+    deterministically from a master seed, and all policies see the same
+    instances at the same sweep point (paired comparison). *)
+
+type instance = {
+  platform : Model.Platform.t;
+  apps : Model.App.t array;
+}
+
+type config = {
+  trials : int;  (** Repetitions per point; the paper uses 50. *)
+  seed : int;    (** Master seed; each trial gets a split substream. *)
+}
+
+val default_config : config
+(** 50 trials, seed 2017 (the publication year). *)
+
+val mean_makespans :
+  config:config -> gen:(Util.Rng.t -> instance) ->
+  policies:Sched.Heuristics.t list -> (Sched.Heuristics.t * float) list
+(** Average makespan of each policy over [config.trials] generated
+    instances. *)
+
+val sweep :
+  ?config:config -> id:string -> title:string -> xlabel:string ->
+  values:float list -> gen:(float -> Util.Rng.t -> instance) ->
+  policies:Sched.Heuristics.t list -> unit -> Report.figure
+(** One figure: rows are sweep values, columns are policies, cells are
+    mean makespans.  Normalize afterwards with {!Report.normalize_by}. *)
+
+type repartition_stat = {
+  policy : Sched.Heuristics.t;
+  avg_procs : float;
+  min_procs : float;
+  max_procs : float;
+  avg_cache : float;
+  min_cache : float;
+  max_cache : float;
+}
+
+val repartition :
+  ?config:config -> values:float list ->
+  gen:(float -> Util.Rng.t -> instance) ->
+  policies:Sched.Heuristics.t list -> unit ->
+  (float * repartition_stat list) list
+(** Figure 7/17 data: per sweep value and policy, the average / min / max
+    processor count and cache fraction over all applications and trials.
+    Policies without a concurrent schedule (AllProcCache) are skipped. *)

@@ -1,0 +1,1 @@
+lib/model/app.ml: Float Format

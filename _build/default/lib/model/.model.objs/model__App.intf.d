@@ -1,0 +1,1 @@
+lib/model/app.mli: Format

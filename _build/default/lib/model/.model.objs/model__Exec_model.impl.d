@@ -1,0 +1,1 @@
+lib/model/exec_model.ml: App Float Platform Power_law

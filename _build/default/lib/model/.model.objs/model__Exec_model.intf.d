@@ -1,0 +1,1 @@
+lib/model/exec_model.mli: App Platform

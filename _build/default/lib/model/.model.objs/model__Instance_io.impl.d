@@ -1,0 +1,1 @@
+lib/model/instance_io.ml: App Array Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/model/instance_io.mli: App

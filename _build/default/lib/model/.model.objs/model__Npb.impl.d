@@ -1,0 +1,1 @@
+lib/model/npb.ml: App List String

@@ -1,0 +1,1 @@
+lib/model/npb.mli: App

@@ -1,0 +1,1 @@
+lib/model/power_law.ml: App Float Platform

@@ -1,0 +1,1 @@
+lib/model/power_law.mli: App Platform

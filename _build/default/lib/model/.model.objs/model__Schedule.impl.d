@@ -1,0 +1,1 @@
+lib/model/schedule.ml: App Array Exec_model Float Format List Platform Util

@@ -1,0 +1,1 @@
+lib/model/speedup.ml: App Float Util

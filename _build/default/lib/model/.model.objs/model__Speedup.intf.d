@@ -1,0 +1,1 @@
+lib/model/speedup.mli: App

@@ -1,0 +1,1 @@
+lib/model/workload.ml: App Array Npb Printf String Util

@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  w : float;
+  s : float;
+  f : float;
+  footprint : float;
+  m0 : float;
+  c0 : float;
+}
+
+let validate t =
+  if not (t.w > 0. && Float.is_finite t.w) then
+    invalid_arg "App.make: w must be positive and finite";
+  if not (t.s >= 0. && t.s < 1.) then invalid_arg "App.make: s must be in [0, 1)";
+  if not (t.f >= 0. && Float.is_finite t.f) then
+    invalid_arg "App.make: f must be nonnegative and finite";
+  if not (t.footprint > 0.) then invalid_arg "App.make: footprint must be positive";
+  if not (t.m0 >= 0. && t.m0 <= 1.) then invalid_arg "App.make: m0 must be in [0, 1]";
+  if not (t.c0 > 0. && Float.is_finite t.c0) then
+    invalid_arg "App.make: c0 must be positive and finite";
+  t
+
+let make ?(name = "app") ?(s = 0.) ?(footprint = infinity) ?(c0 = 40e6) ~w ~f ~m0
+    () =
+  validate { name; w; s; f; footprint; m0; c0 }
+
+let with_s t s = validate { t with s }
+let with_w t w = validate { t with w }
+let with_m0 t m0 = validate { t with m0 }
+let with_name t name = { t with name }
+let perfectly_parallel t = t.s = 0.
+
+let pp ppf t =
+  Format.fprintf ppf "%s{w=%.3g; s=%.3g; f=%.3g; m0=%.3g@@%.3gB; a=%.3g}" t.name
+    t.w t.s t.f t.m0 t.c0 t.footprint
+
+let to_string t = Format.asprintf "%a" pp t

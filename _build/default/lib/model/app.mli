@@ -1,0 +1,44 @@
+(** Applications, as modelled in Section 3 of the paper.
+
+    An application [T_i] is characterised by its operation count [w_i], its
+    Amdahl sequential fraction [s_i], its data-access frequency [f_i]
+    (accesses per operation), its memory footprint [a_i], and a miss rate
+    [m0_i] measured for a baseline cache of size [c0_i] (40 MB for the NPB
+    measurements of Table 2). *)
+
+type t = private {
+  name : string;
+  w : float;          (** Number of computing operations, [w_i > 0]. *)
+  s : float;          (** Sequential fraction, [0 <= s_i < 1]. *)
+  f : float;          (** Data accesses per operation, [f_i >= 0]. *)
+  footprint : float;  (** Memory footprint [a_i] in bytes; [infinity] means
+                          "larger than any cache", the Section 4/5 regime. *)
+  m0 : float;         (** Miss rate at the baseline cache size, in [0, 1]. *)
+  c0 : float;         (** Baseline cache size (bytes) for [m0], [> 0]. *)
+}
+
+val make :
+  ?name:string -> ?s:float -> ?footprint:float -> ?c0:float ->
+  w:float -> f:float -> m0:float -> unit -> t
+(** Smart constructor; validates every field.
+    Defaults: [name = "app"], [s = 0.] (perfectly parallel),
+    [footprint = infinity], [c0 = 40e6] (the paper's 40 MB baseline).
+    @raise Invalid_argument when a parameter is out of range. *)
+
+val with_s : t -> float -> t
+(** Copy with a different sequential fraction (used by the sequential-part
+    sweeps of Figures 6, 13, 14). *)
+
+val with_w : t -> float -> t
+(** Copy with a different work amount. *)
+
+val with_m0 : t -> float -> t
+(** Copy with a different baseline miss rate (miss-rate sweeps, Figs 2/18). *)
+
+val with_name : t -> string -> t
+
+val perfectly_parallel : t -> bool
+(** [s = 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

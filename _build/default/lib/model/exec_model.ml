@@ -1,0 +1,32 @@
+let amdahl_flops ~(app : App.t) p =
+  if not (p > 0.) then invalid_arg "Exec_model.amdahl_flops: p must be positive";
+  (app.s *. app.w) +. ((1. -. app.s) *. app.w /. p)
+
+let speedup ~(app : App.t) p =
+  if not (p > 0.) then invalid_arg "Exec_model.speedup: p must be positive";
+  1. /. (app.s +. ((1. -. app.s) /. p))
+
+let check_fraction x =
+  if not (x >= 0. && x <= 1.) then
+    invalid_arg "Exec_model: cache fraction outside [0, 1]"
+
+let miss_ratio ~(app : App.t) ~(platform : Platform.t) x =
+  check_fraction x;
+  let effective = Float.min (x *. platform.cs) app.footprint in
+  Power_law.miss_rate ~alpha:platform.alpha ~m0:app.m0 ~c0:app.c0 effective
+
+let access_cost ~(app : App.t) ~(platform : Platform.t) x =
+  1. +. (app.f *. (platform.ls +. (platform.ll *. miss_ratio ~app ~platform x)))
+
+let exe ~app ~platform ~p ~x = amdahl_flops ~app p *. access_cost ~app ~platform x
+let exe_seq ~app ~platform ~x = exe ~app ~platform ~p:1. ~x
+
+let work_cost ~(app : App.t) ~platform ~x = app.w *. access_cost ~app ~platform x
+
+let procs_for_deadline ~(app : App.t) ~platform ~x ~deadline =
+  if not (deadline > 0.) then
+    invalid_arg "Exec_model.procs_for_deadline: deadline must be positive";
+  let c = work_cost ~app ~platform ~x in
+  (* (s + (1-s)/p) * c = K  <=>  p = (1-s) / (K/c - s). *)
+  let denom = (deadline /. c) -. app.s in
+  if denom <= 0. then infinity else (1. -. app.s) /. denom

@@ -1,0 +1,45 @@
+(** The execution-time model, Equation (2) of the paper.
+
+    With [p_i] (rational) processors and a fraction [x_i] of the shared
+    cache, application [T_i] runs in
+
+    [Exe_i(p_i, x_i) = Fl_i(p_i) * (1 + f_i * (ls + ll * miss))]
+
+    where [Fl_i(p) = s_i w_i + (1 - s_i) w_i / p] is Amdahl's per-processor
+    operation count and [miss] is the Eq.-(1) rate for the effective cache
+    [min(x_i * Cs, a_i)] (a fraction beyond the footprint is useless). *)
+
+val amdahl_flops : app:App.t -> float -> float
+(** [Fl_i(p)]; requires [p > 0]. *)
+
+val speedup : app:App.t -> float -> float
+(** Amdahl speedup [Fl(1) / Fl(p)] = [1 / (s + (1-s)/p)]. *)
+
+val miss_ratio : app:App.t -> platform:Platform.t -> float -> float
+(** [miss_ratio ~app ~platform x] is the capped miss rate
+    [min(1, m0 * (c0 / min(x*Cs, a))^alpha)] for cache fraction
+    [x] in [0, 1]; returns 1 at [x = 0] (unless [m0 = 0]).
+    @raise Invalid_argument if [x] is outside [0, 1]. *)
+
+val access_cost : app:App.t -> platform:Platform.t -> float -> float
+(** Per-operation cost [1 + f * (ls + ll * miss_ratio x)]. *)
+
+val exe : app:App.t -> platform:Platform.t -> p:float -> x:float -> float
+(** [Exe_i(p, x)], Equation (2).  Requires [p > 0], [0 <= x <= 1]. *)
+
+val exe_seq : app:App.t -> platform:Platform.t -> x:float -> float
+(** [Exe_i(1, x)]: the sequential execution time with cache fraction [x]
+    (written [Exe_i^seq(x)] in Section 4). *)
+
+val work_cost : app:App.t -> platform:Platform.t -> x:float -> float
+(** The [c_i] of Section 5: [w_i * access_cost], i.e. the total operation
+    cost ignoring the processor count, so that
+    [Exe_i(p, x) = (s_i + (1 - s_i)/p) * c_i]. *)
+
+val procs_for_deadline :
+  app:App.t -> platform:Platform.t -> x:float -> deadline:float -> float
+(** Smallest (rational) processor count such that
+    [Exe(p, x) <= deadline]: [p = (1-s) / (K/c - s)] with [c = work_cost].
+    Returns [infinity] when the deadline is unreachable even with
+    unbounded processors (i.e. [deadline <= s * c]).
+    @raise Invalid_argument if [deadline <= 0]. *)

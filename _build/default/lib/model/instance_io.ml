@@ -1,0 +1,79 @@
+exception Parse_error of int * string
+
+let header = "name,w,s,f,m0,c0,footprint"
+
+let float_field v = if Float.is_finite v then Printf.sprintf "%.17g" v else "inf"
+
+let to_csv apps =
+  let row (app : App.t) =
+    String.concat ","
+      [
+        app.name;
+        float_field app.w;
+        float_field app.s;
+        float_field app.f;
+        float_field app.m0;
+        float_field app.c0;
+        float_field app.footprint;
+      ]
+  in
+  String.concat "\n" (header :: Array.to_list (Array.map row apps)) ^ "\n"
+
+let parse_float ~line ~what s =
+  let s = String.trim s in
+  if String.lowercase_ascii s = "inf" || s = "+inf" || s = "infinity" then
+    infinity
+  else
+    match float_of_string_opt s with
+    | Some v -> v
+    | None ->
+      raise (Parse_error (line, Printf.sprintf "bad %s value %S" what s))
+
+let parse_row ~line row =
+  match String.split_on_char ',' row with
+  | name :: w :: s :: f :: m0 :: rest ->
+    let c0, footprint =
+      match rest with
+      | [] -> (40e6, infinity)
+      | [ c0 ] -> (parse_float ~line ~what:"c0" c0, infinity)
+      | [ c0; fp ] ->
+        (parse_float ~line ~what:"c0" c0, parse_float ~line ~what:"footprint" fp)
+      | _ -> raise (Parse_error (line, "too many columns"))
+    in
+    (try
+       App.make ~name:(String.trim name) ~footprint ~c0
+         ~s:(parse_float ~line ~what:"s" s)
+         ~w:(parse_float ~line ~what:"w" w)
+         ~f:(parse_float ~line ~what:"f" f)
+         ~m0:(parse_float ~line ~what:"m0" m0)
+         ()
+     with Invalid_argument msg -> raise (Parse_error (line, msg)))
+  | _ -> raise (Parse_error (line, "expected at least 5 comma-separated columns"))
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  let apps = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let trimmed = String.trim raw in
+      if trimmed = "" || trimmed.[0] = '#' then ()
+      else if
+        String.length trimmed >= 5
+        && String.lowercase_ascii (String.sub trimmed 0 5) = "name,"
+      then () (* header line, full or truncated *)
+      else apps := parse_row ~line trimmed :: !apps)
+    lines;
+  Array.of_list (List.rev !apps)
+
+let save path apps =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv apps))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv (really_input_string ic (in_channel_length ic)))

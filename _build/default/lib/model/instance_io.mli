@@ -1,0 +1,34 @@
+(** Reading and writing problem instances as CSV.
+
+    A released scheduler needs a way to feed it real measurements.  The
+    format is one header line followed by one line per application:
+
+    {v
+    name,w,s,f,m0,c0,footprint
+    CG,5.70e10,0.05,0.535,6.59e-4,4e7,inf
+    v}
+
+    [c0] and [footprint] may be omitted (trailing columns), defaulting to
+    40 MB and infinity; [footprint] accepts "inf".  Blank lines, lines
+    starting with '#', and header lines (first cell "name") are ignored.  Parsing is strict about everything
+    else: malformed numbers or out-of-range parameters raise with the line
+    number. *)
+
+exception Parse_error of int * string
+(** (1-based line number, message). *)
+
+val header : string
+(** ["name,w,s,f,m0,c0,footprint"]. *)
+
+val to_csv : App.t array -> string
+(** Serialise; round-trips through {!of_csv}. *)
+
+val of_csv : string -> App.t array
+(** Parse a CSV document.  @raise Parse_error on malformed input. *)
+
+val save : string -> App.t array -> unit
+(** Write to a file path. *)
+
+val load : string -> App.t array
+(** Read from a file path.  @raise Parse_error on malformed content and
+    [Sys_error] on I/O failure. *)

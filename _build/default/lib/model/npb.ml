@@ -1,0 +1,78 @@
+type row = {
+  name : string;
+  description : string;
+  w : float;
+  f : float;
+  m_40mb : float;
+}
+
+(* Table 2 of the paper: PEBIL measurements of NPB CLASS=A on 16 cores. *)
+let cg =
+  {
+    name = "CG";
+    description =
+      "Conjugate gradients solve of a large sparse symmetric positive \
+       definite linear system";
+    w = 5.70e10;
+    f = 5.35e-01;
+    m_40mb = 6.59e-04;
+  }
+
+let bt =
+  {
+    name = "BT";
+    description =
+      "Multiple independent systems of block tridiagonal equations with a \
+       predefined block size";
+    w = 2.10e11;
+    f = 8.29e-01;
+    m_40mb = 7.31e-03;
+  }
+
+let lu =
+  {
+    name = "LU";
+    description = "Regular sparse upper and lower triangular system solves";
+    w = 1.52e11;
+    f = 7.50e-01;
+    m_40mb = 1.51e-03;
+  }
+
+let sp =
+  {
+    name = "SP";
+    description =
+      "Multiple independent systems of scalar pentadiagonal equations";
+    w = 1.38e11;
+    f = 7.62e-01;
+    m_40mb = 1.51e-02;
+  }
+
+let mg =
+  {
+    name = "MG";
+    description = "Multi-grid solve on a sequence of meshes";
+    w = 1.23e10;
+    f = 5.40e-01;
+    m_40mb = 2.62e-02;
+  }
+
+let ft =
+  {
+    name = "FT";
+    description = "Discrete 3D fast Fourier transform";
+    w = 1.65e10;
+    f = 5.82e-01;
+    m_40mb = 1.78e-02;
+  }
+
+let all = [ cg; bt; lu; sp; mg; ft ]
+let baseline_cache = 40e6
+
+let to_app ?(s = 0.) ?(footprint = infinity) row =
+  App.make ~name:row.name ~s ~footprint ~c0:baseline_cache ~w:row.w ~f:row.f
+    ~m0:row.m_40mb ()
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find (fun r -> String.lowercase_ascii r.name = target) all

@@ -1,0 +1,35 @@
+(** NAS Parallel Benchmark application profiles (Tables 1 and 2).
+
+    The paper instruments the NPB suite (CLASS=A, 16 cores) with PEBIL to
+    obtain operation counts [w], access frequencies [f] and miss rates for
+    a 40 MB cache.  Those measured constants are embedded here verbatim;
+    the [Cachesim] library regenerates equivalently shaped profiles from
+    synthetic traces (see DESIGN.md, substitution table). *)
+
+type row = {
+  name : string;
+  description : string;  (** Table 1's one-line summary. *)
+  w : float;             (** Computing operations. *)
+  f : float;             (** Data accesses per operation. *)
+  m_40mb : float;        (** Miss rate measured with a 40 MB cache. *)
+}
+
+val cg : row
+val bt : row
+val lu : row
+val sp : row
+val mg : row
+val ft : row
+
+val all : row list
+(** The six rows of Table 2, in the paper's order: CG, BT, LU, SP, MG, FT. *)
+
+val baseline_cache : float
+(** 40 MB, the cache size at which [m_40mb] was measured. *)
+
+val to_app : ?s:float -> ?footprint:float -> row -> App.t
+(** Convert a measured row to a model application.  [s] defaults to [0.]
+    (perfectly parallel); [footprint] to [infinity]. *)
+
+val find : string -> row
+(** Case-insensitive lookup by name.  @raise Not_found. *)

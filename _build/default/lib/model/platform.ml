@@ -1,0 +1,26 @@
+type t = { p : float; cs : float; ls : float; ll : float; alpha : float }
+
+let validate t =
+  if not (t.p > 0. && Float.is_finite t.p) then
+    invalid_arg "Platform.make: p must be positive and finite";
+  if not (t.cs > 0. && Float.is_finite t.cs) then
+    invalid_arg "Platform.make: cs must be positive and finite";
+  if not (t.ls >= 0.) then invalid_arg "Platform.make: ls must be nonnegative";
+  if not (t.ll >= t.ls) then invalid_arg "Platform.make: ll must be >= ls";
+  if not (t.alpha > 0. && t.alpha <= 1.) then
+    invalid_arg "Platform.make: alpha must be in (0, 1]";
+  t
+
+let make ?(ls = 0.17) ?(ll = 1.) ?(alpha = 0.5) ~p ~cs () =
+  validate { p; cs; ls; ll; alpha }
+
+let paper_default = make ~p:256. ~cs:32e9 ()
+let small_llc = make ~p:256. ~cs:1e9 ()
+let with_p t p = validate { t with p }
+let with_cs t cs = validate { t with cs }
+let with_ls t ls = validate { t with ls }
+let with_alpha t alpha = validate { t with alpha }
+
+let pp ppf t =
+  Format.fprintf ppf "platform{p=%g; cs=%.3g; ls=%g; ll=%g; alpha=%g}" t.p t.cs
+    t.ls t.ll t.alpha

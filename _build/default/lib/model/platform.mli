@@ -1,0 +1,34 @@
+(** Execution platforms (Section 3).
+
+    A platform is [p] homogeneous processors sharing a partitionable cache
+    of size [cs] with latency [ls], backed by an infinite memory with
+    latency [ll]; [alpha] is the power-law sensitivity factor used to
+    rescale miss rates to fractions of [cs].  Processors are rational: the
+    paper shares cores across applications through multi-threading. *)
+
+type t = private {
+  p : float;      (** Total processors, [> 0]. *)
+  cs : float;     (** Shared cache (LLC) size in bytes, [> 0]. *)
+  ls : float;     (** Cache (small-storage) latency, [>= 0]. *)
+  ll : float;     (** Memory (large-storage) latency, [>= ls]. *)
+  alpha : float;  (** Power-law exponent, conventionally in [0.3, 0.7]. *)
+}
+
+val make :
+  ?ls:float -> ?ll:float -> ?alpha:float -> p:float -> cs:float -> unit -> t
+(** Defaults are the paper's simulation settings: [ls = 0.17], [ll = 1.],
+    [alpha = 0.5].  @raise Invalid_argument on out-of-range parameters. *)
+
+val paper_default : t
+(** The Section 6 platform: 256 processors, 32 GB shared LLC, [ls = 0.17],
+    [ll = 1], [alpha = 0.5] (one Sunway TaihuLight node). *)
+
+val small_llc : t
+(** The Figure 2/18 variant: same but with a 1 GB LLC. *)
+
+val with_p : t -> float -> t
+val with_cs : t -> float -> t
+val with_ls : t -> float -> t
+val with_alpha : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+let check ~alpha ~m0 ~c0 =
+  if not (alpha > 0.) then invalid_arg "Power_law: alpha must be positive";
+  if not (m0 >= 0. && m0 <= 1.) then invalid_arg "Power_law: m0 must be in [0,1]";
+  if not (c0 > 0.) then invalid_arg "Power_law: c0 must be positive"
+
+let miss_rate ~alpha ~m0 ~c0 c =
+  check ~alpha ~m0 ~c0;
+  if c < 0. then invalid_arg "Power_law.miss_rate: negative cache size";
+  if m0 = 0. then 0.
+  else if c = 0. then 1.
+  else Float.min 1. (m0 *. ((c0 /. c) ** alpha))
+
+let rescale_m0 ~alpha ~m0 ~c0 ~c1 =
+  check ~alpha ~m0 ~c0;
+  if not (c1 > 0.) then invalid_arg "Power_law.rescale_m0: c1 must be positive";
+  m0 *. ((c0 /. c1) ** alpha)
+
+let d_of ~(app : App.t) ~(platform : Platform.t) =
+  rescale_m0 ~alpha:platform.alpha ~m0:app.m0 ~c0:app.c0 ~c1:platform.cs
+
+let min_useful_fraction ~app ~platform =
+  let d = d_of ~app ~platform in
+  d ** (1. /. platform.Platform.alpha)
+
+let max_useful_fraction ~(app : App.t) ~(platform : Platform.t) =
+  Float.min 1. (app.footprint /. platform.cs)

@@ -1,0 +1,32 @@
+(** The power law of cache misses, Equation (1) of the paper.
+
+    If [m0] is the miss rate for a baseline cache of size [c0], the miss
+    rate for cache size [c] is [m = min(1, m0 * (c0 / c)^alpha)].  A zero
+    cache yields rate 1 (everything misses), and the rate never exceeds 1:
+    "if the cache size allocated is too small, the execution goes as if no
+    cache was allocated". *)
+
+val miss_rate : alpha:float -> m0:float -> c0:float -> float -> float
+(** [miss_rate ~alpha ~m0 ~c0 c] is Eq. (1) at cache size [c >= 0].
+    Returns 1 for [c = 0] when [m0 > 0]; returns [0] whenever [m0 = 0]
+    (an application that never misses cannot start missing).
+    @raise Invalid_argument on negative [c], [m0] outside [0,1], or
+    nonpositive [alpha]/[c0]. *)
+
+val rescale_m0 : alpha:float -> m0:float -> c0:float -> c1:float -> float
+(** [rescale_m0 ~alpha ~m0 ~c0 ~c1] re-expresses a baseline miss rate for a
+    different baseline size: the uncapped [m0 * (c0 / c1)^alpha].  This is
+    the paper's [d_i = m_i^{40MB} * (40e6 / Cs)^alpha], which may exceed 1
+    (it is capped at use sites via the [min]).  *)
+
+val d_of : app:App.t -> platform:Platform.t -> float
+(** The paper's [d_i]: the (uncapped) miss rate of the application when
+    granted the whole shared cache, [m0_i * (c0_i / Cs)^alpha]. *)
+
+val min_useful_fraction : app:App.t -> platform:Platform.t -> float
+(** [d_i^{1/alpha}]: per Eq. (3), a cache fraction at or below this value
+    is wasted (the capped rate stays 1), so optimal solutions use either
+    [x_i = 0] or [x_i > d_i^{1/alpha}]. *)
+
+val max_useful_fraction : app:App.t -> platform:Platform.t -> float
+(** [min 1 (a_i / Cs)]: giving more cache than the footprint is useless. *)

@@ -1,0 +1,99 @@
+type alloc = { procs : float; cache : float }
+
+type t = {
+  platform : Platform.t;
+  apps : App.t array;
+  allocs : alloc array;
+}
+
+let make ~platform ~apps ~allocs =
+  if Array.length apps <> Array.length allocs then
+    invalid_arg "Schedule.make: apps and allocs must have the same length";
+  { platform; apps; allocs }
+
+type violation =
+  | Negative_procs of int
+  | Zero_procs of int
+  | Negative_cache of int
+  | Cache_fraction_above_one of int
+  | Procs_oversubscribed of float
+  | Cache_oversubscribed of float
+
+let violations ?(eps = Util.Floatx.default_eps) t =
+  let issues = ref [] in
+  let add v = issues := v :: !issues in
+  Array.iteri
+    (fun i { procs; cache } ->
+      if procs < 0. then add (Negative_procs i)
+      else if procs = 0. then add (Zero_procs i);
+      if cache < 0. then add (Negative_cache i)
+      else if cache > 1. +. eps then add (Cache_fraction_above_one i))
+    t.allocs;
+  let sum_p =
+    Util.Floatx.sum (Array.to_list (Array.map (fun a -> a.procs) t.allocs))
+  in
+  let sum_x =
+    Util.Floatx.sum (Array.to_list (Array.map (fun a -> a.cache) t.allocs))
+  in
+  if sum_p > t.platform.Platform.p *. (1. +. eps) then
+    add (Procs_oversubscribed sum_p);
+  if sum_x > 1. +. eps then add (Cache_oversubscribed sum_x);
+  List.rev !issues
+
+let is_valid ?eps t = violations ?eps t = []
+
+let pp_violation ppf = function
+  | Negative_procs i -> Format.fprintf ppf "app %d has negative processors" i
+  | Zero_procs i -> Format.fprintf ppf "app %d has zero processors" i
+  | Negative_cache i -> Format.fprintf ppf "app %d has negative cache" i
+  | Cache_fraction_above_one i ->
+    Format.fprintf ppf "app %d has cache fraction above 1" i
+  | Procs_oversubscribed s ->
+    Format.fprintf ppf "total processors %g exceed the platform" s
+  | Cache_oversubscribed s -> Format.fprintf ppf "total cache fraction %g > 1" s
+
+let exe_times t =
+  Array.map2
+    (fun app { procs; cache } ->
+      Exec_model.exe ~app ~platform:t.platform ~p:procs ~x:cache)
+    t.apps t.allocs
+
+let makespan t =
+  if Array.length t.apps = 0 then 0.
+  else Array.fold_left Float.max neg_infinity (exe_times t)
+
+let total_procs t =
+  Util.Floatx.sum (Array.to_list (Array.map (fun a -> a.procs) t.allocs))
+
+let total_cache t =
+  Util.Floatx.sum (Array.to_list (Array.map (fun a -> a.cache) t.allocs))
+
+let equal_finish ?(eps = 1e-6) t =
+  match Array.length t.apps with
+  | 0 | 1 -> true
+  | _ ->
+    let times = exe_times t in
+    let lo = Array.fold_left Float.min infinity times in
+    let hi = Array.fold_left Float.max neg_infinity times in
+    Util.Floatx.approx_eq ~eps lo hi
+
+let scale_procs_to_capacity t =
+  let sum_p = total_procs t in
+  if sum_p <= 0. then t
+  else
+    let factor = t.platform.Platform.p /. sum_p in
+    {
+      t with
+      allocs = Array.map (fun a -> { a with procs = a.procs *. factor }) t.allocs;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule on %a@," Platform.pp t.platform;
+  Array.iteri
+    (fun i app ->
+      let { procs; cache } = t.allocs.(i) in
+      Format.fprintf ppf "  %-8s p=%8.3f x=%8.5f exe=%.4g@," app.App.name procs
+        cache
+        (Exec_model.exe ~app ~platform:t.platform ~p:procs ~x:cache))
+    t.apps;
+  Format.fprintf ppf "  makespan = %.6g@]" (makespan t)

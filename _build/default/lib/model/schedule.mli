@@ -1,0 +1,55 @@
+(** Schedules: per-application processor and cache assignments.
+
+    A schedule pairs every application with an allocation
+    [(p_i, x_i)] of rational processors and a cache fraction; the
+    CoSchedCache constraints are [sum p_i <= p] and [sum x_i <= 1]
+    (Definition 1). *)
+
+type alloc = { procs : float; cache : float }
+
+type t = {
+  platform : Platform.t;
+  apps : App.t array;
+  allocs : alloc array;
+}
+
+val make : platform:Platform.t -> apps:App.t array -> allocs:alloc array -> t
+(** @raise Invalid_argument if the arrays have different lengths. *)
+
+type violation =
+  | Negative_procs of int
+  | Zero_procs of int          (** An application with no processor never finishes. *)
+  | Negative_cache of int
+  | Cache_fraction_above_one of int
+  | Procs_oversubscribed of float   (** [sum p_i] exceeding the platform. *)
+  | Cache_oversubscribed of float   (** [sum x_i] exceeding 1. *)
+
+val violations : ?eps:float -> t -> violation list
+(** All constraint violations, with a relative tolerance [eps]
+    (default {!Util.Floatx.default_eps}) on the two sum constraints. *)
+
+val is_valid : ?eps:float -> t -> bool
+(** No violations. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val exe_times : t -> float array
+(** Per-application completion times [Exe_i(p_i, x_i)] (all applications
+    start at time 0). *)
+
+val makespan : t -> float
+(** [max_i Exe_i(p_i, x_i)]; [0] for an empty schedule. *)
+
+val total_procs : t -> float
+val total_cache : t -> float
+
+val equal_finish : ?eps:float -> t -> bool
+(** Whether all completion times coincide up to tolerance — Lemma 1's
+    property of optimal schedules (default [eps = 1e-6], looser than the
+    validity tolerance because finish times come from a binary search). *)
+
+val scale_procs_to_capacity : t -> t
+(** Rescale all [p_i] by a common factor so that [sum p_i = p] exactly;
+    identity for an empty schedule or all-zero processors. *)
+
+val pp : Format.formatter -> t -> unit

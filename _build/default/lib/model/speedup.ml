@@ -1,0 +1,64 @@
+type t =
+  | Amdahl of float
+  | Power of float
+  | Comm of { s : float; overhead : float }
+
+let validate t =
+  (match t with
+  | Amdahl s ->
+    if not (s >= 0. && s < 1.) then invalid_arg "Speedup: Amdahl s must be in [0,1)"
+  | Power beta ->
+    if not (beta > 0. && beta <= 1.) then
+      invalid_arg "Speedup: Power beta must be in (0,1]"
+  | Comm { s; overhead } ->
+    if not (s >= 0. && s < 1.) then invalid_arg "Speedup: Comm s must be in [0,1)";
+    if not (overhead > 0.) then
+      invalid_arg "Speedup: Comm overhead must be positive");
+  t
+
+let of_app (app : App.t) = Amdahl app.s
+
+let factor t p =
+  if not (p > 0.) then invalid_arg "Speedup.factor: p must be positive";
+  match t with
+  | Amdahl s -> s +. ((1. -. s) /. p)
+  | Power beta -> 1. /. (p ** beta)
+  | Comm { s; overhead } -> s +. ((1. -. s) /. p) +. (overhead *. log p)
+
+let time t ~w ~cost ~p = w *. cost *. factor t p
+
+let best_procs t ~cap =
+  if not (cap > 0.) then invalid_arg "Speedup.best_procs: cap must be positive";
+  match t with
+  | Amdahl _ | Power _ -> cap
+  | Comm { s; overhead } ->
+    (* d/dp [s + (1-s)/p + overhead ln p] = 0 at p = (1-s)/overhead;
+       factor decreases before that point and increases after. *)
+    Float.min cap ((1. -. s) /. overhead)
+
+let min_factor t ~cap = factor t (best_procs t ~cap)
+
+let procs_for_factor t ~cap ~target =
+  if not (cap > 0.) then invalid_arg "Speedup.procs_for_factor: cap must be positive";
+  if min_factor t ~cap > target then None
+  else
+    match t with
+    | Amdahl s ->
+      (* s + (1-s)/p = target  =>  p = (1-s)/(target - s). *)
+      let denom = target -. s in
+      if denom <= 0. then None else Some (Float.min cap ((1. -. s) /. denom))
+    | Power beta -> Some (Float.min cap (target ** (-1. /. beta)))
+    | Comm _ ->
+      (* factor is strictly decreasing on (0, best]; find a lower bracket
+         endpoint with factor >= target, then bisect. *)
+      let best = best_procs t ~cap in
+      if factor t best = target then Some best
+      else begin
+        let lo = ref best in
+        while factor t !lo < target do
+          lo := !lo /. 2.
+        done;
+        if factor t !lo = target then Some !lo
+        else
+          Some (Util.Solver.bisect ~f:(fun p -> factor t p -. target) !lo best)
+      end

@@ -1,0 +1,54 @@
+(** Generalised speedup profiles.
+
+    The paper models applications with Amdahl's law and names richer
+    profiles as future work ("extending the heuristics that account for
+    the speedup profile").  This module abstracts the per-processor work
+    factor so schedulers can handle:
+
+    - [Amdahl s] — the paper's profile, factor [s + (1-s)/p];
+    - [Power beta] — the Downey-style sublinear profile, factor
+      [1 / p^beta] with [beta] in (0, 1] ([beta = 1] is perfectly
+      parallel);
+    - [Comm {s; overhead}] — Amdahl plus a communication term that
+      {e grows} with the processor count, factor
+      [s + (1-s)/p + overhead * ln p].  This profile is non-monotone:
+      beyond [p* = (1-s)/overhead] more processors hurt, which is the
+      "dramatic performance loss beyond a given processor count" the
+      paper's introduction motivates co-scheduling with.
+
+    The factor multiplies [w * access_cost] to give the execution time, so
+    [Amdahl s] reproduces Eq. 2 exactly. *)
+
+type t =
+  | Amdahl of float
+  | Power of float
+  | Comm of { s : float; overhead : float }
+
+val validate : t -> t
+(** @raise Invalid_argument when parameters are out of range
+    ([s] in [0,1), [beta] in (0,1], [overhead > 0]). *)
+
+val of_app : App.t -> t
+(** [Amdahl app.s]. *)
+
+val factor : t -> float -> float
+(** [factor t p] for [p > 0]: the per-processor work multiplier (1 at
+    [p = 1] for every profile).  Fractional [p < 1] models time-shared
+    processors, as in the paper's rational relaxation.
+    @raise Invalid_argument if [p <= 0]. *)
+
+val time : t -> w:float -> cost:float -> p:float -> float
+(** [w * cost * factor t p]: execution time with [p] processors when each
+    operation costs [cost]. *)
+
+val best_procs : t -> cap:float -> float
+(** The processor count in (0, cap] minimising {!factor}: [cap] for the
+    monotone profiles, [min cap ((1-s)/overhead)] for [Comm]. *)
+
+val min_factor : t -> cap:float -> float
+(** [factor t (best_procs t ~cap)]. *)
+
+val procs_for_factor : t -> cap:float -> target:float -> float option
+(** Smallest [p] in (0, cap] with [factor t p <= target], or [None] when
+    even {!best_procs} cannot reach the target.  Monotone profiles invert
+    in closed form; [Comm] bisects on (0, best_procs]. *)

@@ -1,0 +1,64 @@
+type dataset = Npb6 | NpbSynth | Random
+
+let dataset_name = function
+  | Npb6 -> "NPB-6"
+  | NpbSynth -> "NPB-SYNTH"
+  | Random -> "RANDOM"
+
+let dataset_of_string s =
+  match String.lowercase_ascii s with
+  | "npb6" | "npb-6" -> Npb6
+  | "npb-synth" | "npbsynth" | "synth" -> NpbSynth
+  | "random" -> Random
+  | other -> invalid_arg ("Workload.dataset_of_string: unknown data set " ^ other)
+
+let default_s_range = (0.01, 0.15)
+let default_w_range = (1e8, 1e12)
+let random_f_range = (0.1, 0.9)
+let random_m_range = (9e-4, 1e-2)
+
+let draw_s ~rng ~s_range ~fixed_s =
+  match fixed_s with
+  | Some s -> s
+  | None ->
+    let lo, hi = s_range in
+    Util.Rng.uniform rng lo hi
+
+let generate ?(s_range = default_s_range) ?fixed_s ?fixed_m0
+    ?(footprint = infinity) ~rng dataset n =
+  if n < 0 then invalid_arg "Workload.generate: negative count";
+  let rows = Array.of_list Npb.all in
+  let base i =
+    match dataset with
+    | Npb6 -> rows.(i mod Array.length rows)
+    | NpbSynth | Random -> rows.(Util.Rng.int rng (Array.length rows))
+  in
+  Array.init n (fun i ->
+      let row = base i in
+      let s = draw_s ~rng ~s_range ~fixed_s in
+      let w =
+        match dataset with
+        | Npb6 -> row.Npb.w
+        | NpbSynth | Random ->
+          let lo, hi = default_w_range in
+          Util.Rng.uniform rng lo hi
+      in
+      let f =
+        match dataset with
+        | Npb6 | NpbSynth -> row.Npb.f
+        | Random ->
+          let lo, hi = random_f_range in
+          Util.Rng.uniform rng lo hi
+      in
+      let m0 =
+        match fixed_m0 with
+        | Some m -> m
+        | None -> (
+          match dataset with
+          | Npb6 | NpbSynth -> row.Npb.m_40mb
+          | Random ->
+            let lo, hi = random_m_range in
+            Util.Rng.uniform rng lo hi)
+      in
+      let name = Printf.sprintf "%s-%d" row.Npb.name i in
+      App.make ~name ~s ~footprint ~c0:Npb.baseline_cache ~w ~f ~m0 ())

@@ -1,0 +1,52 @@
+(** Workload generators for the Section 6 / Appendix A data sets.
+
+    Three data sets are used in the paper's evaluation:
+    - [NPB-6]: exactly the six measured NPB applications;
+    - [NPB-SYNTH]: synthetic applications built from Table 2, with the work
+      [w_i] redrawn uniformly in [1e8, 1e12];
+    - [RANDOM]: fully synthetic, [w] in [1e8, 1e12], [f] in [0.1, 0.9], and
+      the 40 MB miss rate in [9e-4, 1e-2].
+
+    Unless overridden, the sequential fraction [s_i] is drawn uniformly in
+    [0.01, 0.15] (the paper: "taken randomly between 1% and 15%"). *)
+
+type dataset = Npb6 | NpbSynth | Random
+
+val dataset_name : dataset -> string
+val dataset_of_string : string -> dataset
+(** Case-insensitive; accepts "npb6"/"npb-6", "npb-synth"/"npbsynth"/"synth",
+    "random".  @raise Invalid_argument otherwise. *)
+
+val default_s_range : float * float
+(** [(0.01, 0.15)]. *)
+
+val default_w_range : float * float
+(** [(1e8, 1e12)]. *)
+
+val generate :
+  ?s_range:float * float ->
+  ?fixed_s:float ->
+  ?fixed_m0:float ->
+  ?footprint:float ->
+  rng:Util.Rng.t -> dataset -> int -> App.t array
+(** [generate ~rng ds n] draws [n] applications from data set [ds].
+
+    - [Npb6] cycles through the six NPB rows (so [n <= 6] gives distinct
+      applications; the paper always uses [n = 6]);
+    - [NpbSynth] picks a uniformly random base row per application and
+      redraws its work in {!default_w_range};
+    - [Random] draws all of work, frequency and miss rate uniformly in the
+      paper's ranges.
+
+    [fixed_s] overrides the sequential fraction for every application
+    (sequential-part sweeps, Figs 6/13/14, and the perfectly-parallel
+    theory); otherwise [s] is drawn in [s_range] (default
+    {!default_s_range}).  [fixed_m0] overrides the 40 MB miss rate
+    (miss-rate sweeps, Figs 2/18).  [footprint] defaults to [infinity].
+    @raise Invalid_argument if [n < 0]. *)
+
+val random_f_range : float * float
+(** [(0.1, 0.9)]: the RANDOM data set's frequency range. *)
+
+val random_m_range : float * float
+(** [(9e-4, 1e-2)]: the RANDOM data set's 40 MB miss-rate range. *)

@@ -1,0 +1,1 @@
+lib/sched/choice.ml: Array List String Theory Util

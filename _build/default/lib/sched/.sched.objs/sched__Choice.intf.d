@@ -1,0 +1,1 @@
+lib/sched/choice.mli: Model Util

@@ -1,0 +1,1 @@
+lib/sched/equalize.ml: Array Float Model Util

@@ -1,0 +1,1 @@
+lib/sched/equalize.mli: Model

@@ -1,0 +1,1 @@
+lib/sched/general.ml: Array Choice Float Fun Model Partition_builder Theory Util

@@ -1,0 +1,1 @@
+lib/sched/general.mli: Model Util

@@ -1,0 +1,1 @@
+lib/sched/heuristics.ml: Array Choice Equalize List Model Partition_builder String Theory Util

@@ -1,0 +1,1 @@
+lib/sched/heuristics.mli: Choice Model Partition_builder Theory Util

@@ -1,0 +1,1 @@
+lib/sched/integer_alloc.ml: Array Float Model

@@ -1,0 +1,1 @@
+lib/sched/partition_builder.ml: Array Choice List String Theory

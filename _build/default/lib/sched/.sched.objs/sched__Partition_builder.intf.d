@@ -1,0 +1,1 @@
+lib/sched/partition_builder.mli: Choice Model Theory Util

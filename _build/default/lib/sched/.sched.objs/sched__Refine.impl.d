@@ -1,0 +1,1 @@
+lib/sched/refine.ml: Array Equalize Float Model

@@ -1,0 +1,1 @@
+lib/sched/refine.mli: Model

@@ -1,0 +1,29 @@
+(** Greedy choice functions for the dominant-partition heuristics
+    (Section 5).
+
+    Both Algorithm 1 and Algorithm 2 repeatedly select "the next
+    application" from a candidate set; the paper proposes three criteria
+    based on the dominance ratio [(w f d)^{1/(alpha+1)} / d^{1/alpha}]:
+    applications with a small ratio are the ones that break dominance, so
+    [MinRatio] pairs naturally with eviction (Algorithm 1) and [MaxRatio]
+    with accretion (Algorithm 2). *)
+
+type t = Random | MinRatio | MaxRatio
+
+val name : t -> string
+(** "Random", "MinRatio", "MaxRatio" — matching the paper's heuristic
+    names. *)
+
+val of_string : string -> t
+(** Case-insensitive.  @raise Invalid_argument on unknown names. *)
+
+val all : t list
+
+val pick :
+  t -> rng:Util.Rng.t -> platform:Model.Platform.t ->
+  apps:Model.App.t array -> int list -> int
+(** [pick c ~rng ~platform ~apps candidates] selects an application index
+    from the non-empty [candidates] list: uniformly for [Random], the
+    smallest dominance ratio for [MinRatio] (ties broken by lowest index),
+    the largest for [MaxRatio].
+    @raise Invalid_argument on an empty candidate list. *)

@@ -1,0 +1,54 @@
+let work_costs ~platform ~apps ~x =
+  if Array.length apps <> Array.length x then
+    invalid_arg "Equalize: apps and cache fractions must have the same length";
+  Array.map2
+    (fun app xi -> Model.Exec_model.work_cost ~app ~platform ~x:xi)
+    apps x
+
+let total_procs_at ~apps ~costs k =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (app : Model.App.t) ->
+      let denom = (k /. costs.(i)) -. app.s in
+      acc := !acc +. (if denom <= 0. then infinity else (1. -. app.s) /. denom))
+    apps;
+  !acc
+
+let solve_makespan ?(tol = 1e-13) ~platform ~apps x =
+  if Array.length apps = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
+  let costs = work_costs ~platform ~apps ~x in
+  let p = platform.Model.Platform.p in
+  (* Lower bound: every application enjoys all p processors. *)
+  let k_lo =
+    Array.fold_left Float.max neg_infinity
+      (Array.map2
+         (fun (app : Model.App.t) c -> (app.s +. ((1. -. app.s) /. p)) *. c)
+         apps costs)
+  in
+  (* Upper bound: one processor each suffices when n <= p; otherwise grow. *)
+  let k_hi0 = Array.fold_left Float.max neg_infinity costs in
+  let excess k = total_procs_at ~apps ~costs k -. p in
+  if excess k_lo <= 0. then k_lo
+  else
+    let k_hi = Util.Solver.expand_bracket_up ~f:excess (Float.max k_hi0 k_lo) in
+    Util.Solver.bisect ~tol ~f:excess k_lo k_hi
+
+let procs_at ~platform ~apps ~x ~k =
+  let costs = work_costs ~platform ~apps ~x in
+  Array.map2
+    (fun (app : Model.App.t) c ->
+      let denom = (k /. c) -. app.s in
+      if denom <= 0. then infinity else (1. -. app.s) /. denom)
+    apps costs
+
+let schedule ?tol ~platform ~apps x =
+  let k = solve_makespan ?tol ~platform ~apps x in
+  let procs = procs_at ~platform ~apps ~x ~k in
+  let total = Util.Floatx.sum (Array.to_list procs) in
+  let factor = platform.Model.Platform.p /. total in
+  let allocs =
+    Array.map2
+      (fun p xi -> { Model.Schedule.procs = p *. factor; cache = xi })
+      procs x
+  in
+  Model.Schedule.make ~platform ~apps ~allocs

@@ -1,0 +1,40 @@
+(** Processor assignment equalising completion times (Section 5).
+
+    Once the cache fractions [x_i] are fixed, the heuristics give every
+    application the processor share that makes all of them finish at the
+    same time [K].  With [c_i = w_i (1 + f_i (ls + ll * miss_i))] the
+    per-application time is [(s_i + (1 - s_i)/p_i) c_i = K], hence
+    [p_i = (1 - s_i) / (K / c_i - s_i)], and [K] solves
+
+    [sum_i (1 - s_i) / (K / c_i - s_i) = p.]
+
+    The left-hand side decreases strictly in [K], so [K] is found by a
+    binary search, bracketed between "everyone gets all [p] processors"
+    and an upper bound grown from "everyone gets one processor" (the
+    latter is insufficient when [n > p]). *)
+
+val work_costs :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  float array
+(** The [c_i] values for the given cache fractions.
+    @raise Invalid_argument on length mismatch. *)
+
+val solve_makespan :
+  ?tol:float -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  float array -> float
+(** The common completion time [K].  [tol] is the relative bisection
+    tolerance (default 1e-13).  @raise Invalid_argument on an empty
+    instance. *)
+
+val procs_at :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  k:float -> float array
+(** The processor shares [p_i(K)]; entries are [infinity] if [K] is below
+    an application's parallel-time floor [s_i c_i]. *)
+
+val schedule :
+  ?tol:float -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  float array -> Model.Schedule.t
+(** Solve for [K], derive the [p_i], and rescale them by a common factor
+    so they sum to [p] exactly (the bisection residue is at the [tol]
+    level, so completion times stay equal to within the same order). *)

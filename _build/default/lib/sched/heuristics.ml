@@ -1,0 +1,114 @@
+type t =
+  | DominantPartition of Partition_builder.strategy * Choice.t
+  | AllProcCache
+  | Fair
+  | ZeroCache
+  | RandomPart
+
+let name = function
+  | DominantPartition (strategy, choice) ->
+    Partition_builder.strategy_name strategy ^ Choice.name choice
+  | AllProcCache -> "AllProcCache"
+  | Fair -> "Fair"
+  | ZeroCache -> "0cache"
+  | RandomPart -> "RandomPart"
+
+let dominant_heuristics =
+  [
+    DominantPartition (Dominant, Random);
+    DominantPartition (Dominant, MinRatio);
+    DominantPartition (Dominant, MaxRatio);
+    DominantPartition (DominantRev, Random);
+    DominantPartition (DominantRev, MinRatio);
+    DominantPartition (DominantRev, MaxRatio);
+  ]
+
+let baselines = [ AllProcCache; Fair; ZeroCache; RandomPart ]
+let all = dominant_heuristics @ baselines
+let dominant_min_ratio = DominantPartition (Dominant, MinRatio)
+
+let of_string s =
+  let target = String.lowercase_ascii s in
+  match
+    List.find_opt (fun h -> String.lowercase_ascii (name h) = target) all
+  with
+  | Some h -> h
+  | None -> (
+    match target with
+    | "zerocache" | "ocache" -> ZeroCache
+    | "dominantminratio" -> dominant_min_ratio
+    | _ -> invalid_arg ("Heuristics.of_string: unknown policy " ^ s))
+
+type result = {
+  policy : t;
+  makespan : float;
+  schedule : Model.Schedule.t option;
+  cached : Theory.Dominant.subset option;
+}
+
+let all_proc_cache_makespan ~platform ~apps =
+  let p = platform.Model.Platform.p in
+  Util.Floatx.sum
+    (Array.to_list
+       (Array.map (fun app -> Model.Exec_model.exe ~app ~platform ~p ~x:1.) apps))
+
+let equalized_result policy ~platform ~apps ~subset ~x =
+  let schedule = Equalize.schedule ~platform ~apps x in
+  {
+    policy;
+    makespan = Model.Schedule.makespan schedule;
+    schedule = Some schedule;
+    cached = subset;
+  }
+
+let run_fair ~platform ~apps =
+  let n = Array.length apps in
+  let total_f =
+    Util.Floatx.sum (Array.to_list (Array.map (fun a -> a.Model.App.f) apps))
+  in
+  let allocs =
+    Array.map
+      (fun (app : Model.App.t) ->
+        {
+          Model.Schedule.procs = platform.Model.Platform.p /. float_of_int n;
+          cache = (if total_f > 0. then app.f /. total_f else 1. /. float_of_int n);
+        })
+      apps
+  in
+  let schedule = Model.Schedule.make ~platform ~apps ~allocs in
+  {
+    policy = Fair;
+    makespan = Model.Schedule.makespan schedule;
+    schedule = Some schedule;
+    cached = None;
+  }
+
+let run_random_part ~rng ~platform ~apps =
+  let n = Array.length apps in
+  let subset = Array.init n (fun _ -> Util.Rng.bool rng) in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  equalized_result RandomPart ~platform ~apps ~subset:(Some subset) ~x
+
+let run ~rng ~platform ~apps policy =
+  if Array.length apps = 0 then invalid_arg "Heuristics.run: empty instance";
+  match policy with
+  | AllProcCache ->
+    {
+      policy;
+      makespan = all_proc_cache_makespan ~platform ~apps;
+      schedule = None;
+      cached = None;
+    }
+  | Fair -> run_fair ~platform ~apps
+  | ZeroCache ->
+    let x = Array.make (Array.length apps) 0. in
+    equalized_result ZeroCache ~platform ~apps ~subset:None ~x
+  | RandomPart -> run_random_part ~rng ~platform ~apps
+  | DominantPartition (strategy, choice) ->
+    let subset = Partition_builder.build strategy choice ~rng ~platform ~apps in
+    (* The capped variant honours finite footprints (Eq. 2's second case)
+       and coincides with Theorem 3 when none binds. *)
+    let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+    equalized_result policy ~platform ~apps ~subset:(Some subset) ~x
+
+let makespan ~rng ~platform ~apps policy = (run ~rng ~platform ~apps policy).makespan

@@ -1,0 +1,67 @@
+(** The co-scheduling policies evaluated in Section 6.
+
+    Six dominant-partition heuristics ({!Partition_builder.strategy} x
+    {!Choice.t}) plus the four reference policies:
+
+    - [AllProcCache] — no co-scheduling: applications run one after the
+      other, each with all [p] processors and the whole cache (the
+      normalisation baseline of the paper's figures);
+    - [Fair] — every application gets [p/n] processors and the cache
+      share [f_i / sum_j f_j] proportional to its access frequency;
+    - [ZeroCache] ("0cache") — nobody gets cache, processors are set so
+      that all applications finish together;
+    - [RandomPart] — a uniformly random subset gets cache, split by the
+      Theorem 3 formula, processors equalised. *)
+
+type t =
+  | DominantPartition of Partition_builder.strategy * Choice.t
+  | AllProcCache
+  | Fair
+  | ZeroCache
+  | RandomPart
+
+val name : t -> string
+(** Paper-style names: "DominantMinRatio", "DominantRevMaxRatio",
+    "AllProcCache", "Fair", "0cache", "RandomPart", ... *)
+
+val of_string : string -> t
+(** Inverse of {!name}, case-insensitive.  @raise Invalid_argument. *)
+
+val dominant_min_ratio : t
+(** [DominantPartition (Dominant, MinRatio)] — the representative
+    heuristic plotted throughout Section 6.3. *)
+
+val dominant_heuristics : t list
+(** The six dominant-partition variants, in the paper's legend order. *)
+
+val baselines : t list
+(** [AllProcCache; Fair; ZeroCache; RandomPart]. *)
+
+val all : t list
+(** All ten policies. *)
+
+type result = {
+  policy : t;
+  makespan : float;
+  schedule : Model.Schedule.t option;
+      (** The concurrent schedule; [None] for [AllProcCache], which runs
+          applications sequentially and has no single allocation vector. *)
+  cached : Theory.Dominant.subset option;
+      (** The subset [IC] granted cache, when the policy builds one. *)
+}
+
+val run :
+  rng:Util.Rng.t -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  t -> result
+(** Apply a policy to an instance.  Randomness is consumed only by
+    [Random]-choice variants and [RandomPart].
+    @raise Invalid_argument on an empty instance. *)
+
+val makespan :
+  rng:Util.Rng.t -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  t -> float
+(** [(run ...).makespan]. *)
+
+val all_proc_cache_makespan :
+  platform:Model.Platform.t -> apps:Model.App.t array -> float
+(** The sequential baseline [sum_i Exe_i(p, 1)] directly. *)

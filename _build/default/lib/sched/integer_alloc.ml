@@ -1,0 +1,42 @@
+let check ~platform ~apps ~x =
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Integer_alloc: empty instance";
+  if Array.length x <> n then invalid_arg "Integer_alloc: length mismatch";
+  let p = platform.Model.Platform.p in
+  if Float.rem p 1. <> 0. then
+    invalid_arg "Integer_alloc: platform processor count must be integral";
+  let p = int_of_float p in
+  if p < n then invalid_arg "Integer_alloc: fewer processors than applications";
+  p
+
+let allocate ~platform ~apps ~x =
+  let p = check ~platform ~apps ~x in
+  let n = Array.length apps in
+  let counts = Array.make n 1 in
+  let time i =
+    Model.Exec_model.exe ~app:apps.(i) ~platform
+      ~p:(float_of_int counts.(i))
+      ~x:x.(i)
+  in
+  (* A binary heap would shave the log factor; n and p are small enough
+     that the O((p-n) * n) scan is not worth the complexity. *)
+  let times = Array.init n time in
+  for _ = n + 1 to p do
+    let worst = ref 0 in
+    Array.iteri (fun i t -> if t > times.(!worst) then worst := i else ignore t) times;
+    counts.(!worst) <- counts.(!worst) + 1;
+    times.(!worst) <- time !worst
+  done;
+  counts
+
+let schedule ~platform ~apps ~x =
+  let counts = allocate ~platform ~apps ~x in
+  let allocs =
+    Array.map2
+      (fun c cache -> { Model.Schedule.procs = float_of_int c; cache })
+      counts x
+  in
+  Model.Schedule.make ~platform ~apps ~allocs
+
+let makespan ~platform ~apps ~x =
+  Model.Schedule.makespan (schedule ~platform ~apps ~x)

@@ -1,0 +1,31 @@
+(** Optimal integral processor allocation for a fixed cache split.
+
+    {!Rounding.largest_remainder} rounds the rational solution and can lose
+    a lot when shares are small.  For integral counts the min-max problem
+    is solved exactly by the classic greedy water-filling argument: start
+    from one processor each and repeatedly give the next processor to the
+    application that currently finishes last.  Optimality follows from
+    [Exe_i] being decreasing in [p_i] with decreasing marginal gains —
+    at every step the last-finisher's time is a lower bound on any
+    completion of the remaining assignment.
+
+    The [integer] ablation experiment compares this exact allocation with
+    largest-remainder rounding and the rational bound. *)
+
+val allocate :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  int array
+(** Greedy-optimal integer processor counts (each at least 1, summing to
+    the platform's processor count, which must be integral and at least
+    the application count).
+    @raise Invalid_argument on an empty instance, non-integral [p],
+    [p < n], or a length mismatch. *)
+
+val schedule :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  Model.Schedule.t
+(** {!allocate} packaged as a schedule with the given cache fractions. *)
+
+val makespan :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array -> float
+(** Makespan of the optimal integral allocation. *)

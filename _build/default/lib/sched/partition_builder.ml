@@ -1,0 +1,55 @@
+type strategy = Dominant | DominantRev
+
+let strategy_name = function
+  | Dominant -> "Dominant"
+  | DominantRev -> "DominantRev"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "dominant" -> Dominant
+  | "dominantrev" | "dominant-rev" -> DominantRev
+  | other -> invalid_arg ("Partition_builder: unknown strategy " ^ other)
+
+(* Algorithm 1: evict from the full set until dominant. *)
+let build_dominant choice ~rng ~platform ~apps =
+  let n = Array.length apps in
+  let subset = Array.make n true in
+  let rec loop () =
+    if Theory.Dominant.cardinal subset = 0 then ()
+    else if Theory.Dominant.is_dominant ~platform ~apps subset then ()
+    else begin
+      let members = Theory.Dominant.indices subset in
+      let k = Choice.pick choice ~rng ~platform ~apps members in
+      subset.(k) <- false;
+      loop ()
+    end
+  in
+  loop ();
+  subset
+
+(* Algorithm 2: grow from a single application while dominance holds. *)
+let build_dominant_rev choice ~rng ~platform ~apps =
+  let n = Array.length apps in
+  let accepted = Array.make n false in
+  let trial = Array.make n false in
+  let remaining = ref (List.init n (fun i -> i)) in
+  let rec loop () =
+    match !remaining with
+    | [] -> ()
+    | candidates ->
+      let k = Choice.pick choice ~rng ~platform ~apps candidates in
+      trial.(k) <- true;
+      if Theory.Dominant.is_dominant ~platform ~apps trial then begin
+        accepted.(k) <- true;
+        remaining := List.filter (fun i -> i <> k) candidates;
+        loop ()
+      end
+      (* First rejection stops the accretion, as in Algorithm 2. *)
+  in
+  loop ();
+  accepted
+
+let build strategy choice ~rng ~platform ~apps =
+  match strategy with
+  | Dominant -> build_dominant choice ~rng ~platform ~apps
+  | DominantRev -> build_dominant_rev choice ~rng ~platform ~apps

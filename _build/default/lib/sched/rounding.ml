@@ -1,0 +1,51 @@
+let largest_remainder ~total shares =
+  let n = Array.length shares in
+  if total < n then
+    invalid_arg "Rounding.largest_remainder: fewer processors than applications";
+  Array.iter
+    (fun s ->
+      if s < 0. then invalid_arg "Rounding.largest_remainder: negative share")
+    shares;
+  let base = Array.map (fun s -> max 1 (int_of_float (floor s))) shares in
+  let used = Array.fold_left ( + ) 0 base in
+  let counts = Array.copy base in
+  if used <= total then begin
+    (* Distribute the leftover units by decreasing fractional remainder. *)
+    let order = Array.init n (fun i -> i) in
+    let remainder i = shares.(i) -. float_of_int base.(i) in
+    Array.sort (fun a b -> compare (remainder b) (remainder a)) order;
+    let leftover = ref (total - used) in
+    let idx = ref 0 in
+    while !leftover > 0 do
+      counts.(order.(!idx mod n)) <- counts.(order.(!idx mod n)) + 1;
+      incr idx;
+      decr leftover
+    done
+  end
+  else begin
+    (* The floor-of-1 guarantee overshot (many sub-unit shares): reclaim
+       units from the largest counts. *)
+    let excess = ref (used - total) in
+    while !excess > 0 do
+      let imax = ref 0 in
+      Array.iteri (fun i c -> if c > counts.(!imax) then imax := i) counts;
+      if counts.(!imax) <= 1 then excess := 0 (* cannot reclaim further *)
+      else begin
+        counts.(!imax) <- counts.(!imax) - 1;
+        decr excess
+      end
+    done
+  end;
+  counts
+
+let integerize (schedule : Model.Schedule.t) =
+  let { Model.Schedule.platform; apps; allocs } = schedule in
+  let total = int_of_float platform.Model.Platform.p in
+  let shares = Array.map (fun a -> a.Model.Schedule.procs) allocs in
+  let counts = largest_remainder ~total shares in
+  let allocs =
+    Array.map2
+      (fun alloc c -> { alloc with Model.Schedule.procs = float_of_int c })
+      allocs counts
+  in
+  Model.Schedule.make ~platform ~apps ~allocs

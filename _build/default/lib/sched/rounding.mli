@@ -1,0 +1,20 @@
+(** Integer processor counts.
+
+    The paper deliberately relaxes processor counts to rationals (shared
+    cores via multi-threading).  Real deployments may require integral
+    counts; this module rounds a rational schedule by the largest-remainder
+    method — every application keeps at least one processor, totals are
+    preserved — so the cost of integrality can be measured (the
+    [rounding] ablation in EXPERIMENTS.md). *)
+
+val largest_remainder : total:int -> float array -> int array
+(** Round nonnegative shares summing to at most [total] into integers
+    summing to exactly [total]: floor everything (with a floor of 1), then
+    hand out the remaining units by decreasing fractional part.
+    @raise Invalid_argument if [total < length] (cannot give everyone 1)
+    or any share is negative. *)
+
+val integerize : Model.Schedule.t -> Model.Schedule.t
+(** Schedule with processor counts rounded as above (cache fractions are
+    untouched; they are genuinely divisible).  The platform must have an
+    integral processor count at least the application count. *)

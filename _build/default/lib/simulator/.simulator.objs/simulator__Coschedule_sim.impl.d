@@ -1,0 +1,1 @@
+lib/simulator/coschedule_sim.ml: Array Engine Float List Model Util

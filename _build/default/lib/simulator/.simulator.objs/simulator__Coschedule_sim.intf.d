@@ -1,0 +1,1 @@
+lib/simulator/coschedule_sim.mli: Model Util

@@ -1,0 +1,1 @@
+lib/simulator/periodic.ml: Float List Sched Util

@@ -1,0 +1,1 @@
+lib/simulator/periodic.mli: Model Sched Util

@@ -1,0 +1,1 @@
+lib/simulator/trace_driven.ml: Array Cachesim Float Model Util

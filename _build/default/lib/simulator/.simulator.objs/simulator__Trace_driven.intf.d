@@ -1,0 +1,1 @@
+lib/simulator/trace_driven.mli: Cachesim Model

@@ -1,0 +1,152 @@
+type options = {
+  redistribute_procs : bool;
+  redistribute_cache : bool;
+  cost_perturbation : (Util.Rng.t * float) option;
+}
+
+let default_options =
+  {
+    redistribute_procs = false;
+    redistribute_cache = false;
+    cost_perturbation = None;
+  }
+
+type event = { time : float; finished : int }
+
+type outcome = {
+  finish_times : float array;
+  makespan : float;
+  events : event list;
+}
+
+type app_state = {
+  index : int;
+  app : Model.App.t;
+  mutable procs : float;
+  mutable cache : float;
+  mutable cost : float;          (* per-operation time at current cache *)
+  mutable seq_ops : float;       (* remaining sequential operations *)
+  mutable par_ops : float;       (* remaining parallel operations *)
+  mutable done_ : bool;
+  mutable last_update : float;   (* simulation time of last progress sync *)
+}
+
+let remaining_time st =
+  (st.seq_ops *. st.cost) +. (st.par_ops *. st.cost /. st.procs)
+
+(* Advance the state's progress from st.last_update to [now]. *)
+let sync st ~now =
+  let dt = now -. st.last_update in
+  st.last_update <- now;
+  if dt > 0. && not st.done_ then begin
+    let seq_time = st.seq_ops *. st.cost in
+    if dt <= seq_time then st.seq_ops <- st.seq_ops -. (dt /. st.cost)
+    else begin
+      st.seq_ops <- 0.;
+      let par_dt = dt -. seq_time in
+      st.par_ops <- Float.max 0. (st.par_ops -. (par_dt *. st.procs /. st.cost))
+    end
+  end
+
+let run ?(options = default_options) (schedule : Model.Schedule.t) =
+  let { Model.Schedule.platform; apps; allocs } = schedule in
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Coschedule_sim.run: empty schedule";
+  let perturbation app_index =
+    match options.cost_perturbation with
+    | None -> 1.
+    | Some (rng, sigma) ->
+      ignore app_index;
+      exp (sigma *. Util.Rng.normal rng 0. 1.)
+  in
+  let states =
+    Array.mapi
+      (fun i (app : Model.App.t) ->
+        let { Model.Schedule.procs; cache } = allocs.(i) in
+        if not (procs > 0.) then
+          invalid_arg "Coschedule_sim.run: every application needs processors";
+        {
+          index = i;
+          app;
+          procs;
+          cache;
+          cost =
+            Model.Exec_model.access_cost ~app ~platform cache *. perturbation i;
+          seq_ops = app.s *. app.w;
+          par_ops = (1. -. app.s) *. app.w;
+          done_ = false;
+          last_update = 0.;
+        })
+      apps
+  in
+  let finish_times = Array.make n nan in
+  let events = ref [] in
+  let engine = Engine.create () in
+  let running () = Array.to_list states |> List.filter (fun st -> not st.done_) in
+  let redistribute now =
+    let survivors = running () in
+    if survivors <> [] then begin
+      if options.redistribute_procs then begin
+        let used = List.fold_left (fun acc st -> acc +. st.procs) 0. survivors in
+        let factor = platform.Model.Platform.p /. used in
+        List.iter (fun st -> st.procs <- st.procs *. factor) survivors
+      end;
+      if options.redistribute_cache then begin
+        let cached = List.filter (fun st -> st.cache > 0.) survivors in
+        let used = List.fold_left (fun acc st -> acc +. st.cache) 0. cached in
+        if used > 0. then
+          List.iter
+            (fun st ->
+              st.cache <- st.cache /. used;
+              st.cost <-
+                Model.Exec_model.access_cost ~app:st.app ~platform st.cache)
+            cached
+      end;
+      ignore now
+    end
+  in
+  let rec schedule_next_completion () =
+    match running () with
+    | [] -> ()
+    | survivors ->
+      let next =
+        List.fold_left
+          (fun acc st ->
+            let t = Engine.now engine +. remaining_time st in
+            match acc with
+            | Some (best, _) when best <= t -> acc
+            | _ -> Some (t, st))
+          None survivors
+      in
+      (match next with
+      | None -> ()
+      | Some (t, st) ->
+        Engine.schedule engine ~at:t (fun engine ->
+            let now = Engine.now engine in
+            (* The completion event may be stale if allocations changed
+               since it was scheduled; events are rescheduled after every
+               completion, so [st] is guaranteed current here. *)
+            Array.iter (fun other -> if not other.done_ then sync other ~now) states;
+            st.done_ <- true;
+            st.seq_ops <- 0.;
+            st.par_ops <- 0.;
+            finish_times.(st.index) <- now;
+            events := { time = now; finished = st.index } :: !events;
+            redistribute now;
+            schedule_next_completion ()))
+  in
+  schedule_next_completion ();
+  Engine.run engine;
+  let makespan = Array.fold_left Float.max 0. finish_times in
+  { finish_times; makespan; events = List.rev !events }
+
+let model_error schedule =
+  let { finish_times; _ } = run schedule in
+  let analytic = Model.Schedule.exe_times schedule in
+  let err = ref 0. in
+  Array.iteri
+    (fun i t ->
+      let a = analytic.(i) in
+      err := Float.max !err (abs_float (t -. a) /. Float.max a 1e-300))
+    finish_times;
+  !err

@@ -1,0 +1,48 @@
+(** Discrete-event replay of a co-schedule.
+
+    The paper evaluates schedules purely analytically (Eq. 2).  This
+    simulator executes a {!Model.Schedule.t} as a fluid discrete-event
+    process — each application has a sequential phase of [s w] operations
+    followed by a parallel phase of [(1-s) w] operations running [p_i]-way
+    — and reports observed completion times.  Uses:
+
+    - {b validation}: with default options the observed times must equal
+      the analytical [Exe_i] to solver precision (tested);
+    - {b work-conserving extension}: optionally, processors (and cache)
+      freed by finished applications are redistributed to the survivors,
+      quantifying what the static model leaves on the table;
+    - {b robustness}: optional per-application cost perturbation measures
+      the sensitivity of the makespan to model misestimation. *)
+
+type options = {
+  redistribute_procs : bool;
+      (** Scale survivors' processor shares to fill the platform whenever
+          an application finishes.  Default [false]. *)
+  redistribute_cache : bool;
+      (** Likewise rescale survivors' cache fractions to sum to 1
+          (proportionally), re-deriving their miss rates.  Default
+          [false]. *)
+  cost_perturbation : (Util.Rng.t * float) option;
+      (** [(rng, sigma)]: multiply each application's per-operation cost
+          by an independent lognormal factor [exp(sigma * N(0,1))].
+          Default [None]. *)
+}
+
+val default_options : options
+
+type event = { time : float; finished : int }
+
+type outcome = {
+  finish_times : float array;
+  makespan : float;
+  events : event list;   (** Completions in time order. *)
+}
+
+val run : ?options:options -> Model.Schedule.t -> outcome
+(** Replay the schedule.  Every application must have positive processors.
+    @raise Invalid_argument otherwise. *)
+
+val model_error : Model.Schedule.t -> float
+(** Largest relative difference between simulated and analytical
+    completion times under default options — the model-validation metric
+    reported in EXPERIMENTS.md (should be at solver precision). *)

@@ -1,0 +1,38 @@
+type t = {
+  queue : handler Event_queue.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+and handler = t -> unit
+
+let create () = { queue = Event_queue.create (); clock = 0.; processed = 0 }
+let now t = t.clock
+
+let schedule t ~at handler =
+  if Float.is_nan at then invalid_arg "Engine.schedule: NaN time";
+  if at < t.clock then invalid_arg "Engine.schedule: cannot schedule in the past";
+  Event_queue.push t.queue ~time:at handler
+
+let schedule_after t ~delay handler =
+  if not (delay >= 0.) then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) handler
+
+let run ?until t =
+  let horizon = Option.value ~default:infinity until in
+  let rec loop () =
+    match Event_queue.peek t.queue with
+    | None -> ()
+    | Some (time, _) when time > horizon -> t.clock <- horizon
+    | Some _ ->
+      (match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (time, handler) ->
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        handler t);
+      loop ()
+  in
+  loop ()
+
+let events_processed t = t.processed

@@ -1,0 +1,28 @@
+(** A minimal discrete-event simulation engine.
+
+    Events are thunks scheduled at absolute times; handlers may schedule
+    further events.  Time never goes backwards: scheduling in the past
+    raises.  The co-schedule simulator drives its completion events
+    through this engine; it is exposed (and tested) independently because
+    it is generally useful. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time; 0 before the first event. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** [schedule t ~at handler] enqueues [handler] to run at time [at].
+    @raise Invalid_argument if [at] is NaN or earlier than [now t]. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> unit
+(** Relative variant; [delay >= 0]. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue drains, or until the
+    first event strictly beyond [until] (which stays queued; [now]
+    advances to [until] in that case). *)
+
+val events_processed : t -> int

@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    The discrete-event engine pops events in nondecreasing time order;
+    ties are broken by insertion order (FIFO), which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

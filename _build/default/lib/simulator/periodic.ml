@@ -1,0 +1,82 @@
+type config = {
+  period : float;
+  batches : int;
+  jitter : (Util.Rng.t * float) option;
+}
+
+type batch = {
+  index : int;
+  arrival : float;
+  start : float;
+  finish : float;
+  lateness : float;
+}
+
+type outcome = {
+  history : batch list;
+  late_fraction : float;
+  max_lateness : float;
+  final_backlog : float;
+}
+
+let run config ~makespan =
+  if not (config.period > 0.) then invalid_arg "Periodic.run: period must be positive";
+  if config.batches <= 0 then invalid_arg "Periodic.run: batches must be positive";
+  if not (makespan > 0.) then invalid_arg "Periodic.run: makespan must be positive";
+  let history = ref [] in
+  let late = ref 0 in
+  let max_lateness = ref 0. in
+  let prev_finish = ref neg_infinity in
+  for index = 0 to config.batches - 1 do
+    let arrival = float_of_int index *. config.period in
+    let start = Float.max arrival !prev_finish in
+    let span =
+      match config.jitter with
+      | None -> makespan
+      | Some (rng, sigma) -> makespan *. exp (sigma *. Util.Rng.normal rng 0. 1.)
+    in
+    let finish = start +. span in
+    let lateness = Float.max 0. (finish -. (arrival +. config.period)) in
+    if lateness > 0. then incr late;
+    if lateness > !max_lateness then max_lateness := lateness;
+    prev_finish := finish;
+    history := { index; arrival; start; finish; lateness } :: !history
+  done;
+  let history = List.rev !history in
+  let final_backlog =
+    match List.rev history with [] -> 0. | last :: _ -> last.lateness
+  in
+  {
+    history;
+    late_fraction = float_of_int !late /. float_of_int config.batches;
+    max_lateness = !max_lateness;
+    final_backlog;
+  }
+
+let sustainable config ~makespan =
+  match config.jitter with
+  | None -> makespan <= config.period
+  | Some _ -> (run config ~makespan).final_backlog = 0.
+
+let max_sustainable_apps ~rng ~platform ~gen ~policy ~period ~max_n =
+  let fits n =
+    if n <= 0 then true
+    else
+      let apps = gen n in
+      Sched.Heuristics.makespan ~rng:(Util.Rng.copy rng) ~platform ~apps policy
+      <= period
+  in
+  if not (fits 1) then 0
+  else begin
+    (* Binary search on the largest fitting n (makespan assumed monotone
+       in the workload size). *)
+    let lo = ref 1 and hi = ref max_n in
+    if fits max_n then max_n
+    else begin
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fits mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end

@@ -1,0 +1,53 @@
+(** Periodic in-situ pipelines (the Section 1 motivation).
+
+    The paper's motivating workload is in-situ analysis: a simulation emits
+    a data batch every period, and the co-scheduled analysis applications
+    must finish "before newly generated data arrives for processing".
+    This module simulates that pipeline over many periods: batch [b]
+    arrives at [b * period]; processing of a batch starts at the later of
+    its arrival and the completion of the previous batch (the analysis
+    node is serially reused); it takes the co-schedule's makespan,
+    optionally jittered to model run-to-run variability.  A batch is late
+    when it finishes after the next arrival — the paper's feasibility
+    criterion; sustained lateness means the backlog diverges. *)
+
+type config = {
+  period : float;            (** Time between batch arrivals, > 0. *)
+  batches : int;             (** Number of batches to simulate, > 0. *)
+  jitter : (Util.Rng.t * float) option;
+      (** Lognormal makespan multiplier [exp(sigma * N(0,1))] per batch. *)
+}
+
+type batch = {
+  index : int;
+  arrival : float;
+  start : float;
+  finish : float;
+  lateness : float;  (** [max 0 (finish - (arrival + period))]. *)
+}
+
+type outcome = {
+  history : batch list;      (** In arrival order. *)
+  late_fraction : float;     (** Fraction of batches finishing late. *)
+  max_lateness : float;
+  final_backlog : float;     (** Lateness of the last batch — grows without
+                                 bound when the pipeline is infeasible. *)
+}
+
+val run : config -> makespan:float -> outcome
+(** Simulate with a fixed (optionally jittered) per-batch makespan.
+    @raise Invalid_argument on nonpositive period/batches/makespan. *)
+
+val sustainable : config -> makespan:float -> bool
+(** Without jitter, the pipeline is sustainable iff
+    [makespan <= period]; with jitter this runs the simulation and checks
+    that no backlog remains at the end. *)
+
+val max_sustainable_apps :
+  rng:Util.Rng.t -> platform:Model.Platform.t ->
+  gen:(int -> Model.App.t array) -> policy:Sched.Heuristics.t ->
+  period:float -> max_n:int -> int
+(** Largest [n <= max_n] such that the policy's makespan on [gen n] fits
+    the period — the capacity-planning question of the in-situ use case.
+    Returns 0 when even one application does not fit.  Assumes makespan is
+    nondecreasing in [n] (binary search). *)

@@ -1,0 +1,81 @@
+type tenant = {
+  app : Model.App.t;
+  trace : Cachesim.Trace.t;
+  procs : float;
+  way_count : int;
+}
+
+type tenant_outcome = {
+  measured_miss_rate : float;
+  measured_time : float;
+  model_time : float;
+  relative_error : float;
+}
+
+type outcome = {
+  tenants : tenant_outcome array;
+  measured_makespan : float;
+  model_makespan : float;
+}
+
+let run ?(block_size = 64) ~platform ~sets ~ways tenants =
+  let n = Array.length tenants in
+  if n = 0 then invalid_arg "Trace_driven.run: no tenants";
+  let total_ways = Array.fold_left (fun acc t -> acc + t.way_count) 0 tenants in
+  if total_ways > ways then invalid_arg "Trace_driven.run: ways oversubscribed";
+  Array.iter
+    (fun t ->
+      if not (t.procs > 0.) then
+        invalid_arg "Trace_driven.run: tenants need processors")
+    tenants;
+  let cache_bytes = float_of_int (sets * ways * block_size) in
+  if
+    abs_float (cache_bytes -. platform.Model.Platform.cs)
+    > 0.01 *. platform.Model.Platform.cs
+  then
+    invalid_arg
+      "Trace_driven.run: platform Cs must match sets * ways * block_size";
+  let shared = Cachesim.Partition.create ~sets ~ways ~tenants:n in
+  Array.iteri
+    (fun i t -> Cachesim.Partition.assign shared ~tenant:i ~way_count:t.way_count)
+    tenants;
+  Cachesim.Partition.run_interleaved shared
+    (Array.mapi (fun i t -> (i, t.trace)) tenants)
+    ~schedule:`Round_robin;
+  let outcomes =
+    Array.mapi
+      (fun i t ->
+        let measured_miss_rate = Cachesim.Partition.tenant_miss_rate shared i in
+        let app = t.app in
+        let flops = Model.Exec_model.amdahl_flops ~app t.procs in
+        let cost rate =
+          1.
+          +. (app.Model.App.f
+             *. (platform.Model.Platform.ls
+                +. (platform.Model.Platform.ll *. rate)))
+        in
+        let measured_time = flops *. cost measured_miss_rate in
+        let x =
+          float_of_int (t.way_count * sets * block_size)
+          /. platform.Model.Platform.cs
+        in
+        let model_time =
+          Model.Exec_model.exe ~app ~platform ~p:t.procs
+            ~x:(Util.Floatx.clamp ~lo:0. ~hi:1. x)
+        in
+        {
+          measured_miss_rate;
+          measured_time;
+          model_time;
+          relative_error =
+            abs_float (measured_time -. model_time) /. measured_time;
+        })
+      tenants
+  in
+  {
+    tenants = outcomes;
+    measured_makespan =
+      Array.fold_left (fun acc o -> Float.max acc o.measured_time) 0. outcomes;
+    model_makespan =
+      Array.fold_left (fun acc o -> Float.max acc o.model_time) 0. outcomes;
+  }

@@ -1,0 +1,45 @@
+(** Trace-driven execution on the way-partitioned cache.
+
+    The analytical model (Eq. 2) predicts execution times from a
+    power-law fit of the miss-rate curve.  This simulator closes the loop
+    without the power law: it replays each application's {e actual memory
+    trace} through its slice of a way-partitioned cache ({!Cachesim.Partition}),
+    measures the achieved miss rate, and derives the execution time from
+    the measured per-operation cost.  Comparing the two per application
+    quantifies exactly how much the power-law idealisation costs — an
+    end-to-end validation the paper leaves to future hardware work. *)
+
+type tenant = {
+  app : Model.App.t;     (** Supplies [w], [s], [f] and the model miss
+                             parameters for the comparison column. *)
+  trace : Cachesim.Trace.t;
+  procs : float;         (** Processor share, > 0. *)
+  way_count : int;       (** Ways of the shared cache owned, >= 0. *)
+}
+
+type tenant_outcome = {
+  measured_miss_rate : float;  (** From the trace replay. *)
+  measured_time : float;
+      (** [Fl(procs) * (1 + f (ls + ll * measured_miss_rate))]: the
+          model's time formula fed with the {e measured} rate. *)
+  model_time : float;
+      (** Eq. 2 at the cache fraction [way_count * sets * block_size / Cs]
+          using the application's power-law parameters. *)
+  relative_error : float;  (** [|measured - model| / measured]. *)
+}
+
+type outcome = {
+  tenants : tenant_outcome array;
+  measured_makespan : float;
+  model_makespan : float;
+}
+
+val run :
+  ?block_size:int -> platform:Model.Platform.t -> sets:int -> ways:int ->
+  tenant array -> outcome
+(** Replay all tenants round-robin through one partitioned cache
+    ([block_size] defaults to 64 bytes; the platform's [Cs] should equal
+    [sets * ways * block_size] for the model column to be comparable —
+    this is checked and raises otherwise).
+    @raise Invalid_argument on an empty tenant list, way over-subscription
+    or a cache-size mismatch beyond 1%. *)

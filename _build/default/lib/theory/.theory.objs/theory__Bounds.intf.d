@@ -1,0 +1,1 @@
+lib/theory/bounds.mli: Model

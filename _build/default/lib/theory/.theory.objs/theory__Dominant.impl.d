@@ -1,0 +1,1 @@
+lib/theory/dominant.ml: Array List Model Perfect

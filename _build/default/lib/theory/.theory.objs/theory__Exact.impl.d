@@ -1,0 +1,1 @@
+lib/theory/exact.ml: Array Dominant Perfect

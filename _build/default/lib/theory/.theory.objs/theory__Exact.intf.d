@@ -1,0 +1,1 @@
+lib/theory/exact.mli: Dominant Model

@@ -1,0 +1,1 @@
+lib/theory/knapsack.ml: Array List Model Perfect Printf Util

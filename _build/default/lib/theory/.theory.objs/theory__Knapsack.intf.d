@@ -1,0 +1,1 @@
+lib/theory/knapsack.mli: Model

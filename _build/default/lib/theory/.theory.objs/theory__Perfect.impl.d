@@ -1,0 +1,1 @@
+lib/theory/perfect.ml: Array Model Util

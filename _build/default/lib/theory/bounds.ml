@@ -1,0 +1,45 @@
+(* Local re-implementation of the Section 5 equalisation to avoid a
+   dependency cycle with Sched (which depends on Theory). *)
+let solve ~platform ~apps x =
+  let costs =
+    Array.map2
+      (fun app xi -> Model.Exec_model.work_cost ~app ~platform ~x:xi)
+      apps x
+  in
+  let p = platform.Model.Platform.p in
+  let needed k =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i (app : Model.App.t) ->
+        let denom = (k /. costs.(i)) -. app.s in
+        acc := !acc +. (if denom <= 0. then infinity else (1. -. app.s) /. denom))
+      apps;
+    !acc
+  in
+  let k_lo =
+    Array.fold_left Float.max neg_infinity
+      (Array.map2
+         (fun (app : Model.App.t) c -> (app.s +. ((1. -. app.s) /. p)) *. c)
+         apps costs)
+  in
+  if needed k_lo <= p then k_lo
+  else
+    let hi =
+      Util.Solver.expand_bracket_up
+        ~f:(fun k -> needed k -. p)
+        (Float.max k_lo (Array.fold_left Float.max neg_infinity costs))
+    in
+    Util.Solver.bisect ~f:(fun k -> needed k -. p) k_lo hi
+
+let lower_bound ~platform ~apps =
+  if Array.length apps = 0 then invalid_arg "Bounds.lower_bound: empty instance";
+  (* Relax sum x_i <= 1: everyone enjoys the full cache.  Equalising
+     completion times is optimal for any fixed per-application cost, so
+     this is a genuine lower bound for Amdahl profiles too. *)
+  solve ~platform ~apps (Array.make (Array.length apps) 1.)
+
+let upper_bound ~platform ~apps =
+  if Array.length apps = 0 then invalid_arg "Bounds.upper_bound: empty instance";
+  solve ~platform ~apps (Array.make (Array.length apps) 0.)
+
+let gap ~platform ~apps = upper_bound ~platform ~apps /. lower_bound ~platform ~apps

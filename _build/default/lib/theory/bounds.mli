@@ -1,0 +1,32 @@
+(** Cheap lower and upper bounds on the optimal makespan.
+
+    The exact optimum ({!Exact}) is exponential; these bounds sandwich it
+    in linear time, so heuristic quality can be asserted on instances far
+    beyond the [2^n] reach.  For perfectly parallel applications
+    (Lemma 3 regime):
+
+    - {b lower bound}: give {e every} application the entire cache
+      simultaneously — [ (1/p) sum_i Exe_i(1, 1)] relaxes the
+      [sum x_i <= 1] constraint, so no feasible schedule beats it.  For
+      general Amdahl applications, the same all-cache relaxation is
+      evaluated through the equalised-makespan solver (giving each
+      application its best conceivable [c_i]), which likewise only
+      relaxes the cache constraint.
+    - {b upper bound}: the zero-cache equalised schedule is feasible, so
+      its makespan bounds the optimum from above.
+
+    Tests assert [lower <= exact <= heuristic <= upper] on enumerable
+    instances, and [lower <= heuristic <= upper] on large ones. *)
+
+val lower_bound :
+  platform:Model.Platform.t -> apps:Model.App.t array -> float
+(** The all-cache relaxation bound.  @raise Invalid_argument on an empty
+    instance. *)
+
+val upper_bound :
+  platform:Model.Platform.t -> apps:Model.App.t array -> float
+(** The zero-cache feasible schedule's makespan. *)
+
+val gap : platform:Model.Platform.t -> apps:Model.App.t array -> float
+(** [upper / lower]: how much the cache can possibly matter on this
+    instance; 1 means cache is irrelevant. *)

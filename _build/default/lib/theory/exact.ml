@@ -1,0 +1,63 @@
+type result = {
+  subset : Dominant.subset;
+  x : float array;
+  makespan : float;
+}
+
+let optimal ?(max_n = 20) ~platform ~apps () =
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Exact.optimal: empty instance";
+  if n > max_n then invalid_arg "Exact.optimal: instance too large for 2^n search";
+  let best = ref None in
+  let consider subset =
+    let x = Dominant.cache_allocation ~platform ~apps subset in
+    let makespan = Perfect.makespan ~platform ~apps ~x in
+    match !best with
+    | Some { makespan = m; _ } when m <= makespan -> ()
+    | _ -> best := Some { subset = Array.copy subset; x; makespan }
+  in
+  let subset = Array.make n false in
+  let rec enumerate i =
+    if i = n then consider subset
+    else begin
+      subset.(i) <- false;
+      enumerate (i + 1);
+      subset.(i) <- true;
+      enumerate (i + 1);
+      subset.(i) <- false
+    end
+  in
+  enumerate 0;
+  match !best with
+  | Some r -> r
+  | None -> assert false
+
+let optimal_schedule ?max_n ~platform ~apps () =
+  let { x; _ } = optimal ?max_n ~platform ~apps () in
+  Perfect.schedule ~platform ~apps ~x
+
+let grid_search ~platform ~apps ~steps =
+  let n = Array.length apps in
+  if n = 0 || n > 6 then invalid_arg "Exact.grid_search: n must be in [1, 6]";
+  if steps < 1 then invalid_arg "Exact.grid_search: steps must be >= 1";
+  let x = Array.make n 0. in
+  let best_x = Array.make n 0. in
+  let best = ref infinity in
+  (* Enumerate lattice points of the simplex: x_i = k_i / steps with
+     sum k_i <= steps. *)
+  let rec enumerate i remaining =
+    if i = n then begin
+      let m = Perfect.makespan ~platform ~apps ~x in
+      if m < !best then begin
+        best := m;
+        Array.blit x 0 best_x 0 n
+      end
+    end
+    else
+      for k = 0 to remaining do
+        x.(i) <- float_of_int k /. float_of_int steps;
+        enumerate (i + 1) (remaining - k)
+      done
+  in
+  enumerate 0 steps;
+  (best_x, !best)

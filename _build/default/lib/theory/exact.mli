@@ -1,0 +1,34 @@
+(** Exact (exponential-time) optimum for perfectly parallel applications.
+
+    Theorem 1 shows CoSchedCache is NP-complete; the hardness lies entirely
+    in choosing the subset [IC] of cached applications.  For small [n] we
+    can afford the [2^n] subset enumeration: for each subset, Lemma 4 gives
+    the optimal fractions in closed form, and Lemma 3 evaluates the
+    makespan.  By Theorem 2, the global optimum is attained at a dominant
+    partition with the Theorem 3 allocation, so the enumeration is exact.
+    Used to measure the optimality gap of the polynomial heuristics. *)
+
+type result = {
+  subset : Dominant.subset;   (** The optimal [IC]. *)
+  x : float array;            (** Optimal cache fractions. *)
+  makespan : float;           (** Lemma 3 makespan. *)
+}
+
+val optimal :
+  ?max_n:int -> platform:Model.Platform.t -> apps:Model.App.t array -> unit -> result
+(** Enumerate all subsets.  @raise Invalid_argument when the instance has
+    more than [max_n] (default 20) applications, or none. *)
+
+val optimal_schedule :
+  ?max_n:int -> platform:Model.Platform.t -> apps:Model.App.t array -> unit ->
+  Model.Schedule.t
+(** {!optimal} assembled into a schedule via Lemma 2. *)
+
+val grid_search :
+  platform:Model.Platform.t -> apps:Model.App.t array -> steps:int ->
+  float array * float
+(** Brute-force search over the discretised simplex
+    [{x : sum x_i <= 1, x_i in {0, 1/steps, ..., 1}}], returning the best
+    fractions and makespan found.  Exponential in [n]; intended for
+    cross-checking {!optimal} on [n <= 4] in tests.
+    @raise Invalid_argument for [n > 6] or [steps < 1]. *)

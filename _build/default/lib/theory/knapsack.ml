@@ -1,0 +1,135 @@
+type item = { size : int; value : int }
+type instance = { items : item array; capacity : int; target : int }
+
+let validate_items items =
+  Array.iter
+    (fun { size; value } ->
+      if size <= 0 then invalid_arg "Knapsack: item sizes must be positive";
+      if value <= 0 then invalid_arg "Knapsack: item values must be positive")
+    items
+
+let solve_max items capacity =
+  validate_items items;
+  if capacity < 0 then invalid_arg "Knapsack.solve_max: negative capacity";
+  let n = Array.length items in
+  (* best.(c) after processing items 0..i-1; keep one row plus decisions for
+     reconstruction. *)
+  let best = Array.make (capacity + 1) 0 in
+  let taken = Array.make_matrix n (capacity + 1) false in
+  for i = 0 to n - 1 do
+    let { size; value } = items.(i) in
+    for c = capacity downto size do
+      let with_item = best.(c - size) + value in
+      if with_item > best.(c) then begin
+        best.(c) <- with_item;
+        taken.(i).(c) <- true
+      end
+    done
+  done;
+  let chosen = Array.make n false in
+  let c = ref capacity in
+  for i = n - 1 downto 0 do
+    if taken.(i).(!c) then begin
+      chosen.(i) <- true;
+      c := !c - items.(i).size
+    end
+  done;
+  (best.(capacity), chosen)
+
+let decide { items; capacity; target } =
+  let opt, _ = solve_max items capacity in
+  opt >= target
+
+type reduction = {
+  platform : Model.Platform.t;
+  apps : Model.App.t array;
+  bound : float;
+  epsilon : float;
+  eta : float;
+  kept : int array;
+}
+
+let reduce ?(alpha = 0.5) ?(cs = 1e9) { items; capacity; target } =
+  validate_items items;
+  if Array.length items = 0 then invalid_arg "Knapsack.reduce: empty instance";
+  if capacity <= 0 then invalid_arg "Knapsack.reduce: capacity must be positive";
+  if target <= 0 then invalid_arg "Knapsack.reduce: target must be positive";
+  (* Items larger than the capacity can never be packed; dropping them
+     preserves the decision and keeps d_i <= 1 (a valid miss rate). *)
+  let kept = ref [] in
+  Array.iteri
+    (fun i it -> if it.size <= capacity then kept := i :: !kept)
+    items;
+  let kept = Array.of_list (List.rev !kept) in
+  let n = Array.length kept in
+  if n = 0 then
+    (* No packable item: the reduction degenerates.  Build a single dummy
+       application that cannot meet any positive target. *)
+    invalid_arg "Knapsack.reduce: no item fits in the capacity";
+  let platform = Model.Platform.make ~alpha ~p:1. ~cs () in
+  let nn = max n ((2 * capacity) + 1) in
+  let epsilon = 1. /. (float_of_int nn *. float_of_int (nn + 1)) in
+  let eta = 1. -. (1. /. float_of_int nn) in
+  let u = float_of_int capacity in
+  let apps =
+    Array.map
+      (fun idx ->
+        let it = items.(idx) in
+        let d = (float_of_int it.size *. eta /. u) ** alpha in
+        let e = ((d ** (1. /. alpha)) +. epsilon) ** alpha in
+        let footprint = (e ** (1. /. alpha)) *. cs in
+        (* Only the product w*f matters (proof of Theorem 1); take f = 1. *)
+        let w = float_of_int it.value /. (1. -. (d /. e)) in
+        (* Encode d_i directly: with c0 = cs, d = m0 * (c0/cs)^alpha = m0. *)
+        Model.App.make
+          ~name:(Printf.sprintf "item-%d" idx)
+          ~footprint ~c0:cs ~w ~f:1. ~m0:d ())
+      kept
+  in
+  let a =
+    Util.Floatx.sum
+      (Array.to_list
+         (Array.map
+            (fun (app : Model.App.t) ->
+              app.w *. (1. +. (app.f *. platform.Model.Platform.ls)))
+            apps))
+  in
+  let z =
+    Util.Floatx.sum
+      (Array.to_list
+         (Array.map
+            (fun (app : Model.App.t) -> app.w *. app.f *. platform.Model.Platform.ll)
+            apps))
+  in
+  let bound = (a +. z -. float_of_int target) /. platform.Model.Platform.p in
+  { platform; apps; bound; epsilon; eta; kept }
+
+let decide_cosched ?(eps = 1e-9) { platform; apps; bound; _ } =
+  let n = Array.length apps in
+  let cs = platform.Model.Platform.cs in
+  let subset = Array.make n false in
+  let feasible () =
+    let x =
+      Array.mapi
+        (fun i (app : Model.App.t) ->
+          if subset.(i) then app.footprint /. cs else 0.)
+        apps
+    in
+    let total_x = Util.Floatx.sum (Array.to_list x) in
+    total_x <= 1. +. eps
+    && Util.Floatx.approx_le ~eps (Perfect.makespan ~platform ~apps ~x) bound
+  in
+  let rec enumerate i =
+    if i = n then feasible ()
+    else begin
+      subset.(i) <- false;
+      if enumerate (i + 1) then true
+      else begin
+        subset.(i) <- true;
+        let r = enumerate (i + 1) in
+        subset.(i) <- false;
+        r
+      end
+    end
+  in
+  enumerate 0

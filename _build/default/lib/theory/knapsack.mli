@@ -1,0 +1,55 @@
+(** Knapsack, and the NP-completeness reduction of Theorem 1.
+
+    The paper proves CoSchedCache-Dec NP-complete by reducing from
+    Knapsack: given items with integer sizes [u_i] and values [v_i], a size
+    bound [U] and a value target [V], it builds applications whose
+    miss-rate parameters [d_i = (u_i eta / U)^alpha] encode sizes, whose
+    footprints cap the useful cache at [e_i^{1/alpha}], and whose work
+    encodes values via [w_i f_i = v_i / (1 - d_i/e_i)]; the makespan bound
+    [K] is [ (A + Z - V) / p].  This module implements both the DP solver
+    for Knapsack and the instance transformation, so the reduction can be
+    exercised end to end in tests. *)
+
+type item = { size : int; value : int }
+(** Both positive. *)
+
+type instance = { items : item array; capacity : int; target : int }
+(** Does there exist a subset with [sum size <= capacity] and
+    [sum value >= target]? *)
+
+val solve_max : item array -> int -> int * bool array
+(** [solve_max items capacity] maximises total value under the size bound
+    by dynamic programming in O(n * capacity); returns the optimum and a
+    chosen-item mask.  Items with [size > capacity] are never chosen.
+    @raise Invalid_argument on nonpositive sizes/values or negative
+    capacity. *)
+
+val decide : instance -> bool
+(** Knapsack decision via {!solve_max}. *)
+
+type reduction = {
+  platform : Model.Platform.t;
+  apps : Model.App.t array;   (** One application per (feasible) item. *)
+  bound : float;              (** The makespan bound [K]. *)
+  epsilon : float;            (** [1 / (N (N+1))]. *)
+  eta : float;                (** [1 - 1/N]. *)
+  kept : int array;           (** Indices of the original items kept
+                                  (items with [size > capacity] can never
+                                  be packed and are dropped). *)
+}
+
+val reduce : ?alpha:float -> ?cs:float -> instance -> reduction
+(** Build the CoSchedCache-Dec instance of Theorem 1's proof.  The
+    platform has [p = 1] processor (the bound scales linearly in [p]),
+    [ls = 0.17], [ll = 1], cache size [cs] (default 1e9) and sensitivity
+    [alpha] (default 0.5).  Applications are perfectly parallel with
+    finite footprints [a_i = e_i^{1/alpha} * cs].
+    @raise Invalid_argument on an empty or malformed instance. *)
+
+val decide_cosched : ?eps:float -> reduction -> bool
+(** Decide the reduced instance by brute force over the subsets of
+    applications given cache.  For reduction-produced instances this is
+    exact: the proof shows a feasible schedule exists iff some subset
+    [IC], allocated its footprint caps [x_i = a_i / cs], satisfies
+    [sum x_i <= 1] and the Lemma 3 makespan is at most [K].
+    Exponential in the item count — intended for the test suite. *)

@@ -1,0 +1,24 @@
+let seq_times ~platform ~apps ~x =
+  if Array.length apps <> Array.length x then
+    invalid_arg "Perfect: apps and cache fractions must have the same length";
+  if Array.length apps = 0 then invalid_arg "Perfect: empty instance";
+  Array.map2 (fun app xi -> Model.Exec_model.exe_seq ~app ~platform ~x:xi) apps x
+
+let processor_allocation ~platform ~apps ~x =
+  let seq = seq_times ~platform ~apps ~x in
+  let total = Util.Floatx.sum (Array.to_list seq) in
+  let p = platform.Model.Platform.p in
+  Array.map (fun t -> p *. t /. total) seq
+
+let makespan ~platform ~apps ~x =
+  let seq = seq_times ~platform ~apps ~x in
+  Util.Floatx.sum (Array.to_list seq) /. platform.Model.Platform.p
+
+let schedule ~platform ~apps ~x =
+  let procs = processor_allocation ~platform ~apps ~x in
+  let allocs =
+    Array.map2
+      (fun procs cache -> { Model.Schedule.procs; cache })
+      procs x
+  in
+  Model.Schedule.make ~platform ~apps ~allocs

@@ -1,0 +1,28 @@
+(** Optimal structure for perfectly parallel applications (Section 4.1).
+
+    For applications with [s_i = 0], [Exe_i(p_i, x_i) = Exe_i^seq(x_i)/p_i],
+    and the paper proves:
+
+    - {b Lemma 1}: in an optimal schedule all applications finish together;
+    - {b Lemma 2}: given the cache split [x], the optimal processor counts
+      are [p_i = p * Exe_i^seq(x_i) / sum_j Exe_j^seq(x_j)];
+    - {b Lemma 3}: the resulting makespan is [ (1/p) * sum_i Exe_i^seq(x_i)],
+      so CoSchedCache reduces to choosing the cache partition alone. *)
+
+val processor_allocation :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  float array
+(** Lemma 2's allocation.  Works for any applications (it is only optimal
+    for perfectly parallel ones); the counts sum to [p] exactly.
+    @raise Invalid_argument on length mismatch or an empty instance. *)
+
+val makespan :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array -> float
+(** Lemma 3's makespan [ (1/p) * sum_i Exe_i(1, x_i)] — exact for
+    perfectly parallel applications under Lemma 2's allocation. *)
+
+val schedule :
+  platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
+  Model.Schedule.t
+(** Assemble the full schedule from a cache partition: Lemma 2 processors
+    paired with the given fractions. *)

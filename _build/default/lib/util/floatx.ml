@@ -1,0 +1,25 @@
+let default_eps = 1e-9
+
+let approx_eq ?(eps = default_eps) a b =
+  abs_float (a -. b) <= eps *. Float.max 1.0 (Float.max (abs_float a) (abs_float b))
+
+let approx_le ?(eps = default_eps) a b = a <= b || approx_eq ~eps a b
+let approx_ge ?(eps = default_eps) a b = a >= b || approx_eq ~eps a b
+
+let clamp ~lo ~hi x =
+  if hi < lo then invalid_arg "Floatx.clamp: hi < lo";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x
+
+let sum l =
+  (* Kahan compensated summation. *)
+  let total = ref 0.0 and c = ref 0.0 in
+  List.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !total +. y in
+      c := t -. !total -. y;
+      total := t)
+    l;
+  !total

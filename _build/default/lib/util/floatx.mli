@@ -1,0 +1,24 @@
+(** Approximate floating-point comparison helpers.
+
+    Dominance checks and equal-finish-time invariants involve quantities
+    spanning twelve orders of magnitude, so everything is compared with a
+    combined absolute/relative tolerance. *)
+
+val default_eps : float
+(** 1e-9: the relative tolerance used throughout the library. *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] iff [|a - b| <= eps * max(1, |a|, |b|)]. *)
+
+val approx_le : ?eps:float -> float -> float -> bool
+(** [a <= b] up to tolerance. *)
+
+val approx_ge : ?eps:float -> float -> float -> bool
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [lo, hi].  @raise Invalid_argument if [hi < lo]. *)
+
+val is_finite : float -> bool
+
+val sum : float list -> float
+(** Kahan-compensated summation, stable for long lists of mixed scale. *)

@@ -1,0 +1,43 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let linear xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regress.linear: length mismatch";
+  if n < 2 then invalid_arg "Regress.linear: need at least 2 points";
+  let nf = float_of_int n in
+  let sum = Array.fold_left ( +. ) 0.0 in
+  let mx = sum xs /. nf and my = sum ys /. nf in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regress.linear: all x identical";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r_squared =
+    if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  { slope; intercept; r_squared }
+
+type power_fit = { m0 : float; alpha : float; r2 : float }
+
+let power_law ~c0 sizes misses =
+  if Array.length sizes <> Array.length misses then
+    invalid_arg "Regress.power_law: length mismatch";
+  let pts =
+    List.filter
+      (fun (c, m) -> c > 0. && m > 0. && m < 1.)
+      (Array.to_list (Array.map2 (fun c m -> (c, m)) sizes misses))
+  in
+  if List.length pts < 2 then
+    invalid_arg "Regress.power_law: need at least 2 unsaturated points";
+  let xs = Array.of_list (List.map (fun (c, _) -> log c) pts) in
+  let ys = Array.of_list (List.map (fun (_, m) -> log m) pts) in
+  let { slope; intercept; r_squared } = linear xs ys in
+  let alpha = -.slope in
+  (* log m = intercept + slope * log c, so m0 = m(c0). *)
+  let m0 = exp (intercept +. (slope *. log c0)) in
+  { m0; alpha; r2 = r_squared }

@@ -1,0 +1,32 @@
+(** Least-squares regression.
+
+    Used by the cache-simulation substrate to fit the power law of cache
+    misses (Eq. 1 of the paper): since
+    [m(C) = m0 * (C0 / C)^alpha] is linear in log–log space,
+    [log m = (log m0 + alpha * log C0) - alpha * log C],
+    an ordinary least-squares fit of [log m] against [log C] recovers
+    [alpha] (negated slope) and [m0]. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination; 1 when degenerate. *)
+}
+
+val linear : float array -> float array -> fit
+(** [linear xs ys] fits [y = slope * x + intercept].
+    @raise Invalid_argument if lengths differ or fewer than 2 points, or if
+    all [xs] are identical. *)
+
+type power_fit = {
+  m0 : float;      (** Miss rate at the reference cache size. *)
+  alpha : float;   (** Power-law sensitivity factor. *)
+  r2 : float;      (** Goodness of fit in log–log space. *)
+}
+
+val power_law : c0:float -> float array -> float array -> power_fit
+(** [power_law ~c0 sizes misses] fits [m = m0 * (c0 / c)^alpha] through
+    the points [(sizes.(i), misses.(i))].  Points with [misses.(i) >= 1.]
+    or [<= 0.] are excluded (the saturated/degenerate regime of Eq. 1 is
+    outside the power law).
+    @raise Invalid_argument when fewer than 2 usable points remain. *)

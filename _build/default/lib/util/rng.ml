@@ -1,0 +1,96 @@
+type t = { mutable state : int64 }
+
+(* SplitMix64 constants (Steele, Lea & Flood, OOPSLA 2014). *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  (* A fresh SplitMix64 seeded from a mixed output of the parent; the extra
+     mixing step decorrelates the child stream from subsequent parent
+     outputs. *)
+  let s = bits64 t in
+  { state = mix64 (Int64.add s 0x9E3779B97F4A7C15L) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.(sub (sub r v) (sub bound64 1L)) < 0L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float t bound =
+  if not (bound > 0.) then invalid_arg "Rng.float: bound must be positive";
+  (* 53 random bits mapped to [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let unit_float t = float t 1.0
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let log_uniform t lo hi =
+  if not (lo > 0. && hi > 0.) then
+    invalid_arg "Rng.log_uniform: bounds must be positive";
+  if hi < lo then invalid_arg "Rng.log_uniform: hi < lo";
+  exp (uniform t (log lo) (log hi))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t rate =
+  if not (rate > 0.) then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. unit_float t) /. rate
+
+let normal t mu sigma =
+  let u1 = 1.0 -. unit_float t and u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let zipf t n s =
+  if n < 1 then invalid_arg "Rng.zipf: n must be >= 1";
+  if s < 0. then invalid_arg "Rng.zipf: s must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = unit_float t *. total in
+  let rec find i acc =
+    if i = n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if acc >= target then i + 1 else find (i + 1) acc
+  in
+  find 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (workload generators, the
+    [Random] choice function of the heuristics, trace generators, experiment
+    repetitions) draw from this module so that every experiment is exactly
+    reproducible from a seed.  The core generator is SplitMix64, which has a
+    64-bit state, passes BigCrush, and supports cheap stream splitting. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Two generators
+    built from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no mutable state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream.  Used to give
+    each experiment repetition its own substream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound).  [bound] must be positive. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform on [lo, hi).  @raise Invalid_argument if
+    [hi < lo]. *)
+
+val log_uniform : t -> float -> float -> float
+(** [log_uniform t lo hi] draws [exp u] with [u] uniform on
+    [log lo, log hi); both bounds must be positive.  Suitable for parameters
+    spanning several orders of magnitude (e.g. work between 1e8 and 1e12). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp(rate); [rate > 0]. *)
+
+val normal : t -> float -> float -> float
+(** [normal t mu sigma] draws from N(mu, sigma^2) by Box–Muller. *)
+
+val zipf : t -> int -> float -> int
+(** [zipf t n s] draws a rank in [1, n] with probability proportional to
+    [1/rank^s], by inversion on the cumulative weights.  [n >= 1], [s >= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  @raise Invalid_argument on []. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [0, n), in random order.  @raise Invalid_argument if [k > n] or [k < 0]. *)

@@ -1,0 +1,65 @@
+exception No_bracket of string
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  if hi < lo then invalid_arg "Solver.bisect: hi < lo";
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    raise (No_bracket (Printf.sprintf "bisect: f(%g)=%g and f(%g)=%g" lo flo hi fhi))
+  else
+    let rec loop lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo <= tol *. (1.0 +. abs_float mid) || iter = 0 then mid
+      else
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then loop lo mid flo (iter - 1)
+        else loop mid hi fmid (iter - 1)
+    in
+    loop lo hi flo max_iter
+
+let bisect_decreasing ?(tol = 1e-12) ?(max_iter = 200) ~f ~target lo hi =
+  if hi < lo then invalid_arg "Solver.bisect_decreasing: hi < lo";
+  if f lo < target then lo
+  else if f hi > target then hi
+  else bisect ~tol ~max_iter ~f:(fun x -> f x -. target) lo hi
+
+let expand_bracket_up ?(grow = 2.0) ?(max_iter = 128) ~f hi0 =
+  let rec loop hi iter =
+    if f hi <= 0.0 then hi
+    else if iter = 0 then raise (No_bracket "expand_bracket_up: no sign change")
+    else loop (hi *. grow) (iter - 1)
+  in
+  loop hi0 max_iter
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x iter =
+    let fx = f x in
+    if abs_float fx <= tol then x
+    else if iter = 0 then raise (No_bracket "newton: did not converge")
+    else
+      let d = df x in
+      if d = 0.0 then raise (No_bracket "newton: zero derivative")
+      else loop (x -. (fx /. d)) (iter - 1)
+  in
+  loop x0 max_iter
+
+let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f lo hi =
+  if hi < lo then invalid_arg "Solver.golden_section_min: hi < lo";
+  let gr = (sqrt 5.0 -. 1.0) /. 2.0 in
+  (* Invariant: a < c < d < b with c, d at the golden sections of [a, b]. *)
+  let rec loop a b c d fc fd iter =
+    if b -. a <= tol *. (1.0 +. abs_float a) || iter = 0 then 0.5 *. (a +. b)
+    else if fc < fd then
+      let b = d and d = c and fd = fc in
+      let c = b -. (gr *. (b -. a)) in
+      loop a b c d (f c) fd (iter - 1)
+    else
+      let a = c and c = d and fc = fd in
+      let d = a +. (gr *. (b -. a)) in
+      loop a b c d fc (f d) (iter - 1)
+  in
+  let c = hi -. (gr *. (hi -. lo)) in
+  let d = lo +. (gr *. (hi -. lo)) in
+  loop lo hi c d (f c) (f d) max_iter

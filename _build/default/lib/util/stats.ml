@@ -1,0 +1,105 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    ss /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let geomean a =
+  check_nonempty "Stats.geomean" a;
+  Array.iter
+    (fun x -> if not (x > 0.) then invalid_arg "Stats.geomean: nonpositive entry")
+    a;
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int (Array.length a))
+
+let min_max a =
+  check_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  check_nonempty "Stats.median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a q =
+  check_nonempty "Stats.percentile" a;
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q outside [0,100]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = q /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then b.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let confidence_interval_95 a =
+  let m = mean a in
+  let n = Array.length a in
+  if n = 1 then (m, m)
+  else
+    let half = 1.96 *. stddev a /. sqrt (float_of_int n) in
+    (m -. half, m +. half)
+
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.n = 0 then invalid_arg "Stats.Online.min: empty accumulator" else t.lo
+
+  let max t =
+    if t.n = 0 then invalid_arg "Stats.Online.max: empty accumulator" else t.hi
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      { n; mean; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+end

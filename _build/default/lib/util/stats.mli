@@ -1,0 +1,54 @@
+(** Descriptive statistics used by the experiment harness.
+
+    The harness repeats every simulation over many seeds and reports means
+    with min/max envelopes (the paper's error-bar plots) and confidence
+    intervals.  [Online] implements Welford's numerically stable streaming
+    accumulator; the array functions are one-shot conveniences. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val geomean : float array -> float
+(** Geometric mean; all entries must be positive. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest entries.  @raise Invalid_argument on empty. *)
+
+val median : float array -> float
+(** Median (average of middle pair for even sizes).  Does not mutate the
+    input.  @raise Invalid_argument on empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile a q] with [q] in [0, 100], linear interpolation between
+    closest ranks.  Does not mutate the input. *)
+
+val confidence_interval_95 : float array -> float * float
+(** [(lo, hi)] of the normal-approximation 95% confidence interval on the
+    mean.  Degenerates to [(mean, mean)] for singletons. *)
+
+module Online : sig
+  type t
+  (** Streaming mean/variance/min/max accumulator (Welford). *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty, mirroring the convention of reporting empty cells as 0. *)
+
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  (** [min]/[max] raise [Invalid_argument] when no value was added. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all values had been fed to one. *)
+end

@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+  ncols : int;
+}
+
+let float_cell x = Printf.sprintf "%.4g" x
+
+let create ?aligns headers =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) headers
+    | Some a ->
+      if List.length a <> ncols then
+        invalid_arg "Table.create: aligns length mismatch";
+      a
+  in
+  { headers; aligns; rows = []; ncols }
+
+let add_row t row =
+  if List.length row <> t.ncols then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- row :: t.rows
+
+let add_floats ?(fmt = float_cell) t label values =
+  add_row t (label :: List.map fmt values)
+
+let all_rows t = t.headers :: List.rev t.rows
+
+let to_string t =
+  let rows = all_rows t in
+  let widths = Array.make t.ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let pad align width cell =
+    let n = width - String.length cell in
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row (List.rev t.rows) in
+  String.concat "\n" ((render_row t.headers :: sep :: body) @ [ "" ])
+
+let csv_escape cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quote then
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else cell
+
+let to_csv t =
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map csv_escape row)) (all_rows t))
+  ^ "\n"
+
+let print t = print_string (to_string t)

@@ -1,0 +1,36 @@
+(** Plain-text and CSV table rendering for the experiment reports.
+
+    The benchmark harness prints the series behind every paper figure as a
+    table: one row per sweep point, one column per heuristic.  This module
+    keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header and a list of rows. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Right] for every
+    column.  @raise Invalid_argument if [aligns] is given with a different
+    length than [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument on column-count mismatch. *)
+
+val add_floats : ?fmt:(float -> string) -> t -> string -> float list -> unit
+(** [add_floats t label values] appends a row whose first cell is [label]
+    and remaining cells are formatted floats ([fmt] defaults to [%.4g]).
+    @raise Invalid_argument if [1 + length values] mismatches. *)
+
+val to_string : t -> string
+(** Render with aligned columns, a header separator, and trailing newline. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: cells containing commas, quotes or newlines are
+    quoted, quotes doubled. *)
+
+val print : t -> unit
+(** [print t] writes [to_string t] on stdout. *)
+
+val float_cell : float -> string
+(** Default float formatting, shared so that tests can match output. *)

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cachesim Float List Model Printf QCheck QCheck_alcotest Util

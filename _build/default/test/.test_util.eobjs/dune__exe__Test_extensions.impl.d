@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cachesim Float Model Printf QCheck QCheck_alcotest Sched Theory Util

@@ -1,0 +1,1 @@
+test/test_general.ml: Alcotest Array Cachesim Float List Model Printf QCheck QCheck_alcotest Sched Simulator Util

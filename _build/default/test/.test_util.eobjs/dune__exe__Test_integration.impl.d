@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cachesim Experiments Float Hashtbl List Model Option Printf Sched Simulator Theory Util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Float Format List Model QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Cachesim List Model Printf QCheck QCheck_alcotest Sched Simulator Theory Util

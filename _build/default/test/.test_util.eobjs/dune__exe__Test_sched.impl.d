@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float List Model Option Printf QCheck QCheck_alcotest Sched Theory Util

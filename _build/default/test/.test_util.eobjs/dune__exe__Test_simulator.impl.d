@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Float List Model Option QCheck QCheck_alcotest Sched Simulator Util

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Array Float Gen List Model Printf QCheck QCheck_alcotest Sched Theory Util

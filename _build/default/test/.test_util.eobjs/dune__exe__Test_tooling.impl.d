@@ -1,0 +1,1 @@
+test/test_tooling.ml: Alcotest Array Experiments Filename Fun List Model Printf QCheck QCheck_alcotest Sched Simulator String Sys Theory Util

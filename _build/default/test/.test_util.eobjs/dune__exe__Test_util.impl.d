@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest String Util

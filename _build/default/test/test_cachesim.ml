@@ -1,0 +1,524 @@
+(* Tests for the cachesim substrate: Trace, Lru, Set_assoc, Mattson,
+   Partition, Miss_curve, Kernels. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Trace -------------------------------------------------------------- *)
+
+let trace_sequential () =
+  let t = Cachesim.Trace.sequential ~blocks:3 ~length:7 in
+  Alcotest.(check (array int)) "cyclic" [| 0; 1; 2; 0; 1; 2; 0 |] t
+
+let trace_strided () =
+  let t = Cachesim.Trace.strided ~stride:3 ~blocks:8 ~length:5 in
+  Alcotest.(check (array int)) "stride walk" [| 0; 3; 6; 1; 4 |] t
+
+let trace_uniform_range () =
+  let rng = Util.Rng.create 1 in
+  let t = Cachesim.Trace.uniform ~rng ~blocks:10 ~length:1000 in
+  Array.iter
+    (fun b -> Alcotest.(check bool) "in range" true (b >= 0 && b < 10))
+    t
+
+let trace_zipf_range_and_skew () =
+  let rng = Util.Rng.create 2 in
+  let t = Cachesim.Trace.zipf ~rng ~s:1.0 ~blocks:50 ~length:20_000 () in
+  Array.iter
+    (fun b -> Alcotest.(check bool) "in range" true (b >= 0 && b < 50))
+    t;
+  (* Skew: the most frequent block must appear far above uniform share. *)
+  let counts = Array.make 50 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) t;
+  let top = Array.fold_left max 0 counts in
+  Alcotest.(check bool) "skewed" true (top > 3 * (20_000 / 50))
+
+let trace_working_sets () =
+  let rng = Util.Rng.create 3 in
+  let t =
+    Cachesim.Trace.working_sets ~rng ~set_blocks:10 ~sets:4 ~dwell:100 ~length:1000
+  in
+  Array.iter
+    (fun b -> Alcotest.(check bool) "in global range" true (b >= 0 && b < 40))
+    t;
+  (* Within one dwell the accesses stay inside a single set. *)
+  let set_of b = b / 10 in
+  let first_set = set_of t.(0) in
+  for i = 1 to 99 do
+    Alcotest.(check int) "same set during dwell" first_set (set_of t.(i))
+  done
+
+let trace_mix_offsets () =
+  let rng = Util.Rng.create 4 in
+  let a = Cachesim.Trace.sequential ~blocks:4 ~length:100 in
+  let b = Cachesim.Trace.sequential ~blocks:4 ~length:100 in
+  let m = Cachesim.Trace.mix ~rng [ (0.5, a); (0.5, b) ] ~length:1000 in
+  (* Components are offset so they never alias: ids 0-3 and 4-7. *)
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in union" true (v >= 0 && v < 8))
+    m;
+  Alcotest.(check bool) "both components drawn" true
+    (Array.exists (fun v -> v < 4) m && Array.exists (fun v -> v >= 4) m)
+
+let trace_mix_validation () =
+  let rng = Util.Rng.create 5 in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Cachesim.Trace.mix ~rng [] ~length:10);
+       false
+     with Invalid_argument _ -> true)
+
+let trace_distinct_blocks () =
+  Alcotest.(check int) "distinct" 3
+    (Cachesim.Trace.distinct_blocks [| 1; 2; 1; 3; 3 |])
+
+let trace_validation () =
+  Alcotest.(check bool) "nonpositive blocks" true
+    (try
+       ignore (Cachesim.Trace.sequential ~blocks:0 ~length:5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Lru ------------------------------------------------------------------ *)
+
+let lru_hits_within_capacity () =
+  (* A loop over [capacity] blocks only misses on first touch. *)
+  let t = Cachesim.Lru.create ~capacity:4 in
+  let trace = Cachesim.Trace.sequential ~blocks:4 ~length:40 in
+  Array.iter (fun b -> ignore (Cachesim.Lru.access t b)) trace;
+  Alcotest.(check int) "4 cold misses" 4 (Cachesim.Lru.misses t);
+  Alcotest.(check int) "36 hits" 36 (Cachesim.Lru.hits t)
+
+let lru_thrashes_beyond_capacity () =
+  (* The classic LRU pathological case: cyclic over capacity+1 blocks
+     never hits. *)
+  let t = Cachesim.Lru.create ~capacity:4 in
+  let trace = Cachesim.Trace.sequential ~blocks:5 ~length:50 in
+  Array.iter (fun b -> ignore (Cachesim.Lru.access t b)) trace;
+  Alcotest.(check int) "all miss" 50 (Cachesim.Lru.misses t)
+
+let lru_evicts_least_recent () =
+  let t = Cachesim.Lru.create ~capacity:2 in
+  ignore (Cachesim.Lru.access t 1);
+  ignore (Cachesim.Lru.access t 2);
+  ignore (Cachesim.Lru.access t 1);
+  (* touch 1: 2 is now LRU *)
+  ignore (Cachesim.Lru.access t 3);
+  (* evicts 2 *)
+  Alcotest.(check bool) "1 resident" true (Cachesim.Lru.contains t 1);
+  Alcotest.(check bool) "2 evicted" false (Cachesim.Lru.contains t 2);
+  Alcotest.(check bool) "3 resident" true (Cachesim.Lru.contains t 3)
+
+let lru_occupancy_bounded () =
+  let t = Cachesim.Lru.create ~capacity:8 in
+  let rng = Util.Rng.create 6 in
+  Array.iter
+    (fun b -> ignore (Cachesim.Lru.access t b))
+    (Cachesim.Trace.uniform ~rng ~blocks:100 ~length:1000);
+  Alcotest.(check bool) "never above capacity" true (Cachesim.Lru.occupancy t <= 8)
+
+let lru_miss_rate () =
+  let t = Cachesim.Lru.create ~capacity:4 in
+  check_float "0 before accesses" 0. (Cachesim.Lru.miss_rate t);
+  ignore (Cachesim.Lru.access t 0);
+  check_float "1 after one cold miss" 1. (Cachesim.Lru.miss_rate t)
+
+let lru_reset () =
+  let t = Cachesim.Lru.create ~capacity:2 in
+  ignore (Cachesim.Lru.access t 1);
+  Cachesim.Lru.reset t;
+  Alcotest.(check int) "misses cleared" 0 (Cachesim.Lru.misses t);
+  Alcotest.(check int) "empty" 0 (Cachesim.Lru.occupancy t);
+  Alcotest.(check bool) "1 gone" false (Cachesim.Lru.contains t 1)
+
+let lru_capacity_validation () =
+  Alcotest.(check bool) "capacity 0" true
+    (try
+       ignore (Cachesim.Lru.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Mattson ---------------------------------------------------------------- *)
+
+let mattson_matches_lru_exhaustive () =
+  (* The stack property: one-pass reuse distances reproduce the LRU miss
+     count at every capacity, on several trace shapes. *)
+  let rng = Util.Rng.create 7 in
+  let traces =
+    [
+      Cachesim.Trace.sequential ~blocks:50 ~length:2000;
+      Cachesim.Trace.uniform ~rng ~blocks:80 ~length:2000;
+      Cachesim.Trace.zipf ~rng ~s:0.9 ~blocks:100 ~length:2000 ();
+      Cachesim.Trace.working_sets ~rng ~set_blocks:20 ~sets:4 ~dwell:50
+        ~length:2000;
+    ]
+  in
+  List.iter
+    (fun trace ->
+      let h = Cachesim.Mattson.analyze trace in
+      List.iter
+        (fun capacity ->
+          Alcotest.(check int)
+            (Printf.sprintf "capacity %d" capacity)
+            (Cachesim.Lru.run ~capacity trace)
+            (Cachesim.Mattson.misses h ~capacity))
+        [ 1; 2; 5; 10; 25; 60; 120 ])
+    traces
+
+let mattson_cold_misses () =
+  let h = Cachesim.Mattson.analyze [| 1; 2; 3; 1; 2; 3 |] in
+  Alcotest.(check int) "3 distinct blocks" 3 h.Cachesim.Mattson.cold;
+  Alcotest.(check int) "total" 6 h.Cachesim.Mattson.total
+
+let mattson_monotone_in_capacity () =
+  let rng = Util.Rng.create 8 in
+  let trace = Cachesim.Trace.zipf ~rng ~blocks:200 ~length:5000 () in
+  let h = Cachesim.Mattson.analyze trace in
+  let prev = ref max_int in
+  List.iter
+    (fun c ->
+      let m = Cachesim.Mattson.misses h ~capacity:c in
+      Alcotest.(check bool) "nonincreasing" true (m <= !prev);
+      prev := m)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let mattson_huge_capacity_only_cold () =
+  let rng = Util.Rng.create 9 in
+  let trace = Cachesim.Trace.uniform ~rng ~blocks:50 ~length:1000 in
+  let h = Cachesim.Mattson.analyze trace in
+  Alcotest.(check int) "only cold misses" h.Cachesim.Mattson.cold
+    (Cachesim.Mattson.misses h ~capacity:10_000)
+
+let mattson_capacity_validation () =
+  let h = Cachesim.Mattson.analyze [| 1 |] in
+  Alcotest.(check bool) "capacity 0" true
+    (try
+       ignore (Cachesim.Mattson.misses h ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let mattson_miss_curve () =
+  let trace = Cachesim.Trace.sequential ~blocks:4 ~length:40 in
+  let h = Cachesim.Mattson.analyze trace in
+  let curve = Cachesim.Mattson.miss_curve h ~capacities:[| 2; 4 |] in
+  check_float "thrash at 2" 1. (snd curve.(0));
+  check_float "cold only at 4" 0.1 (snd curve.(1))
+
+let qcheck_mattson_equals_lru =
+  QCheck.Test.make ~name:"Mattson = LRU on random traces and capacities"
+    ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 1 100))
+    (fun (seed, capacity) ->
+      let rng = Util.Rng.create seed in
+      let trace = Cachesim.Trace.uniform ~rng ~blocks:60 ~length:500 in
+      let h = Cachesim.Mattson.analyze trace in
+      Cachesim.Mattson.misses h ~capacity = Cachesim.Lru.run ~capacity trace)
+
+(* --- Set_assoc --------------------------------------------------------------- *)
+
+let set_assoc_basics () =
+  let t = Cachesim.Set_assoc.create ~sets:4 ~ways:2 in
+  Alcotest.(check int) "capacity" 8 (Cachesim.Set_assoc.capacity t);
+  Alcotest.(check bool) "first touch misses" false (Cachesim.Set_assoc.access t 0);
+  Alcotest.(check bool) "second touch hits" true (Cachesim.Set_assoc.access t 0)
+
+let set_assoc_conflict_misses () =
+  (* Three blocks mapping to the same set of a 2-way cache conflict even
+     though total capacity would hold them. *)
+  let t = Cachesim.Set_assoc.create ~sets:4 ~ways:2 in
+  let same_set = [| 0; 4; 8 |] in
+  for _ = 1 to 10 do
+    Array.iter (fun b -> ignore (Cachesim.Set_assoc.access t b)) same_set
+  done;
+  Alcotest.(check int) "all conflict misses" 30 (Cachesim.Set_assoc.misses t)
+
+let set_assoc_fully_assoc_equals_lru () =
+  (* With one set, the set-associative cache IS fully associative LRU. *)
+  let rng = Util.Rng.create 10 in
+  let trace = Cachesim.Trace.zipf ~rng ~blocks:50 ~length:2000 () in
+  Alcotest.(check int) "matches Lru"
+    (Cachesim.Lru.run ~capacity:16 trace)
+    (Cachesim.Set_assoc.run ~sets:1 ~ways:16 trace)
+
+let set_assoc_at_least_lru_misses () =
+  (* Set conflicts can only add misses relative to full associativity. *)
+  let rng = Util.Rng.create 11 in
+  let trace = Cachesim.Trace.uniform ~rng ~blocks:300 ~length:3000 in
+  let sa = Cachesim.Set_assoc.run ~sets:16 ~ways:4 trace in
+  let fa = Cachesim.Lru.run ~capacity:64 trace in
+  Alcotest.(check bool) "sa >= fa" true (sa >= fa)
+
+let set_assoc_reset () =
+  let t = Cachesim.Set_assoc.create ~sets:2 ~ways:1 in
+  ignore (Cachesim.Set_assoc.access t 0);
+  Cachesim.Set_assoc.reset t;
+  Alcotest.(check int) "cleared" 0 (Cachesim.Set_assoc.accesses t);
+  Alcotest.(check bool) "0 misses again" false (Cachesim.Set_assoc.access t 0)
+
+let set_assoc_validation () =
+  Alcotest.(check bool) "bad geometry" true
+    (try
+       ignore (Cachesim.Set_assoc.create ~sets:0 ~ways:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Partition ------------------------------------------------------------- *)
+
+let partition_isolation () =
+  (* The CAT property: with strict way partitioning, a tenant's misses
+     under concurrent execution equal its private-cache misses. *)
+  let rng = Util.Rng.create 12 in
+  let t0 = Cachesim.Trace.zipf ~rng ~blocks:200 ~length:3000 () in
+  let t1 = Cachesim.Trace.uniform ~rng ~blocks:150 ~length:3000 in
+  let shared = Cachesim.Partition.create ~sets:64 ~ways:8 ~tenants:2 in
+  Cachesim.Partition.assign shared ~tenant:0 ~way_count:5;
+  Cachesim.Partition.assign shared ~tenant:1 ~way_count:3;
+  Cachesim.Partition.run_interleaved shared
+    [| (0, t0); (1, t1) |]
+    ~schedule:`Round_robin;
+  Alcotest.(check int) "tenant 0 isolated"
+    (Cachesim.Set_assoc.run ~sets:64 ~ways:5 t0)
+    (Cachesim.Partition.tenant_misses shared 0);
+  Alcotest.(check int) "tenant 1 isolated"
+    (Cachesim.Set_assoc.run ~sets:64 ~ways:3 t1)
+    (Cachesim.Partition.tenant_misses shared 1)
+
+let partition_schedule_independent () =
+  (* Round-robin and concatenated schedules give identical per-tenant
+     counts (no interference). *)
+  let rng = Util.Rng.create 13 in
+  let t0 = Cachesim.Trace.zipf ~rng ~blocks:100 ~length:2000 () in
+  let t1 = Cachesim.Trace.zipf ~rng ~blocks:100 ~length:2000 () in
+  let run schedule =
+    let shared = Cachesim.Partition.create ~sets:32 ~ways:8 ~tenants:2 in
+    Cachesim.Partition.assign shared ~tenant:0 ~way_count:4;
+    Cachesim.Partition.assign shared ~tenant:1 ~way_count:4;
+    Cachesim.Partition.run_interleaved shared [| (0, t0); (1, t1) |] ~schedule;
+    ( Cachesim.Partition.tenant_misses shared 0,
+      Cachesim.Partition.tenant_misses shared 1 )
+  in
+  Alcotest.(check (pair int int)) "schedules agree" (run `Round_robin)
+    (run `Concatenated)
+
+let partition_zero_ways_always_misses () =
+  let t = Cachesim.Partition.create ~sets:8 ~ways:4 ~tenants:2 in
+  Cachesim.Partition.assign t ~tenant:0 ~way_count:0;
+  for i = 0 to 9 do
+    Alcotest.(check bool) "miss" false (Cachesim.Partition.access t ~tenant:0 i)
+  done;
+  Alcotest.(check int) "all missed" 10 (Cachesim.Partition.tenant_misses t 0);
+  check_float "rate 1" 1. (Cachesim.Partition.tenant_miss_rate t 0)
+
+let partition_assign_fractions () =
+  let t = Cachesim.Partition.create ~sets:8 ~ways:16 ~tenants:3 in
+  Cachesim.Partition.assign_fractions t [| 0.5; 0.25; 0.1 |];
+  Alcotest.(check int) "half" 8 (Cachesim.Partition.tenant_ways t 0);
+  Alcotest.(check int) "quarter" 4 (Cachesim.Partition.tenant_ways t 1);
+  Alcotest.(check int) "tenth rounds down" 1 (Cachesim.Partition.tenant_ways t 2)
+
+let partition_assign_validation () =
+  let t = Cachesim.Partition.create ~sets:4 ~ways:4 ~tenants:2 in
+  Cachesim.Partition.assign t ~tenant:0 ~way_count:3;
+  Alcotest.(check bool) "not enough ways" true
+    (try
+       Cachesim.Partition.assign t ~tenant:1 ~way_count:2;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double assign" true
+    (try
+       Cachesim.Partition.assign t ~tenant:0 ~way_count:1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "tenant out of range" true
+    (try
+       ignore (Cachesim.Partition.access t ~tenant:5 0);
+       false
+     with Invalid_argument _ -> true)
+
+let partition_fractions_validation () =
+  let t = Cachesim.Partition.create ~sets:4 ~ways:4 ~tenants:2 in
+  Alcotest.(check bool) "wrong arity" true
+    (try
+       Cachesim.Partition.assign_fractions t [| 1.0 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Miss_curve -------------------------------------------------------------- *)
+
+let log_spaced_properties () =
+  let c = Cachesim.Miss_curve.log_spaced ~min:16 ~max:4096 ~points:10 in
+  Alcotest.(check int) "starts at min" 16 c.(0);
+  Alcotest.(check int) "ends at max" 4096 c.(Array.length c - 1);
+  for i = 1 to Array.length c - 1 do
+    Alcotest.(check bool) "strictly increasing" true (c.(i) > c.(i - 1))
+  done
+
+let log_spaced_validation () =
+  Alcotest.(check bool) "bad points" true
+    (try
+       ignore (Cachesim.Miss_curve.log_spaced ~min:1 ~max:10 ~points:1);
+       false
+     with Invalid_argument _ -> true)
+
+let calibrate_recovers_power_law () =
+  (* A Zipf trace has a smooth miss curve: the fit should land in the
+     paper's plausible alpha band with decent R^2. *)
+  let rng = Util.Rng.create 14 in
+  let trace = Cachesim.Trace.zipf ~rng ~s:0.8 ~blocks:4096 ~length:100_000 () in
+  let capacities = Cachesim.Miss_curve.log_spaced ~min:16 ~max:8192 ~points:12 in
+  let cal = Cachesim.Miss_curve.calibrate trace ~capacities in
+  let fit = cal.Cachesim.Miss_curve.fit in
+  Alcotest.(check bool) "alpha plausible" true
+    (fit.Util.Regress.alpha > 0.05 && fit.Util.Regress.alpha < 1.5);
+  Alcotest.(check bool) "m0 in (0,1)" true
+    (fit.Util.Regress.m0 > 0. && fit.Util.Regress.m0 < 1.);
+  Alcotest.(check bool) "fit is sane" true (fit.Util.Regress.r2 > 0.5)
+
+let calibrate_streaming_fails () =
+  (* A pure cyclic stream thrashes at every sampled capacity below its
+     footprint: miss rate 1 everywhere, so no usable points. *)
+  let trace = Cachesim.Trace.sequential ~blocks:100_000 ~length:200_000 in
+  let capacities = Cachesim.Miss_curve.log_spaced ~min:16 ~max:1024 ~points:6 in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Cachesim.Miss_curve.calibrate trace ~capacities);
+       false
+     with Invalid_argument _ -> true)
+
+let calibration_to_app () =
+  let rng = Util.Rng.create 15 in
+  let trace = Cachesim.Trace.zipf ~rng ~s:0.8 ~blocks:2048 ~length:50_000 () in
+  let capacities = Cachesim.Miss_curve.log_spaced ~min:16 ~max:4096 ~points:10 in
+  let cal = Cachesim.Miss_curve.calibrate trace ~capacities in
+  let app = Cachesim.Miss_curve.to_app ~name:"z" ~w:1e10 ~f:0.5 cal in
+  Alcotest.(check string) "name" "z" app.Model.App.name;
+  Alcotest.(check bool) "m0 valid" true
+    (app.Model.App.m0 >= 0. && app.Model.App.m0 <= 1.);
+  Alcotest.(check bool) "footprint positive and finite" true
+    (app.Model.App.footprint > 0. && Float.is_finite app.Model.App.footprint);
+  check_float "c0 from fit blocks"
+    (float_of_int (cal.Cachesim.Miss_curve.c0_blocks * 64))
+    app.Model.App.c0
+
+(* --- Kernels --------------------------------------------------------------- *)
+
+let kernels_six_names () =
+  Alcotest.(check (list string)) "Table 2 order"
+    [ "CG"; "BT"; "LU"; "SP"; "MG"; "FT" ]
+    Cachesim.Kernels.names
+
+let kernels_specs_match_table2 () =
+  List.iter2
+    (fun name (row : Model.Npb.row) ->
+      let spec = Cachesim.Kernels.spec name in
+      check_float (name ^ " work") row.Model.Npb.w spec.Cachesim.Kernels.work;
+      Alcotest.(check (float 1e-6))
+        (name ^ " frequency")
+        row.Model.Npb.f
+        (1. /. spec.Cachesim.Kernels.ops_per_access))
+    Cachesim.Kernels.names Model.Npb.all
+
+let kernels_traces_generate () =
+  let rng = Util.Rng.create 16 in
+  List.iter
+    (fun name ->
+      let t = Cachesim.Kernels.trace ~rng ~scale:128 ~length:5000 name in
+      Alcotest.(check int) (name ^ " length") 5000 (Array.length t);
+      Alcotest.(check bool)
+        (name ^ " nontrivial footprint")
+        true
+        (Cachesim.Trace.distinct_blocks t > 16))
+    Cachesim.Kernels.names
+
+let kernels_unknown_rejected () =
+  let rng = Util.Rng.create 17 in
+  Alcotest.(check bool) "unknown" true
+    (try
+       ignore (Cachesim.Kernels.trace ~rng ~scale:16 ~length:10 "ZZ");
+       false
+     with Not_found -> true)
+
+let kernels_calibrations_in_band () =
+  (* The regenerated Table 2 analogue: every kernel's fitted alpha falls
+     in a plausible power-law band (the paper cites [0.3, 0.7]). *)
+  let rng = Util.Rng.create 18 in
+  List.iter
+    (fun ((spec : Cachesim.Kernels.spec), (cal : Cachesim.Miss_curve.calibration)) ->
+      let alpha = cal.Cachesim.Miss_curve.fit.Util.Regress.alpha in
+      Alcotest.(check bool)
+        (spec.Cachesim.Kernels.name ^ " alpha in band")
+        true
+        (alpha > 0.2 && alpha < 0.9))
+    (Cachesim.Kernels.table2_analogue ~rng ~scale:1024 ~length:60_000 ())
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "trace",
+        [
+          test "sequential" trace_sequential;
+          test "strided" trace_strided;
+          test "uniform range" trace_uniform_range;
+          test "zipf range and skew" trace_zipf_range_and_skew;
+          test "working sets dwell" trace_working_sets;
+          test "mix offsets components" trace_mix_offsets;
+          test "mix validation" trace_mix_validation;
+          test "distinct blocks" trace_distinct_blocks;
+          test "validation" trace_validation;
+        ] );
+      ( "lru",
+        [
+          test "hits within capacity" lru_hits_within_capacity;
+          test "thrashes beyond capacity" lru_thrashes_beyond_capacity;
+          test "evicts least recent" lru_evicts_least_recent;
+          test "occupancy bounded" lru_occupancy_bounded;
+          test "miss rate" lru_miss_rate;
+          test "reset" lru_reset;
+          test "capacity validation" lru_capacity_validation;
+        ] );
+      ( "mattson",
+        [
+          test "matches LRU exhaustively" mattson_matches_lru_exhaustive;
+          test "cold misses" mattson_cold_misses;
+          test "monotone in capacity" mattson_monotone_in_capacity;
+          test "huge capacity leaves cold only" mattson_huge_capacity_only_cold;
+          test "capacity validation" mattson_capacity_validation;
+          test "miss curve" mattson_miss_curve;
+          qtest qcheck_mattson_equals_lru;
+        ] );
+      ( "set_assoc",
+        [
+          test "basics" set_assoc_basics;
+          test "conflict misses" set_assoc_conflict_misses;
+          test "one set equals LRU" set_assoc_fully_assoc_equals_lru;
+          test "at least as many misses as LRU" set_assoc_at_least_lru_misses;
+          test "reset" set_assoc_reset;
+          test "validation" set_assoc_validation;
+        ] );
+      ( "partition",
+        [
+          test "isolation (CAT property)" partition_isolation;
+          test "schedule independent" partition_schedule_independent;
+          test "zero ways always miss" partition_zero_ways_always_misses;
+          test "assign fractions" partition_assign_fractions;
+          test "assign validation" partition_assign_validation;
+          test "fractions validation" partition_fractions_validation;
+        ] );
+      ( "miss_curve",
+        [
+          test "log spacing" log_spaced_properties;
+          test "log spacing validation" log_spaced_validation;
+          test "calibration recovers a power law" calibrate_recovers_power_law;
+          test "pure streaming rejected" calibrate_streaming_fails;
+          test "calibration to app" calibration_to_app;
+        ] );
+      ( "kernels",
+        [
+          test "six names" kernels_six_names;
+          test "specs match Table 2" kernels_specs_match_table2;
+          test "traces generate" kernels_traces_generate;
+          test "unknown kernel rejected" kernels_unknown_rejected;
+          test "calibrations in alpha band" kernels_calibrations_in_band;
+        ] );
+    ]

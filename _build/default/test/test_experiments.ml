@@ -1,0 +1,292 @@
+(* Tests for the experiments harness: Report, Runner, Figures.
+   Figure functions run with few trials (smoke + shape checks). *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let test name f = Alcotest.test_case name `Quick f
+
+let tiny = { Experiments.Runner.trials = 3; seed = 2017 }
+
+(* --- Report --------------------------------------------------------------- *)
+
+let sample_figure () =
+  Experiments.Report.make ~id:"t" ~title:"test" ~xlabel:"x"
+    ~columns:[ "a"; "b" ]
+    ~rows:[ (1., [ 2.; 4. ]); (2., [ 3.; 6. ]) ]
+
+let report_make_validates () =
+  Alcotest.(check bool) "row width" true
+    (try
+       ignore
+         (Experiments.Report.make ~id:"t" ~title:"t" ~xlabel:"x"
+            ~columns:[ "a" ]
+            ~rows:[ (1., [ 1.; 2. ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let report_column () =
+  let fig = sample_figure () in
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "column b"
+    [ (1., 4.); (2., 6.) ]
+    (Experiments.Report.column fig "b");
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Experiments.Report.column fig "zz");
+       false
+     with Not_found -> true)
+
+let report_normalize () =
+  let fig = Experiments.Report.normalize_by (sample_figure ()) "a" in
+  List.iter
+    (fun (_, cells) -> check_float "reference column = 1" 1. (List.nth cells 0))
+    fig.Experiments.Report.rows;
+  check_float "b normalized" 2.
+    (List.nth (snd (List.hd fig.Experiments.Report.rows)) 1)
+
+let report_normalize_zero_reference () =
+  let fig =
+    Experiments.Report.make ~id:"t" ~title:"t" ~xlabel:"x" ~columns:[ "a"; "b" ]
+      ~rows:[ (1., [ 0.; 5. ]) ]
+  in
+  let n = Experiments.Report.normalize_by fig "a" in
+  Alcotest.(check (list (float 0.))) "row untouched" [ 0.; 5. ]
+    (snd (List.hd n.Experiments.Report.rows))
+
+let report_render_and_csv () =
+  let fig = sample_figure () in
+  let txt = Experiments.Report.render fig in
+  Alcotest.(check bool) "caption present" true
+    (String.length txt > 0 && String.sub txt 0 2 = "==");
+  let csv = Experiments.Report.to_csv fig in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 4 && String.sub csv 0 4 = "x,a,")
+
+(* --- Runner ----------------------------------------------------------------- *)
+
+let runner_gen v rng =
+  {
+    Experiments.Runner.platform = Model.Platform.paper_default;
+    apps =
+      Model.Workload.generate ~rng Model.Workload.NpbSynth (int_of_float v);
+  }
+
+let runner_mean_deterministic () =
+  let run () =
+    Experiments.Runner.mean_makespans ~config:tiny ~gen:(runner_gen 8.)
+      ~policies:[ Sched.Heuristics.dominant_min_ratio; Sched.Heuristics.Fair ]
+  in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (_, x) (_, y) -> check_float "reproducible" x y)
+    a b
+
+let runner_sweep_shape () =
+  let fig =
+    Experiments.Runner.sweep ~config:tiny ~id:"s" ~title:"t" ~xlabel:"n"
+      ~values:[ 2.; 4. ] ~gen:runner_gen
+      ~policies:[ Sched.Heuristics.dominant_min_ratio; Sched.Heuristics.Fair ]
+      ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length fig.Experiments.Report.rows);
+  Alcotest.(check (list string)) "columns are policy names"
+    [ "DominantMinRatio"; "Fair" ]
+    fig.Experiments.Report.columns;
+  List.iter
+    (fun (_, cells) ->
+      List.iter
+        (fun v -> Alcotest.(check bool) "positive makespan" true (v > 0.))
+        cells)
+    fig.Experiments.Report.rows
+
+let runner_repartition_shape () =
+  let data =
+    Experiments.Runner.repartition ~config:tiny ~values:[ 4. ] ~gen:runner_gen
+      ~policies:
+        Sched.Heuristics.[ dominant_min_ratio; Fair; AllProcCache ]
+      ()
+  in
+  match data with
+  | [ (v, stats) ] ->
+    check_float "sweep value" 4. v;
+    (* AllProcCache has no schedule and is skipped. *)
+    Alcotest.(check int) "two policies with schedules" 2 (List.length stats);
+    List.iter
+      (fun (s : Experiments.Runner.repartition_stat) ->
+        Alcotest.(check bool) "min <= avg <= max" true
+          (s.min_procs <= s.avg_procs && s.avg_procs <= s.max_procs);
+        Alcotest.(check bool) "cache stats ordered" true
+          (s.min_cache <= s.avg_cache && s.avg_cache <= s.max_cache))
+      stats
+  | _ -> Alcotest.fail "expected one sweep point"
+
+let runner_fair_repartition_uniform () =
+  let data =
+    Experiments.Runner.repartition ~config:tiny ~values:[ 8. ] ~gen:runner_gen
+      ~policies:[ Sched.Heuristics.Fair ] ()
+  in
+  match data with
+  | [ (_, [ s ]) ] ->
+    (* Fair gives p/n to everyone: min = max. *)
+    check_float "min procs = max procs" s.Experiments.Runner.min_procs
+      s.Experiments.Runner.max_procs;
+    check_float "exactly p/n" (256. /. 8.) s.Experiments.Runner.avg_procs
+  | _ -> Alcotest.fail "expected one stat"
+
+(* --- Figures ------------------------------------------------------------------ *)
+
+let all_ids_known () =
+  Alcotest.(check int) "29 experiments" 29
+    (List.length Experiments.Figures.all_ids);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " nonempty") true (String.length id > 0))
+    Experiments.Figures.all_ids
+
+let run_unknown_id () =
+  Alcotest.(check bool) "unknown id" true
+    (try
+       ignore (Experiments.Figures.run ~config:tiny "fig99");
+       false
+     with Invalid_argument _ -> true)
+
+let fig1_shape_holds () =
+  (* The headline: dominant heuristics gain heavily over AllProcCache once
+     enough applications co-run.  (Reduced sweep via the tiny config still
+     uses the figure's own x values; we check the largest.) *)
+  match Experiments.Figures.fig1 ~config:tiny () with
+  | [ fig ] ->
+    let last_row = List.nth fig.Experiments.Report.rows
+        (List.length fig.Experiments.Report.rows - 1) in
+    let cells = snd last_row in
+    (* Column 0 is AllProcCache (=1), the rest are the six heuristics. *)
+    List.iteri
+      (fun i v ->
+        if i > 0 then
+          Alcotest.(check bool) "at least 80% gain at n=256" true (v < 0.2))
+      cells
+  | _ -> Alcotest.fail "fig1 returns one figure"
+
+let fig3_dominant_wins () =
+  match Experiments.Figures.fig3 ~config:tiny () with
+  | [ _; by_dmr ] ->
+    (* In the DominantMinRatio normalization every policy is >= 1. *)
+    List.iter
+      (fun (_, cells) ->
+        List.iter
+          (fun v ->
+            Alcotest.(check bool) "DominantMinRatio never beaten" true
+              (v >= 1. -. 1e-6))
+          cells)
+      by_dmr.Experiments.Report.rows
+  | _ -> Alcotest.fail "fig3 returns two figures"
+
+let fig6_apc_normalization_monotone () =
+  (* As the sequential fraction grows, co-scheduling gains over
+     AllProcCache increase (the paper's reading of Figure 6). *)
+  match Experiments.Figures.fig6 ~config:tiny () with
+  | [ by_apc; _ ] ->
+    let dmr = Experiments.Report.column by_apc "DominantMinRatio" in
+    let first = snd (List.hd dmr) in
+    let last = snd (List.nth dmr (List.length dmr - 1)) in
+    Alcotest.(check bool) "relative makespan shrinks with s" true (last < first)
+  | _ -> Alcotest.fail "fig6 returns two figures"
+
+let table2_rows () =
+  match Experiments.Figures.table2 ~config:tiny () with
+  | [ fig ] ->
+    Alcotest.(check int) "six kernels" 6 (List.length fig.Experiments.Report.rows);
+    List.iter
+      (fun (_, cells) ->
+        let alpha = List.nth cells 4 in
+        Alcotest.(check bool) "alpha plausible" true (alpha > 0.2 && alpha < 0.9))
+      fig.Experiments.Report.rows
+  | _ -> Alcotest.fail "table2 returns one figure"
+
+let optgap_heuristics_near_optimal () =
+  match Experiments.Figures.optgap ~config:tiny () with
+  | [ fig ] ->
+    List.iter
+      (fun (_, cells) ->
+        (* Columns 0-1 are the two dominant heuristics: ratio ~ 1. *)
+        Alcotest.(check bool) "DominantMinRatio within 1%" true
+          (List.nth cells 0 < 1.01);
+        Alcotest.(check bool) "DominantRevMaxRatio within 1%" true
+          (List.nth cells 1 < 1.01);
+        (* Fair is strictly worse. *)
+        Alcotest.(check bool) "Fair above optimal" true (List.nth cells 3 > 1.))
+      fig.Experiments.Report.rows
+  | _ -> Alcotest.fail "optgap returns one figure"
+
+let validation_error_tiny () =
+  match Experiments.Figures.validation ~config:tiny () with
+  | [ fig ] ->
+    List.iter
+      (fun (_, cells) ->
+        Alcotest.(check bool) "model error at fp precision" true
+          (List.nth cells 0 < 1e-9);
+        Alcotest.(check bool) "redistribution ratio <= 1" true
+          (List.nth cells 1 <= 1. +. 1e-9))
+      fig.Experiments.Report.rows
+  | _ -> Alcotest.fail "validation returns one figure"
+
+let rounding_ratios_at_least_one () =
+  match Experiments.Figures.rounding ~config:tiny () with
+  | [ fig ] ->
+    List.iter
+      (fun (_, cells) ->
+        Alcotest.(check bool) "mean >= 1" true (List.nth cells 0 >= 1. -. 1e-9))
+      fig.Experiments.Report.rows
+  | _ -> Alcotest.fail "rounding returns one figure"
+
+let every_experiment_runs () =
+  (* Smoke: every catalogue entry produces at least one well-formed figure
+     under a 1-trial config.  (Skip the heavyweight repartition sweeps and
+     the biggest app sweeps to keep the suite fast; they are exercised by
+     the benchmark harness.) *)
+  let skip = [ "fig1"; "fig3"; "fig7"; "fig8"; "fig17" ] in
+  let one = { Experiments.Runner.trials = 1; seed = 1 } in
+  List.iter
+    (fun id ->
+      if not (List.mem id skip) then
+        let figs = Experiments.Figures.run ~config:one id in
+        Alcotest.(check bool) (id ^ " yields figures") true (figs <> []);
+        List.iter
+          (fun fig ->
+            Alcotest.(check bool)
+              (id ^ " has rows")
+              true
+              (fig.Experiments.Report.rows <> []))
+          figs)
+    Experiments.Figures.all_ids
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "report",
+        [
+          test "make validates" report_make_validates;
+          test "column extraction" report_column;
+          test "normalize_by" report_normalize;
+          test "normalize with zero reference" report_normalize_zero_reference;
+          test "render and csv" report_render_and_csv;
+        ] );
+      ( "runner",
+        [
+          test "mean makespans deterministic" runner_mean_deterministic;
+          test "sweep shape" runner_sweep_shape;
+          test "repartition shape" runner_repartition_shape;
+          test "Fair repartition uniform" runner_fair_repartition_uniform;
+        ] );
+      ( "figures",
+        [
+          test "experiment catalogue" all_ids_known;
+          test "unknown id rejected" run_unknown_id;
+          test "fig1 shape: big gains at high n" fig1_shape_holds;
+          test "fig3 shape: DominantMinRatio wins" fig3_dominant_wins;
+          test "fig6 shape: gain grows with s" fig6_apc_normalization_monotone;
+          test "table2 analogue" table2_rows;
+          test "optgap: heuristics near-optimal" optgap_heuristics_near_optimal;
+          test "validation: model error tiny" validation_error_tiny;
+          test "rounding: ratio >= 1" rounding_ratios_at_least_one;
+          test "every experiment runs" every_experiment_runs;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the generalised-speedup extension: Model.Speedup,
+   Sched.General, Simulator.Trace_driven. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
+
+(* --- Speedup ---------------------------------------------------------------- *)
+
+let speedup_amdahl_factor () =
+  let t = Model.Speedup.Amdahl 0.2 in
+  check_float "p=1" 1. (Model.Speedup.factor t 1.);
+  check_float "p=4" (0.2 +. 0.2) (Model.Speedup.factor t 4.);
+  check_close ~eps:1e-9 "limit" 0.2 (Model.Speedup.factor t 1e12)
+
+let speedup_power_factor () =
+  let t = Model.Speedup.Power 0.5 in
+  check_float "p=1" 1. (Model.Speedup.factor t 1.);
+  check_float "p=4" 0.5 (Model.Speedup.factor t 4.);
+  check_float "perfectly parallel at beta=1" 0.25
+    (Model.Speedup.factor (Model.Speedup.Power 1.) 4.)
+
+let speedup_comm_nonmonotone () =
+  let t = Model.Speedup.Comm { s = 0.; overhead = 0.05 } in
+  (* Optimal at p* = (1-0)/0.05 = 20. *)
+  check_float "best procs" 20. (Model.Speedup.best_procs t ~cap:256.);
+  let f p = Model.Speedup.factor t p in
+  Alcotest.(check bool) "decreasing before p*" true (f 2. > f 10. && f 10. > f 20.);
+  Alcotest.(check bool) "increasing after p*" true (f 40. > f 20. && f 200. > f 40.)
+
+let speedup_comm_capped_best () =
+  let t = Model.Speedup.Comm { s = 0.; overhead = 0.001 } in
+  (* p* = 1000 > cap: best is the cap. *)
+  check_float "capped" 256. (Model.Speedup.best_procs t ~cap:256.)
+
+let speedup_validation () =
+  let invalid t =
+    try
+      ignore (Model.Speedup.validate t);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "s = 1" true (invalid (Model.Speedup.Amdahl 1.));
+  Alcotest.(check bool) "beta 0" true (invalid (Model.Speedup.Power 0.));
+  Alcotest.(check bool) "beta > 1" true (invalid (Model.Speedup.Power 1.5));
+  Alcotest.(check bool) "overhead 0" true
+    (invalid (Model.Speedup.Comm { s = 0.1; overhead = 0. }))
+
+let speedup_of_app () =
+  let app = Model.App.make ~s:0.07 ~w:1. ~f:1. ~m0:0.1 () in
+  Alcotest.(check bool) "carries s" true
+    (Model.Speedup.of_app app = Model.Speedup.Amdahl 0.07)
+
+let speedup_inversion_roundtrip () =
+  let profiles =
+    [
+      Model.Speedup.Amdahl 0.1;
+      Model.Speedup.Power 0.8;
+      Model.Speedup.Comm { s = 0.05; overhead = 0.01 };
+    ]
+  in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun p ->
+          let target = Model.Speedup.factor t p in
+          match Model.Speedup.procs_for_factor t ~cap:256. ~target with
+          | None -> Alcotest.fail "achievable target reported unreachable"
+          | Some p' ->
+            check_close ~eps:1e-6 "inversion recovers p" 1. (p' /. p))
+        [ 1.5; 4.; 17.; 63. ])
+    profiles
+
+let speedup_inversion_unreachable () =
+  let t = Model.Speedup.Comm { s = 0.1; overhead = 0.05 } in
+  let floor = Model.Speedup.min_factor t ~cap:256. in
+  Alcotest.(check bool) "below the floor" true
+    (Model.Speedup.procs_for_factor t ~cap:256. ~target:(floor /. 2.) = None)
+
+let speedup_inversion_smallest () =
+  (* The returned p must be the smallest achieving the target (conserving
+     processors): check that slightly fewer processors miss the target. *)
+  let t = Model.Speedup.Amdahl 0.2 in
+  match Model.Speedup.procs_for_factor t ~cap:256. ~target:0.3 with
+  | None -> Alcotest.fail "reachable"
+  | Some p ->
+    Alcotest.(check bool) "achieves" true (Model.Speedup.factor t p <= 0.3 +. 1e-12);
+    Alcotest.(check bool) "minimal" true
+      (Model.Speedup.factor t (p *. 0.99) > 0.3)
+
+let qcheck_speedup_inversion =
+  QCheck.Test.make ~name:"procs_for_factor inverts factor" ~count:200
+    QCheck.(triple (int_range 0 2) (float_range 0.01 0.9) (float_range 1. 200.))
+    (fun (kind, param, p) ->
+      let t =
+        match kind with
+        | 0 -> Model.Speedup.Amdahl param
+        | 1 -> Model.Speedup.Power (Float.max 0.1 param)
+        | _ -> Model.Speedup.Comm { s = param /. 2.; overhead = 0.01 }
+      in
+      let p = Float.min p (Model.Speedup.best_procs t ~cap:256.) in
+      let target = Model.Speedup.factor t p in
+      match Model.Speedup.procs_for_factor t ~cap:256. ~target with
+      | None -> false
+      | Some p' -> abs_float (p' -. p) /. p < 1e-5)
+
+(* --- General ------------------------------------------------------------------ *)
+
+let general_matches_equalize_on_amdahl () =
+  for seed = 1 to 6 do
+    let apps = synth ~seed (4 + (seed * 3)) in
+    let n = Array.length apps in
+    let x = Array.make n (1. /. float_of_int n) in
+    let k_old = Sched.Equalize.solve_makespan ~platform ~apps x in
+    let r = Sched.General.solve ~platform ~apps:(Sched.General.of_apps apps) ~x in
+    check_close ~eps:1e-8
+      (Printf.sprintf "seed %d agreement" seed)
+      1.
+      (r.Sched.General.makespan /. k_old)
+  done
+
+let general_no_idle_for_monotone () =
+  let apps = synth ~seed:7 10 in
+  let x = Array.make 10 0.1 in
+  let r = Sched.General.solve ~platform ~apps:(Sched.General.of_apps apps) ~x in
+  Alcotest.(check bool) "all processors used" true (r.Sched.General.idle < 1e-6)
+
+let general_comm_caps_and_idles () =
+  (* Strong overhead: every app peaks at p* = (1-s)/overhead << p/n, so
+     processors must stay idle and each app sits at its floor. *)
+  let bases = synth ~seed:8 4 in
+  let apps =
+    Array.map
+      (fun base ->
+        {
+          Sched.General.base;
+          profile = Model.Speedup.Comm { s = 0.; overhead = 0.1 };
+        })
+      bases
+  in
+  let x = Array.make 4 0.25 in
+  let r = Sched.General.solve ~platform ~apps ~x in
+  (* p* = 10 per app; 4 apps use <= 40 of 256. *)
+  Alcotest.(check bool) "significant idle" true (r.Sched.General.idle > 200.);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "at most p*" true (p <= 10. +. 1e-6))
+    r.Sched.General.procs
+
+let general_equal_finish_unless_floored () =
+  let bases = synth ~seed:9 8 in
+  let apps =
+    Array.mapi
+      (fun i base ->
+        {
+          Sched.General.base;
+          profile =
+            (if i mod 2 = 0 then Model.Speedup.Amdahl base.Model.App.s
+             else Model.Speedup.Power 0.9);
+        })
+      bases
+  in
+  let x = Array.make 8 0.125 in
+  let r = Sched.General.solve ~platform ~apps ~x in
+  Array.iter
+    (fun t ->
+      check_close ~eps:1e-6 "all at the makespan" 1. (t /. r.Sched.General.makespan))
+    r.Sched.General.times
+
+let general_power_beats_amdahl () =
+  (* A Power-0.9 profile has no sequential floor, so the same instance
+     finishes faster than with Amdahl fractions in [0.01, 0.15]. *)
+  let bases = synth ~seed:10 12 in
+  let x = Array.make 12 (1. /. 12.) in
+  let amdahl =
+    Sched.General.solve ~platform ~apps:(Sched.General.of_apps bases) ~x
+  in
+  let power =
+    Sched.General.solve ~platform
+      ~apps:
+        (Array.map
+           (fun base -> { Sched.General.base; profile = Model.Speedup.Power 0.9 })
+           bases)
+      ~x
+  in
+  Alcotest.(check bool) "power finishes earlier" true
+    (power.Sched.General.makespan < amdahl.Sched.General.makespan)
+
+let general_solve_with_dominant () =
+  let bases = synth ~seed:11 16 in
+  let rng = Util.Rng.create 12 in
+  let r =
+    Sched.General.solve_with_dominant ~rng ~platform
+      ~apps:(Sched.General.of_apps bases)
+  in
+  Alcotest.(check bool) "positive makespan" true (r.Sched.General.makespan > 0.);
+  let total = Array.fold_left ( +. ) 0. r.Sched.General.x in
+  Alcotest.(check bool) "cache feasible" true (total <= 1. +. 1e-9);
+  (* Consistency with the production Amdahl path. *)
+  let reference =
+    Sched.Heuristics.makespan ~rng:(Util.Rng.create 12) ~platform ~apps:bases
+      Sched.Heuristics.dominant_min_ratio
+  in
+  check_close ~eps:1e-6 "matches Heuristics pipeline" 1.
+    (r.Sched.General.makespan /. reference)
+
+let general_validation () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Sched.General.solve ~platform ~apps:[||] ~x:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Trace_driven ------------------------------------------------------------- *)
+
+let td_platform sets ways = Model.Platform.make ~p:32. ~cs:(float_of_int (sets * ways * 64)) ()
+
+let td_tenants ~seed sets =
+  ignore sets;
+  let rng = Util.Rng.create seed in
+  Array.of_list
+    (List.map
+       (fun name ->
+         let spec = Cachesim.Kernels.spec name in
+         let trace = Cachesim.Kernels.trace ~rng ~scale:128 ~length:20_000 name in
+         let app =
+           Model.App.make ~name ~s:0.02 ~c0:(float_of_int (64 * 16 * 64))
+             ~w:spec.Cachesim.Kernels.work
+             ~f:(1. /. spec.Cachesim.Kernels.ops_per_access)
+             ~m0:0.5 ()
+         in
+         { Simulator.Trace_driven.app; trace; procs = 8.; way_count = 4 })
+       [ "CG"; "BT"; "MG"; "FT" ])
+
+let trace_driven_runs () =
+  let sets = 64 and ways = 16 in
+  let o =
+    Simulator.Trace_driven.run ~platform:(td_platform sets ways) ~sets ~ways
+      (td_tenants ~seed:1 sets)
+  in
+  Alcotest.(check int) "four tenants" 4 (Array.length o.Simulator.Trace_driven.tenants);
+  Array.iter
+    (fun (t : Simulator.Trace_driven.tenant_outcome) ->
+      Alcotest.(check bool) "miss rate in [0,1]" true
+        (t.measured_miss_rate >= 0. && t.measured_miss_rate <= 1.);
+      Alcotest.(check bool) "times positive" true
+        (t.measured_time > 0. && t.model_time > 0.))
+    o.Simulator.Trace_driven.tenants;
+  check_float "makespan is max measured"
+    (Array.fold_left
+       (fun acc (t : Simulator.Trace_driven.tenant_outcome) ->
+         Float.max acc t.measured_time)
+       0. o.Simulator.Trace_driven.tenants)
+    o.Simulator.Trace_driven.measured_makespan
+
+let trace_driven_matches_private_runs () =
+  (* Isolation again, end to end: the measured rate equals a private
+     set-associative run on the tenant's ways. *)
+  let sets = 64 and ways = 16 in
+  let tenants = td_tenants ~seed:2 sets in
+  let o =
+    Simulator.Trace_driven.run ~platform:(td_platform sets ways) ~sets ~ways
+      tenants
+  in
+  Array.iteri
+    (fun i (t : Simulator.Trace_driven.tenant) ->
+      let private_misses = Cachesim.Set_assoc.run ~sets ~ways:4 t.trace in
+      let expected =
+        float_of_int private_misses /. float_of_int (Array.length t.trace)
+      in
+      check_close ~eps:1e-12 "isolated rate" expected
+        o.Simulator.Trace_driven.tenants.(i).Simulator.Trace_driven.measured_miss_rate)
+    tenants
+
+let trace_driven_oversubscription () =
+  let sets = 64 and ways = 8 in
+  Alcotest.(check bool) "ways oversubscribed" true
+    (try
+       ignore
+         (Simulator.Trace_driven.run ~platform:(td_platform sets ways) ~sets
+            ~ways (td_tenants ~seed:3 sets));
+       false
+     with Invalid_argument _ -> true)
+
+let trace_driven_cs_mismatch () =
+  let sets = 64 and ways = 16 in
+  let wrong = Model.Platform.make ~p:32. ~cs:1e9 () in
+  Alcotest.(check bool) "Cs mismatch" true
+    (try
+       ignore
+         (Simulator.Trace_driven.run ~platform:wrong ~sets ~ways
+            (td_tenants ~seed:4 sets));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "general"
+    [
+      ( "speedup",
+        [
+          test "Amdahl factor" speedup_amdahl_factor;
+          test "Power factor" speedup_power_factor;
+          test "Comm is non-monotone" speedup_comm_nonmonotone;
+          test "Comm best capped" speedup_comm_capped_best;
+          test "validation" speedup_validation;
+          test "of_app" speedup_of_app;
+          test "inversion roundtrip" speedup_inversion_roundtrip;
+          test "inversion unreachable" speedup_inversion_unreachable;
+          test "inversion is minimal" speedup_inversion_smallest;
+          qtest qcheck_speedup_inversion;
+        ] );
+      ( "general_solver",
+        [
+          test "matches Equalize on Amdahl" general_matches_equalize_on_amdahl;
+          test "no idle for monotone profiles" general_no_idle_for_monotone;
+          test "Comm caps processors and idles" general_comm_caps_and_idles;
+          test "equal finish unless floored" general_equal_finish_unless_floored;
+          test "Power beats Amdahl" general_power_beats_amdahl;
+          test "full heuristic pipeline" general_solve_with_dominant;
+          test "validation" general_validation;
+        ] );
+      ( "trace_driven",
+        [
+          test "runs and reports" trace_driven_runs;
+          test "isolation end to end" trace_driven_matches_private_runs;
+          test "rejects oversubscription" trace_driven_oversubscription;
+          test "rejects Cs mismatch" trace_driven_cs_mismatch;
+        ] );
+    ]

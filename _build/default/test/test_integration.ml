@@ -1,0 +1,187 @@
+(* Cross-module integration tests: full pipelines from trace generation or
+   workload synthesis through heuristics, exact solutions and discrete-event
+   replay. *)
+
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+
+let platform = Model.Platform.paper_default
+
+(* Pipeline 1: cache simulator -> power-law fit -> model apps -> heuristic
+   schedule -> DES replay. *)
+let full_pipeline_cachesim_to_des () =
+  let rng = Util.Rng.create 101 in
+  let apps =
+    Array.of_list
+      (List.map
+         (fun ((spec : Cachesim.Kernels.spec), cal) ->
+           Cachesim.Miss_curve.to_app ~name:spec.name ~s:0.05 ~w:spec.work
+             ~f:(1. /. spec.ops_per_access) cal)
+         (Cachesim.Kernels.table2_analogue ~rng ~scale:512 ~length:30_000 ()))
+  in
+  let node = Model.Platform.make ~p:32. ~cs:256e6 () in
+  let result =
+    Sched.Heuristics.run ~rng ~platform:node ~apps
+      Sched.Heuristics.dominant_min_ratio
+  in
+  let schedule = Option.get result.Sched.Heuristics.schedule in
+  Alcotest.(check bool) "schedule valid" true (Model.Schedule.is_valid schedule);
+  Alcotest.(check bool) "equal finish" true
+    (Model.Schedule.equal_finish ~eps:1e-5 schedule);
+  Alcotest.(check bool) "DES agrees with model" true
+    (Simulator.Coschedule_sim.model_error schedule < 1e-9)
+
+(* Pipeline 2: Theorem consistency — exact optimum = best dominant greedy on
+   perfectly parallel instances, and its DES replay matches. *)
+let exact_greedy_des_consistency () =
+  for seed = 1 to 10 do
+    let apps =
+      Model.Workload.generate ~fixed_s:0. ~rng:(Util.Rng.create seed)
+        Model.Workload.NpbSynth 8
+    in
+    let exact = Theory.Exact.optimal ~platform ~apps () in
+    let rng = Util.Rng.create (seed + 100) in
+    let best_greedy =
+      List.fold_left
+        (fun acc policy ->
+          Float.min acc (Sched.Heuristics.makespan ~rng ~platform ~apps policy))
+        infinity Sched.Heuristics.dominant_heuristics
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: greedy within 0.1%% of optimum" seed)
+      true
+      (best_greedy /. exact.Theory.Exact.makespan < 1.001);
+    let schedule = Theory.Exact.optimal_schedule ~platform ~apps () in
+    Alcotest.(check bool) "DES replays the optimum" true
+      (Simulator.Coschedule_sim.model_error schedule < 1e-9)
+  done
+
+(* Pipeline 3: the Knapsack reduction round trip through the real solver
+   stack (Theorem 1 in the machine). *)
+let knapsack_roundtrip_through_model () =
+  let items =
+    [|
+      { Theory.Knapsack.size = 3; value = 7 };
+      { Theory.Knapsack.size = 4; value = 9 };
+      { Theory.Knapsack.size = 2; value = 4 };
+    |]
+  in
+  List.iter
+    (fun (capacity, target) ->
+      let instance = { Theory.Knapsack.items; capacity; target } in
+      let expected = Theory.Knapsack.decide instance in
+      let got = Theory.Knapsack.decide_cosched (Theory.Knapsack.reduce instance) in
+      Alcotest.(check bool)
+        (Printf.sprintf "U=%d V=%d" capacity target)
+        expected got)
+    [ (5, 11); (5, 12); (7, 16); (7, 17); (9, 20); (9, 21); (2, 4); (2, 5) ]
+
+(* Pipeline 4: partitioned-cache execution agrees with the model's premise.
+   Simulate two kernels under way partitioning; their measured per-tenant
+   miss rates at the partition sizes should approximate the power-law
+   prediction from their own calibrations. *)
+let partition_matches_power_law () =
+  let rng = Util.Rng.create 202 in
+  let trace = Cachesim.Trace.zipf ~rng ~s:0.8 ~blocks:4096 ~length:120_000 () in
+  let capacities = Cachesim.Miss_curve.log_spaced ~min:32 ~max:8192 ~points:12 in
+  let cal = Cachesim.Miss_curve.calibrate trace ~capacities in
+  let fit = cal.Cachesim.Miss_curve.fit in
+  (* Partitioned run: give the tenant 512 of 1024 blocks (sets*ways). *)
+  let shared = Cachesim.Partition.create ~sets:64 ~ways:16 ~tenants:2 in
+  Cachesim.Partition.assign shared ~tenant:0 ~way_count:8;
+  Cachesim.Partition.assign shared ~tenant:1 ~way_count:8;
+  Array.iter (fun b -> ignore (Cachesim.Partition.access shared ~tenant:0 b)) trace;
+  let measured = Cachesim.Partition.tenant_miss_rate shared 0 in
+  let predicted =
+    Float.min 1.
+      (fit.Util.Regress.m0
+      *. ((float_of_int cal.Cachesim.Miss_curve.c0_blocks /. 512.)
+         ** fit.Util.Regress.alpha))
+  in
+  (* Set-associativity and fit error both contribute; a factor-2 band is
+     the meaningful check (order of magnitude + direction). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f vs predicted %.4f" measured predicted)
+    true
+    (measured < 2. *. predicted && measured > predicted /. 2.)
+
+(* Pipeline 5: end-to-end determinism — the whole experiment stack gives
+   identical numbers for identical seeds. *)
+let experiments_deterministic () =
+  let config = { Experiments.Runner.trials = 2; seed = 77 } in
+  let run () =
+    match Experiments.Figures.run ~config "fig2" with
+    | [ fig ] -> fig.Experiments.Report.rows
+    | _ -> Alcotest.fail "fig2 yields one figure"
+  in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (x1, c1) (x2, c2) ->
+      check_close ~eps:0. "same x" x1 x2;
+      List.iter2 (fun v1 v2 -> check_close ~eps:0. "same cell" v1 v2) c1 c2)
+    a b
+
+(* Pipeline 6: the paper's qualitative conclusions, end to end, averaged
+   over seeds (Section 6.3 summary). *)
+let paper_conclusions_hold () =
+  let trials = 10 in
+  let master = Util.Rng.create 31415 in
+  let sums = Hashtbl.create 8 in
+  let policies =
+    Sched.Heuristics.
+      [ dominant_min_ratio; RandomPart; ZeroCache; Fair; AllProcCache ]
+  in
+  for _ = 1 to trials do
+    let rng = Util.Rng.split master in
+    let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth 64 in
+    List.iter
+      (fun policy ->
+        let m = Sched.Heuristics.makespan ~rng ~platform ~apps policy in
+        let key = Sched.Heuristics.name policy in
+        Hashtbl.replace sums key (m +. Option.value ~default:0. (Hashtbl.find_opt sums key)))
+      policies
+  done;
+  let mean name = Hashtbl.find sums name /. float_of_int trials in
+  (* Ranking at n=64, p=256 (paper, Section 6.3 & Appendix): DominantMinRatio
+     < RandomPart < 0cache < Fair < AllProcCache. *)
+  Alcotest.(check bool) "Dominant < RandomPart" true
+    (mean "DominantMinRatio" < mean "RandomPart");
+  Alcotest.(check bool) "RandomPart < 0cache" true
+    (mean "RandomPart" < mean "0cache");
+  Alcotest.(check bool) "0cache < Fair" true (mean "0cache" < mean "Fair");
+  Alcotest.(check bool) "Fair < AllProcCache" true
+    (mean "Fair" < mean "AllProcCache");
+  (* And the headline gain: > 80% over AllProcCache at n = 64. *)
+  Alcotest.(check bool) "85%-class gain" true
+    (mean "DominantMinRatio" /. mean "AllProcCache" < 0.2)
+
+(* Pipeline 7: rounding + DES — integral schedules replay exactly too. *)
+let rounded_schedule_des () =
+  let apps =
+    Model.Workload.generate ~rng:(Util.Rng.create 55) Model.Workload.NpbSynth 12
+  in
+  let rng = Util.Rng.create 56 in
+  let schedule =
+    Option.get
+      (Sched.Heuristics.run ~rng ~platform ~apps
+         Sched.Heuristics.dominant_min_ratio)
+        .Sched.Heuristics.schedule
+  in
+  let rounded = Sched.Rounding.integerize schedule in
+  Alcotest.(check bool) "DES matches model on integral schedule" true
+    (Simulator.Coschedule_sim.model_error rounded < 1e-9)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          test "cachesim -> fit -> heuristic -> DES" full_pipeline_cachesim_to_des;
+          test "exact = greedy, DES replays" exact_greedy_des_consistency;
+          test "Knapsack reduction round trip" knapsack_roundtrip_through_model;
+          test "partitioned cache matches power law" partition_matches_power_law;
+          test "experiments deterministic" experiments_deterministic;
+          test "paper's conclusions hold" paper_conclusions_hold;
+          test "rounded schedule DES" rounded_schedule_des;
+        ] );
+    ]

@@ -1,0 +1,545 @@
+(* Tests for the model library: App, Platform, Power_law, Exec_model,
+   Schedule, Npb, Workload. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let sample_app ?(s = 0.) ?(m0 = 1e-2) ?(f = 0.5) ?(w = 1e10) () =
+  Model.App.make ~name:"t" ~s ~w ~f ~m0 ()
+
+(* --- App ---------------------------------------------------------------- *)
+
+let app_defaults () =
+  let a = sample_app () in
+  check_float "s" 0. a.Model.App.s;
+  check_float "c0 default 40MB" 40e6 a.Model.App.c0;
+  Alcotest.(check bool) "footprint infinite" true
+    (a.Model.App.footprint = infinity);
+  Alcotest.(check bool) "perfectly parallel" true (Model.App.perfectly_parallel a)
+
+let app_validation () =
+  let expect_invalid name make =
+    Alcotest.(check bool) name true
+      (try
+         ignore (make ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "w <= 0" (fun () -> Model.App.make ~w:0. ~f:1. ~m0:0.1 ());
+  expect_invalid "s = 1" (fun () -> Model.App.make ~s:1. ~w:1. ~f:1. ~m0:0.1 ());
+  expect_invalid "s < 0" (fun () -> Model.App.make ~s:(-0.1) ~w:1. ~f:1. ~m0:0.1 ());
+  expect_invalid "f < 0" (fun () -> Model.App.make ~w:1. ~f:(-1.) ~m0:0.1 ());
+  expect_invalid "m0 > 1" (fun () -> Model.App.make ~w:1. ~f:1. ~m0:1.5 ());
+  expect_invalid "m0 < 0" (fun () -> Model.App.make ~w:1. ~f:1. ~m0:(-0.1) ());
+  expect_invalid "c0 <= 0" (fun () -> Model.App.make ~c0:0. ~w:1. ~f:1. ~m0:0.1 ());
+  expect_invalid "footprint <= 0" (fun () ->
+      Model.App.make ~footprint:0. ~w:1. ~f:1. ~m0:0.1 ())
+
+let app_with_updates () =
+  let a = sample_app () in
+  check_float "with_s" 0.1 (Model.App.with_s a 0.1).Model.App.s;
+  check_float "with_w" 5. (Model.App.with_w a 5.).Model.App.w;
+  check_float "with_m0" 0.3 (Model.App.with_m0 a 0.3).Model.App.m0;
+  Alcotest.(check string) "with_name" "x"
+    (Model.App.with_name a "x").Model.App.name
+
+let app_with_validates () =
+  let a = sample_app () in
+  Alcotest.(check bool) "with_s validates" true
+    (try
+       ignore (Model.App.with_s a 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let app_to_string () =
+  Alcotest.(check bool) "nonempty" true
+    (String.length (Model.App.to_string (sample_app ())) > 0)
+
+(* --- Platform ------------------------------------------------------------ *)
+
+let platform_defaults () =
+  check_float "ls" 0.17 platform.Model.Platform.ls;
+  check_float "ll" 1. platform.Model.Platform.ll;
+  check_float "alpha" 0.5 platform.Model.Platform.alpha;
+  check_float "p" 256. platform.Model.Platform.p;
+  check_float "cs 32GB" 32e9 platform.Model.Platform.cs;
+  check_float "small llc 1GB" 1e9 Model.Platform.small_llc.Model.Platform.cs
+
+let platform_validation () =
+  let expect_invalid name make =
+    Alcotest.(check bool) name true
+      (try
+         ignore (make ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "p = 0" (fun () -> Model.Platform.make ~p:0. ~cs:1. ());
+  expect_invalid "cs = 0" (fun () -> Model.Platform.make ~p:1. ~cs:0. ());
+  expect_invalid "ll < ls" (fun () ->
+      Model.Platform.make ~ls:2. ~ll:1. ~p:1. ~cs:1. ());
+  expect_invalid "alpha > 1" (fun () ->
+      Model.Platform.make ~alpha:1.5 ~p:1. ~cs:1. ());
+  expect_invalid "alpha = 0" (fun () ->
+      Model.Platform.make ~alpha:0. ~p:1. ~cs:1. ())
+
+let platform_with_updates () =
+  check_float "with_p" 16. (Model.Platform.with_p platform 16.).Model.Platform.p;
+  check_float "with_cs" 1e9 (Model.Platform.with_cs platform 1e9).Model.Platform.cs;
+  check_float "with_ls" 0.5 (Model.Platform.with_ls platform 0.5).Model.Platform.ls;
+  check_float "with_alpha" 0.3
+    (Model.Platform.with_alpha platform 0.3).Model.Platform.alpha
+
+(* --- Power_law ------------------------------------------------------------ *)
+
+let power_law_at_baseline () =
+  check_float "m(c0) = m0" 0.02
+    (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.02 ~c0:4e7 4e7)
+
+let power_law_halving () =
+  (* Quartering the cache doubles the rate at alpha = 0.5. *)
+  check_close "m(c0/4) = 2 m0" 0.04
+    (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.02 ~c0:4e7 1e7)
+
+let power_law_caps_at_one () =
+  check_float "tiny cache saturates" 1.
+    (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.9 ~c0:4e7 1.)
+
+let power_law_zero_cache () =
+  check_float "zero cache misses all" 1.
+    (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.5 ~c0:4e7 0.)
+
+let power_law_zero_m0 () =
+  check_float "never-missing app stays at 0" 0.
+    (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0. ~c0:4e7 0.)
+
+let power_law_monotone_in_cache () =
+  let m c = Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.3 ~c0:1e6 c in
+  Alcotest.(check bool) "decreasing" true (m 1e5 >= m 1e6 && m 1e6 >= m 1e7)
+
+let power_law_rescale () =
+  (* The paper's d_i: m_40MB * (40e6/Cs)^alpha, uncapped. *)
+  let d = Model.Power_law.rescale_m0 ~alpha:0.5 ~m0:0.0151 ~c0:40e6 ~c1:32e9 in
+  check_close ~eps:1e-9 "d_i for SP on TaihuLight"
+    (0.0151 *. sqrt (40e6 /. 32e9))
+    d
+
+let power_law_rescale_can_exceed_one () =
+  let d = Model.Power_law.rescale_m0 ~alpha:0.5 ~m0:0.9 ~c0:1e9 ~c1:1e3 in
+  Alcotest.(check bool) "uncapped" true (d > 1.)
+
+let power_law_d_of () =
+  let app = sample_app ~m0:0.0151 () in
+  check_close ~eps:1e-12 "d_of matches rescale"
+    (Model.Power_law.rescale_m0 ~alpha:0.5 ~m0:0.0151 ~c0:40e6 ~c1:32e9)
+    (Model.Power_law.d_of ~app ~platform)
+
+let power_law_min_useful_fraction () =
+  let app = sample_app ~m0:0.0151 () in
+  let d = Model.Power_law.d_of ~app ~platform in
+  check_close ~eps:1e-12 "d^(1/alpha)" (d ** 2.)
+    (Model.Power_law.min_useful_fraction ~app ~platform)
+
+let power_law_max_useful_fraction () =
+  let app = Model.App.make ~footprint:16e9 ~w:1. ~f:1. ~m0:0.1 () in
+  check_float "half the LLC" 0.5
+    (Model.Power_law.max_useful_fraction ~app ~platform);
+  let small = Model.App.make ~w:1. ~f:1. ~m0:0.1 () in
+  check_float "unbounded footprint caps at 1" 1.
+    (Model.Power_law.max_useful_fraction ~app:small ~platform)
+
+let power_law_invalid () =
+  Alcotest.(check bool) "negative cache" true
+    (try
+       ignore (Model.Power_law.miss_rate ~alpha:0.5 ~m0:0.1 ~c0:1. (-1.));
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_power_law_in_unit_interval =
+  QCheck.Test.make ~name:"miss rate always in [0,1]" ~count:500
+    QCheck.(triple (float_range 0. 1.) (float_range 0.1 1.) (float_range 0. 1e12))
+    (fun (m0, alpha, c) ->
+      let m = Model.Power_law.miss_rate ~alpha ~m0 ~c0:4e7 c in
+      m >= 0. && m <= 1.)
+
+(* --- Exec_model ----------------------------------------------------------- *)
+
+let amdahl_one_proc () =
+  let a = sample_app ~s:0.2 () in
+  check_float "Fl(1) = w" a.Model.App.w (Model.Exec_model.amdahl_flops ~app:a 1.)
+
+let amdahl_infinite_limit () =
+  let a = sample_app ~s:0.2 ~w:100. () in
+  check_close "Fl(p) -> s*w" 20.
+    (Model.Exec_model.amdahl_flops ~app:a 1e12)
+
+let amdahl_speedup () =
+  let a = sample_app ~s:0.1 () in
+  check_close "speedup(10)" (1. /. (0.1 +. 0.09)) (Model.Exec_model.speedup ~app:a 10.);
+  let pp = sample_app ~s:0. () in
+  check_float "perfect speedup" 64. (Model.Exec_model.speedup ~app:pp 64.)
+
+let miss_ratio_zero_fraction () =
+  let a = sample_app () in
+  check_float "x=0 -> all misses" 1. (Model.Exec_model.miss_ratio ~app:a ~platform 0.)
+
+let miss_ratio_footprint_cap () =
+  (* Giving more cache than the footprint cannot reduce misses further. *)
+  let a = Model.App.make ~footprint:(0.1 *. 32e9) ~w:1. ~f:1. ~m0:0.01 () in
+  let at_cap = Model.Exec_model.miss_ratio ~app:a ~platform 0.1 in
+  let beyond = Model.Exec_model.miss_ratio ~app:a ~platform 0.9 in
+  check_float "capped" at_cap beyond
+
+let miss_ratio_out_of_range () =
+  let a = sample_app () in
+  Alcotest.(check bool) "x > 1 rejected" true
+    (try
+       ignore (Model.Exec_model.miss_ratio ~app:a ~platform 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let exe_formula () =
+  (* Hand-check Eq. 2 on round numbers. *)
+  let p = Model.Platform.make ~ls:0.2 ~ll:1. ~alpha:0.5 ~p:4. ~cs:4e7 () in
+  let a = Model.App.make ~s:0. ~w:100. ~f:0.5 ~m0:0.04 () in
+  (* x = 1: cache = c0, miss = 0.04; cost/op = 1 + 0.5*(0.2 + 0.04) = 1.12. *)
+  check_close "Exe(1,1)" 112. (Model.Exec_model.exe ~app:a ~platform:p ~p:1. ~x:1.);
+  check_close "Exe(4,1)" 28. (Model.Exec_model.exe ~app:a ~platform:p ~p:4. ~x:1.);
+  (* x = 0: miss = 1; cost/op = 1 + 0.5*1.2 = 1.6. *)
+  check_close "Exe(1,0)" 160. (Model.Exec_model.exe ~app:a ~platform:p ~p:1. ~x:0.)
+
+let exe_seq_matches_exe1 () =
+  let a = sample_app ~s:0.05 () in
+  check_float "exe_seq = exe(1)"
+    (Model.Exec_model.exe ~app:a ~platform ~p:1. ~x:0.3)
+    (Model.Exec_model.exe_seq ~app:a ~platform ~x:0.3)
+
+let exe_monotone_in_procs () =
+  let a = sample_app ~s:0.1 () in
+  let e p = Model.Exec_model.exe ~app:a ~platform ~p ~x:0.5 in
+  Alcotest.(check bool) "more procs, faster" true (e 2. > e 4. && e 4. > e 128.)
+
+let exe_monotone_in_cache () =
+  let a = sample_app ~m0:0.9 () in
+  let e x = Model.Exec_model.exe ~app:a ~platform ~p:1. ~x in
+  Alcotest.(check bool) "more cache never hurts" true
+    (e 0. >= e 0.25 && e 0.25 >= e 0.5 && e 0.5 >= e 1.)
+
+let work_cost_relation () =
+  let a = sample_app ~s:0.2 () in
+  let c = Model.Exec_model.work_cost ~app:a ~platform ~x:0.4 in
+  let exe = Model.Exec_model.exe ~app:a ~platform ~p:8. ~x:0.4 in
+  check_close ~eps:1e-6 "Exe = (s + (1-s)/p) * c" ((0.2 +. (0.8 /. 8.)) *. c) exe
+
+let procs_for_deadline_roundtrip () =
+  let a = sample_app ~s:0.1 () in
+  let x = 0.3 in
+  let deadline = Model.Exec_model.exe ~app:a ~platform ~p:13. ~x in
+  let p = Model.Exec_model.procs_for_deadline ~app:a ~platform ~x ~deadline in
+  check_close ~eps:1e-9 "recovers p" 13. p
+
+let procs_for_deadline_unreachable () =
+  let a = sample_app ~s:0.5 () in
+  let floor = 0.5 *. Model.Exec_model.work_cost ~app:a ~platform ~x:0. in
+  Alcotest.(check bool) "below sequential floor" true
+    (Model.Exec_model.procs_for_deadline ~app:a ~platform ~x:0.
+       ~deadline:(floor /. 2.)
+    = infinity)
+
+let qcheck_exe_positive =
+  QCheck.Test.make ~name:"Exe is always positive" ~count:300
+    QCheck.(
+      quad (float_range 0. 0.99) (float_range 1e6 1e12) (float_range 0.01 1.)
+        (float_range 0. 1.))
+    (fun (s, w, f, x) ->
+      let a = Model.App.make ~s ~w ~f ~m0:0.01 () in
+      Model.Exec_model.exe ~app:a ~platform ~p:7. ~x > 0.)
+
+(* --- Schedule --------------------------------------------------------- *)
+
+let two_apps () = [| sample_app (); sample_app ~m0:0.001 () |]
+
+let mk_schedule allocs =
+  Model.Schedule.make ~platform ~apps:(two_apps ())
+    ~allocs:(Array.map (fun (procs, cache) -> { Model.Schedule.procs; cache }) allocs)
+
+let schedule_valid () =
+  let s = mk_schedule [| (128., 0.5); (128., 0.5) |] in
+  Alcotest.(check bool) "valid" true (Model.Schedule.is_valid s);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Format.asprintf "%a" Model.Schedule.pp_violation)
+       (Model.Schedule.violations s))
+
+let schedule_length_mismatch () =
+  Alcotest.(check bool) "mismatch rejected" true
+    (try
+       ignore (Model.Schedule.make ~platform ~apps:(two_apps ()) ~allocs:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let schedule_detects_violations () =
+  let s = mk_schedule [| (300., 0.7); (-1., 0.7) |] in
+  let vs = Model.Schedule.violations s in
+  Alcotest.(check bool) "oversubscribed procs" true
+    (List.exists (function Model.Schedule.Procs_oversubscribed _ -> true | _ -> false) vs);
+  Alcotest.(check bool) "oversubscribed cache" true
+    (List.exists (function Model.Schedule.Cache_oversubscribed _ -> true | _ -> false) vs);
+  Alcotest.(check bool) "negative procs" true
+    (List.exists (function Model.Schedule.Negative_procs 1 -> true | _ -> false) vs)
+
+let schedule_detects_zero_procs () =
+  let s = mk_schedule [| (0., 0.); (1., 0.) |] in
+  Alcotest.(check bool) "zero procs flagged" true
+    (List.exists
+       (function Model.Schedule.Zero_procs 0 -> true | _ -> false)
+       (Model.Schedule.violations s))
+
+let schedule_makespan_is_max () =
+  let s = mk_schedule [| (1., 0.); (255., 0.) |] in
+  let times = Model.Schedule.exe_times s in
+  check_float "makespan = max"
+    (Float.max times.(0) times.(1))
+    (Model.Schedule.makespan s)
+
+let schedule_totals () =
+  let s = mk_schedule [| (100., 0.25); (50., 0.5) |] in
+  check_float "total procs" 150. (Model.Schedule.total_procs s);
+  check_float "total cache" 0.75 (Model.Schedule.total_cache s)
+
+let schedule_equal_finish () =
+  let apps = [| sample_app (); sample_app () |] in
+  let s =
+    Model.Schedule.make ~platform ~apps
+      ~allocs:
+        [|
+          { Model.Schedule.procs = 128.; cache = 0.5 };
+          { Model.Schedule.procs = 128.; cache = 0.5 };
+        |]
+  in
+  Alcotest.(check bool) "identical apps, identical alloc" true
+    (Model.Schedule.equal_finish s)
+
+let schedule_unequal_finish () =
+  let s = mk_schedule [| (1., 0.); (255., 0.) |] in
+  Alcotest.(check bool) "detected" false (Model.Schedule.equal_finish s)
+
+let schedule_scale_to_capacity () =
+  let s = mk_schedule [| (10., 0.1); (30., 0.1) |] in
+  let scaled = Model.Schedule.scale_procs_to_capacity s in
+  check_close ~eps:1e-9 "sums to p" 256. (Model.Schedule.total_procs scaled);
+  (* Ratios preserved. *)
+  check_close ~eps:1e-9 "ratio preserved" 3.
+    (scaled.Model.Schedule.allocs.(1).Model.Schedule.procs
+    /. scaled.Model.Schedule.allocs.(0).Model.Schedule.procs)
+
+let schedule_empty_makespan () =
+  let s = Model.Schedule.make ~platform ~apps:[||] ~allocs:[||] in
+  check_float "empty" 0. (Model.Schedule.makespan s)
+
+(* --- Npb ------------------------------------------------------------------ *)
+
+let npb_table2_values () =
+  (* Spot-check the embedded Table 2 constants. *)
+  check_float "CG w" 5.70e10 Model.Npb.cg.Model.Npb.w;
+  check_float "BT f" 0.829 Model.Npb.bt.Model.Npb.f;
+  check_float "SP m40" 1.51e-2 Model.Npb.sp.Model.Npb.m_40mb;
+  check_float "MG m40" 2.62e-2 Model.Npb.mg.Model.Npb.m_40mb;
+  check_float "FT w" 1.65e10 Model.Npb.ft.Model.Npb.w;
+  check_float "LU m40" 1.51e-3 Model.Npb.lu.Model.Npb.m_40mb;
+  Alcotest.(check int) "six benchmarks" 6 (List.length Model.Npb.all);
+  check_float "baseline 40MB" 40e6 Model.Npb.baseline_cache
+
+let npb_order () =
+  Alcotest.(check (list string)) "Table 2 order"
+    [ "CG"; "BT"; "LU"; "SP"; "MG"; "FT" ]
+    (List.map (fun r -> r.Model.Npb.name) Model.Npb.all)
+
+let npb_to_app () =
+  let app = Model.Npb.to_app ~s:0.05 Model.Npb.cg in
+  check_float "w copied" 5.70e10 app.Model.App.w;
+  check_float "s" 0.05 app.Model.App.s;
+  check_float "c0 is 40MB" 40e6 app.Model.App.c0;
+  check_float "m0" 6.59e-4 app.Model.App.m0
+
+let npb_find () =
+  Alcotest.(check string) "case-insensitive" "MG" (Model.Npb.find "mg").Model.Npb.name;
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Model.Npb.find "XX");
+       false
+     with Not_found -> true)
+
+(* --- Workload --------------------------------------------------------- *)
+
+let workload_npb6_cycles () =
+  let rng = Util.Rng.create 1 in
+  let apps = Model.Workload.generate ~rng Model.Workload.Npb6 8 in
+  Alcotest.(check int) "count" 8 (Array.length apps);
+  (* Cycled: app 6 repeats CG's parameters. *)
+  check_float "app 0 is CG" 5.70e10 apps.(0).Model.App.w;
+  check_float "app 6 cycles to CG" 5.70e10 apps.(6).Model.App.w
+
+let workload_s_range () =
+  let rng = Util.Rng.create 2 in
+  let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth 100 in
+  Array.iter
+    (fun (a : Model.App.t) ->
+      Alcotest.(check bool) "s in [0.01, 0.15]" true (a.s >= 0.01 && a.s <= 0.15))
+    apps
+
+let workload_fixed_s () =
+  let rng = Util.Rng.create 3 in
+  let apps = Model.Workload.generate ~fixed_s:0.07 ~rng Model.Workload.Random 20 in
+  Array.iter (fun (a : Model.App.t) -> check_float "s fixed" 0.07 a.s) apps
+
+let workload_fixed_m0 () =
+  let rng = Util.Rng.create 4 in
+  let apps = Model.Workload.generate ~fixed_m0:0.4 ~rng Model.Workload.NpbSynth 20 in
+  Array.iter (fun (a : Model.App.t) -> check_float "m0 fixed" 0.4 a.m0) apps
+
+let workload_synth_w_range () =
+  let rng = Util.Rng.create 5 in
+  let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth 200 in
+  Array.iter
+    (fun (a : Model.App.t) ->
+      Alcotest.(check bool) "w in [1e8, 1e12]" true (a.w >= 1e8 && a.w <= 1e12))
+    apps
+
+let workload_random_ranges () =
+  let rng = Util.Rng.create 6 in
+  let apps = Model.Workload.generate ~rng Model.Workload.Random 200 in
+  Array.iter
+    (fun (a : Model.App.t) ->
+      Alcotest.(check bool) "f in [0.1, 0.9]" true (a.f >= 0.1 && a.f <= 0.9);
+      Alcotest.(check bool) "m0 in [9e-4, 1e-2]" true
+        (a.m0 >= 9e-4 && a.m0 <= 1e-2))
+    apps
+
+let workload_synth_uses_npb_f () =
+  let rng = Util.Rng.create 7 in
+  let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth 50 in
+  let npb_fs = List.map (fun r -> r.Model.Npb.f) Model.Npb.all in
+  Array.iter
+    (fun (a : Model.App.t) ->
+      Alcotest.(check bool) "f drawn from Table 2" true
+        (List.exists (fun f -> abs_float (f -. a.f) < 1e-12) npb_fs))
+    apps
+
+let workload_deterministic () =
+  let gen seed =
+    Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.Random 10
+  in
+  let a = gen 42 and b = gen 42 in
+  Array.iteri
+    (fun i (x : Model.App.t) ->
+      check_float "same w" x.w b.(i).Model.App.w;
+      check_float "same m0" x.m0 b.(i).Model.App.m0)
+    a
+
+let workload_negative_count () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Model.Workload.generate ~rng:(Util.Rng.create 1) Model.Workload.Npb6 (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let workload_dataset_names () =
+  Alcotest.(check string) "npb6" "NPB-6" (Model.Workload.dataset_name Model.Workload.Npb6);
+  Alcotest.(check bool) "roundtrip" true
+    (Model.Workload.dataset_of_string "npb-synth" = Model.Workload.NpbSynth);
+  Alcotest.(check bool) "random" true
+    (Model.Workload.dataset_of_string "RANDOM" = Model.Workload.Random);
+  Alcotest.(check bool) "unknown rejected" true
+    (try
+       ignore (Model.Workload.dataset_of_string "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "app",
+        [
+          test "defaults" app_defaults;
+          test "validation" app_validation;
+          test "with_* updates" app_with_updates;
+          test "with_* validates" app_with_validates;
+          test "to_string" app_to_string;
+        ] );
+      ( "platform",
+        [
+          test "paper defaults" platform_defaults;
+          test "validation" platform_validation;
+          test "with_* updates" platform_with_updates;
+        ] );
+      ( "power_law",
+        [
+          test "identity at baseline" power_law_at_baseline;
+          test "alpha=0.5 quartering doubles" power_law_halving;
+          test "caps at 1" power_law_caps_at_one;
+          test "zero cache" power_law_zero_cache;
+          test "zero m0" power_law_zero_m0;
+          test "monotone in cache" power_law_monotone_in_cache;
+          test "rescale (paper's d_i)" power_law_rescale;
+          test "rescale is uncapped" power_law_rescale_can_exceed_one;
+          test "d_of" power_law_d_of;
+          test "min useful fraction" power_law_min_useful_fraction;
+          test "max useful fraction" power_law_max_useful_fraction;
+          test "rejects negative cache" power_law_invalid;
+          qtest qcheck_power_law_in_unit_interval;
+        ] );
+      ( "exec_model",
+        [
+          test "Amdahl Fl(1) = w" amdahl_one_proc;
+          test "Amdahl limit s*w" amdahl_infinite_limit;
+          test "Amdahl speedup" amdahl_speedup;
+          test "miss ratio at x=0" miss_ratio_zero_fraction;
+          test "footprint caps miss ratio" miss_ratio_footprint_cap;
+          test "fraction range checked" miss_ratio_out_of_range;
+          test "Eq. 2 hand check" exe_formula;
+          test "exe_seq = exe(1)" exe_seq_matches_exe1;
+          test "monotone in processors" exe_monotone_in_procs;
+          test "monotone in cache" exe_monotone_in_cache;
+          test "work_cost relation" work_cost_relation;
+          test "procs_for_deadline roundtrip" procs_for_deadline_roundtrip;
+          test "unreachable deadline" procs_for_deadline_unreachable;
+          qtest qcheck_exe_positive;
+        ] );
+      ( "schedule",
+        [
+          test "valid schedule" schedule_valid;
+          test "length mismatch" schedule_length_mismatch;
+          test "violations detected" schedule_detects_violations;
+          test "zero procs flagged" schedule_detects_zero_procs;
+          test "makespan is max" schedule_makespan_is_max;
+          test "totals" schedule_totals;
+          test "equal finish" schedule_equal_finish;
+          test "unequal finish" schedule_unequal_finish;
+          test "scale to capacity" schedule_scale_to_capacity;
+          test "empty makespan" schedule_empty_makespan;
+        ] );
+      ( "npb",
+        [
+          test "Table 2 constants" npb_table2_values;
+          test "Table 2 order" npb_order;
+          test "to_app" npb_to_app;
+          test "find" npb_find;
+        ] );
+      ( "workload",
+        [
+          test "NPB-6 cycles the six rows" workload_npb6_cycles;
+          test "s range" workload_s_range;
+          test "fixed s" workload_fixed_s;
+          test "fixed m0" workload_fixed_m0;
+          test "NPB-SYNTH w range" workload_synth_w_range;
+          test "RANDOM ranges" workload_random_ranges;
+          test "NPB-SYNTH inherits Table 2 f" workload_synth_uses_npb_f;
+          test "deterministic per seed" workload_deterministic;
+          test "negative count rejected" workload_negative_count;
+          test "dataset names" workload_dataset_names;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the simulator library: Event_queue, Engine, Coschedule_sim. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
+
+let schedule_for ~seed ~policy n =
+  let apps = synth ~seed n in
+  let rng = Util.Rng.create (seed + 1) in
+  Option.get (Sched.Heuristics.run ~rng ~platform ~apps policy).Sched.Heuristics.schedule
+
+(* --- Event_queue ------------------------------------------------------- *)
+
+let queue_orders_by_time () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.push q ~time:3. "c";
+  Simulator.Event_queue.push q ~time:1. "a";
+  Simulator.Event_queue.push q ~time:2. "b";
+  let pop () = Option.get (Simulator.Event_queue.pop q) in
+  Alcotest.(check string) "first" "a" (snd (pop ()));
+  Alcotest.(check string) "second" "b" (snd (pop ()));
+  Alcotest.(check string) "third" "c" (snd (pop ()));
+  Alcotest.(check bool) "empty" true (Simulator.Event_queue.is_empty q)
+
+let queue_fifo_on_ties () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.push q ~time:1. "first";
+  Simulator.Event_queue.push q ~time:1. "second";
+  Simulator.Event_queue.push q ~time:1. "third";
+  Alcotest.(check string) "fifo 1" "first" (snd (Option.get (Simulator.Event_queue.pop q)));
+  Alcotest.(check string) "fifo 2" "second" (snd (Option.get (Simulator.Event_queue.pop q)));
+  Alcotest.(check string) "fifo 3" "third" (snd (Option.get (Simulator.Event_queue.pop q)))
+
+let queue_peek_does_not_remove () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.push q ~time:5. 42;
+  Alcotest.(check int) "peek" 42 (snd (Option.get (Simulator.Event_queue.peek q)));
+  Alcotest.(check int) "still there" 1 (Simulator.Event_queue.length q)
+
+let queue_pop_empty () =
+  let q : int Simulator.Event_queue.t = Simulator.Event_queue.create () in
+  Alcotest.(check bool) "None" true (Simulator.Event_queue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Simulator.Event_queue.peek q = None)
+
+let queue_rejects_nan () =
+  let q = Simulator.Event_queue.create () in
+  Alcotest.(check bool) "NaN rejected" true
+    (try
+       Simulator.Event_queue.push q ~time:Float.nan 0;
+       false
+     with Invalid_argument _ -> true)
+
+let queue_clear () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.push q ~time:1. 0;
+  Simulator.Event_queue.clear q;
+  Alcotest.(check int) "empty" 0 (Simulator.Event_queue.length q)
+
+let qcheck_queue_sorted_drain =
+  QCheck.Test.make ~name:"queue drains in nondecreasing time order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0. 100.))
+    (fun times ->
+      QCheck.assume (times <> []);
+      let q = Simulator.Event_queue.create () in
+      List.iter (fun t -> Simulator.Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Simulator.Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Engine ----------------------------------------------------------------- *)
+
+let engine_runs_in_order () =
+  let engine = Simulator.Engine.create () in
+  let log = ref [] in
+  Simulator.Engine.schedule engine ~at:2. (fun _ -> log := "b" :: !log);
+  Simulator.Engine.schedule engine ~at:1. (fun _ -> log := "a" :: !log);
+  Simulator.Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log);
+  check_float "clock at last event" 2. (Simulator.Engine.now engine);
+  Alcotest.(check int) "count" 2 (Simulator.Engine.events_processed engine)
+
+let engine_handlers_schedule_more () =
+  let engine = Simulator.Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then Simulator.Engine.schedule_after engine ~delay:1. tick
+  in
+  Simulator.Engine.schedule engine ~at:0. tick;
+  Simulator.Engine.run engine;
+  Alcotest.(check int) "chain of 5" 5 !count;
+  check_float "final time" 4. (Simulator.Engine.now engine)
+
+let engine_rejects_past () =
+  let engine = Simulator.Engine.create () in
+  Simulator.Engine.schedule engine ~at:5. (fun engine ->
+      Alcotest.(check bool) "past rejected" true
+        (try
+           Simulator.Engine.schedule engine ~at:1. (fun _ -> ());
+           false
+         with Invalid_argument _ -> true));
+  Simulator.Engine.run engine
+
+let engine_until_horizon () =
+  let engine = Simulator.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Simulator.Engine.schedule engine ~at:t (fun _ -> fired := t :: !fired))
+    [ 1.; 2.; 3.; 10. ];
+  Simulator.Engine.run ~until:5. engine;
+  Alcotest.(check (list (float 0.))) "only up to horizon" [ 1.; 2.; 3. ]
+    (List.rev !fired);
+  check_float "clock at horizon" 5. (Simulator.Engine.now engine);
+  (* The remaining event still fires on a later run. *)
+  Simulator.Engine.run engine;
+  Alcotest.(check int) "late event fired" 4 (List.length !fired)
+
+(* --- Coschedule_sim ------------------------------------------------------- *)
+
+let sim_matches_model_equalized () =
+  let schedule = schedule_for ~seed:1 ~policy:Sched.Heuristics.dominant_min_ratio 12 in
+  Alcotest.(check bool) "error at solver precision" true
+    (Simulator.Coschedule_sim.model_error schedule < 1e-9)
+
+let sim_matches_model_unequal () =
+  (* Fair does not equalize: per-application finish times still match. *)
+  let schedule = schedule_for ~seed:2 ~policy:Sched.Heuristics.Fair 10 in
+  let outcome = Simulator.Coschedule_sim.run schedule in
+  let analytic = Model.Schedule.exe_times schedule in
+  Array.iteri
+    (fun i t ->
+      check_close ~eps:1e-6 "finish time matches" 1.
+        (t /. analytic.(i)))
+    outcome.Simulator.Coschedule_sim.finish_times
+
+let sim_event_count () =
+  let schedule = schedule_for ~seed:3 ~policy:Sched.Heuristics.Fair 8 in
+  let outcome = Simulator.Coschedule_sim.run schedule in
+  Alcotest.(check int) "one completion per app" 8
+    (List.length outcome.Simulator.Coschedule_sim.events)
+
+let sim_events_in_time_order () =
+  let schedule = schedule_for ~seed:4 ~policy:Sched.Heuristics.Fair 10 in
+  let outcome = Simulator.Coschedule_sim.run schedule in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      a.Simulator.Coschedule_sim.time <= b.Simulator.Coschedule_sim.time
+      && sorted rest
+  in
+  Alcotest.(check bool) "sorted" true (sorted outcome.Simulator.Coschedule_sim.events)
+
+let sim_makespan_is_max_finish () =
+  let schedule = schedule_for ~seed:5 ~policy:Sched.Heuristics.Fair 6 in
+  let outcome = Simulator.Coschedule_sim.run schedule in
+  check_float "makespan = max"
+    (Array.fold_left Float.max 0. outcome.Simulator.Coschedule_sim.finish_times)
+    outcome.Simulator.Coschedule_sim.makespan
+
+let sim_redistribution_helps_fair () =
+  let schedule = schedule_for ~seed:6 ~policy:Sched.Heuristics.Fair 16 in
+  let base = (Simulator.Coschedule_sim.run schedule).Simulator.Coschedule_sim.makespan in
+  let wc =
+    Simulator.Coschedule_sim.run
+      ~options:
+        {
+          Simulator.Coschedule_sim.default_options with
+          redistribute_procs = true;
+        }
+      schedule
+  in
+  Alcotest.(check bool) "work conserving never slower" true
+    (wc.Simulator.Coschedule_sim.makespan <= base *. (1. +. 1e-9));
+  Alcotest.(check bool) "and strictly helps Fair here" true
+    (wc.Simulator.Coschedule_sim.makespan < base *. 0.999)
+
+let sim_redistribution_noop_when_equalized () =
+  (* Everyone finishes together: freed processors arrive too late to
+     matter. *)
+  let schedule = schedule_for ~seed:7 ~policy:Sched.Heuristics.dominant_min_ratio 8 in
+  let base = Model.Schedule.makespan schedule in
+  let wc =
+    Simulator.Coschedule_sim.run
+      ~options:
+        {
+          Simulator.Coschedule_sim.default_options with
+          redistribute_procs = true;
+          redistribute_cache = true;
+        }
+      schedule
+  in
+  check_close ~eps:1e-6 "unchanged" 1. (wc.Simulator.Coschedule_sim.makespan /. base)
+
+let sim_perturbation_reproducible () =
+  let schedule = schedule_for ~seed:8 ~policy:Sched.Heuristics.dominant_min_ratio 6 in
+  let run seed =
+    (Simulator.Coschedule_sim.run
+       ~options:
+         {
+           Simulator.Coschedule_sim.default_options with
+           cost_perturbation = Some (Util.Rng.create seed, 0.1);
+         }
+       schedule)
+      .Simulator.Coschedule_sim.makespan
+  in
+  check_float "same seed, same outcome" (run 3) (run 3);
+  Alcotest.(check bool) "different seed differs" true (run 3 <> run 4)
+
+let sim_rejects_empty () =
+  let s = Model.Schedule.make ~platform ~apps:[||] ~allocs:[||] in
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Simulator.Coschedule_sim.run s);
+       false
+     with Invalid_argument _ -> true)
+
+let sim_rejects_zero_procs () =
+  let apps = synth ~seed:9 2 in
+  let s =
+    Model.Schedule.make ~platform ~apps
+      ~allocs:
+        [|
+          { Model.Schedule.procs = 0.; cache = 0. };
+          { Model.Schedule.procs = 1.; cache = 0. };
+        |]
+  in
+  Alcotest.(check bool) "zero procs" true
+    (try
+       ignore (Simulator.Coschedule_sim.run s);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_sim_matches_model =
+  QCheck.Test.make ~name:"simulation equals model on random instances" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 1 24))
+    (fun (seed, n) ->
+      let apps = synth ~seed n in
+      let rng = Util.Rng.create (seed + 1) in
+      match
+        (Sched.Heuristics.run ~rng ~platform ~apps Sched.Heuristics.RandomPart)
+          .Sched.Heuristics.schedule
+      with
+      | None -> false
+      | Some s -> Simulator.Coschedule_sim.model_error s < 1e-9)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "event_queue",
+        [
+          test "orders by time" queue_orders_by_time;
+          test "FIFO on ties" queue_fifo_on_ties;
+          test "peek does not remove" queue_peek_does_not_remove;
+          test "pop on empty" queue_pop_empty;
+          test "rejects NaN" queue_rejects_nan;
+          test "clear" queue_clear;
+          qtest qcheck_queue_sorted_drain;
+        ] );
+      ( "engine",
+        [
+          test "runs in order" engine_runs_in_order;
+          test "handlers schedule more" engine_handlers_schedule_more;
+          test "rejects scheduling in the past" engine_rejects_past;
+          test "until horizon" engine_until_horizon;
+        ] );
+      ( "coschedule_sim",
+        [
+          test "matches model (equalized)" sim_matches_model_equalized;
+          test "matches model (unequal)" sim_matches_model_unequal;
+          test "one event per app" sim_event_count;
+          test "events in time order" sim_events_in_time_order;
+          test "makespan is max finish" sim_makespan_is_max_finish;
+          test "redistribution helps Fair" sim_redistribution_helps_fair;
+          test "redistribution no-op when equalized" sim_redistribution_noop_when_equalized;
+          test "perturbation reproducible" sim_perturbation_reproducible;
+          test "rejects empty" sim_rejects_empty;
+          test "rejects zero processors" sim_rejects_zero_procs;
+          qtest qcheck_sim_matches_model;
+        ] );
+    ]

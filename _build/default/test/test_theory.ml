@@ -1,0 +1,596 @@
+(* Tests for the theory library: Perfect (Lemmas 1-3), Dominant
+   (Definition 4, Theorems 2-3), Exact, Knapsack (Theorem 1). *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let npb_parallel () =
+  Array.of_list (List.map (fun r -> Model.Npb.to_app r) Model.Npb.all)
+
+let synth_parallel ~seed n =
+  Model.Workload.generate ~fixed_s:0. ~rng:(Util.Rng.create seed)
+    Model.Workload.NpbSynth n
+
+(* A generator of small perfectly parallel instances for property tests. *)
+let instance_gen =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "(seed %d, n %d)" seed n)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range 2 8))
+
+(* --- Perfect ------------------------------------------------------------ *)
+
+let perfect_allocation_sums_to_p () =
+  let apps = npb_parallel () in
+  let x = Array.make 6 (1. /. 6.) in
+  let procs = Theory.Perfect.processor_allocation ~platform ~apps ~x in
+  check_close ~eps:1e-9 "sum = p" 256. (Array.fold_left ( +. ) 0. procs)
+
+let perfect_allocation_equalizes () =
+  (* Lemma 1/2: under the allocation, all applications finish together. *)
+  let apps = npb_parallel () in
+  let x = [| 0.3; 0.2; 0.1; 0.2; 0.1; 0.1 |] in
+  let s = Theory.Perfect.schedule ~platform ~apps ~x in
+  Alcotest.(check bool) "equal finish" true (Model.Schedule.equal_finish s);
+  Alcotest.(check bool) "valid" true (Model.Schedule.is_valid s)
+
+let perfect_makespan_formula () =
+  (* Lemma 3: makespan = (1/p) sum Exe_seq. *)
+  let apps = npb_parallel () in
+  let x = Array.make 6 (1. /. 6.) in
+  let by_lemma = Theory.Perfect.makespan ~platform ~apps ~x in
+  let s = Theory.Perfect.schedule ~platform ~apps ~x in
+  check_close ~eps:1e-6 "matches schedule makespan"
+    (Model.Schedule.makespan s) by_lemma
+
+let perfect_proportionality () =
+  (* Lemma 2: p_i proportional to Exe_seq_i. *)
+  let apps = npb_parallel () in
+  let x = Array.make 6 0.1 in
+  let procs = Theory.Perfect.processor_allocation ~platform ~apps ~x in
+  let seq i =
+    Model.Exec_model.exe_seq ~app:apps.(i) ~platform ~x:x.(i)
+  in
+  check_close ~eps:1e-9 "ratio matches" (seq 0 /. seq 1) (procs.(0) /. procs.(1))
+
+let perfect_rejects_mismatch () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (Theory.Perfect.makespan ~platform ~apps:(npb_parallel ()) ~x:[| 0.1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let perfect_rejects_empty () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Theory.Perfect.makespan ~platform ~apps:[||] ~x:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_lemma1_any_deviation_worse =
+  (* Moving processors between two applications (keeping the cache split)
+     never beats the Lemma 2 allocation. *)
+  QCheck.Test.make ~name:"Lemma 2 allocation is optimal under perturbation"
+    ~count:100 instance_gen (fun (seed, n) ->
+      let apps = synth_parallel ~seed n in
+      let x = Array.make n (1. /. float_of_int n) in
+      let procs = Theory.Perfect.processor_allocation ~platform ~apps ~x in
+      let base = Theory.Perfect.makespan ~platform ~apps ~x in
+      let rng = Util.Rng.create (seed + 1) in
+      let i = Util.Rng.int rng n and j = Util.Rng.int rng n in
+      QCheck.assume (i <> j);
+      let eps = 0.1 *. procs.(i) in
+      let perturbed = Array.copy procs in
+      perturbed.(i) <- procs.(i) -. eps;
+      perturbed.(j) <- procs.(j) +. eps;
+      let worst =
+        Array.to_list
+          (Array.mapi
+             (fun k pk ->
+               Model.Exec_model.exe ~app:apps.(k) ~platform ~p:pk ~x:x.(k))
+             perturbed)
+        |> List.fold_left Float.max neg_infinity
+      in
+      worst >= base *. (1. -. 1e-9))
+
+(* --- Dominant ------------------------------------------------------------ *)
+
+let full_subset n = Array.make n true
+
+let dominant_weight_positive () =
+  Array.iter
+    (fun app ->
+      Alcotest.(check bool) "weight > 0" true (Theory.Dominant.weight ~platform app > 0.))
+    (npb_parallel ())
+
+let dominant_weight_zero_cases () =
+  let no_access = Model.App.make ~w:1e10 ~f:0. ~m0:0.5 () in
+  check_float "f = 0" 0. (Theory.Dominant.weight ~platform no_access);
+  let no_miss = Model.App.make ~w:1e10 ~f:0.5 ~m0:0. () in
+  check_float "m0 = 0" 0. (Theory.Dominant.weight ~platform no_miss)
+
+let dominant_ratio_edge_cases () =
+  let no_miss = Model.App.make ~w:1e10 ~f:0.5 ~m0:0. () in
+  check_float "d = 0 and weight = 0 gives 0" 0. (Theory.Dominant.ratio ~platform no_miss)
+
+let dominant_npb_full_set () =
+  (* On the TaihuLight platform the whole NPB-6 set is dominant: the big
+     32 GB cache makes every d_i tiny. *)
+  let apps = npb_parallel () in
+  Alcotest.(check bool) "dominant" true
+    (Theory.Dominant.is_dominant ~platform ~apps (full_subset 6))
+
+let dominant_empty_is_dominant () =
+  let apps = npb_parallel () in
+  Alcotest.(check bool) "vacuously dominant" true
+    (Theory.Dominant.is_dominant ~platform ~apps (Array.make 6 false))
+
+let dominant_allocation_sums_to_one () =
+  let apps = npb_parallel () in
+  let x = Theory.Dominant.cache_allocation ~platform ~apps (full_subset 6) in
+  check_close ~eps:1e-9 "sum = 1" 1. (Array.fold_left ( +. ) 0. x)
+
+let dominant_allocation_zero_outside () =
+  let apps = npb_parallel () in
+  let subset = Theory.Dominant.of_indices ~n:6 [ 1; 3 ] in
+  let x = Theory.Dominant.cache_allocation ~platform ~apps subset in
+  check_float "x0 = 0" 0. x.(0);
+  check_float "x2 = 0" 0. x.(2);
+  Alcotest.(check bool) "cached apps positive" true (x.(1) > 0. && x.(3) > 0.)
+
+let dominant_allocation_formula () =
+  (* Theorem 3: x_i = weight_i / sum weights. *)
+  let apps = npb_parallel () in
+  let subset = full_subset 6 in
+  let x = Theory.Dominant.cache_allocation ~platform ~apps subset in
+  let total =
+    Array.fold_left (fun acc a -> acc +. Theory.Dominant.weight ~platform a) 0. apps
+  in
+  Array.iteri
+    (fun i app ->
+      check_close ~eps:1e-12 "closed form"
+        (Theory.Dominant.weight ~platform app /. total)
+        x.(i))
+    apps
+
+let dominant_allocation_empty () =
+  let apps = npb_parallel () in
+  let x = Theory.Dominant.cache_allocation ~platform ~apps (Array.make 6 false) in
+  Array.iter (fun xi -> check_float "all zero" 0. xi) x
+
+let dominant_violators_on_tiny_cache () =
+  (* With a tiny cache d_i^(1/alpha) can exceed any achievable fraction:
+     the full set stops being dominant. *)
+  let tiny = Model.Platform.make ~p:256. ~cs:1e5 () in
+  let apps = npb_parallel () in
+  let subset = full_subset 6 in
+  Alcotest.(check bool) "not dominant on tiny cache" false
+    (Theory.Dominant.is_dominant ~platform:tiny ~apps subset);
+  Alcotest.(check bool) "violators listed" true
+    (Theory.Dominant.violators ~platform:tiny ~apps subset <> [])
+
+let dominant_improve_none_when_dominant () =
+  let apps = npb_parallel () in
+  Alcotest.(check bool) "no improvement possible" true
+    (Theory.Dominant.improve ~platform ~apps (full_subset 6) = None)
+
+let dominant_improve_shrinks () =
+  let tiny = Model.Platform.make ~p:256. ~cs:1e5 () in
+  let apps = npb_parallel () in
+  match Theory.Dominant.improve ~platform:tiny ~apps (full_subset 6) with
+  | None -> Alcotest.fail "expected an improvement step"
+  | Some subset' ->
+    Alcotest.(check int) "one app evicted" 5 (Theory.Dominant.cardinal subset')
+
+let dominant_improve_to_dominant_terminates () =
+  let tiny = Model.Platform.make ~p:256. ~cs:1e5 () in
+  let apps = npb_parallel () in
+  let final = Theory.Dominant.improve_to_dominant ~platform:tiny ~apps (full_subset 6) in
+  Alcotest.(check bool) "fixed point is dominant (or singleton)" true
+    (Theory.Dominant.is_dominant ~platform:tiny ~apps final
+    || Theory.Dominant.cardinal final <= 1)
+
+let theorem2_improvement_strictly_better () =
+  (* Theorem 2: evicting a violator strictly improves the Lemma 3
+     makespan of the closed-form allocation. *)
+  let tiny = Model.Platform.make ~p:256. ~cs:1e6 () in
+  let apps = npb_parallel () in
+  let subset = full_subset 6 in
+  match Theory.Dominant.improve ~platform:tiny ~apps subset with
+  | None -> () (* already dominant at this size: nothing to check *)
+  | Some subset' ->
+    let before = Theory.Dominant.partition_makespan ~platform:tiny ~apps subset in
+    let after = Theory.Dominant.partition_makespan ~platform:tiny ~apps subset' in
+    Alcotest.(check bool) "strictly better" true (after < before)
+
+let dominant_indices_roundtrip () =
+  let subset = Theory.Dominant.of_indices ~n:5 [ 0; 2; 4 ] in
+  Alcotest.(check (list int)) "roundtrip" [ 0; 2; 4 ] (Theory.Dominant.indices subset);
+  Alcotest.(check int) "cardinal" 3 (Theory.Dominant.cardinal subset)
+
+let dominant_of_indices_range_check () =
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Theory.Dominant.of_indices ~n:3 [ 5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_theorem3_beats_other_allocations =
+  (* For the full (dominant) subset, the Theorem 3 fractions beat any
+     random feasible fractions with the same support. *)
+  QCheck.Test.make ~name:"Theorem 3 allocation is optimal for its subset"
+    ~count:100 instance_gen (fun (seed, n) ->
+      let apps = synth_parallel ~seed n in
+      let subset = Array.make n true in
+      QCheck.assume (Theory.Dominant.is_dominant ~platform ~apps subset);
+      let star = Theory.Dominant.partition_makespan ~platform ~apps subset in
+      let rng = Util.Rng.create (seed + 7) in
+      (* Random point of the simplex (Dirichlet via exponentials). *)
+      let raw = Array.init n (fun _ -> Util.Rng.exponential rng 1.) in
+      let total = Array.fold_left ( +. ) 0. raw in
+      let x = Array.map (fun v -> v /. total) raw in
+      Theory.Perfect.makespan ~platform ~apps ~x >= star *. (1. -. 1e-9))
+
+(* --- Exact ----------------------------------------------------------------- *)
+
+let exact_matches_heuristic_on_npb () =
+  let apps = npb_parallel () in
+  let e = Theory.Exact.optimal ~platform ~apps () in
+  let rng = Util.Rng.create 1 in
+  let h =
+    Sched.Heuristics.makespan ~rng ~platform ~apps
+      Sched.Heuristics.dominant_min_ratio
+  in
+  check_close ~eps:1e-6 "heuristic is optimal here" 1. (h /. e.Theory.Exact.makespan)
+
+let exact_subset_is_dominant () =
+  let apps = synth_parallel ~seed:3 6 in
+  let e = Theory.Exact.optimal ~platform ~apps () in
+  Alcotest.(check bool) "optimal subset is dominant" true
+    (Theory.Dominant.is_dominant ~platform ~apps e.Theory.Exact.subset)
+
+let exact_beats_every_subset () =
+  let apps = synth_parallel ~seed:4 5 in
+  let e = Theory.Exact.optimal ~platform ~apps () in
+  (* Enumerate subsets independently and compare. *)
+  for mask = 0 to 31 do
+    let subset = Array.init 5 (fun i -> mask land (1 lsl i) <> 0) in
+    let m = Theory.Dominant.partition_makespan ~platform ~apps subset in
+    Alcotest.(check bool) "optimum is minimal" true
+      (e.Theory.Exact.makespan <= m +. 1e-9)
+  done
+
+let exact_grid_search_agrees () =
+  (* The continuous optimum should match a fine grid search to grid
+     resolution. *)
+  let apps = synth_parallel ~seed:5 3 in
+  let e = Theory.Exact.optimal ~platform ~apps () in
+  let _, grid = Theory.Exact.grid_search ~platform ~apps ~steps:60 in
+  Alcotest.(check bool) "grid within 2% of closed form" true
+    (e.Theory.Exact.makespan <= grid *. 1.0 +. 1e-9
+    && grid /. e.Theory.Exact.makespan < 1.02)
+
+let exact_rejects_large () =
+  let apps = synth_parallel ~seed:6 25 in
+  Alcotest.(check bool) "too large" true
+    (try
+       ignore (Theory.Exact.optimal ~platform ~apps ());
+       false
+     with Invalid_argument _ -> true)
+
+let exact_rejects_empty () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Theory.Exact.optimal ~platform ~apps:[||] ());
+       false
+     with Invalid_argument _ -> true)
+
+let exact_schedule_valid () =
+  let apps = synth_parallel ~seed:7 5 in
+  let s = Theory.Exact.optimal_schedule ~platform ~apps () in
+  Alcotest.(check bool) "valid" true (Model.Schedule.is_valid s);
+  Alcotest.(check bool) "equal finish" true (Model.Schedule.equal_finish s)
+
+let exact_single_app () =
+  let apps = [| Model.App.make ~w:1e10 ~f:0.5 ~m0:0.01 () |] in
+  let e = Theory.Exact.optimal ~platform ~apps () in
+  (* One application: it should get the whole cache (weight > 0). *)
+  check_close ~eps:1e-12 "x = 1" 1. e.Theory.Exact.x.(0)
+
+(* --- Knapsack -------------------------------------------------------------- *)
+
+let ks_items sizes values =
+  Array.map2
+    (fun size value -> { Theory.Knapsack.size; value })
+    (Array.of_list sizes) (Array.of_list values)
+
+let knapsack_dp_basic () =
+  let items = ks_items [ 2; 3; 4; 5 ] [ 3; 4; 5; 6 ] in
+  let opt, chosen = Theory.Knapsack.solve_max items 5 in
+  Alcotest.(check int) "optimal value" 7 opt;
+  (* 2+3 chosen. *)
+  Alcotest.(check (array bool)) "chosen set" [| true; true; false; false |] chosen
+
+let knapsack_dp_nothing_fits () =
+  let items = ks_items [ 10; 20 ] [ 100; 200 ] in
+  let opt, chosen = Theory.Knapsack.solve_max items 5 in
+  Alcotest.(check int) "zero" 0 opt;
+  Alcotest.(check (array bool)) "none" [| false; false |] chosen
+
+let knapsack_dp_all_fit () =
+  let items = ks_items [ 1; 1; 1 ] [ 2; 3; 4 ] in
+  let opt, _ = Theory.Knapsack.solve_max items 10 in
+  Alcotest.(check int) "take all" 9 opt
+
+let knapsack_dp_validation () =
+  Alcotest.(check bool) "nonpositive size" true
+    (try
+       ignore (Theory.Knapsack.solve_max (ks_items [ 0 ] [ 1 ]) 5);
+       false
+     with Invalid_argument _ -> true)
+
+let knapsack_decide () =
+  let items = ks_items [ 2; 3; 4 ] [ 3; 4; 5 ] in
+  Alcotest.(check bool) "reachable" true
+    (Theory.Knapsack.decide { items; capacity = 5; target = 7 });
+  Alcotest.(check bool) "unreachable" false
+    (Theory.Knapsack.decide { items; capacity = 5; target = 8 })
+
+let knapsack_chosen_respects_capacity () =
+  let rng = Util.Rng.create 8 in
+  for _ = 1 to 20 do
+    let n = 1 + Util.Rng.int rng 8 in
+    let items =
+      Array.init n (fun _ ->
+          {
+            Theory.Knapsack.size = 1 + Util.Rng.int rng 10;
+            value = 1 + Util.Rng.int rng 20;
+          })
+    in
+    let capacity = 5 + Util.Rng.int rng 20 in
+    let opt, chosen = Theory.Knapsack.solve_max items capacity in
+    let size = ref 0 and value = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c then begin
+          size := !size + items.(i).Theory.Knapsack.size;
+          value := !value + items.(i).Theory.Knapsack.value
+        end)
+      chosen;
+    Alcotest.(check bool) "within capacity" true (!size <= capacity);
+    Alcotest.(check int) "value matches mask" opt !value
+  done
+
+let reduction_equivalence_cases () =
+  (* Theorem 1's reduction: the Knapsack decision and the CoSchedCache
+     decision agree on both yes- and no-instances. *)
+  let check_case name sizes values capacity target =
+    let items = ks_items sizes values in
+    let instance = { Theory.Knapsack.items; capacity; target } in
+    let expected = Theory.Knapsack.decide instance in
+    let reduction = Theory.Knapsack.reduce instance in
+    let got = Theory.Knapsack.decide_cosched reduction in
+    Alcotest.(check bool) name expected got
+  in
+  check_case "yes: exact fit" [ 2; 3; 4 ] [ 3; 4; 5 ] 5 7;
+  check_case "no: target too high" [ 2; 3; 4 ] [ 3; 4; 5 ] 5 8;
+  check_case "yes: single item" [ 3 ] [ 10 ] 3 10;
+  check_case "no: single item too big value" [ 3 ] [ 10 ] 3 11;
+  check_case "yes: loose capacity" [ 1; 2 ] [ 5; 5 ] 10 10;
+  check_case "no: capacity binds" [ 5; 5 ] [ 10; 10 ] 5 20
+
+let reduction_oversize_items_dropped () =
+  let items = ks_items [ 2; 100 ] [ 3; 1000 ] in
+  let reduction =
+    Theory.Knapsack.reduce { Theory.Knapsack.items; capacity = 5; target = 3 }
+  in
+  Alcotest.(check (array int)) "only item 0 kept" [| 0 |]
+    reduction.Theory.Knapsack.kept
+
+let reduction_apps_are_valid () =
+  let items = ks_items [ 2; 3; 4 ] [ 3; 4; 5 ] in
+  let r = Theory.Knapsack.reduce { Theory.Knapsack.items; capacity = 6; target = 5 } in
+  Array.iter
+    (fun (app : Model.App.t) ->
+      Alcotest.(check bool) "m0 in [0,1]" true (app.m0 >= 0. && app.m0 <= 1.);
+      Alcotest.(check bool) "finite footprint" true (Float.is_finite app.footprint))
+    r.Theory.Knapsack.apps;
+  Alcotest.(check bool) "eta < 1" true (r.Theory.Knapsack.eta < 1.);
+  Alcotest.(check bool) "epsilon small" true (r.Theory.Knapsack.epsilon < 0.01)
+
+let reduction_rejects_degenerate () =
+  Alcotest.(check bool) "no packable items" true
+    (try
+       ignore
+         (Theory.Knapsack.reduce
+            {
+              Theory.Knapsack.items = ks_items [ 10 ] [ 1 ];
+              capacity = 5;
+              target = 1;
+            });
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_reduction_equivalence =
+  QCheck.Test.make ~name:"Theorem 1 reduction preserves the decision" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "(n %d, seed %d)" n seed)
+        Gen.(pair (int_range 1 6) (int_bound 100_000)))
+    (fun (n, seed) ->
+      let rng = Util.Rng.create seed in
+      let items =
+        Array.init n (fun _ ->
+            {
+              Theory.Knapsack.size = 1 + Util.Rng.int rng 6;
+              value = 1 + Util.Rng.int rng 10;
+            })
+      in
+      let capacity = 2 + Util.Rng.int rng 10 in
+      QCheck.assume
+        (Array.exists (fun it -> it.Theory.Knapsack.size <= capacity) items);
+      let target = 1 + Util.Rng.int rng 20 in
+      let instance = { Theory.Knapsack.items; capacity; target } in
+      let expected = Theory.Knapsack.decide instance in
+      let got = Theory.Knapsack.decide_cosched (Theory.Knapsack.reduce instance) in
+      expected = got)
+
+
+(* --- Capped (footprint-aware) allocation --------------------------------- *)
+
+let capped_apps ~fractions =
+  (* Applications whose footprints cap them at the given fractions of Cs. *)
+  Array.map
+    (fun frac ->
+      Model.App.make
+        ~footprint:(frac *. platform.Model.Platform.cs)
+        ~w:1e10 ~f:0.5 ~m0:0.01 ())
+    fractions
+
+let capped_equals_uncapped_when_loose () =
+  let apps = npb_parallel () in
+  let subset = full_subset 6 in
+  let a = Theory.Dominant.cache_allocation ~platform ~apps subset in
+  let b = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  Array.iteri (fun i x -> check_close ~eps:1e-12 "same" x b.(i)) a
+
+let capped_respects_caps () =
+  let apps = capped_apps ~fractions:[| 0.05; 0.5; 0.9 |] in
+  let subset = Array.make 3 true in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  Array.iteri
+    (fun i xi ->
+      Alcotest.(check bool) "under cap" true
+        (xi <= (Model.Power_law.max_useful_fraction ~app:apps.(i) ~platform) +. 1e-12))
+    x;
+  check_close ~eps:1e-9 "full budget spent" 1. (Array.fold_left ( +. ) 0. x)
+
+let capped_leftover_when_all_capped () =
+  (* Total caps below 1: everybody pinned, cache left over. *)
+  let apps = capped_apps ~fractions:[| 0.1; 0.2; 0.3 |] in
+  let subset = Array.make 3 true in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  Alcotest.(check (array (float 1e-12))) "all at caps" [| 0.1; 0.2; 0.3 |] x
+
+let capped_beats_naive_clamp () =
+  (* Water-filling redistributes the freed budget; naive clamping wastes
+     it.  Identical weights, one tightly capped app. *)
+  let apps = capped_apps ~fractions:[| 0.05; 1.; 1. |] in
+  let subset = Array.make 3 true in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  let naive =
+    Array.map2
+      (fun app xi ->
+        Float.min xi (Model.Power_law.max_useful_fraction ~app ~platform))
+      apps
+      (Theory.Dominant.cache_allocation ~platform ~apps subset)
+  in
+  let value alloc = Theory.Perfect.makespan ~platform ~apps ~x:alloc in
+  Alcotest.(check bool) "water-filling no worse" true
+    (value x <= value naive +. 1e-9);
+  Alcotest.(check bool) "and strictly better here" true
+    (value x < value naive *. (1. -. 1e-12))
+
+let capped_matches_grid_search () =
+  (* Cross-check the KKT water-filling against brute force on a capped
+     3-application instance. *)
+  let apps = capped_apps ~fractions:[| 0.15; 0.4; 1. |] in
+  let subset = Array.make 3 true in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  let ours = Theory.Perfect.makespan ~platform ~apps ~x in
+  let _, grid = Theory.Exact.grid_search ~platform ~apps ~steps:60 in
+  Alcotest.(check bool) "within grid resolution" true
+    (ours <= grid +. 1e-9 && grid /. ours < 1.02)
+
+let qcheck_capped_feasible =
+  QCheck.Test.make ~name:"capped allocation always feasible" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let apps =
+        Array.init n (fun _ ->
+            Model.App.make
+              ~footprint:(Util.Rng.uniform rng 0.01 1.5 *. platform.Model.Platform.cs)
+              ~w:(Util.Rng.uniform rng 1e8 1e12)
+              ~f:(Util.Rng.uniform rng 0.1 0.9)
+              ~m0:(Util.Rng.uniform rng 1e-3 1e-1)
+              ())
+      in
+      let subset = Array.make n true in
+      let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+      Array.fold_left ( +. ) 0. x <= 1. +. 1e-9
+      && Array.for_all2
+           (fun app xi ->
+             xi >= 0.
+             && xi
+                <= Model.Power_law.max_useful_fraction ~app ~platform +. 1e-12)
+           apps x)
+
+let () =
+  Alcotest.run "theory"
+    [
+      ( "perfect",
+        [
+          test "allocation sums to p" perfect_allocation_sums_to_p;
+          test "allocation equalizes finish times" perfect_allocation_equalizes;
+          test "Lemma 3 makespan formula" perfect_makespan_formula;
+          test "Lemma 2 proportionality" perfect_proportionality;
+          test "rejects length mismatch" perfect_rejects_mismatch;
+          test "rejects empty instance" perfect_rejects_empty;
+          qtest qcheck_lemma1_any_deviation_worse;
+        ] );
+      ( "dominant",
+        [
+          test "weights positive on NPB" dominant_weight_positive;
+          test "weight zero cases" dominant_weight_zero_cases;
+          test "ratio edge cases" dominant_ratio_edge_cases;
+          test "NPB-6 fully dominant on TaihuLight" dominant_npb_full_set;
+          test "empty subset vacuously dominant" dominant_empty_is_dominant;
+          test "allocation sums to 1" dominant_allocation_sums_to_one;
+          test "allocation zero outside subset" dominant_allocation_zero_outside;
+          test "Theorem 3 closed form" dominant_allocation_formula;
+          test "empty subset allocates nothing" dominant_allocation_empty;
+          test "violators on tiny cache" dominant_violators_on_tiny_cache;
+          test "improve: None when dominant" dominant_improve_none_when_dominant;
+          test "improve shrinks by one" dominant_improve_shrinks;
+          test "improve_to_dominant terminates" dominant_improve_to_dominant_terminates;
+          test "Theorem 2: improvement strictly better" theorem2_improvement_strictly_better;
+          test "capped = uncapped when loose" capped_equals_uncapped_when_loose;
+          test "capped respects footprints" capped_respects_caps;
+          test "capped leaves budget when all pinned" capped_leftover_when_all_capped;
+          test "water-filling beats naive clamp" capped_beats_naive_clamp;
+          test "capped matches grid search" capped_matches_grid_search;
+          qtest qcheck_capped_feasible;
+          test "indices roundtrip" dominant_indices_roundtrip;
+          test "of_indices range check" dominant_of_indices_range_check;
+          qtest qcheck_theorem3_beats_other_allocations;
+        ] );
+      ( "exact",
+        [
+          test "matches heuristic on NPB-6" exact_matches_heuristic_on_npb;
+          test "optimal subset is dominant" exact_subset_is_dominant;
+          test "beats every subset" exact_beats_every_subset;
+          test "grid search agrees" exact_grid_search_agrees;
+          test "rejects large instances" exact_rejects_large;
+          test "rejects empty" exact_rejects_empty;
+          test "optimal schedule valid" exact_schedule_valid;
+          test "single application takes all cache" exact_single_app;
+        ] );
+      ( "knapsack",
+        [
+          test "DP basic" knapsack_dp_basic;
+          test "DP nothing fits" knapsack_dp_nothing_fits;
+          test "DP all fit" knapsack_dp_all_fit;
+          test "DP validation" knapsack_dp_validation;
+          test "decision" knapsack_decide;
+          test "mask respects capacity" knapsack_chosen_respects_capacity;
+          test "Theorem 1 equivalence cases" reduction_equivalence_cases;
+          test "oversize items dropped" reduction_oversize_items_dropped;
+          test "reduced apps are valid" reduction_apps_are_valid;
+          test "rejects degenerate instance" reduction_rejects_degenerate;
+          qtest qcheck_reduction_equivalence;
+        ] );
+    ]

@@ -1,0 +1,297 @@
+(* Tests for the tooling extensions: Model.Instance_io, Theory.Bounds,
+   Simulator.Periodic, and the gnuplot export of Experiments.Report. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
+
+(* --- Instance_io ---------------------------------------------------------- *)
+
+let io_roundtrip () =
+  let apps = synth ~seed:1 8 in
+  let parsed = Model.Instance_io.of_csv (Model.Instance_io.to_csv apps) in
+  Alcotest.(check int) "count" 8 (Array.length parsed);
+  Array.iteri
+    (fun i (a : Model.App.t) ->
+      let b = parsed.(i) in
+      Alcotest.(check string) "name" a.name b.Model.App.name;
+      check_float "w" a.w b.Model.App.w;
+      check_float "s" a.s b.Model.App.s;
+      check_float "f" a.f b.Model.App.f;
+      check_float "m0" a.m0 b.Model.App.m0;
+      check_float "c0" a.c0 b.Model.App.c0)
+    apps
+
+let io_roundtrip_infinite_footprint () =
+  let apps = [| Model.App.make ~name:"x" ~w:1e9 ~f:0.5 ~m0:0.01 () |] in
+  let parsed = Model.Instance_io.of_csv (Model.Instance_io.to_csv apps) in
+  Alcotest.(check bool) "infinity survives" true
+    (parsed.(0).Model.App.footprint = infinity)
+
+let io_defaults_and_comments () =
+  let csv =
+    "# a comment\n\nname,w,s,f,m0,c0,footprint\napp1,1e10,0.05,0.5,0.01\n"
+  in
+  let parsed = Model.Instance_io.of_csv csv in
+  Alcotest.(check int) "one app" 1 (Array.length parsed);
+  check_float "default c0 40MB" 40e6 parsed.(0).Model.App.c0;
+  Alcotest.(check bool) "default footprint" true
+    (parsed.(0).Model.App.footprint = infinity)
+
+let io_inf_parsing () =
+  let parsed =
+    Model.Instance_io.of_csv "a,1e10,0,0.5,0.01,4e7,inf\n"
+  in
+  Alcotest.(check bool) "inf accepted" true
+    (parsed.(0).Model.App.footprint = infinity)
+
+let io_bad_number () =
+  Alcotest.(check bool) "reports line number" true
+    (try
+       ignore (Model.Instance_io.of_csv "name,w,s,f,m0\nbad,abc,0,0.5,0.01\n");
+       false
+     with Model.Instance_io.Parse_error (2, _) -> true)
+
+let io_out_of_range () =
+  Alcotest.(check bool) "validation propagates" true
+    (try
+       ignore (Model.Instance_io.of_csv "bad,1e10,2.0,0.5,0.01\n");
+       false
+     with Model.Instance_io.Parse_error (1, _) -> true)
+
+let io_too_few_columns () =
+  Alcotest.(check bool) "too few" true
+    (try
+       ignore (Model.Instance_io.of_csv "a,1,2\n");
+       false
+     with Model.Instance_io.Parse_error (1, _) -> true)
+
+let io_file_roundtrip () =
+  let apps = synth ~seed:2 5 in
+  let path = Filename.temp_file "cosched" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Model.Instance_io.save path apps;
+      let parsed = Model.Instance_io.load path in
+      Alcotest.(check int) "count" 5 (Array.length parsed);
+      check_float "w survives" apps.(3).Model.App.w parsed.(3).Model.App.w)
+
+let qcheck_io_roundtrip =
+  QCheck.Test.make ~name:"CSV roundtrip on random instances" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 1 20))
+    (fun (seed, n) ->
+      let apps =
+        Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.Random n
+      in
+      let parsed = Model.Instance_io.of_csv (Model.Instance_io.to_csv apps) in
+      Array.length parsed = n
+      && Array.for_all2
+           (fun (a : Model.App.t) (b : Model.App.t) ->
+             a.w = b.Model.App.w && a.s = b.Model.App.s && a.m0 = b.Model.App.m0)
+           apps parsed)
+
+(* --- Bounds ----------------------------------------------------------------- *)
+
+let bounds_sandwich_exact () =
+  for seed = 1 to 8 do
+    let apps =
+      Model.Workload.generate ~fixed_s:0. ~rng:(Util.Rng.create seed)
+        Model.Workload.NpbSynth 6
+    in
+    let lower = Theory.Bounds.lower_bound ~platform ~apps in
+    let upper = Theory.Bounds.upper_bound ~platform ~apps in
+    let exact = (Theory.Exact.optimal ~platform ~apps ()).Theory.Exact.makespan in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: lower <= exact" seed)
+      true
+      (lower <= exact *. (1. +. 1e-9));
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: exact <= upper" seed)
+      true
+      (exact <= upper *. (1. +. 1e-9))
+  done
+
+let bounds_sandwich_heuristic_large () =
+  (* Far beyond 2^n reach: the heuristic must still sit in the sandwich. *)
+  let apps = synth ~seed:9 128 in
+  let rng = Util.Rng.create 10 in
+  let h =
+    Sched.Heuristics.makespan ~rng ~platform ~apps
+      Sched.Heuristics.dominant_min_ratio
+  in
+  let lower = Theory.Bounds.lower_bound ~platform ~apps in
+  let upper = Theory.Bounds.upper_bound ~platform ~apps in
+  Alcotest.(check bool) "lower <= heuristic" true (lower <= h *. (1. +. 1e-9));
+  Alcotest.(check bool) "heuristic <= upper" true (h <= upper *. (1. +. 1e-9))
+
+let bounds_gap_at_least_one () =
+  let apps = synth ~seed:11 16 in
+  Alcotest.(check bool) "gap >= 1" true (Theory.Bounds.gap ~platform ~apps >= 1.)
+
+let bounds_gap_one_without_misses () =
+  (* Applications that never miss are cache-indifferent: gap = 1. *)
+  let apps = [| Model.App.make ~w:1e10 ~f:0.5 ~m0:0. ~s:0.1 () |] in
+  check_close ~eps:1e-9 "gap 1" 1. (Theory.Bounds.gap ~platform ~apps)
+
+let bounds_empty_rejected () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Theory.Bounds.lower_bound ~platform ~apps:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Periodic ----------------------------------------------------------------- *)
+
+let periodic_feasible_never_late () =
+  let config = { Simulator.Periodic.period = 10.; batches = 20; jitter = None } in
+  let o = Simulator.Periodic.run config ~makespan:8. in
+  check_float "no late batches" 0. o.Simulator.Periodic.late_fraction;
+  check_float "no backlog" 0. o.Simulator.Periodic.final_backlog;
+  Alcotest.(check int) "all batches recorded" 20
+    (List.length o.Simulator.Periodic.history)
+
+let periodic_infeasible_diverges () =
+  let config = { Simulator.Periodic.period = 10.; batches = 30; jitter = None } in
+  let o = Simulator.Periodic.run config ~makespan:12. in
+  check_float "all late" 1. o.Simulator.Periodic.late_fraction;
+  (* Backlog grows by 2 per batch: after 30 batches, lateness = 2 * 30. *)
+  check_close ~eps:1e-9 "linear divergence" 60. o.Simulator.Periodic.final_backlog
+
+let periodic_exact_boundary () =
+  let config = { Simulator.Periodic.period = 10.; batches = 5; jitter = None } in
+  let o = Simulator.Periodic.run config ~makespan:10. in
+  check_float "boundary is feasible" 0. o.Simulator.Periodic.late_fraction
+
+let periodic_batch_timing () =
+  let config = { Simulator.Periodic.period = 10.; batches = 3; jitter = None } in
+  let o = Simulator.Periodic.run config ~makespan:12. in
+  match o.Simulator.Periodic.history with
+  | [ b0; b1; b2 ] ->
+    check_float "b0 starts at arrival" 0. b0.Simulator.Periodic.start;
+    check_float "b1 queued behind b0" 12. b1.Simulator.Periodic.start;
+    check_float "b2 queued further" 24. b2.Simulator.Periodic.start;
+    check_float "b2 lateness" 6. b2.Simulator.Periodic.lateness
+  | _ -> Alcotest.fail "expected 3 batches"
+
+let periodic_jitter_reproducible () =
+  let mk seed =
+    {
+      Simulator.Periodic.period = 10.;
+      batches = 50;
+      jitter = Some (Util.Rng.create seed, 0.2);
+    }
+  in
+  let a = Simulator.Periodic.run (mk 1) ~makespan:9. in
+  let b = Simulator.Periodic.run (mk 1) ~makespan:9. in
+  check_float "same seed, same outcome" a.Simulator.Periodic.max_lateness
+    b.Simulator.Periodic.max_lateness
+
+let periodic_sustainable () =
+  let config = { Simulator.Periodic.period = 10.; batches = 10; jitter = None } in
+  Alcotest.(check bool) "fits" true (Simulator.Periodic.sustainable config ~makespan:9.);
+  Alcotest.(check bool) "does not fit" false
+    (Simulator.Periodic.sustainable config ~makespan:11.)
+
+let periodic_validation () =
+  let config = { Simulator.Periodic.period = 0.; batches = 1; jitter = None } in
+  Alcotest.(check bool) "period 0" true
+    (try
+       ignore (Simulator.Periodic.run config ~makespan:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let periodic_capacity_search () =
+  let gen n =
+    Model.Workload.generate ~rng:(Util.Rng.create 42) Model.Workload.NpbSynth n
+  in
+  let rng = Util.Rng.create 7 in
+  let policy = Sched.Heuristics.dominant_min_ratio in
+  (* Pick a period between the makespan at n=4 and n=64 so the search has
+     a nontrivial answer. *)
+  let m4 = Sched.Heuristics.makespan ~rng:(Util.Rng.copy rng) ~platform ~apps:(gen 4) policy in
+  let m64 = Sched.Heuristics.makespan ~rng:(Util.Rng.copy rng) ~platform ~apps:(gen 64) policy in
+  let period = (m4 +. m64) /. 2. in
+  let n =
+    Simulator.Periodic.max_sustainable_apps ~rng ~platform ~gen ~policy ~period
+      ~max_n:64
+  in
+  Alcotest.(check bool) "found interior capacity" true (n >= 4 && n < 64);
+  (* The found n fits; n+1 does not necessarily (makespan is monotone on
+     average, the generator redraws) — check the fit side only. *)
+  let fits =
+    Sched.Heuristics.makespan ~rng:(Util.Rng.copy rng) ~platform ~apps:(gen n) policy
+    <= period
+  in
+  Alcotest.(check bool) "capacity fits the period" true fits
+
+(* --- Report gnuplot export ------------------------------------------------- *)
+
+let sample_figure () =
+  Experiments.Report.make ~id:"t" ~title:"test fig" ~xlabel:"x"
+    ~columns:[ "a"; "b" ]
+    ~rows:[ (1., [ 2.; 4. ]); (2., [ 3.; 6. ]) ]
+
+let dat_format () =
+  let dat = Experiments.Report.to_dat (sample_figure ()) in
+  let lines = String.split_on_char '\n' dat in
+  Alcotest.(check string) "comment header" "# x a b" (List.nth lines 0);
+  Alcotest.(check string) "row 1" "1 2 4" (List.nth lines 1);
+  Alcotest.(check string) "row 2" "2 3 6" (List.nth lines 2)
+
+let gnuplot_script () =
+  let gp = Experiments.Report.to_gnuplot ~datfile:"t.dat" (sample_figure ()) in
+  Alcotest.(check bool) "sets output" true
+    (String.length gp > 0
+    &&
+    let has needle =
+      let n = String.length needle and m = String.length gp in
+      let rec scan i = i + n <= m && (String.sub gp i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    has "set output \"t.png\"" && has "using 1:2" && has "using 1:3"
+    && has "title \"a\"" && has "title \"b\"")
+
+let () =
+  Alcotest.run "tooling"
+    [
+      ( "instance_io",
+        [
+          test "roundtrip" io_roundtrip;
+          test "infinite footprint" io_roundtrip_infinite_footprint;
+          test "defaults and comments" io_defaults_and_comments;
+          test "inf parsing" io_inf_parsing;
+          test "bad number reports line" io_bad_number;
+          test "range validation propagates" io_out_of_range;
+          test "too few columns" io_too_few_columns;
+          test "file roundtrip" io_file_roundtrip;
+          qtest qcheck_io_roundtrip;
+        ] );
+      ( "bounds",
+        [
+          test "sandwich the exact optimum" bounds_sandwich_exact;
+          test "sandwich heuristics at n=128" bounds_sandwich_heuristic_large;
+          test "gap at least 1" bounds_gap_at_least_one;
+          test "gap 1 without misses" bounds_gap_one_without_misses;
+          test "empty rejected" bounds_empty_rejected;
+        ] );
+      ( "periodic",
+        [
+          test "feasible pipeline never late" periodic_feasible_never_late;
+          test "infeasible pipeline diverges linearly" periodic_infeasible_diverges;
+          test "exact boundary feasible" periodic_exact_boundary;
+          test "batch timing" periodic_batch_timing;
+          test "jitter reproducible" periodic_jitter_reproducible;
+          test "sustainable predicate" periodic_sustainable;
+          test "validation" periodic_validation;
+          test "capacity binary search" periodic_capacity_search;
+        ] );
+      ( "report_export",
+        [ test "dat format" dat_format; test "gnuplot script" gnuplot_script ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for the util substrate: Rng, Stats, Solver, Regress, Table,
+   Floatx. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  Alcotest.(check bool) "different first draw" false
+    (Util.Rng.bits64 a = Util.Rng.bits64 b)
+
+let rng_copy_independent () =
+  let a = Util.Rng.create 5 in
+  let b = Util.Rng.copy a in
+  let x = Util.Rng.bits64 a in
+  let y = Util.Rng.bits64 b in
+  Alcotest.(check int64) "copy resumes at same point" x y;
+  ignore (Util.Rng.bits64 a);
+  (* advancing a does not affect b *)
+  let _ = Util.Rng.bits64 b in
+  ()
+
+let rng_split_decorrelates () =
+  let a = Util.Rng.create 9 in
+  let child = Util.Rng.split a in
+  let x = Util.Rng.bits64 a and y = Util.Rng.bits64 child in
+  Alcotest.(check bool) "parent and child differ" false (x = y)
+
+let rng_int_bounds () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let rng_int_invalid () =
+  let rng = Util.Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Util.Rng.int rng 0))
+
+let rng_int_covers_range () =
+  let rng = Util.Rng.create 12 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Util.Rng.int rng 5) <- true
+  done;
+  Array.iteri
+    (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d drawn" i) true s)
+    seen
+
+let rng_float_bounds () =
+  let rng = Util.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let rng_uniform_bounds () =
+  let rng = Util.Rng.create 4 in
+  for _ = 1 to 200 do
+    let v = Util.Rng.uniform rng (-3.) 5. in
+    Alcotest.(check bool) "in [-3, 5)" true (v >= -3. && v < 5.)
+  done
+
+let rng_uniform_mean () =
+  let rng = Util.Rng.create 8 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Util.Rng.uniform rng 0. 10.
+  done;
+  check_close ~eps:0.2 "mean near 5" 5.0 (!acc /. float_of_int n)
+
+let rng_log_uniform_bounds () =
+  let rng = Util.Rng.create 6 in
+  for _ = 1 to 500 do
+    let v = Util.Rng.log_uniform rng 1e8 1e12 in
+    Alcotest.(check bool) "in range" true (v >= 1e8 && v < 1e12)
+  done
+
+let rng_exponential_positive () =
+  let rng = Util.Rng.create 10 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "positive" true (Util.Rng.exponential rng 2.0 >= 0.)
+  done
+
+let rng_exponential_mean () =
+  let rng = Util.Rng.create 10 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Util.Rng.exponential rng 2.0
+  done;
+  check_close ~eps:0.02 "mean 1/rate" 0.5 (!acc /. float_of_int n)
+
+let rng_normal_moments () =
+  let rng = Util.Rng.create 13 in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Util.Rng.normal rng 3.0 2.0) in
+  check_close ~eps:0.05 "mean" 3.0 (Util.Stats.mean samples);
+  check_close ~eps:0.1 "stddev" 2.0 (Util.Stats.stddev samples)
+
+let rng_zipf_bounds () =
+  let rng = Util.Rng.create 14 in
+  for _ = 1 to 500 do
+    let v = Util.Rng.zipf rng 10 1.0 in
+    Alcotest.(check bool) "rank in [1,10]" true (v >= 1 && v <= 10)
+  done
+
+let rng_zipf_skew () =
+  let rng = Util.Rng.create 15 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.zipf rng 10 1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true (counts.(1) > counts.(5));
+  Alcotest.(check bool) "rank 2 beats rank 9" true (counts.(2) > counts.(9))
+
+let rng_shuffle_permutation () =
+  let rng = Util.Rng.create 16 in
+  let a = Array.init 50 (fun i -> i) in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let rng_pick_member () =
+  let rng = Util.Rng.create 17 in
+  for _ = 1 to 100 do
+    let v = Util.Rng.pick rng [ 1; 5; 9 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 5; 9 ])
+  done
+
+let rng_pick_empty () =
+  let rng = Util.Rng.create 17 in
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Util.Rng.pick rng []))
+
+let rng_sample_without_replacement () =
+  let rng = Util.Rng.create 18 in
+  let s = Util.Rng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "5 samples" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+
+let rng_sample_invalid () =
+  let rng = Util.Rng.create 18 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement") (fun () ->
+      ignore (Util.Rng.sample_without_replacement rng 11 10))
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let stats_mean () = check_float "mean" 2.5 (Util.Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let stats_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Util.Stats.mean [||]))
+
+let stats_variance () =
+  check_float "variance" (5. /. 3.)
+    (Util.Stats.variance [| 1.; 2.; 3.; 4. |])
+
+let stats_variance_singleton () =
+  check_float "singleton" 0. (Util.Stats.variance [| 7. |])
+
+let stats_stddev () =
+  (* Sample (n-1) convention: mean 5, squared deviations sum to 32. *)
+  check_float "stddev" (sqrt (32. /. 7.))
+    (Util.Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let stats_geomean () =
+  check_float "geomean" 4. (Util.Stats.geomean [| 2.; 8. |])
+
+let stats_geomean_nonpositive () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geomean: nonpositive entry") (fun () ->
+      ignore (Util.Stats.geomean [| 1.; 0. |]))
+
+let stats_min_max () =
+  let lo, hi = Util.Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi
+
+let stats_median_odd () =
+  check_float "odd" 3. (Util.Stats.median [| 5.; 3.; 1. |])
+
+let stats_median_even () =
+  check_float "even" 2.5 (Util.Stats.median [| 4.; 1.; 2.; 3. |])
+
+let stats_median_does_not_mutate () =
+  let a = [| 3.; 1.; 2. |] in
+  ignore (Util.Stats.median a);
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] a
+
+let stats_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "p0" 1. (Util.Stats.percentile a 0.);
+  check_float "p50" 3. (Util.Stats.percentile a 50.);
+  check_float "p100" 5. (Util.Stats.percentile a 100.);
+  check_float "p25" 2. (Util.Stats.percentile a 25.)
+
+let stats_percentile_invalid () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.percentile: q outside [0,100]") (fun () ->
+      ignore (Util.Stats.percentile [| 1. |] 101.))
+
+let stats_ci_singleton () =
+  let lo, hi = Util.Stats.confidence_interval_95 [| 4. |] in
+  check_float "lo" 4. lo;
+  check_float "hi" 4. hi
+
+let stats_ci_contains_mean () =
+  let a = Array.init 100 (fun i -> float_of_int i) in
+  let lo, hi = Util.Stats.confidence_interval_95 a in
+  let m = Util.Stats.mean a in
+  Alcotest.(check bool) "mean inside" true (lo < m && m < hi)
+
+let online_matches_batch () =
+  let rng = Util.Rng.create 21 in
+  let a = Array.init 1000 (fun _ -> Util.Rng.uniform rng (-5.) 5.) in
+  let online = Util.Stats.Online.create () in
+  Array.iter (Util.Stats.Online.add online) a;
+  check_close ~eps:1e-9 "mean" (Util.Stats.mean a) (Util.Stats.Online.mean online);
+  check_close ~eps:1e-9 "variance" (Util.Stats.variance a)
+    (Util.Stats.Online.variance online);
+  let lo, hi = Util.Stats.min_max a in
+  check_float "min" lo (Util.Stats.Online.min online);
+  check_float "max" hi (Util.Stats.Online.max online);
+  Alcotest.(check int) "count" 1000 (Util.Stats.Online.count online)
+
+let online_empty () =
+  let o = Util.Stats.Online.create () in
+  check_float "mean 0 when empty" 0. (Util.Stats.Online.mean o);
+  Alcotest.check_raises "min raises"
+    (Invalid_argument "Stats.Online.min: empty accumulator") (fun () ->
+      ignore (Util.Stats.Online.min o))
+
+let online_merge () =
+  let rng = Util.Rng.create 22 in
+  let a = Array.init 500 (fun _ -> Util.Rng.uniform rng 0. 1.) in
+  let b = Array.init 300 (fun _ -> Util.Rng.uniform rng 5. 9.) in
+  let oa = Util.Stats.Online.create () and ob = Util.Stats.Online.create () in
+  Array.iter (Util.Stats.Online.add oa) a;
+  Array.iter (Util.Stats.Online.add ob) b;
+  let merged = Util.Stats.Online.merge oa ob in
+  let all = Array.append a b in
+  check_close ~eps:1e-9 "merged mean" (Util.Stats.mean all)
+    (Util.Stats.Online.mean merged);
+  check_close ~eps:1e-6 "merged variance" (Util.Stats.variance all)
+    (Util.Stats.Online.variance merged);
+  Alcotest.(check int) "merged count" 800 (Util.Stats.Online.count merged)
+
+let online_merge_empty () =
+  let o = Util.Stats.Online.create () in
+  Util.Stats.Online.add o 3.;
+  let merged = Util.Stats.Online.merge (Util.Stats.Online.create ()) o in
+  check_float "merge with empty" 3. (Util.Stats.Online.mean merged)
+
+(* --- Solver ------------------------------------------------------------ *)
+
+let solver_bisect_linear () =
+  let root = Util.Solver.bisect ~f:(fun x -> x -. 3.) 0. 10. in
+  check_close "root of x-3" 3. root
+
+let solver_bisect_quadratic () =
+  let root = Util.Solver.bisect ~f:(fun x -> (x *. x) -. 2.) 0. 2. in
+  check_close "sqrt 2" (sqrt 2.) root
+
+let solver_bisect_endpoint_root () =
+  check_float "lo is root" 5. (Util.Solver.bisect ~f:(fun x -> x -. 5.) 5. 10.)
+
+let solver_bisect_no_bracket () =
+  Alcotest.(check bool) "raises No_bracket" true
+    (try
+       ignore (Util.Solver.bisect ~f:(fun x -> x +. 10.) 0. 1.);
+       false
+     with Util.Solver.No_bracket _ -> true)
+
+let solver_bisect_bad_interval () =
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Solver.bisect: hi < lo")
+    (fun () -> ignore (Util.Solver.bisect ~f:(fun x -> x) 1. 0.))
+
+let solver_bisect_decreasing () =
+  let f x = 10. /. x in
+  let x = Util.Solver.bisect_decreasing ~f ~target:2.5 0.1 100. in
+  check_close "10/x = 2.5" 4. x
+
+let solver_bisect_decreasing_clamps () =
+  let f x = 10. /. x in
+  check_float "clamp lo" 5. (Util.Solver.bisect_decreasing ~f ~target:3. 5. 10.);
+  check_float "clamp hi" 10. (Util.Solver.bisect_decreasing ~f ~target:0.5 5. 10.)
+
+let solver_expand_bracket () =
+  let f x = 100. -. x in
+  let hi = Util.Solver.expand_bracket_up ~f 1. in
+  Alcotest.(check bool) "f(hi) <= 0" true (f hi <= 0.)
+
+let solver_expand_bracket_fails () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Util.Solver.expand_bracket_up ~max_iter:8 ~f:(fun _ -> 1.) 1.);
+       false
+     with Util.Solver.No_bracket _ -> true)
+
+let solver_newton () =
+  let root =
+    Util.Solver.newton ~f:(fun x -> (x *. x) -. 9.) ~df:(fun x -> 2. *. x) 5.
+  in
+  check_close "sqrt 9" 3. root
+
+let solver_newton_zero_derivative () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Util.Solver.newton ~f:(fun _ -> 1.) ~df:(fun _ -> 0.) 1.);
+       false
+     with Util.Solver.No_bracket _ -> true)
+
+let solver_golden_section () =
+  let xmin = Util.Solver.golden_section_min ~f:(fun x -> (x -. 2.) ** 2.) 0. 5. in
+  check_close ~eps:1e-4 "min of (x-2)^2" 2. xmin
+
+let solver_golden_section_boundary () =
+  let xmin = Util.Solver.golden_section_min ~f:(fun x -> x) 1. 3. in
+  check_close ~eps:1e-4 "monotone min at lo" 1. xmin
+
+let qcheck_bisect_finds_root =
+  QCheck.Test.make ~name:"bisect solves x - c on [c-1, c+1]" ~count:200
+    QCheck.(float_range (-100.) 100.)
+    (fun c ->
+      let root = Util.Solver.bisect ~f:(fun x -> x -. c) (c -. 1.) (c +. 1.) in
+      abs_float (root -. c) < 1e-6)
+
+(* --- Regress ------------------------------------------------------------ *)
+
+let regress_exact_line () =
+  let xs = [| 0.; 1.; 2.; 3. |] in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  let fit = Util.Regress.linear xs ys in
+  check_close "slope" 2. fit.Util.Regress.slope;
+  check_close "intercept" 1. fit.Util.Regress.intercept;
+  check_close "r2" 1. fit.Util.Regress.r_squared
+
+let regress_flat_line () =
+  let fit = Util.Regress.linear [| 0.; 1.; 2. |] [| 4.; 4.; 4. |] in
+  check_close "slope 0" 0. fit.Util.Regress.slope;
+  check_close "r2 degenerate" 1. fit.Util.Regress.r_squared
+
+let regress_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Regress.linear: length mismatch") (fun () ->
+      ignore (Util.Regress.linear [| 1. |] [| 1.; 2. |]))
+
+let regress_too_few () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Regress.linear: need at least 2 points") (fun () ->
+      ignore (Util.Regress.linear [| 1. |] [| 1. |]))
+
+let regress_identical_x () =
+  Alcotest.check_raises "identical x"
+    (Invalid_argument "Regress.linear: all x identical") (fun () ->
+      ignore (Util.Regress.linear [| 2.; 2. |] [| 1.; 3. |]))
+
+let regress_power_law_recovers () =
+  let m0 = 0.02 and alpha = 0.5 and c0 = 4e7 in
+  let sizes = [| 1e6; 4e6; 1e7; 4e7; 1e8 |] in
+  let misses = Array.map (fun c -> m0 *. ((c0 /. c) ** alpha)) sizes in
+  let fit = Util.Regress.power_law ~c0 sizes misses in
+  check_close ~eps:1e-6 "m0" m0 fit.Util.Regress.m0;
+  check_close ~eps:1e-6 "alpha" alpha fit.Util.Regress.alpha;
+  check_close ~eps:1e-6 "r2" 1. fit.Util.Regress.r2
+
+let regress_power_law_ignores_saturated () =
+  (* Points at miss rate 1 (saturated cap) must not bias the fit. *)
+  let m0 = 0.5 and alpha = 0.4 and c0 = 1e6 in
+  let sizes = [| 1e2; 1e5; 1e6; 1e7 |] in
+  let misses =
+    Array.map (fun c -> Float.min 1. (m0 *. ((c0 /. c) ** alpha))) sizes
+  in
+  let fit = Util.Regress.power_law ~c0 sizes misses in
+  check_close ~eps:1e-6 "alpha unaffected" alpha fit.Util.Regress.alpha
+
+let regress_power_law_too_few () =
+  Alcotest.check_raises "all saturated"
+    (Invalid_argument "Regress.power_law: need at least 2 unsaturated points")
+    (fun () ->
+      ignore (Util.Regress.power_law ~c0:1. [| 1.; 2. |] [| 1.; 1. |]))
+
+let qcheck_power_law_roundtrip =
+  QCheck.Test.make ~name:"power-law fit roundtrips synthetic curves" ~count:100
+    QCheck.(pair (float_range 0.01 0.9) (float_range 0.3 0.7))
+    (fun (m0, alpha) ->
+      let c0 = 1e6 in
+      let sizes = Array.init 8 (fun i -> 1e4 *. (4. ** float_of_int i)) in
+      let misses = Array.map (fun c -> m0 *. ((c0 /. c) ** alpha)) sizes in
+      let usable = Array.exists (fun m -> m < 1.) misses in
+      QCheck.assume usable;
+      let fit = Util.Regress.power_law ~c0 sizes misses in
+      abs_float (fit.Util.Regress.alpha -. alpha) < 1e-6
+      && abs_float (fit.Util.Regress.m0 -. m0) /. m0 < 1e-6)
+
+(* --- Table -------------------------------------------------------------- *)
+
+let table_renders () =
+  let t = Util.Table.create [ "a"; "bb" ] in
+  Util.Table.add_row t [ "1"; "2" ];
+  let s = Util.Table.to_string t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "a")
+
+let table_alignment () =
+  let t = Util.Table.create ~aligns:[ Util.Table.Left; Util.Table.Right ] [ "x"; "y" ] in
+  Util.Table.add_row t [ "ab"; "1" ];
+  Util.Table.add_row t [ "c"; "22" ];
+  let lines = String.split_on_char '\n' (Util.Table.to_string t) in
+  (* Left-aligned col pads on the right, right-aligned on the left. *)
+  Alcotest.(check string) "row 1" "ab   1" (List.nth lines 2);
+  Alcotest.(check string) "row 2" "c   22" (List.nth lines 3)
+
+let table_row_mismatch () =
+  let t = Util.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Table.add_row: column count mismatch") (fun () ->
+      Util.Table.add_row t [ "only one" ])
+
+let table_aligns_mismatch () =
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Table.create: aligns length mismatch") (fun () ->
+      ignore (Util.Table.create ~aligns:[ Util.Table.Left ] [ "a"; "b" ]))
+
+let table_add_floats () =
+  let t = Util.Table.create [ "x"; "v" ] in
+  Util.Table.add_floats t "row" [ 3.14159 ];
+  Alcotest.(check bool) "formatted" true
+    (String.length (Util.Table.to_string t) > 0)
+
+let table_csv_escaping () =
+  let t = Util.Table.create [ "a"; "b" ] in
+  Util.Table.add_row t [ "x,y"; "say \"hi\"" ];
+  let csv = Util.Table.to_csv t in
+  Alcotest.(check bool) "comma quoted" true
+    (String.length csv > 0
+    &&
+    let lines = String.split_on_char '\n' csv in
+    List.nth lines 1 = "\"x,y\",\"say \"\"hi\"\"\"")
+
+let table_csv_plain () =
+  let t = Util.Table.create [ "a" ] in
+  Util.Table.add_row t [ "plain" ];
+  Alcotest.(check string) "plain csv" "a\nplain\n" (Util.Table.to_csv t)
+
+(* --- Floatx ------------------------------------------------------------- *)
+
+let floatx_approx_eq () =
+  Alcotest.(check bool) "close" true (Util.Floatx.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Util.Floatx.approx_eq 1.0 1.1);
+  Alcotest.(check bool) "relative for big" true
+    (Util.Floatx.approx_eq 1e12 (1e12 +. 1.))
+
+let floatx_approx_le_ge () =
+  Alcotest.(check bool) "le strict" true (Util.Floatx.approx_le 1.0 2.0);
+  Alcotest.(check bool) "le tolerant" true (Util.Floatx.approx_le (1.0 +. 1e-12) 1.0);
+  Alcotest.(check bool) "ge" true (Util.Floatx.approx_ge 2.0 1.0)
+
+let floatx_clamp () =
+  check_float "inside" 0.5 (Util.Floatx.clamp ~lo:0. ~hi:1. 0.5);
+  check_float "below" 0. (Util.Floatx.clamp ~lo:0. ~hi:1. (-3.));
+  check_float "above" 1. (Util.Floatx.clamp ~lo:0. ~hi:1. 9.);
+  Alcotest.check_raises "bad range" (Invalid_argument "Floatx.clamp: hi < lo")
+    (fun () -> ignore (Util.Floatx.clamp ~lo:1. ~hi:0. 0.5))
+
+let floatx_kahan_sum () =
+  (* Naive summation loses the small terms; Kahan keeps them. *)
+  let l = 1e16 :: List.init 1000 (fun _ -> 1.) in
+  check_float "kahan" (1e16 +. 1000.) (Util.Floatx.sum l)
+
+let floatx_sum_empty () = check_float "empty" 0. (Util.Floatx.sum [])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          test "deterministic from seed" rng_deterministic;
+          test "seeds differ" rng_seeds_differ;
+          test "copy is independent" rng_copy_independent;
+          test "split decorrelates" rng_split_decorrelates;
+          test "int within bounds" rng_int_bounds;
+          test "int rejects bad bound" rng_int_invalid;
+          test "int covers range" rng_int_covers_range;
+          test "float within bounds" rng_float_bounds;
+          test "uniform within bounds" rng_uniform_bounds;
+          test "uniform mean" rng_uniform_mean;
+          test "log_uniform within bounds" rng_log_uniform_bounds;
+          test "exponential nonnegative" rng_exponential_positive;
+          test "exponential mean" rng_exponential_mean;
+          test "normal moments" rng_normal_moments;
+          test "zipf bounds" rng_zipf_bounds;
+          test "zipf skew" rng_zipf_skew;
+          test "shuffle is a permutation" rng_shuffle_permutation;
+          test "pick returns member" rng_pick_member;
+          test "pick rejects empty" rng_pick_empty;
+          test "sample without replacement" rng_sample_without_replacement;
+          test "sample rejects k > n" rng_sample_invalid;
+        ] );
+      ( "stats",
+        [
+          test "mean" stats_mean;
+          test "mean empty raises" stats_mean_empty;
+          test "variance" stats_variance;
+          test "variance singleton" stats_variance_singleton;
+          test "stddev" stats_stddev;
+          test "geomean" stats_geomean;
+          test "geomean rejects nonpositive" stats_geomean_nonpositive;
+          test "min/max" stats_min_max;
+          test "median odd" stats_median_odd;
+          test "median even" stats_median_even;
+          test "median does not mutate" stats_median_does_not_mutate;
+          test "percentile" stats_percentile;
+          test "percentile range check" stats_percentile_invalid;
+          test "ci singleton" stats_ci_singleton;
+          test "ci contains mean" stats_ci_contains_mean;
+          test "online matches batch" online_matches_batch;
+          test "online empty" online_empty;
+          test "online merge" online_merge;
+          test "online merge with empty" online_merge_empty;
+        ] );
+      ( "solver",
+        [
+          test "bisect linear" solver_bisect_linear;
+          test "bisect quadratic" solver_bisect_quadratic;
+          test "bisect endpoint root" solver_bisect_endpoint_root;
+          test "bisect no bracket" solver_bisect_no_bracket;
+          test "bisect bad interval" solver_bisect_bad_interval;
+          test "bisect decreasing" solver_bisect_decreasing;
+          test "bisect decreasing clamps" solver_bisect_decreasing_clamps;
+          test "expand bracket" solver_expand_bracket;
+          test "expand bracket fails" solver_expand_bracket_fails;
+          test "newton" solver_newton;
+          test "newton zero derivative" solver_newton_zero_derivative;
+          test "golden section" solver_golden_section;
+          test "golden section boundary" solver_golden_section_boundary;
+          qtest qcheck_bisect_finds_root;
+        ] );
+      ( "regress",
+        [
+          test "exact line" regress_exact_line;
+          test "flat line" regress_flat_line;
+          test "length mismatch" regress_mismatch;
+          test "too few points" regress_too_few;
+          test "identical x" regress_identical_x;
+          test "power law recovers parameters" regress_power_law_recovers;
+          test "power law ignores saturated points" regress_power_law_ignores_saturated;
+          test "power law too few usable" regress_power_law_too_few;
+          qtest qcheck_power_law_roundtrip;
+        ] );
+      ( "table",
+        [
+          test "renders" table_renders;
+          test "alignment" table_alignment;
+          test "row width mismatch" table_row_mismatch;
+          test "aligns mismatch" table_aligns_mismatch;
+          test "add_floats" table_add_floats;
+          test "csv escaping" table_csv_escaping;
+          test "csv plain" table_csv_plain;
+        ] );
+      ( "floatx",
+        [
+          test "approx_eq" floatx_approx_eq;
+          test "approx_le/ge" floatx_approx_le_ge;
+          test "clamp" floatx_clamp;
+          test "kahan sum" floatx_kahan_sum;
+          test "sum empty" floatx_sum_empty;
+        ] );
+    ]
