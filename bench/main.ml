@@ -2,22 +2,23 @@
    evaluation (Section 6 and Appendix A), then times the heuristics and the
    substrate with Bechamel.
 
-   Usage: main.exe [--trials N] [--seed S] [--only ID[,ID...]] [--no-micro]
-                   [--no-figures] [--full]
+   Usage: main.exe [--trials N] [--seed S] [--jobs N] [--only ID[,ID...]]
+                   [--no-micro] [--no-figures] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
 
 let trials = ref 50
 let seed = ref 2017
+let jobs = ref 1
 let only : string list ref = ref []
 let run_micro = ref true
 let run_figures = ref true
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--trials N] [--seed S] [--only id,id] [--no-micro] \
-     [--no-figures] [--full]";
+    "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
+     [--no-micro] [--no-figures] [--full]";
   exit 2
 
 let rec parse = function
@@ -27,6 +28,9 @@ let rec parse = function
     parse rest
   | "--seed" :: v :: rest ->
     seed := int_of_string v;
+    parse rest
+  | "--jobs" :: v :: rest ->
+    jobs := int_of_string v;
     parse rest
   | "--only" :: v :: rest ->
     only := String.split_on_char ',' v;
@@ -148,7 +152,15 @@ let micro () =
 
 let () =
   parse (List.tl (Array.to_list Sys.argv));
-  let config = { Experiments.Runner.trials = !trials; seed = !seed } in
+  let config =
+    {
+      Experiments.Runner.trials = !trials;
+      seed = !seed;
+      jobs = !jobs;
+      journal = None;
+      cache = None;
+    }
+  in
   Printf.printf
     "cosched benchmark harness: %d trials per point, seed %d\n\
      (paper settings: 256 processors, 32 GB LLC, ls=0.17, ll=1, alpha=0.5)\n\n"

@@ -18,6 +18,26 @@ let trials_arg =
     & opt int 50
     & info [ "trials" ] ~docv:"N" ~doc:"Repetitions per sweep point (paper: 50).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for trial execution: 1 runs sequentially (the \
+           default, byte-identical to historical output), 0 uses one \
+           domain per core.  Results are bit-identical for every value.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append-only JSONL checkpoint of completed trials.  Re-running \
+           an interrupted campaign with the same file skips every trial \
+           already journalled.")
+
 let dataset_arg =
   let parse s =
     try Ok (Model.Workload.dataset_of_string s)
@@ -103,8 +123,10 @@ let experiment_cmd =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc contents)
   in
-  let run id trials seed csv out =
-    let config = { Experiments.Runner.trials; seed } in
+  let run id trials seed jobs journal csv out =
+    let config =
+      { Experiments.Runner.trials; seed; jobs; journal; cache = None }
+    in
     let ids =
       if String.lowercase_ascii id = "all" then Experiments.Figures.all_ids
       else [ id ]
@@ -129,7 +151,9 @@ let experiment_cmd =
       ids
   in
   let term =
-    Term.(const run $ id_arg $ trials_arg $ seed_arg $ csv_arg $ out_arg)
+    Term.(
+      const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ journal_arg
+      $ csv_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper.")

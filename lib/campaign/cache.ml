@@ -1,0 +1,89 @@
+type t = {
+  table : (string, float array) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable sink : out_channel option;
+}
+
+let write_entry oc key values =
+  output_string oc key;
+  Array.iter (fun v -> output_string oc (Printf.sprintf " %h" v)) values;
+  output_char oc '\n'
+
+let load_store table path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          match String.split_on_char ' ' (String.trim (input_line ic)) with
+          | [] | [ "" ] -> ()
+          | key :: values -> (
+            try
+              Hashtbl.replace table key
+                (Array.of_list (List.map float_of_string values))
+            with Failure _ -> ())
+        done
+      with End_of_file -> ())
+
+let create ?path () =
+  let table = Hashtbl.create 256 in
+  let sink =
+    match path with
+    | None -> None
+    | Some p ->
+      if Sys.file_exists p then load_store table p;
+      Some (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+  in
+  { table; lock = Mutex.create (); hits = 0; misses = 0; sink }
+
+let find t key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.table key in
+  (match r with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.lock;
+  r
+
+let add t key values =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.table key) then begin
+    Hashtbl.replace t.table key values;
+    match t.sink with
+    | Some oc ->
+      write_entry oc key values;
+      flush oc
+    | None -> ()
+  end;
+  Mutex.unlock t.lock
+
+let hits t =
+  Mutex.lock t.lock;
+  let h = t.hits in
+  Mutex.unlock t.lock;
+  h
+
+let misses t =
+  Mutex.lock t.lock;
+  let m = t.misses in
+  Mutex.unlock t.lock;
+  m
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  (match t.sink with
+  | Some oc ->
+    flush oc;
+    close_out oc;
+    t.sink <- None
+  | None -> ());
+  Mutex.unlock t.lock

@@ -1,0 +1,32 @@
+(** Memo table for solved trial results.
+
+    Maps {!Digest} keys to trial payloads ([float array]s).  The table is
+    domain-safe (all operations take an internal mutex) so campaign workers
+    can consult it concurrently, and it keeps hit/miss counters.
+
+    With [?path], entries are also persisted to a plain-text store — one
+    [key v1 v2 ...] line per entry, values printed with [%h] so they
+    round-trip bit-exactly — which is loaded back on [create], giving a
+    cross-run memo.  The store is append-only; unparseable lines are
+    ignored on load, so a torn final line cannot poison the table. *)
+
+type t
+
+val create : ?path:string -> unit -> t
+(** In-memory table; with [?path], pre-loaded from (and appending to) the
+    on-disk store at that path. *)
+
+val find : t -> string -> float array option
+(** Counts a hit or a miss. *)
+
+val add : t -> string -> float array -> unit
+(** First write wins; re-adding an existing key is a no-op (so the on-disk
+    store never holds conflicting lines). *)
+
+val hits : t -> int
+val misses : t -> int
+val length : t -> int
+
+val close : t -> unit
+(** Flushes and closes the on-disk store, if any.  Idempotent; the
+    in-memory table remains usable. *)

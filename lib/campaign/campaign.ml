@@ -1,0 +1,95 @@
+module Pool = Pool
+module Digest = Digest
+module Cache = Cache
+module Journal = Journal
+
+type stats = {
+  total : int;
+  computed : int;
+  journal_hits : int;
+  cache_hits : int;
+  elapsed : float;
+  jobs : int;
+}
+
+type outcome = { results : float array array; stats : stats }
+
+let run ?(jobs = 1) ?cache ?journal ?on_trial ~key ~work rngs =
+  let start = Unix.gettimeofday () in
+  let total = Array.length rngs in
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  let keyed = Option.is_some cache || Option.is_some journal in
+  let lock = Mutex.create () in
+  let completed = ref 0 in
+  let journal_hits = ref 0 in
+  let cache_hits = ref 0 in
+  let computed = ref 0 in
+  let count counter =
+    Mutex.lock lock;
+    incr counter;
+    Mutex.unlock lock
+  in
+  let solve i =
+    let rng = Util.Rng.copy rngs.(i) in
+    let values =
+      if not keyed then begin
+        let v = work i rng in
+        count computed;
+        v
+      end
+      else begin
+        let k = key i (Util.Rng.copy rng) in
+        match Option.bind journal (fun j -> Journal.lookup j k) with
+        | Some v ->
+          count journal_hits;
+          v
+        | None ->
+          let v =
+            match Option.bind cache (fun c -> Cache.find c k) with
+            | Some v ->
+              count cache_hits;
+              v
+            | None ->
+              let v = work i rng in
+              count computed;
+              Option.iter (fun c -> Cache.add c k v) cache;
+              v
+          in
+          Option.iter
+            (fun j -> Journal.append j { Journal.trial = i; key = k; values = v })
+            journal;
+          v
+      end
+    in
+    (match on_trial with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      incr completed;
+      let c = !completed in
+      Mutex.unlock lock;
+      f ~completed:c ~total);
+    values
+  in
+  let results = Pool.map_ordered ~jobs solve (Array.init total Fun.id) in
+  {
+    results;
+    stats =
+      {
+        total;
+        computed = !computed;
+        journal_hits = !journal_hits;
+        cache_hits = !cache_hits;
+        elapsed = Unix.gettimeofday () -. start;
+        jobs;
+      };
+  }
+
+let report s =
+  Printf.sprintf
+    "%d trial%s (%d computed, %d from journal, %d from cache) in %.2fs on %d \
+     job%s"
+    s.total
+    (if s.total = 1 then "" else "s")
+    s.computed s.journal_hits s.cache_hits s.elapsed s.jobs
+    (if s.jobs = 1 then "" else "s")

@@ -1,0 +1,61 @@
+(** Experiment-campaign engine: sharded, memoized, checkpointable trials.
+
+    A campaign is an array of independent trials, each owning a pre-split
+    {!Util.Rng} substream.  {!run} shards the trials over a {!Pool} of
+    worker domains, consults the {!Journal} (checkpoint of a previous,
+    possibly interrupted, run) and the {!Cache} (memo table) before
+    computing anything, checkpoints every freshly computed result, and
+    returns the per-trial payloads *in trial order* together with run
+    statistics.
+
+    Determinism guarantee: because every trial's RNG is split from the
+    master before dispatch and results are returned (and must be merged)
+    in trial-index order, the output is bit-identical for any [jobs]
+    count — [--jobs 8] equals [--jobs 1] equals the historical sequential
+    loop. *)
+
+module Pool : module type of Pool
+module Digest : module type of Digest
+module Cache : module type of Cache
+module Journal : module type of Journal
+
+type stats = {
+  total : int;  (** Trials in the campaign. *)
+  computed : int;  (** Trials actually executed by this run. *)
+  journal_hits : int;  (** Trials replayed from the checkpoint journal. *)
+  cache_hits : int;  (** Trials answered by the memo table (this run). *)
+  elapsed : float;  (** Wall-clock seconds. *)
+  jobs : int;  (** Worker domains used. *)
+}
+
+type outcome = {
+  results : float array array;  (** [results.(i)] is trial [i]'s payload. *)
+  stats : stats;
+}
+
+val run :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?journal:Journal.t ->
+  ?on_trial:(completed:int -> total:int -> unit) ->
+  key:(int -> Util.Rng.t -> string) ->
+  work:(int -> Util.Rng.t -> float array) ->
+  Util.Rng.t array ->
+  outcome
+(** [run ~key ~work rngs] executes [work i rng_i] for every trial [i],
+    where [rng_i] is a private copy of [rngs.(i)] (the caller's array is
+    never mutated, so a campaign can be re-run from the same RNGs).
+
+    [jobs] is the worker-domain count: 1 (default) runs sequentially in
+    the calling domain, [0] means {!Pool.default_jobs}.
+
+    [key i rng] must name the trial's content (see {!Digest}); it is only
+    invoked — on its own RNG copy — when a cache or journal is present.
+    Workers probe the journal first, then the cache; fresh results are
+    added to both.  [on_trial] is called after each completed trial (from
+    worker domains, under a lock) with the running completion count —
+    progress reporting for long campaigns. *)
+
+val report : stats -> string
+(** One-line human-readable summary: trials, computed/journal/cache
+    split, elapsed time and job count. *)

@@ -1,0 +1,66 @@
+type t = { mutable h : int64 }
+
+(* FNV-1a, 64-bit variant. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let create () = { h = fnv_offset }
+
+let byte d b =
+  d.h <- Int64.mul (Int64.logxor d.h (Int64.of_int (b land 0xff))) fnv_prime
+
+let int64 d x =
+  for k = 0 to 7 do
+    byte d (Int64.to_int (Int64.shift_right_logical x (8 * k)))
+  done
+
+let int d i = int64 d (Int64.of_int i)
+let float d f = int64 d (Int64.bits_of_float f)
+let bool d b = byte d (if b then 1 else 0)
+
+let string d s =
+  int d (String.length s);
+  String.iter (fun c -> byte d (Char.code c)) s
+
+let to_hex d = Printf.sprintf "%016Lx" d.h
+
+let app d (a : Model.App.t) =
+  string d a.name;
+  float d a.w;
+  float d a.s;
+  float d a.f;
+  float d a.footprint;
+  float d a.m0;
+  float d a.c0
+
+let platform d (p : Model.Platform.t) =
+  float d p.p;
+  float d p.cs;
+  float d p.ls;
+  float d p.ll;
+  float d p.alpha
+
+let add_instance d ~platform:pl ~apps =
+  platform d pl;
+  int d (Array.length apps);
+  Array.iter (app d) apps
+
+let instance ~platform ~apps =
+  let d = create () in
+  add_instance d ~platform ~apps;
+  to_hex d
+
+let trial ~kind ~platform ~apps ~policies ~state =
+  let d = create () in
+  string d kind;
+  add_instance d ~platform ~apps;
+  int d (List.length policies);
+  List.iter (string d) policies;
+  int64 d state;
+  to_hex d
+
+let tagged ~tag ~state =
+  let d = create () in
+  string d tag;
+  int64 d state;
+  to_hex d

@@ -1,0 +1,97 @@
+type entry = { trial : int; key : string; values : float array }
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  mutable entries_rev : entry list;
+  by_key : (string, float array) Hashtbl.t;
+}
+
+let entry_to_line e =
+  let values =
+    String.concat ","
+      (List.map (Printf.sprintf "%.17g") (Array.to_list e.values))
+  in
+  Printf.sprintf "{\"trial\":%d,\"key\":%S,\"values\":[%s]}" e.trial e.key
+    values
+
+let parse_line line =
+  try
+    Scanf.sscanf line " {\"trial\":%d,\"key\":%S,\"values\":[%s@]}"
+      (fun trial key rest ->
+        let values =
+          if String.trim rest = "" then [||]
+          else
+            Array.of_list
+              (List.map float_of_string (String.split_on_char ',' rest))
+        in
+        Some { trial; key; values })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let load ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             match parse_line (input_line ic) with
+             | Some e -> acc := e :: !acc
+             | None -> ()
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+  end
+
+let create ~path =
+  let existing = load ~path in
+  let by_key = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace by_key e.key e.values) existing;
+  { path; lock = Mutex.create (); entries_rev = List.rev existing; by_key }
+
+let path t = t.path
+
+let sync_locked t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (entry_to_line e);
+          output_char oc '\n')
+        (List.rev t.entries_rev));
+  Sys.rename tmp t.path
+
+let append t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not (Hashtbl.mem t.by_key e.key) then begin
+        t.entries_rev <- e :: t.entries_rev;
+        Hashtbl.replace t.by_key e.key e.values;
+        sync_locked t
+      end)
+
+let lookup t key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.by_key key in
+  Mutex.unlock t.lock;
+  r
+
+let entries t =
+  Mutex.lock t.lock;
+  let e = List.rev t.entries_rev in
+  Mutex.unlock t.lock;
+  e
+
+let length t =
+  Mutex.lock t.lock;
+  let n = List.length t.entries_rev in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,42 @@
+(** Append-only JSONL checkpoint of completed campaign trials.
+
+    Each completed trial becomes one line
+
+    {v {"trial":12,"key":"0f3a...","values":[1.25,3.5]} v}
+
+    and every append atomically rewrites the journal through a tmp file +
+    rename, so the file on disk is a valid JSONL prefix of the campaign at
+    every instant — killing a run mid-flight leaves exactly the completed
+    trials.  [values] are printed with 17 significant digits, which
+    round-trips an IEEE-754 double exactly.
+
+    {!create} replays an existing journal (skipping malformed or truncated
+    lines, e.g. from a crash of a pre-rename writer), after which
+    {!lookup} answers by digest key — that is the resume path: a campaign
+    re-run with the same journal skips every trial already on disk. *)
+
+type entry = { trial : int; key : string; values : float array }
+
+type t
+
+val create : path:string -> t
+(** Opens (or starts) the journal at [path], replaying any entries already
+    present.  Domain-safe: workers may append concurrently. *)
+
+val path : t -> string
+
+val append : t -> entry -> unit
+(** Records an entry and atomically rewrites the file.  Entries whose key
+    is already journalled are ignored (the first result wins). *)
+
+val lookup : t -> string -> float array option
+(** Replayed or appended values for a digest key. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val length : t -> int
+
+val load : path:string -> entry list
+(** Static read of a journal file (oldest first); malformed lines are
+    skipped, a missing file is the empty list. *)

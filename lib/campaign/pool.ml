@@ -1,0 +1,97 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work_ready t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let size = if jobs <= 1 then 0 else jobs in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let submit t job =
+  Mutex.lock t.lock;
+  Queue.push job t.queue;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map_array t f a =
+  let n = Array.length a in
+  if t.size = 0 || n <= 1 then Array.map f a
+  else begin
+    let results = Array.make n None in
+    (* The error slot keeps the exception of the smallest failing index so
+       that a parallel run fails exactly like the sequential one would. *)
+    let first_error = ref None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let outcome =
+              try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock t.lock;
+            (match outcome with
+            | Ok r -> results.(i) <- Some r
+            | Error (e, bt) -> (
+              match !first_error with
+              | Some (j, _, _) when j < i -> ()
+              | _ -> first_error := Some (i, e, bt)));
+            remaining := !remaining - 1;
+            if !remaining = 0 then Condition.broadcast all_done;
+            Mutex.unlock t.lock))
+      a;
+    Mutex.lock t.lock;
+    while !remaining > 0 do
+      Condition.wait all_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_ordered ~jobs f a = with_pool ~jobs (fun t -> map_array t f a)

@@ -1,0 +1,44 @@
+(** Fixed-size domain pool with a mutex/condvar work queue.
+
+    The pool owns [jobs] worker domains that block on a condition variable
+    until tasks arrive.  {!map_array} (and the one-shot {!map_ordered})
+    distributes an array of independent computations over the workers and
+    returns the results *in input order*, whatever the completion order;
+    a worker exception is captured and re-raised in the caller, always the
+    one attached to the smallest input index so that failures are
+    deterministic.
+
+    With [jobs <= 1] no domain is spawned and everything runs in the
+    calling domain, in index order — byte-for-byte the sequential
+    behaviour. *)
+
+type t
+(** A pool of worker domains.  Values of this type must be released with
+    {!shutdown} (or created through {!with_pool}). *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs] worker domains ([jobs <= 1] spawns none
+    and makes the pool a sequential executor). *)
+
+val size : t -> int
+(** Number of worker domains (0 for a sequential pool). *)
+
+val default_jobs : unit -> int
+(** The runtime's recommended domain count for this machine; the meaning
+    of [--jobs 0]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f a] applies [f] to every element of [a] on the pool's
+    workers and returns the results in input order.  If one or more tasks
+    raise, the exception of the smallest failing index is re-raised (with
+    its backtrace) after all tasks have drained. *)
+
+val shutdown : t -> unit
+(** Drains the queue, then joins every worker domain.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val map_ordered : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot [with_pool ~jobs (fun t -> map_array t f a)]. *)

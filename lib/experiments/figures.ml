@@ -46,6 +46,16 @@ let ls_gen ~napps v rng =
 let both_normalizations fig =
   [ Report.normalize_by fig apc_name; Report.normalize_by fig dmr_name ]
 
+(* Fold fixed-width campaign payloads into one Online accumulator per
+   column, in trial order (bit-identical to the historical sequential
+   accumulation). *)
+let online_fold ~ncols (outcome : Campaign.outcome) =
+  let accs = Array.init ncols (fun _ -> Util.Stats.Online.create ()) in
+  Array.iter
+    (fun row -> Array.iteri (fun j v -> Util.Stats.Online.add accs.(j) v) row)
+    outcome.Campaign.results;
+  accs
+
 let fig1 ?config () =
   let fig =
     Runner.sweep ?config ~id:"fig1"
@@ -309,21 +319,22 @@ let optgap ?(config = Runner.default_config) () =
     List.map
       (fun size ->
         let n = int_of_float size in
-        let master = Util.Rng.create config.Runner.seed in
-        let accs = List.map (fun p -> (p, Util.Stats.Online.create ())) policies in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+        let work rng =
           let apps =
             Model.Workload.generate ~fixed_s:0. ~rng Model.Workload.NpbSynth n
           in
           let exact = (Theory.Exact.optimal ~platform ~apps ()).Theory.Exact.makespan in
-          List.iter
-            (fun (policy, acc) ->
-              let m = Sched.Heuristics.makespan ~rng ~platform ~apps policy in
-              Util.Stats.Online.add acc (m /. exact))
-            accs
-        done;
-        (size, List.map (fun (_, acc) -> Util.Stats.Online.mean acc) accs))
+          Array.of_list
+            (List.map
+               (fun policy ->
+                 Sched.Heuristics.makespan ~rng ~platform ~apps policy /. exact)
+               policies)
+        in
+        let outcome =
+          Runner.run_trials ~config ~tag:(Printf.sprintf "optgap/n=%d" n) ~work ()
+        in
+        let accs = online_fold ~ncols:(List.length policies) outcome in
+        (size, Array.to_list (Array.map Util.Stats.Online.mean accs)))
       sizes
   in
   [
@@ -356,36 +367,49 @@ let validation ?(config = Runner.default_config) () =
     List.map
       (fun size ->
         let n = int_of_float size in
-        let master = Util.Rng.create config.Runner.seed in
+        let work rng =
+          let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
+          let err_flag, err_v =
+            match
+              (Sched.Heuristics.run ~rng ~platform ~apps
+                 Sched.Heuristics.dominant_min_ratio)
+                .schedule
+            with
+            | Some s -> (1., Simulator.Coschedule_sim.model_error s)
+            | None -> (0., 0.)
+          in
+          let gain_flag, gain_v =
+            match
+              (Sched.Heuristics.run ~rng ~platform ~apps Sched.Heuristics.Fair)
+                .schedule
+            with
+            | Some s ->
+              let analytic = Model.Schedule.makespan s in
+              let opts =
+                {
+                  Simulator.Coschedule_sim.default_options with
+                  redistribute_procs = true;
+                  redistribute_cache = true;
+                }
+              in
+              let sim = (Simulator.Coschedule_sim.run ~options:opts s).makespan in
+              (1., sim /. analytic)
+            | None -> (0., 0.)
+          in
+          [| err_flag; err_v; gain_flag; gain_v |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "validation/n=%d" n)
+            ~work ()
+        in
         let err = Util.Stats.Online.create () in
         let gain = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
-          let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
-          (match
-             (Sched.Heuristics.run ~rng ~platform ~apps
-                Sched.Heuristics.dominant_min_ratio)
-               .schedule
-           with
-          | Some s -> Util.Stats.Online.add err (Simulator.Coschedule_sim.model_error s)
-          | None -> ());
-          match
-            (Sched.Heuristics.run ~rng ~platform ~apps Sched.Heuristics.Fair)
-              .schedule
-          with
-          | Some s ->
-            let analytic = Model.Schedule.makespan s in
-            let opts =
-              {
-                Simulator.Coschedule_sim.default_options with
-                redistribute_procs = true;
-                redistribute_cache = true;
-              }
-            in
-            let sim = (Simulator.Coschedule_sim.run ~options:opts s).makespan in
-            Util.Stats.Online.add gain (sim /. analytic)
-          | None -> ()
-        done;
+        Array.iter
+          (fun row ->
+            if row.(0) = 1. then Util.Stats.Online.add err row.(1);
+            if row.(2) = 1. then Util.Stats.Online.add gain row.(3))
+          outcome.Campaign.results;
         ( size,
           [ Util.Stats.Online.max err; Util.Stats.Online.mean gain ] ))
       sizes
@@ -407,10 +431,7 @@ let rounding ?(config = Runner.default_config) () =
     List.map
       (fun size ->
         let n = int_of_float size in
-        let master = Util.Rng.create config.Runner.seed in
-        let acc = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+        let work rng =
           let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
           match
             (Sched.Heuristics.run ~rng ~platform ~apps
@@ -419,10 +440,18 @@ let rounding ?(config = Runner.default_config) () =
           with
           | Some s ->
             let rounded = Sched.Rounding.integerize s in
-            Util.Stats.Online.add acc
-              (Model.Schedule.makespan rounded /. Model.Schedule.makespan s)
-          | None -> ()
-        done;
+            [| 1.; Model.Schedule.makespan rounded /. Model.Schedule.makespan s |]
+          | None -> [| 0.; 0. |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "rounding/n=%d" n)
+            ~work ()
+        in
+        let acc = Util.Stats.Online.create () in
+        Array.iter
+          (fun row -> if row.(0) = 1. then Util.Stats.Online.add acc row.(1))
+          outcome.Campaign.results;
         (size, [ Util.Stats.Online.mean acc; Util.Stats.Online.max acc ]))
       sizes
   in
@@ -443,10 +472,7 @@ let speedup ?(config = Runner.default_config) () =
   let rows =
     List.mapi
       (fun idx (s, m) ->
-        let master = Util.Rng.create config.Runner.seed in
-        let impr = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+        let work rng =
           let apps =
             Model.Workload.generate ~fixed_s:s ~fixed_m0:m ~rng
               Model.Workload.NpbSynth 16
@@ -456,12 +482,21 @@ let speedup ?(config = Runner.default_config) () =
               Sched.Heuristics.dominant_min_ratio
           in
           match r.Sched.Heuristics.cached with
-          | None -> ()
+          | None -> [| 0.; 0. |]
           | Some subset ->
             let x0 = Theory.Dominant.cache_allocation ~platform ~apps subset in
             let refined = Sched.Refine.refine ~platform ~apps ~x0 () in
-            Util.Stats.Online.add impr refined.Sched.Refine.improvement
-        done;
+            [| 1.; refined.Sched.Refine.improvement |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "speedup/s=%g/m=%g" s m)
+            ~work ()
+        in
+        let impr = Util.Stats.Online.create () in
+        Array.iter
+          (fun row -> if row.(0) = 1. then Util.Stats.Online.add impr row.(1))
+          outcome.Campaign.results;
         ( float_of_int idx,
           [
             s;
@@ -491,26 +526,37 @@ let integer ?(config = Runner.default_config) () =
     List.map
       (fun size ->
         let n = int_of_float size in
-        let master = Util.Rng.create config.Runner.seed in
-        let rounded = Util.Stats.Online.create () in
-        let exact_int = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+        let work rng =
           let apps = Model.Workload.generate ~rng Model.Workload.NpbSynth n in
           match
             (Sched.Heuristics.run ~rng ~platform ~apps
                Sched.Heuristics.dominant_min_ratio)
               .Sched.Heuristics.schedule
           with
-          | None -> ()
+          | None -> [| 0.; 0.; 0. |]
           | Some s ->
             let rational = Model.Schedule.makespan s in
             let x = Array.map (fun a -> a.Model.Schedule.cache) s.Model.Schedule.allocs in
-            Util.Stats.Online.add rounded
-              (Model.Schedule.makespan (Sched.Rounding.integerize s) /. rational);
-            Util.Stats.Online.add exact_int
-              (Sched.Integer_alloc.makespan ~platform ~apps ~x /. rational)
-        done;
+            [|
+              1.;
+              Model.Schedule.makespan (Sched.Rounding.integerize s) /. rational;
+              Sched.Integer_alloc.makespan ~platform ~apps ~x /. rational;
+            |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "integer/n=%d" n)
+            ~work ()
+        in
+        let rounded = Util.Stats.Online.create () in
+        let exact_int = Util.Stats.Online.create () in
+        Array.iter
+          (fun row ->
+            if row.(0) = 1. then begin
+              Util.Stats.Online.add rounded row.(1);
+              Util.Stats.Online.add exact_int row.(2)
+            end)
+          outcome.Campaign.results;
         ( size,
           [ Util.Stats.Online.mean exact_int; Util.Stats.Online.mean rounded ] ))
       sizes
@@ -657,12 +703,8 @@ let profiles ?(config = Runner.default_config) () =
   in
   let rows =
     List.mapi
-      (fun idx (_, profile_of) ->
-        let master = Util.Rng.create config.Runner.seed in
-        let makespan = Util.Stats.Online.create () in
-        let idle = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+      (fun idx (case_name, profile_of) ->
+        let work rng =
           let bases = Model.Workload.generate ~rng Model.Workload.NpbSynth 16 in
           let apps =
             Array.map
@@ -670,11 +712,16 @@ let profiles ?(config = Runner.default_config) () =
               bases
           in
           let r = Sched.General.solve_with_dominant ~rng ~platform ~apps in
-          Util.Stats.Online.add makespan r.Sched.General.makespan;
-          Util.Stats.Online.add idle r.Sched.General.idle
-        done;
+          [| r.Sched.General.makespan; r.Sched.General.idle |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "profiles/%s" case_name)
+            ~work ()
+        in
+        let accs = online_fold ~ncols:2 outcome in
         ( float_of_int idx,
-          [ Util.Stats.Online.mean makespan; Util.Stats.Online.mean idle ] ))
+          [ Util.Stats.Online.mean accs.(0); Util.Stats.Online.mean accs.(1) ] ))
       cases
   in
   [
@@ -755,11 +802,7 @@ let footprint ?(config = Runner.default_config) () =
     List.map
       (fun size ->
         let n = int_of_float size in
-        let master = Util.Rng.create config.Runner.seed in
-        let ratio = Util.Stats.Online.create () in
-        let bound = Util.Stats.Online.create () in
-        for _ = 1 to config.Runner.trials do
-          let rng = Util.Rng.split master in
+        let work rng =
           let apps =
             Array.map
               (fun (app : Model.App.t) ->
@@ -787,7 +830,6 @@ let footprint ?(config = Runner.default_config) () =
               (Theory.Dominant.cache_allocation ~platform ~apps subset)
           in
           let value x = Theory.Perfect.makespan ~platform ~apps ~x in
-          Util.Stats.Online.add ratio (value naive /. value capped);
           let binding =
             Array.fold_left ( + ) 0
               (Array.map2
@@ -800,10 +842,19 @@ let footprint ?(config = Runner.default_config) () =
                    else 0)
                  apps capped)
           in
-          Util.Stats.Online.add bound (float_of_int binding /. float_of_int n)
-        done;
+          [|
+            value naive /. value capped;
+            float_of_int binding /. float_of_int n;
+          |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "footprint/n=%d" n)
+            ~work ()
+        in
+        let accs = online_fold ~ncols:2 outcome in
         ( size,
-          [ Util.Stats.Online.mean ratio; Util.Stats.Online.mean bound ] ))
+          [ Util.Stats.Online.mean accs.(0); Util.Stats.Online.mean accs.(1) ] ))
       sizes
   in
   [

@@ -3,25 +3,58 @@ type instance = {
   apps : Model.App.t array;
 }
 
-type config = { trials : int; seed : int }
+type config = {
+  trials : int;
+  seed : int;
+  jobs : int;
+  journal : string option;
+  cache : Campaign.Cache.t option;
+}
 
-let default_config = { trials = 50; seed = 2017 }
+let default_config =
+  { trials = 50; seed = 2017; jobs = 1; journal = None; cache = None }
 
 let trial_rngs config =
   let master = Util.Rng.create config.seed in
   List.init config.trials (fun _ -> Util.Rng.split master)
 
+(* All trial execution funnels through here: pre-split substreams, shard
+   them over the campaign pool, get payloads back in trial order. *)
+let run_campaign ~config ~key ~work =
+  let rngs = Array.of_list (trial_rngs config) in
+  let journal =
+    Option.map (fun path -> Campaign.Journal.create ~path) config.journal
+  in
+  Campaign.run ~jobs:config.jobs ?cache:config.cache ?journal ~key ~work rngs
+
+let run_trials ~config ~tag ~work () =
+  run_campaign ~config
+    ~key:(fun _ rng -> Campaign.Digest.tagged ~tag ~state:(Util.Rng.state rng))
+    ~work:(fun _ rng -> work rng)
+
 let mean_makespans ~config ~gen ~policies =
+  let names = List.map Sched.Heuristics.name policies in
+  let key _ rng =
+    let state = Util.Rng.state rng in
+    let { platform; apps } = gen rng in
+    Campaign.Digest.trial ~kind:"mean-makespans" ~platform ~apps
+      ~policies:names ~state
+  in
+  let work _ rng =
+    let { platform; apps } = gen rng in
+    Array.of_list
+      (List.map
+         (fun policy -> Sched.Heuristics.makespan ~rng ~platform ~apps policy)
+         policies)
+  in
+  let outcome = run_campaign ~config ~key ~work in
+  (* Merge in trial-index order: the Online accumulators see exactly the
+     sequence the historical sequential loop produced. *)
   let acc = List.map (fun p -> (p, Util.Stats.Online.create ())) policies in
-  List.iter
-    (fun rng ->
-      let { platform; apps } = gen rng in
-      List.iter
-        (fun (policy, online) ->
-          let m = Sched.Heuristics.makespan ~rng ~platform ~apps policy in
-          Util.Stats.Online.add online m)
-        acc)
-    (trial_rngs config);
+  Array.iter
+    (fun row ->
+      List.iteri (fun j (_, online) -> Util.Stats.Online.add online row.(j)) acc)
+    outcome.Campaign.results;
   List.map (fun (p, online) -> (p, Util.Stats.Online.mean online)) acc
 
 let sweep ?(config = default_config) ~id ~title ~xlabel ~values ~gen ~policies ()
@@ -47,29 +80,72 @@ type repartition_stat = {
   max_cache : float;
 }
 
+(* One repartition trial's payload: for each policy, the allocation count
+   followed by the per-application processor counts and cache fractions
+   (0 when the policy has no concurrent schedule).  Storing raw samples
+   rather than folded statistics keeps the journal/cache payload exact and
+   the merge bit-identical to the sequential accumulation. *)
+let repartition_payload ~policies ~platform ~apps rng =
+  Array.of_list
+    (List.concat_map
+       (fun policy ->
+         match (Sched.Heuristics.run ~rng ~platform ~apps policy).schedule with
+         | None -> [ 0. ]
+         | Some schedule ->
+           let allocs = schedule.Model.Schedule.allocs in
+           let procs =
+             Array.to_list
+               (Array.map (fun a -> a.Model.Schedule.procs) allocs)
+           in
+           let cache =
+             Array.to_list
+               (Array.map (fun a -> a.Model.Schedule.cache) allocs)
+           in
+           (float_of_int (Array.length allocs) :: procs) @ cache)
+       policies)
+
 let repartition ?(config = default_config) ~values ~gen ~policies () =
+  let names = List.map Sched.Heuristics.name policies in
   List.map
     (fun v ->
+      let key _ rng =
+        let state = Util.Rng.state rng in
+        let { platform; apps } = gen v rng in
+        Campaign.Digest.trial ~kind:"repartition" ~platform ~apps
+          ~policies:names ~state
+      in
+      let work _ rng =
+        let { platform; apps } = gen v rng in
+        repartition_payload ~policies ~platform ~apps rng
+      in
+      let outcome = run_campaign ~config ~key ~work in
       let per_policy =
         List.map
-          (fun policy -> (policy, Util.Stats.Online.create (), Util.Stats.Online.create ()))
+          (fun policy ->
+            ( policy,
+              Util.Stats.Online.create (),
+              Util.Stats.Online.create () ))
           policies
       in
-      List.iter
-        (fun rng ->
-          let { platform; apps } = gen v rng in
+      Array.iter
+        (fun row ->
+          let pos = ref 0 in
+          let next () =
+            let x = row.(!pos) in
+            incr pos;
+            x
+          in
           List.iter
-            (fun (policy, procs_acc, cache_acc) ->
-              match (Sched.Heuristics.run ~rng ~platform ~apps policy).schedule with
-              | None -> ()
-              | Some schedule ->
-                Array.iter
-                  (fun { Model.Schedule.procs; cache } ->
-                    Util.Stats.Online.add procs_acc procs;
-                    Util.Stats.Online.add cache_acc cache)
-                  schedule.Model.Schedule.allocs)
+            (fun (_, procs_acc, cache_acc) ->
+              let k = int_of_float (next ()) in
+              for _ = 1 to k do
+                Util.Stats.Online.add procs_acc (next ())
+              done;
+              for _ = 1 to k do
+                Util.Stats.Online.add cache_acc (next ())
+              done)
             per_policy)
-        (trial_rngs config);
+        outcome.Campaign.results;
       let stats =
         List.filter_map
           (fun (policy, procs_acc, cache_acc) ->

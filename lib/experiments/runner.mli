@@ -4,7 +4,14 @@
     and reports the average makespan.  A [sweep] runs that protocol at
     every point of a parameter sweep; instances are derived
     deterministically from a master seed, and all policies see the same
-    instances at the same sweep point (paired comparison). *)
+    instances at the same sweep point (paired comparison).
+
+    All trial execution is sharded through the {!Campaign} engine: trials
+    run on [config.jobs] worker domains, can be memoized through
+    [config.cache] and checkpointed/resumed through [config.journal].
+    Results are bit-identical for every [jobs] value because trial RNG
+    substreams are pre-split from the master seed and statistics are
+    merged in trial-index order, never completion order. *)
 
 type instance = {
   platform : Model.Platform.t;
@@ -14,10 +21,30 @@ type instance = {
 type config = {
   trials : int;  (** Repetitions per point; the paper uses 50. *)
   seed : int;    (** Master seed; each trial gets a split substream. *)
+  jobs : int;    (** Worker domains; 1 = sequential, 0 = one per core. *)
+  journal : string option;
+      (** Checkpoint journal path; re-running with the same path skips
+          trials already completed (see {!Campaign.Journal}). *)
+  cache : Campaign.Cache.t option;
+      (** Memo table shared across sweeps (see {!Campaign.Cache}). *)
 }
 
 val default_config : config
-(** 50 trials, seed 2017 (the publication year). *)
+(** 50 trials, seed 2017 (the publication year), 1 job, no journal, no
+    cache — exactly the historical sequential behaviour. *)
+
+val trial_rngs : config -> Util.Rng.t list
+(** The per-trial RNG substreams, pre-split from the master seed in trial
+    order (split [i] belongs to trial [i]). *)
+
+val run_trials :
+  config:config -> tag:string ->
+  work:(Util.Rng.t -> float array) -> unit -> Campaign.outcome
+(** Generic campaign entry for ad-hoc experiments: runs [work] once per
+    trial on that trial's substream and returns the payloads in trial
+    order.  [tag] must uniquely name the computation (experiment id plus
+    fixed parameters); together with the trial RNG state it forms the
+    memo/journal key. *)
 
 val mean_makespans :
   config:config -> gen:(Util.Rng.t -> instance) ->

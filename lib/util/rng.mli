@@ -16,6 +16,11 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy sharing no mutable state with the original. *)
 
+val state : t -> int64
+(** The current 64-bit state word.  Two generators with equal states
+    produce identical streams, so the state is a faithful content key for
+    memoization (see [Campaign.Digest]). *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream.  Used to give

@@ -1,0 +1,399 @@
+(* Tests for the experiment-campaign engine: domain pool ordering and
+   exception propagation, digest stability, cache accounting, journal
+   checkpoint/resume (including crash-truncated files), and end-to-end
+   determinism of campaigns across jobs counts. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let tmp_path suffix =
+  Filename.temp_file "cosched_campaign_test" suffix
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let pool_ordering () =
+  let a = Array.init 200 Fun.id in
+  let f x =
+    (* Uneven busy work scrambles completion order across workers. *)
+    let spin = ref 0 in
+    for _ = 1 to (x * 37) mod 1500 do
+      spin := Sys.opaque_identity (!spin + 1)
+    done;
+    (x * x) + !spin - !spin
+  in
+  let expected = Array.map f a in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_ordered jobs=%d" jobs)
+        expected
+        (Campaign.Pool.map_ordered ~jobs f a))
+    [ 1; 2; 8 ]
+
+let pool_empty_and_singleton () =
+  Alcotest.(check (array int))
+    "empty" [||]
+    (Campaign.Pool.map_ordered ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int))
+    "singleton" [| 9 |]
+    (Campaign.Pool.map_ordered ~jobs:4 (fun x -> x * x) [| 3 |])
+
+let pool_exception_propagation () =
+  let a = Array.init 20 Fun.id in
+  let f x = if x mod 7 = 3 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failing index re-raised (jobs=%d)" jobs)
+        (Failure "3")
+        (fun () -> ignore (Campaign.Pool.map_ordered ~jobs f a)))
+    [ 1; 4 ]
+
+let pool_reuse () =
+  Campaign.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "three workers" 3 (Campaign.Pool.size pool);
+      let a = Array.init 50 Fun.id in
+      let first = Campaign.Pool.map_array pool (fun x -> x + 1) a in
+      let second = Campaign.Pool.map_array pool (fun x -> x * 2) a in
+      Alcotest.(check (array int)) "first" (Array.map (fun x -> x + 1) a) first;
+      Alcotest.(check (array int)) "second" (Array.map (fun x -> x * 2) a) second)
+
+(* --- Digest --------------------------------------------------------------- *)
+
+let sample_instance () =
+  let platform = Model.Platform.paper_default in
+  let apps =
+    Model.Workload.generate ~rng:(Util.Rng.create 7) Model.Workload.NpbSynth 4
+  in
+  (platform, apps)
+
+let digest_stable () =
+  let platform, apps = sample_instance () in
+  let key () =
+    Campaign.Digest.trial ~kind:"k" ~platform ~apps ~policies:[ "A"; "B" ]
+      ~state:42L
+  in
+  Alcotest.(check string) "same content, same key" (key ()) (key ());
+  Alcotest.(check int) "16 hex chars" 16 (String.length (key ()))
+
+let digest_sensitive () =
+  let platform, apps = sample_instance () in
+  let base =
+    Campaign.Digest.trial ~kind:"k" ~platform ~apps ~policies:[ "A" ] ~state:1L
+  in
+  let differs name key = Alcotest.(check bool) name true (key <> base) in
+  differs "state changes key"
+    (Campaign.Digest.trial ~kind:"k" ~platform ~apps ~policies:[ "A" ]
+       ~state:2L);
+  differs "policy list changes key"
+    (Campaign.Digest.trial ~kind:"k" ~platform ~apps ~policies:[ "B" ]
+       ~state:1L);
+  differs "kind changes key"
+    (Campaign.Digest.trial ~kind:"other" ~platform ~apps ~policies:[ "A" ]
+       ~state:1L);
+  differs "platform changes key"
+    (Campaign.Digest.trial ~kind:"k"
+       ~platform:(Model.Platform.with_p platform 128.)
+       ~apps ~policies:[ "A" ] ~state:1L);
+  let perturbed = Array.copy apps in
+  perturbed.(0) <- Model.App.with_w perturbed.(0) 1.5e11;
+  differs "one app field changes key"
+    (Campaign.Digest.trial ~kind:"k" ~platform ~apps:perturbed
+       ~policies:[ "A" ] ~state:1L);
+  Alcotest.(check bool) "tags cannot alias across boundaries" true
+    (Campaign.Digest.tagged ~tag:"ab" ~state:1L
+    <> Campaign.Digest.tagged ~tag:"a" ~state:1L)
+
+(* --- Cache ---------------------------------------------------------------- *)
+
+let cache_accounting () =
+  let c = Campaign.Cache.create () in
+  Alcotest.(check (option (array (float 0.)))) "miss first" None
+    (Campaign.Cache.find c "k1");
+  Campaign.Cache.add c "k1" [| 1.5; -2.25 |];
+  Alcotest.(check (option (array (float 0.))))
+    "hit after add"
+    (Some [| 1.5; -2.25 |])
+    (Campaign.Cache.find c "k1");
+  ignore (Campaign.Cache.find c "k2");
+  Alcotest.(check int) "1 hit" 1 (Campaign.Cache.hits c);
+  Alcotest.(check int) "2 misses" 2 (Campaign.Cache.misses c);
+  Alcotest.(check int) "1 entry" 1 (Campaign.Cache.length c);
+  (* First write wins. *)
+  Campaign.Cache.add c "k1" [| 9. |];
+  Alcotest.(check (option (array (float 0.))))
+    "re-add ignored"
+    (Some [| 1.5; -2.25 |])
+    (Campaign.Cache.find c "k1")
+
+let cache_disk_roundtrip () =
+  let path = tmp_path ".cache" in
+  Sys.remove path;
+  let values = [| Float.pi; -0.; 1e-308; 12345.6789; infinity |] in
+  let c1 = Campaign.Cache.create ~path () in
+  Campaign.Cache.add c1 "deadbeef" values;
+  Campaign.Cache.add c1 "cafe" [||];
+  Campaign.Cache.close c1;
+  let c2 = Campaign.Cache.create ~path () in
+  (match Campaign.Cache.find c2 "deadbeef" with
+  | None -> Alcotest.fail "entry lost on reload"
+  | Some got ->
+    Alcotest.(check int) "width" (Array.length values) (Array.length got);
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "bit-exact value %d" i)
+          true
+          (Int64.bits_of_float v = Int64.bits_of_float got.(i)))
+      values);
+  Alcotest.(check (option (array (float 0.)))) "empty payload survives"
+    (Some [||])
+    (Campaign.Cache.find c2 "cafe");
+  Campaign.Cache.close c2;
+  Sys.remove path
+
+(* --- Journal -------------------------------------------------------------- *)
+
+let journal_roundtrip () =
+  let path = tmp_path ".jsonl" in
+  Sys.remove path;
+  let j = Campaign.Journal.create ~path in
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 0; key = "aa"; values = [| 1.25 |] };
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 1; key = "bb"; values = [| Float.pi; -3.5 |] };
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 2; key = "cc"; values = [||] };
+  (* Duplicate key is ignored. *)
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 9; key = "bb"; values = [| 0. |] };
+  Alcotest.(check int) "3 entries" 3 (Campaign.Journal.length j);
+  let replayed = Campaign.Journal.create ~path in
+  Alcotest.(check int) "replayed 3" 3 (Campaign.Journal.length replayed);
+  (match Campaign.Journal.lookup replayed "bb" with
+  | Some [| a; b |] ->
+    Alcotest.(check bool) "pi round-trips" true
+      (Int64.bits_of_float a = Int64.bits_of_float Float.pi);
+    Alcotest.(check (float 0.)) "second value" (-3.5) b
+  | _ -> Alcotest.fail "lookup bb");
+  let trials =
+    List.map
+      (fun e -> e.Campaign.Journal.trial)
+      (Campaign.Journal.entries replayed)
+  in
+  Alcotest.(check (list int)) "entries in append order" [ 0; 1; 2 ] trials;
+  Sys.remove path
+
+let journal_crash_resume () =
+  let path = tmp_path ".jsonl" in
+  Sys.remove path;
+  let j = Campaign.Journal.create ~path in
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 0; key = "aa"; values = [| 1. |] };
+  Campaign.Journal.append j
+    { Campaign.Journal.trial = 1; key = "bb"; values = [| 2. |] };
+  (* Simulate a crash mid-write: a torn, half-written trailing line. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"trial\":2,\"key\":\"cc\",\"val";
+  close_out oc;
+  let entries = Campaign.Journal.load ~path in
+  Alcotest.(check int) "torn line skipped" 2 (List.length entries);
+  let resumed = Campaign.Journal.create ~path in
+  Alcotest.(check (option (array (float 0.)))) "intact entry survives"
+    (Some [| 2. |])
+    (Campaign.Journal.lookup resumed "bb");
+  Alcotest.(check (option (array (float 0.)))) "torn entry absent" None
+    (Campaign.Journal.lookup resumed "cc");
+  (* Appending after a resume heals the file. *)
+  Campaign.Journal.append resumed
+    { Campaign.Journal.trial = 2; key = "cc"; values = [| 3. |] };
+  Alcotest.(check int) "healed journal" 3
+    (List.length (Campaign.Journal.load ~path));
+  Sys.remove path
+
+(* --- Campaign orchestration ------------------------------------------------ *)
+
+let split_rngs ~seed n =
+  let master = Util.Rng.create seed in
+  Array.init n (fun _ -> Util.Rng.split master)
+
+let campaign_work _i rng =
+  [| Util.Rng.float rng 1.; Util.Rng.uniform rng 1. 2. |]
+
+let campaign_key _i rng =
+  Campaign.Digest.tagged ~tag:"test-campaign" ~state:(Util.Rng.state rng)
+
+let campaign_jobs_deterministic () =
+  let run jobs =
+    Campaign.run ~jobs ~key:campaign_key ~work:campaign_work
+      (split_rngs ~seed:11 64)
+  in
+  let base = (run 1).Campaign.results in
+  List.iter
+    (fun jobs ->
+      let got = (run jobs).Campaign.results in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d bit-identical to jobs=1" jobs)
+        true (got = base))
+    [ 2; 8 ]
+
+let campaign_progress_and_stats () =
+  let ticks = Atomic.make 0 in
+  let o =
+    Campaign.run ~jobs:4
+      ~on_trial:(fun ~completed:_ ~total:_ -> Atomic.incr ticks)
+      ~key:campaign_key ~work:campaign_work (split_rngs ~seed:3 32)
+  in
+  Alcotest.(check int) "one tick per trial" 32 (Atomic.get ticks);
+  Alcotest.(check int) "all computed" 32 o.Campaign.stats.Campaign.computed;
+  Alcotest.(check int) "total" 32 o.Campaign.stats.Campaign.total;
+  Alcotest.(check bool) "report mentions the split" true
+    (let r = Campaign.report o.Campaign.stats in
+     String.length r > 0)
+
+let campaign_cache_accounting () =
+  let cache = Campaign.Cache.create () in
+  let rngs = split_rngs ~seed:5 16 in
+  let first = Campaign.run ~jobs:2 ~cache ~key:campaign_key ~work:campaign_work rngs in
+  Alcotest.(check int) "cold: all computed" 16 first.Campaign.stats.Campaign.computed;
+  Alcotest.(check int) "cold: no cache hit" 0 first.Campaign.stats.Campaign.cache_hits;
+  let second = Campaign.run ~jobs:2 ~cache ~key:campaign_key ~work:campaign_work rngs in
+  Alcotest.(check int) "warm: nothing computed" 0 second.Campaign.stats.Campaign.computed;
+  Alcotest.(check int) "warm: all cache hits" 16 second.Campaign.stats.Campaign.cache_hits;
+  Alcotest.(check bool) "warm results identical" true
+    (second.Campaign.results = first.Campaign.results)
+
+let campaign_journal_resume () =
+  let path = tmp_path ".jsonl" in
+  Sys.remove path;
+  let rngs = split_rngs ~seed:23 12 in
+  let run () =
+    let journal = Campaign.Journal.create ~path in
+    Campaign.run ~jobs:3 ~journal ~key:campaign_key ~work:campaign_work rngs
+  in
+  let first = run () in
+  Alcotest.(check int) "cold: all computed" 12 first.Campaign.stats.Campaign.computed;
+  (* Simulate an interrupted campaign: drop the last journalled trial. *)
+  let lines = Campaign.Journal.load ~path in
+  let keep = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  Sys.remove path;
+  let partial = Campaign.Journal.create ~path in
+  List.iter (Campaign.Journal.append partial) keep;
+  let resumed = run () in
+  Alcotest.(check int) "resume: one trial recomputed" 1
+    resumed.Campaign.stats.Campaign.computed;
+  Alcotest.(check int) "resume: the rest replayed" 11
+    resumed.Campaign.stats.Campaign.journal_hits;
+  Alcotest.(check bool) "resume results identical" true
+    (resumed.Campaign.results = first.Campaign.results);
+  Alcotest.(check int) "journal complete again" 12
+    (List.length (Campaign.Journal.load ~path));
+  Sys.remove path
+
+let campaign_worker_exception () =
+  let work i _rng = if i = 5 then invalid_arg "boom" else [| float_of_int i |] in
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Invalid_argument "boom")
+    (fun () ->
+      ignore
+        (Campaign.run ~jobs:4 ~key:campaign_key ~work (split_rngs ~seed:1 10)))
+
+(* --- Runner integration ---------------------------------------------------- *)
+
+let sweep_gen v rng =
+  {
+    Experiments.Runner.platform = Model.Platform.paper_default;
+    apps =
+      Model.Workload.generate ~rng Model.Workload.NpbSynth (int_of_float v);
+  }
+
+let sweep_policies =
+  Sched.Heuristics.[ dominant_min_ratio; Fair; ZeroCache; RandomPart ]
+
+let sweep_fig ~jobs ~journal =
+  let config =
+    { Experiments.Runner.default_config with trials = 4; seed = 99; jobs; journal }
+  in
+  Experiments.Runner.sweep ~config ~id:"campaign-test" ~title:"t" ~xlabel:"n"
+    ~values:[ 2.; 6. ] ~gen:sweep_gen ~policies:sweep_policies ()
+
+let runner_jobs_identical () =
+  let base = sweep_fig ~jobs:1 ~journal:None in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep rows jobs=%d = jobs=1" jobs)
+        true
+        (sweep_fig ~jobs ~journal:None = base))
+    [ 2; 8 ]
+
+let runner_journal_resume () =
+  let path = tmp_path ".jsonl" in
+  Sys.remove path;
+  let base = sweep_fig ~jobs:1 ~journal:None in
+  let cold = sweep_fig ~jobs:2 ~journal:(Some path) in
+  Alcotest.(check bool) "journalled run matches plain run" true (cold = base);
+  let journalled = List.length (Campaign.Journal.load ~path) in
+  Alcotest.(check int) "2 points x 4 trials journalled" 8 journalled;
+  (* A rerun replays everything from the journal and changes nothing. *)
+  let warm = sweep_fig ~jobs:4 ~journal:(Some path) in
+  Alcotest.(check bool) "replayed run identical" true (warm = base);
+  Alcotest.(check int) "journal unchanged" journalled
+    (List.length (Campaign.Journal.load ~path));
+  Sys.remove path
+
+let runner_repartition_jobs_identical () =
+  let data jobs =
+    let config =
+      { Experiments.Runner.default_config with trials = 3; seed = 7; jobs }
+    in
+    Experiments.Runner.repartition ~config ~values:[ 4.; 8. ] ~gen:sweep_gen
+      ~policies:Sched.Heuristics.[ dominant_min_ratio; Fair; ZeroCache ]
+      ()
+  in
+  Alcotest.(check bool) "repartition jobs=4 = jobs=1" true (data 4 = data 1)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "pool",
+        [
+          test "map_ordered preserves input order" pool_ordering;
+          test "empty and singleton arrays" pool_empty_and_singleton;
+          test "worker exceptions re-raised deterministically"
+            pool_exception_propagation;
+          test "a pool can run several maps" pool_reuse;
+        ] );
+      ( "digest",
+        [
+          test "keys are stable" digest_stable;
+          test "keys are content-sensitive" digest_sensitive;
+        ] );
+      ( "cache",
+        [
+          test "hit/miss accounting" cache_accounting;
+          test "on-disk store round-trips bit-exactly" cache_disk_roundtrip;
+        ] );
+      ( "journal",
+        [
+          test "append / replay round-trip" journal_roundtrip;
+          test "torn trailing line is skipped on resume" journal_crash_resume;
+        ] );
+      ( "campaign",
+        [
+          test "results bit-identical across jobs counts"
+            campaign_jobs_deterministic;
+          test "progress callback and stats" campaign_progress_and_stats;
+          test "memo table short-circuits repeat runs" campaign_cache_accounting;
+          test "journal checkpoint resumes an interrupted run"
+            campaign_journal_resume;
+          test "worker exception propagates" campaign_worker_exception;
+        ] );
+      ( "runner",
+        [
+          test "sweep rows identical across jobs counts" runner_jobs_identical;
+          test "sweep checkpoint/resume through the journal"
+            runner_journal_resume;
+          test "repartition identical across jobs counts"
+            runner_repartition_jobs_identical;
+        ] );
+    ]

@@ -4,7 +4,7 @@
 let check_float = Alcotest.(check (float 1e-9))
 let test name f = Alcotest.test_case name `Quick f
 
-let tiny = { Experiments.Runner.trials = 3; seed = 2017 }
+let tiny = { Experiments.Runner.default_config with trials = 3; seed = 2017 }
 
 (* --- Report --------------------------------------------------------------- *)
 
@@ -243,7 +243,7 @@ let every_experiment_runs () =
      the biggest app sweeps to keep the suite fast; they are exercised by
      the benchmark harness.) *)
   let skip = [ "fig1"; "fig3"; "fig7"; "fig8"; "fig17" ] in
-  let one = { Experiments.Runner.trials = 1; seed = 1 } in
+  let one = { Experiments.Runner.default_config with trials = 1; seed = 1 } in
   List.iter
     (fun id ->
       if not (List.mem id skip) then

@@ -108,7 +108,7 @@ let partition_matches_power_law () =
 (* Pipeline 5: end-to-end determinism — the whole experiment stack gives
    identical numbers for identical seeds. *)
 let experiments_deterministic () =
-  let config = { Experiments.Runner.trials = 2; seed = 77 } in
+  let config = { Experiments.Runner.default_config with trials = 2; seed = 77 } in
   let run () =
     match Experiments.Figures.run ~config "fig2" with
     | [ fig ] -> fig.Experiments.Report.rows

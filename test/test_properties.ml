@@ -339,6 +339,35 @@ let periodic_consistency =
       if makespan <= period then o.Simulator.Periodic.late_fraction = 0.
       else o.Simulator.Periodic.late_fraction > 0.)
 
+(* --- Campaign invariants --------------------------------------------------- *)
+
+let campaign_jobs_invariant =
+  (* The determinism guarantee of the campaign engine: sweep rows are
+     bit-identical whatever the worker-domain count, because trial RNGs
+     are pre-split before dispatch and statistics merge in trial order.
+     The policy set deliberately includes RNG consumers (RandomPart). *)
+  QCheck.Test.make ~name:"sweep rows identical for jobs=1 and jobs=8" ~count:5
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let fig jobs =
+        let config =
+          { Experiments.Runner.default_config with trials = 4; seed; jobs }
+        in
+        Experiments.Runner.sweep ~config ~id:"prop" ~title:"t" ~xlabel:"n"
+          ~values:[ 2.; 5. ]
+          ~gen:(fun v rng ->
+            {
+              Experiments.Runner.platform;
+              apps =
+                Model.Workload.generate ~rng Model.Workload.NpbSynth
+                  (int_of_float v);
+            })
+          ~policies:
+            Sched.Heuristics.[ dominant_min_ratio; Fair; RandomPart ]
+          ()
+      in
+      fig 1 = fig 8)
+
 let general_amdahl_equivalence =
   QCheck.Test.make ~name:"General solver = Equalize on Amdahl instances"
     ~count:30 seed_n (fun (seed, n) ->
@@ -387,4 +416,5 @@ let () =
           qtest periodic_consistency;
           qtest general_amdahl_equivalence;
         ] );
+      ("campaign", [ qtest campaign_jobs_invariant ]);
     ]
