@@ -3,7 +3,8 @@
    substrate with Bechamel.
 
    Usage: main.exe [--trials N] [--seed S] [--jobs N] [--only ID[,ID...]]
-                   [--no-micro] [--no-figures] [--full]
+                   [--on-failure abort|skip|retry] [--max-retries N]
+                   [--trial-timeout S] [--no-micro] [--no-figures] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -14,10 +15,14 @@ let jobs = ref 1
 let only : string list ref = ref []
 let run_micro = ref true
 let run_figures = ref true
+let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
+let max_retries = ref 2
+let trial_timeout : float option ref = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
+     [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
      [--no-micro] [--no-figures] [--full]";
   exit 2
 
@@ -34,6 +39,19 @@ let rec parse = function
     parse rest
   | "--only" :: v :: rest ->
     only := String.split_on_char ',' v;
+    parse rest
+  | "--on-failure" :: v :: rest ->
+    (match v with
+    | "abort" -> on_failure := `Abort
+    | "skip" -> on_failure := `Skip
+    | "retry" -> on_failure := `Retry
+    | _ -> usage ());
+    parse rest
+  | "--max-retries" :: v :: rest ->
+    max_retries := int_of_string v;
+    parse rest
+  | "--trial-timeout" :: v :: rest ->
+    trial_timeout := Some (float_of_string v);
     parse rest
   | "--no-micro" :: rest ->
     run_micro := false;
@@ -151,6 +169,7 @@ let micro () =
   Util.Table.print table
 
 let () =
+  Printexc.record_backtrace true;
   parse (List.tl (Array.to_list Sys.argv));
   let config =
     {
@@ -159,6 +178,10 @@ let () =
       jobs = !jobs;
       journal = None;
       cache = None;
+      on_failure = !on_failure;
+      max_retries = !max_retries;
+      trial_timeout = !trial_timeout;
+      fault = None;
     }
   in
   Printf.printf

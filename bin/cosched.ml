@@ -38,6 +38,34 @@ let journal_arg =
            an interrupted campaign with the same file skips every trial \
            already journalled.")
 
+let on_failure_arg =
+  Arg.(
+    value
+    & opt (enum [ ("abort", `Abort); ("skip", `Skip); ("retry", `Retry) ]) `Abort
+    & info [ "on-failure" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a trial raises: $(b,abort) fails the whole \
+           campaign (default), $(b,skip) records the trial as a hole and \
+           keeps going, $(b,retry) re-runs it up to $(b,--max-retries) \
+           times with deterministic backoff before skipping.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Retry budget per trial under $(b,--on-failure retry).")
+
+let trial_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "trial-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Cooperative per-trial deadline: a trial still running after \
+           this many seconds fails with a timeout at its next safepoint \
+           and is handled by the $(b,--on-failure) policy.")
+
 let dataset_arg =
   let parse s =
     try Ok (Model.Workload.dataset_of_string s)
@@ -123,9 +151,20 @@ let experiment_cmd =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc contents)
   in
-  let run id trials seed jobs journal csv out =
+  let run id trials seed jobs journal on_failure max_retries trial_timeout csv
+      out =
     let config =
-      { Experiments.Runner.trials; seed; jobs; journal; cache = None }
+      {
+        Experiments.Runner.trials;
+        seed;
+        jobs;
+        journal;
+        cache = None;
+        on_failure;
+        max_retries;
+        trial_timeout;
+        fault = None;
+      }
     in
     let ids =
       if String.lowercase_ascii id = "all" then Experiments.Figures.all_ids
@@ -153,7 +192,8 @@ let experiment_cmd =
   let term =
     Term.(
       const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ journal_arg
-      $ csv_arg $ out_arg)
+      $ on_failure_arg $ max_retries_arg $ trial_timeout_arg $ csv_arg
+      $ out_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper.")
@@ -318,4 +358,8 @@ let main_cmd =
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
     [ experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; instance_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* A `Trial_failed` report is only actionable with the trial's
+     backtrace in it. *)
+  Printexc.record_backtrace true;
+  exit (Cmd.eval main_cmd)

@@ -1,43 +1,96 @@
 type t = {
   table : (string, float array) Hashtbl.t;
   lock : Mutex.t;
+  mutable entries_rev : (string * float array) list;
   mutable hits : int;
   mutable misses : int;
-  mutable sink : out_channel option;
+  mutable unreadable : int;
+  mutable path : string option;
 }
 
-let write_entry oc key values =
-  output_string oc key;
-  Array.iter (fun v -> output_string oc (Printf.sprintf " %h" v)) values;
-  output_char oc '\n'
+let line_of key values =
+  let payload =
+    String.concat " "
+      (key :: List.map (Printf.sprintf "%h") (Array.to_list values))
+  in
+  payload ^ " sum=" ^ Digest.of_string payload
+
+(* [Some (key, values)] for an intact line; [None] for a torn, corrupted
+   or checksum-mismatched one.  Pre-checksum legacy lines (no trailing
+   "sum=" token) are accepted unverified. *)
+let parse_line line =
+  let split payload =
+    match String.split_on_char ' ' payload with
+    | [] | [ "" ] -> None
+    | key :: values -> (
+      try Some (key, Array.of_list (List.map float_of_string values))
+      with Failure _ -> None)
+  in
+  match String.rindex_opt line ' ' with
+  | Some i when String.length line - i > 5 && String.sub line (i + 1) 4 = "sum="
+    ->
+    let payload = String.sub line 0 i in
+    let sum = String.sub line (i + 5) (String.length line - i - 5) in
+    if String.equal sum (Digest.of_string payload) then split payload else None
+  | _ -> split line
 
 let load_store table path =
   let ic = open_in path in
+  let bad = ref 0 in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      try
-        while true do
-          match String.split_on_char ' ' (String.trim (input_line ic)) with
-          | [] | [ "" ] -> ()
-          | key :: values -> (
-            try
-              Hashtbl.replace table key
-                (Array.of_list (List.map float_of_string values))
-            with Failure _ -> ())
-        done
-      with End_of_file -> ())
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else
+             match parse_line line with
+             | Some (key, values) -> Hashtbl.replace table key values
+             | None -> incr bad
+         done
+       with End_of_file -> ());
+      !bad)
 
 let create ?path () =
   let table = Hashtbl.create 256 in
-  let sink =
+  let unreadable =
     match path with
-    | None -> None
-    | Some p ->
-      if Sys.file_exists p then load_store table p;
-      Some (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+    | Some p when Sys.file_exists p -> load_store table p
+    | _ -> 0
   in
-  { table; lock = Mutex.create (); hits = 0; misses = 0; sink }
+  (* Loaded entries are re-persisted in hash-table order on the first
+     sync; ordering of the store file is not part of its contract. *)
+  let entries_rev = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  {
+    table;
+    lock = Mutex.create ();
+    entries_rev;
+    hits = 0;
+    misses = 0;
+    unreadable;
+    path;
+  }
+
+(* Crash-safe persistence: the whole store is rewritten through a tmp
+   file + rename (the same protocol Journal uses), so the file on disk is
+   always a complete, parseable store — a crash mid-add loses at most the
+   entry being added, never the file. *)
+let sync_locked t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun (key, values) ->
+            output_string oc (Fault.mangle ~site:`Cache ~key (line_of key values));
+            output_char oc '\n')
+          (List.rev t.entries_rev));
+    Sys.rename tmp path
 
 let find t key =
   Mutex.lock t.lock;
@@ -49,16 +102,16 @@ let find t key =
   r
 
 let add t key values =
+  Fault.store_point ~site:`Cache ~key;
   Mutex.lock t.lock;
-  if not (Hashtbl.mem t.table key) then begin
-    Hashtbl.replace t.table key values;
-    match t.sink with
-    | Some oc ->
-      write_entry oc key values;
-      flush oc
-    | None -> ()
-  end;
-  Mutex.unlock t.lock
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key values;
+        t.entries_rev <- (key, values) :: t.entries_rev;
+        sync_locked t
+      end)
 
 let hits t =
   Mutex.lock t.lock;
@@ -78,12 +131,14 @@ let length t =
   Mutex.unlock t.lock;
   n
 
+let unreadable t =
+  Mutex.lock t.lock;
+  let n = t.unreadable in
+  Mutex.unlock t.lock;
+  n
+
 let close t =
   Mutex.lock t.lock;
-  (match t.sink with
-  | Some oc ->
-    flush oc;
-    close_out oc;
-    t.sink <- None
-  | None -> ());
+  (try sync_locked t with e -> Mutex.unlock t.lock; raise e);
+  t.path <- None;
   Mutex.unlock t.lock

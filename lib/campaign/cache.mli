@@ -5,15 +5,24 @@
     can consult it concurrently, and it keeps hit/miss counters.
 
     With [?path], entries are also persisted to a plain-text store — one
-    [key v1 v2 ...] line per entry, values printed with [%h] so they
-    round-trip bit-exactly — which is loaded back on [create], giving a
-    cross-run memo.  The store is append-only; unparseable lines are
-    ignored on load, so a torn final line cannot poison the table. *)
+    [key v1 v2 ... sum=<fnv64>] line per entry, values printed with [%h]
+    so they round-trip bit-exactly, the trailing checksum covering the
+    rest of the line — which is loaded back on [create], giving a
+    cross-run memo.  Every mutation rewrites the store through a tmp
+    file + rename (the same crash-safety protocol {!Journal} uses), so
+    the file on disk is always complete; on load, torn or corrupted
+    entries (including checksum mismatches) are skipped and counted in
+    {!unreadable} rather than crashing or poisoning the table.
+    Pre-checksum legacy lines are accepted unverified.
+
+    When a {!Fault} harness is armed, [add] passes through its
+    [store_point] (injected exceptions) and the writer through [mangle]
+    (torn writes). *)
 
 type t
 
 val create : ?path:string -> unit -> t
-(** In-memory table; with [?path], pre-loaded from (and appending to) the
+(** In-memory table; with [?path], pre-loaded from (and persisting to) the
     on-disk store at that path. *)
 
 val find : t -> string -> float array option
@@ -21,12 +30,17 @@ val find : t -> string -> float array option
 
 val add : t -> string -> float array -> unit
 (** First write wins; re-adding an existing key is a no-op (so the on-disk
-    store never holds conflicting lines). *)
+    store never holds conflicting lines).
+    @raise Fault.Injected when an armed harness injects a store fault. *)
 
 val hits : t -> int
 val misses : t -> int
 val length : t -> int
 
+val unreadable : t -> int
+(** Number of corrupt store lines skipped when this handle loaded the
+    file. *)
+
 val close : t -> unit
-(** Flushes and closes the on-disk store, if any.  Idempotent; the
-    in-memory table remains usable. *)
+(** Final sync, then detaches the on-disk store.  Idempotent; the
+    in-memory table remains usable (in memory only). *)

@@ -24,6 +24,11 @@ let string d s =
 
 let to_hex d = Printf.sprintf "%016Lx" d.h
 
+let of_string s =
+  let d = create () in
+  String.iter (fun c -> byte d (Char.code c)) s;
+  to_hex d
+
 let app d (a : Model.App.t) =
   string d a.name;
   float d a.w;

@@ -31,6 +31,11 @@ val platform : t -> Model.Platform.t -> unit
 val to_hex : t -> string
 (** 16-char lowercase hex of the current state. *)
 
+val of_string : string -> string
+(** One-shot digest of a raw byte string (no length prefix) — the
+    per-line checksum used by {!Journal} and {!Cache} to detect torn or
+    corrupted store entries. *)
+
 val instance : platform:Model.Platform.t -> apps:Model.App.t array -> string
 (** One-shot digest of a problem instance. *)
 

@@ -4,55 +4,113 @@ type t = {
   path : string;
   lock : Mutex.t;
   mutable entries_rev : entry list;
+  mutable quarantined : int;
   by_key : (string, float array) Hashtbl.t;
 }
 
+let quarantine_path path = path ^ ".quarantine"
+
+let values_string values =
+  String.concat ","
+    (List.map (Printf.sprintf "%.17g") (Array.to_list values))
+
+(* The checksum covers the raw field texts exactly as serialized, so any
+   single-byte change to a line — in a field, in the punctuation, or in
+   the checksum itself — is detected on reload. *)
+let checksum ~trial ~key ~values_str =
+  Digest.of_string (Printf.sprintf "%d|%s|[%s]" trial key values_str)
+
 let entry_to_line e =
-  let values =
-    String.concat ","
-      (List.map (Printf.sprintf "%.17g") (Array.to_list e.values))
-  in
-  Printf.sprintf "{\"trial\":%d,\"key\":%S,\"values\":[%s]}" e.trial e.key
-    values
+  let values = values_string e.values in
+  Printf.sprintf "{\"trial\":%d,\"key\":%S,\"values\":[%s],\"sum\":%S}" e.trial
+    e.key values
+    (checksum ~trial:e.trial ~key:e.key ~values_str:values)
 
+let parse_values rest =
+  if String.trim rest = "" then [||]
+  else
+    Array.of_list (List.map float_of_string (String.split_on_char ',' rest))
+
+(* [Some entry] for an intact line, [None] for a corrupt/torn/mismatched
+   one.  Lines written before checksums existed (no "sum" field) are
+   grandfathered in unverified. *)
 let parse_line line =
-  try
-    Scanf.sscanf line " {\"trial\":%d,\"key\":%S,\"values\":[%s@]}"
-      (fun trial key rest ->
-        let values =
-          if String.trim rest = "" then [||]
-          else
-            Array.of_list
-              (List.map float_of_string (String.split_on_char ',' rest))
-        in
-        Some { trial; key; values })
-  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  let entry trial key rest =
+    try Some { trial; key; values = parse_values rest } with Failure _ -> None
+  in
+  match
+    Scanf.sscanf line " {\"trial\":%d,\"key\":%S,\"values\":[%s@],\"sum\":%S}%!"
+      (fun trial key rest sum ->
+        if String.equal sum (checksum ~trial ~key ~values_str:rest) then
+          entry trial key rest
+        else None)
+  with
+  | r -> r
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> (
+    (* Legacy pre-checksum format. *)
+    try
+      Scanf.sscanf line " {\"trial\":%d,\"key\":%S,\"values\":[%s@]}%!" entry
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
 
-let load ~path =
-  if not (Sys.file_exists path) then []
+let scan ~path =
+  if not (Sys.file_exists path) then ([], [])
   else begin
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let acc = ref [] in
+        let acc = ref [] and bad = ref [] in
         (try
            while true do
-             match parse_line (input_line ic) with
-             | Some e -> acc := e :: !acc
-             | None -> ()
+             let line = input_line ic in
+             if String.trim line = "" then ()
+             else
+               match parse_line line with
+               | Some e -> acc := e :: !acc
+               | None -> bad := line :: !bad
            done
          with End_of_file -> ());
-        List.rev !acc)
+        (List.rev !acc, List.rev !bad))
   end
 
+let load ~path = fst (scan ~path)
+
 let create ~path =
-  let existing = load ~path in
+  let existing, bad = scan ~path in
+  (* Quarantine, don't crash: corrupt lines are preserved verbatim in a
+     side file for post-mortems, counted, and dropped from the replayed
+     state — the campaign recomputes exactly those trials, and the next
+     append rewrites the journal without them. *)
+  if bad <> [] then begin
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 (quarantine_path path)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          bad)
+  end;
   let by_key = Hashtbl.create 256 in
   List.iter (fun e -> Hashtbl.replace by_key e.key e.values) existing;
-  { path; lock = Mutex.create (); entries_rev = List.rev existing; by_key }
+  {
+    path;
+    lock = Mutex.create ();
+    entries_rev = List.rev existing;
+    quarantined = List.length bad;
+    by_key;
+  }
 
 let path t = t.path
+
+let quarantined t =
+  Mutex.lock t.lock;
+  let n = t.quarantined in
+  Mutex.unlock t.lock;
+  n
 
 let sync_locked t =
   let tmp = t.path ^ ".tmp" in
@@ -62,12 +120,13 @@ let sync_locked t =
     (fun () ->
       List.iter
         (fun e ->
-          output_string oc (entry_to_line e);
+          output_string oc (Fault.mangle ~site:`Journal ~key:e.key (entry_to_line e));
           output_char oc '\n')
         (List.rev t.entries_rev));
   Sys.rename tmp t.path
 
 let append t e =
+  Fault.store_point ~site:`Journal ~key:e.key;
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)

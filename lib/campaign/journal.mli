@@ -1,33 +1,52 @@
-(** Append-only JSONL checkpoint of completed campaign trials.
+(** Append-only, checksummed JSONL checkpoint of completed campaign trials.
 
     Each completed trial becomes one line
 
-    {v {"trial":12,"key":"0f3a...","values":[1.25,3.5]} v}
+    {v {"trial":12,"key":"0f3a...","values":[1.25,3.5],"sum":"9c41..."} v}
 
     and every append atomically rewrites the journal through a tmp file +
     rename, so the file on disk is a valid JSONL prefix of the campaign at
     every instant — killing a run mid-flight leaves exactly the completed
     trials.  [values] are printed with 17 significant digits, which
-    round-trips an IEEE-754 double exactly.
+    round-trips an IEEE-754 double exactly; [sum] is a 64-bit FNV-1a
+    checksum of the raw field texts, so any single-byte corruption of a
+    line is detected on reload.
 
-    {!create} replays an existing journal (skipping malformed or truncated
-    lines, e.g. from a crash of a pre-rename writer), after which
-    {!lookup} answers by digest key — that is the resume path: a campaign
-    re-run with the same journal skips every trial already on disk. *)
+    {!create} replays an existing journal.  Intact lines (including
+    pre-checksum legacy lines, accepted unverified) are loaded; torn,
+    truncated or checksum-mismatched lines are *quarantined*: preserved
+    verbatim in [path ^ ".quarantine"], counted in {!quarantined}, and
+    dropped from the replayed state — a resumed campaign recomputes
+    exactly those trials and the next append excises the bad lines from
+    the journal itself.  Corruption never crashes a resume.
+
+    When a {!Fault} harness is armed, appends pass through its
+    [store_point] (injected exceptions) and the writer through [mangle]
+    (torn writes) — that is how the quarantine path is tested
+    deterministically. *)
 
 type entry = { trial : int; key : string; values : float array }
 
 type t
 
 val create : path:string -> t
-(** Opens (or starts) the journal at [path], replaying any entries already
-    present.  Domain-safe: workers may append concurrently. *)
+(** Opens (or starts) the journal at [path], replaying intact entries and
+    quarantining corrupt ones.  Domain-safe: workers may append
+    concurrently. *)
 
 val path : t -> string
 
+val quarantine_path : string -> string
+(** Where {!create} preserves corrupt lines: [path ^ ".quarantine"]. *)
+
+val quarantined : t -> int
+(** Number of corrupt lines quarantined when this handle replayed the
+    file. *)
+
 val append : t -> entry -> unit
 (** Records an entry and atomically rewrites the file.  Entries whose key
-    is already journalled are ignored (the first result wins). *)
+    is already journalled are ignored (the first result wins).
+    @raise Fault.Injected when an armed harness injects a store fault. *)
 
 val lookup : t -> string -> float array option
 (** Replayed or appended values for a digest key. *)
@@ -38,5 +57,9 @@ val entries : t -> entry list
 val length : t -> int
 
 val load : path:string -> entry list
-(** Static read of a journal file (oldest first); malformed lines are
+(** Static read of a journal file (oldest first); corrupt lines are
     skipped, a missing file is the empty list. *)
+
+val scan : path:string -> entry list * string list
+(** Static read returning both the intact entries (oldest first) and the
+    raw corrupt lines; neither quarantines nor writes anything. *)

@@ -53,29 +53,22 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let map_array t f a =
+let capture f x =
+  try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let map_outcomes t f a =
   let n = Array.length a in
-  if t.size = 0 || n <= 1 then Array.map f a
+  if t.size = 0 || n <= 1 then Array.map (capture f) a
   else begin
     let results = Array.make n None in
-    (* The error slot keeps the exception of the smallest failing index so
-       that a parallel run fails exactly like the sequential one would. *)
-    let first_error = ref None in
     let remaining = ref n in
     let all_done = Condition.create () in
     Array.iteri
       (fun i x ->
         submit t (fun () ->
-            let outcome =
-              try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
-            in
+            let outcome = capture f x in
             Mutex.lock t.lock;
-            (match outcome with
-            | Ok r -> results.(i) <- Some r
-            | Error (e, bt) -> (
-              match !first_error with
-              | Some (j, _, _) when j < i -> ()
-              | _ -> first_error := Some (i, e, bt)));
+            results.(i) <- Some outcome;
             remaining := !remaining - 1;
             if !remaining = 0 then Condition.broadcast all_done;
             Mutex.unlock t.lock))
@@ -85,13 +78,23 @@ let map_array t f a =
       Condition.wait all_done t.lock
     done;
     Mutex.unlock t.lock;
-    match !first_error with
-    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> Array.map (function Some r -> r | None -> assert false) results
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+let map_array t f a =
+  let outcomes = map_outcomes t f a in
+  (* Re-raise the exception of the smallest failing index so that a
+     parallel run fails exactly like the sequential one would. *)
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    outcomes;
+  Array.map (function Ok r -> r | Error _ -> assert false) outcomes
 
 let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let map_ordered ~jobs f a = with_pool ~jobs (fun t -> map_array t f a)
+
+let map_outcomes_ordered ~jobs f a =
+  with_pool ~jobs (fun t -> map_outcomes t f a)

@@ -33,6 +33,13 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     raise, the exception of the smallest failing index is re-raised (with
     its backtrace) after all tasks have drained. *)
 
+val map_outcomes :
+  t -> ('a -> 'b) -> 'a array -> ('b, exn * Printexc.raw_backtrace) result array
+(** Isolation variant of {!map_array}: every task's exception is captured
+    in its own slot instead of aborting the map, so one raising task never
+    costs the results of the others.  Never raises (short of asserts);
+    results are in input order. *)
+
 val shutdown : t -> unit
 (** Drains the queue, then joins every worker domain.  Idempotent. *)
 
@@ -42,3 +49,10 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 
 val map_ordered : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** One-shot [with_pool ~jobs (fun t -> map_array t f a)]. *)
+
+val map_outcomes_ordered :
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** One-shot [with_pool ~jobs (fun t -> map_outcomes t f a)]. *)

@@ -1,0 +1,37 @@
+exception Timeout of float
+
+let () =
+  Printexc.register_printer (function
+    | Timeout budget ->
+      Some (Printf.sprintf "Campaign.Watchdog.Timeout: trial exceeded its %gs deadline" budget)
+    | _ -> None)
+
+(* Absolute deadline plus the configured budget (kept so the exception and
+   its message stay deterministic: they mention the budget, never the wall
+   clock). *)
+let slot : (float * float) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_deadline ?seconds f =
+  match seconds with
+  | None -> f ()
+  | Some budget ->
+    let prev = Domain.DLS.get slot in
+    Domain.DLS.set slot (Some (Unix.gettimeofday () +. budget, budget));
+    Fun.protect ~finally:(fun () -> Domain.DLS.set slot prev) f
+
+let remaining () =
+  match Domain.DLS.get slot with
+  | None -> None
+  | Some (deadline, _) -> Some (deadline -. Unix.gettimeofday ())
+
+let expired () =
+  match Domain.DLS.get slot with
+  | None -> false
+  | Some (deadline, _) -> Unix.gettimeofday () >= deadline
+
+let check () =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some (deadline, budget) ->
+    if Unix.gettimeofday () >= deadline then raise (Timeout budget)

@@ -1,0 +1,32 @@
+(** Cooperative per-trial deadline watchdog.
+
+    OCaml domains cannot be killed from the outside, so a hung trial can
+    only time itself out cooperatively: {!Campaign.run} installs a
+    deadline in domain-local storage around every attempt, and long-running
+    trial code polls {!check} at convenient safepoints (between policies,
+    between solver calls, inside sweep loops).  When the deadline has
+    passed, {!check} raises {!Timeout}, which the campaign layer treats as
+    an ordinary trial failure: retried under [`Retry], recorded under
+    [`Skip], fatal under [`Abort].
+
+    The exception carries the configured budget (a deterministic value),
+    never a wall-clock reading, so error payloads stay reproducible. *)
+
+exception Timeout of float
+(** [Timeout budget]: the trial ran longer than its [budget] seconds. *)
+
+val with_deadline : ?seconds:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~seconds f] runs [f] with a deadline of [seconds] from
+    now installed for the current domain, restoring the previous deadline
+    (deadlines nest) afterwards.  Without [?seconds] this is just [f ()]. *)
+
+val check : unit -> unit
+(** Polls the current domain's deadline.  @raise Timeout if it has
+    passed; a no-op when no deadline is installed. *)
+
+val expired : unit -> bool
+(** [true] iff a deadline is installed and has passed. *)
+
+val remaining : unit -> float option
+(** Seconds until the current deadline ([None] when none installed);
+    negative once expired. *)

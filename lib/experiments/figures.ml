@@ -53,8 +53,18 @@ let online_fold ~ncols (outcome : Campaign.outcome) =
   let accs = Array.init ncols (fun _ -> Util.Stats.Online.create ()) in
   Array.iter
     (fun row -> Array.iteri (fun j v -> Util.Stats.Online.add accs.(j) v) row)
-    outcome.Campaign.results;
+    (Campaign.ok_results outcome);
   accs
+
+(* Failed trials leave accumulators short, possibly empty: an empty fold
+   must surface as nan in the figure, never as a silent 0. *)
+let mean_or_nan acc =
+  if Util.Stats.Online.count acc = 0 then Float.nan
+  else Util.Stats.Online.mean acc
+
+let max_or_nan acc =
+  if Util.Stats.Online.count acc = 0 then Float.nan
+  else Util.Stats.Online.max acc
 
 let fig1 ?config () =
   let fig =
@@ -334,7 +344,7 @@ let optgap ?(config = Runner.default_config) () =
           Runner.run_trials ~config ~tag:(Printf.sprintf "optgap/n=%d" n) ~work ()
         in
         let accs = online_fold ~ncols:(List.length policies) outcome in
-        (size, Array.to_list (Array.map Util.Stats.Online.mean accs)))
+        (size, Array.to_list (Array.map mean_or_nan accs)))
       sizes
   in
   [
@@ -409,9 +419,9 @@ let validation ?(config = Runner.default_config) () =
           (fun row ->
             if row.(0) = 1. then Util.Stats.Online.add err row.(1);
             if row.(2) = 1. then Util.Stats.Online.add gain row.(3))
-          outcome.Campaign.results;
+          (Campaign.ok_results outcome);
         ( size,
-          [ Util.Stats.Online.max err; Util.Stats.Online.mean gain ] ))
+          [ max_or_nan err; mean_or_nan gain ] ))
       sizes
   in
   [
@@ -451,8 +461,8 @@ let rounding ?(config = Runner.default_config) () =
         let acc = Util.Stats.Online.create () in
         Array.iter
           (fun row -> if row.(0) = 1. then Util.Stats.Online.add acc row.(1))
-          outcome.Campaign.results;
-        (size, [ Util.Stats.Online.mean acc; Util.Stats.Online.max acc ]))
+          (Campaign.ok_results outcome);
+        (size, [ mean_or_nan acc; max_or_nan acc ]))
       sizes
   in
   [
@@ -496,13 +506,13 @@ let speedup ?(config = Runner.default_config) () =
         let impr = Util.Stats.Online.create () in
         Array.iter
           (fun row -> if row.(0) = 1. then Util.Stats.Online.add impr row.(1))
-          outcome.Campaign.results;
+          (Campaign.ok_results outcome);
         ( float_of_int idx,
           [
             s;
             m;
-            100. *. Util.Stats.Online.mean impr;
-            100. *. Util.Stats.Online.max impr;
+            100. *. mean_or_nan impr;
+            100. *. max_or_nan impr;
           ] ))
       cases
   in
@@ -556,9 +566,9 @@ let integer ?(config = Runner.default_config) () =
               Util.Stats.Online.add rounded row.(1);
               Util.Stats.Online.add exact_int row.(2)
             end)
-          outcome.Campaign.results;
+          (Campaign.ok_results outcome);
         ( size,
-          [ Util.Stats.Online.mean exact_int; Util.Stats.Online.mean rounded ] ))
+          [ mean_or_nan exact_int; mean_or_nan rounded ] ))
       sizes
   in
   [
@@ -721,7 +731,7 @@ let profiles ?(config = Runner.default_config) () =
         in
         let accs = online_fold ~ncols:2 outcome in
         ( float_of_int idx,
-          [ Util.Stats.Online.mean accs.(0); Util.Stats.Online.mean accs.(1) ] ))
+          [ mean_or_nan accs.(0); mean_or_nan accs.(1) ] ))
       cases
   in
   [
@@ -854,7 +864,7 @@ let footprint ?(config = Runner.default_config) () =
         in
         let accs = online_fold ~ncols:2 outcome in
         ( size,
-          [ Util.Stats.Online.mean accs.(0); Util.Stats.Online.mean accs.(1) ] ))
+          [ mean_or_nan accs.(0); mean_or_nan accs.(1) ] ))
       sizes
   in
   [

@@ -9,30 +9,50 @@ type config = {
   jobs : int;
   journal : string option;
   cache : Campaign.Cache.t option;
+  on_failure : [ `Abort | `Skip | `Retry ];
+  max_retries : int;
+  trial_timeout : float option;
+  fault : Campaign.Fault.t option;
 }
 
 let default_config =
-  { trials = 50; seed = 2017; jobs = 1; journal = None; cache = None }
+  {
+    trials = 50;
+    seed = 2017;
+    jobs = 1;
+    journal = None;
+    cache = None;
+    on_failure = `Abort;
+    max_retries = 2;
+    trial_timeout = None;
+    fault = None;
+  }
 
 let trial_rngs config =
   let master = Util.Rng.create config.seed in
   List.init config.trials (fun _ -> Util.Rng.split master)
 
 (* All trial execution funnels through here: pre-split substreams, shard
-   them over the campaign pool, get payloads back in trial order. *)
+   them over the campaign pool, get payloads back in trial order.  Failure
+   policy, retry budget, deadline and fault harness all come from the
+   config so every experiment entry point inherits them. *)
 let run_campaign ~config ~key ~work =
   let rngs = Array.of_list (trial_rngs config) in
   let journal =
     Option.map (fun path -> Campaign.Journal.create ~path) config.journal
   in
-  Campaign.run ~jobs:config.jobs ?cache:config.cache ?journal ~key ~work rngs
+  Campaign.run ~jobs:config.jobs ?cache:config.cache ?journal
+    ~on_failure:config.on_failure ~max_retries:config.max_retries
+    ?trial_timeout:config.trial_timeout ?fault:config.fault ~key ~work rngs
 
 let run_trials ~config ~tag ~work () =
   run_campaign ~config
     ~key:(fun _ rng -> Campaign.Digest.tagged ~tag ~state:(Util.Rng.state rng))
-    ~work:(fun _ rng -> work rng)
+    ~work:(fun _ rng ->
+      Campaign.Watchdog.check ();
+      work rng)
 
-let mean_makespans ~config ~gen ~policies =
+let mean_makespans_stats ~config ~gen ~policies =
   let names = List.map Sched.Heuristics.name policies in
   let key _ rng =
     let state = Util.Rng.state rng in
@@ -44,27 +64,52 @@ let mean_makespans ~config ~gen ~policies =
     let { platform; apps } = gen rng in
     Array.of_list
       (List.map
-         (fun policy -> Sched.Heuristics.makespan ~rng ~platform ~apps policy)
+         (fun policy ->
+           (* Safepoint for the cooperative trial deadline: a stuck
+              policy solve times the trial out at the next boundary. *)
+           Campaign.Watchdog.check ();
+           Sched.Heuristics.makespan ~rng ~platform ~apps policy)
          policies)
   in
   let outcome = run_campaign ~config ~key ~work in
   (* Merge in trial-index order: the Online accumulators see exactly the
-     sequence the historical sequential loop produced. *)
+     sequence the historical sequential loop produced.  Failed trials are
+     explicit holes — skipped here, counted in the stats. *)
   let acc = List.map (fun p -> (p, Util.Stats.Online.create ())) policies in
   Array.iter
-    (fun row ->
-      List.iteri (fun j (_, online) -> Util.Stats.Online.add online row.(j)) acc)
-    outcome.Campaign.results;
-  List.map (fun (p, online) -> (p, Util.Stats.Online.mean online)) acc
+    (function
+      | Campaign.Ok row ->
+        List.iteri (fun j (_, online) -> Util.Stats.Online.add online row.(j)) acc
+      | Campaign.Failed _ -> ())
+    outcome.Campaign.outcomes;
+  ( List.map
+      (fun (p, online) ->
+        ( p,
+          if Util.Stats.Online.count online = 0 then Float.nan
+          else Util.Stats.Online.mean online ))
+      acc,
+    outcome.Campaign.stats )
+
+let mean_makespans ~config ~gen ~policies =
+  fst (mean_makespans_stats ~config ~gen ~policies)
 
 let sweep ?(config = default_config) ~id ~title ~xlabel ~values ~gen ~policies ()
     =
+  let holes = ref 0 in
   let rows =
     List.map
       (fun v ->
-        let means = mean_makespans ~config ~gen:(gen v) ~policies in
+        let means, stats = mean_makespans_stats ~config ~gen:(gen v) ~policies in
+        holes := !holes + stats.Campaign.failed;
         (v, List.map snd means))
       values
+  in
+  let title =
+    (* Partial results are never passed off as complete: surviving-trial
+       means are reported, but the holes are announced in the figure
+       itself (all-hole cells render as nan). *)
+    if !holes = 0 then title
+    else Printf.sprintf "%s [%d failed trial(s) skipped]" title !holes
   in
   Report.make ~id ~title ~xlabel
     ~columns:(List.map Sched.Heuristics.name policies)
@@ -89,6 +134,7 @@ let repartition_payload ~policies ~platform ~apps rng =
   Array.of_list
     (List.concat_map
        (fun policy ->
+         Campaign.Watchdog.check ();
          match (Sched.Heuristics.run ~rng ~platform ~apps policy).schedule with
          | None -> [ 0. ]
          | Some schedule ->
@@ -128,24 +174,26 @@ let repartition ?(config = default_config) ~values ~gen ~policies () =
           policies
       in
       Array.iter
-        (fun row ->
-          let pos = ref 0 in
-          let next () =
-            let x = row.(!pos) in
-            incr pos;
-            x
-          in
-          List.iter
-            (fun (_, procs_acc, cache_acc) ->
-              let k = int_of_float (next ()) in
-              for _ = 1 to k do
-                Util.Stats.Online.add procs_acc (next ())
-              done;
-              for _ = 1 to k do
-                Util.Stats.Online.add cache_acc (next ())
-              done)
-            per_policy)
-        outcome.Campaign.results;
+        (function
+          | Campaign.Failed _ -> () (* explicit hole, counted in stats *)
+          | Campaign.Ok row ->
+            let pos = ref 0 in
+            let next () =
+              let x = row.(!pos) in
+              incr pos;
+              x
+            in
+            List.iter
+              (fun (_, procs_acc, cache_acc) ->
+                let k = int_of_float (next ()) in
+                for _ = 1 to k do
+                  Util.Stats.Online.add procs_acc (next ())
+                done;
+                for _ = 1 to k do
+                  Util.Stats.Online.add cache_acc (next ())
+                done)
+              per_policy)
+        outcome.Campaign.outcomes;
       let stats =
         List.filter_map
           (fun (policy, procs_acc, cache_acc) ->

@@ -8,10 +8,18 @@
 
     All trial execution is sharded through the {!Campaign} engine: trials
     run on [config.jobs] worker domains, can be memoized through
-    [config.cache] and checkpointed/resumed through [config.journal].
-    Results are bit-identical for every [jobs] value because trial RNG
-    substreams are pre-split from the master seed and statistics are
-    merged in trial-index order, never completion order. *)
+    [config.cache] and checkpointed/resumed through [config.journal], and
+    inherit the campaign's fault tolerance — per-trial isolation, the
+    [config.on_failure] policy with [config.max_retries] deterministic
+    retries, and a cooperative [config.trial_timeout] deadline polled at
+    policy boundaries.  Results are bit-identical for every [jobs] value
+    because trial RNG substreams are pre-split from the master seed and
+    statistics are merged in trial-index order, never completion order.
+
+    Failed trials are explicit holes: they are skipped by the fold (means
+    are over surviving trials, [nan] when none survive), counted in the
+    campaign stats, and announced in the figure title — never silently
+    dropped. *)
 
 type instance = {
   platform : Model.Platform.t;
@@ -27,11 +35,22 @@ type config = {
           trials already completed (see {!Campaign.Journal}). *)
   cache : Campaign.Cache.t option;
       (** Memo table shared across sweeps (see {!Campaign.Cache}). *)
+  on_failure : [ `Abort | `Skip | `Retry ];
+      (** Trial-failure policy (see {!Campaign.run}); [`Abort] is the
+          historical fail-fast behaviour. *)
+  max_retries : int;  (** Retry budget per trial under [`Retry]. *)
+  trial_timeout : float option;
+      (** Cooperative per-trial deadline in seconds (see
+          {!Campaign.Watchdog}). *)
+  fault : Campaign.Fault.t option;
+      (** Deterministic fault-injection harness, armed for each campaign
+          (testing only). *)
 }
 
 val default_config : config
 (** 50 trials, seed 2017 (the publication year), 1 job, no journal, no
-    cache — exactly the historical sequential behaviour. *)
+    cache, [`Abort] on failure, retry budget 2, no deadline, no fault
+    harness — exactly the historical sequential behaviour. *)
 
 val trial_rngs : config -> Util.Rng.t list
 (** The per-trial RNG substreams, pre-split from the master seed in trial
@@ -41,7 +60,7 @@ val run_trials :
   config:config -> tag:string ->
   work:(Util.Rng.t -> float array) -> unit -> Campaign.outcome
 (** Generic campaign entry for ad-hoc experiments: runs [work] once per
-    trial on that trial's substream and returns the payloads in trial
+    trial on that trial's substream and returns the outcomes in trial
     order.  [tag] must uniquely name the computation (experiment id plus
     fixed parameters); together with the trial RNG state it forms the
     memo/journal key. *)
@@ -49,15 +68,17 @@ val run_trials :
 val mean_makespans :
   config:config -> gen:(Util.Rng.t -> instance) ->
   policies:Sched.Heuristics.t list -> (Sched.Heuristics.t * float) list
-(** Average makespan of each policy over [config.trials] generated
-    instances. *)
+(** Average makespan of each policy over the surviving trials of
+    [config.trials] generated instances ([nan] if every trial failed). *)
 
 val sweep :
   ?config:config -> id:string -> title:string -> xlabel:string ->
   values:float list -> gen:(float -> Util.Rng.t -> instance) ->
   policies:Sched.Heuristics.t list -> unit -> Report.figure
 (** One figure: rows are sweep values, columns are policies, cells are
-    mean makespans.  Normalize afterwards with {!Report.normalize_by}. *)
+    mean makespans.  Normalize afterwards with {!Report.normalize_by}.
+    When trials failed under [`Skip]/[`Retry], the count is appended to
+    the figure title. *)
 
 type repartition_stat = {
   policy : Sched.Heuristics.t;

@@ -30,7 +30,9 @@ let parse_float ~line ~what s =
       raise (Parse_error (line, Printf.sprintf "bad %s value %S" what s))
 
 let parse_row ~line row =
-  match String.split_on_char ',' row with
+  (* Cells are individually trimmed, so CRLF line endings and stray
+     spaces/tabs around any value (" 0.05 ", "inf\r") parse cleanly. *)
+  match List.map String.trim (String.split_on_char ',' row) with
   | name :: w :: s :: f :: m0 :: rest ->
     let c0, footprint =
       match rest with
@@ -38,24 +40,41 @@ let parse_row ~line row =
       | [ c0 ] -> (parse_float ~line ~what:"c0" c0, infinity)
       | [ c0; fp ] ->
         (parse_float ~line ~what:"c0" c0, parse_float ~line ~what:"footprint" fp)
-      | _ -> raise (Parse_error (line, "too many columns"))
+      | extra :: _ ->
+        raise
+          (Parse_error
+             (line,
+              Printf.sprintf "too many columns (first extra cell %S) in row %S"
+                extra row))
     in
     (try
-       App.make ~name:(String.trim name) ~footprint ~c0
+       App.make ~name ~footprint ~c0
          ~s:(parse_float ~line ~what:"s" s)
          ~w:(parse_float ~line ~what:"w" w)
          ~f:(parse_float ~line ~what:"f" f)
          ~m0:(parse_float ~line ~what:"m0" m0)
          ()
-     with Invalid_argument msg -> raise (Parse_error (line, msg)))
-  | _ -> raise (Parse_error (line, "expected at least 5 comma-separated columns"))
+     with Invalid_argument msg ->
+       raise (Parse_error (line, Printf.sprintf "%s (row %S)" msg row)))
+  | _ ->
+    raise
+      (Parse_error
+         (line,
+          Printf.sprintf "expected at least 5 comma-separated columns in row %S"
+            row))
+
+let strip_bom s =
+  if String.length s >= 3 && String.sub s 0 3 = "\xEF\xBB\xBF" then
+    String.sub s 3 (String.length s - 3)
+  else s
 
 let of_csv text =
-  let lines = String.split_on_char '\n' text in
+  let lines = String.split_on_char '\n' (strip_bom text) in
   let apps = ref [] in
   List.iteri
     (fun idx raw ->
       let line = idx + 1 in
+      (* [String.trim] also removes '\r', so CRLF files parse as-is. *)
       let trimmed = String.trim raw in
       if trimmed = "" || trimmed.[0] = '#' then ()
       else if

@@ -10,9 +10,12 @@
 
     [c0] and [footprint] may be omitted (trailing columns), defaulting to
     40 MB and infinity; [footprint] accepts "inf".  Blank lines, lines
-    starting with '#', and header lines (first cell "name") are ignored.  Parsing is strict about everything
-    else: malformed numbers or out-of-range parameters raise with the line
-    number. *)
+    starting with '#', and header lines (first cell "name") are ignored;
+    CRLF line endings, a leading UTF-8 BOM, and whitespace around any
+    cell are tolerated (files exported from spreadsheets parse as-is).
+    Parsing is strict about everything else: malformed numbers or
+    out-of-range parameters raise {!Parse_error} with the 1-based line
+    number and the offending cell text. *)
 
 exception Parse_error of int * string
 (** (1-based line number, message). *)

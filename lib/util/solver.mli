@@ -8,6 +8,12 @@
 exception No_bracket of string
 (** Raised when the supplied interval does not bracket a root. *)
 
+exception Non_finite of { fn : string; x : float }
+(** Raised when the objective returns NaN at abscissa [x] inside solver
+    [fn].  A NaN would otherwise poison every sign test and let the
+    iteration "converge" to garbage silently; the structured payload
+    names the solver and the offending point instead. *)
+
 val bisect :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
 (** [bisect ~f lo hi] finds [x] in [lo, hi] with [f x = 0], assuming
@@ -15,6 +21,7 @@ val bisect :
     [tol] (default [1e-12], relative to interval width) controls the
     termination width; [max_iter] defaults to 200.
     @raise No_bracket if [f lo] and [f hi] have the same strict sign.
+    @raise Non_finite if [f] returns NaN at any evaluated point.
     @raise Invalid_argument if [hi < lo]. *)
 
 val bisect_decreasing :
@@ -32,11 +39,13 @@ val expand_bracket_up :
     @raise No_bracket after [max_iter] (default 128) doublings. *)
 
 val newton :
-  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
-  float -> float
-(** Newton–Raphson from an initial guess; falls back to raising
-    [No_bracket] when the derivative vanishes or iterations are
-    exhausted without meeting [tol] (default 1e-12) on [|f x|]. *)
+  ?tol:float -> ?max_iter:int -> ?bracket:float * float ->
+  f:(float -> float) -> df:(float -> float) -> float -> float
+(** Newton–Raphson from an initial guess.  When the iteration stalls — a
+    vanishing or NaN derivative, a NaN step, or [max_iter] exhausted
+    without meeting [tol] (default 1e-12) on [|f x|] — it falls back to
+    {!bisect} on [bracket] if one is known, and only raises ([No_bracket],
+    or [Non_finite] when [f] itself returned NaN) without one. *)
 
 val golden_section_min :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float

@@ -72,6 +72,45 @@ let io_too_few_columns () =
        false
      with Model.Instance_io.Parse_error (1, _) -> true)
 
+let io_crlf_and_whitespace () =
+  (* Files exported from spreadsheets: CRLF line endings, a UTF-8 BOM,
+     and stray whitespace around cells must all parse as-is. *)
+  let csv =
+    "\xEF\xBB\xBFname,w,s,f,m0,c0,footprint\r\n\
+     app1, 1e10 ,\t0.05, 0.5 , 0.01 , 4e7 , inf \r\n\
+     app2,2e10,0.1,0.4,0.02\r\n"
+  in
+  let parsed = Model.Instance_io.of_csv csv in
+  Alcotest.(check int) "two apps" 2 (Array.length parsed);
+  Alcotest.(check string) "name untouched" "app1" parsed.(0).Model.App.name;
+  check_float "padded w" 1e10 parsed.(0).Model.App.w;
+  check_float "tabbed s" 0.05 parsed.(0).Model.App.s;
+  Alcotest.(check bool) "padded inf" true
+    (parsed.(0).Model.App.footprint = infinity);
+  check_float "CRLF-terminated trailing column" 0.02 parsed.(1).Model.App.m0
+
+let io_error_names_offending_cell () =
+  let check_mentions what csv =
+    try
+      ignore (Model.Instance_io.of_csv csv);
+      Alcotest.fail "should not parse"
+    with Model.Instance_io.Parse_error (_, msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" msg what)
+        true
+        (let n = String.length what and h = String.length msg in
+         let rec go i =
+           i + n <= h && (String.sub msg i n = what || go (i + 1))
+         in
+         go 0)
+  in
+  check_mentions "abc" "bad,abc,0,0.5,0.01\n";
+  check_mentions "oops" "bad,1e10,0,0.5,0.01,4e7,oops\n";
+  (* Too many columns: the first extra cell and the row are both named. *)
+  check_mentions "surplus" "bad,1e10,0,0.5,0.01,4e7,inf,surplus\n";
+  (* Too few columns: the row text is named. *)
+  check_mentions "a,1,2" "a,1,2\n"
+
 let io_file_roundtrip () =
   let apps = synth ~seed:2 5 in
   let path = Filename.temp_file "cosched" ".csv" in
@@ -270,6 +309,8 @@ let () =
           test "bad number reports line" io_bad_number;
           test "range validation propagates" io_out_of_range;
           test "too few columns" io_too_few_columns;
+          test "CRLF, BOM and padded cells" io_crlf_and_whitespace;
+          test "errors name the offending cell" io_error_names_offending_cell;
           test "file roundtrip" io_file_roundtrip;
           qtest qcheck_io_roundtrip;
         ] );

@@ -327,6 +327,50 @@ let solver_newton_zero_derivative () =
        false
      with Util.Solver.No_bracket _ -> true)
 
+let solver_bisect_nan_objective () =
+  (* A NaN objective used to poison the sign tests silently; it must be
+     reported as a structured error naming the solver and the point. *)
+  (try
+     ignore
+       (Util.Solver.bisect ~f:(fun x -> if x > 1. then Float.nan else x -. 1.5)
+          0. 4.);
+     Alcotest.fail "NaN objective should raise"
+   with Util.Solver.Non_finite { fn; x } ->
+     Alcotest.(check string) "solver name" "bisect" fn;
+     Alcotest.(check bool) "offending point recorded" true (x > 1.));
+  try
+    ignore (Util.Solver.bisect ~f:(fun _ -> Float.nan) 0. 1.);
+    Alcotest.fail "NaN endpoint should raise"
+  with Util.Solver.Non_finite _ -> ()
+
+let solver_bisect_decreasing_nan_endpoint () =
+  try
+    ignore
+      (Util.Solver.bisect_decreasing ~f:(fun _ -> Float.nan) ~target:1. 0. 1.);
+    Alcotest.fail "NaN endpoint should raise"
+  with Util.Solver.Non_finite _ -> ()
+
+let solver_newton_bracket_fallback () =
+  (* The derivative vanishes at the initial guess, so pure Newton stalls;
+     with a bracket known it must fall back to bisection instead of
+     raising. *)
+  let f x = (x *. x) -. 9. and df x = 2. *. x in
+  let root = Util.Solver.newton ~bracket:(0., 10.) ~f ~df 0. in
+  check_close "fallback finds sqrt 9" 3. root;
+  (* Same stall without a bracket still raises. *)
+  Alcotest.(check bool) "no bracket, no rescue" true
+    (try
+       ignore (Util.Solver.newton ~f ~df 0.);
+       false
+     with Util.Solver.No_bracket _ -> true)
+
+let solver_newton_nan_falls_back () =
+  (* f returns NaN away from the root: Newton must bisect on the bracket
+     rather than iterate on garbage. *)
+  let f x = if x > 4. then Float.nan else x -. 2. in
+  let root = Util.Solver.newton ~bracket:(0., 4.) ~f ~df:(fun _ -> 1.) 8. in
+  check_close "bisection rescue" 2. root
+
 let solver_golden_section () =
   let xmin = Util.Solver.golden_section_min ~f:(fun x -> (x -. 2.) ** 2.) 0. 5. in
   check_close ~eps:1e-4 "min of (x-2)^2" 2. xmin
@@ -549,6 +593,11 @@ let () =
           test "expand bracket fails" solver_expand_bracket_fails;
           test "newton" solver_newton;
           test "newton zero derivative" solver_newton_zero_derivative;
+          test "bisect rejects NaN objectives" solver_bisect_nan_objective;
+          test "bisect_decreasing rejects NaN endpoints"
+            solver_bisect_decreasing_nan_endpoint;
+          test "newton falls back to the bracket" solver_newton_bracket_fallback;
+          test "newton NaN rescue via bracket" solver_newton_nan_falls_back;
           test "golden section" solver_golden_section;
           test "golden section boundary" solver_golden_section_boundary;
           qtest qcheck_bisect_finds_root;
