@@ -4,7 +4,8 @@
 
    Usage: main.exe [--trials N] [--seed S] [--jobs N] [--only ID[,ID...]]
                    [--on-failure abort|skip|retry] [--max-retries N]
-                   [--trial-timeout S] [--no-micro] [--no-figures] [--full]
+                   [--trial-timeout S] [--no-micro] [--no-figures]
+                   [--no-online] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -15,6 +16,7 @@ let jobs = ref 1
 let only : string list ref = ref []
 let run_micro = ref true
 let run_figures = ref true
+let run_online = ref true
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
 let trial_timeout : float option ref = ref None
@@ -23,19 +25,29 @@ let usage () =
   prerr_endline
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
-     [--no-micro] [--no-figures] [--full]";
+     [--no-micro] [--no-figures] [--no-online] [--full]";
   exit 2
+
+let int_flag ~flag ~min v =
+  match int_of_string_opt v with
+  | Some n when n >= min -> n
+  | Some n ->
+    Printf.eprintf "main.exe: %s must be >= %d, got %d\n" flag min n;
+    usage ()
+  | None ->
+    Printf.eprintf "main.exe: %s expects an integer, got %s\n" flag v;
+    usage ()
 
 let rec parse = function
   | [] -> ()
   | "--trials" :: v :: rest ->
-    trials := int_of_string v;
+    trials := int_flag ~flag:"--trials" ~min:1 v;
     parse rest
   | "--seed" :: v :: rest ->
-    seed := int_of_string v;
+    seed := int_flag ~flag:"--seed" ~min:min_int v;
     parse rest
   | "--jobs" :: v :: rest ->
-    jobs := int_of_string v;
+    jobs := int_flag ~flag:"--jobs" ~min:0 v;
     parse rest
   | "--only" :: v :: rest ->
     only := String.split_on_char ',' v;
@@ -48,7 +60,7 @@ let rec parse = function
     | _ -> usage ());
     parse rest
   | "--max-retries" :: v :: rest ->
-    max_retries := int_of_string v;
+    max_retries := int_flag ~flag:"--max-retries" ~min:0 v;
     parse rest
   | "--trial-timeout" :: v :: rest ->
     trial_timeout := Some (float_of_string v);
@@ -58,6 +70,9 @@ let rec parse = function
     parse rest
   | "--no-figures" :: rest ->
     run_figures := false;
+    parse rest
+  | "--no-online" :: rest ->
+    run_online := false;
     parse rest
   | "--full" :: rest ->
     trials := 50;
@@ -168,6 +183,89 @@ let micro () =
   print_endline "== micro-benchmarks (Bechamel, OLS ns/run) ==";
   Util.Table.print table
 
+(* --- online service throughput ---------------------------------------- *)
+
+(* Serve one 100-application Poisson stream under every built-in re-solve
+   policy, warm and cold, and leave a machine-readable record in
+   BENCH_online.json: events/sec, warm-vs-cold solver-iteration speedup,
+   migration counts. *)
+let online () =
+  let napps = 100 and load = 8. in
+  let platform = Model.Platform.paper_default in
+  let rng = Util.Rng.create !seed in
+  let stream =
+    Online.Workload_stream.poisson_load ~rng ~platform ~load
+      ~dataset:Model.Workload.NpbSynth napps
+  in
+  let measure policy mode =
+    let config = { Online.Service.default_config with policy; mode } in
+    let t0 = Unix.gettimeofday () in
+    let report = Online.Service.run ~config ~platform stream in
+    let dt = Unix.gettimeofday () -. t0 in
+    let m = report.Online.Service.metrics in
+    (m, float_of_int m.Online.Metrics.events /. Float.max dt 1e-9)
+  in
+  let table =
+    Util.Table.create
+      [
+        "policy"; "events/s(warm)"; "iters(warm)"; "iters(cold)"; "speedup";
+        "migrations";
+      ]
+  in
+  let entries =
+    List.map
+      (fun policy ->
+        let warm, eps_warm = measure policy Online.Incremental.Warm in
+        let cold, eps_cold = measure policy Online.Incremental.Cold in
+        let speedup =
+          float_of_int cold.Online.Metrics.solver_iters
+          /. float_of_int (max 1 warm.Online.Metrics.solver_iters)
+        in
+        Util.Table.add_row table
+          [
+            Online.Policy.name policy;
+            Printf.sprintf "%.0f" eps_warm;
+            string_of_int warm.Online.Metrics.solver_iters;
+            string_of_int cold.Online.Metrics.solver_iters;
+            Printf.sprintf "%.3f" speedup;
+            string_of_int warm.Online.Metrics.migrations;
+          ];
+        String.concat ""
+          [
+            "{";
+            Printf.sprintf "\"policy\":\"%s\"," (Online.Policy.name policy);
+            Printf.sprintf "\"events_per_sec_warm\":%.6g," eps_warm;
+            Printf.sprintf "\"events_per_sec_cold\":%.6g," eps_cold;
+            Printf.sprintf "\"warm_vs_cold_iter_speedup\":%.6g," speedup;
+            Printf.sprintf "\"migrations\":%d,"
+              warm.Online.Metrics.migrations;
+            Printf.sprintf "\"warm\":%s," (Online.Metrics.to_json warm);
+            Printf.sprintf "\"cold\":%s" (Online.Metrics.to_json cold);
+            "}";
+          ])
+      Online.Policy.defaults
+  in
+  print_endline "== online service (100-app Poisson stream, load 8) ==";
+  Util.Table.print table;
+  print_newline ();
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"apps\":%d," napps;
+        Printf.sprintf "\"load\":%g," load;
+        Printf.sprintf "\"seed\":%d," !seed;
+        "\"policies\":[";
+        String.concat "," entries;
+        "]}";
+      ]
+  in
+  let oc = open_out "BENCH_online.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  print_endline "wrote BENCH_online.json"
+
 let () =
   Printexc.record_backtrace true;
   parse (List.tl (Array.to_list Sys.argv));
@@ -189,4 +287,5 @@ let () =
      (paper settings: 256 processors, 32 GB LLC, ls=0.17, ll=1, alpha=0.5)\n\n"
     !trials !seed;
   if !run_figures then figures config;
+  if !run_online then online ();
   if !run_micro then micro ()

@@ -5,9 +5,40 @@
      schedule    — run one policy on a generated instance and print it
      cachesim    — calibrate a synthetic NPB-like kernel's power law
      validate    — replay a schedule in the discrete-event simulator
+     online      — serve a Poisson application stream event-by-event
      instance    — print a generated instance's application parameters *)
 
 open Cmdliner
+
+(* Converters that reject out-of-range values at parse time, naming the
+   offending flag — a bad --trials or --jobs must die with a usage error,
+   not a backtrace three layers down. *)
+let pos_int ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "--%s must be >= 1, got %d" flag v))
+    | None -> Error (`Msg (Printf.sprintf "--%s expects an integer, got %s" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "--%s must be >= 0, got %d" flag v))
+    | None -> Error (`Msg (Printf.sprintf "--%s expects an integer, got %s" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float ~flag =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. && Float.is_finite v -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "--%s must be positive, got %g" flag v))
+    | None -> Error (`Msg (Printf.sprintf "--%s expects a number, got %s" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 let seed_arg =
   Arg.(value & opt int 2017 & info [ "seed" ] ~docv:"SEED" ~doc:"Master RNG seed.")
@@ -15,13 +46,13 @@ let seed_arg =
 let trials_arg =
   Arg.(
     value
-    & opt int 50
+    & opt (pos_int ~flag:"trials") 50
     & info [ "trials" ] ~docv:"N" ~doc:"Repetitions per sweep point (paper: 50).")
 
 let jobs_arg =
   Arg.(
     value
-    & opt int 1
+    & opt (nonneg_int ~flag:"jobs") 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for trial execution: 1 runs sequentially (the \
@@ -52,7 +83,7 @@ let on_failure_arg =
 let max_retries_arg =
   Arg.(
     value
-    & opt int 2
+    & opt (nonneg_int ~flag:"max-retries") 2
     & info [ "max-retries" ] ~docv:"N"
         ~doc:"Retry budget per trial under $(b,--on-failure retry).")
 
@@ -78,15 +109,21 @@ let dataset_arg =
     & info [ "dataset" ] ~docv:"DS" ~doc:"Data set: npb6, npb-synth or random.")
 
 let napps_arg =
-  Arg.(value & opt int 16 & info [ "n"; "apps" ] ~docv:"N" ~doc:"Number of applications.")
+  Arg.(
+    value
+    & opt (pos_int ~flag:"apps") 16
+    & info [ "n"; "apps" ] ~docv:"N" ~doc:"Number of applications.")
 
 let procs_arg =
-  Arg.(value & opt float 256. & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+  Arg.(
+    value
+    & opt (pos_float ~flag:"procs") 256.
+    & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
 
 let cs_arg =
   Arg.(
     value
-    & opt float 32e9
+    & opt (pos_float ~flag:"cache-size") 32e9
     & info [ "cs"; "cache-size" ] ~docv:"BYTES" ~doc:"Shared LLC size in bytes.")
 
 let policy_arg =
@@ -314,6 +351,90 @@ let validate_cmd =
        ~doc:"Replay a policy's schedule in the discrete-event simulator.")
     term
 
+(* --- online ------------------------------------------------------------ *)
+
+let online_cmd =
+  let online_policy_arg =
+    let parse s =
+      try Ok (Online.Policy.of_string s) with Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf p = Format.pp_print_string ppf (Online.Policy.name p) in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Re-solve policy: $(b,every-event), $(b,batched:K) or \
+             $(b,threshold:EPS).  Omit to run all three defaults.")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (pos_float ~flag:"load") 4.
+      & info [ "load" ] ~docv:"L"
+          ~doc:
+            "Target offered load: the arrival rate keeps about L jobs in \
+             flight if each ran alone on the full platform.")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Re-solve from scratch at every decision (the baseline the \
+             warm-started incremental solver is measured against).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Assert processor and cache conservation after every event.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit metrics as one JSON object per policy.")
+  in
+  let run seed dataset napps procs cs load policy cold check json =
+    let rng = Util.Rng.create seed in
+    let platform = platform_of ~procs ~cs in
+    let stream =
+      Online.Workload_stream.poisson_load ~rng ~platform ~load ~dataset napps
+    in
+    let policies =
+      match policy with Some p -> [ p ] | None -> Online.Policy.defaults
+    in
+    let mode = if cold then Online.Incremental.Cold else Online.Incremental.Warm in
+    List.iter
+      (fun policy ->
+        let config =
+          { Online.Service.default_config with policy; mode; validate = check }
+        in
+        let report = Online.Service.run ~config ~platform stream in
+        let metrics = report.Online.Service.metrics in
+        if json then
+          Printf.printf "{\"policy\":\"%s\",\"mode\":\"%s\",\"metrics\":%s}\n"
+            (Online.Policy.name policy)
+            (if cold then "cold" else "warm")
+            (Online.Metrics.to_json metrics)
+        else
+          print_string
+            (Online.Metrics.render ~label:(Online.Policy.name policy) metrics
+            ^ "\n"))
+      policies
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ load_arg $ online_policy_arg $ cold_arg $ check_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Serve a Poisson stream of applications with the event-driven \
+          online co-scheduler.")
+    term
+
 (* --- instance ---------------------------------------------------------- *)
 
 let instance_cmd =
@@ -356,7 +477,10 @@ let instance_cmd =
 let main_cmd =
   let doc = "Co-scheduling algorithms for cache-partitioned systems" in
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; instance_cmd ]
+    [
+      experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; online_cmd;
+      instance_cmd;
+    ]
 
 let () =
   (* A `Trial_failed` report is only actionable with the trial's

@@ -1,0 +1,128 @@
+type counters = {
+  mutable solver_iters : int;
+  mutable partition_ops : int;
+  mutable resolves : int;
+}
+
+let fresh_counters () = { solver_iters = 0; partition_ops = 0; resolves = 0 }
+
+type t = {
+  mutable prev_k : float option;
+  mutable prev_boundary : int;
+  counters : counters;
+}
+
+let create () = { prev_k = None; prev_boundary = 0; counters = fresh_counters () }
+let counters t = t.counters
+
+let invalidate t =
+  t.prev_k <- None;
+  t.prev_boundary <- 0
+
+(* --- cold baseline: Algorithm 1 / MinRatio, with counted work ---------- *)
+
+let cold_partition ?counters ~platform apps =
+  let tick n = match counters with Some c -> c.partition_ops <- c.partition_ops + n | None -> () in
+  let n = Array.length apps in
+  let subset = Array.make n true in
+  let ratio = Array.map (fun app -> Theory.Dominant.ratio ~platform app) apps in
+  let weight = Array.map (fun app -> Theory.Dominant.weight ~platform app) apps in
+  (* Mirrors Partition_builder.build Dominant MinRatio: each loop
+     iteration re-derives the weight sum (m ops), checks dominance over
+     the members (m ops), and scans for the minimum ratio (m ops), so the
+     counted cost is the real eviction loop's. *)
+  let rec loop () =
+    let members = Theory.Dominant.indices subset in
+    let m = List.length members in
+    if m = 0 then ()
+    else begin
+      let total = List.fold_left (fun acc i -> acc +. weight.(i)) 0. members in
+      tick m;
+      let dominant = List.for_all (fun i -> ratio.(i) > total) members in
+      tick m;
+      if not dominant then begin
+        let evict =
+          List.fold_left
+            (fun best i -> if ratio.(i) < ratio.(best) then i else best)
+            (List.hd members) (List.tl members)
+        in
+        tick m;
+        subset.(evict) <- false;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  subset
+
+(* --- warm path: maximal dominant suffix in ratio order ----------------- *)
+
+let warm_partition t ~platform ~apps =
+  let c = t.counters in
+  let n = Array.length apps in
+  let entries =
+    Array.init n (fun i ->
+        (Theory.Dominant.ratio ~platform apps.(i),
+         Theory.Dominant.weight ~platform apps.(i),
+         i))
+  in
+  c.partition_ops <- c.partition_ops + (2 * n);
+  Array.sort
+    (fun (r1, _, i1) (r2, _, i2) ->
+      match Float.compare r1 r2 with 0 -> Int.compare i1 i2 | cmp -> cmp)
+    entries;
+  (* suffix.(k) = sum of weights of entries k..n-1 *)
+  let suffix = Array.make (n + 1) 0. in
+  for k = n - 1 downto 0 do
+    let _, w, _ = entries.(k) in
+    suffix.(k) <- suffix.(k + 1) +. w
+  done;
+  c.partition_ops <- c.partition_ops + n;
+  (* The suffix starting at k is dominant iff its minimum-ratio member —
+     entries.(k) itself — beats the suffix weight sum; r_k - S_k is
+     nondecreasing in k, so the feasible starts form a suffix of
+     positions and the boundary can be walked from its previous value. *)
+  let dominant_at k =
+    c.partition_ops <- c.partition_ops + 1;
+    k >= n || (let r, _, _ = entries.(k) in r > suffix.(k))
+  in
+  let b = ref (min (max t.prev_boundary 0) n) in
+  while !b > 0 && dominant_at (!b - 1) do decr b done;
+  while not (dominant_at !b) do incr b done;
+  t.prev_boundary <- !b;
+  let subset = Array.make n false in
+  for k = !b to n - 1 do
+    let _, _, i = entries.(k) in
+    subset.(i) <- true
+  done;
+  subset
+
+(* --- full re-solve ----------------------------------------------------- *)
+
+type solution = {
+  schedule : Model.Schedule.t;
+  k : float;
+  subset : Theory.Dominant.subset;
+}
+
+type mode = Warm | Cold
+
+let solve t ~mode ~elapsed ~platform ~apps =
+  if Array.length apps = 0 then invalid_arg "Incremental.solve: empty instance";
+  t.counters.resolves <- t.counters.resolves + 1;
+  let subset =
+    match mode with
+    | Warm -> warm_partition t ~platform ~apps
+    | Cold -> cold_partition ~counters:t.counters ~platform apps
+  in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  let warm =
+    match (mode, t.prev_k) with
+    | Warm, Some k when k -. elapsed > 0. -> Some (k -. elapsed)
+    | _ -> None
+  in
+  let iters = ref 0 in
+  let schedule, k = Sched.Equalize.schedule_k ?warm ~iters ~platform ~apps x in
+  t.counters.solver_iters <- t.counters.solver_iters + !iters;
+  t.prev_k <- Some k;
+  { schedule; k; subset }

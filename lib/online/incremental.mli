@@ -1,0 +1,83 @@
+(** Warm-started incremental re-solvers.
+
+    A re-solve has two stages: choose the dominant cache partition
+    (Algorithm 1 with the MinRatio criterion — the paper's representative
+    heuristic), then equalise completion times by bisecting on the
+    makespan [K].  Both stages admit warm starts across consecutive
+    events:
+
+    - {b Partition.}  Algorithm 1 evicts the minimum-ratio application
+      until dominance holds; since the per-application ratio does not
+      depend on the chosen subset, its result is exactly the maximal
+      dominant {e suffix} of the applications sorted by ratio (dominance
+      of a suffix reduces to its first member's ratio exceeding the
+      suffix weight sum, and [ratio - suffix sum] is monotone along the
+      sorted order).  The warm path therefore computes each ratio once,
+      sorts, and walks the suffix boundary from its previous position —
+      [O(n log n)] against the cold rebuild's [O(n^2)] eviction loop, and
+      provably the same subset (ties broken by index in both).
+
+    - {b Makespan.}  The previous [K], aged by the time elapsed since the
+      last solve, seeds a tight bisection bracket
+      ({!Sched.Equalize.solve_makespan} with [~warm]) in place of the
+      cold bracket spanning the whole feasible range.
+
+    All work is counted: [partition_ops] increments per weight/ratio/
+    dominance evaluation, [solver_iters] per makespan-objective
+    evaluation, so warm-vs-cold savings are measured, not asserted. *)
+
+type counters = {
+  mutable solver_iters : int;
+      (** Evaluations of the processor-demand objective inside the
+          makespan bisection. *)
+  mutable partition_ops : int;
+      (** Per-application weight/ratio evaluations and dominance checks
+          inside partition construction. *)
+  mutable resolves : int;
+}
+
+val fresh_counters : unit -> counters
+
+type t
+(** Warm state: the previous makespan and suffix-boundary position, plus
+    the {!counters}. *)
+
+val create : unit -> t
+val counters : t -> counters
+
+val invalidate : t -> unit
+(** Forget the warm state (the next solve runs cold), keeping counters. *)
+
+val cold_partition :
+  ?counters:counters -> platform:Model.Platform.t ->
+  Model.App.t array -> Theory.Dominant.subset
+(** The cold baseline: a counted replica of
+    [Partition_builder.build Dominant MinRatio] (same eviction order,
+    same ties, no randomness consumed).  Property-tested equal to the
+    library implementation. *)
+
+val warm_partition :
+  t -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  Theory.Dominant.subset
+(** The sorted-suffix construction described above, boundary seeded from
+    the previous solve.  Returns the same subset as {!cold_partition}
+    (modulo exact ratio ties, which have measure zero for generated
+    workloads). *)
+
+type solution = {
+  schedule : Model.Schedule.t;
+  k : float;                      (** The equalised makespan. *)
+  subset : Theory.Dominant.subset;(** Applications granted cache. *)
+}
+
+type mode = Warm | Cold
+
+val solve :
+  t -> mode:mode -> elapsed:float -> platform:Model.Platform.t ->
+  apps:Model.App.t array -> solution
+(** One full re-solve of the residual instance.  [elapsed] is the time
+    since the previous solve (it ages the warm makespan seed: with no
+    churn the equalised horizon shrinks by exactly the elapsed time).
+    [Cold] ignores and does not consume warm state, but still counts its
+    work in the same counters.
+    @raise Invalid_argument on an empty instance. *)

@@ -1,0 +1,65 @@
+type t = {
+  jobs : int;
+  completed : int;
+  cancelled : int;
+  events : int;
+  resolves : int;
+  forced_resolves : int;
+  migrations : int;
+  solver_iters : int;
+  partition_ops : int;
+  makespan : float;
+  mean_response : float;
+  max_response : float;
+  mean_stretch : float;
+  max_stretch : float;
+  utilization : float;
+}
+
+let render ~label t =
+  let table = Util.Table.create ~aligns:[ Util.Table.Left; Util.Table.Right ]
+      [ "metric"; label ]
+  in
+  let add_int name v = Util.Table.add_row table [ name; string_of_int v ] in
+  let add_float name v =
+    Util.Table.add_row table [ name; Printf.sprintf "%.4g" v ]
+  in
+  add_int "jobs" t.jobs;
+  add_int "completed" t.completed;
+  add_int "cancelled" t.cancelled;
+  add_int "events" t.events;
+  add_int "resolves" t.resolves;
+  add_int "forced resolves" t.forced_resolves;
+  add_int "migrations" t.migrations;
+  add_int "solver iters" t.solver_iters;
+  add_int "partition ops" t.partition_ops;
+  add_float "makespan" t.makespan;
+  add_float "mean response" t.mean_response;
+  add_float "max response" t.max_response;
+  add_float "mean stretch" t.mean_stretch;
+  add_float "max stretch" t.max_stretch;
+  add_float "utilization" t.utilization;
+  Util.Table.to_string table
+
+let to_json t =
+  let f = Printf.sprintf "%.17g" in
+  String.concat ""
+    [
+      "{";
+      Printf.sprintf "\"jobs\":%d," t.jobs;
+      Printf.sprintf "\"completed\":%d," t.completed;
+      Printf.sprintf "\"cancelled\":%d," t.cancelled;
+      Printf.sprintf "\"events\":%d," t.events;
+      Printf.sprintf "\"resolves\":%d," t.resolves;
+      Printf.sprintf "\"forced_resolves\":%d," t.forced_resolves;
+      Printf.sprintf "\"migrations\":%d," t.migrations;
+      Printf.sprintf "\"solver_iters\":%d," t.solver_iters;
+      Printf.sprintf "\"partition_ops\":%d," t.partition_ops;
+      Printf.sprintf "\"makespan\":%s," (f t.makespan);
+      Printf.sprintf "\"mean_response\":%s," (f t.mean_response);
+      Printf.sprintf "\"max_response\":%s," (f t.max_response);
+      Printf.sprintf "\"mean_stretch\":%s," (f t.mean_stretch);
+      Printf.sprintf "\"max_stretch\":%s," (f t.max_stretch);
+      Printf.sprintf "\"utilization\":%s" (f t.utilization);
+      "}";
+    ]

@@ -1,0 +1,52 @@
+type t =
+  | Every_event
+  | Batched of int
+  | Threshold of float
+
+let validate = function
+  | Every_event -> ()
+  | Batched k ->
+    if k < 1 then invalid_arg "Policy: batched interval must be >= 1"
+  | Threshold eps ->
+    if Float.is_nan eps || eps < 0. then
+      invalid_arg "Policy: threshold must be >= 0"
+
+let name = function
+  | Every_event -> "every-event"
+  | Batched k -> Printf.sprintf "batched:%d" k
+  | Threshold eps -> Printf.sprintf "threshold:%g" eps
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let policy =
+    match String.index_opt s ':' with
+    | None -> (
+      match s with
+      | "every-event" | "everyevent" | "every" -> Every_event
+      | _ -> invalid_arg ("Policy.of_string: unknown policy " ^ s))
+    | Some i -> (
+      let head = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match head with
+      | "batched" -> (
+        match int_of_string_opt arg with
+        | Some k -> Batched k
+        | None ->
+          invalid_arg ("Policy.of_string: batched expects an integer, got " ^ arg))
+      | "threshold" -> (
+        match float_of_string_opt arg with
+        | Some eps -> Threshold eps
+        | None ->
+          invalid_arg ("Policy.of_string: threshold expects a float, got " ^ arg))
+      | _ -> invalid_arg ("Policy.of_string: unknown policy " ^ s))
+  in
+  validate policy;
+  policy
+
+let defaults = [ Every_event; Batched 4; Threshold 0.1 ]
+
+let should_resolve policy ~events_pending ~degradation =
+  match policy with
+  | Every_event -> true
+  | Batched k -> events_pending >= k
+  | Threshold eps -> degradation () > eps

@@ -1,0 +1,49 @@
+(** Re-solve policies: when the online service recomputes the
+    co-schedule.
+
+    Every re-solve reallocates processors and cache across the whole live
+    set, so it costs solver work {e and} migrations; deferring re-solves
+    leaves arrivals queued and freed capacity idle.  The three policies
+    span that trade-off:
+
+    - [Every_event] re-solves at every arrival, departure and completion:
+      best response time, most migrations;
+    - [Batched k] re-solves once [k] events have accumulated since the
+      last solve;
+    - [Threshold eps] re-solves when the predicted relative makespan
+      degradation of {e not} re-solving exceeds [eps].  The estimate is
+      deliberately cheap (no trial solve): the fraction of the platform
+      sitting idle plus the share of live work that is queued and making
+      no progress — both directly inflate the achievable horizon by the
+      same relative amount to first order.
+
+    Whatever the policy, the service forces a re-solve when jobs are
+    queued and nothing is running (otherwise the system would stall), so
+    [Batched] and [Threshold] degrade response time but never wedge. *)
+
+type t =
+  | Every_event
+  | Batched of int        (** Re-solve every [k >= 1] events. *)
+  | Threshold of float    (** Re-solve when predicted relative makespan
+                              degradation exceeds [eps >= 0]. *)
+
+val name : t -> string
+(** "every-event", "batched:K", "threshold:EPS". *)
+
+val of_string : string -> t
+(** Inverse of {!name}, case-insensitive; validates the parameter.
+    @raise Invalid_argument on unknown names or bad parameters. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on [Batched k] with [k < 1], or
+    [Threshold eps] with [eps] negative or NaN. *)
+
+val defaults : t list
+(** The spread exercised by benches and smokes:
+    [Every_event; Batched 4; Threshold 0.1]. *)
+
+val should_resolve :
+  t -> events_pending:int -> degradation:(unit -> float) -> bool
+(** Decision at one event.  [events_pending] counts events since the last
+    solve (including the current one); [degradation] lazily computes the
+    estimate described above (only forced by [Threshold]). *)

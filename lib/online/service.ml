@@ -1,0 +1,243 @@
+type config = {
+  policy : Policy.t;
+  mode : Incremental.mode;
+  validate : bool;
+  record : bool;
+}
+
+let default_config =
+  { policy = Policy.Every_event; mode = Incremental.Warm; validate = false;
+    record = false }
+
+type snapshot = {
+  time : float;
+  job_ids : int array;
+  procs : float array;
+  cache : float array;
+  k : float;
+}
+
+type report = {
+  metrics : Metrics.t;
+  jobs : State.job list;
+  snapshots : snapshot list;
+}
+
+(* Jobs within this remaining-work fraction of done are completed by the
+   same sweep: equalised cohorts finish within the makespan bisection
+   tolerance (~1e-12 relative), far inside this margin, while genuinely
+   unfinished jobs are far outside it. *)
+let completion_eps = 1e-9
+
+let run ?(config = default_config) ~platform stream =
+  Policy.validate config.policy;
+  let state = State.create platform in
+  let engine = Simulator.Engine.create () in
+  let inc = Incremental.create () in
+  let events_since = ref 0 in
+  let events_handled = ref 0 in
+  let last_solve = ref 0. in
+  let forced = ref 0 in
+  let migrations = ref 0 in
+  let snapshots = ref [] in
+  let epoch = ref 0 in
+  let arrival_jobs = Array.make (max 1 (Workload_stream.arrivals stream)) None in
+
+  let degradation () =
+    (* Cheap estimate of the relative makespan damage of not re-solving:
+       idle platform fraction plus the queued share of live work.  The
+       idle fraction is floored at 1e-9 so that the one-ulp residue of
+       the post-solve processor rescale reads as exactly zero — the
+       Threshold decision must not depend on bisection noise (it would
+       split warm and cold runs on razor-edge ties). *)
+    let jobs = State.live state in
+    let p = platform.Model.Platform.p in
+    let used =
+      Array.fold_left (fun acc (j : State.job) -> acc +. j.procs) 0. jobs
+    in
+    let idle =
+      let frac = (p -. used) /. p in
+      if frac > 1e-9 then frac else 0.
+    in
+    let queued_w = ref 0. and total_w = ref 0. in
+    Array.iter
+      (fun (j : State.job) ->
+        let c = Model.Exec_model.work_cost ~app:j.app ~platform ~x:j.cache in
+        let w = j.remaining *. c in
+        total_w := !total_w +. w;
+        if j.procs = 0. then queued_w := !queued_w +. w)
+      jobs;
+    idle +. (if !total_w > 0. then !queued_w /. !total_w else 0.)
+  in
+
+  let resolve ~is_forced () =
+    let jobs = State.live state in
+    if Array.length jobs > 0 then begin
+      let apps = Array.map State.remaining_app jobs in
+      let now = Simulator.Engine.now engine in
+      let sol =
+        Incremental.solve inc ~mode:config.mode ~elapsed:(now -. !last_solve)
+          ~platform ~apps
+      in
+      migrations :=
+        !migrations
+        + State.apply state jobs sol.Incremental.schedule.Model.Schedule.allocs;
+      if is_forced then incr forced;
+      events_since := 0;
+      last_solve := now;
+      if config.record then
+        snapshots :=
+          {
+            time = now;
+            job_ids = Array.map (fun (j : State.job) -> j.id) jobs;
+            procs = Array.map (fun (j : State.job) -> j.procs) jobs;
+            cache = Array.map (fun (j : State.job) -> j.cache) jobs;
+            k = sol.Incremental.k;
+          }
+          :: !snapshots;
+      if config.validate then State.assert_conservation state
+    end
+  in
+
+  let decide () =
+    let jobs = State.live state in
+    if Array.length jobs = 0 then ()
+    else begin
+      let queued = Array.exists (fun (j : State.job) -> j.procs = 0.) jobs in
+      let running = Array.exists (fun (j : State.job) -> j.procs > 0.) jobs in
+      if queued && not running then resolve ~is_forced:true ()
+      else if
+        Policy.should_resolve config.policy ~events_pending:!events_since
+          ~degradation
+      then resolve ~is_forced:false ()
+    end
+  in
+
+  (* One next-completion event per allocation epoch: equalised cohorts
+     finish together, so the earliest predicted completion sweeps every
+     job that is done to within [completion_eps].  Superseded predictions
+     carry a stale epoch and are ignored when they fire. *)
+  let rec schedule_next_completion () =
+    incr epoch;
+    let e = !epoch in
+    let next =
+      Array.fold_left
+        (fun acc j -> Float.min acc (State.remaining_time ~platform j))
+        infinity (State.live state)
+    in
+    if next < infinity then
+      Simulator.Engine.schedule engine
+        ~at:(Simulator.Engine.now engine +. next)
+        (fun eng -> on_completion eng e)
+
+  and on_completion eng e =
+    if e = !epoch then begin
+      State.advance state ~to_:(Simulator.Engine.now eng);
+      Array.iter
+        (fun (j : State.job) ->
+          if j.procs > 0. && j.remaining <= completion_eps then
+            State.complete state j)
+        (State.live state);
+      incr events_handled;
+      incr events_since;
+      after_event ()
+    end
+
+  and after_event () =
+    if config.validate then State.assert_conservation state;
+    decide ();
+    schedule_next_completion ()
+  in
+
+  let handle_arrival idx app eng =
+    State.advance state ~to_:(Simulator.Engine.now eng);
+    let job = State.add state ~app in
+    arrival_jobs.(idx) <- Some job;
+    incr events_handled;
+    incr events_since;
+    after_event ()
+  in
+
+  let handle_departure idx eng =
+    match arrival_jobs.(idx) with
+    | Some job when job.State.finish = None && not job.State.cancelled ->
+      State.advance state ~to_:(Simulator.Engine.now eng);
+      State.cancel state job;
+      incr events_handled;
+      incr events_since;
+      after_event ()
+    | _ -> ()
+  in
+
+  let next_arrival = ref 0 in
+  List.iter
+    (fun { Workload_stream.time; kind } ->
+      match kind with
+      | Workload_stream.Arrival app ->
+        let idx = !next_arrival in
+        incr next_arrival;
+        Simulator.Engine.schedule engine ~at:time (handle_arrival idx app)
+      | Workload_stream.Departure idx ->
+        Simulator.Engine.schedule engine ~at:time (handle_departure idx))
+    (Workload_stream.events stream);
+
+  Simulator.Engine.run engine;
+  (* Safety net: a policy can leave jobs queued after the stream drains
+     (it never triggered and nothing was running to force it). *)
+  while Array.length (State.live state) > 0 do
+    resolve ~is_forced:true ();
+    schedule_next_completion ();
+    Simulator.Engine.run engine
+  done;
+
+  let finished = State.finished state in
+  let completed =
+    List.filter (fun (j : State.job) -> j.finish <> None) finished
+  in
+  let cancelled =
+    List.length (List.filter (fun (j : State.job) -> j.cancelled) finished)
+  in
+  let responses =
+    Array.of_list
+      (List.map
+         (fun (j : State.job) -> Option.get j.finish -. j.arrival)
+         completed)
+  in
+  let stretches =
+    Array.of_list
+      (List.map
+         (fun (j : State.job) ->
+           (Option.get j.finish -. j.arrival) /. j.alone_time)
+         completed)
+  in
+  let makespan = State.now state in
+  let c = Incremental.counters inc in
+  let metrics =
+    {
+      Metrics.jobs = Workload_stream.arrivals stream;
+      completed = List.length completed;
+      cancelled;
+      events = !events_handled;
+      resolves = c.Incremental.resolves;
+      forced_resolves = !forced;
+      migrations = !migrations;
+      solver_iters = c.Incremental.solver_iters;
+      partition_ops = c.Incremental.partition_ops;
+      makespan;
+      mean_response =
+        (if Array.length responses = 0 then 0. else Util.Stats.mean responses);
+      max_response =
+        (if Array.length responses = 0 then 0.
+         else snd (Util.Stats.min_max responses));
+      mean_stretch =
+        (if Array.length stretches = 0 then 0. else Util.Stats.mean stretches);
+      max_stretch =
+        (if Array.length stretches = 0 then 0.
+         else snd (Util.Stats.min_max stretches));
+      utilization =
+        (if makespan > 0. then
+           State.busy_integral state /. (platform.Model.Platform.p *. makespan)
+         else 0.);
+    }
+  in
+  { metrics; jobs = finished; snapshots = List.rev !snapshots }

@@ -1,0 +1,55 @@
+(** The event-driven online co-scheduling service (the tent of the
+    subsystem).
+
+    Arrivals and departures from a {!Workload_stream} and predicted job
+    completions are driven through {!Simulator.Engine}; at each event the
+    live state integrates progress ({!State.advance}), then the
+    {!Policy} decides whether to re-solve.  A re-solve treats the
+    residual work as a static instance of the paper's problem and runs
+    the DominantMinRatio pipeline through {!Incremental} — warm-started
+    ([Warm]) or from scratch ([Cold], the baseline the warm counters are
+    measured against).
+
+    Completion handling exploits the structure of equalised schedules:
+    all applications sharing a solve finish together, so a single
+    next-completion event per allocation epoch sweeps the whole cohort
+    (jobs within a 1e-9 remaining-work fraction), and re-solve epochs
+    make superseded predictions inert.
+
+    Whatever the policy decides, a re-solve is forced when jobs are
+    queued and nothing is running — deferral policies trade response
+    time for migrations, but never starve. *)
+
+type config = {
+  policy : Policy.t;
+  mode : Incremental.mode;
+  validate : bool;
+      (** Check processor/cache conservation after every event and
+          re-solve (raises [Failure] on violation). *)
+  record : bool;
+      (** Keep a per-re-solve allocation snapshot (for the warm-vs-cold
+          equivalence property). *)
+}
+
+val default_config : config
+(** [Every_event], [Warm], no validation, no recording. *)
+
+type snapshot = {
+  time : float;
+  job_ids : int array;     (** Live jobs at the re-solve, arrival order. *)
+  procs : float array;
+  cache : float array;
+  k : float;               (** Equalised makespan of the re-solve. *)
+}
+
+type report = {
+  metrics : Metrics.t;
+  jobs : State.job list;   (** All retired jobs, retirement order. *)
+  snapshots : snapshot list;  (** Oldest first; empty unless [record]. *)
+}
+
+val run :
+  ?config:config -> platform:Model.Platform.t -> Workload_stream.t -> report
+(** Run the stream to completion (every admitted job either completes or
+    is cancelled).  Deterministic: a pure function of the platform,
+    stream and config. *)

@@ -1,0 +1,169 @@
+type job = {
+  id : int;
+  app : Model.App.t;
+  arrival : float;
+  alone_time : float;
+  mutable remaining : float;
+  mutable procs : float;
+  mutable cache : float;
+  mutable allocated : bool;
+  mutable epoch : int;
+  mutable migrations : int;
+  mutable finish : float option;
+  mutable cancelled : bool;
+}
+
+type t = {
+  platform : Model.Platform.t;
+  mutable clock : float;
+  mutable live_rev : job list;      (* newest first *)
+  mutable finished_rev : job list;  (* newest first *)
+  mutable next_id : int;
+  mutable busy : float;
+}
+
+let create platform =
+  { platform; clock = 0.; live_rev = []; finished_rev = []; next_id = 0; busy = 0. }
+
+let platform t = t.platform
+let now t = t.clock
+
+let advance t ~to_ =
+  if Float.is_nan to_ then invalid_arg "State.advance: NaN time";
+  if to_ < t.clock then invalid_arg "State.advance: cannot advance backwards";
+  let dt = to_ -. t.clock in
+  if dt > 0. then
+    List.iter
+      (fun job ->
+        if job.procs > 0. then begin
+          t.busy <- t.busy +. (job.procs *. dt);
+          if job.remaining > 0. then begin
+            let exe =
+              Model.Exec_model.exe ~app:job.app ~platform:t.platform
+                ~p:job.procs ~x:job.cache
+            in
+            job.remaining <- Float.max 0. (job.remaining -. (dt /. exe))
+          end
+        end)
+      t.live_rev;
+  t.clock <- to_
+
+let add t ~app =
+  let alone_time =
+    Model.Exec_model.exe ~app ~platform:t.platform
+      ~p:t.platform.Model.Platform.p ~x:1.
+  in
+  let job =
+    {
+      id = t.next_id;
+      app;
+      arrival = t.clock;
+      alone_time;
+      remaining = 1.;
+      procs = 0.;
+      cache = 0.;
+      allocated = false;
+      epoch = 0;
+      migrations = 0;
+      finish = None;
+      cancelled = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.live_rev <- job :: t.live_rev;
+  job
+
+let retire t job =
+  let rest = List.filter (fun j -> j.id <> job.id) t.live_rev in
+  if List.length rest = List.length t.live_rev then
+    invalid_arg "State: job is not live";
+  t.live_rev <- rest;
+  t.finished_rev <- job :: t.finished_rev
+
+let complete t job =
+  retire t job;
+  job.remaining <- 0.;
+  job.finish <- Some t.clock;
+  job.procs <- 0.;
+  job.cache <- 0.
+
+let cancel t job =
+  retire t job;
+  job.cancelled <- true;
+  job.procs <- 0.;
+  job.cache <- 0.
+
+let live t =
+  let arr = Array.of_list t.live_rev in
+  let n = Array.length arr in
+  (* live_rev is newest first; arrival order is the reverse. *)
+  Array.init n (fun i -> arr.(n - 1 - i))
+
+let finished t = List.rev t.finished_rev
+let running t = List.length (List.filter (fun j -> j.procs > 0.) t.live_rev)
+let queued t = List.length (List.filter (fun j -> j.procs = 0.) t.live_rev)
+
+let remaining_app job =
+  if job.finish <> None || job.cancelled then
+    invalid_arg "State.remaining_app: job is finished";
+  Model.App.with_w job.app (job.remaining *. job.app.Model.App.w)
+
+let remaining_time ~platform job =
+  if job.procs <= 0. then infinity
+  else
+    job.remaining
+    *. Model.Exec_model.exe ~app:job.app ~platform ~p:job.procs ~x:job.cache
+
+let rel_changed a b =
+  Float.abs (a -. b) > 1e-9 *. Float.max 1e-30 (Float.max (Float.abs a) (Float.abs b))
+
+let apply _t jobs allocs =
+  if Array.length jobs <> Array.length allocs then
+    invalid_arg "State.apply: jobs and allocations must have the same length";
+  let migrations = ref 0 in
+  Array.iteri
+    (fun i job ->
+      let { Model.Schedule.procs; cache } = allocs.(i) in
+      if job.allocated && (rel_changed job.procs procs || rel_changed job.cache cache)
+      then begin
+        job.migrations <- job.migrations + 1;
+        incr migrations
+      end;
+      job.procs <- procs;
+      job.cache <- cache;
+      if procs > 0. then job.allocated <- true;
+      job.epoch <- job.epoch + 1)
+    jobs;
+  !migrations
+
+let busy_integral t = t.busy
+
+let conservation_violation t =
+  let p = t.platform.Model.Platform.p in
+  let eps = 1e-6 in
+  let bad = ref None in
+  let set msg = if !bad = None then bad := Some msg in
+  List.iter
+    (fun job ->
+      if job.procs < 0. then
+        set (Printf.sprintf "job %d has negative processors %g" job.id job.procs);
+      if job.cache < 0. || job.cache > 1. +. eps then
+        set (Printf.sprintf "job %d has cache fraction %g outside [0,1]" job.id
+               job.cache))
+    t.live_rev;
+  let total_p =
+    Util.Floatx.sum (List.map (fun j -> j.procs) t.live_rev)
+  and total_x =
+    Util.Floatx.sum (List.map (fun j -> j.cache) t.live_rev)
+  in
+  if total_p > p *. (1. +. eps) then
+    set (Printf.sprintf "processors oversubscribed: sum p_i = %.17g > p = %g"
+           total_p p);
+  if total_x > 1. +. eps then
+    set (Printf.sprintf "cache oversubscribed: sum x_i = %.17g > 1" total_x);
+  !bad
+
+let assert_conservation t =
+  match conservation_violation t with
+  | None -> ()
+  | Some msg -> failwith ("State: conservation violated: " ^ msg)

@@ -1,0 +1,93 @@
+(** The live application set of the online service.
+
+    Each job tracks the fraction of its work still remaining under the
+    current [(p_i, x_i)] allocation; progress between events is exact
+    under the paper's model: with allocation [(p, x)] held constant, the
+    whole application takes [Exe(p, x)] ({!Model.Exec_model.exe}), so an
+    interval of length [dt] completes [dt / Exe(p, x)] of the work.
+    Integrating progress at every event keeps the state consistent no
+    matter when the policy chooses to re-solve.
+
+    Jobs with [procs = 0] are {e queued}: admitted but not yet granted an
+    allocation (they make no progress).  The re-solvers see each live job
+    as an application with its work scaled by the remaining fraction
+    ({!remaining_app}), which is exactly the paper's static problem on
+    the residual workload. *)
+
+type job = {
+  id : int;                       (** Arrival index, dense from 0. *)
+  app : Model.App.t;              (** The original application. *)
+  arrival : float;
+  alone_time : float;             (** [Exe(p_total, 1)]: runtime alone on
+                                      the whole platform (stretch
+                                      denominator). *)
+  mutable remaining : float;      (** Fraction of [w] left, in [0, 1]. *)
+  mutable procs : float;          (** 0 while queued. *)
+  mutable cache : float;
+  mutable allocated : bool;       (** Ever granted processors. *)
+  mutable epoch : int;            (** Bumped on every allocation change. *)
+  mutable migrations : int;       (** Allocation changes after the first. *)
+  mutable finish : float option;  (** Completion time, once finished. *)
+  mutable cancelled : bool;
+}
+
+type t
+
+val create : Model.Platform.t -> t
+val platform : t -> Model.Platform.t
+
+val now : t -> float
+(** Time the state was last advanced to. *)
+
+val advance : t -> to_:float -> unit
+(** Integrate progress of every running job up to [to_] under the current
+    allocations, and accumulate the busy-processor integral (for
+    utilization).  Remaining fractions are clamped at 0.
+    @raise Invalid_argument when [to_] precedes {!now}. *)
+
+val add : t -> app:Model.App.t -> job
+(** Admit an arrival (queued, no allocation) at the current time. *)
+
+val complete : t -> job -> unit
+(** Mark a job finished at the current time and retire it from the live
+    set.  @raise Invalid_argument if the job is not live. *)
+
+val cancel : t -> job -> unit
+(** Retire a live job without completion (an explicit departure). *)
+
+val live : t -> job array
+(** Live jobs (queued or running) in arrival order.  The array is fresh;
+    the jobs are the live mutable records. *)
+
+val finished : t -> job list
+(** Retired jobs (completed and cancelled), in retirement order. *)
+
+val running : t -> int
+val queued : t -> int
+
+val remaining_app : job -> Model.App.t
+(** The residual application: [app] with work scaled by the remaining
+    fraction.  @raise Invalid_argument on a finished job. *)
+
+val remaining_time : platform:Model.Platform.t -> job -> float
+(** Time to completion under the job's current allocation; [infinity]
+    while queued. *)
+
+val apply : t -> job array -> Model.Schedule.alloc array -> int
+(** [apply t jobs allocs] installs a fresh solver allocation on [jobs]
+    (same order), bumps every epoch, and returns the number of
+    {e migrations}: already-allocated jobs whose processor share or cache
+    fraction changed by more than a 1e-9 relative tolerance.
+    @raise Invalid_argument on length mismatch. *)
+
+val busy_integral : t -> float
+(** [integral of (sum of live procs) dt] since creation. *)
+
+val conservation_violation : t -> string option
+(** [None] when the live allocations satisfy the CoSchedCache
+    constraints: every [procs >= 0], every [cache in [0, 1]],
+    [sum procs <= p] and [sum cache <= 1] (relative tolerance 1e-6).
+    Otherwise a description of the violated constraint. *)
+
+val assert_conservation : t -> unit
+(** @raise Failure with the {!conservation_violation} message, if any. *)

@@ -1,0 +1,63 @@
+type kind =
+  | Arrival of Model.App.t
+  | Departure of int
+
+type event = { time : float; kind : kind }
+
+type t = { events : event array; arrivals : int; horizon : float }
+
+let of_events list =
+  let prev = ref 0. in
+  let arrivals = ref 0 in
+  List.iter
+    (fun ev ->
+      if Float.is_nan ev.time || ev.time < 0. || ev.time = infinity then
+        invalid_arg "Workload_stream: event times must be finite and >= 0";
+      if ev.time < !prev then
+        invalid_arg "Workload_stream: events must be in nondecreasing time order";
+      prev := ev.time;
+      match ev.kind with
+      | Arrival _ -> incr arrivals
+      | Departure i ->
+        if i < 0 || i >= !arrivals then
+          invalid_arg
+            (Printf.sprintf
+               "Workload_stream: departure %d does not reference an earlier \
+                arrival"
+               i))
+    list;
+  let events = Array.of_list list in
+  let horizon = if Array.length events = 0 then 0. else !prev in
+  { events; arrivals = !arrivals; horizon }
+
+let events t = Array.to_list t.events
+let arrivals t = t.arrivals
+let length t = Array.length t.events
+let horizon t = t.horizon
+
+let poisson ~rng ~rate ~apps =
+  if not (rate > 0. && Float.is_finite rate) then
+    invalid_arg "Workload_stream.poisson: rate must be positive and finite";
+  let clock = ref 0. in
+  of_events
+    (List.map
+       (fun app ->
+         clock := !clock +. Util.Rng.exponential rng rate;
+         { time = !clock; kind = Arrival app })
+       (Array.to_list apps))
+
+let poisson_load ~rng ~platform ~load ~dataset n =
+  if not (load > 0. && Float.is_finite load) then
+    invalid_arg "Workload_stream.poisson_load: load must be positive and finite";
+  let apps = Model.Workload.generate ~rng dataset n in
+  if n = 0 then of_events []
+  else begin
+    let alone =
+      Array.map
+        (fun app ->
+          Model.Exec_model.exe ~app ~platform ~p:platform.Model.Platform.p ~x:1.)
+        apps
+    in
+    let mean = Util.Stats.mean alone in
+    poisson ~rng ~rate:(load /. mean) ~apps
+  end

@@ -1,0 +1,56 @@
+(** Deterministic arrival/departure streams for the online service.
+
+    The static problem of the paper schedules one fixed application set;
+    the online service (its Section 1 in-situ motivation, and the
+    high-throughput setting of Aupy et al.) faces a {e stream}: analysis
+    applications arrive over time, run to completion under the current
+    co-schedule, and may be cancelled before finishing.  A stream is a
+    time-sorted list of such events, either replayed from an explicit
+    trace or generated — all randomness flows through {!Util.Rng}, so
+    every stream is a pure function of its seed. *)
+
+type kind =
+  | Arrival of Model.App.t
+      (** A new application joins the system and waits to be scheduled. *)
+  | Departure of int
+      (** The [i]-th arrival (0-based, in stream order) is cancelled; a
+          no-op at runtime if that job already completed. *)
+
+type event = { time : float; kind : kind }
+
+type t
+(** A validated stream: events in nondecreasing time order, finite
+    nonnegative times, departures referencing earlier arrivals. *)
+
+val of_events : event list -> t
+(** Validate and pack a replay trace.
+    @raise Invalid_argument on NaN/negative/decreasing times or on a
+    departure whose index is not an earlier arrival. *)
+
+val events : t -> event list
+(** The events, in time order. *)
+
+val arrivals : t -> int
+(** Number of arrival events. *)
+
+val length : t -> int
+(** Total number of events. *)
+
+val horizon : t -> float
+(** Time of the last event; [0.] for an empty stream. *)
+
+val poisson : rng:Util.Rng.t -> rate:float -> apps:Model.App.t array -> t
+(** Poisson arrival process: application [apps.(i)] arrives after the
+    [i]-th exponential inter-arrival gap of the given [rate] (arrivals
+    per unit model time).  No departures.
+    @raise Invalid_argument on a nonpositive or non-finite rate. *)
+
+val poisson_load :
+  rng:Util.Rng.t -> platform:Model.Platform.t -> load:float ->
+  dataset:Model.Workload.dataset -> int -> t
+(** [poisson_load ~rng ~platform ~load ~dataset n] generates [n]
+    applications from [dataset] and arrival times at the rate that keeps
+    roughly [load] jobs in the system if each ran alone on the full
+    platform: [rate = load / mean alone-time].  The usual entry point of
+    the CLI and benches; [load] must be positive and finite.
+    @raise Invalid_argument on a bad [load] or [n < 0]. *)

@@ -14,10 +14,14 @@ let total_procs_at ~apps ~costs k =
     apps;
   !acc
 
-let solve_makespan ?(tol = 1e-13) ~platform ~apps x =
+let solve_makespan ?(tol = 1e-13) ?warm ?iters ~platform ~apps x =
   if Array.length apps = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
   let costs = work_costs ~platform ~apps ~x in
   let p = platform.Model.Platform.p in
+  let excess k =
+    (match iters with Some r -> incr r | None -> ());
+    total_procs_at ~apps ~costs k -. p
+  in
   (* Lower bound: every application enjoys all p processors. *)
   let k_lo =
     Array.fold_left Float.max neg_infinity
@@ -25,13 +29,19 @@ let solve_makespan ?(tol = 1e-13) ~platform ~apps x =
          (fun (app : Model.App.t) c -> (app.s +. ((1. -. app.s) /. p)) *. c)
          apps costs)
   in
-  (* Upper bound: one processor each suffices when n <= p; otherwise grow. *)
-  let k_hi0 = Array.fold_left Float.max neg_infinity costs in
-  let excess k = total_procs_at ~apps ~costs k -. p in
   if excess k_lo <= 0. then k_lo
   else
-    let k_hi = Util.Solver.expand_bracket_up ~f:excess (Float.max k_hi0 k_lo) in
-    Util.Solver.bisect ~tol ~f:excess k_lo k_hi
+    match warm with
+    | Some k0 when Float.is_finite k0 && k0 > k_lo ->
+      (* A previous makespan brackets the new root tightly: the online
+         service re-solves after small perturbations (one arrival, a
+         little progress), so the root moved by a few percent at most. *)
+      Util.Solver.bisect_seeded ~tol ~f:excess ~floor:k_lo k0
+    | _ ->
+      (* Cold: one processor each suffices when n <= p; otherwise grow. *)
+      let k_hi0 = Array.fold_left Float.max neg_infinity costs in
+      let k_hi = Util.Solver.expand_bracket_up ~f:excess (Float.max k_hi0 k_lo) in
+      Util.Solver.bisect ~tol ~f:excess k_lo k_hi
 
 let procs_at ~platform ~apps ~x ~k =
   let costs = work_costs ~platform ~apps ~x in
@@ -41,8 +51,8 @@ let procs_at ~platform ~apps ~x ~k =
       if denom <= 0. then infinity else (1. -. app.s) /. denom)
     apps costs
 
-let schedule ?tol ~platform ~apps x =
-  let k = solve_makespan ?tol ~platform ~apps x in
+let schedule_k ?tol ?warm ?iters ~platform ~apps x =
+  let k = solve_makespan ?tol ?warm ?iters ~platform ~apps x in
   let procs = procs_at ~platform ~apps ~x ~k in
   let total = Util.Floatx.sum (Array.to_list procs) in
   let factor = platform.Model.Platform.p /. total in
@@ -51,4 +61,6 @@ let schedule ?tol ~platform ~apps x =
       (fun p xi -> { Model.Schedule.procs = p *. factor; cache = xi })
       procs x
   in
-  Model.Schedule.make ~platform ~apps ~allocs
+  (Model.Schedule.make ~platform ~apps ~allocs, k)
+
+let schedule ?tol ~platform ~apps x = fst (schedule_k ?tol ~platform ~apps x)

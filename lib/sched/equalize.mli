@@ -20,11 +20,26 @@ val work_costs :
     @raise Invalid_argument on length mismatch. *)
 
 val solve_makespan :
-  ?tol:float -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  ?tol:float -> ?warm:float -> ?iters:int ref ->
+  platform:Model.Platform.t -> apps:Model.App.t array ->
   float array -> float
 (** The common completion time [K].  [tol] is the relative bisection
-    tolerance (default 1e-13).  @raise Invalid_argument on an empty
-    instance. *)
+    tolerance (default 1e-13).
+
+    [warm] is an optional previous makespan used as a bracket seed: the
+    root is bisected inside a tight geometric bracket grown around it
+    ({!Util.Solver.bisect_seeded}) instead of the cold bracket spanning
+    from "everyone gets all [p] processors" to "everyone gets one" — the
+    answer is the same root to within [tol], reached with fewer objective
+    evaluations when the seed is close (the online service's incremental
+    re-solve, see [Online.Incremental]).  A non-finite or infeasibly low
+    seed falls back to the cold bracket.
+
+    [iters], when given, is incremented once per evaluation of the
+    processor-demand objective — the solver-iteration counter behind the
+    warm-vs-cold accounting.
+
+    @raise Invalid_argument on an empty instance. *)
 
 val procs_at :
   platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
@@ -38,3 +53,11 @@ val schedule :
 (** Solve for [K], derive the [p_i], and rescale them by a common factor
     so they sum to [p] exactly (the bisection residue is at the [tol]
     level, so completion times stay equal to within the same order). *)
+
+val schedule_k :
+  ?tol:float -> ?warm:float -> ?iters:int ref ->
+  platform:Model.Platform.t -> apps:Model.App.t array ->
+  float array -> Model.Schedule.t * float
+(** {!schedule} that also returns the solved makespan [K] — the warm seed
+    for the next incremental re-solve — and accepts the [warm]/[iters]
+    plumbing of {!solve_makespan}. *)

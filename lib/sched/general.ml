@@ -14,7 +14,7 @@ type result = {
   idle : float;
 }
 
-let solve ~platform ~apps ~x =
+let solve_warm ?warm ?iters ~platform ~apps ~x () =
   let n = Array.length apps in
   if n = 0 then invalid_arg "General.solve: empty instance";
   if Array.length x <> n then invalid_arg "General.solve: length mismatch";
@@ -35,6 +35,7 @@ let solve ~platform ~apps ~x =
   let demand k =
     (* Total processors needed to finish everything by K; applications
        whose floor exceeds K make it infinite (K infeasible). *)
+    (match iters with Some r -> incr r | None -> ());
     let acc = ref 0. in
     Array.iteri
       (fun i { profile; _ } ->
@@ -46,17 +47,20 @@ let solve ~platform ~apps ~x =
       apps;
     !acc
   in
+  let excess k = demand k -. p in
   let k =
-    if demand k_floor <= p then k_floor
-    else begin
-      (* demand is nonincreasing in K; grow an upper bound and bisect. *)
-      let hi =
-        Util.Solver.expand_bracket_up
-          ~f:(fun k -> demand k -. p)
-          (Float.max k_floor (Array.fold_left Float.max neg_infinity costs))
-      in
-      Util.Solver.bisect ~tol:1e-13 ~f:(fun k -> demand k -. p) k_floor hi
-    end
+    if excess k_floor <= 0. then k_floor
+    else
+      match warm with
+      | Some k0 when Float.is_finite k0 && k0 > k_floor ->
+        Util.Solver.bisect_seeded ~tol:1e-13 ~f:excess ~floor:k_floor k0
+      | _ ->
+        (* demand is nonincreasing in K; grow an upper bound and bisect. *)
+        let hi =
+          Util.Solver.expand_bracket_up ~f:excess
+            (Float.max k_floor (Array.fold_left Float.max neg_infinity costs))
+        in
+        Util.Solver.bisect ~tol:1e-13 ~f:excess k_floor hi
   in
   let procs =
     Array.mapi
@@ -80,6 +84,8 @@ let solve ~platform ~apps ~x =
   in
   let makespan = Array.fold_left Float.max neg_infinity times in
   { procs; x; times; makespan; idle = Float.max 0. (p -. used) }
+
+let solve ~platform ~apps ~x = solve_warm ~platform ~apps ~x ()
 
 let solve_with_dominant ~rng ~platform ~apps =
   let bases = Array.map (fun a -> a.base) apps in

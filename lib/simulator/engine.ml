@@ -36,3 +36,5 @@ let run ?until t =
   loop ()
 
 let events_processed t = t.processed
+let pending t = Event_queue.length t.queue
+let next_time t = Option.map fst (Event_queue.peek t.queue)

@@ -26,3 +26,12 @@ val run : ?until:float -> t -> unit
     advances to [until] in that case). *)
 
 val events_processed : t -> int
+
+val pending : t -> int
+(** Number of events still queued, without draining them.  The online
+    co-scheduling driver uses this to decide whether a forced re-solve is
+    needed after the queue runs dry. *)
+
+val next_time : t -> float option
+(** Timestamp of the earliest queued event ([None] when the queue is
+    empty).  A peek: the event stays queued. *)

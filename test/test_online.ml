@@ -1,0 +1,395 @@
+(* Tests for the online co-scheduling subsystem: workload streams, live
+   state, warm-started incremental re-solvers, policies and the service
+   loop.  The load-bearing properties: the warm partition and warm
+   makespan bisection give the same answers as the cold baselines, and a
+   warm service run is event-for-event equivalent to a cold one. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
+
+let stream_of ~seed ~load n =
+  Online.Workload_stream.poisson_load ~rng:(Util.Rng.create seed) ~platform
+    ~load ~dataset:Model.Workload.NpbSynth n
+
+let rel_close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+(* --- Workload_stream --------------------------------------------------- *)
+
+let stream_rejects_decreasing_times () =
+  let app = (synth ~seed:1 1).(0) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Online.Workload_stream.of_events
+            [
+              { Online.Workload_stream.time = 2.; kind = Arrival app };
+              { Online.Workload_stream.time = 1.; kind = Arrival app };
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let stream_rejects_dangling_departure () =
+  let app = (synth ~seed:1 1).(0) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Online.Workload_stream.of_events
+            [
+              { Online.Workload_stream.time = 1.; kind = Arrival app };
+              { Online.Workload_stream.time = 2.; kind = Departure 1 };
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let stream_poisson_deterministic () =
+  let times s =
+    List.map
+      (fun ev -> ev.Online.Workload_stream.time)
+      (Online.Workload_stream.events s)
+  in
+  Alcotest.(check (list (float 0.)))
+    "same seed, same stream"
+    (times (stream_of ~seed:5 ~load:4. 20))
+    (times (stream_of ~seed:5 ~load:4. 20))
+
+let stream_poisson_counts () =
+  let s = stream_of ~seed:6 ~load:4. 17 in
+  Alcotest.(check int) "arrivals" 17 (Online.Workload_stream.arrivals s);
+  Alcotest.(check int) "length" 17 (Online.Workload_stream.length s);
+  let rec nondecreasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      a.Online.Workload_stream.time <= b.Online.Workload_stream.time
+      && nondecreasing rest
+  in
+  Alcotest.(check bool) "time order" true
+    (nondecreasing (Online.Workload_stream.events s))
+
+(* --- Policy ------------------------------------------------------------ *)
+
+let policy_of_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check string)
+        "roundtrip" (Online.Policy.name p)
+        (Online.Policy.name (Online.Policy.of_string (Online.Policy.name p))))
+    [ Online.Policy.Every_event; Batched 7; Threshold 0.25 ]
+
+let policy_rejects_bad () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (try
+           ignore (Online.Policy.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "batched:0"; "threshold:-1"; "threshold:nan"; "nonsense"; "batched:x" ]
+
+let policy_should_resolve () =
+  let degradation_calls = ref 0 in
+  let degradation () =
+    incr degradation_calls;
+    0.5
+  in
+  Alcotest.(check bool) "every-event fires" true
+    (Online.Policy.should_resolve Every_event ~events_pending:0 ~degradation);
+  Alcotest.(check bool) "batched waits" false
+    (Online.Policy.should_resolve (Batched 3) ~events_pending:2 ~degradation);
+  Alcotest.(check bool) "batched fires" true
+    (Online.Policy.should_resolve (Batched 3) ~events_pending:3 ~degradation);
+  Alcotest.(check int) "degradation not consulted" 0 !degradation_calls;
+  Alcotest.(check bool) "threshold fires" true
+    (Online.Policy.should_resolve (Threshold 0.1) ~events_pending:0 ~degradation);
+  Alcotest.(check bool) "threshold waits" false
+    (Online.Policy.should_resolve (Threshold 0.6) ~events_pending:9 ~degradation)
+
+(* --- State ------------------------------------------------------------- *)
+
+let state_integrates_progress () =
+  let state = Online.State.create platform in
+  let app = (synth ~seed:2 1).(0) in
+  let job = Online.State.add state ~app in
+  ignore
+    (Online.State.apply state [| job |]
+       [| { Model.Schedule.procs = platform.Model.Platform.p; cache = 1. } |]);
+  let exe =
+    Model.Exec_model.exe ~app ~platform ~p:platform.Model.Platform.p ~x:1.
+  in
+  Online.State.advance state ~to_:(0.25 *. exe);
+  check_float "quarter done" 0.75 job.Online.State.remaining;
+  check_float "remaining time" (0.75 *. exe)
+    (Online.State.remaining_time ~platform job);
+  Online.State.advance state ~to_:exe;
+  Alcotest.(check bool) "done" true (job.Online.State.remaining <= 1e-9);
+  check_float "busy integral" (platform.Model.Platform.p *. exe)
+    (Online.State.busy_integral state)
+
+let state_lifecycle () =
+  let state = Online.State.create platform in
+  let apps = synth ~seed:3 3 in
+  let jobs = Array.map (fun app -> Online.State.add state ~app) apps in
+  Alcotest.(check int) "all queued" 3 (Online.State.queued state);
+  ignore
+    (Online.State.apply state (Online.State.live state)
+       [|
+         { Model.Schedule.procs = 4.; cache = 0.5 };
+         { Model.Schedule.procs = 4.; cache = 0.5 };
+         { Model.Schedule.procs = 0.; cache = 0. };
+       |]);
+  Alcotest.(check int) "two running" 2 (Online.State.running state);
+  Online.State.complete state jobs.(0);
+  Online.State.cancel state jobs.(2);
+  Alcotest.(check int) "one live" 1 (Array.length (Online.State.live state));
+  Alcotest.(check bool) "finish recorded" true (jobs.(0).Online.State.finish <> None);
+  Alcotest.(check bool) "cancel recorded" true jobs.(2).Online.State.cancelled;
+  Alcotest.(check int) "retired in order" 2
+    (List.length (Online.State.finished state))
+
+let state_counts_migrations () =
+  let state = Online.State.create platform in
+  let app = (synth ~seed:4 1).(0) in
+  let job = Online.State.add state ~app in
+  let jobs = [| job |] in
+  let alloc p x = [| { Model.Schedule.procs = p; cache = x } |] in
+  Alcotest.(check int) "first allocation is free" 0
+    (Online.State.apply state jobs (alloc 8. 0.5));
+  Alcotest.(check int) "unchanged allocation is free" 0
+    (Online.State.apply state jobs (alloc 8. 0.5));
+  Alcotest.(check int) "a real change migrates" 1
+    (Online.State.apply state jobs (alloc 6. 0.5));
+  Alcotest.(check int) "per-job count" 1 job.Online.State.migrations
+
+let state_detects_oversubscription () =
+  let state = Online.State.create platform in
+  let apps = synth ~seed:5 2 in
+  let jobs = Array.map (fun app -> Online.State.add state ~app) apps in
+  ignore
+    (Online.State.apply state jobs
+       [|
+         { Model.Schedule.procs = platform.Model.Platform.p; cache = 0.7 };
+         { Model.Schedule.procs = 1.; cache = 0.7 };
+       |]);
+  Alcotest.(check bool) "violation reported" true
+    (Online.State.conservation_violation state <> None)
+
+(* --- Incremental: warm == cold ----------------------------------------- *)
+
+let qcheck_cold_partition_matches_builder =
+  QCheck.Test.make
+    ~name:"counted cold partition == Partition_builder Dominant/MinRatio"
+    ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 40))
+    (fun (seed, n) ->
+      let apps = synth ~seed n in
+      let reference =
+        Sched.Partition_builder.build Sched.Partition_builder.Dominant
+          Sched.Choice.MinRatio
+          ~rng:(Util.Rng.create 0) ~platform ~apps
+      in
+      Online.Incremental.cold_partition ~platform apps = reference)
+
+let qcheck_warm_partition_matches_cold =
+  QCheck.Test.make
+    ~name:"warm sorted-suffix partition == cold eviction loop" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 40))
+    (fun (seed, n) ->
+      let apps = synth ~seed n in
+      let inc = Online.Incremental.create () in
+      Online.Incremental.warm_partition inc ~platform ~apps
+      = Online.Incremental.cold_partition ~platform apps)
+
+let qcheck_equalize_warm_seed_same_root =
+  QCheck.Test.make
+    ~name:"Equalize with a warm seed finds the cold root" ~count:100
+    QCheck.(
+      triple (int_bound 10_000) (int_range 2 24) (float_range 0.25 4.))
+    (fun (seed, n, scale) ->
+      let apps = synth ~seed n in
+      let subset = Online.Incremental.cold_partition ~platform apps in
+      let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+      let cold = Sched.Equalize.solve_makespan ~platform ~apps x in
+      let warm =
+        Sched.Equalize.solve_makespan ~warm:(cold *. scale) ~platform ~apps x
+      in
+      rel_close cold warm)
+
+let qcheck_general_warm_seed_same_root =
+  QCheck.Test.make
+    ~name:"General.solve_warm with a seed finds the cold root" ~count:60
+    QCheck.(pair (int_bound 10_000) (int_range 2 16))
+    (fun (seed, n) ->
+      let apps = Sched.General.of_apps (synth ~seed n) in
+      let x = Array.make n (1. /. float_of_int n) in
+      let cold = Sched.General.solve ~platform ~apps ~x in
+      let warm =
+        Sched.General.solve_warm
+          ~warm:(cold.Sched.General.makespan *. 1.5)
+          ~platform ~apps ~x ()
+      in
+      rel_close cold.Sched.General.makespan warm.Sched.General.makespan)
+
+let warm_seed_saves_iterations () =
+  let apps = synth ~seed:11 16 in
+  let subset = Online.Incremental.cold_partition ~platform apps in
+  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  let cold_iters = ref 0 in
+  let cold = Sched.Equalize.solve_makespan ~iters:cold_iters ~platform ~apps x in
+  let warm_iters = ref 0 in
+  ignore
+    (Sched.Equalize.solve_makespan ~warm:(cold *. 1.01) ~iters:warm_iters
+       ~platform ~apps x);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d < cold %d" !warm_iters !cold_iters)
+    true
+    (!warm_iters < !cold_iters)
+
+(* --- Service ------------------------------------------------------------ *)
+
+let run_service ?(mode = Online.Incremental.Warm) ?(record = false) ~policy
+    stream =
+  let config =
+    { Online.Service.policy; mode; validate = true; record }
+  in
+  Online.Service.run ~config ~platform stream
+
+let service_completes_all_jobs () =
+  let stream = stream_of ~seed:21 ~load:4. 20 in
+  List.iter
+    (fun policy ->
+      let report = run_service ~policy stream in
+      let m = report.Online.Service.metrics in
+      Alcotest.(check int)
+        (Online.Policy.name policy ^ " completes everything")
+        20 m.Online.Metrics.completed;
+      Alcotest.(check int) "nothing cancelled" 0 m.Online.Metrics.cancelled;
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (m.Online.Metrics.utilization > 0.
+        && m.Online.Metrics.utilization <= 1. +. 1e-9);
+      Alcotest.(check bool) "stretch >= 1" true
+        (m.Online.Metrics.mean_stretch >= 1. -. 1e-9))
+    Online.Policy.defaults
+
+let service_handles_departures () =
+  let apps = synth ~seed:22 3 in
+  let exe0 =
+    Model.Exec_model.exe ~app:apps.(0) ~platform ~p:platform.Model.Platform.p
+      ~x:1.
+  in
+  let stream =
+    Online.Workload_stream.of_events
+      [
+        { Online.Workload_stream.time = 0.; kind = Arrival apps.(0) };
+        { Online.Workload_stream.time = 0.1 *. exe0; kind = Arrival apps.(1) };
+        { Online.Workload_stream.time = 0.2 *. exe0; kind = Arrival apps.(2) };
+        { Online.Workload_stream.time = 0.3 *. exe0; kind = Departure 1 };
+      ]
+  in
+  let report = run_service ~policy:Online.Policy.Every_event stream in
+  let m = report.Online.Service.metrics in
+  Alcotest.(check int) "two complete" 2 m.Online.Metrics.completed;
+  Alcotest.(check int) "one cancelled" 1 m.Online.Metrics.cancelled
+
+let service_deterministic () =
+  let stream = stream_of ~seed:23 ~load:4. 15 in
+  let run () =
+    (run_service ~policy:(Online.Policy.Batched 3) stream)
+      .Online.Service.metrics
+  in
+  Alcotest.(check bool) "bit-identical metrics" true (run () = run ())
+
+let snapshots_equivalent a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1 : Online.Service.snapshot) (s2 : Online.Service.snapshot) ->
+         s1.job_ids = s2.job_ids
+         && rel_close s1.time s2.time
+         && rel_close s1.k s2.k
+         && Array.for_all2 (fun x y -> rel_close x y) s1.procs s2.procs
+         && Array.for_all2 (fun x y -> rel_close x y) s1.cache s2.cache)
+       a b
+
+let qcheck_warm_equals_cold_service =
+  (* The headline property: warm-started re-solves change nothing but the
+     work done — every allocation the service commits is the cold one to
+     within 1e-9 relative, under each re-solve policy. *)
+  QCheck.Test.make ~name:"warm service run == cold service run" ~count:20
+    QCheck.(
+      pair (int_bound 10_000)
+        (oneofl
+           [
+             Online.Policy.Every_event; Batched 1; Batched 4; Threshold 0.;
+             Threshold 0.1;
+           ]))
+    (fun (seed, policy) ->
+      let stream = stream_of ~seed ~load:3. 12 in
+      let warm =
+        run_service ~mode:Online.Incremental.Warm ~record:true ~policy stream
+      in
+      let cold =
+        run_service ~mode:Online.Incremental.Cold ~record:true ~policy stream
+      in
+      warm.Online.Service.metrics.Online.Metrics.completed
+      = cold.Online.Service.metrics.Online.Metrics.completed
+      && snapshots_equivalent warm.Online.Service.snapshots
+           cold.Online.Service.snapshots)
+
+let warm_service_saves_solver_work () =
+  let stream = stream_of ~seed:25 ~load:6. 60 in
+  let iters mode =
+    (run_service ~mode ~policy:Online.Policy.Every_event stream)
+      .Online.Service.metrics
+      .Online.Metrics.solver_iters
+  in
+  let warm = iters Online.Incremental.Warm in
+  let cold = iters Online.Incremental.Cold in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d < cold %d" warm cold)
+    true (warm < cold)
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "workload_stream",
+        [
+          test "rejects decreasing times" stream_rejects_decreasing_times;
+          test "rejects dangling departure" stream_rejects_dangling_departure;
+          test "poisson is deterministic" stream_poisson_deterministic;
+          test "poisson counts and ordering" stream_poisson_counts;
+        ] );
+      ( "policy",
+        [
+          test "of_string roundtrip" policy_of_string_roundtrip;
+          test "rejects bad specs" policy_rejects_bad;
+          test "should_resolve semantics" policy_should_resolve;
+        ] );
+      ( "state",
+        [
+          test "integrates progress" state_integrates_progress;
+          test "job lifecycle" state_lifecycle;
+          test "counts migrations" state_counts_migrations;
+          test "detects oversubscription" state_detects_oversubscription;
+        ] );
+      ( "incremental",
+        [
+          qtest qcheck_cold_partition_matches_builder;
+          qtest qcheck_warm_partition_matches_cold;
+          qtest qcheck_equalize_warm_seed_same_root;
+          qtest qcheck_general_warm_seed_same_root;
+          test "warm seed saves iterations" warm_seed_saves_iterations;
+        ] );
+      ( "service",
+        [
+          test "completes all jobs under every policy" service_completes_all_jobs;
+          test "handles departures" service_handles_departures;
+          test "deterministic" service_deterministic;
+          qtest qcheck_warm_equals_cold_service;
+          test "warm saves solver work" warm_service_saves_solver_work;
+        ] );
+    ]

@@ -124,6 +124,29 @@ let engine_until_horizon () =
   Simulator.Engine.run engine;
   Alcotest.(check int) "late event fired" 4 (List.length !fired)
 
+let engine_pending_counts_queue () =
+  let engine = Simulator.Engine.create () in
+  Alcotest.(check int) "empty" 0 (Simulator.Engine.pending engine);
+  Simulator.Engine.schedule engine ~at:1. (fun _ -> ());
+  Simulator.Engine.schedule engine ~at:2. (fun _ -> ());
+  Alcotest.(check int) "two queued" 2 (Simulator.Engine.pending engine);
+  Simulator.Engine.run ~until:1.5 engine;
+  Alcotest.(check int) "one left past horizon" 1 (Simulator.Engine.pending engine);
+  Simulator.Engine.run engine;
+  Alcotest.(check int) "drained" 0 (Simulator.Engine.pending engine)
+
+let engine_next_time_peeks () =
+  let engine = Simulator.Engine.create () in
+  Alcotest.(check bool) "empty is None" true
+    (Simulator.Engine.next_time engine = None);
+  Simulator.Engine.schedule engine ~at:3. (fun _ -> ());
+  Simulator.Engine.schedule engine ~at:1. (fun _ -> ());
+  check_float "earliest" 1. (Option.get (Simulator.Engine.next_time engine));
+  Alcotest.(check int) "peek does not remove" 2 (Simulator.Engine.pending engine);
+  Simulator.Engine.run engine;
+  Alcotest.(check bool) "drained is None" true
+    (Simulator.Engine.next_time engine = None)
+
 (* --- Coschedule_sim ------------------------------------------------------- *)
 
 let sim_matches_model_equalized () =
@@ -271,6 +294,8 @@ let () =
           test "handlers schedule more" engine_handlers_schedule_more;
           test "rejects scheduling in the past" engine_rejects_past;
           test "until horizon" engine_until_horizon;
+          test "pending counts the queue" engine_pending_counts_queue;
+          test "next_time peeks the earliest event" engine_next_time_peeks;
         ] );
       ( "coschedule_sim",
         [
