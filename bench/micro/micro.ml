@@ -1,0 +1,394 @@
+(* Micro-benchmarks for the solver hot path.
+
+   Wall-clock (ns/op) and minor-heap allocation (words/op, via
+   [Gc.minor_words] — exact, not sampled) for the kernels the schedulers
+   spend their time in: work-cost evaluation, the makespan bisection
+   (cold/warm, with and without a reusable workspace), the speedup-aware
+   refinement against its kept pre-overhaul reference, and the
+   persistent warm partition against the sort-from-scratch reference and
+   the cold eviction loop.
+
+   Writes BENCH_solver.json (override with --out) and validates the
+   emitted JSON.  --smoke shrinks repetitions for CI (`dune build
+   @perf`); the >= 2x refine-vs-reference throughput gate is enforced in
+   full runs only, where timings are stable enough to gate on. *)
+
+let smoke = ref false
+let out = ref "BENCH_solver.json"
+
+let () =
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " few repetitions; skip the throughput gate");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_solver.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "micro [--smoke] [--out FILE]"
+
+(* --- measurement ------------------------------------------------------- *)
+
+type sample = {
+  name : string;
+  reps : int;
+  ns_per_op : float;
+  minor_words_per_op : float;
+}
+
+let samples : sample list ref = ref []
+
+(* The heat sink: every benchmark body folds something into it so the
+   compiler cannot discard the work. *)
+let sink = ref 0.
+
+let measure ~name ?(warmup = 3) ~reps f =
+  let reps = if !smoke then max 1 (reps / 20) else reps in
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  let s =
+    {
+      name;
+      reps;
+      ns_per_op = (t1 -. t0) *. 1e9 /. float_of_int reps;
+      minor_words_per_op = (w1 -. w0) /. float_of_int reps;
+    }
+  in
+  samples := s :: !samples;
+  Printf.printf "%-34s %12.0f ns/op %12.1f words/op  (%d reps)\n%!" s.name
+    s.ns_per_op s.minor_words_per_op s.reps;
+  s
+
+(* --- fixture ----------------------------------------------------------- *)
+
+let n_apps = 64
+let seed = 2017
+let platform = Model.Platform.paper_default
+
+let apps =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.Random
+    n_apps
+
+(* Theorem 3 fractions on the dominant partition: the allocation every
+   solver below actually bisects at. *)
+let subset = Online.Incremental.cold_partition ~platform apps
+let x_star = Theory.Dominant.cache_allocation_capped ~platform ~apps subset
+
+(* Progress-drift snapshots for the partition benchmarks: each snapshot
+   rescales works app-by-app (differentially, so the ratio order really
+   churns between consecutive events, exercising the adaptive sort). *)
+let n_snapshots = 8
+
+let snapshots =
+  Array.init n_snapshots (fun j ->
+      Array.mapi
+        (fun i app ->
+          let wiggle =
+            1. +. (0.2 *. float_of_int ((i * (j + 3)) mod 7) /. 7.)
+          in
+          Model.App.with_w app (app.Model.App.w *. wiggle))
+        apps)
+
+(* --- 1. work-cost kernels ---------------------------------------------- *)
+
+let n_points = 256
+
+let xs =
+  Array.init n_points (fun i -> (float_of_int i +. 1.) /. float_of_int n_points)
+
+let bench_work_cost () =
+  let cursor = ref 0 in
+  let direct =
+    measure ~name:"work_cost/exec_model" ~reps:20_000 (fun () ->
+        let j = !cursor in
+        cursor := (j + 1) mod n_points;
+        let acc = ref 0. in
+        for i = 0 to n_apps - 1 do
+          let x = xs.((i + j) mod n_points) in
+          acc := !acc +. Model.Exec_model.work_cost ~app:apps.(i) ~platform ~x
+        done;
+        sink := !sink +. !acc;
+        !acc)
+  in
+  let kern = Model.Kernel.create ~platform apps in
+  let cursor = ref 0 in
+  let kernel =
+    measure ~name:"work_cost/kernel" ~reps:20_000 (fun () ->
+        let j = !cursor in
+        cursor := (j + 1) mod n_points;
+        let acc = ref 0. in
+        for i = 0 to n_apps - 1 do
+          let x = xs.((i + j) mod n_points) in
+          (* cost then derivative at the same point — the refinement
+             loop's access pattern; the second call hits the memo. *)
+          acc :=
+            !acc
+            +. Model.Kernel.work_cost kern i x
+            +. (1e-30 *. Model.Kernel.cost_derivative kern i x)
+        done;
+        sink := !sink +. !acc;
+        !acc)
+  in
+  (direct, kernel)
+
+(* --- 2. makespan bisection --------------------------------------------- *)
+
+let bench_solve () =
+  let ws = Sched.Workspace.create ~n:n_apps () in
+  let cold_fresh =
+    measure ~name:"solve_makespan/cold-fresh" ~reps:5_000 (fun () ->
+        let k = Sched.Equalize.solve_makespan ~platform ~apps x_star in
+        sink := !sink +. k;
+        k)
+  in
+  let cold_ws =
+    measure ~name:"solve_makespan/cold-ws" ~reps:5_000 (fun () ->
+        let k = Sched.Equalize.solve_makespan ~ws ~platform ~apps x_star in
+        sink := !sink +. k;
+        k)
+  in
+  let k_star = Sched.Equalize.solve_makespan ~ws ~platform ~apps x_star in
+  let warm_ws =
+    measure ~name:"solve_makespan/warm-ws" ~reps:5_000 (fun () ->
+        let k =
+          Sched.Equalize.solve_makespan ~warm:k_star ~ws ~platform ~apps x_star
+        in
+        sink := !sink +. k;
+        k)
+  in
+  (cold_fresh, cold_ws, warm_ws)
+
+(* Per-evaluation allocation in the workspace path: a looser tolerance
+   runs materially fewer bisection evaluations, so equal words/solve at
+   both tolerances proves the per-evaluation allocation is zero (the
+   small constant is the solve's own state record and closures). *)
+let bench_zero_alloc () =
+  let ws = Sched.Workspace.create ~n:n_apps () in
+  let iters_at tol =
+    let iters = ref 0 in
+    ignore (Sched.Equalize.solve_makespan ~tol ~iters ~ws ~platform ~apps x_star);
+    !iters
+  in
+  let tight =
+    measure ~name:"solve_makespan/ws-tol-1e-13" ~reps:5_000 (fun () ->
+        let k =
+          Sched.Equalize.solve_makespan ~tol:1e-13 ~ws ~platform ~apps x_star
+        in
+        sink := !sink +. k;
+        k)
+  in
+  let loose =
+    measure ~name:"solve_makespan/ws-tol-1e-6" ~reps:5_000 (fun () ->
+        let k =
+          Sched.Equalize.solve_makespan ~tol:1e-6 ~ws ~platform ~apps x_star
+        in
+        sink := !sink +. k;
+        k)
+  in
+  (tight, loose, iters_at 1e-13, iters_at 1e-6)
+
+(* --- 3. refinement vs the kept naive reference ------------------------- *)
+
+let bench_refine () =
+  let ws = Sched.Workspace.create ~n:n_apps () in
+  let reference =
+    measure ~name:"refine/reference" ~reps:60 (fun () ->
+        let r = Sched.Refine.refine_reference ~platform ~apps ~x0:x_star () in
+        sink := !sink +. r.Sched.Refine.makespan;
+        r.Sched.Refine.makespan)
+  in
+  let optimized =
+    measure ~name:"refine/optimized" ~reps:60 (fun () ->
+        let r = Sched.Refine.refine ~ws ~platform ~apps ~x0:x_star () in
+        sink := !sink +. r.Sched.Refine.makespan;
+        r.Sched.Refine.makespan)
+  in
+  (reference, optimized)
+
+(* --- 4. warm partition ------------------------------------------------- *)
+
+(* The pre-overhaul warm path, reproduced as the measured baseline: boxed
+   (ratio, weight, index) entries rebuilt and [Array.sort]ed from scratch
+   on every event. *)
+let resort_reference =
+  let prev_boundary = ref 0 in
+  fun (apps : Model.App.t array) ->
+    let n = Array.length apps in
+    let entries =
+      Array.init n (fun i ->
+          ( Theory.Dominant.ratio ~platform apps.(i),
+            Theory.Dominant.weight ~platform apps.(i),
+            i ))
+    in
+    Array.sort
+      (fun (r1, _, i1) (r2, _, i2) ->
+        match Float.compare r1 r2 with 0 -> Int.compare i1 i2 | cmp -> cmp)
+      entries;
+    let suffix = Array.make (n + 1) 0. in
+    for k = n - 1 downto 0 do
+      let _, w, _ = entries.(k) in
+      suffix.(k) <- suffix.(k + 1) +. w
+    done;
+    let dominant_at k =
+      k >= n
+      ||
+      let r, _, _ = entries.(k) in
+      r > suffix.(k)
+    in
+    let b = ref (min (max !prev_boundary 0) n) in
+    while !b > 0 && dominant_at (!b - 1) do
+      decr b
+    done;
+    while not (dominant_at !b) do
+      incr b
+    done;
+    prev_boundary := !b;
+    let subset = Array.make n false in
+    for k = !b to n - 1 do
+      let _, _, i = entries.(k) in
+      subset.(i) <- true
+    done;
+    subset
+
+let bench_partition () =
+  let inc = Online.Incremental.create () in
+  let cursor = ref 0 in
+  let persistent =
+    measure ~name:"warm_partition/persistent" ~reps:20_000 (fun () ->
+        let j = !cursor in
+        cursor := (j + 1) mod n_snapshots;
+        let s =
+          Online.Incremental.warm_partition inc ~platform ~apps:snapshots.(j)
+        in
+        sink := !sink +. (if s.(0) then 1. else 0.);
+        s)
+  in
+  let cursor = ref 0 in
+  let resort =
+    measure ~name:"warm_partition/resort-ref" ~reps:20_000 (fun () ->
+        let j = !cursor in
+        cursor := (j + 1) mod n_snapshots;
+        let s = resort_reference snapshots.(j) in
+        sink := !sink +. (if s.(0) then 1. else 0.);
+        s)
+  in
+  let cursor = ref 0 in
+  let cold =
+    measure ~name:"cold_partition/eviction-loop" ~reps:2_000 (fun () ->
+        let j = !cursor in
+        cursor := (j + 1) mod n_snapshots;
+        let s = Online.Incremental.cold_partition ~platform snapshots.(j) in
+        sink := !sink +. (if s.(0) then 1. else 0.);
+        s)
+  in
+  (* The three constructions must agree before their timings mean
+     anything. *)
+  let inc2 = Online.Incremental.create () in
+  Array.iter
+    (fun apps ->
+      let w = Online.Incremental.warm_partition inc2 ~platform ~apps in
+      let c = Online.Incremental.cold_partition ~platform apps in
+      let r = resort_reference apps in
+      if w <> c || w <> r then failwith "warm/cold/resort partitions disagree")
+    snapshots;
+  (persistent, resort, cold)
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let json_of_sample s =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"reps\":%d,\"ns_per_op\":%.6g,\"minor_words_per_op\":%.6g}"
+    s.name s.reps s.ns_per_op s.minor_words_per_op
+
+(* A well-formedness scan (balanced structure outside strings, legal
+   escapes) — not a parser, but enough to catch a truncated or mangled
+   emission before it lands in the repo. *)
+let validate_json text =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !in_string then
+        if !escaped then escaped := false
+        else if ch = '\\' then escaped := true
+        else if ch = '"' then in_string := false
+        else ()
+      else
+        match ch with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then failwith "validate_json: unbalanced close"
+        | _ -> ())
+    text;
+  if !in_string then failwith "validate_json: unterminated string";
+  if !depth <> 0 then failwith "validate_json: unbalanced open";
+  if String.length text = 0 || text.[0] <> '{' then
+    failwith "validate_json: not an object"
+
+let () =
+  let direct, kernel = bench_work_cost () in
+  let cold_fresh, cold_ws, warm_ws = bench_solve () in
+  let tight, loose, iters_tight, iters_loose = bench_zero_alloc () in
+  let reference, optimized = bench_refine () in
+  let persistent, resort, cold = bench_partition () in
+  let refine_speedup = reference.ns_per_op /. optimized.ns_per_op in
+  let alloc_gap = tight.minor_words_per_op -. loose.minor_words_per_op in
+  (* Equal allocation at ~2x different evaluation counts ==> zero words
+     per evaluation.  Sub-word slack absorbs the measurement scaffolding
+     (the [Gc.minor ()] call's own boxes amortised over the reps). *)
+  let zero_alloc = iters_tight > iters_loose && Float.abs alloc_gap < 1. in
+  let derived =
+    [
+      ("work_cost_speedup_vs_exec_model", direct.ns_per_op /. kernel.ns_per_op);
+      ("solve_cold_ws_speedup_vs_fresh", cold_fresh.ns_per_op /. cold_ws.ns_per_op);
+      ("solve_warm_speedup_vs_cold", cold_ws.ns_per_op /. warm_ws.ns_per_op);
+      ("refine_speedup_vs_reference", refine_speedup);
+      ("warm_partition_speedup_vs_resort", resort.ns_per_op /. persistent.ns_per_op);
+      ("warm_partition_speedup_vs_cold", cold.ns_per_op /. persistent.ns_per_op);
+      ("solver_iters_tol13", float_of_int iters_tight);
+      ("solver_iters_tol6", float_of_int iters_loose);
+      ("solver_alloc_words_gap", alloc_gap);
+    ]
+  in
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"mode\":\"%s\"," (if !smoke then "smoke" else "full");
+        Printf.sprintf "\"apps\":%d," n_apps;
+        Printf.sprintf "\"seed\":%d," seed;
+        "\"benchmarks\":[";
+        String.concat "," (List.rev_map json_of_sample !samples);
+        "],\"derived\":{";
+        String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%.6g" k v) derived);
+        Printf.sprintf "},\"zero_alloc_per_bisection_eval\":%b" zero_alloc;
+        "}";
+      ]
+  in
+  validate_json json;
+  let oc = open_out !out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "wrote %s (valid JSON; sink=%h)\n" !out !sink;
+  if not zero_alloc then begin
+    Printf.eprintf
+      "FAIL: bisection allocates per evaluation (%.2f words gap, %d vs %d \
+       evals)\n"
+      alloc_gap iters_tight iters_loose;
+    exit 1
+  end;
+  if (not !smoke) && refine_speedup < 2. then begin
+    Printf.eprintf "FAIL: refine speedup %.2fx < 2x over the naive reference\n"
+      refine_speedup;
+    exit 1
+  end;
+  Printf.printf "refine speedup vs reference: %.2fx%s\n" refine_speedup
+    (if !smoke then " (gate skipped in smoke mode)" else " (>= 2x gate passed)")

@@ -474,12 +474,82 @@ let instance_cmd =
     (Cmd.info "instance" ~doc:"Print a generated instance's parameters.")
     term
 
+(* --- refine ------------------------------------------------------------ *)
+
+let refine_cmd =
+  let max_iter_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "max-iter" ] ~docv:"N" ~doc:"Fixed-point iteration cap.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-10
+      & info [ "tol" ] ~docv:"EPS"
+          ~doc:"Relative makespan-change convergence tolerance.")
+  in
+  let reference_arg =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:"Also run the kept pre-overhaul implementation and report \
+                both (sanity check: the two agree to the fixed point's \
+                tolerance).")
+  in
+  let run seed dataset napps procs cs file max_iter tol reference =
+    let _rng, platform, apps =
+      make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
+    in
+    let subset = Online.Incremental.cold_partition ~platform apps in
+    let x0 = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+    let k0 = Sched.Equalize.solve_makespan ~platform ~apps x0 in
+    let iters = ref 0 in
+    let r = Sched.Refine.refine ~max_iter ~tol ~iters ~platform ~apps ~x0 () in
+    Format.printf
+      "base (Theorem 3 capped) makespan = %.6g@.refined makespan           \
+       \ = %.6g@.improvement                 = %.4g%%@.fixed-point \
+       iterations      = %d@.objective evaluations       = %d@."
+      k0 r.Sched.Refine.makespan
+      (100. *. r.Sched.Refine.improvement)
+      r.Sched.Refine.iterations !iters;
+    let table = Util.Table.create [ "name"; "x0"; "x_refined" ] in
+    Array.iteri
+      (fun i (app : Model.App.t) ->
+        Util.Table.add_row table
+          [
+            app.name;
+            Printf.sprintf "%.4g" x0.(i);
+            Printf.sprintf "%.4g" r.Sched.Refine.x.(i);
+          ])
+      apps;
+    Util.Table.print table;
+    if reference then begin
+      let rr = Sched.Refine.refine_reference ~max_iter ~tol ~platform ~apps ~x0 () in
+      Format.printf
+        "reference makespan          = %.6g (%d iterations; rel gap %.2g)@."
+        rr.Sched.Refine.makespan rr.Sched.Refine.iterations
+        (Float.abs (rr.Sched.Refine.makespan -. r.Sched.Refine.makespan)
+        /. rr.Sched.Refine.makespan)
+    end
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ file_arg $ max_iter_arg $ tol_arg $ reference_arg)
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Refine the Theorem 3 cache allocation with the speedup-aware \
+          gradient fixed point.")
+    term
+
 let main_cmd =
   let doc = "Co-scheduling algorithms for cache-partitioned systems" in
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
     [
       experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; online_cmd;
-      instance_cmd;
+      instance_cmd; refine_cmd;
     ]
 
 let () =

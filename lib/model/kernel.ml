@@ -1,0 +1,120 @@
+(* Per-application power-law kernels, precomputed once per instance.
+
+   Every solver evaluation funnels through [work_cost] (and, in the
+   refinement loop, [cost_derivative]); computed naively each call pays
+   one or two [( ** )] per application: [d_i = m0 (c0/cs)^alpha] is
+   re-derived from scratch and the miss rate needs [x^{-alpha}].  Here
+   [d_i], the Eq. (3) support threshold [d_i^{1/alpha}] and the useful
+   cap [min 1 (footprint/cs)] are computed once at [create], and the
+   last [x^{-alpha}] is memoized per application — a cost evaluation
+   followed by a derivative at the same point (the refinement's access
+   pattern) pays for the power once.
+
+   Entries are all-float records, so the memo updates store unboxed and
+   the kernel allocates nothing after [create].  Results agree with the
+   direct {!Exec_model} / {!Power_law} evaluations to a few ulps (the
+   factorisation [m0 (c0/c)^alpha = d_i x^{-alpha}] is exact in real
+   arithmetic, not in floats); the QCheck equivalence properties pin the
+   relative error below 1e-12. *)
+
+type entry = {
+  w : float;
+  f : float;
+  s : float;
+  d : float;            (* Power_law.d_of: miss rate at the full LLC *)
+  cap : float;          (* Power_law.max_useful_fraction *)
+  min_useful : float;   (* Power_law.min_useful_fraction: d^{1/alpha} *)
+  mutable memo_x : float;
+  mutable memo_pow : float;  (* memo_x ** (-alpha) *)
+}
+
+type t = {
+  alpha : float;
+  ls : float;
+  ll : float;
+  p : float;
+  entries : entry array;
+}
+
+let create ~(platform : Platform.t) apps =
+  let entries =
+    Array.map
+      (fun (app : App.t) ->
+        let d = Power_law.d_of ~app ~platform in
+        {
+          w = app.w;
+          f = app.f;
+          s = app.s;
+          d;
+          cap = Power_law.max_useful_fraction ~app ~platform;
+          min_useful = d ** (1. /. platform.alpha);
+          memo_x = Float.nan;
+          memo_pow = Float.nan;
+        })
+      apps
+  in
+  { alpha = platform.alpha; ls = platform.ls; ll = platform.ll;
+    p = platform.p; entries }
+
+let length t = Array.length t.entries
+let d t i = t.entries.(i).d
+let min_useful t i = t.entries.(i).min_useful
+let max_useful t i = t.entries.(i).cap
+let seq_fraction t i = t.entries.(i).s
+
+let miss_ratio t i x =
+  let e = Array.unsafe_get t.entries i in
+  if e.d = 0. then 0.
+  else begin
+    let xe = if x < e.cap then x else e.cap in
+    let pw =
+      if xe = e.memo_x then e.memo_pow
+      else begin
+        let p = xe ** -.t.alpha in
+        e.memo_x <- xe;
+        e.memo_pow <- p;
+        p
+      end
+    in
+    let m = e.d *. pw in
+    if m > 1. then 1. else m
+  end
+
+let work_cost t i x =
+  let e = Array.unsafe_get t.entries i in
+  let miss =
+    if e.d = 0. then 0.
+    else begin
+      let xe = if x < e.cap then x else e.cap in
+      let pw =
+        if xe = e.memo_x then e.memo_pow
+        else begin
+          let p = xe ** -.t.alpha in
+          e.memo_x <- xe;
+          e.memo_pow <- p;
+          p
+        end
+      in
+      let m = e.d *. pw in
+      if m > 1. then 1. else m
+    end
+  in
+  e.w *. (1. +. (e.f *. (t.ls +. (t.ll *. miss))))
+
+let cost_derivative t i x =
+  let e = Array.unsafe_get t.entries i in
+  if x <= 0. || e.d = 0. then 0.
+  else begin
+    let pw =
+      if x = e.memo_x then e.memo_pow
+      else begin
+        let p = x ** -.t.alpha in
+        e.memo_x <- x;
+        e.memo_pow <- p;
+        p
+      end
+    in
+    (* Saturated at miss rate 1 (below the Eq. (3) threshold): flat. *)
+    if e.d *. pw >= 1. then 0.
+    else -.(t.alpha *. e.w *. e.f *. t.ll *. e.d *. (pw /. x))
+  end

@@ -1,0 +1,46 @@
+(** Precomputed, memoized power-law kernels for the solver hot path.
+
+    A solver run evaluates [work_cost] for every application at every
+    candidate allocation, and the refinement loop additionally needs the
+    derivative at the same point.  Evaluated through {!Exec_model} and
+    {!Power_law} each call re-derives [d_i = m0 (c0/cs)^alpha] and pays a
+    fresh [( ** )]; this module precomputes the per-application constants
+    once and memoizes the last [x^{-alpha}] per application, so a
+    cost-plus-derivative evaluation at one point costs a single power.
+
+    Values agree with the direct evaluations to a few ulps; the QCheck
+    equivalence properties bound the relative error by 1e-12.  The
+    structure allocates nothing after {!create} (entries are all-float
+    records, so memo updates store unboxed). *)
+
+type t
+
+val create : platform:Platform.t -> App.t array -> t
+(** Precompute [d_i], the support threshold [d_i^{1/alpha}] and the
+    useful-fraction cap for every application. *)
+
+val length : t -> int
+
+val d : t -> int -> float
+(** [Power_law.d_of], bit-identical (computed once at {!create}). *)
+
+val min_useful : t -> int -> float
+(** [Power_law.min_useful_fraction], bit-identical. *)
+
+val max_useful : t -> int -> float
+(** [Power_law.max_useful_fraction], bit-identical. *)
+
+val seq_fraction : t -> int -> float
+(** The application's Amdahl sequential fraction [s]. *)
+
+val miss_ratio : t -> int -> float -> float
+(** [miss_ratio t i x]: {!Exec_model.miss_ratio} up to rounding. *)
+
+val work_cost : t -> int -> float -> float
+(** [work_cost t i x]: {!Exec_model.work_cost} up to rounding. *)
+
+val cost_derivative : t -> int -> float -> float
+(** [dc_i/dx] in the unsaturated power-law regime, 0 at or below the
+    Eq. (3) threshold — the refinement's gradient kernel.  Reuses the
+    memoized [x^{-alpha}] from a preceding [work_cost] at the same
+    point. *)

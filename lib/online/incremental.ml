@@ -10,90 +10,167 @@ type t = {
   mutable prev_k : float option;
   mutable prev_boundary : int;
   counters : counters;
+  ws : Sched.Workspace.t;
+  (* Persistent warm-partition state: unboxed parallel arrays indexed by
+     application position, plus the ratio-sorted permutation carried
+     from the previous event.  Capacities grow amortised and never
+     shrink; [pn] is the instance size at the last warm solve (0 when
+     the state is cold). *)
+  mutable pn : int;
+  mutable ratio : float array;
+  mutable weight : float array;
+  mutable order : int array;
+  mutable suffix : float array;
+  mutable mark : bool array;
 }
 
-let create () = { prev_k = None; prev_boundary = 0; counters = fresh_counters () }
+let create () =
+  {
+    prev_k = None;
+    prev_boundary = 0;
+    counters = fresh_counters ();
+    ws = Sched.Workspace.create ();
+    pn = 0;
+    ratio = [||];
+    weight = [||];
+    order = [||];
+    suffix = [||];
+    mark = [||];
+  }
+
 let counters t = t.counters
 
 let invalidate t =
   t.prev_k <- None;
-  t.prev_boundary <- 0
+  t.prev_boundary <- 0;
+  t.pn <- 0
 
 (* --- cold baseline: Algorithm 1 / MinRatio, with counted work ---------- *)
 
+(* MinRatio consumes no randomness; the builder's [rng] parameter is
+   satisfied by a shared dummy stream that is never advanced. *)
+let dummy_rng = lazy (Util.Rng.create 0)
+
 let cold_partition ?counters ~platform apps =
-  let tick n = match counters with Some c -> c.partition_ops <- c.partition_ops + n | None -> () in
-  let n = Array.length apps in
-  let subset = Array.make n true in
-  let ratio = Array.map (fun app -> Theory.Dominant.ratio ~platform app) apps in
-  let weight = Array.map (fun app -> Theory.Dominant.weight ~platform app) apps in
-  (* Mirrors Partition_builder.build Dominant MinRatio: each loop
-     iteration re-derives the weight sum (m ops), checks dominance over
-     the members (m ops), and scans for the minimum ratio (m ops), so the
-     counted cost is the real eviction loop's. *)
-  let rec loop () =
-    let members = Theory.Dominant.indices subset in
-    let m = List.length members in
-    if m = 0 then ()
-    else begin
-      let total = List.fold_left (fun acc i -> acc +. weight.(i)) 0. members in
-      tick m;
-      let dominant = List.for_all (fun i -> ratio.(i) > total) members in
-      tick m;
-      if not dominant then begin
-        let evict =
-          List.fold_left
-            (fun best i -> if ratio.(i) < ratio.(best) then i else best)
-            (List.hd members) (List.tl members)
-        in
-        tick m;
-        subset.(evict) <- false;
-        loop ()
-      end
-    end
+  let ops =
+    match counters with
+    | Some c -> Some (fun m -> c.partition_ops <- c.partition_ops + m)
+    | None -> None
   in
-  loop ();
-  subset
+  Sched.Partition_builder.build ?ops Sched.Partition_builder.Dominant
+    Sched.Choice.MinRatio ~rng:(Lazy.force dummy_rng) ~platform ~apps
 
 (* --- warm path: maximal dominant suffix in ratio order ----------------- *)
+
+let ensure_capacity t n =
+  if Array.length t.ratio < n then begin
+    let cap = max n ((2 * Array.length t.ratio) + 8) in
+    t.ratio <- Array.make cap 0.;
+    t.weight <- Array.make cap 0.;
+    t.order <- Array.make cap 0;
+    t.suffix <- Array.make (cap + 1) 0.;
+    t.mark <- Array.make cap false;
+    t.pn <- 0 (* the old permutation did not survive the regrowth *)
+  end
 
 let warm_partition t ~platform ~apps =
   let c = t.counters in
   let n = Array.length apps in
-  let entries =
-    Array.init n (fun i ->
-        (Theory.Dominant.ratio ~platform apps.(i),
-         Theory.Dominant.weight ~platform apps.(i),
-         i))
-  in
+  ensure_capacity t n;
+  let ratio = t.ratio and weightv = t.weight and order = t.order in
+  let alpha = platform.Model.Platform.alpha in
+  (* Per-application ratio and weight, exactly Theory.Dominant's
+     arithmetic but deriving [d] once instead of once per quantity. *)
+  for i = 0 to n - 1 do
+    let app = apps.(i) in
+    let d = Model.Power_law.d_of ~app ~platform in
+    let w = (app.Model.App.w *. app.Model.App.f *. d) ** (1. /. (alpha +. 1.)) in
+    let r =
+      if d = 0. then if w > 0. then infinity else 0.
+      else w /. (d ** (1. /. alpha))
+    in
+    weightv.(i) <- w;
+    ratio.(i) <- r
+  done;
   c.partition_ops <- c.partition_ops + (2 * n);
-  Array.sort
-    (fun (r1, _, i1) (r2, _, i2) ->
-      match Float.compare r1 r2 with 0 -> Int.compare i1 i2 | cmp -> cmp)
-    entries;
-  (* suffix.(k) = sum of weights of entries k..n-1 *)
-  let suffix = Array.make (n + 1) 0. in
+  (* Repair the carried permutation into a permutation of 0..n-1: after
+     an arrival the new position is appended, after a departure the
+     stale positions are dropped and the survivors keep their relative
+     order.  (Positions shift across a mid-array removal, so the seed
+     can be imperfect for one event; the sort below restores exactness
+     regardless — the seed only buys adaptivity.) *)
+  if t.pn <> n then begin
+    let mark = t.mark in
+    let j = ref 0 in
+    for k = 0 to t.pn - 1 do
+      let v = order.(k) in
+      if v < n && not mark.(v) then begin
+        order.(!j) <- v;
+        (* writes trail reads: [!j <= k] always *)
+        mark.(v) <- true;
+        incr j
+      end
+    done;
+    for v = 0 to n - 1 do
+      if not mark.(v) then begin
+        order.(!j) <- v;
+        incr j
+      end
+    done;
+    for v = 0 to n - 1 do
+      mark.(v) <- false
+    done;
+    t.pn <- n
+  end;
+  (* Adaptive insertion sort by (ratio, index) — the total order used by
+     the cold eviction loop's MinRatio ties.  Consecutive events disturb
+     the order by progress-driven drift and single arrivals/departures,
+     so the carried permutation is nearly sorted and this pass is O(n +
+     inversions), versus the full sort-from-scratch (with boxed tuple
+     entries) the previous implementation paid per event. *)
+  for k = 1 to n - 1 do
+    let v = order.(k) in
+    let rv = ratio.(v) in
+    let j = ref (k - 1) in
+    let continue_ = ref true in
+    while !continue_ && !j >= 0 do
+      let u = order.(!j) in
+      let ru = ratio.(u) in
+      if ru > rv || (ru = rv && u > v) then begin
+        order.(!j + 1) <- u;
+        decr j
+      end
+      else continue_ := false
+    done;
+    order.(!j + 1) <- v
+  done;
+  (* suffix.(k) = sum of weights of sorted entries k..n-1 *)
+  let suffix = t.suffix in
+  suffix.(n) <- 0.;
   for k = n - 1 downto 0 do
-    let _, w, _ = entries.(k) in
-    suffix.(k) <- suffix.(k + 1) +. w
+    suffix.(k) <- suffix.(k + 1) +. weightv.(order.(k))
   done;
   c.partition_ops <- c.partition_ops + n;
   (* The suffix starting at k is dominant iff its minimum-ratio member —
-     entries.(k) itself — beats the suffix weight sum; r_k - S_k is
-     nondecreasing in k, so the feasible starts form a suffix of
-     positions and the boundary can be walked from its previous value. *)
+     the sorted entry at k itself — beats the suffix weight sum;
+     [ratio - suffix sum] is nondecreasing in k, so the feasible starts
+     form a suffix of positions and the boundary can be walked from its
+     previous value. *)
   let dominant_at k =
     c.partition_ops <- c.partition_ops + 1;
-    k >= n || (let r, _, _ = entries.(k) in r > suffix.(k))
+    k >= n || ratio.(order.(k)) > suffix.(k)
   in
   let b = ref (min (max t.prev_boundary 0) n) in
-  while !b > 0 && dominant_at (!b - 1) do decr b done;
-  while not (dominant_at !b) do incr b done;
+  while !b > 0 && dominant_at (!b - 1) do
+    decr b
+  done;
+  while not (dominant_at !b) do
+    incr b
+  done;
   t.prev_boundary <- !b;
   let subset = Array.make n false in
   for k = !b to n - 1 do
-    let _, _, i = entries.(k) in
-    subset.(i) <- true
+    subset.(order.(k)) <- true
   done;
   subset
 
@@ -115,14 +192,23 @@ let solve t ~mode ~elapsed ~platform ~apps =
     | Warm -> warm_partition t ~platform ~apps
     | Cold -> cold_partition ~counters:t.counters ~platform apps
   in
-  let x = Theory.Dominant.cache_allocation_capped ~platform ~apps subset in
+  let weights =
+    (* The warm path just derived every weight into its persistent
+       buffer; let the capped water-filling reuse them. *)
+    match mode with Warm -> Some t.weight | Cold -> None
+  in
+  let x =
+    Theory.Dominant.cache_allocation_capped ?weights ~platform ~apps subset
+  in
   let warm =
     match (mode, t.prev_k) with
     | Warm, Some k when k -. elapsed > 0. -> Some (k -. elapsed)
     | _ -> None
   in
   let iters = ref 0 in
-  let schedule, k = Sched.Equalize.schedule_k ?warm ~iters ~platform ~apps x in
+  let schedule, k =
+    Sched.Equalize.schedule_k ?warm ~iters ~ws:t.ws ~platform ~apps x
+  in
   t.counters.solver_iters <- t.counters.solver_iters + !iters;
   t.prev_k <- Some k;
   { schedule; k; subset }

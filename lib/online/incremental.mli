@@ -17,6 +17,15 @@
       [O(n log n)] against the cold rebuild's [O(n^2)] eviction loop, and
       provably the same subset (ties broken by index in both).
 
+      The sort itself is warm too: ratios, weights, the sorted
+      permutation and the suffix weight sums persist in {!t} as unboxed
+      parallel arrays, updated in place per event.  Consecutive events
+      leave the permutation nearly sorted (progress drifts ratios
+      smoothly; an arrival or departure perturbs one position), so an
+      adaptive insertion sort runs in [O(n + inversions)] with zero
+      allocation, where the previous implementation rebuilt and
+      [Array.sort]ed a boxed entry array on every event.
+
     - {b Makespan.}  The previous [K], aged by the time elapsed since the
       last solve, seeds a tight bisection bracket
       ({!Sched.Equalize.solve_makespan} with [~warm]) in place of the
@@ -39,22 +48,25 @@ type counters = {
 val fresh_counters : unit -> counters
 
 type t
-(** Warm state: the previous makespan and suffix-boundary position, plus
-    the {!counters}. *)
+(** Warm state: the previous makespan and suffix-boundary position, the
+    persistent partition arrays (ratios, weights, sorted permutation,
+    suffix sums), a solver {!Sched.Workspace.t}, and the {!counters}. *)
 
 val create : unit -> t
 val counters : t -> counters
 
 val invalidate : t -> unit
-(** Forget the warm state (the next solve runs cold), keeping counters. *)
+(** Forget the warm state — the next solve runs cold and the carried
+    permutation is rebuilt from identity — keeping counters. *)
 
 val cold_partition :
   ?counters:counters -> platform:Model.Platform.t ->
   Model.App.t array -> Theory.Dominant.subset
-(** The cold baseline: a counted replica of
-    [Partition_builder.build Dominant MinRatio] (same eviction order,
-    same ties, no randomness consumed).  Property-tested equal to the
-    library implementation. *)
+(** The cold baseline: [Partition_builder.build Dominant MinRatio]
+    itself, with the builder's [?ops] hook wired into [partition_ops] —
+    the accounting is the real eviction loop's, not a replica's.
+    (MinRatio consumes no randomness, so the required rng is a shared
+    dummy.) *)
 
 val warm_partition :
   t -> platform:Model.Platform.t -> apps:Model.App.t array ->

@@ -5,43 +5,186 @@ let work_costs ~platform ~apps ~x =
     (fun app xi -> Model.Exec_model.work_cost ~app ~platform ~x:xi)
     apps x
 
-let total_procs_at ~apps ~costs k =
-  let acc = ref 0. in
-  Array.iteri
-    (fun i (app : Model.App.t) ->
-      let denom = (k /. costs.(i)) -. app.s in
-      acc := !acc +. (if denom <= 0. then infinity else (1. -. app.s) /. denom))
-    apps;
-  !acc
+(* --- allocation-free makespan root-finder ------------------------------- *)
 
-let solve_makespan ?(tol = 1e-13) ?warm ?iters ~platform ~apps x =
-  if Array.length apps = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
-  let costs = work_costs ~platform ~apps ~x in
+(* Mutable bisection state.  All fields are floats, so the record is a
+   flat float block: every store below writes unboxed, and one solve
+   allocates exactly this block (plus the [eval] closure) up front —
+   zero minor-heap words per objective evaluation, which is what the
+   bench/micro harness asserts.  The logic replicates the generic
+   [Util.Solver.bisect]/[bisect_seeded]/[expand_bracket_up] composition
+   the solver used previously, with the processor-demand objective
+   inlined and endpoint values carried instead of re-evaluated; the root
+   is bit-identical (property-tested), only the evaluation count
+   shrinks. *)
+type state = {
+  mutable k : float;    (* probe point *)
+  mutable fk : float;   (* excess at [k] *)
+  mutable lo : float;
+  mutable flo : float;
+  mutable hi : float;
+  mutable acc : float;  (* demand accumulator / running max *)
+}
+
+(* Solve [sum_i (1-s_i)/(K/c_i - s_i) = p] for [K] given precomputed
+   work costs.  [costs] may be a workspace buffer with capacity beyond
+   [n]; only the first [n] entries are read. *)
+let solve_with_costs ?(tol = 1e-13) ?warm ?iters ~platform
+    ~(apps : Model.App.t array) ~costs ~n () =
+  if n = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
   let p = platform.Model.Platform.p in
-  let excess k =
-    (match iters with Some r -> incr r | None -> ());
-    total_procs_at ~apps ~costs k -. p
+  let count = match iters with Some r -> r | None -> ref 0 in
+  let st = { k = 0.; fk = 0.; lo = 0.; flo = 0.; hi = 0.; acc = 0. } in
+  (* Excess processor demand at [st.k], into [st.fk]. *)
+  let eval () =
+    incr count;
+    st.acc <- 0.;
+    for i = 0 to n - 1 do
+      let s = (Array.unsafe_get apps i).Model.App.s in
+      let denom = (st.k /. Array.unsafe_get costs i) -. s in
+      st.acc <- st.acc +. (if denom <= 0. then infinity else (1. -. s) /. denom)
+    done;
+    st.fk <- st.acc -. p;
+    if Float.is_nan st.fk then
+      raise (Util.Solver.Non_finite { fn = "equalize"; x = st.k })
+  in
+  (* [Util.Solver.bisect] on a bracket whose endpoint values are already
+     known (and nonzero, of opposite signs). *)
+  let bisect lo hi flo =
+    st.lo <- lo;
+    st.hi <- hi;
+    st.flo <- flo;
+    let it = ref 200 in
+    let continue_ = ref true in
+    while !continue_ do
+      let mid = 0.5 *. (st.lo +. st.hi) in
+      if st.hi -. st.lo <= tol *. (1.0 +. abs_float mid) || !it = 0 then begin
+        st.k <- mid;
+        continue_ := false
+      end
+      else begin
+        st.k <- mid;
+        eval ();
+        if st.fk = 0.0 then continue_ := false (* st.k = mid already *)
+        else begin
+          if st.flo *. st.fk < 0.0 then st.hi <- mid
+          else begin
+            st.lo <- mid;
+            st.flo <- st.fk
+          end;
+          decr it
+        end
+      end
+    done;
+    st.k
   in
   (* Lower bound: every application enjoys all p processors. *)
-  let k_lo =
-    Array.fold_left Float.max neg_infinity
-      (Array.map2
-         (fun (app : Model.App.t) c -> (app.s +. ((1. -. app.s) /. p)) *. c)
-         apps costs)
-  in
-  if excess k_lo <= 0. then k_lo
-  else
+  st.acc <- neg_infinity;
+  for i = 0 to n - 1 do
+    let s = (Array.unsafe_get apps i).Model.App.s in
+    let v = (s +. ((1. -. s) /. p)) *. Array.unsafe_get costs i in
+    if v > st.acc then st.acc <- v
+  done;
+  let k_lo = st.acc in
+  st.k <- k_lo;
+  eval ();
+  if st.fk <= 0. then k_lo
+  else begin
+    let f_klo = st.fk in
     match warm with
     | Some k0 when Float.is_finite k0 && k0 > k_lo ->
       (* A previous makespan brackets the new root tightly: the online
          service re-solves after small perturbations (one arrival, a
-         little progress), so the root moved by a few percent at most. *)
-      Util.Solver.bisect_seeded ~tol ~f:excess ~floor:k_lo k0
+         little progress), so the root moved by a few percent at most.
+         [Util.Solver.bisect_seeded] with grow = 1.25, floor = k_lo. *)
+      st.k <- k0;
+      eval ();
+      let fseed = st.fk in
+      if fseed = 0. then k0
+      else if fseed > 0. then begin
+        (* Root above the seed: grow an upper bracket geometrically. *)
+        st.k <- k0 *. 1.25;
+        eval ();
+        let it = ref 128 in
+        while st.fk > 0. && !it > 0 do
+          st.k <- st.k *. 1.25;
+          decr it;
+          eval ()
+        done;
+        if st.fk > 0. then
+          raise (Util.Solver.No_bracket "expand_bracket_up: no sign change");
+        if st.fk = 0. then st.k else bisect k0 st.k fseed
+      end
+      else begin
+        (* Root below the seed: shrink a lower bracket, never past the
+           floor, where f(k_lo) > 0 is already known. *)
+        st.lo <- Float.max k_lo (k0 /. 1.25);
+        st.flo <- f_klo;
+        let it = ref 128 in
+        let searching = ref true in
+        while !searching do
+          if st.lo <= k_lo then begin
+            st.lo <- k_lo;
+            st.flo <- f_klo;
+            searching := false
+          end
+          else begin
+            st.k <- st.lo;
+            eval ();
+            if st.fk >= 0. then begin
+              st.flo <- st.fk;
+              searching := false
+            end
+            else if !it = 0 then begin
+              st.lo <- k_lo;
+              st.flo <- f_klo;
+              searching := false
+            end
+            else begin
+              decr it;
+              st.lo <- Float.max k_lo (st.lo /. 1.25)
+            end
+          end
+        done;
+        if st.flo = 0. then st.lo else bisect st.lo k0 st.flo
+      end
     | _ ->
-      (* Cold: one processor each suffices when n <= p; otherwise grow. *)
-      let k_hi0 = Array.fold_left Float.max neg_infinity costs in
-      let k_hi = Util.Solver.expand_bracket_up ~f:excess (Float.max k_hi0 k_lo) in
-      Util.Solver.bisect ~tol ~f:excess k_lo k_hi
+      (* Cold: one processor each suffices when n <= p; otherwise grow
+         the bracket ([Util.Solver.expand_bracket_up], grow = 2). *)
+      st.acc <- neg_infinity;
+      for i = 0 to n - 1 do
+        let c = Array.unsafe_get costs i in
+        if c > st.acc then st.acc <- c
+      done;
+      st.k <- (if st.acc > k_lo then st.acc else k_lo);
+      eval ();
+      let it = ref 128 in
+      while st.fk > 0. && !it > 0 do
+        st.k <- st.k *. 2.0;
+        decr it;
+        eval ()
+      done;
+      if st.fk > 0. then
+        raise (Util.Solver.No_bracket "expand_bracket_up: no sign change");
+      if st.fk = 0. then st.k else bisect k_lo st.k f_klo
+  end
+
+let fill_costs ~platform ~apps ~x ~costs ~n =
+  for i = 0 to n - 1 do
+    costs.(i) <-
+      Model.Exec_model.work_cost ~app:apps.(i) ~platform ~x:x.(i)
+  done
+
+let solve_makespan ?tol ?warm ?iters ?ws ~platform ~apps x =
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
+  if Array.length x <> n then
+    invalid_arg "Equalize: apps and cache fractions must have the same length";
+  let costs =
+    match ws with Some w -> Workspace.costs w n | None -> Array.make n 0.
+  in
+  fill_costs ~platform ~apps ~x ~costs ~n;
+  solve_with_costs ?tol ?warm ?iters ~platform ~apps ~costs ~n ()
 
 let procs_at ~platform ~apps ~x ~k =
   let costs = work_costs ~platform ~apps ~x in
@@ -51,15 +194,33 @@ let procs_at ~platform ~apps ~x ~k =
       if denom <= 0. then infinity else (1. -. app.s) /. denom)
     apps costs
 
-let schedule_k ?tol ?warm ?iters ~platform ~apps x =
-  let k = solve_makespan ?tol ?warm ?iters ~platform ~apps x in
-  let procs = procs_at ~platform ~apps ~x ~k in
-  let total = Util.Floatx.sum (Array.to_list procs) in
+let schedule_k ?tol ?warm ?iters ?ws ~platform ~apps x =
+  let n = Array.length apps in
+  let k = solve_makespan ?tol ?warm ?iters ?ws ~platform ~apps x in
+  let costs =
+    (* [solve_makespan] left this exact buffer filled when a workspace
+       was supplied; recompute only on the fresh-allocation path. *)
+    match ws with
+    | Some w -> Workspace.costs w n
+    | None ->
+      let c = Array.make n 0. in
+      fill_costs ~platform ~apps ~x ~costs:c ~n;
+      c
+  in
+  let procs =
+    match ws with Some w -> Workspace.procs w n | None -> Array.make n 0.
+  in
+  for i = 0 to n - 1 do
+    let app = apps.(i) in
+    let denom = (k /. costs.(i)) -. app.Model.App.s in
+    procs.(i) <-
+      (if denom <= 0. then infinity else (1. -. app.Model.App.s) /. denom)
+  done;
+  let total = Util.Floatx.sum_array ~n procs in
   let factor = platform.Model.Platform.p /. total in
   let allocs =
-    Array.map2
-      (fun p xi -> { Model.Schedule.procs = p *. factor; cache = xi })
-      procs x
+    Array.init n (fun i ->
+        { Model.Schedule.procs = procs.(i) *. factor; cache = x.(i) })
   in
   (Model.Schedule.make ~platform ~apps ~allocs, k)
 

@@ -20,11 +20,18 @@ val work_costs :
     @raise Invalid_argument on length mismatch. *)
 
 val solve_makespan :
-  ?tol:float -> ?warm:float -> ?iters:int ref ->
+  ?tol:float -> ?warm:float -> ?iters:int ref -> ?ws:Workspace.t ->
   platform:Model.Platform.t -> apps:Model.App.t array ->
   float array -> float
 (** The common completion time [K].  [tol] is the relative bisection
     tolerance (default 1e-13).
+
+    [ws], when given, supplies the work-cost buffer from a reusable
+    {!Workspace} instead of a fresh allocation; the root-finder itself
+    is allocation-free (an all-float state record and the demand loop
+    inlined), so with a workspace repeated solves allocate nothing per
+    objective evaluation.  The result is bit-identical with and without
+    [ws].
 
     [warm] is an optional previous makespan used as a bracket seed: the
     root is bisected inside a tight geometric bracket grown around it
@@ -41,6 +48,17 @@ val solve_makespan :
 
     @raise Invalid_argument on an empty instance. *)
 
+val solve_with_costs :
+  ?tol:float -> ?warm:float -> ?iters:int ref ->
+  platform:Model.Platform.t -> apps:Model.App.t array ->
+  costs:float array -> n:int -> unit -> float
+(** The root-finder behind {!solve_makespan}, for callers that computed
+    the work costs [c_i] themselves (the refinement loop evaluates them
+    through a memoized {!Model.Kernel}; the micro-benchmarks isolate the
+    bisection).  Reads [costs.(0 .. n-1)] — the buffer may be larger —
+    and only the [s] field of each application.
+    @raise Invalid_argument if [n = 0]. *)
+
 val procs_at :
   platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
   k:float -> float array
@@ -55,9 +73,11 @@ val schedule :
     level, so completion times stay equal to within the same order). *)
 
 val schedule_k :
-  ?tol:float -> ?warm:float -> ?iters:int ref ->
+  ?tol:float -> ?warm:float -> ?iters:int ref -> ?ws:Workspace.t ->
   platform:Model.Platform.t -> apps:Model.App.t array ->
   float array -> Model.Schedule.t * float
 (** {!schedule} that also returns the solved makespan [K] — the warm seed
-    for the next incremental re-solve — and accepts the [warm]/[iters]
-    plumbing of {!solve_makespan}. *)
+    for the next incremental re-solve — and accepts the
+    [warm]/[iters]/[ws] plumbing of {!solve_makespan}.  With [ws] the
+    cost and processor-share intermediates live in workspace buffers;
+    only the returned schedule is allocated. *)

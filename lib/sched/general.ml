@@ -14,37 +14,46 @@ type result = {
   idle : float;
 }
 
-let solve_warm ?warm ?iters ~platform ~apps ~x () =
+let solve_warm ?warm ?iters ?ws ~platform ~apps ~x () =
   let n = Array.length apps in
   if n = 0 then invalid_arg "General.solve: empty instance";
   if Array.length x <> n then invalid_arg "General.solve: length mismatch";
   let p = platform.Model.Platform.p in
+  (* With a workspace the per-solve intermediates reuse its buffers
+     (floors borrows the gradient slot); results are bit-identical. *)
   let costs =
-    Array.map2
-      (fun { base; _ } xi -> Model.Exec_model.work_cost ~app:base ~platform ~x:xi)
-      apps x
+    match ws with Some w -> Workspace.costs w n | None -> Array.make n 0.
   in
+  for i = 0 to n - 1 do
+    costs.(i) <-
+      Model.Exec_model.work_cost ~app:apps.(i).base ~platform ~x:x.(i)
+  done;
   (* The smallest conceivable K: every application at its profile's best
      processor count. *)
   let floors =
-    Array.map2
-      (fun { profile; _ } c -> c *. Model.Speedup.min_factor profile ~cap:p)
-      apps costs
+    match ws with Some w -> Workspace.gradient w n | None -> Array.make n 0.
   in
-  let k_floor = Array.fold_left Float.max neg_infinity floors in
+  for i = 0 to n - 1 do
+    floors.(i) <- costs.(i) *. Model.Speedup.min_factor apps.(i).profile ~cap:p
+  done;
+  let k_floor = ref neg_infinity in
+  for i = 0 to n - 1 do
+    k_floor := Float.max !k_floor floors.(i)
+  done;
+  let k_floor = !k_floor in
   let demand k =
     (* Total processors needed to finish everything by K; applications
        whose floor exceeds K make it infinite (K infeasible). *)
     (match iters with Some r -> incr r | None -> ());
     let acc = ref 0. in
-    Array.iteri
-      (fun i { profile; _ } ->
-        match
-          Model.Speedup.procs_for_factor profile ~cap:p ~target:(k /. costs.(i))
-        with
-        | Some pi -> acc := !acc +. pi
-        | None -> acc := infinity)
-      apps;
+    for i = 0 to n - 1 do
+      match
+        Model.Speedup.procs_for_factor apps.(i).profile ~cap:p
+          ~target:(k /. costs.(i))
+      with
+      | Some pi -> acc := !acc +. pi
+      | None -> acc := infinity
+    done;
     !acc
   in
   let excess k = demand k -. p in
@@ -56,9 +65,12 @@ let solve_warm ?warm ?iters ~platform ~apps ~x () =
         Util.Solver.bisect_seeded ~tol:1e-13 ~f:excess ~floor:k_floor k0
       | _ ->
         (* demand is nonincreasing in K; grow an upper bound and bisect. *)
+        let c_max = ref neg_infinity in
+        for i = 0 to n - 1 do
+          c_max := Float.max !c_max costs.(i)
+        done;
         let hi =
-          Util.Solver.expand_bracket_up ~f:excess
-            (Float.max k_floor (Array.fold_left Float.max neg_infinity costs))
+          Util.Solver.expand_bracket_up ~f:excess (Float.max k_floor !c_max)
         in
         Util.Solver.bisect ~tol:1e-13 ~f:excess k_floor hi
   in
@@ -77,7 +89,7 @@ let solve_warm ?warm ?iters ~platform ~apps ~x () =
   (* If capacity remains, scaling monotone-profile apps up would only
      unbalance finish times; leave the surplus idle (meaningful only for
      Comm floors anyway). *)
-  let used = Util.Floatx.sum (Array.to_list (Array.map Fun.id procs)) in
+  let used = Util.Floatx.sum_array procs in
   let times =
     Array.init n (fun i ->
         Model.Speedup.time apps.(i).profile ~w:1. ~cost:costs.(i) ~p:procs.(i))

@@ -10,18 +10,35 @@ let strategy_of_string s =
   | "dominantrev" | "dominant-rev" -> DominantRev
   | other -> invalid_arg ("Partition_builder: unknown strategy " ^ other)
 
-(* Algorithm 1: evict from the full set until dominant. *)
-let build_dominant choice ~rng ~platform ~apps =
+(* Algorithm 1: evict from the full set until dominant.
+
+   [ops], when given, receives the per-iteration scan counts — [m] for
+   the weight-sum pass, [m] for the dominance check, [m] for the
+   eviction scan over the [m] current members — so callers that compare
+   algorithmic work against warm-started alternatives (the online
+   incremental solver) account for exactly the loop this function runs
+   rather than a hand-maintained replica that could drift. *)
+let build_dominant ?ops choice ~rng ~platform ~apps =
   let n = Array.length apps in
   let subset = Array.make n true in
+  let tick m = match ops with Some f -> f m | None -> () in
   let rec loop () =
-    if Theory.Dominant.cardinal subset = 0 then ()
-    else if Theory.Dominant.is_dominant ~platform ~apps subset then ()
+    let members = Theory.Dominant.indices subset in
+    let m = List.length members in
+    if m = 0 then ()
     else begin
-      let members = Theory.Dominant.indices subset in
-      let k = Choice.pick choice ~rng ~platform ~apps members in
-      subset.(k) <- false;
-      loop ()
+      tick m;
+      (* weight sum *)
+      tick m;
+      (* dominance check *)
+      if Theory.Dominant.is_dominant ~platform ~apps subset then ()
+      else begin
+        let k = Choice.pick choice ~rng ~platform ~apps members in
+        tick m;
+        (* eviction scan *)
+        subset.(k) <- false;
+        loop ()
+      end
     end
   in
   loop ();
@@ -49,7 +66,7 @@ let build_dominant_rev choice ~rng ~platform ~apps =
   loop ();
   accepted
 
-let build strategy choice ~rng ~platform ~apps =
+let build ?ops strategy choice ~rng ~platform ~apps =
   match strategy with
-  | Dominant -> build_dominant choice ~rng ~platform ~apps
+  | Dominant -> build_dominant ?ops choice ~rng ~platform ~apps
   | DominantRev -> build_dominant_rev choice ~rng ~platform ~apps

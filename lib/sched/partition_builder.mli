@@ -14,8 +14,16 @@ val strategy_of_string : string -> strategy
     @raise Invalid_argument otherwise. *)
 
 val build :
+  ?ops:(int -> unit) ->
   strategy -> Choice.t -> rng:Util.Rng.t -> platform:Model.Platform.t ->
   apps:Model.App.t array -> Theory.Dominant.subset
 (** Run the greedy algorithm; the result is always dominant (possibly the
     empty set, e.g. when even singletons violate dominance).  Consumes
-    randomness from [rng] only for the [Random] criterion. *)
+    randomness from [rng] only for the [Random] criterion.
+
+    [ops] (meaningful for [Dominant], Algorithm 1) is called with the
+    per-application scan counts of every eviction-loop iteration — one
+    [m]-wide pass each for the weight sum, the dominance check and the
+    eviction choice over the [m] surviving members.  The online
+    incremental solver counts its cold baseline through this hook, so
+    the accounting is the real loop's, not a replica's. *)

@@ -29,16 +29,44 @@ type result = {
 }
 
 val refine :
-  ?max_iter:int -> ?tol:float -> platform:Model.Platform.t ->
+  ?max_iter:int -> ?tol:float -> ?iters:int ref -> ?ws:Workspace.t ->
+  platform:Model.Platform.t ->
   apps:Model.App.t array -> x0:float array -> unit -> result
 (** Refine a starting allocation (typically Theorem 3's).  [max_iter]
     defaults to 200, [tol] (relative makespan change) to 1e-10.
+
+    The fixed point runs on the overhauled hot path: costs and
+    derivatives evaluate through a precomputed memoized
+    {!Model.Kernel}, the current iterate's makespan is carried forward
+    instead of re-solved at the top of every iteration (one full
+    {!Equalize.solve_makespan} saved per iteration versus
+    {!refine_reference}), and intermediates live in [ws] when given.
+    [iters], as in {!Equalize.solve_makespan}, counts every
+    processor-demand evaluation across all inner solves, so refinement
+    work is observable like the online solvers'.
     @raise Invalid_argument on an empty instance or length mismatch. *)
+
+val refine_reference :
+  ?max_iter:int -> ?tol:float -> platform:Model.Platform.t ->
+  apps:Model.App.t array -> x0:float array -> unit -> result
+(** The pre-overhaul implementation, kept verbatim as the measured naive
+    baseline (bench/micro reports {!refine}'s throughput against it in
+    the same run).  Same fixed point up to floating-point rounding: the
+    kernel factorisation used by {!refine} differs by ulps per cost, so
+    the two trajectories agree to the fixed point's tolerance, not
+    bit-for-bit. *)
 
 val schedule :
   ?max_iter:int -> ?tol:float -> platform:Model.Platform.t ->
   apps:Model.App.t array -> x0:float array -> unit -> Model.Schedule.t
 (** The refined allocation equalised into a full schedule. *)
+
+val cost_derivative :
+  platform:Model.Platform.t -> Model.App.t -> float -> float
+(** [dc_i/dx_i] in the unsaturated power-law regime; 0 at or below zero
+    cache and when the miss rate is pinned at 1.  The direct evaluation
+    {!Model.Kernel.cost_derivative} is property-tested against.  Exposed
+    for tests. *)
 
 val gradient :
   platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->

@@ -23,3 +23,20 @@ let sum l =
       total := t)
     l;
   !total
+
+(* All-float record: the accumulator and compensation live unboxed, so
+   the per-solve sums on the scheduler hot path allocate nothing beyond
+   this one block. *)
+type kahan = { mutable total : float; mutable comp : float }
+
+let sum_array ?n a =
+  let n = match n with Some n -> n | None -> Array.length a in
+  if n < 0 || n > Array.length a then invalid_arg "Floatx.sum_array: bad n";
+  let st = { total = 0.0; comp = 0.0 } in
+  for i = 0 to n - 1 do
+    let y = Array.unsafe_get a i -. st.comp in
+    let t = st.total +. y in
+    st.comp <- t -. st.total -. y;
+    st.total <- t
+  done;
+  st.total

@@ -22,3 +22,9 @@ val is_finite : float -> bool
 
 val sum : float list -> float
 (** Kahan-compensated summation, stable for long lists of mixed scale. *)
+
+val sum_array : ?n:int -> float array -> float
+(** {!sum} over the first [n] elements of an array (default: all) with no
+    intermediate list — the same compensation sequence as [sum
+    (Array.to_list a)], bit for bit, for use on per-solve hot paths.
+    @raise Invalid_argument if [n] is negative or exceeds the length. *)
