@@ -4,7 +4,8 @@
 
    Usage: main.exe [--trials N] [--seed S] [--jobs N] [--only ID[,ID...]]
                    [--on-failure abort|skip|retry] [--max-retries N]
-                   [--trial-timeout S] [--no-micro] [--no-figures]
+                   [--trial-timeout S] [--trace FILE]
+                   [--metrics text|prom|json] [--no-micro] [--no-figures]
                    [--no-online] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
@@ -20,12 +21,15 @@ let run_online = ref true
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
 let trial_timeout : float option ref = ref None
+let trace : string option ref = ref None
+let metrics : Obs.Report.format option ref = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
-     [--no-micro] [--no-figures] [--no-online] [--full]";
+     [--trace FILE] [--metrics text|prom|json] [--no-micro] [--no-figures] \
+     [--no-online] [--full]";
   exit 2
 
 let int_flag ~flag ~min v =
@@ -36,6 +40,16 @@ let int_flag ~flag ~min v =
     usage ()
   | None ->
     Printf.eprintf "main.exe: %s expects an integer, got %s\n" flag v;
+    usage ()
+
+let pos_float_flag ~flag v =
+  match float_of_string_opt v with
+  | Some f when f > 0. && Float.is_finite f -> f
+  | Some f ->
+    Printf.eprintf "main.exe: %s must be positive, got %g\n" flag f;
+    usage ()
+  | None ->
+    Printf.eprintf "main.exe: %s expects a number, got %s\n" flag v;
     usage ()
 
 let rec parse = function
@@ -63,7 +77,17 @@ let rec parse = function
     max_retries := int_flag ~flag:"--max-retries" ~min:0 v;
     parse rest
   | "--trial-timeout" :: v :: rest ->
-    trial_timeout := Some (float_of_string v);
+    trial_timeout := Some (pos_float_flag ~flag:"--trial-timeout" v);
+    parse rest
+  | "--trace" :: v :: rest ->
+    trace := Some v;
+    parse rest
+  | "--metrics" :: v :: rest ->
+    (match Obs.Report.format_of_string v with
+    | fmt -> metrics := Some fmt
+    | exception Invalid_argument m ->
+      Printf.eprintf "main.exe: --metrics: %s\n" m;
+      usage ());
     parse rest
   | "--no-micro" :: rest ->
     run_micro := false;
@@ -286,6 +310,10 @@ let () =
     "cosched benchmark harness: %d trials per point, seed %d\n\
      (paper settings: 256 processors, 32 GB LLC, ls=0.17, ll=1, alpha=0.5)\n\n"
     !trials !seed;
-  if !run_figures then figures config;
-  if !run_online then online ();
-  if !run_micro then micro ()
+  ignore (Obs.Report.configure ?trace:!trace ?metrics:!metrics () : bool);
+  Fun.protect
+    ~finally:(fun () -> Obs.Report.finish ?trace:!trace ?metrics:!metrics ())
+    (fun () ->
+      if !run_figures then figures config;
+      if !run_online then online ();
+      if !run_micro then micro ())

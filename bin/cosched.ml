@@ -40,6 +40,41 @@ let pos_float ~flag =
   in
   Arg.conv (parse, Format.pp_print_float)
 
+(* --- observability ----------------------------------------------------- *)
+
+(* Every subcommand accepts --trace and --metrics; both route through
+   Obs.Report so semantics match bench/main exactly: requesting either
+   enables probes for the run, and the outputs are produced at exit. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record tracing spans and write them to FILE as Chrome \
+           trace-event JSON (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  let parse s =
+    try Ok (Obs.Report.format_of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf f = Format.pp_print_string ppf (Obs.Report.format_name f) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print an end-of-run metrics report: $(b,text) (aligned table), \
+           $(b,prom) (Prometheus text exposition) or $(b,json).")
+
+(* Run a subcommand body under the requested observability outputs.  The
+   trace is validated and written (and the metrics report printed) even
+   when the body raises, so a failed run still leaves its evidence. *)
+let with_obs trace metrics f =
+  ignore (Obs.Report.configure ?trace ?metrics () : bool);
+  Fun.protect ~finally:(fun () -> Obs.Report.finish ?trace ?metrics ()) f
+
 let seed_arg =
   Arg.(value & opt int 2017 & info [ "seed" ] ~docv:"SEED" ~doc:"Master RNG seed.")
 
@@ -90,7 +125,7 @@ let max_retries_arg =
 let trial_timeout_arg =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (pos_float ~flag:"trial-timeout")) None
     & info [ "trial-timeout" ] ~docv:"SECONDS"
         ~doc:
           "Cooperative per-trial deadline: a trial still running after \
@@ -189,7 +224,8 @@ let experiment_cmd =
       (fun () -> output_string oc contents)
   in
   let run id trials seed jobs journal on_failure max_retries trial_timeout csv
-      out =
+      out trace metrics =
+    with_obs trace metrics @@ fun () ->
     let config =
       {
         Experiments.Runner.trials;
@@ -230,7 +266,7 @@ let experiment_cmd =
     Term.(
       const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ journal_arg
       $ on_failure_arg $ max_retries_arg $ trial_timeout_arg $ csv_arg
-      $ out_arg)
+      $ out_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper.")
@@ -239,7 +275,8 @@ let experiment_cmd =
 (* --- schedule --------------------------------------------------------- *)
 
 let schedule_cmd =
-  let run seed dataset napps procs cs policy file =
+  let run seed dataset napps procs cs policy file trace metrics =
+    with_obs trace metrics @@ fun () ->
     let rng, platform, apps =
       make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
     in
@@ -265,7 +302,7 @@ let schedule_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ policy_arg $ file_arg)
+      $ policy_arg $ file_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "schedule"
@@ -282,12 +319,19 @@ let cachesim_cmd =
       & info [ "kernel" ] ~docv:"NAME" ~doc:"Kernel: CG, BT, LU, SP, MG or FT.")
   in
   let scale_arg =
-    Arg.(value & opt int 2048 & info [ "scale" ] ~docv:"BLOCKS" ~doc:"Footprint scale.")
+    Arg.(
+      value
+      & opt (pos_int ~flag:"scale") 2048
+      & info [ "scale" ] ~docv:"BLOCKS" ~doc:"Footprint scale.")
   in
   let length_arg =
-    Arg.(value & opt int 200_000 & info [ "length" ] ~docv:"N" ~doc:"Trace length.")
+    Arg.(
+      value
+      & opt (pos_int ~flag:"length") 200_000
+      & info [ "length" ] ~docv:"N" ~doc:"Trace length.")
   in
-  let run seed kernel scale length =
+  let run seed kernel scale length trace metrics =
+    with_obs trace metrics @@ fun () ->
     let rng = Util.Rng.create seed in
     let cal = Cachesim.Kernels.calibrate_kernel ~rng ~scale ~length kernel in
     let table = Util.Table.create [ "capacity(blocks)"; "miss rate" ] in
@@ -302,7 +346,11 @@ let cachesim_cmd =
       fit.Util.Regress.m0 cal.Cachesim.Miss_curve.c0_blocks
       fit.Util.Regress.alpha fit.Util.Regress.r2
   in
-  let term = Term.(const run $ seed_arg $ kernel_arg $ scale_arg $ length_arg) in
+  let term =
+    Term.(
+      const run $ seed_arg $ kernel_arg $ scale_arg $ length_arg $ trace_arg
+      $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "cachesim"
        ~doc:"Calibrate a synthetic kernel's miss-rate power law.")
@@ -318,7 +366,8 @@ let validate_cmd =
           ~doc:"Work-conserving mode: survivors inherit freed processors and \
                 cache.")
   in
-  let run seed dataset napps procs cs policy redistribute file =
+  let run seed dataset napps procs cs policy redistribute file trace metrics =
+    with_obs trace metrics @@ fun () ->
     let rng, platform, apps =
       make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
     in
@@ -344,7 +393,7 @@ let validate_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ policy_arg $ redistribute_arg $ file_arg)
+      $ policy_arg $ redistribute_arg $ file_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "validate"
@@ -395,7 +444,9 @@ let online_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit metrics as one JSON object per policy.")
   in
-  let run seed dataset napps procs cs load policy cold check json =
+  let run seed dataset napps procs cs load policy cold check json trace metrics
+      =
+    with_obs trace metrics @@ fun () ->
     let rng = Util.Rng.create seed in
     let platform = platform_of ~procs ~cs in
     let stream =
@@ -426,7 +477,8 @@ let online_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ load_arg $ online_policy_arg $ cold_arg $ check_arg $ json_arg)
+      $ load_arg $ online_policy_arg $ cold_arg $ check_arg $ json_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "online"
@@ -444,7 +496,8 @@ let instance_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"CSV" ~doc:"Also write the instance to a CSV file.")
   in
-  let run seed dataset napps procs cs save =
+  let run seed dataset napps procs cs save trace metrics =
+    with_obs trace metrics @@ fun () ->
     let _, platform, apps = make_instance ~seed ~dataset ~napps ~procs ~cs () in
     (match save with
     | Some path -> Model.Instance_io.save path apps
@@ -468,7 +521,7 @@ let instance_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ save_arg)
+      $ save_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "instance" ~doc:"Print a generated instance's parameters.")
@@ -479,12 +532,14 @@ let instance_cmd =
 let refine_cmd =
   let max_iter_arg =
     Arg.(
-      value & opt int 200
+      value
+      & opt (pos_int ~flag:"max-iter") 200
       & info [ "max-iter" ] ~docv:"N" ~doc:"Fixed-point iteration cap.")
   in
   let tol_arg =
     Arg.(
-      value & opt float 1e-10
+      value
+      & opt (pos_float ~flag:"tol") 1e-10
       & info [ "tol" ] ~docv:"EPS"
           ~doc:"Relative makespan-change convergence tolerance.")
   in
@@ -496,7 +551,9 @@ let refine_cmd =
                 both (sanity check: the two agree to the fixed point's \
                 tolerance).")
   in
-  let run seed dataset napps procs cs file max_iter tol reference =
+  let run seed dataset napps procs cs file max_iter tol reference trace metrics
+      =
+    with_obs trace metrics @@ fun () ->
     let _rng, platform, apps =
       make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
     in
@@ -535,7 +592,8 @@ let refine_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ file_arg $ max_iter_arg $ tol_arg $ reference_arg)
+      $ file_arg $ max_iter_arg $ tol_arg $ reference_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "refine"

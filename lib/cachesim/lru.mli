@@ -18,8 +18,14 @@ val access : t -> int -> bool
     full. *)
 
 val hits : t -> int
+(** Accesses that found their block resident. *)
+
 val misses : t -> int
+(** Accesses that did not (and therefore inserted the block). *)
+
 val accesses : t -> int
+(** Total accesses, [hits + misses]. *)
+
 val occupancy : t -> int
 (** Blocks currently resident. *)
 

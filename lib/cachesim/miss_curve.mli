@@ -16,6 +16,9 @@ type curve = {
 }
 
 val of_trace : Trace.t -> capacities:int array -> curve
+(** Simulate the trace once with {!Mattson} and sample its miss rate at
+    each capacity (in blocks).  Cost is one pass over the trace, not one
+    per capacity. *)
 
 type calibration = {
   fit : Util.Regress.power_fit;   (** [m0] at [c0_blocks], exponent, R². *)

@@ -36,10 +36,19 @@ val access : t -> tenant:int -> int -> bool
     @raise Invalid_argument on an out-of-range tenant. *)
 
 val tenant_hits : t -> int -> int
+(** Hits recorded for the tenant since creation. *)
+
 val tenant_misses : t -> int -> int
+(** Misses recorded for the tenant since creation. *)
+
 val tenant_accesses : t -> int -> int
+(** Total accesses by the tenant, hits plus misses. *)
+
 val tenant_miss_rate : t -> int -> float
+(** Per-tenant [misses / accesses]; 0 before the tenant's first access. *)
+
 val tenant_ways : t -> int -> int
+(** Ways currently assigned to the tenant (0 if never assigned). *)
 
 val run_interleaved :
   t -> (int * Trace.t) array -> schedule:[ `Round_robin | `Concatenated ] -> unit

@@ -14,16 +14,27 @@ val create : sets:int -> ways:int -> t
     @raise Invalid_argument otherwise or on nonpositive arguments. *)
 
 val capacity : t -> int
+(** [sets * ways], in blocks. *)
+
 val access : t -> int -> bool
 (** [true] on hit.  On a hit or fill, the tree bits along the way's path
     are flipped to point away from it; on a miss the bits are followed to
     the victim. *)
 
 val hits : t -> int
+(** Accesses that found their block resident. *)
+
 val misses : t -> int
+(** Accesses that filled or evicted. *)
+
 val accesses : t -> int
+(** Total accesses, [hits + misses]. *)
+
 val miss_rate : t -> float
+(** [misses / accesses]; 0 before any access. *)
+
 val reset : t -> unit
+(** Empty every set and zero the counters. *)
 
 val run : sets:int -> ways:int -> Trace.t -> int
 (** Misses of a trace on a fresh cache. *)

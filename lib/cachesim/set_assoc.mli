@@ -12,14 +12,25 @@ val create : sets:int -> ways:int -> t
     Blocks map to set [block mod sets]. *)
 
 val capacity : t -> int
+(** [sets * ways], in blocks. *)
+
 val access : t -> int -> bool
 (** [true] on hit; misses insert and evict the set's LRU way. *)
 
 val hits : t -> int
+(** Accesses that found their block resident. *)
+
 val misses : t -> int
+(** Accesses that inserted (evicting when the set was full). *)
+
 val accesses : t -> int
+(** Total accesses, [hits + misses]. *)
+
 val miss_rate : t -> float
+(** [misses / accesses]; 0 before any access. *)
+
 val reset : t -> unit
+(** Empty every set and zero the counters. *)
 
 val run : sets:int -> ways:int -> Trace.t -> int
 (** Misses of a trace on a fresh cache. *)

@@ -34,8 +34,13 @@ val add : t -> string -> float array -> unit
     @raise Fault.Injected when an armed harness injects a store fault. *)
 
 val hits : t -> int
+(** [find] calls that returned an entry. *)
+
 val misses : t -> int
+(** [find] calls that returned [None]. *)
+
 val length : t -> int
+(** Entries currently in the table. *)
 
 val unreadable : t -> int
 (** Number of corrupt store lines skipped when this handle loaded the

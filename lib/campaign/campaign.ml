@@ -68,6 +68,14 @@ let backoff_delay ~state ~attempt =
   let jitter = Util.Rng.float (Util.Rng.create seed) 1.0 in
   Float.min 0.05 (1e-3 *. (2. ** float_of_int attempt) *. (0.5 +. jitter))
 
+let m_retried =
+  Obs.Metrics.counter ~help:"trial attempts retried after a failure"
+    "campaign.retried"
+
+let m_failed =
+  Obs.Metrics.counter ~help:"trials that exhausted their attempts"
+    "campaign.failed"
+
 let run ?(jobs = 1) ?cache ?journal ?on_trial ?(on_failure = `Abort)
     ?(max_retries = 2) ?trial_timeout ?fault ~key ~work rngs =
   let start = Unix.gettimeofday () in
@@ -141,12 +149,14 @@ let run ?(jobs = 1) ?cache ?journal ?on_trial ?(on_failure = `Abort)
       | Stdlib.Error (e, bt) ->
         if k + 1 < max_attempts then begin
           count retried;
+          if Obs.Probe.on () then Obs.Metrics.incr m_retried;
           Unix.sleepf
             (backoff_delay ~state:(Util.Rng.state rngs.(i)) ~attempt:k);
           attempt_from (k + 1)
         end
         else begin
           count failed;
+          if Obs.Probe.on () then Obs.Metrics.incr m_failed;
           Failed
             {
               attempts = k + 1;

@@ -11,22 +11,28 @@ type t
 (** Mutable accumulator. *)
 
 val create : unit -> t
+(** A fresh accumulator at the FNV-1a offset basis. *)
 
 val string : t -> string -> unit
 (** Length-prefixed, so consecutive fields cannot alias. *)
 
 val int : t -> int -> unit
+(** Hashed as 8 little-endian bytes. *)
+
 val int64 : t -> int64 -> unit
+(** Hashed as 8 little-endian bytes. *)
 
 val float : t -> float -> unit
 (** Hashes the IEEE-754 bit pattern ([-0.], [nan] payloads and all). *)
 
 val bool : t -> bool -> unit
+(** One byte, 0 or 1. *)
 
 val app : t -> Model.App.t -> unit
 (** All six model fields plus the name. *)
 
 val platform : t -> Model.Platform.t -> unit
+(** All platform fields (processor count, cache size, slowdown constants). *)
 
 val to_hex : t -> string
 (** 16-char lowercase hex of the current state. *)

@@ -10,6 +10,14 @@ type t = {
 
 let quarantine_path path = path ^ ".quarantine"
 
+let m_appends =
+  Obs.Metrics.counter ~help:"entries appended to the journal"
+    "journal.appends"
+
+let m_quarantined =
+  Obs.Metrics.counter ~help:"corrupt journal lines quarantined on load"
+    "journal.quarantined"
+
 let values_string values =
   String.concat ","
     (List.map (Printf.sprintf "%.17g") (Array.to_list values))
@@ -94,6 +102,8 @@ let create ~path =
             output_char oc '\n')
           bad)
   end;
+  if bad <> [] && Obs.Probe.on () then
+    Obs.Metrics.add m_quarantined (List.length bad);
   let by_key = Hashtbl.create 256 in
   List.iter (fun e -> Hashtbl.replace by_key e.key e.values) existing;
   {
@@ -134,7 +144,8 @@ let append t e =
       if not (Hashtbl.mem t.by_key e.key) then begin
         t.entries_rev <- e :: t.entries_rev;
         Hashtbl.replace t.by_key e.key e.values;
-        sync_locked t
+        sync_locked t;
+        if Obs.Probe.on () then Obs.Metrics.incr m_appends
       end)
 
 let lookup t key =

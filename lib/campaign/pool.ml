@@ -53,8 +53,32 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+let m_trials =
+  Obs.Metrics.counter ~help:"trials executed by the worker pool" "pool.trials"
+
+let m_trial_us =
+  Obs.Metrics.histogram ~help:"trial wall time, in microseconds"
+    "pool.trial_us"
+
+let m_errors =
+  Obs.Metrics.counter ~help:"trials that raised an exception"
+    "pool.trial_errors"
+
+(* Worker domains record spans under their own tid, so a traced campaign
+   shows one lane per pool worker in the Chrome trace viewer. *)
 let capture f x =
-  try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+  if not (Obs.Probe.on ()) then
+    try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+  else begin
+    let sp = Obs.Span.start "campaign.trial" in
+    let t0 = Obs.Clock.now_ns () in
+    let r = try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+    Obs.Metrics.observe m_trial_us (Obs.Clock.elapsed_us ~since:t0);
+    Obs.Metrics.incr m_trials;
+    (match r with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+    Obs.Span.stop sp;
+    r
+  end
 
 let map_outcomes t f a =
   let n = Array.length a in

@@ -36,9 +36,13 @@ val with_m0 : t -> float -> t
 (** Copy with a different baseline miss rate (miss-rate sweeps, Figs 2/18). *)
 
 val with_name : t -> string -> t
+(** Copy with a different display name. *)
 
 val perfectly_parallel : t -> bool
 (** [s = 0]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Pretty-print every field (name, [w], [s], [f], footprint, [m0], [c0]). *)
+
 val to_string : t -> string
+(** [pp] rendered to a string. *)

@@ -15,11 +15,22 @@ type row = {
 }
 
 val cg : row
+(** Conjugate gradient (Table 2, row CG). *)
+
 val bt : row
+(** Block tri-diagonal solver (Table 2, row BT). *)
+
 val lu : row
+(** Lower-upper Gauss–Seidel solver (Table 2, row LU). *)
+
 val sp : row
+(** Scalar penta-diagonal solver (Table 2, row SP). *)
+
 val mg : row
+(** Multi-grid on meshes (Table 2, row MG). *)
+
 val ft : row
+(** Discrete 3D FFT (Table 2, row FT). *)
 
 val all : row list
 (** The six rows of Table 2, in the paper's order: CG, BT, LU, SP, MG, FT. *)

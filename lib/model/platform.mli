@@ -27,8 +27,17 @@ val small_llc : t
 (** The Figure 2/18 variant: same but with a 1 GB LLC. *)
 
 val with_p : t -> float -> t
+(** Copy with a different processor count (Figure 4/5 sweeps).
+    Validates like {!make}. *)
+
 val with_cs : t -> float -> t
+(** Copy with a different cache size (Figure 2 sweep). *)
+
 val with_ls : t -> float -> t
+(** Copy with a different cache latency (Figure 8/15 sweeps). *)
+
 val with_alpha : t -> float -> t
+(** Copy with a different power-law exponent (Figure 3/19 sweeps). *)
 
 val pp : Format.formatter -> t -> unit
+(** Pretty-print every field. *)

@@ -32,6 +32,7 @@ val is_valid : ?eps:float -> t -> bool
 (** No violations. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+(** Human-readable rendering of one violation. *)
 
 val exe_times : t -> float array
 (** Per-application completion times [Exe_i(p_i, x_i)] (all applications
@@ -41,7 +42,10 @@ val makespan : t -> float
 (** [max_i Exe_i(p_i, x_i)]; [0] for an empty schedule. *)
 
 val total_procs : t -> float
+(** [sum p_i] over all applications. *)
+
 val total_cache : t -> float
+(** [sum x_i] over all applications. *)
 
 val equal_finish : ?eps:float -> t -> bool
 (** Whether all completion times coincide up to tolerance — Lemma 1's
@@ -53,3 +57,4 @@ val scale_procs_to_capacity : t -> t
     identity for an empty schedule or all-zero processors. *)
 
 val pp : Format.formatter -> t -> unit
+(** One line per application: allocation and completion time. *)

@@ -13,6 +13,8 @@
 type dataset = Npb6 | NpbSynth | Random
 
 val dataset_name : dataset -> string
+(** The paper's spelling: ["NPB-6"], ["NPB-SYNTH"], ["RANDOM"]. *)
+
 val dataset_of_string : string -> dataset
 (** Case-insensitive; accepts "npb6"/"npb-6", "npb-synth"/"npbsynth"/"synth",
     "random".  @raise Invalid_argument otherwise. *)

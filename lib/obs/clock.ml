@@ -1,0 +1,10 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "obs_clock_monotonic_ns" "obs_clock_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_us () = Int64.to_float (now_ns ()) /. 1e3
+
+let elapsed_us ~since =
+  let d = Int64.sub (now_ns ()) since in
+  (* Monotonic, so nonnegative up to clock quirks; clamp anyway. *)
+  Float.max 0. (Int64.to_float d /. 1e3)

@@ -1,0 +1,24 @@
+(** Monotonic time source for spans and latency metrics.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a C stub: the
+    reading never steps backwards (unlike [Unix.gettimeofday] under NTP
+    adjustment), so span durations and event latencies are always
+    nonnegative.  The origin is unspecified — readings are only
+    meaningful as differences within one process; the Chrome-trace
+    exporter rebases them against the first collected span.
+
+    The native-code entry point is [@@noalloc] with an unboxed [int64]
+    result: a clock read performs no OCaml allocation, which keeps
+    enabled probes cheap and disabled probes (which never call it)
+    exactly free. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary per-boot origin. *)
+
+val now_us : unit -> float
+(** {!now_ns} scaled to microseconds (the Chrome [trace_event] unit).
+    Exact below 2{^53} ns of uptime (~104 days), one-ulp rounding
+    beyond. *)
+
+val elapsed_us : since:int64 -> float
+(** Microseconds elapsed since an earlier {!now_ns} reading; >= 0. *)

@@ -1,0 +1,94 @@
+(** Process-global metrics registry: counters, gauges and log-scale
+    histograms, with text-table, Prometheus-exposition and JSON
+    exporters.
+
+    Instruments register once at module initialisation (registration is
+    idempotent by name and returns the existing instrument) and record
+    through the returned handle; recording is guarded by the caller with
+    {!Probe.on} so a disabled probe site costs one load-and-branch and
+    allocates nothing.  Handles are cheap mutable cells: {!incr} is an
+    atomic fetch-and-add, histogram observation takes the registry mutex
+    for a few bucket increments — safe from any domain.
+
+    Histograms are logarithmic: buckets at quarter-octave boundaries
+    [2^(i/4)], covering [[2^-16, 2^48]] with explicit underflow/overflow
+    buckets, so one histogram spans nanosecond latencies and
+    million-count iteration totals with <= 9% relative quantile error.
+    {!quantile} interpolates p50/p90/p99 from the bucket counts;
+    exact count, sum, min and max are tracked alongside. *)
+
+type counter
+(** A monotone integer count (solves, warm hits, retries). *)
+
+type gauge
+(** A last-value float (queue depth, live jobs). *)
+
+type histogram
+(** A log-scale distribution (latencies, iteration counts). *)
+
+val counter : ?help:string -> string -> counter
+(** Register (or fetch) the counter named [name].  Names are
+    dot-separated lowercase, e.g. ["equalize.solves"].
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val gauge : ?help:string -> string -> gauge
+(** Register (or fetch) a gauge.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val histogram : ?help:string -> string -> histogram
+(** Register (or fetch) a histogram.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val incr : counter -> unit
+(** Add 1.  Atomic; no allocation. *)
+
+val add : counter -> int -> unit
+(** Add [n] (may be any integer; negative additions are for tests).
+    Atomic; no allocation. *)
+
+val set : gauge -> float -> unit
+(** Record the instantaneous value. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample.  Nonpositive, NaN and infinite samples land in
+    the underflow/overflow buckets and are excluded from min/max. *)
+
+val count : counter -> int
+(** Current value. *)
+
+val value : gauge -> float
+(** Last value set (0 before the first {!set}). *)
+
+val hist_count : histogram -> int
+(** Samples observed. *)
+
+val hist_sum : histogram -> float
+(** Sum of finite positive samples. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [[0, 1]]: the geometric midpoint of the
+    bucket containing the [q]-th sample, clamped to the observed
+    [min]/[max]; 0 when the histogram is empty.
+    @raise Invalid_argument if [q] is outside [[0, 1]]. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument's value; registrations (and
+    handles) survive.  The CLI resets between repeated runs so each
+    report covers one run. *)
+
+val render_table : unit -> string
+(** Aligned text table, one instrument per row (histograms show count,
+    mean, p50/p90/p99, max), sorted by name.  Instruments with zero
+    activity are included — absence of traffic is signal too. *)
+
+val render_prometheus : unit -> string
+(** Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE]
+    comments, counters as [counter], gauges as [gauge], histograms as
+    [summary] with [quantile] labels plus [_sum]/[_count] series.
+    Metric names are prefixed [cosched_] with dots mapped to
+    underscores.  Parses with {!Trace_json.validate_prometheus}. *)
+
+val render_json : unit -> string
+(** One JSON object [{"counters":{...},"gauges":{...},
+    "histograms":{...}}]; histogram entries carry count/sum/min/max and
+    the three quantiles.  Parses with {!Trace_json.parse}. *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC never steps backwards across NTP adjustments, which
+   is what span durations need.  The native entry point is declared
+   [@@noalloc] with an unboxed int64 result, so an enabled probe's clock
+   read costs one syscall-free vDSO call and zero OCaml allocation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t obs_clock_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  return caml_copy_int64(obs_clock_monotonic_ns_unboxed(unit));
+}

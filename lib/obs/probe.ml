@@ -1,0 +1,13 @@
+let enabled = ref false
+
+let on () = !enabled
+let enable () = enabled := true
+let disable () = enabled := false
+
+let with_state v f =
+  let prev = !enabled in
+  enabled := v;
+  Fun.protect ~finally:(fun () -> enabled := prev) f
+
+let with_enabled f = with_state true f
+let with_disabled f = with_state false f

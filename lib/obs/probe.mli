@@ -1,0 +1,43 @@
+(** The master switch of the observability layer.
+
+    Instrumented hot paths ({!Sched.Equalize}'s bisection, the online
+    service's event loop, the campaign pool's trial dispatch) guard
+    every probe behind {!on}:
+
+    {[
+      if Obs.Probe.on () then Obs.Metrics.observe h latency
+    ]}
+
+    {!on} reads one mutable [bool] — no allocation, no clock read, no
+    registry lookup — so with probes disabled the instrumented code
+    differs from uninstrumented code by a single load-and-branch per
+    probe site.  [test/test_obs.ml] enforces the stronger contract the
+    solvers rely on: with probes disabled the instrumented bisection
+    allocates {e zero} minor-heap words per objective evaluation (the
+    same two-tolerance [Gc.minor_words] technique as [test_perf]) and
+    solver results are bit-identical whether probes are on or off.
+
+    The flag is process-global and not synchronised: flips are expected
+    at startup (CLI [--trace] / [--metrics]) or around a measured
+    region, not concurrently with a racing hot loop.  A worker domain
+    that reads a stale value for a few events records a few events less
+    — never corrupts state. *)
+
+val on : unit -> bool
+(** True when probes are enabled.  The hot-path guard; zero-allocation. *)
+
+val enable : unit -> unit
+(** Turn all probes on.  Spans start collecting and metrics start
+    recording from the next probe site onwards. *)
+
+val disable : unit -> unit
+(** Turn all probes off.  Already-collected spans and metric values are
+    kept (export remains possible); new events are dropped. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run a thunk with probes enabled, restoring the previous state
+    afterwards (also on exception). *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run a thunk with probes disabled, restoring the previous state
+    afterwards (also on exception). *)

@@ -1,0 +1,50 @@
+type format = Text | Prometheus | Json
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "text" | "table" -> Text
+  | "prom" | "prometheus" -> Prometheus
+  | "json" -> Json
+  | other ->
+    invalid_arg
+      (Printf.sprintf "metrics format %S (expected text, prom or json)" other)
+
+let format_name = function
+  | Text -> "text"
+  | Prometheus -> "prom"
+  | Json -> "json"
+
+let render = function
+  | Text -> Metrics.render_table ()
+  | Prometheus -> Metrics.render_prometheus ()
+  | Json -> Metrics.render_json ()
+
+let configure ?trace ?metrics () =
+  Span.reset ();
+  Metrics.reset ();
+  let wanted = trace <> None || metrics <> None in
+  if wanted then Probe.enable ();
+  wanted
+
+let finish ?trace ?metrics ?(out = print_string) () =
+  Span.stop_all ();
+  (match trace with
+  | None -> ()
+  | Some path ->
+    let events = Span.events () in
+    let text = Trace_json.to_chrome events in
+    let n = Trace_json.validate_chrome text in
+    Trace_json.write ~path text;
+    out
+      (Printf.sprintf "wrote %s (%d span%s%s, valid Chrome trace JSON)\n" path n
+         (if n = 1 then "" else "s")
+         (match Span.dropped () with
+         | 0 -> ""
+         | d -> Printf.sprintf ", %d dropped" d)));
+  match metrics with
+  | None -> ()
+  | Some fmt ->
+    let text = render fmt in
+    out text;
+    if String.length text > 0 && text.[String.length text - 1] <> '\n' then
+      out "\n"

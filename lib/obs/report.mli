@@ -1,0 +1,38 @@
+(** CLI-facing glue: flag parsing, probe setup and end-of-run output.
+
+    [bin/cosched] (every subcommand) and [bench/main] accept
+    [--trace FILE] and [--metrics text|prom|json]; both route through
+    this module so the semantics are identical everywhere: requesting
+    either output enables probes for the run ({!configure}), and at exit
+    the trace is validated then written atomically and the metrics
+    report is printed ({!finish}).  A trace that fails the bundled
+    {!Trace_json.validate_chrome} check aborts instead of writing a
+    corrupt file. *)
+
+type format = Text | Prometheus | Json
+(** Metrics output format: aligned table, Prometheus text exposition,
+    or one JSON object. *)
+
+val format_of_string : string -> format
+(** ["text"], ["prom"]/["prometheus"], ["json"] — case-insensitive.
+    @raise Invalid_argument naming the accepted spellings otherwise. *)
+
+val format_name : format -> string
+(** Canonical spelling: "text", "prom", "json". *)
+
+val render : format -> string
+(** Render the current {!Metrics} registry in the given format. *)
+
+val configure : ?trace:string -> ?metrics:format -> unit -> bool
+(** Reset spans and metric values, then enable probes iff a trace path
+    or a metrics format was requested.  Returns whether probes were
+    enabled — callers pass the same options to {!finish}. *)
+
+val finish :
+  ?trace:string -> ?metrics:format -> ?out:(string -> unit) -> unit -> unit
+(** End-of-run output: close all open spans; if [trace] was given,
+    validate the Chrome export and {!Trace_json.write} it to the path
+    (followed by a one-line [out] note with the span/drop counts); if
+    [metrics] was given, [out] the rendered report.  [out] defaults to
+    [print_string].  Probes are left in their current state.
+    @raise Failure if the emitted trace fails its own validity check. *)

@@ -1,0 +1,156 @@
+type t = int
+
+let null = -1
+let is_null t = t < 0
+
+type event = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+(* An open span lives on its domain's stack until stopped. *)
+type open_span = {
+  id : int;
+  oname : string;
+  start_ns : int64;
+  otid : int;
+  odepth : int;
+  mutable oargs : (string * string) list;
+}
+
+let capacity = 1_048_576
+
+(* One global collector: a mutex guards the id counter, the per-domain
+   stacks and the completed buffer.  Spans are started/stopped at event
+   granularity (solves, trials), not inner-loop granularity, so one lock
+   is not a contention concern — and probes-off costs nothing at all. *)
+let lock = Mutex.create ()
+let next_id = ref 0
+let stacks : (int, open_span list ref) Hashtbl.t = Hashtbl.create 8
+let completed : event list ref = ref []
+let n_completed = ref 0
+let dropped_count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stack_of tid =
+  match Hashtbl.find_opt stacks tid with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.add stacks tid s;
+    s
+
+let start ?(args = []) name =
+  if not (Probe.on ()) then null
+  else begin
+    let t0 = Clock.now_ns () in
+    let tid = (Domain.self () :> int) in
+    locked (fun () ->
+        let id = !next_id in
+        incr next_id;
+        let stack = stack_of tid in
+        stack :=
+          { id; oname = name; start_ns = t0; otid = tid;
+            odepth = List.length !stack; oargs = args }
+          :: !stack;
+        id)
+  end
+
+let add_attr t k v =
+  if t >= 0 then
+    locked (fun () ->
+        Hashtbl.iter
+          (fun _ stack ->
+            List.iter
+              (fun sp -> if sp.id = t then sp.oargs <- (k, v) :: sp.oargs)
+              !stack)
+          stacks)
+
+(* Append a finished span; must hold [lock]. *)
+let complete ~stop_ns sp =
+  if !n_completed >= capacity then incr dropped_count
+  else begin
+    let dur = Int64.to_float (Int64.sub stop_ns sp.start_ns) /. 1e3 in
+    completed :=
+      {
+        name = sp.oname;
+        ts_us = Int64.to_float sp.start_ns /. 1e3;
+        dur_us = Float.max 0. dur;
+        tid = sp.otid;
+        depth = sp.odepth;
+        args = sp.oargs;
+      }
+      :: !completed;
+    incr n_completed
+  end
+
+let stop t =
+  if t >= 0 then begin
+    let stop_ns = Clock.now_ns () in
+    let tid = (Domain.self () :> int) in
+    locked (fun () ->
+        match Hashtbl.find_opt stacks tid with
+        | None -> ()
+        | Some stack ->
+          if List.exists (fun sp -> sp.id = t) !stack then begin
+            (* Close the children above [t] first (they share the stop
+               time), so nesting stays well-formed whatever the caller
+               forgot. *)
+            let rec unwind = function
+              | [] -> []
+              | sp :: rest ->
+                complete ~stop_ns sp;
+                if sp.id = t then rest else unwind rest
+            in
+            stack := unwind !stack
+          end)
+  end
+
+let with_span ?args name f =
+  let sp = start ?args name in
+  Fun.protect ~finally:(fun () -> stop sp) f
+
+let stop_all () =
+  let stop_ns = Clock.now_ns () in
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ stack ->
+          List.iter (complete ~stop_ns) !stack;
+          stack := [])
+        stacks)
+
+let events () =
+  let evs = locked (fun () -> Array.of_list !completed) in
+  Array.sort
+    (fun a b ->
+      match Int.compare a.tid b.tid with
+      | 0 -> (
+        match Float.compare a.ts_us b.ts_us with
+        | 0 -> Int.compare a.depth b.depth
+        | c -> c)
+      | c -> c)
+    evs;
+  evs
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset stacks;
+      completed := [];
+      n_completed := 0;
+      dropped_count := 0)
+
+let open_depth () =
+  let tid = (Domain.self () :> int) in
+  locked (fun () ->
+      match Hashtbl.find_opt stacks tid with
+      | None -> 0
+      | Some s -> List.length !s)
+
+let dropped () = locked (fun () -> !dropped_count)

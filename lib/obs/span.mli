@@ -1,0 +1,84 @@
+(** Nestable tracing spans with a thread-safe in-memory collector.
+
+    A span brackets one unit of work — a makespan bisection, an online
+    event, a campaign trial — with monotonic {!Clock} timestamps and
+    optional string attributes.  Spans nest: each domain keeps a stack
+    of open spans, a span's [depth] is its position on that stack, and
+    {!stop} closes any still-open children first, so the collected
+    events are always properly nested per domain (two events of one
+    domain are either disjoint or contained — property-tested under
+    arbitrary start/stop interleavings in [test/test_obs.ml]).
+
+    With probes off ({!Probe.on} false), {!start} returns {!null}
+    without reading the clock or allocating, and {!stop} on {!null} is a
+    no-op — an instrumented region costs two load-and-branch
+    instructions.  With probes on, completed spans accumulate in a
+    mutex-guarded global buffer (safe across domains; [tid] is the
+    collecting domain's id) until exported — see
+    {!Trace_json.to_chrome} for the Chrome [trace_event] rendering —
+    or discarded with {!reset}.
+
+    The collector holds at most {!capacity} completed spans; beyond
+    that new spans are counted in {!dropped} instead of stored, so an
+    unbounded run cannot exhaust memory (the trace exporter surfaces
+    the drop count rather than truncating silently). *)
+
+type t
+(** A span handle: either live (returned by {!start} with probes on) or
+    the inert {!null}. *)
+
+val null : t
+(** The inert handle: {!stop}, {!add_attr} and {!is_null} accept it and
+    do nothing.  What {!start} returns when probes are off. *)
+
+val is_null : t -> bool
+
+val start : ?args:(string * string) list -> string -> t
+(** Open a span named [name] on the calling domain's stack.  [args] are
+    attached verbatim to the exported event.  Returns {!null} (having
+    read neither clock nor lock) when probes are off. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach one more attribute to a live open span; silently ignored on
+    {!null} or an already-closed span.  Later bindings of the same key
+    shadow earlier ones in the export. *)
+
+val stop : t -> unit
+(** Close the span, first closing any children still open above it on
+    the same domain's stack (each child keeps its own start time; all
+    share this stop time).  No-op on {!null}, on a span already closed,
+    or on a domain that did not start it. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f ()] in a span, closing it also on
+    exception. *)
+
+type event = {
+  name : string;
+  ts_us : float;    (** Start, microseconds on the {!Clock} timeline. *)
+  dur_us : float;   (** Duration in microseconds, >= 0. *)
+  tid : int;        (** Collecting domain's id. *)
+  depth : int;      (** Nesting depth at start (0 = top level). *)
+  args : (string * string) list;
+}
+(** One completed span, the unit {!Trace_json} exports. *)
+
+val events : unit -> event array
+(** Snapshot of all completed spans, sorted by [(tid, ts_us, -depth)] —
+    parents before the children they contain. *)
+
+val stop_all : unit -> unit
+(** Close every open span on every domain (export helpers call this so
+    a trace written mid-span is still well formed). *)
+
+val reset : unit -> unit
+(** Discard all completed and open spans and zero {!dropped}. *)
+
+val open_depth : unit -> int
+(** Open spans on the calling domain's stack (0 when quiescent). *)
+
+val capacity : int
+(** Maximum completed spans retained (1_048_576). *)
+
+val dropped : unit -> int
+(** Completed spans discarded because the collector was full. *)

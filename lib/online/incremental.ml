@@ -176,6 +176,27 @@ let warm_partition t ~platform ~apps =
 
 (* --- full re-solve ----------------------------------------------------- *)
 
+let m_resolves =
+  Obs.Metrics.counter ~help:"incremental re-solves run" "incremental.resolves"
+
+let m_warm_hits =
+  Obs.Metrics.counter
+    ~help:"warm-mode re-solves seeded by a previous makespan"
+    "incremental.warm_hits"
+
+let m_cold_falls =
+  Obs.Metrics.counter
+    ~help:"warm-mode re-solves that fell back to a cold bracket"
+    "incremental.cold_fallbacks"
+
+let m_partition_ops =
+  Obs.Metrics.counter ~help:"partition-repair operations"
+    "incremental.partition_ops"
+
+let m_solver_iters =
+  Obs.Metrics.counter ~help:"bisection evaluations spent in re-solves"
+    "incremental.solver_iters"
+
 type solution = {
   schedule : Model.Schedule.t;
   k : float;
@@ -186,6 +207,11 @@ type mode = Warm | Cold
 
 let solve t ~mode ~elapsed ~platform ~apps =
   if Array.length apps = 0 then invalid_arg "Incremental.solve: empty instance";
+  (* Probes off: [sp] is the null handle, [ops0] is an int read — the
+     event loop allocates exactly what it did uninstrumented
+     (test/test_obs.ml holds this path to zero extra minor words). *)
+  let sp = Obs.Span.start "online.resolve" in
+  let ops0 = t.counters.partition_ops in
   t.counters.resolves <- t.counters.resolves + 1;
   let subset =
     match mode with
@@ -205,10 +231,26 @@ let solve t ~mode ~elapsed ~platform ~apps =
     | Warm, Some k when k -. elapsed > 0. -> Some (k -. elapsed)
     | _ -> None
   in
+  if Obs.Probe.on () then begin
+    Obs.Metrics.incr m_resolves;
+    match (mode, warm) with
+    | Warm, Some _ -> Obs.Metrics.incr m_warm_hits
+    | Warm, None -> Obs.Metrics.incr m_cold_falls
+    | Cold, _ -> ()
+  end;
   let iters = ref 0 in
   let schedule, k =
     Sched.Equalize.schedule_k ?warm ~iters ~ws:t.ws ~platform ~apps x
   in
   t.counters.solver_iters <- t.counters.solver_iters + !iters;
   t.prev_k <- Some k;
+  if Obs.Probe.on () then begin
+    Obs.Metrics.add m_partition_ops (t.counters.partition_ops - ops0);
+    Obs.Metrics.add m_solver_iters !iters;
+    Obs.Span.add_attr sp "mode"
+      (match mode with Warm -> "warm" | Cold -> "cold");
+    Obs.Span.add_attr sp "n" (string_of_int (Array.length apps));
+    Obs.Span.add_attr sp "k" (Printf.sprintf "%.6g" k);
+    Obs.Span.stop sp
+  end;
   { schedule; k; subset }

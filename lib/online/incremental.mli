@@ -33,7 +33,10 @@
 
     All work is counted: [partition_ops] increments per weight/ratio/
     dominance evaluation, [solver_iters] per makespan-objective
-    evaluation, so warm-vs-cold savings are measured, not asserted. *)
+    evaluation, so warm-vs-cold savings are measured, not asserted.
+    With {!Obs.Probe.on}, every solve also opens an [online.resolve]
+    tracing span and feeds the [incremental.*] metrics (resolves,
+    warm hits vs cold fallbacks, partition ops, solver iterations). *)
 
 type counters = {
   mutable solver_iters : int;
@@ -42,10 +45,11 @@ type counters = {
   mutable partition_ops : int;
       (** Per-application weight/ratio evaluations and dominance checks
           inside partition construction. *)
-  mutable resolves : int;
+  mutable resolves : int;  (** Calls to {!solve}. *)
 }
 
 val fresh_counters : unit -> counters
+(** All-zero counters. *)
 
 type t
 (** Warm state: the previous makespan and suffix-boundary position, the
@@ -53,7 +57,10 @@ type t
     suffix sums), a solver {!Sched.Workspace.t}, and the {!counters}. *)
 
 val create : unit -> t
+(** Cold warm-state with {!fresh_counters}. *)
+
 val counters : t -> counters
+(** The live counters (shared, mutated by every solve). *)
 
 val invalidate : t -> unit
 (** Forget the warm state — the next solve runs cold and the carried

@@ -29,6 +29,21 @@ type report = {
    unfinished jobs are far outside it. *)
 let completion_eps = 1e-9
 
+let m_events =
+  Obs.Metrics.counter ~help:"events handled by the online service"
+    "service.events"
+
+let m_event_us =
+  Obs.Metrics.histogram ~help:"wall time per event handled, in microseconds"
+    "service.event_us"
+
+let m_queue_depth =
+  Obs.Metrics.gauge ~help:"live jobs holding zero processors after the last event"
+    "service.queue_depth"
+
+let m_live_jobs =
+  Obs.Metrics.gauge ~help:"live jobs after the last event" "service.live_jobs"
+
 let run ?(config = default_config) ~platform stream =
   Policy.validate config.policy;
   let state = State.create platform in
@@ -113,6 +128,24 @@ let run ?(config = default_config) ~platform stream =
     end
   in
 
+  (* Per-event probe epilogue: wall time into the latency histogram,
+     queue depth and live-job gauges from the post-event state.  Called
+     only when probes are on; with probes off each handler pays one flag
+     test and two constant bindings. *)
+  let finish_event sp t0 =
+    Obs.Metrics.incr m_events;
+    Obs.Metrics.observe m_event_us (Obs.Clock.elapsed_us ~since:t0);
+    let jobs = State.live state in
+    let queued =
+      Array.fold_left
+        (fun acc (j : State.job) -> if j.procs = 0. then acc + 1 else acc)
+        0 jobs
+    in
+    Obs.Metrics.set m_queue_depth (float_of_int queued);
+    Obs.Metrics.set m_live_jobs (float_of_int (Array.length jobs));
+    Obs.Span.stop sp
+  in
+
   (* One next-completion event per allocation epoch: equalised cohorts
      finish together, so the earliest predicted completion sweeps every
      job that is done to within [completion_eps].  Superseded predictions
@@ -132,6 +165,11 @@ let run ?(config = default_config) ~platform stream =
 
   and on_completion eng e =
     if e = !epoch then begin
+      let on = Obs.Probe.on () in
+      let sp =
+        if on then Obs.Span.start "service.completion" else Obs.Span.null
+      in
+      let t0 = if on then Obs.Clock.now_ns () else 0L in
       State.advance state ~to_:(Simulator.Engine.now eng);
       Array.iter
         (fun (j : State.job) ->
@@ -140,7 +178,8 @@ let run ?(config = default_config) ~platform stream =
         (State.live state);
       incr events_handled;
       incr events_since;
-      after_event ()
+      after_event ();
+      if on then finish_event sp t0
     end
 
   and after_event () =
@@ -150,22 +189,32 @@ let run ?(config = default_config) ~platform stream =
   in
 
   let handle_arrival idx app eng =
+    let on = Obs.Probe.on () in
+    let sp = if on then Obs.Span.start "service.arrival" else Obs.Span.null in
+    let t0 = if on then Obs.Clock.now_ns () else 0L in
     State.advance state ~to_:(Simulator.Engine.now eng);
     let job = State.add state ~app in
     arrival_jobs.(idx) <- Some job;
     incr events_handled;
     incr events_since;
-    after_event ()
+    after_event ();
+    if on then finish_event sp t0
   in
 
   let handle_departure idx eng =
     match arrival_jobs.(idx) with
     | Some job when job.State.finish = None && not job.State.cancelled ->
+      let on = Obs.Probe.on () in
+      let sp =
+        if on then Obs.Span.start "service.departure" else Obs.Span.null
+      in
+      let t0 = if on then Obs.Clock.now_ns () else 0L in
       State.advance state ~to_:(Simulator.Engine.now eng);
       State.cancel state job;
       incr events_handled;
       incr events_since;
-      after_event ()
+      after_event ();
+      if on then finish_event sp t0
     | _ -> ()
   in
 

@@ -34,7 +34,10 @@ type job = {
 type t
 
 val create : Model.Platform.t -> t
+(** Empty state at time 0. *)
+
 val platform : t -> Model.Platform.t
+(** The platform the state was created with. *)
 
 val now : t -> float
 (** Time the state was last advanced to. *)
@@ -63,7 +66,10 @@ val finished : t -> job list
 (** Retired jobs (completed and cancelled), in retirement order. *)
 
 val running : t -> int
+(** Live jobs currently holding processors. *)
+
 val queued : t -> int
+(** Live jobs admitted but not yet allocated ([procs = 0]). *)
 
 val remaining_app : job -> Model.App.t
 (** The residual application: [app] with work scaled by the remaining

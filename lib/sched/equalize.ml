@@ -26,10 +26,16 @@ type state = {
   mutable acc : float;  (* demand accumulator / running max *)
 }
 
+(* Relative bracket width at the entry of the last bisection, written
+   only when probes are on.  A one-slot float array stores unboxed (a
+   [float ref] would box every store); a racy cross-domain write at
+   worst attributes one solve's width to another in the histogram. *)
+let last_bracket = [| Float.nan |]
+
 (* Solve [sum_i (1-s_i)/(K/c_i - s_i) = p] for [K] given precomputed
    work costs.  [costs] may be a workspace buffer with capacity beyond
    [n]; only the first [n] entries are read. *)
-let solve_with_costs ?(tol = 1e-13) ?warm ?iters ~platform
+let solve_with_costs_raw ?(tol = 1e-13) ?warm ?iters ~platform
     ~(apps : Model.App.t array) ~costs ~n () =
   if n = 0 then invalid_arg "Equalize.solve_makespan: empty instance";
   let p = platform.Model.Platform.p in
@@ -51,6 +57,8 @@ let solve_with_costs ?(tol = 1e-13) ?warm ?iters ~platform
   (* [Util.Solver.bisect] on a bracket whose endpoint values are already
      known (and nonzero, of opposite signs). *)
   let bisect lo hi flo =
+    if Obs.Probe.on () then
+      last_bracket.(0) <- (hi -. lo) /. (0.5 *. (lo +. hi));
     st.lo <- lo;
     st.hi <- hi;
     st.flo <- flo;
@@ -167,6 +175,57 @@ let solve_with_costs ?(tol = 1e-13) ?warm ?iters ~platform
       if st.fk > 0. then
         raise (Util.Solver.No_bracket "expand_bracket_up: no sign change");
       if st.fk = 0. then st.k else bisect k_lo st.k f_klo
+  end
+
+(* Probe handles are registered eagerly at module load so the enabled
+   path never pays a registry lookup. *)
+let m_solves =
+  Obs.Metrics.counter ~help:"makespan bisections solved" "equalize.solves"
+
+let m_warm_seeded =
+  Obs.Metrics.counter ~help:"solves seeded with a previous makespan"
+    "equalize.warm_seeded"
+
+let m_evals =
+  Obs.Metrics.histogram ~help:"objective evaluations per solve"
+    "equalize.evals"
+
+let m_bracket =
+  Obs.Metrics.histogram ~help:"relative bracket width at bisection entry"
+    "equalize.bracket_width"
+
+let m_drift =
+  Obs.Metrics.histogram
+    ~help:"relative distance from the warm seed to the solved makespan"
+    "equalize.warm_drift"
+
+(* Instrumentation wraps the solver per solve, never per evaluation:
+   with probes off this is one flag test and a tail call into the
+   allocation-free path above; with probes on the extra work (an
+   evaluation counter read, a few metric updates) happens once per
+   solve, so the bit-identical result and the zero-words-per-eval
+   property hold in both states (test/test_obs.ml checks both). *)
+let solve_with_costs ?tol ?warm ?iters ~platform ~apps ~costs ~n () =
+  if not (Obs.Probe.on ()) then
+    solve_with_costs_raw ?tol ?warm ?iters ~platform ~apps ~costs ~n ()
+  else begin
+    let counted = match iters with Some r -> r | None -> ref 0 in
+    let e0 = !counted in
+    last_bracket.(0) <- Float.nan;
+    let k =
+      solve_with_costs_raw ?tol ?warm ~iters:counted ~platform ~apps ~costs ~n
+        ()
+    in
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.observe m_evals (float_of_int (!counted - e0));
+    let bw = last_bracket.(0) in
+    if not (Float.is_nan bw) then Obs.Metrics.observe m_bracket bw;
+    (match warm with
+    | Some k0 when Float.is_finite k0 ->
+      Obs.Metrics.incr m_warm_seeded;
+      if k > 0. then Obs.Metrics.observe m_drift (Float.abs (k -. k0) /. k)
+    | _ -> ());
+    k
   end
 
 let fill_costs ~platform ~apps ~x ~costs ~n =

@@ -1,8 +1,12 @@
-(** Processor assignment equalising completion times (Section 5).
+(** Processor assignment equalising completion times (Section 5) — the
+    constructive side of Lemma 2.
 
-    Once the cache fractions [x_i] are fixed, the heuristics give every
-    application the processor share that makes all of them finish at the
-    same time [K].  With [c_i = w_i (1 + f_i (ls + ll * miss_i))] the
+    Lemma 1 says optimal schedules finish all applications together;
+    Lemma 2, that given the cache split [x] the optimal processor counts
+    are the ones achieving that.  Once the cache fractions [x_i] are
+    fixed, this module gives every application the processor share that
+    makes all of them finish at the same time [K].  With the Eq. (2)
+    work cost [c_i = w_i (1 + f_i (ls + ll * miss_i))] the
     per-application time is [(s_i + (1 - s_i)/p_i) c_i = K], hence
     [p_i = (1 - s_i) / (K / c_i - s_i)], and [K] solves
 
@@ -57,6 +61,12 @@ val solve_with_costs :
     through a memoized {!Model.Kernel}; the micro-benchmarks isolate the
     bisection).  Reads [costs.(0 .. n-1)] — the buffer may be larger —
     and only the [s] field of each application.
+
+    When the observability layer is armed ({!Obs.Probe.on}), each call
+    additionally records the [equalize.*] metrics (solve count, objective
+    evaluations, final relative bracket width, warm-seed drift); with
+    probes off the instrumented wrapper is a single flag test and the
+    result is bit-identical either way (QCheck-enforced).
     @raise Invalid_argument if [n = 0]. *)
 
 val procs_at :

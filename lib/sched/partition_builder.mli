@@ -9,6 +9,8 @@
 type strategy = Dominant | DominantRev
 
 val strategy_name : strategy -> string
+(** ["Dominant"] or ["DominantRev"]. *)
+
 val strategy_of_string : string -> strategy
 (** Case-insensitive ("dominant", "dominantrev"/"dominant-rev").
     @raise Invalid_argument otherwise. *)

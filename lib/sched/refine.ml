@@ -37,6 +37,23 @@ let gradient ~platform ~apps ~x ~k =
 
 (* --- optimized fixed point --------------------------------------------- *)
 
+let m_refines =
+  Obs.Metrics.counter ~help:"gradient refinements run" "refine.calls"
+
+let m_refine_iters =
+  Obs.Metrics.histogram ~help:"fixed-point iterations per refinement"
+    "refine.iters"
+
+let m_improve =
+  Obs.Metrics.histogram
+    ~help:"relative makespan improvement over the starting point"
+    "refine.improvement"
+
+let m_step =
+  Obs.Metrics.histogram
+    ~help:"relative makespan decrease per accepted fixed-point step"
+    "refine.step_gain"
+
 (* The multiplicative-weights loop of {!refine_reference} with the hot
    path overhauled: work costs and derivatives evaluate through a
    precomputed {!Model.Kernel} (one memoized power per application per
@@ -85,6 +102,9 @@ let refine ?(max_iter = 200) ?(tol = 1e-10) ?iters ?ws ~platform ~apps ~x0 () =
       end
     done
   in
+  (* [Span.start] is a null handle when probes are off; an exception
+     below leaves the span open for [Obs.Span.stop_all] to close. *)
+  let sp = Obs.Span.start "sched.refine" in
   let k0 = evaluate x0 in
   let x = Array.copy x0 in
   let best_x = Array.copy x0 in
@@ -133,6 +153,8 @@ let refine ?(max_iter = 200) ?(tol = 1e-10) ?iters ?ws ~platform ~apps ~x0 () =
          Array.blit proposal 0 best_x 0 n
        end;
        if k' <= k then begin
+         if Obs.Probe.on () && k > 0. then
+           Obs.Metrics.observe m_step ((k -. k') /. k);
          Array.blit proposal 0 x 0 n;
          k_cur := k';
          if (k -. k') /. k < tol then raise Exit
@@ -147,12 +169,17 @@ let refine ?(max_iter = 200) ?(tol = 1e-10) ?iters ?ws ~platform ~apps ~x0 () =
        end
      done
    with Exit -> ());
-  {
-    x = best_x;
-    makespan = !best_k;
-    iterations = !iterations;
-    improvement = Float.max 0. (1. -. (!best_k /. k0));
-  }
+  let improvement = Float.max 0. (1. -. (!best_k /. k0)) in
+  if Obs.Probe.on () then begin
+    Obs.Metrics.incr m_refines;
+    Obs.Metrics.observe m_refine_iters (float_of_int !iterations);
+    Obs.Metrics.observe m_improve improvement;
+    Obs.Span.add_attr sp "iterations" (string_of_int !iterations);
+    Obs.Span.add_attr sp "k0" (Printf.sprintf "%.6g" k0);
+    Obs.Span.add_attr sp "makespan" (Printf.sprintf "%.6g" !best_k);
+    Obs.Span.stop sp
+  end;
+  { x = best_x; makespan = !best_k; iterations = !iterations; improvement }
 
 (* --- naive reference ---------------------------------------------------- *)
 

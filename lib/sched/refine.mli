@@ -44,6 +44,11 @@ val refine :
     [iters], as in {!Equalize.solve_makespan}, counts every
     processor-demand evaluation across all inner solves, so refinement
     work is observable like the online solvers'.
+
+    With {!Obs.Probe.on}, each call opens a [sched.refine] tracing span
+    and records the [refine.*] metrics (fixed-point iterations, relative
+    improvement, per-step gain); {!refine_reference} stays deliberately
+    uninstrumented, as it is the measured baseline.
     @raise Invalid_argument on an empty instance or length mismatch. *)
 
 val refine_reference :

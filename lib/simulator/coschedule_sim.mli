@@ -29,8 +29,10 @@ type options = {
 }
 
 val default_options : options
+(** No redistribution, no perturbation: the faithful analytical replay. *)
 
 type event = { time : float; finished : int }
+(** One completion: the finishing application's index and when. *)
 
 type outcome = {
   finish_times : float array;

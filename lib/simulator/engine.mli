@@ -9,6 +9,7 @@
 type t
 
 val create : unit -> t
+(** An engine with an empty queue at time 0. *)
 
 val now : t -> float
 (** Current simulation time; 0 before the first event. *)
@@ -26,6 +27,7 @@ val run : ?until:float -> t -> unit
     advances to [until] in that case). *)
 
 val events_processed : t -> int
+(** Handlers executed so far. *)
 
 val pending : t -> int
 (** Number of events still queued, without draining them.  The online

@@ -7,8 +7,13 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty queue. *)
+
 val is_empty : 'a t -> bool
+(** No events queued. *)
+
 val length : 'a t -> int
+(** Events currently queued. *)
 
 val push : 'a t -> time:float -> 'a -> unit
 (** @raise Invalid_argument on a NaN time. *)
@@ -17,5 +22,7 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event. *)
 
 val peek : 'a t -> (float * 'a) option
+(** The earliest event without removing it. *)
 
 val clear : 'a t -> unit
+(** Drop every queued event. *)

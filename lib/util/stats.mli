@@ -38,16 +38,28 @@ module Online : sig
   (** Streaming mean/variance/min/max accumulator (Welford). *)
 
   val create : unit -> t
+  (** Empty accumulator. *)
+
   val add : t -> float -> unit
+  (** Feed one observation. *)
+
   val count : t -> int
+  (** Observations fed so far. *)
+
   val mean : t -> float
   (** 0 when empty, mirroring the convention of reporting empty cells as 0. *)
 
   val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two observations. *)
+
   val stddev : t -> float
+  (** Square root of [variance]. *)
+
   val min : t -> float
+  (** Smallest observation.  @raise Invalid_argument when empty. *)
+
   val max : t -> float
-  (** [min]/[max] raise [Invalid_argument] when no value was added. *)
+  (** Largest observation.  @raise Invalid_argument when empty. *)
 
   val merge : t -> t -> t
   (** Combine two accumulators as if all values had been fed to one. *)

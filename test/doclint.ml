@@ -1,0 +1,225 @@
+(* Documentation lint: the enforced gate behind `dune build @docs`.
+
+   Walks the interface files under the directories given on the command
+   line and checks, for every [.mli]:
+
+   - the file opens with a module-header doc comment ([(** ... *)] as
+     the first non-blank token);
+   - every exported [val]/[external] carries a doc comment, either
+     immediately above it or inside its declaration block (the
+     repo convention places it directly below the signature);
+   - comment delimiters are balanced.
+
+   This encodes the part of `dune build @doc` (odoc) that a toolchain
+   without odoc can still enforce — undocumented exports and malformed
+   comment structure — so the documentation pass cannot rot silently.
+   On a machine with odoc installed, `dune build @doc` also works; the
+   interfaces are written to be warning-free there. *)
+
+type item = { line : int; keyword : string }
+
+type scan = {
+  masked : string; (* comments and string literals blanked to spaces *)
+  doc_line : bool array; (* line overlaps a doc comment *)
+  balanced : bool;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Blank comment and string contents out of a copy of [text] (newlines
+   kept, so line structure survives), and record which lines any doc
+   comment [(** ... *)] touches. *)
+let scan text =
+  let n = String.length text in
+  let masked = Bytes.of_string text in
+  let nlines = 1 + String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 text in
+  let doc_line = Array.make nlines false in
+  let line = ref 0 in
+  let blank i = if Bytes.get masked i <> '\n' then Bytes.set masked i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  let doc_from = ref (-1) in
+  let in_string = ref false in
+  let ok = ref true in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then incr line;
+    if !in_string then begin
+      blank !i;
+      if c = '\\' && !i + 1 < n then begin
+        blank (!i + 1);
+        if text.[!i + 1] = '\n' then incr line;
+        incr i
+      end
+      else if c = '"' then in_string := false
+    end
+    else if !depth > 0 then begin
+      blank !i;
+      if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+        blank (!i + 1);
+        incr depth;
+        incr i
+      end
+      else if c = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
+        blank (!i + 1);
+        decr depth;
+        incr i;
+        if !depth = 0 && !doc_from >= 0 then begin
+          for l = !doc_from to min !line (nlines - 1) do
+            doc_line.(l) <- true
+          done;
+          doc_from := -1
+        end
+      end
+      else if c = '"' then begin
+        (* Strings nest inside OCaml comments; skip to the close. *)
+        incr i;
+        let stop = ref false in
+        while (not !stop) && !i < n do
+          blank !i;
+          (if text.[!i] = '\n' then incr line);
+          if text.[!i] = '\\' && !i + 1 < n then begin
+            blank (!i + 1);
+            if text.[!i + 1] = '\n' then incr line;
+            incr i
+          end
+          else if text.[!i] = '"' then stop := true;
+          if not !stop then incr i
+        done
+      end
+    end
+    else if c = '"' then begin
+      blank !i;
+      in_string := true
+    end
+    else if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      if !i + 2 < n && text.[!i + 2] = '*' then doc_from := !line;
+      incr i
+    end;
+    incr i
+  done;
+  if !depth <> 0 || !in_string then ok := false;
+  { masked = Bytes.to_string masked; doc_line; balanced = !ok }
+
+let item_re line =
+  let trimmed = String.trim line in
+  let starts kw =
+    let l = String.length kw in
+    String.length trimmed >= l
+    && String.sub trimmed 0 l = kw
+    && (String.length trimmed = l
+        || trimmed.[l] = ' ' || trimmed.[l] = '\t' || trimmed.[l] = '(')
+  in
+  List.find_opt starts
+    [ "val"; "external"; "type"; "module"; "exception"; "include"; "open";
+      "class"; "and" ]
+
+let lint path =
+  let text = read_file path in
+  let s = scan text in
+  let errors = ref [] in
+  let err line msg = errors := (line + 1, msg) :: !errors in
+  if not s.balanced then err 0 "unbalanced comment or string delimiters";
+  let lines = Array.of_list (String.split_on_char '\n' s.masked) in
+  let raw = Array.of_list (String.split_on_char '\n' text) in
+  let nlines = Array.length lines in
+  (* Module header: the first non-blank content of the file must be a
+     doc comment opener. *)
+  let rec first_content l =
+    if l >= nlines then None
+    else if String.trim raw.(l) = "" then first_content (l + 1)
+    else Some l
+  in
+  (match first_content 0 with
+  | None -> err 0 "empty interface file"
+  | Some l ->
+    let t = String.trim raw.(l) in
+    if not (String.length t >= 3 && String.sub t 0 3 = "(**") then
+      err l "missing module-header doc comment (file must open with (** ... *))");
+  (* Items and their blocks. *)
+  let items = ref [] in
+  Array.iteri
+    (fun l line ->
+      match item_re line with
+      | Some kw -> items := { line = l; keyword = kw } :: !items
+      | None -> ())
+    lines;
+  let items = Array.of_list (List.rev !items) in
+  let nvals = ref 0 in
+  Array.iteri
+    (fun idx it ->
+      if it.keyword = "val" || it.keyword = "external" then begin
+        incr nvals;
+        let block_end =
+          if idx + 1 < Array.length items then items.(idx + 1).line else nlines
+        in
+        let doc_inside = ref false in
+        for l = it.line to block_end - 1 do
+          if l < Array.length s.doc_line && s.doc_line.(l) then
+            doc_inside := true
+        done;
+        let doc_above =
+          let rec up l =
+            if l < 0 then false
+            else if String.trim raw.(l) = "" then up (l - 1)
+            else l < Array.length s.doc_line && s.doc_line.(l)
+          in
+          up (it.line - 1)
+        in
+        if not (!doc_inside || doc_above) then
+          err it.line
+            (Printf.sprintf "undocumented %s (no doc comment above or in its block)"
+               it.keyword)
+      end)
+    items;
+  (List.rev !errors, !nvals)
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix path ".mli" then path :: acc
+      else acc)
+    acc
+    (Sys.readdir dir)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib" ]
+    | roots -> roots
+  in
+  let files = List.sort compare (List.concat_map (fun r -> walk r []) roots) in
+  if files = [] then begin
+    Printf.eprintf "doclint: no .mli files under %s\n" (String.concat " " roots);
+    exit 1
+  end;
+  let failures = ref 0 in
+  let total_vals = ref 0 in
+  List.iter
+    (fun path ->
+      let errors, nvals = lint path in
+      total_vals := !total_vals + nvals;
+      List.iter
+        (fun (line, msg) ->
+          incr failures;
+          Printf.eprintf "%s:%d: %s\n" path line msg)
+        errors)
+    files;
+  if !failures > 0 then begin
+    Printf.eprintf "doclint: %d problem%s in %d interface file%s\n" !failures
+      (if !failures = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s");
+    exit 1
+  end;
+  Printf.printf "doclint: %d interface files, %d exported values, all documented\n"
+    (List.length files) !total_vals
