@@ -6,7 +6,7 @@
                    [--on-failure abort|skip|retry] [--max-retries N]
                    [--trial-timeout S] [--trace FILE]
                    [--metrics text|prom|json] [--no-micro] [--no-figures]
-                   [--no-online] [--full]
+                   [--no-online] [--no-serve] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -18,6 +18,7 @@ let only : string list ref = ref []
 let run_micro = ref true
 let run_figures = ref true
 let run_online = ref true
+let run_serve = ref true
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
 let trial_timeout : float option ref = ref None
@@ -29,7 +30,7 @@ let usage () =
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
      [--trace FILE] [--metrics text|prom|json] [--no-micro] [--no-figures] \
-     [--no-online] [--full]";
+     [--no-online] [--no-serve] [--full]";
   exit 2
 
 let int_flag ~flag ~min v =
@@ -97,6 +98,9 @@ let rec parse = function
     parse rest
   | "--no-online" :: rest ->
     run_online := false;
+    parse rest
+  | "--no-serve" :: rest ->
+    run_serve := false;
     parse rest
   | "--full" :: rest ->
     trials := 50;
@@ -290,6 +294,154 @@ let online () =
     (fun () -> output_string oc json);
   print_endline "wrote BENCH_online.json"
 
+(* --- daemon soak/throughput -------------------------------------------- *)
+
+(* Fork a real daemon on a temp Unix socket and drive it over the wire:
+   1k pipelined submits (Batched 32, queue depth 2k) for request
+   throughput, then sequential status probes with all 1k jobs in flight
+   for round-trip latency quantiles, then a full drain.  Leaves a
+   machine-readable record in BENCH_serve.json. *)
+let serve_bench () =
+  let submits = 1000 and probes = 400 in
+  let policy = Online.Policy.Batched 32 and queue_depth = 2000 in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cosched_bench_%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Serve.Daemon.backend =
+        {
+          Serve.Backend.service = { Online.Service.default_config with policy };
+          platform = Model.Platform.paper_default;
+          queue_depth;
+          journal = None;
+        };
+      socket;
+      port = None;
+      max_clients = 8;
+      drain_timeout = None;
+      client_timeout = 60.;
+    }
+  in
+  flush stdout;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try Serve.Daemon.run config
+     with e -> Printf.eprintf "bench daemon died: %s\n%!" (Printexc.to_string e));
+    Stdlib.exit 0
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (* The happy path reaps the daemon itself; this only cleans up
+         after a bench failure. *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (ECHILD, _, _) -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+  @@ fun () ->
+  let c = Serve.Client.connect socket in
+  let apps =
+    Model.Workload.generate
+      ~rng:(Util.Rng.create !seed)
+      Model.Workload.NpbSynth submits
+  in
+  let spec (a : Model.App.t) =
+    {
+      Serve.Protocol.name = a.name;
+      w = a.w;
+      s = a.s;
+      f = a.f;
+      m0 = a.m0;
+      c0 = a.c0;
+      footprint = a.footprint;
+    }
+  in
+  (* Pipelined throughput: post every submit, then read every response. *)
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun a -> ignore (Serve.Client.post c (Serve.Protocol.Submit (spec a))))
+    apps;
+  for _ = 1 to submits do
+    match Serve.Client.receive c with
+    | Serve.Protocol.Reply { reply = Serve.Protocol.R_submitted _; _ } -> ()
+    | Serve.Protocol.Reply
+        { reply = Serve.Protocol.R_error { message; _ }; _ } ->
+      failwith ("bench submit rejected: " ^ message)
+    | _ -> failwith "bench: unexpected frame"
+  done;
+  let dt_submit = Unix.gettimeofday () -. t0 in
+  (* Round-trip latency with every job still in flight. *)
+  let in_flight =
+    match Serve.Client.request c Serve.Protocol.(Query Status) with
+    | { reply = Serve.Protocol.R_status { live; _ }; _ } -> live
+    | _ -> failwith "bench status failed"
+  in
+  let lats =
+    Array.init probes (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        (match Serve.Client.request c Serve.Protocol.(Query Status) with
+        | { reply = Serve.Protocol.R_status _; _ } -> ()
+        | _ -> failwith "bench status failed");
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare lats;
+  let quantile q = lats.(min (probes - 1) (int_of_float (q *. float_of_int probes))) in
+  let p50 = quantile 0.50 and p90 = quantile 0.90 and p99 = quantile 0.99 in
+  let t0 = Unix.gettimeofday () in
+  let drained =
+    match Serve.Client.request c Serve.Protocol.Drain with
+    | { reply = Serve.Protocol.R_drained { completed; _ }; _ } -> completed
+    | _ -> failwith "bench drain failed"
+  in
+  let dt_drain = Unix.gettimeofday () -. t0 in
+  Serve.Client.close c;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> failwith "bench daemon did not exit cleanly");
+  let req_per_sec = float_of_int submits /. Float.max dt_submit 1e-9 in
+  let table = Util.Table.create [ "metric"; "value" ] in
+  List.iter
+    (fun (k, v) -> Util.Table.add_row table [ k; v ])
+    [
+      ("pipelined submits", string_of_int submits);
+      ("submit req/s", Printf.sprintf "%.0f" req_per_sec);
+      ("in-flight at probe", string_of_int in_flight);
+      ("status p50", Printf.sprintf "%.3g s" p50);
+      ("status p90", Printf.sprintf "%.3g s" p90);
+      ("status p99", Printf.sprintf "%.3g s" p99);
+      ("drain", Printf.sprintf "%d jobs in %.3g s" drained dt_drain);
+    ];
+  print_endline
+    (Printf.sprintf "== serve daemon (forked, %s, queue depth %d) =="
+       (Online.Policy.name policy) queue_depth);
+  Util.Table.print table;
+  print_newline ();
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"seed\":%d," !seed;
+        Printf.sprintf "\"policy\":\"%s\"," (Online.Policy.name policy);
+        Printf.sprintf "\"queue_depth\":%d," queue_depth;
+        Printf.sprintf "\"pipelined_submits\":%d," submits;
+        Printf.sprintf "\"submit_req_per_sec\":%.6g," req_per_sec;
+        Printf.sprintf "\"in_flight_at_probe\":%d," in_flight;
+        Printf.sprintf "\"status_probes\":%d," probes;
+        Printf.sprintf "\"status_p50_seconds\":%.6g," p50;
+        Printf.sprintf "\"status_p90_seconds\":%.6g," p90;
+        Printf.sprintf "\"status_p99_seconds\":%.6g," p99;
+        Printf.sprintf "\"drained_jobs\":%d," drained;
+        Printf.sprintf "\"drain_seconds\":%.6g" dt_drain;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  print_endline "wrote BENCH_serve.json"
+
 let () =
   Printexc.record_backtrace true;
   parse (List.tl (Array.to_list Sys.argv));
@@ -314,6 +466,9 @@ let () =
   Fun.protect
     ~finally:(fun () -> Obs.Report.finish ?trace:!trace ?metrics:!metrics ())
     (fun () ->
+      (* The daemon bench forks, which OCaml 5 forbids once worker
+         domains exist — so it must run before any parallel campaign. *)
+      if !run_serve then serve_bench ();
       if !run_figures then figures config;
       if !run_online then online ();
       if !run_micro then micro ())

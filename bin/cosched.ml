@@ -6,7 +6,9 @@
      cachesim    — calibrate a synthetic NPB-like kernel's power law
      validate    — replay a schedule in the discrete-event simulator
      online      — serve a Poisson application stream event-by-event
-     instance    — print a generated instance's application parameters *)
+     instance    — print a generated instance's application parameters
+     serve       — run the co-scheduling daemon on a Unix socket
+     client      — talk to a running daemon *)
 
 open Cmdliner
 
@@ -39,6 +41,26 @@ let pos_float ~flag =
     | None -> Error (`Msg (Printf.sprintf "--%s expects a number, got %s" flag s))
   in
   Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_float ~flag =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0. && Float.is_finite v -> Ok v
+    | Some v ->
+      Error (`Msg (Printf.sprintf "--%s must be >= 0 and finite, got %g" flag v))
+    | None -> Error (`Msg (Printf.sprintf "--%s expects a number, got %s" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let port_conv ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 && v <= 65535 -> Ok v
+    | Some v ->
+      Error (`Msg (Printf.sprintf "--%s must be a port in 1..65535, got %d" flag v))
+    | None -> Error (`Msg (Printf.sprintf "--%s expects a port number, got %s" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 (* --- observability ----------------------------------------------------- *)
 
@@ -602,12 +624,277 @@ let refine_cmd =
           gradient fixed point.")
     term
 
+(* --- serve / client ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "cosched.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some (port_conv ~flag:"port")) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Loopback TCP port (in addition to, or instead of, the socket).")
+
+let serve_cmd =
+  let max_clients_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"max-clients") 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Connection admission limit: further connects receive one \
+             $(b,overload) error frame and are closed.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"queue-depth") 1024
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Backpressure bound: submissions beyond N live jobs are \
+             refused with an $(b,overload) error.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value
+      & opt (some (pos_float ~flag:"drain-timeout")) None
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Cooperative deadline for drains (client $(b,drain) verb or \
+             SIGTERM); unbounded when omitted.")
+  in
+  let client_timeout_arg =
+    Arg.(
+      value
+      & opt (pos_float ~flag:"client-timeout") 10.
+      & info [ "client-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a client whose connection stays write-blocked this long \
+             (a slow subscriber must not stall the scheduler).")
+  in
+  let serve_policy_arg =
+    let parse s =
+      try Ok (Online.Policy.of_string s) with Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf p = Format.pp_print_string ppf (Online.Policy.name p) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Online.Policy.Every_event
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Re-solve policy: $(b,every-event), $(b,batched:K) or \
+             $(b,threshold:EPS).")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ] ~doc:"Re-solve from scratch at every decision.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Assert processor and cache conservation after every event.")
+  in
+  let run socket port max_clients queue_depth drain_timeout client_timeout
+      journal policy cold check procs cs trace metrics =
+    with_obs trace metrics @@ fun () ->
+    let mode =
+      if cold then Online.Incremental.Cold else Online.Incremental.Warm
+    in
+    let config =
+      {
+        Serve.Daemon.backend =
+          {
+            Serve.Backend.service =
+              { Online.Service.default_config with policy; mode; validate = check };
+            platform = platform_of ~procs ~cs;
+            queue_depth;
+            journal;
+          };
+        socket;
+        port;
+        max_clients;
+        drain_timeout;
+        client_timeout;
+      }
+    in
+    Serve.Daemon.run
+      ~on_ready:(fun () ->
+        Printf.printf "cosched serve: listening on %s%s\n%!" socket
+          (match port with
+          | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+          | None -> ""))
+      config;
+    print_endline "cosched serve: drained, exiting"
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ max_clients_arg $ queue_depth_arg
+      $ drain_timeout_arg $ client_timeout_arg $ journal_arg $ serve_policy_arg
+      $ cold_arg $ check_arg $ procs_arg $ cs_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the co-scheduling daemon: submit/cancel/query/subscribe/drain \
+          over a Unix-domain socket (journal-backed, crash-recoverable).")
+    term
+
+let client_cmd =
+  let action_arg =
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [
+               ("ping", `Ping); ("status", `Status); ("stats", `Stats);
+               ("allocs", `Allocs); ("job", `Job); ("submit", `Submit);
+               ("cancel", `Cancel); ("drain", `Drain); ("watch", `Watch);
+             ])
+          `Status
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of $(b,ping), $(b,status), $(b,stats), $(b,allocs), \
+             $(b,job) ID, $(b,submit), $(b,cancel) ID, $(b,drain) or \
+             $(b,watch) (subscribe and print push events until the daemon \
+             drains).")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & pos 1 (some int) None
+      & info [] ~docv:"ID" ~doc:"Job id (for $(b,job) and $(b,cancel)).")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some (nonneg_float ~flag:"at")) None
+      & info [ "at" ] ~docv:"TIME"
+          ~doc:
+            "Model time of the request.  The daemon's clock is virtual: it \
+             advances only through these timestamps and drains.")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "app"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Submitted application name.")
+  in
+  let w_arg =
+    Arg.(
+      value
+      & opt (pos_float ~flag:"w") 1e12
+      & info [ "w" ] ~docv:"OPS" ~doc:"Work (computing operations).")
+  in
+  let s_arg =
+    Arg.(
+      value
+      & opt (nonneg_float ~flag:"s") 0.01
+      & info [ "s" ] ~docv:"FRAC" ~doc:"Sequential fraction in [0, 1).")
+  in
+  let f_arg =
+    Arg.(
+      value
+      & opt (nonneg_float ~flag:"f") 0.1
+      & info [ "f" ] ~docv:"FREQ" ~doc:"Data accesses per operation.")
+  in
+  let m0_arg =
+    Arg.(
+      value
+      & opt (nonneg_float ~flag:"m0") 0.01
+      & info [ "m0" ] ~docv:"RATE" ~doc:"Miss rate at the baseline cache.")
+  in
+  let c0_arg =
+    Arg.(
+      value
+      & opt (pos_float ~flag:"c0") 40e6
+      & info [ "c0" ] ~docv:"BYTES" ~doc:"Baseline cache size for --m0.")
+  in
+  let footprint_arg =
+    Arg.(
+      value
+      & opt (some (pos_float ~flag:"footprint")) None
+      & info [ "footprint" ] ~docv:"BYTES"
+          ~doc:"Memory footprint; omitted means larger than any cache.")
+  in
+  let run socket port action id at name w s f m0 c0 footprint trace metrics =
+    let ok =
+      with_obs trace metrics @@ fun () ->
+      let conn =
+        match port with
+        | Some p -> Serve.Client.connect_tcp ~port:p ()
+        | None -> Serve.Client.connect socket
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close conn) @@ fun () ->
+      let need_id what =
+        match id with
+        | Some id -> id
+        | None ->
+          prerr_endline ("cosched client: " ^ what ^ " needs a job ID");
+          exit 2
+      in
+      let request verb =
+        let resp = Serve.Client.request conn ?at verb in
+        print_endline (Serve.Protocol.encode_response resp);
+        match resp.Serve.Protocol.reply with
+        | Serve.Protocol.R_error _ -> false
+        | _ -> true
+      in
+      match action with
+      | `Ping -> request Serve.Protocol.Ping
+      | `Status -> request Serve.Protocol.(Query Status)
+      | `Stats -> request Serve.Protocol.(Query Stats)
+      | `Allocs -> request Serve.Protocol.(Query Allocs)
+      | `Job -> request Serve.Protocol.(Query (Job (need_id "job")))
+      | `Cancel -> request (Serve.Protocol.Cancel (need_id "cancel"))
+      | `Drain -> request Serve.Protocol.Drain
+      | `Submit ->
+        request
+          (Serve.Protocol.Submit
+             {
+               Serve.Protocol.name; w; s; f; m0; c0;
+               footprint = Option.value ~default:infinity footprint;
+             })
+      | `Watch -> (
+        let resp = Serve.Client.request conn ?at (Serve.Protocol.Subscribe true) in
+        print_endline (Serve.Protocol.encode_response resp);
+        try
+          let continue = ref true in
+          while !continue do
+            let push = Serve.Client.wait_push conn in
+            print_endline (Serve.Protocol.encode_push push);
+            match push with
+            | Serve.Protocol.P_drained _ -> continue := false
+            | _ -> ()
+          done;
+          true
+        with Serve.Client.Error _ -> true (* daemon exited; watch is done *))
+    in
+    if not ok then exit 1
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ action_arg $ id_arg $ at_arg
+      $ name_arg $ w_arg $ s_arg $ f_arg $ m0_arg $ c0_arg $ footprint_arg
+      $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running co-scheduling daemon and print the \
+          JSON response.")
+    term
+
 let main_cmd =
   let doc = "Co-scheduling algorithms for cache-partitioned systems" in
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
     [
       experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; online_cmd;
-      instance_cmd; refine_cmd;
+      instance_cmd; refine_cmd; serve_cmd; client_cmd;
     ]
 
 let () =

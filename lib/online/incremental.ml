@@ -2,9 +2,13 @@ type counters = {
   mutable solver_iters : int;
   mutable partition_ops : int;
   mutable resolves : int;
+  mutable warm_hits : int;
+  mutable cold_fallbacks : int;
 }
 
-let fresh_counters () = { solver_iters = 0; partition_ops = 0; resolves = 0 }
+let fresh_counters () =
+  { solver_iters = 0; partition_ops = 0; resolves = 0; warm_hits = 0;
+    cold_fallbacks = 0 }
 
 type t = {
   mutable prev_k : float option;
@@ -231,6 +235,13 @@ let solve t ~mode ~elapsed ~platform ~apps =
     | Warm, Some k when k -. elapsed > 0. -> Some (k -. elapsed)
     | _ -> None
   in
+  (* Counted unconditionally (plain field increments, no allocation):
+     the run's own metrics report warm hits and cold fallbacks whether
+     or not probes are on. *)
+  (match (mode, warm) with
+  | Warm, Some _ -> t.counters.warm_hits <- t.counters.warm_hits + 1
+  | Warm, None -> t.counters.cold_fallbacks <- t.counters.cold_fallbacks + 1
+  | Cold, _ -> ());
   if Obs.Probe.on () then begin
     Obs.Metrics.incr m_resolves;
     match (mode, warm) with

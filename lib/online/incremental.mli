@@ -46,6 +46,12 @@ type counters = {
       (** Per-application weight/ratio evaluations and dominance checks
           inside partition construction. *)
   mutable resolves : int;  (** Calls to {!solve}. *)
+  mutable warm_hits : int;
+      (** Warm-mode solves whose bisection was seeded by an aged
+          previous makespan. *)
+  mutable cold_fallbacks : int;
+      (** Warm-mode solves that fell back to the cold bracket (no
+          previous makespan, or it aged to nothing). *)
 }
 
 val fresh_counters : unit -> counters

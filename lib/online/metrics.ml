@@ -8,6 +8,8 @@ type t = {
   migrations : int;
   solver_iters : int;
   partition_ops : int;
+  warm_hits : int;
+  cold_fallbacks : int;
   makespan : float;
   mean_response : float;
   max_response : float;
@@ -33,6 +35,8 @@ let render ~label t =
   add_int "migrations" t.migrations;
   add_int "solver iters" t.solver_iters;
   add_int "partition ops" t.partition_ops;
+  add_int "warm hits" t.warm_hits;
+  add_int "cold fallbacks" t.cold_fallbacks;
   add_float "makespan" t.makespan;
   add_float "mean response" t.mean_response;
   add_float "max response" t.max_response;
@@ -55,6 +59,8 @@ let to_json t =
       Printf.sprintf "\"migrations\":%d," t.migrations;
       Printf.sprintf "\"solver_iters\":%d," t.solver_iters;
       Printf.sprintf "\"partition_ops\":%d," t.partition_ops;
+      Printf.sprintf "\"warm_hits\":%d," t.warm_hits;
+      Printf.sprintf "\"cold_fallbacks\":%d," t.cold_fallbacks;
       Printf.sprintf "\"makespan\":%s," (f t.makespan);
       Printf.sprintf "\"mean_response\":%s," (f t.mean_response);
       Printf.sprintf "\"max_response\":%s," (f t.max_response);

@@ -23,6 +23,10 @@ type report = {
   snapshots : snapshot list;
 }
 
+type notice =
+  | Resolved of { time : float; epoch : int; k : float }
+  | Completed of { time : float; id : int }
+
 (* Jobs within this remaining-work fraction of done are completed by the
    same sweep: equalised cohorts finish within the makespan bisection
    tolerance (~1e-12 relative), far inside this margin, while genuinely
@@ -44,202 +48,254 @@ let m_queue_depth =
 let m_live_jobs =
   Obs.Metrics.gauge ~help:"live jobs after the last event" "service.live_jobs"
 
-let run ?(config = default_config) ~platform stream =
-  Policy.validate config.policy;
-  let state = State.create platform in
-  let engine = Simulator.Engine.create () in
-  let inc = Incremental.create () in
-  let events_since = ref 0 in
-  let events_handled = ref 0 in
-  let last_solve = ref 0. in
-  let forced = ref 0 in
-  let migrations = ref 0 in
-  let snapshots = ref [] in
-  let epoch = ref 0 in
-  let arrival_jobs = Array.make (max 1 (Workload_stream.arrivals stream)) None in
+(* The stepwise core.  [run] below and the [Serve] daemon both drive this
+   record, so an offline replay and a served stream of the same events
+   are the same code path (the daemon-vs-offline equivalence property in
+   test/test_serve.ml holds by construction, and is still checked). *)
+type live = {
+  config : config;
+  platform : Model.Platform.t;
+  state : State.t;
+  engine : Simulator.Engine.t;
+  inc : Incremental.t;
+  jobs_by_id : (int, State.job) Hashtbl.t;
+  listener : (notice -> unit) option;
+  mutable events_since : int;
+  mutable events_handled : int;
+  mutable last_solve : float;
+  mutable forced : int;
+  mutable migrations : int;
+  mutable snapshots_rev : snapshot list;
+  mutable pred_epoch : int;       (* completion-prediction generation *)
+  mutable last_k : float option;  (* equalised makespan of the last solve *)
+}
 
-  let degradation () =
-    (* Cheap estimate of the relative makespan damage of not re-solving:
-       idle platform fraction plus the queued share of live work.  The
-       idle fraction is floored at 1e-9 so that the one-ulp residue of
-       the post-solve processor rescale reads as exactly zero — the
-       Threshold decision must not depend on bisection noise (it would
-       split warm and cold runs on razor-edge ties). *)
-    let jobs = State.live state in
-    let p = platform.Model.Platform.p in
-    let used =
-      Array.fold_left (fun acc (j : State.job) -> acc +. j.procs) 0. jobs
+let live_create ?(config = default_config) ?listener ~platform () =
+  Policy.validate config.policy;
+  {
+    config;
+    platform;
+    state = State.create platform;
+    engine = Simulator.Engine.create ();
+    inc = Incremental.create ();
+    jobs_by_id = Hashtbl.create 64;
+    listener;
+    events_since = 0;
+    events_handled = 0;
+    last_solve = 0.;
+    forced = 0;
+    migrations = 0;
+    snapshots_rev = [];
+    pred_epoch = 0;
+    last_k = None;
+  }
+
+let live_now lv = Simulator.Engine.now lv.engine
+
+let live_epoch lv = (Incremental.counters lv.inc).Incremental.resolves
+
+let live_state lv = lv.state
+
+let last_makespan lv = lv.last_k
+
+let find_job lv id = Hashtbl.find_opt lv.jobs_by_id id
+
+let notify lv n = match lv.listener with None -> () | Some f -> f n
+
+(* Cheap estimate of the relative makespan damage of not re-solving:
+   idle platform fraction plus the queued share of live work.  The idle
+   fraction is floored at 1e-9 so that the one-ulp residue of the
+   post-solve processor rescale reads as exactly zero — the Threshold
+   decision must not depend on bisection noise (it would split warm and
+   cold runs on razor-edge ties). *)
+let degradation lv () =
+  let jobs = State.live lv.state in
+  let p = lv.platform.Model.Platform.p in
+  let used =
+    Array.fold_left (fun acc (j : State.job) -> acc +. j.procs) 0. jobs
+  in
+  let idle =
+    let frac = (p -. used) /. p in
+    if frac > 1e-9 then frac else 0.
+  in
+  let queued_w = ref 0. and total_w = ref 0. in
+  Array.iter
+    (fun (j : State.job) ->
+      let c =
+        Model.Exec_model.work_cost ~app:j.app ~platform:lv.platform ~x:j.cache
+      in
+      let w = j.remaining *. c in
+      total_w := !total_w +. w;
+      if j.procs = 0. then queued_w := !queued_w +. w)
+    jobs;
+  idle +. (if !total_w > 0. then !queued_w /. !total_w else 0.)
+
+let resolve lv ~is_forced () =
+  let jobs = State.live lv.state in
+  if Array.length jobs > 0 then begin
+    let apps = Array.map State.remaining_app jobs in
+    let now = Simulator.Engine.now lv.engine in
+    let sol =
+      Incremental.solve lv.inc ~mode:lv.config.mode
+        ~elapsed:(now -. lv.last_solve) ~platform:lv.platform ~apps
     in
-    let idle =
-      let frac = (p -. used) /. p in
-      if frac > 1e-9 then frac else 0.
+    lv.migrations <-
+      lv.migrations
+      + State.apply lv.state jobs sol.Incremental.schedule.Model.Schedule.allocs;
+    if is_forced then lv.forced <- lv.forced + 1;
+    lv.events_since <- 0;
+    lv.last_solve <- now;
+    lv.last_k <- Some sol.Incremental.k;
+    if lv.config.record then
+      lv.snapshots_rev <-
+        {
+          time = now;
+          job_ids = Array.map (fun (j : State.job) -> j.id) jobs;
+          procs = Array.map (fun (j : State.job) -> j.procs) jobs;
+          cache = Array.map (fun (j : State.job) -> j.cache) jobs;
+          k = sol.Incremental.k;
+        }
+        :: lv.snapshots_rev;
+    if lv.config.validate then State.assert_conservation lv.state;
+    notify lv (Resolved { time = now; epoch = live_epoch lv; k = sol.Incremental.k })
+  end
+
+let decide lv =
+  let jobs = State.live lv.state in
+  if Array.length jobs = 0 then ()
+  else begin
+    let queued = Array.exists (fun (j : State.job) -> j.procs = 0.) jobs in
+    let running = Array.exists (fun (j : State.job) -> j.procs > 0.) jobs in
+    if queued && not running then resolve lv ~is_forced:true ()
+    else if
+      Policy.should_resolve lv.config.policy ~events_pending:lv.events_since
+        ~degradation:(degradation lv)
+    then resolve lv ~is_forced:false ()
+  end
+
+(* Per-event probe epilogue: wall time into the latency histogram, queue
+   depth and live-job gauges from the post-event state.  Called only when
+   probes are on; with probes off each handler pays one flag test and two
+   constant bindings. *)
+let finish_event lv sp t0 =
+  Obs.Metrics.incr m_events;
+  Obs.Metrics.observe m_event_us (Obs.Clock.elapsed_us ~since:t0);
+  let jobs = State.live lv.state in
+  let queued =
+    Array.fold_left
+      (fun acc (j : State.job) -> if j.procs = 0. then acc + 1 else acc)
+      0 jobs
+  in
+  Obs.Metrics.set m_queue_depth (float_of_int queued);
+  Obs.Metrics.set m_live_jobs (float_of_int (Array.length jobs));
+  Obs.Span.stop sp
+
+(* One next-completion event per allocation epoch: equalised cohorts
+   finish together, so the earliest predicted completion sweeps every job
+   that is done to within [completion_eps].  Superseded predictions carry
+   a stale epoch and are ignored when they fire. *)
+let rec schedule_next_completion lv =
+  lv.pred_epoch <- lv.pred_epoch + 1;
+  let e = lv.pred_epoch in
+  let next =
+    Array.fold_left
+      (fun acc j -> Float.min acc (State.remaining_time ~platform:lv.platform j))
+      infinity (State.live lv.state)
+  in
+  if next < infinity then
+    Simulator.Engine.schedule lv.engine
+      ~at:(Simulator.Engine.now lv.engine +. next)
+      (fun eng -> on_completion lv eng e)
+
+and on_completion lv eng e =
+  if e = lv.pred_epoch then begin
+    let on = Obs.Probe.on () in
+    let sp =
+      if on then Obs.Span.start "service.completion" else Obs.Span.null
     in
-    let queued_w = ref 0. and total_w = ref 0. in
+    let t0 = if on then Obs.Clock.now_ns () else 0L in
+    let now = Simulator.Engine.now eng in
+    State.advance lv.state ~to_:now;
     Array.iter
       (fun (j : State.job) ->
-        let c = Model.Exec_model.work_cost ~app:j.app ~platform ~x:j.cache in
-        let w = j.remaining *. c in
-        total_w := !total_w +. w;
-        if j.procs = 0. then queued_w := !queued_w +. w)
-      jobs;
-    idle +. (if !total_w > 0. then !queued_w /. !total_w else 0.)
-  in
+        if j.procs > 0. && j.remaining <= completion_eps then begin
+          State.complete lv.state j;
+          notify lv (Completed { time = now; id = j.id })
+        end)
+      (State.live lv.state);
+    lv.events_handled <- lv.events_handled + 1;
+    lv.events_since <- lv.events_since + 1;
+    after_event lv;
+    if on then finish_event lv sp t0
+  end
 
-  let resolve ~is_forced () =
-    let jobs = State.live state in
-    if Array.length jobs > 0 then begin
-      let apps = Array.map State.remaining_app jobs in
-      let now = Simulator.Engine.now engine in
-      let sol =
-        Incremental.solve inc ~mode:config.mode ~elapsed:(now -. !last_solve)
-          ~platform ~apps
-      in
-      migrations :=
-        !migrations
-        + State.apply state jobs sol.Incremental.schedule.Model.Schedule.allocs;
-      if is_forced then incr forced;
-      events_since := 0;
-      last_solve := now;
-      if config.record then
-        snapshots :=
-          {
-            time = now;
-            job_ids = Array.map (fun (j : State.job) -> j.id) jobs;
-            procs = Array.map (fun (j : State.job) -> j.procs) jobs;
-            cache = Array.map (fun (j : State.job) -> j.cache) jobs;
-            k = sol.Incremental.k;
-          }
-          :: !snapshots;
-      if config.validate then State.assert_conservation state
-    end
-  in
+and after_event lv =
+  if lv.config.validate then State.assert_conservation lv.state;
+  decide lv;
+  schedule_next_completion lv
 
-  let decide () =
-    let jobs = State.live state in
-    if Array.length jobs = 0 then ()
-    else begin
-      let queued = Array.exists (fun (j : State.job) -> j.procs = 0.) jobs in
-      let running = Array.exists (fun (j : State.job) -> j.procs > 0.) jobs in
-      if queued && not running then resolve ~is_forced:true ()
-      else if
-        Policy.should_resolve config.policy ~events_pending:!events_since
-          ~degradation
-      then resolve ~is_forced:false ()
-    end
-  in
+(* Advance the engine (firing due completion predictions, each of which
+   integrates progress and may re-solve) and then the state clock to
+   [to_].  Times in the past clamp to now: the daemon may observe a
+   request timestamped slightly behind its model clock. *)
+let advance lv ~to_ =
+  let to_ = Float.max to_ (Simulator.Engine.now lv.engine) in
+  Simulator.Engine.advance_to lv.engine ~to_;
+  State.advance lv.state ~to_
 
-  (* Per-event probe epilogue: wall time into the latency histogram,
-     queue depth and live-job gauges from the post-event state.  Called
-     only when probes are on; with probes off each handler pays one flag
-     test and two constant bindings. *)
-  let finish_event sp t0 =
-    Obs.Metrics.incr m_events;
-    Obs.Metrics.observe m_event_us (Obs.Clock.elapsed_us ~since:t0);
-    let jobs = State.live state in
-    let queued =
-      Array.fold_left
-        (fun acc (j : State.job) -> if j.procs = 0. then acc + 1 else acc)
-        0 jobs
-    in
-    Obs.Metrics.set m_queue_depth (float_of_int queued);
-    Obs.Metrics.set m_live_jobs (float_of_int (Array.length jobs));
-    Obs.Span.stop sp
-  in
+let submit lv ~at app =
+  let at = Float.max at (Simulator.Engine.now lv.engine) in
+  Simulator.Engine.advance_to lv.engine ~to_:at;
+  let on = Obs.Probe.on () in
+  let sp = if on then Obs.Span.start "service.arrival" else Obs.Span.null in
+  let t0 = if on then Obs.Clock.now_ns () else 0L in
+  State.advance lv.state ~to_:at;
+  let job = State.add lv.state ~app in
+  Hashtbl.replace lv.jobs_by_id job.State.id job;
+  lv.events_handled <- lv.events_handled + 1;
+  lv.events_since <- lv.events_since + 1;
+  after_event lv;
+  if on then finish_event lv sp t0;
+  job
 
-  (* One next-completion event per allocation epoch: equalised cohorts
-     finish together, so the earliest predicted completion sweeps every
-     job that is done to within [completion_eps].  Superseded predictions
-     carry a stale epoch and are ignored when they fire. *)
-  let rec schedule_next_completion () =
-    incr epoch;
-    let e = !epoch in
-    let next =
-      Array.fold_left
-        (fun acc j -> Float.min acc (State.remaining_time ~platform j))
-        infinity (State.live state)
-    in
-    if next < infinity then
-      Simulator.Engine.schedule engine
-        ~at:(Simulator.Engine.now engine +. next)
-        (fun eng -> on_completion eng e)
-
-  and on_completion eng e =
-    if e = !epoch then begin
-      let on = Obs.Probe.on () in
-      let sp =
-        if on then Obs.Span.start "service.completion" else Obs.Span.null
-      in
-      let t0 = if on then Obs.Clock.now_ns () else 0L in
-      State.advance state ~to_:(Simulator.Engine.now eng);
-      Array.iter
-        (fun (j : State.job) ->
-          if j.procs > 0. && j.remaining <= completion_eps then
-            State.complete state j)
-        (State.live state);
-      incr events_handled;
-      incr events_since;
-      after_event ();
-      if on then finish_event sp t0
-    end
-
-  and after_event () =
-    if config.validate then State.assert_conservation state;
-    decide ();
-    schedule_next_completion ()
-  in
-
-  let handle_arrival idx app eng =
+let cancel lv ~at ~id =
+  let at = Float.max at (Simulator.Engine.now lv.engine) in
+  (* Completions due before the cancellation fire first, exactly as they
+     would in a time-ordered replay — a job that finishes before its
+     departure arrives is not cancelled. *)
+  Simulator.Engine.advance_to lv.engine ~to_:at;
+  match Hashtbl.find_opt lv.jobs_by_id id with
+  | Some job when job.State.finish = None && not job.State.cancelled ->
     let on = Obs.Probe.on () in
-    let sp = if on then Obs.Span.start "service.arrival" else Obs.Span.null in
+    let sp = if on then Obs.Span.start "service.departure" else Obs.Span.null in
     let t0 = if on then Obs.Clock.now_ns () else 0L in
-    State.advance state ~to_:(Simulator.Engine.now eng);
-    let job = State.add state ~app in
-    arrival_jobs.(idx) <- Some job;
-    incr events_handled;
-    incr events_since;
-    after_event ();
-    if on then finish_event sp t0
-  in
+    State.advance lv.state ~to_:at;
+    State.cancel lv.state job;
+    lv.events_handled <- lv.events_handled + 1;
+    lv.events_since <- lv.events_since + 1;
+    after_event lv;
+    if on then finish_event lv sp t0;
+    true
+  | _ -> false
 
-  let handle_departure idx eng =
-    match arrival_jobs.(idx) with
-    | Some job when job.State.finish = None && not job.State.cancelled ->
-      let on = Obs.Probe.on () in
-      let sp =
-        if on then Obs.Span.start "service.departure" else Obs.Span.null
-      in
-      let t0 = if on then Obs.Clock.now_ns () else 0L in
-      State.advance state ~to_:(Simulator.Engine.now eng);
-      State.cancel state job;
-      incr events_handled;
-      incr events_since;
-      after_event ();
-      if on then finish_event sp t0
-    | _ -> ()
-  in
+let drain_step lv =
+  Simulator.Engine.run lv.engine;
+  if Array.length (State.live lv.state) = 0 then false
+  else begin
+    (* A policy can leave jobs queued after the input stops (it never
+       triggered and nothing was running to force it). *)
+    resolve lv ~is_forced:true ();
+    schedule_next_completion lv;
+    true
+  end
 
-  let next_arrival = ref 0 in
-  List.iter
-    (fun { Workload_stream.time; kind } ->
-      match kind with
-      | Workload_stream.Arrival app ->
-        let idx = !next_arrival in
-        incr next_arrival;
-        Simulator.Engine.schedule engine ~at:time (handle_arrival idx app)
-      | Workload_stream.Departure idx ->
-        Simulator.Engine.schedule engine ~at:time (handle_departure idx))
-    (Workload_stream.events stream);
+let drain lv =
+  while drain_step lv do
+    ()
+  done
 
-  Simulator.Engine.run engine;
-  (* Safety net: a policy can leave jobs queued after the stream drains
-     (it never triggered and nothing was running to force it). *)
-  while Array.length (State.live state) > 0 do
-    resolve ~is_forced:true ();
-    schedule_next_completion ();
-    Simulator.Engine.run engine
-  done;
-
-  let finished = State.finished state in
+let live_report lv =
+  let finished = State.finished lv.state in
   let completed =
     List.filter (fun (j : State.job) -> j.finish <> None) finished
   in
@@ -259,19 +315,21 @@ let run ?(config = default_config) ~platform stream =
            (Option.get j.finish -. j.arrival) /. j.alone_time)
          completed)
   in
-  let makespan = State.now state in
-  let c = Incremental.counters inc in
+  let makespan = State.now lv.state in
+  let c = Incremental.counters lv.inc in
   let metrics =
     {
-      Metrics.jobs = Workload_stream.arrivals stream;
+      Metrics.jobs = Hashtbl.length lv.jobs_by_id;
       completed = List.length completed;
       cancelled;
-      events = !events_handled;
+      events = lv.events_handled;
       resolves = c.Incremental.resolves;
-      forced_resolves = !forced;
-      migrations = !migrations;
+      forced_resolves = lv.forced;
+      migrations = lv.migrations;
       solver_iters = c.Incremental.solver_iters;
       partition_ops = c.Incremental.partition_ops;
+      warm_hits = c.Incremental.warm_hits;
+      cold_fallbacks = c.Incremental.cold_fallbacks;
       makespan;
       mean_response =
         (if Array.length responses = 0 then 0. else Util.Stats.mean responses);
@@ -285,8 +343,20 @@ let run ?(config = default_config) ~platform stream =
          else snd (Util.Stats.min_max stretches));
       utilization =
         (if makespan > 0. then
-           State.busy_integral state /. (platform.Model.Platform.p *. makespan)
+           State.busy_integral lv.state
+           /. (lv.platform.Model.Platform.p *. makespan)
          else 0.);
     }
   in
-  { metrics; jobs = finished; snapshots = List.rev !snapshots }
+  { metrics; jobs = finished; snapshots = List.rev lv.snapshots_rev }
+
+let run ?(config = default_config) ~platform stream =
+  let lv = live_create ~config ~platform () in
+  List.iter
+    (fun { Workload_stream.time; kind } ->
+      match kind with
+      | Workload_stream.Arrival app -> ignore (submit lv ~at:time app : State.job)
+      | Workload_stream.Departure idx -> ignore (cancel lv ~at:time ~id:idx : bool))
+    (Workload_stream.events stream);
+  drain lv;
+  live_report lv

@@ -1,0 +1,259 @@
+open Protocol
+
+type config = {
+  service : Online.Service.config;
+  platform : Model.Platform.t;
+  queue_depth : int;
+  journal : string option;
+}
+
+let default_config =
+  {
+    service = Online.Service.default_config;
+    platform = Model.Platform.paper_default;
+    queue_depth = 1024;
+    journal = None;
+  }
+
+type t = {
+  lv : Online.Service.live;
+  journal : Campaign.Journal.t option;
+  mutable seq : int;
+  mutable draining : bool;
+  recovered : int;
+  queue_depth : int;
+  notices : Online.Service.notice Queue.t;
+}
+
+let now t = Online.Service.live_now t.lv
+let epoch t = Online.Service.live_epoch t.lv
+let draining t = t.draining
+let recovered t = t.recovered
+let live_jobs t = Array.length (Online.State.live (Online.Service.live_state t.lv))
+
+let take_notices t =
+  let rec go acc =
+    match Queue.take_opt t.notices with
+    | None -> List.rev acc
+    | Some n -> go (n :: acc)
+  in
+  go []
+
+(* --- journal replay ----------------------------------------------------- *)
+
+let app_of_spec (a : app_spec) =
+  match
+    Model.App.make ~name:a.name ~s:a.s ~footprint:a.footprint ~c0:a.c0 ~w:a.w
+      ~f:a.f ~m0:a.m0 ()
+  with
+  | app -> Ok app
+  | exception Invalid_argument m -> Error (Bad_request, m)
+
+(* One journal entry per state mutation, keyed [verb:<seq>...] so the
+   journal's first-write-wins dedup never collides.  Replaying the
+   entries oldest-first through the same live core reproduces the exact
+   pre-crash job set: completions are deterministic functions of the
+   submit/cancel/advance/drain timeline. *)
+let replay_entry lv (e : Campaign.Journal.entry) =
+  match String.split_on_char ':' e.key with
+  | "submit" :: seq :: name_rest -> (
+    match e.values with
+    | [| at; w; s; f; m0; c0; footprint |] -> (
+      let name = String.concat ":" name_rest in
+      match Model.App.make ~name ~s ~footprint ~c0 ~w ~f ~m0 () with
+      | app ->
+        ignore (Online.Service.submit lv ~at app);
+        int_of_string_opt seq
+      | exception Invalid_argument _ -> None)
+    | _ -> None)
+  | [ "cancel"; seq ] -> (
+    match e.values with
+    | [| at; id |] ->
+      ignore (Online.Service.cancel lv ~at ~id:(int_of_float id));
+      int_of_string_opt seq
+    | _ -> None)
+  | [ "advance"; seq ] -> (
+    match e.values with
+    | [| at |] ->
+      Online.Service.advance lv ~to_:at;
+      int_of_string_opt seq
+    | _ -> None)
+  | [ "drain"; seq ] ->
+    Online.Service.drain lv;
+    int_of_string_opt seq
+  | _ -> None
+
+let create (config : config) =
+  let notices = Queue.create () in
+  let lv =
+    Online.Service.live_create ~config:config.service
+      ~listener:(fun n -> Queue.add n notices)
+      ~platform:config.platform ()
+  in
+  let journal, recovered, seq =
+    match config.journal with
+    | None -> (None, 0, 0)
+    | Some path ->
+      let j = Campaign.Journal.create ~path in
+      let applied = ref 0 and max_seq = ref (-1) in
+      List.iter
+        (fun e ->
+          match replay_entry lv e with
+          | Some s ->
+            incr applied;
+            if s > !max_seq then max_seq := s
+          | None -> ())
+        (Campaign.Journal.entries j);
+      (Some j, !applied, !max_seq + 1)
+  in
+  (* Replay fires listener notices for pre-crash completions; nobody is
+     subscribed yet, so drop them. *)
+  Queue.clear notices;
+  { lv; journal; seq; draining = false; recovered; queue_depth = config.queue_depth; notices }
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let journal_entry t key values =
+  match t.journal with
+  | None -> ()
+  | Some j -> Campaign.Journal.append j { trial = 0; key; values }
+
+(* --- request handling --------------------------------------------------- *)
+
+let view_of_job (j : Online.State.job) : job_view =
+  let state =
+    if j.cancelled then Cancelled
+    else if j.finish <> None then Done
+    else if j.procs > 0. then Running
+    else Queued
+  in
+  {
+    job = j.id;
+    state;
+    procs = j.procs;
+    cache = j.cache;
+    remaining = j.remaining;
+    arrival = j.arrival;
+    finish = j.finish;
+  }
+
+let completed_count t = (Online.Service.live_report t.lv).metrics.completed
+
+let drain_all t ~journal:write_entry =
+  if write_entry then
+    journal_entry t (Printf.sprintf "drain:%d" (next_seq t)) [| now t |];
+  t.draining <- true;
+  match
+    let continuing = ref true in
+    while !continuing do
+      Campaign.Watchdog.check ();
+      continuing := Online.Service.drain_step t.lv
+    done
+  with
+  | () -> true
+  | exception Campaign.Watchdog.Timeout _ -> false
+
+let shutdown_drain t = drain_all t ~journal:true
+
+let handle t ~clients (req : request) =
+  let t_eff =
+    match req.at with None -> now t | Some at -> Float.max at (now t)
+  in
+  (* Pure time advances must reach the journal too, or a replay would
+     miss completions the pre-crash daemon already swept. *)
+  let advance_to_eff () =
+    if t_eff > now t then begin
+      journal_entry t (Printf.sprintf "advance:%d" (next_seq t)) [| t_eff |];
+      Online.Service.advance t.lv ~to_:t_eff
+    end
+  in
+  let reply =
+    match req.verb with
+    | Submit spec ->
+      if t.draining then
+        R_error
+          { code = Draining; message = "daemon is draining; submissions refused" }
+      else if live_jobs t >= t.queue_depth then
+        R_error
+          {
+            code = Overload;
+            message =
+              Printf.sprintf "queue depth %d reached; retry after completions"
+                t.queue_depth;
+          }
+      else (
+        match app_of_spec spec with
+        | Error (code, message) -> R_error { code; message }
+        | Ok app ->
+          journal_entry t
+            (Printf.sprintf "submit:%d:%s" (next_seq t) spec.name)
+            [| t_eff; spec.w; spec.s; spec.f; spec.m0; spec.c0; spec.footprint |];
+          let job = Online.Service.submit t.lv ~at:t_eff app in
+          R_submitted { job = job.id })
+    | Cancel id -> (
+      match Online.Service.find_job t.lv id with
+      | None ->
+        R_error
+          { code = Unknown_job; message = Printf.sprintf "no job with id %d" id }
+      | Some _ ->
+        journal_entry t
+          (Printf.sprintf "cancel:%d" (next_seq t))
+          [| t_eff; float_of_int id |];
+        let was_live = Online.Service.cancel t.lv ~at:t_eff ~id in
+        R_cancelled { job = id; was_live })
+    | Query q -> (
+      advance_to_eff ();
+      let state = Online.Service.live_state t.lv in
+      match q with
+      | Stats ->
+        let report = Online.Service.live_report t.lv in
+        R_stats { time = now t; clients; metrics = report.metrics }
+      | Status ->
+        R_status
+          {
+            time = now t;
+            live = live_jobs t;
+            queued = Online.State.queued state;
+            running = Online.State.running state;
+            clients;
+            draining = t.draining;
+            recovered = t.recovered;
+          }
+      | Allocs ->
+        R_allocs
+          {
+            time = now t;
+            k = Online.Service.last_makespan t.lv;
+            jobs = Array.map view_of_job (Online.State.live state);
+          }
+      | Job id -> (
+        match Online.Service.find_job t.lv id with
+        | Some j -> R_job (view_of_job j)
+        | None ->
+          R_error
+            { code = Unknown_job; message = Printf.sprintf "no job with id %d" id }
+          ))
+    | Subscribe on ->
+      (* The per-connection flag itself lives in the daemon's session;
+         the backend only validates and acknowledges. *)
+      R_subscribed { on }
+    | Drain ->
+      (* [at] is ignored: a drain always runs from the current model
+         time to completion of every live job. *)
+      let before = completed_count t in
+      if drain_all t ~journal:true then
+        R_drained { time = now t; completed = completed_count t - before }
+      else
+        R_error
+          {
+            code = Timeout;
+            message = "drain deadline elapsed before all jobs completed";
+          }
+    | Ping ->
+      advance_to_eff ();
+      R_pong
+  in
+  { rid = req.rid; epoch = epoch t; reply }

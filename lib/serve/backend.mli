@@ -1,0 +1,75 @@
+(** The daemon's scheduling backend: one {!Online.Service.live} instance
+    behind a request dispatcher, with a crash-safe write-ahead journal.
+
+    Every state-mutating request (submit, cancel, the implicit time
+    advance of a timestamped query, drain) is appended to a
+    {!Campaign.Journal} {e before} it is applied, keyed
+    [verb:<seq>:...] with a monotone sequence number.  On restart,
+    {!create} replays the surviving entries oldest-first through a fresh
+    live core; because the service is a deterministic function of its
+    event timeline, the recovered job set is exactly the pre-crash one —
+    torn tail lines are quarantined by the journal layer, not replayed.
+
+    The backend is single-threaded by design: the daemon's [select] loop
+    calls {!handle} one request at a time, in arrival order, which is
+    what makes daemon-served schedules bit-identical to an offline
+    {!Online.Service.run} over the same events. *)
+
+type config = {
+  service : Online.Service.config;  (** Policy / solver mode of the core. *)
+  platform : Model.Platform.t;
+  queue_depth : int;                (** Max live jobs before submissions
+                                        are rejected with [Overload]. *)
+  journal : string option;          (** Write-ahead journal path; [None]
+                                        disables persistence. *)
+}
+
+val default_config : config
+(** Paper-default platform, service defaults, depth 1024, no journal. *)
+
+type t
+(** A backend instance owning the live core and journal handle. *)
+
+val create : config -> t
+(** Fresh backend at model time 0 — unless [config.journal] names an
+    existing journal, in which case its entries are replayed first and
+    the backend resumes at the recovered model time (see {!recovered}).
+    A drain entry in the journal re-runs the drain but does {e not}
+    leave the restarted backend in draining state. *)
+
+val now : t -> float
+(** Current model time of the live core. *)
+
+val epoch : t -> int
+(** Current allocation epoch ({!Online.Service.live_epoch}); stamps
+    every response. *)
+
+val draining : t -> bool
+(** Whether a drain has been requested; once set, submissions are
+    refused with [Draining] and the daemon exits after flushing. *)
+
+val recovered : t -> int
+(** Journal entries successfully replayed by {!create} (0 without a
+    journal). *)
+
+val live_jobs : t -> int
+(** Jobs admitted but not yet finished or cancelled. *)
+
+val take_notices : t -> Online.Service.notice list
+(** Drain the notices (re-solves, completions) the live core emitted
+    since the last call, oldest first — the daemon broadcasts them to
+    subscribed clients as push frames. *)
+
+val shutdown_drain : t -> bool
+(** The SIGTERM path: journal a drain entry, mark the backend draining,
+    and run every live job to completion, polling
+    {!Campaign.Watchdog.check} between steps.  Returns [false] when the
+    installed deadline expired before the drain finished ([true]
+    otherwise, including when no deadline is installed). *)
+
+val handle : t -> clients:int -> Protocol.request -> Protocol.response
+(** Process one request and produce its response (never raises: all
+    failures become [R_error]).  [clients] is the daemon's current
+    connection count, echoed in stats/status replies.  Requests with an
+    [at] in the past are clamped to the current model time; [at] on a
+    drain is ignored. *)

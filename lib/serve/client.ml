@@ -1,0 +1,117 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type t = {
+  fd : Unix.file_descr;
+  decoder : Frame.decoder;
+  mutable next_rid : int;
+  pushes : Protocol.push Queue.t;
+  mutable closed : bool;
+}
+
+let make fd =
+  { fd; decoder = Frame.decoder (); next_rid = 0; pushes = Queue.create (); closed = false }
+
+let connect_with ~retries ~delay addr =
+  let rec go attempt =
+    let domain = Unix.domain_of_sockaddr addr in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> make fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN), _, _)
+      when attempt < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Unix.select [] [] [] delay);
+      go (attempt + 1)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "connect failed: %s" (Unix.error_message e)
+  in
+  go 0
+
+let connect ?(retries = 50) ?(delay = 0.1) path =
+  connect_with ~retries ~delay (Unix.ADDR_UNIX path)
+
+let connect_tcp ?(retries = 50) ?(delay = 0.1) ~port () =
+  connect_with ~retries ~delay (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all t s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write_substring t.fd s !pos (n - !pos) with
+    | written -> pos := !pos + written
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "write failed: %s" (Unix.error_message e)
+  done
+
+let post t ?at verb =
+  if t.closed then fail "client is closed";
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  write_all t (Frame.encode (Protocol.encode_request { rid; at; verb }));
+  rid
+
+let read_buf = Bytes.create 65536
+
+let receive t =
+  if t.closed then fail "client is closed";
+  let rec go () =
+    match Frame.next t.decoder with
+    | `Frame payload -> (
+      match Protocol.decode_incoming payload with
+      | Ok incoming -> incoming
+      | Error (code, msg) ->
+        fail "undecodable server frame (%s): %s" (Protocol.error_code_name code) msg)
+    | `Error msg -> fail "framing error from server: %s" msg
+    | `Await -> (
+      match Unix.read t.fd read_buf 0 (Bytes.length read_buf) with
+      | 0 -> fail "connection closed by daemon"
+      | n ->
+        Frame.feed t.decoder (Bytes.sub_string read_buf 0 n);
+        go ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "read failed: %s" (Unix.error_message e))
+  in
+  go ()
+
+let receive_reply t ~rid =
+  let rec go () =
+    match receive t with
+    | Protocol.Event p ->
+      Queue.add p t.pushes;
+      go ()
+    | Protocol.Reply r when r.rid = rid -> r
+    | Protocol.Reply r -> fail "response for unexpected request id %d" r.rid
+  in
+  go ()
+
+let request t ?at verb =
+  let rid = post t ?at verb in
+  receive_reply t ~rid
+
+let pushes t =
+  let rec go acc =
+    match Queue.take_opt t.pushes with
+    | None -> List.rev acc
+    | Some p -> go (p :: acc)
+  in
+  go []
+
+let wait_push t =
+  match Queue.take_opt t.pushes with
+  | Some p -> p
+  | None -> (
+    match receive t with
+    | Protocol.Event p -> p
+    | Protocol.Reply r ->
+      fail "unsolicited response for request id %d while waiting for a push" r.rid)

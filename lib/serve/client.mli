@@ -1,0 +1,51 @@
+(** Blocking client for the co-scheduling daemon.
+
+    A thin synchronous wrapper over one connected socket: {!request}
+    sends a verb and waits for its response (buffering any push events
+    that arrive in between), while {!post}/{!receive} expose the
+    pipelined layer directly — send many requests back-to-back, then
+    read the responses in order — which is what the throughput bench
+    uses.  All failures raise {!Error}; the daemon's structured
+    [R_error] replies are returned, not raised, so callers distinguish
+    transport failures from protocol-level refusals. *)
+
+exception Error of string
+(** Transport or protocol-framing failure (connect, short read, server
+    sent garbage).  Never raised for a well-formed [R_error] reply. *)
+
+type t
+(** One blocking connection to a daemon. *)
+
+val connect : ?retries:int -> ?delay:float -> string -> t
+(** Connect to a Unix-domain socket path, retrying [retries] times
+    (default 50) every [delay] seconds (default 0.1) while the socket
+    does not exist yet or refuses — covers the daemon's start-up window.
+    @raise Error when the final attempt fails. *)
+
+val connect_tcp : ?retries:int -> ?delay:float -> port:int -> unit -> t
+(** Same, to the daemon's loopback TCP port. *)
+
+val post : t -> ?at:float -> Protocol.verb -> int
+(** Send one request without waiting; returns its request id.  [at]
+    optionally advances the daemon's model clock.  Pipelining: responses
+    come back in request order.  @raise Error on transport failure. *)
+
+val receive : t -> Protocol.incoming
+(** Block for the next frame from the daemon — a response or a push.
+    @raise Error on transport failure or an undecodable frame. *)
+
+val request : t -> ?at:float -> Protocol.verb -> Protocol.response
+(** {!post} then block until {e this} request's response arrives.  Push
+    events received meanwhile are buffered for {!pushes}/{!wait_push}.
+    @raise Error on transport failure or a response-id mismatch. *)
+
+val pushes : t -> Protocol.push list
+(** Drain the buffered push events (oldest first) without blocking. *)
+
+val wait_push : t -> Protocol.push
+(** Return a buffered push, or block until one arrives.  @raise Error
+    if a response frame arrives instead (no request is outstanding when
+    this is called correctly). *)
+
+val close : t -> unit
+(** Close the connection (idempotent). *)

@@ -1,0 +1,263 @@
+open Protocol
+
+type config = {
+  backend : Backend.config;
+  socket : string;
+  port : int option;
+  max_clients : int;
+  drain_timeout : float option;
+  client_timeout : float;
+}
+
+let default_config =
+  {
+    backend = Backend.default_config;
+    socket = "cosched.sock";
+    port = None;
+    max_clients = 64;
+    drain_timeout = None;
+    client_timeout = 10.;
+  }
+
+(* Registered once per process; recording is guarded by Probe.on. *)
+let m_clients = Obs.Metrics.gauge ~help:"Connected clients" "serve.clients"
+
+let m_latency =
+  Obs.Metrics.histogram ~help:"Per-request handling latency (seconds)"
+    "serve.request_seconds"
+
+let m_requests = Obs.Metrics.counter ~help:"Requests handled" "serve.requests"
+
+let m_rejected =
+  Obs.Metrics.counter ~help:"Connections rejected at the client limit"
+    "serve.rejected_connections"
+
+let m_overload =
+  Obs.Metrics.counter ~help:"Requests refused for backpressure or draining"
+    "serve.overload_rejects"
+
+let m_bad_frames =
+  Obs.Metrics.counter ~help:"Connections dropped on framing violations"
+    "serve.bad_frames"
+
+let m_slow_drops =
+  Obs.Metrics.counter ~help:"Clients dropped by the write deadline"
+    "serve.slow_client_drops"
+
+let listen_unix path =
+  (* A stale socket file from a crashed daemon would make bind fail;
+     remove it first (a live daemon holds the listener, so this only
+     ever unlinks leftovers). *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let push_of_notice = function
+  | Online.Service.Resolved { time; epoch; k } -> P_resolved { time; epoch; k }
+  | Online.Service.Completed { time; id } -> P_completed { time; job = id }
+
+let run ?on_ready (config : config) =
+  if config.max_clients < 1 then invalid_arg "Daemon.run: max_clients must be >= 1";
+  if not (config.client_timeout > 0.) then
+    invalid_arg "Daemon.run: client_timeout must be positive";
+  let backend = Backend.create config.backend in
+  let unix_fd = listen_unix config.socket in
+  let tcp_fd = Option.map listen_tcp config.port in
+  let listeners = unix_fd :: Option.to_list tcp_fd in
+  let sessions = ref [] in
+  let next_id = ref 0 in
+  let drain_requested = ref false in
+  let shutting_down = ref false in
+  let stop = ref false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain_requested := true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> drain_requested := true))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let set_clients_gauge () =
+    if Obs.Probe.on () then
+      Obs.Metrics.set m_clients (float_of_int (List.length !sessions))
+  in
+  let drop s =
+    Session.close s;
+    sessions := List.filter (fun s' -> Session.id s' <> Session.id s) !sessions;
+    set_clients_gauge ()
+  in
+  let broadcast payload =
+    List.iter
+      (fun s -> if Session.subscribed s then Session.send s payload)
+      !sessions
+  in
+  let broadcast_notices () =
+    List.iter
+      (fun n -> broadcast (encode_push (push_of_notice n)))
+      (Backend.take_notices backend)
+  in
+  let begin_shutdown () =
+    if not !shutting_down then begin
+      shutting_down := true;
+      broadcast (encode_push (P_drained { time = Backend.now backend }));
+      List.iter Session.close_after_flush !sessions
+    end
+  in
+  let handle_request s req =
+    let t0 = Unix.gettimeofday () in
+    let resp =
+      Campaign.Watchdog.with_deadline ?seconds:config.drain_timeout (fun () ->
+          Backend.handle backend ~clients:(List.length !sessions) req)
+    in
+    if Obs.Probe.on () then begin
+      Obs.Metrics.incr m_requests;
+      Obs.Metrics.observe m_latency (Unix.gettimeofday () -. t0);
+      match resp.reply with
+      | R_error { code = Overload | Draining; _ } -> Obs.Metrics.incr m_overload
+      | _ -> ()
+    end;
+    (match req.verb with
+    | Subscribe on -> Session.set_subscribed s on
+    | _ -> ());
+    Session.send s (encode_response resp);
+    broadcast_notices ();
+    if Backend.draining backend then begin_shutdown ()
+  in
+  let handle_frames s =
+    let continue = ref true in
+    while !continue && not (Session.closing s) do
+      match Session.next_frame s with
+      | `Await -> continue := false
+      | `Error msg ->
+        if Obs.Probe.on () then Obs.Metrics.incr m_bad_frames;
+        Session.send s
+          (encode_response
+             {
+               rid = -1;
+               epoch = Backend.epoch backend;
+               reply =
+                 R_error { code = Bad_request; message = "framing error: " ^ msg };
+             });
+        Session.close_after_flush s
+      | `Frame payload -> (
+        match decode_request payload with
+        | Error (code, message) ->
+          Session.send s
+            (encode_response
+               {
+                 rid = -1;
+                 epoch = Backend.epoch backend;
+                 reply = R_error { code; message };
+               })
+        | Ok req -> handle_request s req)
+    done
+  in
+  let accept lfd =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true lfd with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        if List.length !sessions >= config.max_clients then begin
+          if Obs.Probe.on () then Obs.Metrics.incr m_rejected;
+          let resp =
+            encode_response
+              {
+                rid = -1;
+                epoch = Backend.epoch backend;
+                reply =
+                  R_error
+                    {
+                      code = Overload;
+                      message =
+                        Printf.sprintf "client limit %d reached"
+                          config.max_clients;
+                    };
+              }
+          in
+          let frame = Frame.encode resp in
+          (try ignore (Unix.write_substring fd frame 0 (String.length frame))
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          incr next_id;
+          sessions := Session.create ~id:!next_id fd :: !sessions;
+          set_clients_gauge ()
+        end
+    done
+  in
+  Option.iter (fun f -> f ()) on_ready;
+  while not !stop do
+    if !drain_requested && not !shutting_down then begin
+      (* SIGTERM/SIGINT: finish every live job (bounded by the drain
+         deadline), tell subscribers, then flush and exit. *)
+      ignore
+        (Campaign.Watchdog.with_deadline ?seconds:config.drain_timeout (fun () ->
+             Backend.shutdown_drain backend));
+      broadcast_notices ();
+      begin_shutdown ()
+    end;
+    if !shutting_down && List.for_all (fun s -> Session.pending_out s = 0) !sessions
+    then stop := true
+    else begin
+      let reads =
+        (if !shutting_down then [] else listeners)
+        @ List.filter_map
+            (fun s -> if Session.closing s then None else Some (Session.fd s))
+            !sessions
+      and writes =
+        List.filter_map
+          (fun s -> if Session.pending_out s > 0 then Some (Session.fd s) else None)
+          !sessions
+      in
+      match Unix.select reads writes [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        List.iter (fun lfd -> if List.mem lfd readable then accept lfd) listeners;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun s ->
+            if List.mem (Session.fd s) readable && not (Session.closing s) then begin
+              match Session.read s with
+              | `Eof ->
+                if Session.pending_out s = 0 then drop s
+                else Session.close_after_flush s
+              | `Data -> handle_frames s
+            end)
+          !sessions;
+        List.iter
+          (fun s ->
+            if List.mem (Session.fd s) writable || Session.pending_out s > 0 then begin
+              match Session.flush s ~now with
+              | `Closed -> drop s
+              | `Idle -> if Session.closing s then drop s
+              | `Blocked -> (
+                match Session.blocked_since s with
+                | Some t0 when now -. t0 > config.client_timeout ->
+                  if Obs.Probe.on () then Obs.Metrics.incr m_slow_drops;
+                  drop s
+                | _ -> ())
+            end
+            else if Session.closing s && Session.pending_out s = 0 then drop s)
+          !sessions
+    end
+  done;
+  List.iter Session.close !sessions;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigpipe prev_pipe

@@ -1,0 +1,51 @@
+(** The co-scheduling daemon: a single-process, single-threaded
+    [Unix.select] event loop serving the {!Protocol} over a Unix-domain
+    socket (and optionally a loopback TCP port).
+
+    One {!Backend} instance handles requests strictly in arrival order,
+    so the daemon-served schedule is the same deterministic function of
+    the event timeline as an offline {!Online.Service.run} — the
+    equivalence the serve test suite checks.  Model time is virtual: it
+    advances only through request [at] timestamps and drains, never
+    through the wall clock, which is also what makes journal replay
+    after a crash exact.
+
+    Shutdown is graceful on SIGTERM/SIGINT (and on a client [drain]
+    verb): finish every live job — bounded by the drain deadline via
+    {!Campaign.Watchdog} — push a [drained] event to subscribers, flush
+    every connection, then exit, removing the socket file.  Clients that
+    stop reading are dropped after [client_timeout] seconds of
+    write-blockage so one slow consumer cannot wedge the loop.
+
+    With {!Obs.Probe.on}, the daemon maintains a connected-clients
+    gauge, a per-request latency histogram and rejected/overload/
+    bad-frame/slow-drop counters under the [serve.*] prefix. *)
+
+type config = {
+  backend : Backend.config;      (** Scheduling core, journal, depth. *)
+  socket : string;               (** Unix-domain socket path (stale
+                                     files are unlinked at bind). *)
+  port : int option;             (** Also listen on this loopback TCP
+                                     port when set. *)
+  max_clients : int;             (** Admission limit; further connects
+                                     get one [Overload] error frame. *)
+  drain_timeout : float option;  (** Watchdog budget (seconds) for
+                                     drains; [None] = unbounded. *)
+  client_timeout : float;        (** Seconds a client may stay
+                                     write-blocked before being
+                                     dropped. *)
+}
+
+val default_config : config
+(** Backend defaults, ["cosched.sock"], no TCP, 64 clients, unbounded
+    drain, 10 s client deadline. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Run the daemon until it drains (SIGTERM, SIGINT or a [drain] verb),
+    then clean up sockets and restore signal handlers.  [on_ready] fires
+    once the listeners are bound and any journal replay has finished —
+    tests and the CLI use it to signal "safe to connect".
+    @raise Invalid_argument on a non-positive [max_clients] or
+    [client_timeout].
+    @raise Unix.Unix_error when binding a listener fails (bad path,
+    port in use). *)

@@ -1,0 +1,78 @@
+let default_max_frame = 1 lsl 20
+
+let encode payload = Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+type decoder = {
+  buf : Buffer.t;
+  mutable pos : int;  (* consumed prefix of [buf] *)
+  max_frame : int;
+  mutable dead : string option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  if max_frame <= 0 then invalid_arg "Frame.decoder: max_frame must be positive";
+  { buf = Buffer.create 512; pos = 0; max_frame; dead = None }
+
+let feed d s = if d.dead = None then Buffer.add_string d.buf s
+
+let die d msg =
+  d.dead <- Some msg;
+  `Error msg
+
+(* Drop the consumed prefix once it dominates the buffer, so a
+   long-lived connection doesn't grow the buffer without bound. *)
+let compact d =
+  let len = Buffer.length d.buf in
+  if d.pos > 4096 && d.pos * 2 >= len then begin
+    let rest = Buffer.sub d.buf d.pos (len - d.pos) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let next d =
+  match d.dead with
+  | Some msg -> `Error msg
+  | None -> (
+    let len = Buffer.length d.buf in
+    (* Find the header's terminating newline. *)
+    let rec find_nl i =
+      if i >= len then None
+      else if Buffer.nth d.buf i = '\n' then Some i
+      else find_nl (i + 1)
+    in
+    match find_nl d.pos with
+    | None ->
+      (* No complete header yet; a header longer than the digits of
+         max_frame (plus slack) can never be valid. *)
+      if len - d.pos > 20 then die d "frame header too long"
+      else `Await
+    | Some nl ->
+      let header = Buffer.sub d.buf d.pos (nl - d.pos) in
+      let n = String.length header in
+      let digits_ok =
+        n > 0 && n <= 19
+        && (n = 1 || header.[0] <> '0')
+        && String.for_all (fun c -> c >= '0' && c <= '9') header
+      in
+      if not digits_ok then
+        die d (Printf.sprintf "invalid frame length header %S" header)
+      else
+        let flen = int_of_string header in
+        if flen > d.max_frame then
+          die d
+            (Printf.sprintf "frame of %d bytes exceeds limit of %d bytes" flen
+               d.max_frame)
+        else if len - nl - 1 < flen + 1 then `Await
+        else begin
+          let payload = Buffer.sub d.buf (nl + 1) flen in
+          let trailer = Buffer.nth d.buf (nl + 1 + flen) in
+          if trailer <> '\n' then die d "frame missing trailing newline"
+          else begin
+            d.pos <- nl + 1 + flen + 1;
+            compact d;
+            `Frame payload
+          end
+        end)
+
+let buffered d = Buffer.length d.buf - d.pos

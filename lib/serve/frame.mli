@@ -1,0 +1,34 @@
+(** Length-prefixed framing for the daemon's byte stream.
+
+    A frame is [<decimal length>\n<payload>\n]: human-readable enough to
+    speak from a shell, self-delimiting enough to pipeline.  The decoder
+    is incremental — feed it arbitrary chunks as they arrive from
+    [read] and pull complete payloads out — and defensive: a
+    non-numeric or over-long length header, an oversized frame, or a
+    missing trailing newline poisons the decoder with a permanent error
+    (the daemon then drops the connection; resynchronising with a
+    corrupt framing stream is guesswork we refuse to do). *)
+
+val default_max_frame : int
+(** Default payload-size limit: 1 MiB. *)
+
+val encode : string -> string
+(** [encode payload] is the wire form [length ^ "\n" ^ payload ^ "\n"]. *)
+
+type decoder
+(** Incremental decoder holding buffered, not-yet-framed bytes. *)
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** Fresh decoder.  [max_frame] bounds accepted payload size (bytes).
+    @raise Invalid_argument if [max_frame <= 0]. *)
+
+val feed : decoder -> string -> unit
+(** Append received bytes.  Ignored once the decoder is in error. *)
+
+val next : decoder -> [ `Frame of string | `Await | `Error of string ]
+(** Pull the next complete payload.  [`Await] means more bytes are
+    needed; [`Error] is sticky — once framing is corrupt every later
+    call returns the same error. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet returned as frames (back-pressure signal). *)

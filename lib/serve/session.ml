@@ -1,0 +1,73 @@
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  decoder : Frame.decoder;
+  out : Buffer.t;
+  mutable out_pos : int;
+  mutable subscribed : bool;
+  mutable closing : bool;
+  mutable blocked_since : float option;
+}
+
+let create ?max_frame ~id fd =
+  {
+    fd;
+    id;
+    decoder = Frame.decoder ?max_frame ();
+    out = Buffer.create 512;
+    out_pos = 0;
+    subscribed = false;
+    closing = false;
+    blocked_since = None;
+  }
+
+let fd t = t.fd
+let id t = t.id
+let subscribed t = t.subscribed
+let set_subscribed t on = t.subscribed <- on
+let closing t = t.closing
+let close_after_flush t = t.closing <- true
+let blocked_since t = t.blocked_since
+let send t payload = Buffer.add_string t.out (Frame.encode payload)
+let pending_out t = Buffer.length t.out - t.out_pos
+
+(* One shared scratch buffer: the daemon is single-threaded by design. *)
+let read_buf = Bytes.create 65536
+
+let read t =
+  match Unix.read t.fd read_buf 0 (Bytes.length read_buf) with
+  | 0 -> `Eof
+  | n ->
+    Frame.feed t.decoder (Bytes.sub_string read_buf 0 n);
+    `Data
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> `Data
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> `Eof
+
+let next_frame t = Frame.next t.decoder
+
+let flush t ~now =
+  let pending = pending_out t in
+  if pending = 0 then begin
+    t.blocked_since <- None;
+    `Idle
+  end
+  else
+    match Unix.write_substring t.fd (Buffer.contents t.out) t.out_pos pending with
+    | n ->
+      t.out_pos <- t.out_pos + n;
+      if pending_out t = 0 then begin
+        Buffer.clear t.out;
+        t.out_pos <- 0;
+        t.blocked_since <- None;
+        `Idle
+      end
+      else begin
+        if t.blocked_since = None then t.blocked_since <- Some now;
+        `Blocked
+      end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      if t.blocked_since = None then t.blocked_since <- Some now;
+      `Blocked
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> `Closed
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,64 @@
+(** Per-connection state of the daemon: a non-blocking socket, an
+    incremental {!Frame} decoder for the inbound byte stream, and an
+    outbound buffer drained opportunistically by the [select] loop.
+
+    Writes never block the daemon: responses and pushes are appended to
+    the session buffer and flushed when the socket is writable.  A
+    session that stays write-blocked past the daemon's client deadline
+    is dropped — one slow subscriber must not stall the scheduler for
+    everyone else. *)
+
+type t
+(** One client connection. *)
+
+val create : ?max_frame:int -> id:int -> Unix.file_descr -> t
+(** Wrap an accepted (already non-blocking) socket.  [max_frame] bounds
+    inbound frame payloads (default {!Frame.default_max_frame}); [id] is
+    a daemon-assigned label used in logs. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket (for [select] sets). *)
+
+val id : t -> int
+(** The daemon-assigned connection id. *)
+
+val subscribed : t -> bool
+(** Whether this client receives push events. *)
+
+val set_subscribed : t -> bool -> unit
+(** Toggle push-event delivery. *)
+
+val closing : t -> bool
+(** Whether the session is flush-then-close: no further reads are
+    served, pending output is still drained. *)
+
+val close_after_flush : t -> unit
+(** Mark the session closing (graceful: pending output survives). *)
+
+val blocked_since : t -> float option
+(** Wall-clock time the outbound buffer first failed to flush fully;
+    [None] while writes keep up.  The daemon's slow-client deadline. *)
+
+val send : t -> string -> unit
+(** Frame a payload and append it to the outbound buffer. *)
+
+val pending_out : t -> int
+(** Outbound bytes not yet written to the socket. *)
+
+val read : t -> [ `Data | `Eof ]
+(** Pull whatever bytes the socket has into the frame decoder.  [`Eof]
+    on orderly shutdown or a reset peer; [`Data] otherwise (including
+    "nothing available right now"). *)
+
+val next_frame : t -> [ `Frame of string | `Await | `Error of string ]
+(** Next complete inbound payload ({!Frame.next} on the session's
+    decoder; [`Error] is sticky and the daemon drops the connection). *)
+
+val flush : t -> now:float -> [ `Idle | `Blocked | `Closed ]
+(** Write as much pending output as the socket accepts.  [`Idle] means
+    the buffer is empty (blocked-since clock reset), [`Blocked] that
+    bytes remain (clock running, anchored at [now]), [`Closed] that the
+    peer is gone. *)
+
+val close : t -> unit
+(** Close the socket (idempotent; errors ignored). *)

@@ -35,6 +35,15 @@ let run ?until t =
   in
   loop ()
 
+let advance_to t ~to_ =
+  if Float.is_nan to_ then invalid_arg "Engine.advance_to: NaN time";
+  run ~until:to_ t;
+  (* [run ~until] only moves the clock when an event beyond the horizon
+     remains queued; a stepwise driver needs the clock at [to_] even
+     when the queue ran dry, so later relative schedules anchor at the
+     driver's notion of now. *)
+  if to_ > t.clock then t.clock <- to_
+
 let events_processed t = t.processed
 let pending t = Event_queue.length t.queue
 let next_time t = Option.map fst (Event_queue.peek t.queue)

@@ -26,6 +26,14 @@ val run : ?until:float -> t -> unit
     first event strictly beyond [until] (which stays queued; [now]
     advances to [until] in that case). *)
 
+val advance_to : t -> to_:float -> unit
+(** Process every event due at or before [to_], then set the clock to
+    [to_] (clamped never to go backwards) even if the queue is empty —
+    unlike {!run}, which leaves the clock at the last event when the
+    queue drains.  Stepwise drivers (the online service's live core) use
+    this so relative schedules anchor at the external notion of now.
+    @raise Invalid_argument on a NaN [to_]. *)
+
 val events_processed : t -> int
 (** Handlers executed so far. *)
 

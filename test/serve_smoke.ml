@@ -1,0 +1,233 @@
+(* End-to-end smoke of the serving subsystem, against a real forked
+   daemon on a temp Unix socket: submit/query/cancel over the wire,
+   subscription pushes, adversarial raw frames, the max-clients
+   admission limit, a SIGKILL mid-stream with journal-backed recovery
+   (the restarted daemon must expose the exact pre-crash job set), a
+   client-driven drain with clean exit, and the SIGTERM drain path.
+   Part of `dune runtest`; runnable alone as `dune build @serve`. *)
+
+open Serve
+
+let dir =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cosched_serve_smoke_%d" (Unix.getpid ()))
+
+let socket = Filename.concat dir "daemon.sock"
+let journal = Filename.concat dir "journal.jsonl"
+let journal2 = Filename.concat dir "journal2.jsonl"
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let daemon_config ?(max_clients = 4) ~journal () =
+  {
+    Daemon.backend =
+      { Backend.default_config with journal = Some journal; queue_depth = 16 };
+    socket;
+    port = None;
+    max_clients;
+    drain_timeout = Some 120.;
+    client_timeout = 30.;
+  }
+
+let start_daemon ?max_clients ~journal () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Daemon.run (daemon_config ?max_clients ~journal ());
+       Stdlib.exit 0
+     with e ->
+       Printf.eprintf "daemon died: %s\n%!" (Printexc.to_string e);
+       Stdlib.exit 1)
+  | pid -> pid
+
+let submit_spec ~name w =
+  Protocol.Submit
+    { Protocol.name; w; s = 0.01; f = 0.1; m0 = 0.01; c0 = 40e6; footprint = infinity }
+
+let expect_ok what (r : Protocol.response) =
+  match r.reply with
+  | Protocol.R_error { message; code } ->
+    fail "%s failed: %s (%s)" what (Protocol.error_code_name code) message
+  | reply -> reply
+
+(* rid differs between connections; pin it so recovered-vs-original
+   payloads compare byte-for-byte (epoch, time and job views must all
+   survive the crash). *)
+let normalized (r : Protocol.response) =
+  Protocol.encode_response { r with rid = 0 }
+
+let raw_frame_probe () =
+  (* A stream that violates the framing must get one structured error
+     frame back, then the connection must be closed — never a crash. *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  ignore (Unix.write_substring fd "garbage\n" 0 8);
+  let d = Frame.decoder () in
+  let buf = Bytes.create 4096 in
+  let rec read_frame () =
+    match Frame.next d with
+    | `Frame p -> p
+    | `Error m -> fail "client-side framing error: %s" m
+    | `Await -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> fail "daemon closed the connection before sending an error frame"
+      | n ->
+        Frame.feed d (Bytes.sub_string buf 0 n);
+        read_frame ())
+  in
+  (match Protocol.decode_incoming (read_frame ()) with
+  | Ok (Protocol.Reply { reply = Protocol.R_error { code = Protocol.Bad_request; _ }; _ })
+    -> ()
+  | _ -> fail "expected a bad-request error frame for garbage framing");
+  (* ... and then EOF. *)
+  (match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> ()
+  | _ -> fail "daemon kept a corrupt-framing connection open");
+  Unix.close fd
+
+let () =
+  Printexc.record_backtrace true;
+  ignore (Unix.alarm 300);
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ socket; journal; journal2 ];
+
+  (* --- phase 1: live daemon ------------------------------------------- *)
+  let pid = start_daemon ~journal () in
+  let c1 = Client.connect socket in
+  (match expect_ok "ping" (Client.request c1 Protocol.Ping) with
+  | Protocol.R_pong -> ()
+  | _ -> fail "expected pong");
+  (match expect_ok "subscribe" (Client.request c1 (Protocol.Subscribe true)) with
+  | Protocol.R_subscribed { on = true } -> ()
+  | _ -> fail "expected subscribed");
+  let submit at name w =
+    match expect_ok "submit" (Client.request c1 ~at (submit_spec ~name w)) with
+    | Protocol.R_submitted { job } -> job
+    | _ -> fail "expected submitted"
+  in
+  if submit 0. "alpha" 5e11 <> 0 then fail "expected job id 0";
+  if submit 2. "bravo" 8e11 <> 1 then fail "expected job id 1";
+  if submit 4. "charlie" 3e11 <> 2 then fail "expected job id 2";
+  let c2 = Client.connect socket in
+  (match expect_ok "cancel" (Client.request c2 ~at:5. (Protocol.Cancel 1)) with
+  | Protocol.R_cancelled { was_live = true; _ } -> ()
+  | _ -> fail "expected a live cancellation");
+  (match expect_ok "status" (Client.request c2 Protocol.(Query Status)) with
+  | Protocol.R_status { live = 2; queued = 0; running = 2; draining = false; _ }
+    -> ()
+  | Protocol.R_status { live; queued; running; _ } ->
+    fail "unexpected status: live %d queued %d running %d" live queued running
+  | _ -> fail "expected status");
+  raw_frame_probe ();
+
+  (* Admission control: the daemon was started with max_clients = 4. *)
+  let c3 = Client.connect socket in
+  let c4 = Client.connect socket in
+  ignore (expect_ok "ping c3" (Client.request c3 Protocol.Ping));
+  ignore (expect_ok "ping c4" (Client.request c4 Protocol.Ping));
+  let c5 = Client.connect socket in
+  (match Client.receive c5 with
+  | Protocol.Reply
+      { rid = -1; reply = Protocol.R_error { code = Protocol.Overload; _ }; _ } ->
+    ()
+  | _ -> fail "expected an overload rejection frame for the 5th client");
+  Client.close c5;
+  Client.close c3;
+  Client.close c4;
+
+  (* Pushes: c1 subscribed before the submits, so it must have seen the
+     re-solves. *)
+  ignore (expect_ok "ping" (Client.request c1 Protocol.Ping));
+  let resolves =
+    List.length
+      (List.filter
+         (function Protocol.P_resolved _ -> true | _ -> false)
+         (Client.pushes c1))
+  in
+  if resolves < 3 then fail "expected >= 3 resolve pushes, saw %d" resolves;
+
+  let before =
+    normalized (Client.request c2 Protocol.(Query Allocs))
+  in
+
+  (* --- phase 2: SIGKILL mid-stream, recover from the journal ----------- *)
+  Unix.kill pid Sys.sigkill;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _, status ->
+    fail "unexpected daemon exit: %s"
+      (match status with
+      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+  Client.close c1;
+  Client.close c2;
+  print_endline "serve smoke: killed daemon mid-stream";
+
+  let pid = start_daemon ~journal () in
+  let c = Client.connect socket in
+  (match expect_ok "status" (Client.request c Protocol.(Query Status)) with
+  | Protocol.R_status { live = 2; recovered; draining = false; _ } ->
+    if recovered < 4 then fail "expected >= 4 recovered entries, got %d" recovered
+  | _ -> fail "expected recovered status");
+  let after = normalized (Client.request c Protocol.(Query Allocs)) in
+  if before <> after then
+    fail "recovered job set differs:\n pre-crash  %s\n post-crash %s" before after;
+  print_endline "serve smoke: journal recovery restored the exact job set";
+
+  (* --- phase 3: client-driven drain, clean exit ------------------------ *)
+  ignore (expect_ok "subscribe" (Client.request c (Protocol.Subscribe true)));
+  (match expect_ok "drain" (Client.request c Protocol.Drain) with
+  | Protocol.R_drained { completed = 2; _ } -> ()
+  | Protocol.R_drained { completed; _ } ->
+    fail "expected 2 completions in drain, got %d" completed
+  | _ -> fail "expected drained");
+  let rec drain_pushes completions =
+    match Client.wait_push c with
+    | Protocol.P_completed _ -> drain_pushes (completions + 1)
+    | Protocol.P_resolved _ -> drain_pushes completions
+    | Protocol.P_drained _ -> completions
+  in
+  let completions = drain_pushes 0 in
+  if completions < 2 then
+    fail "expected >= 2 completion pushes during drain, saw %d" completions;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "drained daemon did not exit cleanly");
+  if Sys.file_exists socket then fail "daemon left its socket file behind";
+  Client.close c;
+  print_endline "serve smoke: drain verb completed all jobs and exited cleanly";
+
+  (* --- phase 4: SIGTERM drain ------------------------------------------ *)
+  let pid = start_daemon ~journal:journal2 () in
+  let c = Client.connect socket in
+  (match expect_ok "submit" (Client.request c (submit_spec ~name:"delta" 1e11)) with
+  | Protocol.R_submitted { job = 0 } -> ()
+  | _ -> fail "expected job id 0 on a fresh journal");
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "SIGTERMed daemon did not exit cleanly");
+  if Sys.file_exists socket then fail "daemon left its socket file behind";
+  Client.close c;
+  (* The SIGTERM drain is journalled: a restart replays the submit and
+     the drain, leaving one completed job and nothing live. *)
+  let b = Backend.create { Backend.default_config with journal = Some journal2 } in
+  if Backend.live_jobs b <> 0 then fail "SIGTERM drain did not complete the job";
+  if Backend.recovered b < 2 then fail "expected submit + drain in the journal";
+  print_endline "serve smoke: SIGTERM drained, journalled and exited cleanly";
+
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [
+      socket; journal; journal2;
+      Campaign.Journal.quarantine_path journal;
+      Campaign.Journal.quarantine_path journal2;
+    ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  print_endline "serve smoke OK"

@@ -1,0 +1,600 @@
+(* Tests for the serving subsystem: the pure frame/JSON codec (round
+   trips and adversarial inputs), the request-handling backend, its
+   crash-safe journal recovery, and the load-bearing equivalence: a
+   backend fed an event stream request-by-request produces bit-identical
+   service metrics to an offline Online.Service.run of the same
+   stream. *)
+
+open Serve
+
+let test name f = Alcotest.test_case name `Quick f
+let qtest t = QCheck_alcotest.to_alcotest t
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
+
+let req ?at verb = { Protocol.rid = 0; at; verb }
+
+let spec_of_app (a : Model.App.t) =
+  {
+    Protocol.name = a.name;
+    w = a.w;
+    s = a.s;
+    f = a.f;
+    m0 = a.m0;
+    c0 = a.c0;
+    footprint = a.footprint;
+  }
+
+(* --- Frame ------------------------------------------------------------- *)
+
+let frame_roundtrip () =
+  let d = Frame.decoder () in
+  Frame.feed d (Frame.encode "hello" ^ Frame.encode "");
+  Alcotest.(check string)
+    "first" "hello"
+    (match Frame.next d with `Frame p -> p | _ -> Alcotest.fail "no frame");
+  Alcotest.(check string)
+    "empty payload" ""
+    (match Frame.next d with `Frame p -> p | _ -> Alcotest.fail "no frame");
+  Alcotest.(check bool)
+    "await" true
+    (match Frame.next d with `Await -> true | _ -> false)
+
+let frame_byte_by_byte () =
+  let wire = Frame.encode "payload with\nnewline and \x00 byte" in
+  let d = Frame.decoder () in
+  let got = ref None in
+  String.iter
+    (fun c ->
+      Frame.feed d (String.make 1 c);
+      match Frame.next d with
+      | `Frame p -> got := Some p
+      | `Await -> ()
+      | `Error m -> Alcotest.fail ("unexpected framing error: " ^ m))
+    wire;
+  Alcotest.(check (option string))
+    "reassembled" (Some "payload with\nnewline and \x00 byte") !got
+
+let frame_truncated_header_awaits () =
+  (* A partial length prefix is just incomplete input, not an error. *)
+  let d = Frame.decoder () in
+  Frame.feed d "12";
+  Alcotest.(check bool)
+    "await" true
+    (match Frame.next d with `Await -> true | _ -> false);
+  Frame.feed d "\nx";
+  Alcotest.(check bool)
+    "still await: 12-byte payload incomplete" true
+    (match Frame.next d with `Await -> true | _ -> false)
+
+let frame_bad_header_is_error () =
+  List.iter
+    (fun header ->
+      let d = Frame.decoder () in
+      Frame.feed d (header ^ "\npayload\n");
+      match Frame.next d with
+      | `Error _ -> ()
+      | `Frame _ | `Await ->
+        Alcotest.fail (Printf.sprintf "header %S accepted" header))
+    [ ""; "abc"; "-3"; "07"; "3x"; "99999999999999999999999" ]
+
+let frame_oversized_is_error () =
+  let d = Frame.decoder ~max_frame:16 () in
+  Frame.feed d (Frame.encode (String.make 17 'a'));
+  (match Frame.next d with
+  | `Error m ->
+    Alcotest.(check bool) "mentions limit" true (String.length m > 0)
+  | _ -> Alcotest.fail "oversized frame accepted");
+  (* The error is sticky. *)
+  Frame.feed d (Frame.encode "ok");
+  Alcotest.(check bool)
+    "sticky" true
+    (match Frame.next d with `Error _ -> true | _ -> false)
+
+let frame_missing_trailer_is_error () =
+  let d = Frame.decoder () in
+  Frame.feed d "2\nabX";
+  Alcotest.(check bool)
+    "error" true
+    (match Frame.next d with `Error _ -> true | _ -> false)
+
+let frame_header_flood_is_error () =
+  (* A stream that never produces a newline must not buffer forever. *)
+  let d = Frame.decoder () in
+  Frame.feed d (String.make 64 '1');
+  Alcotest.(check bool)
+    "error" true
+    (match Frame.next d with `Error _ -> true | _ -> false)
+
+let gen_payloads =
+  QCheck.Gen.(list_size (int_range 1 8) (string_size (int_range 0 64)))
+
+let qcheck_frame_chunked_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frames survive arbitrary chunking"
+    (QCheck.make
+       QCheck.Gen.(pair gen_payloads (int_range 1 7))
+       ~print:(fun (ps, k) ->
+         Printf.sprintf "%d payloads, chunk %d" (List.length ps) k))
+    (fun (payloads, chunk) ->
+      let wire = String.concat "" (List.map Frame.encode payloads) in
+      let d = Frame.decoder () in
+      let out = ref [] in
+      let pull () =
+        let continue = ref true in
+        while !continue do
+          match Frame.next d with
+          | `Frame p -> out := p :: !out
+          | `Await -> continue := false
+          | `Error m -> failwith m
+        done
+      in
+      let pos = ref 0 in
+      while !pos < String.length wire do
+        let n = min chunk (String.length wire - !pos) in
+        Frame.feed d (String.sub wire !pos n);
+        pos := !pos + n;
+        pull ()
+      done;
+      List.rev !out = payloads)
+
+(* --- Protocol round trips ---------------------------------------------- *)
+
+let gen_name = QCheck.Gen.(string_size (int_range 0 12) ~gen:printable)
+
+let gen_app_spec =
+  QCheck.Gen.(
+    let* name = gen_name in
+    let* w = float_range 1. 1e13 in
+    let* s = float_range 0. 0.99 in
+    let* f = float_range 0. 2. in
+    let* m0 = float_range 0. 1. in
+    let* c0 = float_range 1e3 1e9 in
+    let* footprint = oneof [ return infinity; float_range 1e3 1e12 ] in
+    return { Protocol.name; w; s; f; m0; c0; footprint })
+
+let gen_verb =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun a -> Protocol.Submit a) gen_app_spec;
+        map (fun id -> Protocol.Cancel id) (int_bound 1000);
+        oneofl
+          Protocol.[ Query Stats; Query Status; Query Allocs; Drain; Ping ];
+        map (fun id -> Protocol.Query (Job id)) (int_bound 1000);
+        map (fun on -> Protocol.Subscribe on) bool;
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    let* rid = int_bound 1_000_000 in
+    let* at = opt (float_range 0. 1e9) in
+    let* verb = gen_verb in
+    return { Protocol.rid; at; verb })
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request encode/decode round trip"
+    (QCheck.make gen_request ~print:Protocol.encode_request)
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok r' -> r = r'
+      | Error (_, m) -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let gen_job_view =
+  QCheck.Gen.(
+    let* job = int_bound 1000 in
+    let* state =
+      oneofl Protocol.[ Queued; Running; Done; Cancelled ]
+    in
+    let* procs = float_range 0. 256. in
+    let* cache = float_range 0. 1. in
+    let* remaining = float_range 0. 1. in
+    let* arrival = float_range 0. 1e6 in
+    let* finish = opt (float_range 0. 1e9) in
+    return { Protocol.job; state; procs; cache; remaining; arrival; finish })
+
+let gen_metrics =
+  QCheck.Gen.(
+    let* counts = array_size (return 11) (int_bound 10_000) in
+    let* floats = array_size (return 6) (float_range 0. 1e6) in
+    return
+      {
+        Online.Metrics.jobs = counts.(0);
+        completed = counts.(1);
+        cancelled = counts.(2);
+        events = counts.(3);
+        resolves = counts.(4);
+        forced_resolves = counts.(5);
+        migrations = counts.(6);
+        solver_iters = counts.(7);
+        partition_ops = counts.(8);
+        warm_hits = counts.(9);
+        cold_fallbacks = counts.(10);
+        makespan = floats.(0);
+        mean_response = floats.(1);
+        max_response = floats.(2);
+        mean_stretch = floats.(3);
+        max_stretch = floats.(4);
+        utilization = floats.(5);
+      })
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun job -> Protocol.R_submitted { job }) (int_bound 1000);
+        map2
+          (fun job was_live -> Protocol.R_cancelled { job; was_live })
+          (int_bound 1000) bool;
+        map (fun j -> Protocol.R_job j) gen_job_view;
+        map2
+          (fun m clients ->
+            Protocol.R_stats { time = 1.5; clients; metrics = m })
+          gen_metrics (int_bound 64);
+        map2
+          (fun counts draining ->
+            Protocol.R_status
+              {
+                time = 2.5;
+                live = counts mod 7;
+                queued = counts mod 5;
+                running = counts mod 3;
+                clients = counts mod 11;
+                draining;
+                recovered = counts mod 13;
+              })
+          (int_bound 10_000) bool;
+        map2
+          (fun k jobs -> Protocol.R_allocs { time = 3.5; k; jobs })
+          (opt (float_range 0. 1e9))
+          (array_size (int_range 0 5) gen_job_view);
+        map (fun on -> Protocol.R_subscribed { on }) bool;
+        map
+          (fun completed -> Protocol.R_drained { time = 4.5; completed })
+          (int_bound 1000);
+        return Protocol.R_pong;
+        map2
+          (fun code message -> Protocol.R_error { code; message })
+          (oneofl
+             Protocol.
+               [
+                 Bad_request; Unknown_verb; Unsupported_version; Overload;
+                 Draining; Unknown_job; Timeout; Internal;
+               ])
+          gen_name;
+      ])
+
+let gen_incoming =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* rid = int_bound 1_000_000 in
+         let* epoch = int_bound 1_000 in
+         let* reply = gen_reply in
+         return (Protocol.Reply { rid; epoch; reply }));
+        map
+          (fun (epoch, k) -> Protocol.Event (P_resolved { time = 1.; epoch; k }))
+          (pair (int_bound 1000) (float_range 0. 1e9));
+        map
+          (fun job -> Protocol.Event (P_completed { time = 2.; job }))
+          (int_bound 1000);
+        return (Protocol.Event (P_drained { time = 3. }));
+      ])
+
+let encode_incoming = function
+  | Protocol.Reply r -> Protocol.encode_response r
+  | Protocol.Event p -> Protocol.encode_push p
+
+let qcheck_incoming_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response/push encode/decode round trip"
+    (QCheck.make gen_incoming ~print:encode_incoming)
+    (fun i ->
+      match Protocol.decode_incoming (encode_incoming i) with
+      | Ok i' -> i = i'
+      | Error (_, m) -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+(* --- Protocol adversarial inputs --------------------------------------- *)
+
+let decode_err payload =
+  match Protocol.decode_request payload with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" payload)
+  | Error (code, _) -> code
+
+let code = Alcotest.testable (Fmt.of_to_string Protocol.error_code_name) ( = )
+
+let protocol_rejects_invalid_utf8 () =
+  Alcotest.check code "lone continuation byte" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":0,\"verb\":\"ping\xBF\"}");
+  Alcotest.check code "overlong encoding" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":0,\"verb\":\"\xC0\xAF\"}");
+  Alcotest.check code "truncated sequence" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":0,\"verb\":\"a\xE2\x82\"}")
+
+let protocol_rejects_malformed_json () =
+  Alcotest.check code "garbage" Protocol.Bad_request (decode_err "not json");
+  Alcotest.check code "truncated object" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":");
+  Alcotest.check code "non-object" Protocol.Bad_request (decode_err "[1,2]");
+  Alcotest.check code "empty" Protocol.Bad_request (decode_err "")
+
+let protocol_rejects_bad_version () =
+  Alcotest.check code "missing v" Protocol.Bad_request
+    (decode_err "{\"id\":0,\"verb\":\"ping\"}");
+  Alcotest.check code "wrong v" Protocol.Unsupported_version
+    (decode_err "{\"v\":2,\"id\":0,\"verb\":\"ping\"}");
+  Alcotest.check code "non-numeric v" Protocol.Bad_request
+    (decode_err "{\"v\":\"1\",\"id\":0,\"verb\":\"ping\"}")
+
+let protocol_rejects_unknown_verb () =
+  Alcotest.check code "unknown verb" Protocol.Unknown_verb
+    (decode_err "{\"v\":1,\"id\":0,\"verb\":\"reboot\"}");
+  Alcotest.check code "ill-typed id" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":\"zero\",\"verb\":\"ping\"}");
+  Alcotest.check code "missing app" Protocol.Bad_request
+    (decode_err "{\"v\":1,\"id\":0,\"verb\":\"submit\"}")
+
+let qcheck_decode_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"decode_request never raises"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun s ->
+      match Protocol.decode_request s with Ok _ | Error _ -> true)
+
+(* --- Backend ----------------------------------------------------------- *)
+
+let backend ?journal ?(queue_depth = 1024) () =
+  Backend.create { Backend.default_config with platform; queue_depth; journal }
+
+let reply_of (r : Protocol.response) = r.reply
+
+let backend_lifecycle () =
+  let b = backend () in
+  let apps = synth ~seed:11 3 in
+  (match reply_of (Backend.handle b ~clients:1 (req (Submit (spec_of_app apps.(0))))) with
+  | R_submitted { job } -> Alcotest.(check int) "first id" 0 job
+  | _ -> Alcotest.fail "submit failed");
+  (match
+     reply_of
+       (Backend.handle b ~clients:1 (req ~at:5. (Submit (spec_of_app apps.(1)))))
+   with
+  | R_submitted { job } -> Alcotest.(check int) "second id" 1 job
+  | _ -> Alcotest.fail "submit failed");
+  Alcotest.(check int) "two live" 2 (Backend.live_jobs b);
+  (match reply_of (Backend.handle b ~clients:1 (req ~at:6. (Cancel 1))) with
+  | R_cancelled { was_live; _ } -> Alcotest.(check bool) "was live" true was_live
+  | _ -> Alcotest.fail "cancel failed");
+  (match reply_of (Backend.handle b ~clients:1 (req (Cancel 7))) with
+  | R_error { code = Unknown_job; _ } -> ()
+  | _ -> Alcotest.fail "expected unknown-job");
+  (match reply_of (Backend.handle b ~clients:1 (req Drain)) with
+  | R_drained { completed; _ } -> Alcotest.(check int) "drained" 1 completed
+  | _ -> Alcotest.fail "drain failed");
+  (* Draining backends refuse new work. *)
+  match
+    reply_of (Backend.handle b ~clients:1 (req (Submit (spec_of_app apps.(2)))))
+  with
+  | R_error { code = Draining; _ } -> ()
+  | _ -> Alcotest.fail "expected draining refusal"
+
+let backend_backpressure () =
+  let b = backend ~queue_depth:2 () in
+  let apps = synth ~seed:12 3 in
+  let submit i =
+    reply_of (Backend.handle b ~clients:1 (req (Submit (spec_of_app apps.(i)))))
+  in
+  (match (submit 0, submit 1) with
+  | R_submitted _, R_submitted _ -> ()
+  | _ -> Alcotest.fail "admission failed");
+  match submit 2 with
+  | R_error { code = Overload; _ } -> ()
+  | _ -> Alcotest.fail "expected overload rejection"
+
+let backend_rejects_invalid_app () =
+  let b = backend () in
+  let bad = { (spec_of_app (synth ~seed:13 1).(0)) with Protocol.s = 1.5 } in
+  match reply_of (Backend.handle b ~clients:1 (req (Submit bad))) with
+  | R_error { code = Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "expected bad-request"
+
+let backend_epoch_monotone () =
+  let b = backend () in
+  let apps = synth ~seed:14 4 in
+  let epochs =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           (Backend.handle b ~clients:1 (req (Submit (spec_of_app a)))).epoch)
+         apps)
+  in
+  Alcotest.(check bool)
+    "nondecreasing epochs" true
+    (List.for_all2 ( <= ) epochs (List.tl epochs @ [ max_int ]));
+  Alcotest.(check bool) "epochs advanced" true (List.nth epochs 3 > 0)
+
+let backend_stats_json_has_solver_counters () =
+  let b = backend () in
+  let apps = synth ~seed:15 3 in
+  Array.iter
+    (fun a ->
+      ignore (Backend.handle b ~clients:1 (req (Submit (spec_of_app a)))))
+    apps;
+  match reply_of (Backend.handle b ~clients:1 (req (Query Stats))) with
+  | R_stats { metrics; _ } ->
+    let json = Obs.Trace_json.parse (Online.Metrics.to_json metrics) in
+    List.iter
+      (fun field ->
+        match Obs.Trace_json.member field json with
+        | Some (Obs.Trace_json.Num _) -> ()
+        | _ -> Alcotest.fail ("stats json missing " ^ field))
+      [ "warm_hits"; "cold_fallbacks"; "resolves"; "solver_iters"; "makespan" ];
+    Alcotest.(check bool)
+      "every-event warm service warm-hits after first solve" true
+      (metrics.warm_hits > 0)
+  | _ -> Alcotest.fail "stats failed"
+
+(* --- journal crash recovery -------------------------------------------- *)
+
+let fresh_journal_path name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (Campaign.Journal.quarantine_path path) with Sys_error _ -> ());
+  path
+
+let allocs_payload b =
+  (* rid pinned so recovered and original payloads are comparable
+     byte-for-byte: same epoch, same model time, same job views. *)
+  Protocol.encode_response (Backend.handle b ~clients:1 (req (Query Allocs)))
+
+let drive_scenario b =
+  let apps = synth ~seed:21 4 in
+  ignore (Backend.handle b ~clients:1 (req (Submit (spec_of_app apps.(0)))));
+  ignore (Backend.handle b ~clients:1 (req ~at:3. (Submit (spec_of_app apps.(1)))));
+  ignore (Backend.handle b ~clients:1 (req ~at:7. (Submit (spec_of_app apps.(2)))));
+  ignore (Backend.handle b ~clients:1 (req ~at:9. (Cancel 1)));
+  ignore (Backend.handle b ~clients:1 (req ~at:11. (Submit (spec_of_app apps.(3)))));
+  (* A timestamped ping moves model time without any other mutation —
+     the advance must be journalled too. *)
+  ignore (Backend.handle b ~clients:1 (req ~at:13. Protocol.Ping))
+
+let backend_journal_recovery () =
+  let path = fresh_journal_path "serve_recovery.jsonl" in
+  let b1 = backend ~journal:path () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (* "Crash": drop b1 without any shutdown; the write-ahead journal on
+     disk is all that survives. *)
+  let b2 = backend ~journal:path () in
+  Alcotest.(check int) "entries replayed" 6 (Backend.recovered b2);
+  Alcotest.(check bool) "not draining after replay" false (Backend.draining b2);
+  Alcotest.(check string) "identical job set and allocations" before
+    (allocs_payload b2);
+  Sys.remove path
+
+let backend_journal_torn_tail () =
+  let path = fresh_journal_path "serve_torn.jsonl" in
+  let b1 = backend ~journal:path () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (* Tear the tail: a half-written submit line, as a crash mid-append
+     would leave. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"trial\":0,\"key\":\"submit:99:ghost\",\"values\":[99,1e12";
+  close_out oc;
+  let b2 = backend ~journal:path () in
+  Alcotest.(check int) "intact entries replayed" 6 (Backend.recovered b2);
+  Alcotest.(check string) "torn line did not corrupt the job set" before
+    (allocs_payload b2);
+  Alcotest.(check bool) "torn line quarantined" true
+    (Sys.file_exists (Campaign.Journal.quarantine_path path));
+  Sys.remove path;
+  (try Sys.remove (Campaign.Journal.quarantine_path path) with Sys_error _ -> ())
+
+(* --- served-vs-offline equivalence ------------------------------------- *)
+
+let gen_scenario =
+  QCheck.Gen.(
+    let* seed = int_bound 10_000 in
+    let* n = int_range 1 6 in
+    let* cancel = list_size (return n) bool in
+    return (seed, n, cancel))
+
+let qcheck_backend_equals_offline_service =
+  QCheck.Test.make ~count:30
+    ~name:"request-driven backend == offline Online.Service.run"
+    (QCheck.make gen_scenario ~print:(fun (seed, n, cancel) ->
+         Printf.sprintf "seed %d, %d arrivals, cancels [%s]" seed n
+           (String.concat ";" (List.map string_of_bool cancel))))
+    (fun (seed, n, cancel) ->
+      let apps = synth ~seed n in
+      let rng = Util.Rng.create (seed + 1) in
+      let arrivals =
+        Array.init n (fun i ->
+            (10. *. float_of_int i) +. (5. *. Util.Rng.float rng 1.))
+      in
+      let horizon = arrivals.(n - 1) +. 10. in
+      let events =
+        List.concat
+          [
+            List.init n (fun i ->
+                {
+                  Online.Workload_stream.time = arrivals.(i);
+                  kind = Online.Workload_stream.Arrival apps.(i);
+                });
+            List.filteri (fun i _ -> List.nth cancel i) (List.init n Fun.id)
+            |> List.map (fun i ->
+                   {
+                     Online.Workload_stream.time = horizon +. float_of_int i;
+                     kind = Online.Workload_stream.Departure i;
+                   });
+          ]
+      in
+      let stream = Online.Workload_stream.of_events events in
+      let offline = Online.Service.run ~platform stream in
+      (* Same events, request by request, through the daemon's backend. *)
+      let b = backend () in
+      List.iter
+        (fun (ev : Online.Workload_stream.event) ->
+          let verb =
+            match ev.kind with
+            | Online.Workload_stream.Arrival app ->
+              Protocol.Submit (spec_of_app app)
+            | Online.Workload_stream.Departure id -> Protocol.Cancel id
+          in
+          match (Backend.handle b ~clients:1 (req ~at:ev.time verb)).reply with
+          | R_submitted _ | R_cancelled _ -> ()
+          | R_error { message; _ } -> failwith message
+          | _ -> failwith "unexpected reply")
+        (Online.Workload_stream.events stream);
+      (match (Backend.handle b ~clients:1 (req Protocol.Drain)).reply with
+      | R_drained _ -> ()
+      | _ -> failwith "drain failed");
+      match (Backend.handle b ~clients:1 (req (Query Stats))).reply with
+      | R_stats { metrics; _ } ->
+        let served = Online.Metrics.to_json metrics in
+        let off = Online.Metrics.to_json offline.Online.Service.metrics in
+        if served <> off then
+          QCheck.Test.fail_reportf "served %s@.offline %s" served off
+        else true
+      | _ -> failwith "stats failed")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          test "round trip" frame_roundtrip;
+          test "byte-by-byte reassembly" frame_byte_by_byte;
+          test "truncated header awaits" frame_truncated_header_awaits;
+          test "bad headers are errors" frame_bad_header_is_error;
+          test "oversized frame is a sticky error" frame_oversized_is_error;
+          test "missing trailer is an error" frame_missing_trailer_is_error;
+          test "header flood is an error" frame_header_flood_is_error;
+          qtest qcheck_frame_chunked_roundtrip;
+        ] );
+      ( "protocol",
+        [
+          qtest qcheck_request_roundtrip;
+          qtest qcheck_incoming_roundtrip;
+          test "rejects invalid UTF-8" protocol_rejects_invalid_utf8;
+          test "rejects malformed JSON" protocol_rejects_malformed_json;
+          test "rejects bad versions" protocol_rejects_bad_version;
+          test "rejects unknown verbs" protocol_rejects_unknown_verb;
+          qtest qcheck_decode_never_raises;
+        ] );
+      ( "backend",
+        [
+          test "submit/cancel/drain lifecycle" backend_lifecycle;
+          test "queue-depth backpressure" backend_backpressure;
+          test "rejects invalid app parameters" backend_rejects_invalid_app;
+          test "epoch tags are monotone" backend_epoch_monotone;
+          test "stats JSON carries solver counters"
+            backend_stats_json_has_solver_counters;
+        ] );
+      ( "recovery",
+        [
+          test "journal replay restores the job set" backend_journal_recovery;
+          test "torn tail is quarantined, not replayed"
+            backend_journal_torn_tail;
+        ] );
+      ("equivalence", [ qtest qcheck_backend_equals_offline_service ]);
+    ]
