@@ -6,7 +6,7 @@
                    [--on-failure abort|skip|retry] [--max-retries N]
                    [--trial-timeout S] [--trace FILE]
                    [--metrics text|prom|json] [--no-micro] [--no-figures]
-                   [--no-online] [--no-serve] [--full]
+                   [--no-online] [--no-serve] [--guard] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -19,6 +19,7 @@ let run_micro = ref true
 let run_figures = ref true
 let run_online = ref true
 let run_serve = ref true
+let guard = ref false
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
 let trial_timeout : float option ref = ref None
@@ -30,7 +31,7 @@ let usage () =
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
      [--trace FILE] [--metrics text|prom|json] [--no-micro] [--no-figures] \
-     [--no-online] [--no-serve] [--full]";
+     [--no-online] [--no-serve] [--guard] [--full]";
   exit 2
 
 let int_flag ~flag ~min v =
@@ -101,6 +102,9 @@ let rec parse = function
     parse rest
   | "--no-serve" :: rest ->
     run_serve := false;
+    parse rest
+  | "--guard" :: rest ->
+    guard := true;
     parse rest
   | "--full" :: rest ->
     trials := 50;
@@ -294,13 +298,234 @@ let online () =
     (fun () -> output_string oc json);
   print_endline "wrote BENCH_online.json"
 
+(* --- crash-recovery timing --------------------------------------------- *)
+
+(* Drive a journal-backed backend in-process (no daemon needed: recovery
+   cost lives entirely in Backend.create) through histories of ~1e3 and
+   ~1e4 records that end with [live] jobs still in flight, then time
+   recovery three ways: a fresh journal holding just [live] submits
+   (the floor), full replay of the whole history, and snapshot-based
+   recovery.  The snapshot scenario checkpoints once more after the last
+   admission round — the daemon checkpoints, then crashes — so it times
+   the restore path itself: O(live jobs), independent of history length,
+   where a crash mid-period additionally replays at most [snapshot_every]
+   tail entries.  Timings are best-of-3 (recovery does not mutate the
+   on-disk state, so re-timing it is free).  The acceptance gate is
+   snapshot recovery of the 1e4-record history within 3x of the fresh
+   [live]-job replay. *)
+let recovery_bench () =
+  let live = 100 in
+  let platform = Model.Platform.paper_default in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cosched_bench_recovery_%d" (Unix.getpid ()))
+  in
+  let jpath = base ^ ".journal" and spath = base ^ ".snap" in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [
+        jpath; jpath ^ ".quarantine"; jpath ^ ".tmp"; spath;
+        spath ^ ".quarantine"; spath ^ ".tmp";
+      ]
+  in
+  let config ~snapshot =
+    {
+      Serve.Backend.default_config with
+      service =
+        { Online.Service.default_config with policy = Online.Policy.Batched 32 };
+      platform;
+      queue_depth = 1_000_000;
+      journal = Some jpath;
+      snapshot = (if snapshot then Some spath else None);
+      snapshot_every = 512;
+    }
+  in
+  let apps =
+    Model.Workload.generate ~rng:(Util.Rng.create !seed) Model.Workload.NpbSynth
+      live
+  in
+  let spec (a : Model.App.t) =
+    {
+      Serve.Protocol.name = a.name;
+      w = a.w;
+      s = a.s;
+      f = a.f;
+      m0 = a.m0;
+      c0 = a.c0;
+      footprint = a.footprint;
+    }
+  in
+  let rid = ref 0 in
+  let send b verb =
+    incr rid;
+    match
+      Serve.Backend.handle b ~clients:0
+        { Serve.Protocol.rid = !rid; sid = None; at = None; verb }
+    with
+    | { reply = Serve.Protocol.R_error { message; _ }; _ } ->
+      failwith ("recovery bench request refused: " ^ message)
+    | resp -> resp
+  in
+  (* A timestamped status query journals one advance entry and sweeps
+     every pending completion past it. *)
+  let advance b =
+    incr rid;
+    match
+      Serve.Backend.handle b ~clients:0
+        {
+          Serve.Protocol.rid = !rid;
+          sid = None;
+          at = Some (Serve.Backend.now b +. 1e12);
+          verb = Serve.Protocol.Query Serve.Protocol.Status;
+        }
+    with
+    | { reply = Serve.Protocol.R_status _; _ } -> ()
+    | _ -> failwith "recovery bench: advance failed"
+  in
+  (* One round = [live] submits + one advance that completes them all:
+     live+1 journal records, bounded live set throughout. *)
+  let build ~records ~snapshot =
+    cleanup ();
+    let b = Serve.Backend.create (config ~snapshot) in
+    let written = ref 0 in
+    while !written + live + 1 <= records - live do
+      Array.iter (fun a -> ignore (send b (Serve.Protocol.Submit (spec a)))) apps;
+      advance b;
+      written := !written + live + 1
+    done;
+    Array.iter (fun a -> ignore (send b (Serve.Protocol.Submit (spec a)))) apps;
+    if Serve.Backend.live_jobs b <> live then
+      failwith
+        (Printf.sprintf "recovery bench: expected %d live jobs, got %d" live
+           (Serve.Backend.live_jobs b));
+    if snapshot then
+      match Serve.Backend.snapshot_now b with
+      | Ok () -> ()
+      | Error m -> failwith ("recovery bench: final checkpoint failed: " ^ m)
+  in
+  let time_recovery ~snapshot =
+    let one () =
+      let t0 = Unix.gettimeofday () in
+      let b = Serve.Backend.create (config ~snapshot) in
+      let dt = Unix.gettimeofday () -. t0 in
+      if Serve.Backend.live_jobs b <> live then
+        failwith "recovery bench: recovered live-job count mismatch";
+      dt
+    in
+    List.fold_left (fun acc _ -> Float.min acc (one ())) (one ()) [ 1; 2 ]
+  in
+  (* Floor: a journal holding exactly the live submits. *)
+  build ~records:live ~snapshot:false;
+  let t_fresh = time_recovery ~snapshot:false in
+  let scenario records =
+    build ~records ~snapshot:false;
+    let t_replay = time_recovery ~snapshot:false in
+    build ~records ~snapshot:true;
+    let t_snap = time_recovery ~snapshot:true in
+    (records, t_replay, t_snap)
+  in
+  let scenarios = List.map scenario [ 1_000; 10_000 ] in
+  cleanup ();
+  let _, _, t_snap_10k =
+    List.find (fun (r, _, _) -> r = 10_000) scenarios
+  in
+  let ratio = t_snap_10k /. Float.max t_fresh 1e-9 in
+  let gate_ok = t_snap_10k <= 3. *. Float.max t_fresh 1e-9 in
+  let table = Util.Table.create [ "history"; "replay"; "snapshot" ] in
+  Util.Table.add_row table
+    [ Printf.sprintf "%d live only" live; Printf.sprintf "%.4g s" t_fresh; "—" ];
+  List.iter
+    (fun (r, t_replay, t_snap) ->
+      Util.Table.add_row table
+        [
+          Printf.sprintf "%d records" r;
+          Printf.sprintf "%.4g s" t_replay;
+          Printf.sprintf "%.4g s" t_snap;
+        ])
+    scenarios;
+  print_endline "== crash recovery (journal replay vs snapshot restore) ==";
+  Util.Table.print table;
+  Printf.printf "snapshot recovery at 10k records = %.2fx fresh %d-job replay (gate: <= 3x, %s)\n\n"
+    ratio live
+    (if gate_ok then "ok" else "FAILED");
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"live_jobs\":%d," live;
+        Printf.sprintf "\"fresh_seconds\":%.6g," t_fresh;
+        String.concat ","
+          (List.map
+             (fun (r, t_replay, t_snap) ->
+               Printf.sprintf
+                 "\"replay_%d_seconds\":%.6g,\"snapshot_%d_seconds\":%.6g" r
+                 t_replay r t_snap)
+             scenarios);
+        Printf.sprintf ",\"snapshot_vs_fresh_ratio_10k\":%.6g," ratio;
+        Printf.sprintf "\"gate_3x_ok\":%b" gate_ok;
+        "}";
+      ]
+  in
+  (json, t_snap_10k, gate_ok)
+
+(* --- bench guard --------------------------------------------------------- *)
+
+(* With --guard, the previous BENCH_serve.json (the committed baseline) is
+   read before being overwritten and the run fails if submit throughput
+   or snapshot recovery time regressed by more than 20%. *)
+let load_baseline () =
+  if not (Sys.file_exists "BENCH_serve.json") then None
+  else
+    let ic = open_in "BENCH_serve.json" in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Trace_json.parse text with
+    | j -> Some j
+    | exception Failure _ -> None
+
+let check_guard ~baseline ~req_per_sec ~t_snap_10k ~gate_ok =
+  let num path j =
+    let rec go names j =
+      match names with
+      | [] -> ( match j with Obs.Trace_json.Num v -> Some v | _ -> None)
+      | n :: rest -> Option.bind (Obs.Trace_json.member n j) (go rest)
+    in
+    go path j
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if not gate_ok then
+    fail "snapshot recovery exceeded 3x the fresh-journal replay floor";
+  (match baseline with
+  | None -> print_endline "bench guard: no valid baseline BENCH_serve.json; gate only"
+  | Some b ->
+    (match num [ "submit_req_per_sec" ] b with
+    | Some old when req_per_sec < 0.8 *. old ->
+      fail "submit throughput regressed >20%%: %.0f -> %.0f req/s" old req_per_sec
+    | _ -> ());
+    (match num [ "recovery"; "snapshot_10000_seconds" ] b with
+    | Some old when t_snap_10k > 1.2 *. old ->
+      fail "snapshot recovery regressed >20%%: %.4gs -> %.4gs" old t_snap_10k
+    | _ -> ()));
+  match !failures with
+  | [] -> print_endline "bench guard: ok"
+  | fs ->
+    List.iter (fun m -> prerr_endline ("bench guard: " ^ m)) fs;
+    exit 1
+
 (* --- daemon soak/throughput -------------------------------------------- *)
 
 (* Fork a real daemon on a temp Unix socket and drive it over the wire:
    1k pipelined submits (Batched 32, queue depth 2k) for request
    throughput, then sequential status probes with all 1k jobs in flight
    for round-trip latency quantiles, then a full drain.  Leaves a
-   machine-readable record in BENCH_serve.json. *)
+   machine-readable record in BENCH_serve.json, including the
+   crash-recovery timings. *)
 let serve_bench () =
   let submits = 1000 and probes = 400 in
   let policy = Online.Policy.Batched 32 and queue_depth = 2000 in
@@ -313,16 +538,19 @@ let serve_bench () =
     {
       Serve.Daemon.backend =
         {
-          Serve.Backend.service = { Online.Service.default_config with policy };
+          Serve.Backend.default_config with
+          service = { Online.Service.default_config with policy };
           platform = Model.Platform.paper_default;
           queue_depth;
-          journal = None;
         };
       socket;
       port = None;
       max_clients = 8;
       drain_timeout = None;
       client_timeout = 60.;
+      request_deadline = None;
+      idle_timeout = None;
+      max_buffer = Serve.Session.default_max_out;
     }
   in
   flush stdout;
@@ -417,6 +645,8 @@ let serve_bench () =
        (Online.Policy.name policy) queue_depth);
   Util.Table.print table;
   print_newline ();
+  let baseline = if !guard then load_baseline () else None in
+  let recovery_json, t_snap_10k, gate_ok = recovery_bench () in
   let json =
     String.concat ""
       [
@@ -432,7 +662,8 @@ let serve_bench () =
         Printf.sprintf "\"status_p90_seconds\":%.6g," p90;
         Printf.sprintf "\"status_p99_seconds\":%.6g," p99;
         Printf.sprintf "\"drained_jobs\":%d," drained;
-        Printf.sprintf "\"drain_seconds\":%.6g" dt_drain;
+        Printf.sprintf "\"drain_seconds\":%.6g," dt_drain;
+        Printf.sprintf "\"recovery\":%s" recovery_json;
         "}";
       ]
   in
@@ -440,7 +671,8 @@ let serve_bench () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc json);
-  print_endline "wrote BENCH_serve.json"
+  print_endline "wrote BENCH_serve.json";
+  if !guard then check_guard ~baseline ~req_per_sec ~t_snap_10k ~gate_ok
 
 let () =
   Printexc.record_backtrace true;

@@ -8,7 +8,8 @@
      online      — serve a Poisson application stream event-by-event
      instance    — print a generated instance's application parameters
      serve       — run the co-scheduling daemon on a Unix socket
-     client      — talk to a running daemon *)
+     client      — talk to a running daemon
+     journal     — inspect/validate a daemon journal or snapshot file *)
 
 open Cmdliner
 
@@ -700,12 +701,93 @@ let serve_cmd =
       & info [ "check" ]
           ~doc:"Assert processor and cache conservation after every event.")
   in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint the full live state to FILE and compact the journal \
+             (requires $(b,--journal)).  Recovery prefers the newest valid \
+             snapshot and replays only the journal tail past it.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"snapshot-every") 256
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Journaled mutations between automatic snapshots (ignored \
+             without $(b,--snapshot)).")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value
+      & opt (some (pos_float ~flag:"deadline-ms")) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Cooperative wall-clock deadline per request (milliseconds, \
+             beside the virtual model clock); exceeding it yields a \
+             $(b,timeout) error reply.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some (pos_float ~flag:"idle-timeout")) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap clients with no inbound activity for this long; quiet \
+             clients stay alive with $(b,ping) heartbeats.")
+  in
+  let max_buffer_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"max-buffer") Serve.Session.default_max_out
+      & info [ "max-buffer" ] ~docv:"BYTES"
+          ~doc:
+            "Per-client outbound buffer bound: slow subscribers lose push \
+             frames past it, and a client whose response cannot be buffered \
+             is evicted with an $(b,overload) notice.")
+  in
+  let shed_highwater_arg =
+    Arg.(
+      value
+      & opt (nonneg_int ~flag:"shed-highwater") 0
+      & info [ "shed-highwater" ] ~docv:"N"
+          ~doc:
+            "Enter load-shed mode at N live jobs: submits are rejected with \
+             a structured $(b,overload) error carrying a retry-after hint \
+             while queries, cancels and drains keep being served.  0 \
+             disables shedding.")
+  in
+  let shed_lowwater_arg =
+    Arg.(
+      value
+      & opt (nonneg_int ~flag:"shed-lowwater") 0
+      & info [ "shed-lowwater" ] ~docv:"N"
+          ~doc:
+            "Leave load-shed mode once live jobs fall to N (defaults to \
+             half the high-water mark; hysteresis against flapping).")
+  in
   let run socket port max_clients queue_depth drain_timeout client_timeout
-      journal policy cold check procs cs trace metrics =
+      journal snapshot snapshot_every deadline_ms idle_timeout max_buffer
+      shed_highwater shed_lowwater policy cold check procs cs trace metrics =
     with_obs trace metrics @@ fun () ->
     let mode =
       if cold then Online.Incremental.Cold else Online.Incremental.Warm
     in
+    if snapshot <> None && journal = None then begin
+      prerr_endline "cosched serve: --snapshot requires --journal";
+      exit 2
+    end;
+    let shed_lowwater =
+      if shed_highwater > 0 && shed_lowwater = 0 then max 1 (shed_highwater / 2)
+      else shed_lowwater
+    in
+    if shed_highwater > 0 && shed_lowwater > shed_highwater then begin
+      prerr_endline "cosched serve: --shed-lowwater must be <= --shed-highwater";
+      exit 2
+    end;
     let config =
       {
         Serve.Daemon.backend =
@@ -715,12 +797,20 @@ let serve_cmd =
             platform = platform_of ~procs ~cs;
             queue_depth;
             journal;
+            snapshot;
+            snapshot_every;
+            shed_highwater;
+            shed_lowwater;
+            shed_retry_after = Serve.Backend.default_config.shed_retry_after;
           };
         socket;
         port;
         max_clients;
         drain_timeout;
         client_timeout;
+        request_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+        idle_timeout;
+        max_buffer;
       }
     in
     Serve.Daemon.run
@@ -735,8 +825,11 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_arg $ port_arg $ max_clients_arg $ queue_depth_arg
-      $ drain_timeout_arg $ client_timeout_arg $ journal_arg $ serve_policy_arg
-      $ cold_arg $ check_arg $ procs_arg $ cs_arg $ trace_arg $ metrics_arg)
+      $ drain_timeout_arg $ client_timeout_arg $ journal_arg $ snapshot_arg
+      $ snapshot_every_arg $ deadline_ms_arg $ idle_timeout_arg
+      $ max_buffer_arg $ shed_highwater_arg $ shed_lowwater_arg
+      $ serve_policy_arg $ cold_arg $ check_arg $ procs_arg $ cs_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -821,13 +914,23 @@ let client_cmd =
       & info [ "footprint" ] ~docv:"BYTES"
           ~doc:"Memory footprint; omitted means larger than any cache.")
   in
-  let run socket port action id at name w s f m0 c0 footprint trace metrics =
+  let sid_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sid" ] ~docv:"ID"
+          ~doc:
+            "Session id stamped into requests: resending a mutation under \
+             the same session id and request id is deduplicated by the \
+             daemon (exactly-once retries).")
+  in
+  let run socket port sid action id at name w s f m0 c0 footprint trace metrics =
     let ok =
       with_obs trace metrics @@ fun () ->
       let conn =
         match port with
-        | Some p -> Serve.Client.connect_tcp ~port:p ()
-        | None -> Serve.Client.connect socket
+        | Some p -> Serve.Client.connect_tcp ?sid ~port:p ()
+        | None -> Serve.Client.connect ?sid socket
       in
       Fun.protect ~finally:(fun () -> Serve.Client.close conn) @@ fun () ->
       let need_id what =
@@ -878,9 +981,9 @@ let client_cmd =
   in
   let term =
     Term.(
-      const run $ socket_arg $ port_arg $ action_arg $ id_arg $ at_arg
-      $ name_arg $ w_arg $ s_arg $ f_arg $ m0_arg $ c0_arg $ footprint_arg
-      $ trace_arg $ metrics_arg)
+      const run $ socket_arg $ port_arg $ sid_arg $ action_arg $ id_arg
+      $ at_arg $ name_arg $ w_arg $ s_arg $ f_arg $ m0_arg $ c0_arg
+      $ footprint_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -889,12 +992,185 @@ let client_cmd =
           JSON response.")
     term
 
+(* --- journal / snapshot inspection -------------------------------------- *)
+
+let journal_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Journal or snapshot file to inspect.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("journal", `Journal); ("snapshot", `Snapshot) ]) `Auto
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "What FILE is: $(b,journal), $(b,snapshot), or $(b,auto) \
+             (sniff the first line).")
+  in
+  let no_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "no-replay" ]
+          ~doc:
+            "Skip replaying the journal through a recovery backend (the \
+             live-job summary needs a replay; counts and the torn-tail \
+             report do not).")
+  in
+  let sniff file =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | line
+          when String.length line >= 12
+               && String.sub line 0 12 = "{\"snapshot\":" -> `Snapshot
+        | _ | (exception End_of_file) -> `Journal)
+  in
+  let copy_file src dst =
+    let ic = open_in_bin src in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let oc = open_out_bin dst in
+    Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+    let buf = Bytes.create 65536 in
+    let rec go () =
+      match input ic buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+        output oc buf 0 n;
+        go ()
+    in
+    go ()
+  in
+  let inspect_snapshot file =
+    match Serve.Snapshot.validate ~path:file with
+    | Error m ->
+      Printf.printf "snapshot %s: INVALID — %s\n" file m;
+      false
+    | Ok s ->
+      let p = s.Serve.Snapshot.persist in
+      Printf.printf "snapshot %s: valid (format %d)\n" file
+        Serve.Snapshot.format_version;
+      Printf.printf "  watermark seq   = %d\n" s.Serve.Snapshot.seq;
+      Printf.printf "  model time      = %.6g\n" p.Online.Service.p_time;
+      Printf.printf "  live jobs       = %d\n" (List.length p.p_jobs);
+      Printf.printf "  completed       = %d   cancelled = %d\n" p.p_completed
+        p.p_cancelled;
+      Printf.printf "  resolves        = %d   migrations = %d\n" p.p_resolves
+        p.p_migrations;
+      Printf.printf "  dedup entries   = %d\n"
+        (List.length s.Serve.Snapshot.dedup);
+      List.iter
+        (fun (pj : Online.Service.pjob) ->
+          Printf.printf
+            "  job %-4d %-12s arrival=%-10.6g remaining=%-12.6g procs=%-6.3g \
+             cache=%.3g\n"
+            pj.Online.Service.pj_id pj.pj_app.Model.App.name pj.pj_arrival
+            pj.pj_remaining pj.pj_procs pj.pj_cache)
+        p.p_jobs;
+      true
+  in
+  let inspect_journal ~replay ~procs ~cs file =
+    let entries, bad = Campaign.Journal.scan ~path:file in
+    let counts = Hashtbl.create 8 in
+    let min_seq = ref max_int and max_seq = ref min_int in
+    List.iter
+      (fun (e : Campaign.Journal.entry) ->
+        let verb, seq =
+          match String.split_on_char ':' e.key with
+          | verb :: seq :: _ -> (verb, int_of_string_opt seq)
+          | _ -> ("<malformed>", None)
+        in
+        Hashtbl.replace counts verb
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts verb));
+        Option.iter
+          (fun s ->
+            if s < !min_seq then min_seq := s;
+            if s > !max_seq then max_seq := s)
+          seq)
+      entries;
+    Printf.printf "journal %s: %d intact record(s)\n" file (List.length entries);
+    Hashtbl.iter (Printf.printf "  %-12s %d\n") counts;
+    if !max_seq >= !min_seq then
+      Printf.printf "  seq range       = %d .. %d\n" !min_seq !max_seq;
+    (match bad with
+    | [] -> print_endline "  torn tail       : none (every line checksums)"
+    | bad ->
+      Printf.printf "  torn tail       : %d corrupt line(s) would be quarantined on recovery\n"
+        (List.length bad);
+      List.iteri
+        (fun i l ->
+          if i < 3 then
+            Printf.printf "    %s%s\n"
+              (String.sub l 0 (min 60 (String.length l)))
+              (if String.length l > 60 then "…" else ""))
+        bad);
+    if replay then begin
+      (* Recovery heals and quarantines in place, so replay a copy: the
+         inspected file must come out byte-identical. *)
+      let tmp = Filename.temp_file "cosched-journal-inspect" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ tmp; Campaign.Journal.quarantine_path tmp ])
+        (fun () ->
+          copy_file file tmp;
+          let backend =
+            Serve.Backend.create
+              {
+                Serve.Backend.default_config with
+                platform = platform_of ~procs ~cs;
+                journal = Some tmp;
+              }
+          in
+          let resp =
+            Serve.Backend.handle backend ~clients:0
+              {
+                Serve.Protocol.rid = 0;
+                sid = None;
+                at = None;
+                verb = Serve.Protocol.(Query Status);
+              }
+          in
+          print_endline "  recovered state (replayed on a temporary copy):";
+          Printf.printf "    %s\n" (Serve.Protocol.encode_response resp))
+    end;
+    bad = []
+  in
+  let run file kind no_replay procs cs =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "cosched journal: no such file: %s\n" file;
+      exit 2
+    end;
+    let kind = match kind with `Auto -> sniff file | k -> k in
+    let ok =
+      match kind with
+      | `Snapshot -> inspect_snapshot file
+      | `Journal | `Auto -> inspect_journal ~replay:(not no_replay) ~procs ~cs file
+    in
+    if not ok then exit 1
+  in
+  let term =
+    Term.(const run $ file_arg $ kind_arg $ no_replay_arg $ procs_arg $ cs_arg)
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect and validate a daemon journal or snapshot: record counts, \
+          torn-tail report, and the live-job summary a recovery would \
+          produce.")
+    term
+
 let main_cmd =
   let doc = "Co-scheduling algorithms for cache-partitioned systems" in
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
     [
       experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; online_cmd;
-      instance_cmd; refine_cmd; serve_cmd; client_cmd;
+      instance_cmd; refine_cmd; serve_cmd; client_cmd; journal_cmd;
     ]
 
 let () =

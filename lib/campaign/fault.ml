@@ -5,9 +5,12 @@ let () =
     | Injected what -> Some (Printf.sprintf "Campaign.Fault.Injected(%s)" what)
     | _ -> None)
 
-type store_site = [ `Cache | `Journal ]
+type store_site = [ `Cache | `Journal | `Snapshot ]
 
-let store_site_tag = function `Cache -> "cache" | `Journal -> "journal"
+let store_site_tag = function
+  | `Cache -> "cache"
+  | `Journal -> "journal"
+  | `Snapshot -> "snapshot"
 
 type t = {
   seed : int;

@@ -18,7 +18,10 @@ exception Injected of string
 (** The exception every injected failure raises; the payload names the
     site, key and attempt so failure reports are self-describing. *)
 
-type store_site = [ `Cache | `Journal ]
+type store_site = [ `Cache | `Journal | `Snapshot ]
+(** Persistent stores whose writers are instrumented: the campaign result
+    cache, the write-ahead journal, and the serving layer's live-state
+    snapshots ({!Serve.Snapshot}). *)
 
 type t
 

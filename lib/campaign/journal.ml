@@ -6,6 +6,7 @@ type t = {
   mutable entries_rev : entry list;
   mutable quarantined : int;
   by_key : (string, float array) Hashtbl.t;
+  mutable oc : out_channel option;  (* lazily opened append channel *)
 }
 
 let quarantine_path path = path ^ ".quarantine"
@@ -83,12 +84,28 @@ let scan ~path =
 
 let load ~path = fst (scan ~path)
 
+(* Atomic whole-file write of [entries] (oldest first) through tmp +
+   rename; the file on disk is a valid journal at every instant. *)
+let write_all ~path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Fault.mangle ~site:`Journal ~key:e.key (entry_to_line e));
+          output_char oc '\n')
+        entries);
+  Sys.rename tmp path
+
 let create ~path =
   let existing, bad = scan ~path in
   (* Quarantine, don't crash: corrupt lines are preserved verbatim in a
      side file for post-mortems, counted, and dropped from the replayed
-     state — the campaign recomputes exactly those trials, and the next
-     append rewrites the journal without them. *)
+     state — the campaign recomputes exactly those trials.  Healing
+     happens here, once: the journal is rewritten without the bad lines,
+     so subsequent O(1) appends extend a clean file. *)
   if bad <> [] then begin
     let oc =
       open_out_gen [ Open_append; Open_creat ] 0o644 (quarantine_path path)
@@ -100,7 +117,8 @@ let create ~path =
           (fun line ->
             output_string oc line;
             output_char oc '\n')
-          bad)
+          bad);
+    write_all ~path existing
   end;
   if bad <> [] && Obs.Probe.on () then
     Obs.Metrics.add m_quarantined (List.length bad);
@@ -112,6 +130,7 @@ let create ~path =
     entries_rev = List.rev existing;
     quarantined = List.length bad;
     by_key;
+    oc = None;
   }
 
 let path t = t.path
@@ -122,18 +141,20 @@ let quarantined t =
   Mutex.unlock t.lock;
   n
 
-let sync_locked t =
-  let tmp = t.path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun e ->
-          output_string oc (Fault.mangle ~site:`Journal ~key:e.key (entry_to_line e));
-          output_char oc '\n')
-        (List.rev t.entries_rev));
-  Sys.rename tmp t.path
+let out_channel_locked t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
+    t.oc <- Some oc;
+    oc
+
+let close_out_locked t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    (try close_out oc with Sys_error _ -> ());
+    t.oc <- None
 
 let append t e =
   Fault.store_point ~site:`Journal ~key:e.key;
@@ -144,9 +165,23 @@ let append t e =
       if not (Hashtbl.mem t.by_key e.key) then begin
         t.entries_rev <- e :: t.entries_rev;
         Hashtbl.replace t.by_key e.key e.values;
-        sync_locked t;
+        let oc = out_channel_locked t in
+        output_string oc (Fault.mangle ~site:`Journal ~key:e.key (entry_to_line e));
+        output_char oc '\n';
+        flush oc;
         if Obs.Probe.on () then Obs.Metrics.incr m_appends
       end)
+
+let rewrite t entries =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      close_out_locked t;
+      write_all ~path:t.path entries;
+      t.entries_rev <- List.rev entries;
+      Hashtbl.reset t.by_key;
+      List.iter (fun e -> Hashtbl.replace t.by_key e.key e.values) entries)
 
 let lookup t key =
   Mutex.lock t.lock;

@@ -4,10 +4,13 @@
 
     {v {"trial":12,"key":"0f3a...","values":[1.25,3.5],"sum":"9c41..."} v}
 
-    and every append atomically rewrites the journal through a tmp file +
-    rename, so the file on disk is a valid JSONL prefix of the campaign at
-    every instant — killing a run mid-flight leaves exactly the completed
-    trials.  [values] are printed with 17 significant digits, which
+    and every append writes one flushed line at the end of the file, so
+    appending is O(1) in the journal's history and killing a run
+    mid-flight leaves at worst one torn final line — which the checksum
+    layer quarantines on the next resume.  Whole-file rewrites ({!create}
+    healing a corrupted file, {!rewrite} compacting one) go through a tmp
+    file + rename, so the file on disk is never half-replaced.  [values]
+    are printed with 17 significant digits, which
     round-trips an IEEE-754 double exactly; [sum] is a 64-bit FNV-1a
     checksum of the raw field texts, so any single-byte corruption of a
     line is detected on reload.
@@ -17,8 +20,9 @@
     truncated or checksum-mismatched lines are *quarantined*: preserved
     verbatim in [path ^ ".quarantine"], counted in {!quarantined}, and
     dropped from the replayed state — a resumed campaign recomputes
-    exactly those trials and the next append excises the bad lines from
-    the journal itself.  Corruption never crashes a resume.
+    exactly those trials, and {!create} heals the journal in place
+    (atomic rewrite without the bad lines) so subsequent appends extend a
+    clean file.  Corruption never crashes a resume.
 
     When a {!Fault} harness is armed, appends pass through its
     [store_point] (injected exceptions) and the writer through [mangle]
@@ -44,9 +48,17 @@ val quarantined : t -> int
     file. *)
 
 val append : t -> entry -> unit
-(** Records an entry and atomically rewrites the file.  Entries whose key
-    is already journalled are ignored (the first result wins).
+(** Records an entry by appending one flushed line — O(1) in the
+    journal's length.  Entries whose key is already journalled are
+    ignored (the first result wins).
     @raise Fault.Injected when an armed harness injects a store fault. *)
+
+val rewrite : t -> entry list -> unit
+(** Atomically replaces the journal's contents with [entries] (oldest
+    first) through a tmp file + rename, resetting the in-memory replay
+    state to match.  This is the compaction primitive: after a verified
+    snapshot, callers rewrite the journal down to the entries newer than
+    the snapshot watermark. *)
 
 val lookup : t -> string -> float array option
 (** Replayed or appended values for a digest key. *)

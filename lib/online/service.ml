@@ -48,6 +48,21 @@ let m_queue_depth =
 let m_live_jobs =
   Obs.Metrics.gauge ~help:"live jobs after the last event" "service.live_jobs"
 
+(* Retired-job statistics carried over a {!live_restore}: the retired
+   jobs themselves are not reconstructed (replay is O(live jobs), the
+   whole point of snapshotting), so their contribution to the report
+   enters as sufficient statistics.  The sums are the exact left-fold
+   prefixes of the uncrashed run's folds, so continuing them job by job
+   reproduces the uncrashed metrics bit for bit. *)
+type stats_basis = {
+  b_completed : int;
+  b_cancelled : int;
+  b_resp_sum : float;
+  b_resp_max : float;  (* neg_infinity when no completions yet *)
+  b_str_sum : float;
+  b_str_max : float;
+}
+
 (* The stepwise core.  [run] below and the [Serve] daemon both drive this
    record, so an offline replay and a served stream of the same events
    are the same code path (the daemon-vs-offline equivalence property in
@@ -67,7 +82,10 @@ type live = {
   mutable migrations : int;
   mutable snapshots_rev : snapshot list;
   mutable pred_epoch : int;       (* completion-prediction generation *)
+  mutable pred_at : float option; (* absolute completion time of the
+                                     current prediction, if scheduled *)
   mutable last_k : float option;  (* equalised makespan of the last solve *)
+  mutable basis : stats_basis option;  (* Some after a live_restore *)
 }
 
 let live_create ?(config = default_config) ?listener ~platform () =
@@ -87,7 +105,9 @@ let live_create ?(config = default_config) ?listener ~platform () =
     migrations = 0;
     snapshots_rev = [];
     pred_epoch = 0;
+    pred_at = None;
     last_k = None;
+    basis = None;
   }
 
 let live_now lv = Simulator.Engine.now lv.engine
@@ -202,10 +222,12 @@ let rec schedule_next_completion lv =
       (fun acc j -> Float.min acc (State.remaining_time ~platform:lv.platform j))
       infinity (State.live lv.state)
   in
-  if next < infinity then
-    Simulator.Engine.schedule lv.engine
-      ~at:(Simulator.Engine.now lv.engine +. next)
-      (fun eng -> on_completion lv eng e)
+  if next < infinity then begin
+    let at = Simulator.Engine.now lv.engine +. next in
+    lv.pred_at <- Some at;
+    Simulator.Engine.schedule lv.engine ~at (fun eng -> on_completion lv eng e)
+  end
+  else lv.pred_at <- None
 
 and on_completion lv eng e =
   if e = lv.pred_epoch then begin
@@ -294,34 +316,57 @@ let drain lv =
     ()
   done
 
+let zero_basis =
+  {
+    b_completed = 0;
+    b_cancelled = 0;
+    b_resp_sum = 0.;
+    b_resp_max = neg_infinity;
+    b_str_sum = 0.;
+    b_str_max = neg_infinity;
+  }
+
+(* Retired-job statistics: the restore basis continued by the left fold
+   over the jobs retired since.  With the zero basis (no restore) this is
+   the same addition sequence the pre-snapshot code ran over its arrays,
+   so the refactor is bit-identical for fresh instances; after a restore
+   the basis holds exact prefix sums, so the continued folds equal the
+   uncrashed run's bit for bit. *)
+let merged_stats lv =
+  let b = Option.value ~default:zero_basis lv.basis in
+  let finished = State.finished lv.state in
+  List.fold_left
+    (fun acc (j : State.job) ->
+      match j.finish with
+      | Some f ->
+        let resp = f -. j.arrival in
+        let str = resp /. j.alone_time in
+        {
+          b_completed = acc.b_completed + 1;
+          b_cancelled = acc.b_cancelled;
+          b_resp_sum = acc.b_resp_sum +. resp;
+          b_resp_max = Float.max acc.b_resp_max resp;
+          b_str_sum = acc.b_str_sum +. str;
+          b_str_max = Float.max acc.b_str_max str;
+        }
+      | None -> { acc with b_cancelled = acc.b_cancelled + 1 })
+    b finished
+
 let live_report lv =
   let finished = State.finished lv.state in
-  let completed =
-    List.filter (fun (j : State.job) -> j.finish <> None) finished
-  in
-  let cancelled =
-    List.length (List.filter (fun (j : State.job) -> j.cancelled) finished)
-  in
-  let responses =
-    Array.of_list
-      (List.map
-         (fun (j : State.job) -> Option.get j.finish -. j.arrival)
-         completed)
-  in
-  let stretches =
-    Array.of_list
-      (List.map
-         (fun (j : State.job) ->
-           (Option.get j.finish -. j.arrival) /. j.alone_time)
-         completed)
+  let s = merged_stats lv in
+  let basis_retired =
+    match lv.basis with
+    | None -> 0
+    | Some b -> b.b_completed + b.b_cancelled
   in
   let makespan = State.now lv.state in
   let c = Incremental.counters lv.inc in
   let metrics =
     {
-      Metrics.jobs = Hashtbl.length lv.jobs_by_id;
-      completed = List.length completed;
-      cancelled;
+      Metrics.jobs = basis_retired + Hashtbl.length lv.jobs_by_id;
+      completed = s.b_completed;
+      cancelled = s.b_cancelled;
       events = lv.events_handled;
       resolves = c.Incremental.resolves;
       forced_resolves = lv.forced;
@@ -332,15 +377,13 @@ let live_report lv =
       cold_fallbacks = c.Incremental.cold_fallbacks;
       makespan;
       mean_response =
-        (if Array.length responses = 0 then 0. else Util.Stats.mean responses);
-      max_response =
-        (if Array.length responses = 0 then 0.
-         else snd (Util.Stats.min_max responses));
+        (if s.b_completed = 0 then 0.
+         else s.b_resp_sum /. float_of_int s.b_completed);
+      max_response = (if s.b_completed = 0 then 0. else s.b_resp_max);
       mean_stretch =
-        (if Array.length stretches = 0 then 0. else Util.Stats.mean stretches);
-      max_stretch =
-        (if Array.length stretches = 0 then 0.
-         else snd (Util.Stats.min_max stretches));
+        (if s.b_completed = 0 then 0.
+         else s.b_str_sum /. float_of_int s.b_completed);
+      max_stretch = (if s.b_completed = 0 then 0. else s.b_str_max);
       utilization =
         (if makespan > 0. then
            State.busy_integral lv.state
@@ -349,6 +392,156 @@ let live_report lv =
     }
   in
   { metrics; jobs = finished; snapshots = List.rev lv.snapshots_rev }
+
+(* --- checkpoint / restore ---------------------------------------------- *)
+
+type pjob = {
+  pj_id : int;
+  pj_app : Model.App.t;
+  pj_arrival : float;
+  pj_remaining : float;
+  pj_procs : float;
+  pj_cache : float;
+  pj_allocated : bool;
+  pj_epoch : int;
+  pj_migrations : int;
+}
+
+type persist = {
+  p_time : float;
+  p_next_id : int;
+  p_busy : float;
+  p_pending : float option;
+  p_last_solve : float;
+  p_last_k : float option;
+  p_events_handled : int;
+  p_events_since : int;
+  p_forced : int;
+  p_migrations : int;
+  p_resolves : int;
+  p_solver_iters : int;
+  p_partition_ops : int;
+  p_warm_hits : int;
+  p_cold_fallbacks : int;
+  p_completed : int;
+  p_cancelled : int;
+  p_resp_sum : float;
+  p_resp_max : float;
+  p_str_sum : float;
+  p_str_max : float;
+  p_jobs : pjob list;
+}
+
+let live_persist lv =
+  let s = merged_stats lv in
+  let c = Incremental.counters lv.inc in
+  let jobs =
+    Array.to_list
+      (Array.map
+         (fun (j : State.job) ->
+           {
+             pj_id = j.State.id;
+             pj_app = j.State.app;
+             pj_arrival = j.State.arrival;
+             pj_remaining = j.State.remaining;
+             pj_procs = j.State.procs;
+             pj_cache = j.State.cache;
+             pj_allocated = j.State.allocated;
+             pj_epoch = j.State.epoch;
+             pj_migrations = j.State.migrations;
+           })
+         (State.live lv.state))
+  in
+  {
+    p_time = Simulator.Engine.now lv.engine;
+    p_next_id = State.next_id lv.state;
+    p_busy = State.busy_integral lv.state;
+    p_pending = lv.pred_at;
+    p_last_solve = lv.last_solve;
+    p_last_k = lv.last_k;
+    p_events_handled = lv.events_handled;
+    p_events_since = lv.events_since;
+    p_forced = lv.forced;
+    p_migrations = lv.migrations;
+    p_resolves = c.Incremental.resolves;
+    p_solver_iters = c.Incremental.solver_iters;
+    p_partition_ops = c.Incremental.partition_ops;
+    p_warm_hits = c.Incremental.warm_hits;
+    p_cold_fallbacks = c.Incremental.cold_fallbacks;
+    p_completed = s.b_completed;
+    p_cancelled = s.b_cancelled;
+    p_resp_sum = s.b_resp_sum;
+    p_resp_max = s.b_resp_max;
+    p_str_sum = s.b_str_sum;
+    p_str_max = s.b_str_max;
+    p_jobs = jobs;
+  }
+
+let live_restore ?(config = default_config) ?listener ~platform p =
+  Policy.validate config.policy;
+  let lv =
+    {
+      config;
+      platform;
+      state = State.create platform;
+      engine = Simulator.Engine.create ();
+      inc = Incremental.create ();
+      jobs_by_id = Hashtbl.create 64;
+      listener;
+      events_since = p.p_events_since;
+      events_handled = p.p_events_handled;
+      last_solve = p.p_last_solve;
+      forced = p.p_forced;
+      migrations = p.p_migrations;
+      snapshots_rev = [];
+      pred_epoch = 0;
+      pred_at = None;
+      last_k = p.p_last_k;
+      basis =
+        Some
+          {
+            b_completed = p.p_completed;
+            b_cancelled = p.p_cancelled;
+            b_resp_sum = p.p_resp_sum;
+            b_resp_max = p.p_resp_max;
+            b_str_sum = p.p_str_sum;
+            b_str_max = p.p_str_max;
+          };
+    }
+  in
+  Simulator.Engine.advance_to lv.engine ~to_:p.p_time;
+  State.restore lv.state ~clock:p.p_time ~next_id:p.p_next_id
+    ~busy:p.p_busy;
+  List.iter
+    (fun pj ->
+      let job =
+        State.inject lv.state ~id:pj.pj_id ~app:pj.pj_app
+          ~arrival:pj.pj_arrival ~remaining:pj.pj_remaining
+          ~procs:pj.pj_procs ~cache:pj.pj_cache ~allocated:pj.pj_allocated
+          ~epoch:pj.pj_epoch ~migrations:pj.pj_migrations
+      in
+      Hashtbl.replace lv.jobs_by_id pj.pj_id job)
+    p.p_jobs;
+  let c = Incremental.counters lv.inc in
+  c.Incremental.resolves <- p.p_resolves;
+  c.Incremental.solver_iters <- p.p_solver_iters;
+  c.Incremental.partition_ops <- p.p_partition_ops;
+  c.Incremental.warm_hits <- p.p_warm_hits;
+  c.Incremental.cold_fallbacks <- p.p_cold_fallbacks;
+  (* Re-arm the completion prediction at its exact recorded absolute
+     time.  Recomputing [now + remaining_time] here would land within
+     ulps of the original but not necessarily on it; carrying the
+     scheduled instant through the checkpoint keeps the post-restore
+     event sequence — and therefore every finish timestamp and
+     allocation — bit-identical to the uncrashed run. *)
+  (match p.p_pending with
+  | Some at when p.p_jobs <> [] ->
+    lv.pred_epoch <- lv.pred_epoch + 1;
+    let e = lv.pred_epoch in
+    lv.pred_at <- Some at;
+    Simulator.Engine.schedule lv.engine ~at (fun eng -> on_completion lv eng e)
+  | _ -> ());
+  lv
 
 let run ?(config = default_config) ~platform stream =
   let lv = live_create ~config ~platform () in

@@ -27,6 +27,7 @@ let create platform =
 
 let platform t = t.platform
 let now t = t.clock
+let next_id t = t.next_id
 
 let advance t ~to_ =
   if Float.is_nan to_ then invalid_arg "State.advance: NaN time";
@@ -71,6 +72,48 @@ let add t ~app =
   in
   t.next_id <- t.next_id + 1;
   t.live_rev <- job :: t.live_rev;
+  job
+
+let restore t ~clock ~next_id ~busy =
+  if t.live_rev <> [] || t.finished_rev <> [] then
+    invalid_arg "State.restore: state is not fresh";
+  if Float.is_nan clock || clock < 0. then
+    invalid_arg "State.restore: bad clock";
+  if next_id < 0 then invalid_arg "State.restore: bad next_id";
+  t.clock <- clock;
+  t.next_id <- next_id;
+  t.busy <- busy
+
+let inject t ~id ~app ~arrival ~remaining ~procs ~cache ~allocated ~epoch
+    ~migrations =
+  if List.exists (fun j -> j.id = id) t.live_rev then
+    invalid_arg "State.inject: duplicate job id";
+  (match t.live_rev with
+  | j :: _ when j.id >= id ->
+    invalid_arg "State.inject: jobs must be injected in id order"
+  | _ -> ());
+  let alone_time =
+    Model.Exec_model.exe ~app ~platform:t.platform
+      ~p:t.platform.Model.Platform.p ~x:1.
+  in
+  let job =
+    {
+      id;
+      app;
+      arrival;
+      alone_time;
+      remaining;
+      procs;
+      cache;
+      allocated;
+      epoch;
+      migrations;
+      finish = None;
+      cancelled = false;
+    }
+  in
+  t.live_rev <- job :: t.live_rev;
+  if id >= t.next_id then t.next_id <- id + 1;
   job
 
 let retire t job =

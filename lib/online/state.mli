@@ -42,6 +42,10 @@ val platform : t -> Model.Platform.t
 val now : t -> float
 (** Time the state was last advanced to. *)
 
+val next_id : t -> int
+(** The id the next {!add} will assign (the number of jobs ever
+    admitted, counting checkpointed ids after a {!restore}). *)
+
 val advance : t -> to_:float -> unit
 (** Integrate progress of every running job up to [to_] under the current
     allocations, and accumulate the busy-processor integral (for
@@ -50,6 +54,30 @@ val advance : t -> to_:float -> unit
 
 val add : t -> app:Model.App.t -> job
 (** Admit an arrival (queued, no allocation) at the current time. *)
+
+val restore : t -> clock:float -> next_id:int -> busy:float -> unit
+(** Reset the scalar fields of a {e fresh} state to checkpointed values —
+    the first step of rebuilding a live core from a snapshot
+    ({!Serve.Snapshot}).  @raise Invalid_argument if the state already
+    holds jobs, or on a negative/NaN clock or negative [next_id]. *)
+
+val inject : t ->
+  id:int ->
+  app:Model.App.t ->
+  arrival:float ->
+  remaining:float ->
+  procs:float ->
+  cache:float ->
+  allocated:bool ->
+  epoch:int ->
+  migrations:int ->
+  job
+(** Re-admit a checkpointed live job with explicit progress and
+    allocation, in increasing [id] order.  [alone_time] is recomputed
+    from [app] (it is a pure function of the app and platform, so the
+    restored value is bit-identical to the original).  Does not advance
+    the clock or bump epochs.  @raise Invalid_argument on a duplicate or
+    out-of-order id. *)
 
 val complete : t -> job -> unit
 (** Mark a job finished at the current time and retire it from the live

@@ -5,6 +5,11 @@ type config = {
   platform : Model.Platform.t;
   queue_depth : int;
   journal : string option;
+  snapshot : string option;
+  snapshot_every : int;
+  shed_highwater : int;
+  shed_lowwater : int;
+  shed_retry_after : float;
 }
 
 let default_config =
@@ -13,22 +18,57 @@ let default_config =
     platform = Model.Platform.paper_default;
     queue_depth = 1024;
     journal = None;
+    snapshot = None;
+    snapshot_every = 0;
+    shed_highwater = 0;
+    shed_lowwater = 0;
+    shed_retry_after = 0.05;
   }
+
+let m_snapshots =
+  Obs.Metrics.counter ~help:"snapshots written (journal compactions)"
+    "serve.snapshots"
+
+let m_snapshot_failures =
+  Obs.Metrics.counter ~help:"snapshot writes that failed validation"
+    "serve.snapshot_failures"
+
+let m_dedup_hits =
+  Obs.Metrics.counter ~help:"retried requests answered from the dedup cache"
+    "serve.dedup_hits"
+
+let m_shed =
+  Obs.Metrics.counter ~help:"submits rejected in load-shed mode"
+    "serve.shed_rejects"
+
+(* Cached idempotency replies are bounded FIFO; a client retrying
+   anything but its most recent requests is outside the protocol's
+   contract anyway. *)
+let dedup_cap = 4096
 
 type t = {
   lv : Online.Service.live;
   journal : Campaign.Journal.t option;
+  snapshot_path : string option;
+  snapshot_every : int;
   mutable seq : int;
   mutable draining : bool;
+  mutable shed : bool;
+  mutable muts_since_snapshot : int;
+  mutable snapshots : int;
   recovered : int;
-  queue_depth : int;
+  config : config;
+  dedup : (string * int, Protocol.response) Hashtbl.t;
+  dedup_fifo : (string * int) Queue.t;
   notices : Online.Service.notice Queue.t;
 }
 
 let now t = Online.Service.live_now t.lv
 let epoch t = Online.Service.live_epoch t.lv
 let draining t = t.draining
+let shedding t = t.shed
 let recovered t = t.recovered
+let snapshots_written t = t.snapshots
 let live_jobs t = Array.length (Online.State.live (Online.Service.live_state t.lv))
 
 let take_notices t =
@@ -38,6 +78,51 @@ let take_notices t =
     | Some n -> go (n :: acc)
   in
   go []
+
+(* --- (sid, rid) dedup --------------------------------------------------- *)
+
+let dedup_find t ~sid ~rid = Hashtbl.find_opt t.dedup (sid, rid)
+
+let dedup_add t ~sid ~rid resp =
+  let key = (sid, rid) in
+  if not (Hashtbl.mem t.dedup key) then begin
+    Hashtbl.replace t.dedup key resp;
+    Queue.add key t.dedup_fifo;
+    if Queue.length t.dedup_fifo > dedup_cap then
+      Hashtbl.remove t.dedup (Queue.pop t.dedup_fifo)
+  end
+
+(* Session ids are client-chosen strings; hex-encode them into journal
+   keys so the [:]-separated key grammar stays unambiguous whatever the
+   sid contains.  "-" marks "no sid" (no dedup entry on replay). *)
+let hex_of_sid = function
+  | None -> "-"
+  | Some s ->
+    let b = Buffer.create (2 * String.length s) in
+    String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+    Buffer.contents b
+
+let sid_of_hex h =
+  if h = "-" then None
+  else if String.length h mod 2 <> 0 then None
+  else
+    let n = String.length h / 2 in
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let rec go i acc =
+      if i = n then Some (Buffer.contents acc)
+      else
+        match (digit h.[2 * i], digit h.[(2 * i) + 1]) with
+        | Some hi, Some lo ->
+          Buffer.add_char acc (Char.chr ((hi lsl 4) lor lo));
+          go (i + 1) acc
+        | _ -> None
+    in
+    go 0 (Buffer.create n)
 
 (* --- journal replay ----------------------------------------------------- *)
 
@@ -49,27 +134,43 @@ let app_of_spec (a : app_spec) =
   | app -> Ok app
   | exception Invalid_argument m -> Error (Bad_request, m)
 
-(* One journal entry per state mutation, keyed [verb:<seq>...] so the
-   journal's first-write-wins dedup never collides.  Replaying the
-   entries oldest-first through the same live core reproduces the exact
-   pre-crash job set: completions are deterministic functions of the
-   submit/cancel/advance/drain timeline. *)
-let replay_entry lv (e : Campaign.Journal.entry) =
+let completed_of lv = (Online.Service.live_report lv).Online.Service.metrics.completed
+
+(* One journal entry per state mutation, keyed
+   [verb:<seq>:<sidhex>:<rid>...] so the journal's first-write-wins
+   dedup never collides and a replay can rebuild the idempotency cache.
+   Replaying the surviving entries oldest-first through the same live
+   core reproduces the exact pre-crash job set: completions are
+   deterministic functions of the submit/cancel/advance/drain timeline.
+   [record_dedup] receives the response each replayed mutation would
+   have produced — recomputed, and equal to the original because the
+   core is deterministic. *)
+let replay_entry lv ~record_dedup (e : Campaign.Journal.entry) =
+  let with_dedup sidhex rid_s reply =
+    match (sid_of_hex sidhex, int_of_string_opt rid_s) with
+    | Some sid, Some rid ->
+      record_dedup ~sid ~rid
+        { rid; epoch = Online.Service.live_epoch lv; reply }
+    | _ -> ()
+  in
   match String.split_on_char ':' e.key with
-  | "submit" :: seq :: name_rest -> (
+  | "submit" :: seq :: sidhex :: rid_s :: name_rest -> (
     match e.values with
     | [| at; w; s; f; m0; c0; footprint |] -> (
       let name = String.concat ":" name_rest in
       match Model.App.make ~name ~s ~footprint ~c0 ~w ~f ~m0 () with
       | app ->
-        ignore (Online.Service.submit lv ~at app);
+        let job = Online.Service.submit lv ~at app in
+        with_dedup sidhex rid_s (R_submitted { job = job.Online.State.id });
         int_of_string_opt seq
       | exception Invalid_argument _ -> None)
     | _ -> None)
-  | [ "cancel"; seq ] -> (
+  | [ "cancel"; seq; sidhex; rid_s ] -> (
     match e.values with
     | [| at; id |] ->
-      ignore (Online.Service.cancel lv ~at ~id:(int_of_float id));
+      let id = int_of_float id in
+      let was_live = Online.Service.cancel lv ~at ~id in
+      with_dedup sidhex rid_s (R_cancelled { job = id; was_live });
       int_of_string_opt seq
     | _ -> None)
   | [ "advance"; seq ] -> (
@@ -78,48 +179,161 @@ let replay_entry lv (e : Campaign.Journal.entry) =
       Online.Service.advance lv ~to_:at;
       int_of_string_opt seq
     | _ -> None)
-  | [ "drain"; seq ] ->
+  | [ "drain"; seq; sidhex; rid_s ] ->
+    let before = completed_of lv in
     Online.Service.drain lv;
+    with_dedup sidhex rid_s
+      (R_drained
+         { time = Online.Service.live_now lv; completed = completed_of lv - before });
     int_of_string_opt seq
   | _ -> None
 
 let create (config : config) =
+  if config.snapshot <> None && config.journal = None then
+    invalid_arg "Backend.create: snapshotting requires a journal";
+  if config.shed_highwater > 0 && config.shed_lowwater > config.shed_highwater
+  then invalid_arg "Backend.create: shed_lowwater must be <= shed_highwater";
   let notices = Queue.create () in
-  let lv =
-    Online.Service.live_create ~config:config.service
-      ~listener:(fun n -> Queue.add n notices)
+  let listener n = Queue.add n notices in
+  let dedup = Hashtbl.create 256 in
+  let dedup_fifo = Queue.create () in
+  let record_dedup ~sid ~rid resp =
+    let key = (sid, rid) in
+    if not (Hashtbl.mem dedup key) then begin
+      Hashtbl.replace dedup key resp;
+      Queue.add key dedup_fifo
+    end
+  in
+  let fresh () =
+    Online.Service.live_create ~config:config.service ~listener
       ~platform:config.platform ()
   in
-  let journal, recovered, seq =
+  let lv, journal, recovered, seq =
     match config.journal with
-    | None -> (None, 0, 0)
+    | None -> (fresh (), None, 0, 0)
     | Some path ->
       let j = Campaign.Journal.create ~path in
-      let applied = ref 0 and max_seq = ref (-1) in
+      (* Recovery prefers the newest valid snapshot: restore the live
+         core from it and replay only the journal entries at or past its
+         sequence watermark — O(live jobs + post-snapshot events) instead
+         of O(history).  An invalid snapshot is quarantined by [load] and
+         recovery falls back to full replay (the journal is only ever
+         compacted against a validated snapshot, so nothing is lost). *)
+      let lv, watermark =
+        match Option.map (fun p -> Snapshot.load ~path:p) config.snapshot with
+        | Some (Some s) ->
+          let lv =
+            Online.Service.live_restore ~config:config.service ~listener
+              ~platform:config.platform s.Snapshot.persist
+          in
+          List.iter
+            (fun (sid, rid, resp) -> record_dedup ~sid ~rid resp)
+            s.Snapshot.dedup;
+          (lv, s.Snapshot.seq)
+        | _ -> (fresh (), min_int)
+      in
+      let applied = ref 0 and max_seq = ref (watermark - 1) in
       List.iter
-        (fun e ->
-          match replay_entry lv e with
-          | Some s ->
+        (fun (e : Campaign.Journal.entry) ->
+          match replay_entry lv ~record_dedup e with
+          | Some s when s >= watermark ->
             incr applied;
             if s > !max_seq then max_seq := s
-          | None -> ())
+          | Some _ | None -> ())
         (Campaign.Journal.entries j);
-      (Some j, !applied, !max_seq + 1)
+      (lv, Some j, !applied, max 0 (!max_seq + 1))
   in
   (* Replay fires listener notices for pre-crash completions; nobody is
      subscribed yet, so drop them. *)
   Queue.clear notices;
-  { lv; journal; seq; draining = false; recovered; queue_depth = config.queue_depth; notices }
+  {
+    lv;
+    journal;
+    snapshot_path = config.snapshot;
+    snapshot_every = config.snapshot_every;
+    seq;
+    draining = false;
+    shed = false;
+    muts_since_snapshot = 0;
+    snapshots = 0;
+    recovered;
+    config;
+    dedup;
+    dedup_fifo;
+    notices;
+  }
 
 let next_seq t =
   let s = t.seq in
   t.seq <- s + 1;
   s
 
+(* --- snapshot + compaction ---------------------------------------------- *)
+
+let snapshot_now t =
+  match (t.journal, t.snapshot_path) with
+  | Some j, Some path -> (
+    let dedup =
+      Queue.fold
+        (fun acc key ->
+          match Hashtbl.find_opt t.dedup key with
+          | Some resp -> (fst key, snd key, resp) :: acc
+          | None -> acc)
+        [] t.dedup_fifo
+      |> List.rev
+    in
+    let s =
+      {
+        Snapshot.seq = t.seq;
+        persist = Online.Service.live_persist t.lv;
+        dedup;
+      }
+    in
+    match Snapshot.write ~path s with
+    | Ok () ->
+      (* Every journal entry has sequence < [t.seq] and is folded into
+         the (validated) snapshot — compact the journal to empty.
+         Replay cost from here is O(live jobs). *)
+      Campaign.Journal.rewrite j [];
+      t.muts_since_snapshot <- 0;
+      t.snapshots <- t.snapshots + 1;
+      if Obs.Probe.on () then Obs.Metrics.incr m_snapshots;
+      Ok ()
+    | Error m ->
+      if Obs.Probe.on () then Obs.Metrics.incr m_snapshot_failures;
+      Error m)
+  | _ -> Error "snapshotting is not configured"
+
 let journal_entry t key values =
   match t.journal with
   | None -> ()
-  | Some j -> Campaign.Journal.append j { trial = 0; key; values }
+  | Some j ->
+    Campaign.Journal.append j { trial = 0; key; values };
+    t.muts_since_snapshot <- t.muts_since_snapshot + 1
+
+(* Checked at the END of [handle], never at journal-write time: the
+   journal entry is written ahead of the mutation, so a snapshot taken
+   between the two would compact away a record whose effect it does not
+   contain. *)
+let maybe_snapshot t =
+  if
+    t.snapshot_path <> None && t.journal <> None && t.snapshot_every > 0
+    && t.muts_since_snapshot >= t.snapshot_every
+  then ignore (snapshot_now t : (unit, string) result)
+
+(* --- load shedding ------------------------------------------------------ *)
+
+(* Hysteresis: enter shed mode at the high-water mark, leave it at the
+   low-water mark, so a backlog hovering at the boundary does not flap
+   between accepting and rejecting on every completion. *)
+let update_shed t =
+  if t.config.shed_highwater > 0 then begin
+    let live = live_jobs t in
+    if t.shed then begin
+      if live <= t.config.shed_lowwater then t.shed <- false
+    end
+    else if live >= t.config.shed_highwater then t.shed <- true
+  end
 
 (* --- request handling --------------------------------------------------- *)
 
@@ -140,11 +354,14 @@ let view_of_job (j : Online.State.job) : job_view =
     finish = j.finish;
   }
 
-let completed_count t = (Online.Service.live_report t.lv).metrics.completed
+let completed_count t = completed_of t.lv
 
-let drain_all t ~journal:write_entry =
+let drain_all t ~journal:write_entry ~sid ~rid =
   if write_entry then
-    journal_entry t (Printf.sprintf "drain:%d" (next_seq t)) [| now t |];
+    journal_entry t
+      (Printf.sprintf "drain:%d:%s:%d" (next_seq t) (hex_of_sid sid)
+         (Option.value ~default:(-1) rid))
+      [| now t |];
   t.draining <- true;
   match
     let continuing = ref true in
@@ -156,104 +373,161 @@ let drain_all t ~journal:write_entry =
   | () -> true
   | exception Campaign.Watchdog.Timeout _ -> false
 
-let shutdown_drain t = drain_all t ~journal:true
+let shutdown_drain t = drain_all t ~journal:true ~sid:None ~rid:None
 
 let handle t ~clients (req : request) =
-  let t_eff =
-    match req.at with None -> now t | Some at -> Float.max at (now t)
-  in
-  (* Pure time advances must reach the journal too, or a replay would
-     miss completions the pre-crash daemon already swept. *)
-  let advance_to_eff () =
-    if t_eff > now t then begin
-      journal_entry t (Printf.sprintf "advance:%d" (next_seq t)) [| t_eff |];
-      Online.Service.advance t.lv ~to_:t_eff
-    end
-  in
-  let reply =
-    match req.verb with
-    | Submit spec ->
-      if t.draining then
-        R_error
-          { code = Draining; message = "daemon is draining; submissions refused" }
-      else if live_jobs t >= t.queue_depth then
-        R_error
-          {
-            code = Overload;
-            message =
-              Printf.sprintf "queue depth %d reached; retry after completions"
-                t.queue_depth;
-          }
-      else (
-        match app_of_spec spec with
-        | Error (code, message) -> R_error { code; message }
-        | Ok app ->
-          journal_entry t
-            (Printf.sprintf "submit:%d:%s" (next_seq t) spec.name)
-            [| t_eff; spec.w; spec.s; spec.f; spec.m0; spec.c0; spec.footprint |];
-          let job = Online.Service.submit t.lv ~at:t_eff app in
-          R_submitted { job = job.id })
-    | Cancel id -> (
-      match Online.Service.find_job t.lv id with
-      | None ->
-        R_error
-          { code = Unknown_job; message = Printf.sprintf "no job with id %d" id }
-      | Some _ ->
-        journal_entry t
-          (Printf.sprintf "cancel:%d" (next_seq t))
-          [| t_eff; float_of_int id |];
-        let was_live = Online.Service.cancel t.lv ~at:t_eff ~id in
-        R_cancelled { job = id; was_live })
-    | Query q -> (
-      advance_to_eff ();
-      let state = Online.Service.live_state t.lv in
-      match q with
-      | Stats ->
-        let report = Online.Service.live_report t.lv in
-        R_stats { time = now t; clients; metrics = report.metrics }
-      | Status ->
-        R_status
-          {
-            time = now t;
-            live = live_jobs t;
-            queued = Online.State.queued state;
-            running = Online.State.running state;
-            clients;
-            draining = t.draining;
-            recovered = t.recovered;
-          }
-      | Allocs ->
-        R_allocs
-          {
-            time = now t;
-            k = Online.Service.last_makespan t.lv;
-            jobs = Array.map view_of_job (Online.State.live state);
-          }
-      | Job id -> (
+  match
+    Option.bind req.sid (fun sid -> dedup_find t ~sid ~rid:req.rid)
+  with
+  | Some cached ->
+    (* A retried mutation: the first execution's response, replayed
+       verbatim (same rid, same epoch) with no state change — retries
+       are exactly-once against the journal. *)
+    if Obs.Probe.on () then Obs.Metrics.incr m_dedup_hits;
+    cached
+  | None ->
+    let t_eff =
+      match req.at with None -> now t | Some at -> Float.max at (now t)
+    in
+    (* Pure time advances must reach the journal too, or a replay would
+       miss completions the pre-crash daemon already swept. *)
+    let advance_to_eff () =
+      if t_eff > now t then begin
+        journal_entry t (Printf.sprintf "advance:%d" (next_seq t)) [| t_eff |];
+        Online.Service.advance t.lv ~to_:t_eff
+      end
+    in
+    update_shed t;
+    let cacheable = ref false in
+    let reply =
+      match req.verb with
+      | Submit spec ->
+        if t.draining then
+          R_error
+            {
+              code = Draining;
+              message = "daemon is draining; submissions refused";
+              retry_after = None;
+            }
+        else if live_jobs t >= t.config.queue_depth then
+          R_error
+            {
+              code = Overload;
+              message =
+                Printf.sprintf "queue depth %d reached; retry after completions"
+                  t.config.queue_depth;
+              retry_after = Some t.config.shed_retry_after;
+            }
+        else if t.shed then begin
+          if Obs.Probe.on () then Obs.Metrics.incr m_shed;
+          R_error
+            {
+              code = Overload;
+              message =
+                Printf.sprintf
+                  "load shedding: %d live jobs past high-water mark %d; \
+                   queries and cancels are still served"
+                  (live_jobs t) t.config.shed_highwater;
+              retry_after = Some t.config.shed_retry_after;
+            }
+        end
+        else (
+          match app_of_spec spec with
+          | Error (code, message) -> R_error { code; message; retry_after = None }
+          | Ok app ->
+            cacheable := true;
+            journal_entry t
+              (Printf.sprintf "submit:%d:%s:%d:%s" (next_seq t)
+                 (hex_of_sid req.sid) req.rid spec.name)
+              [| t_eff; spec.w; spec.s; spec.f; spec.m0; spec.c0; spec.footprint |];
+            let job = Online.Service.submit t.lv ~at:t_eff app in
+            R_submitted { job = job.id })
+      | Cancel id -> (
         match Online.Service.find_job t.lv id with
-        | Some j -> R_job (view_of_job j)
         | None ->
           R_error
-            { code = Unknown_job; message = Printf.sprintf "no job with id %d" id }
-          ))
-    | Subscribe on ->
-      (* The per-connection flag itself lives in the daemon's session;
-         the backend only validates and acknowledges. *)
-      R_subscribed { on }
-    | Drain ->
-      (* [at] is ignored: a drain always runs from the current model
-         time to completion of every live job. *)
-      let before = completed_count t in
-      if drain_all t ~journal:true then
-        R_drained { time = now t; completed = completed_count t - before }
-      else
-        R_error
-          {
-            code = Timeout;
-            message = "drain deadline elapsed before all jobs completed";
-          }
-    | Ping ->
-      advance_to_eff ();
-      R_pong
-  in
-  { rid = req.rid; epoch = epoch t; reply }
+            {
+              code = Unknown_job;
+              message = Printf.sprintf "no job with id %d" id;
+              retry_after = None;
+            }
+        | Some _ ->
+          cacheable := true;
+          journal_entry t
+            (Printf.sprintf "cancel:%d:%s:%d" (next_seq t) (hex_of_sid req.sid)
+               req.rid)
+            [| t_eff; float_of_int id |];
+          let was_live = Online.Service.cancel t.lv ~at:t_eff ~id in
+          R_cancelled { job = id; was_live })
+      | Query q -> (
+        advance_to_eff ();
+        let state = Online.Service.live_state t.lv in
+        match q with
+        | Stats ->
+          let report = Online.Service.live_report t.lv in
+          R_stats { time = now t; clients; metrics = report.metrics }
+        | Status ->
+          update_shed t;
+          R_status
+            {
+              time = now t;
+              live = live_jobs t;
+              queued = Online.State.queued state;
+              running = Online.State.running state;
+              clients;
+              draining = t.draining;
+              recovered = t.recovered;
+              shed = t.shed;
+              snapshots = t.snapshots;
+            }
+        | Allocs ->
+          R_allocs
+            {
+              time = now t;
+              k = Online.Service.last_makespan t.lv;
+              jobs = Array.map view_of_job (Online.State.live state);
+            }
+        | Job id -> (
+          match Online.Service.find_job t.lv id with
+          | Some j -> R_job (view_of_job j)
+          | None ->
+            R_error
+              {
+                code = Unknown_job;
+                message = Printf.sprintf "no job with id %d" id;
+                retry_after = None;
+              }))
+      | Subscribe on ->
+        (* The per-connection flag itself lives in the daemon's session;
+           the backend only validates and acknowledges. *)
+        R_subscribed { on }
+      | Drain ->
+        (* [at] is ignored: a drain always runs from the current model
+           time to completion of every live job. *)
+        let before = completed_count t in
+        if drain_all t ~journal:true ~sid:req.sid ~rid:(Some req.rid) then begin
+          cacheable := true;
+          R_drained { time = now t; completed = completed_count t - before }
+        end
+        else
+          R_error
+            {
+              code = Timeout;
+              message = "drain deadline elapsed before all jobs completed";
+              retry_after = None;
+            }
+      | Ping ->
+        advance_to_eff ();
+        R_pong
+    in
+    update_shed t;
+    let resp = { rid = req.rid; epoch = epoch t; reply } in
+    (* Cache successful mutations only: an error reply made no state
+       change, so re-executing the retry is safe — and caching an
+       [Overload] would wrongly pin a client to rejection after the
+       backlog clears. *)
+    (match req.sid with
+    | Some sid when !cacheable -> dedup_add t ~sid ~rid:req.rid resp
+    | _ -> ());
+    maybe_snapshot t;
+    resp

@@ -1,14 +1,50 @@
 (** The daemon's scheduling backend: one {!Online.Service.live} instance
-    behind a request dispatcher, with a crash-safe write-ahead journal.
+    behind a request dispatcher, with a crash-safe write-ahead journal,
+    periodic snapshot compaction, retry dedup, and load shedding.
 
     Every state-mutating request (submit, cancel, the implicit time
     advance of a timestamped query, drain) is appended to a
     {!Campaign.Journal} {e before} it is applied, keyed
-    [verb:<seq>:...] with a monotone sequence number.  On restart,
-    {!create} replays the surviving entries oldest-first through a fresh
-    live core; because the service is a deterministic function of its
-    event timeline, the recovered job set is exactly the pre-crash one —
-    torn tail lines are quarantined by the journal layer, not replayed.
+    [verb:<seq>:<sidhex>:<rid>...] with a monotone sequence number.  On
+    restart, {!create} replays the surviving entries oldest-first
+    through a fresh live core; because the service is a deterministic
+    function of its event timeline, the recovered job set is exactly the
+    pre-crash one — torn tail lines are quarantined by the journal
+    layer, not replayed.
+
+    {2 Snapshots and compaction}
+
+    With [config.snapshot] set, every [config.snapshot_every] journaled
+    mutations the backend checkpoints the full live-core state
+    ({!Online.Service.live_persist}) plus the dedup cache to a
+    {!Snapshot} file and — only after the snapshot is written, re-read
+    and validated — compacts the journal to empty.  Recovery then
+    restores from the newest valid snapshot and replays only the
+    entries at or past its sequence watermark, making restart cost
+    O(live jobs + post-snapshot events) instead of O(history).  An
+    invalid snapshot (torn write, injected fault) is quarantined and
+    recovery falls back to full journal replay; since compaction only
+    ever follows a {e validated} snapshot, no committed mutation can be
+    lost to a torn checkpoint.
+
+    {2 Exactly-once retries}
+
+    Requests carrying a session id are remembered by [(sid, rid)]: a
+    retry of an already-executed mutation returns the original response
+    verbatim without touching the core or the journal.  The cache holds
+    successful mutations only (errors made no state change, so
+    re-executing them is safe), is bounded FIFO, survives restarts (it
+    is rebuilt during replay and persisted in snapshots), and makes a
+    retrying client exactly-once against the journal.
+
+    {2 Load shedding}
+
+    With [config.shed_highwater > 0], the backend enters shed mode when
+    live jobs reach the high-water mark and rejects submits with a
+    structured [Overload] error carrying a [retry_after] hint — while
+    still serving queries, cancels and drains — until the backlog falls
+    to [config.shed_lowwater] (hysteresis, so the boundary does not
+    flap).
 
     The backend is single-threaded by design: the daemon's [select] loop
     calls {!handle} one request at a time, in arrival order, which is
@@ -22,20 +58,39 @@ type config = {
                                         are rejected with [Overload]. *)
   journal : string option;          (** Write-ahead journal path; [None]
                                         disables persistence. *)
+  snapshot : string option;         (** Snapshot path; requires
+                                        [journal].  [None] disables
+                                        checkpointing. *)
+  snapshot_every : int;             (** Journaled mutations between
+                                        automatic snapshots; [0] means
+                                        only explicit {!snapshot_now}
+                                        calls checkpoint. *)
+  shed_highwater : int;             (** Live jobs at which shed mode
+                                        starts; [0] disables shedding. *)
+  shed_lowwater : int;              (** Live jobs at which shed mode
+                                        ends (must be <= highwater). *)
+  shed_retry_after : float;         (** [retry_after] hint (seconds,
+                                        wall clock) on overload errors. *)
 }
 
 val default_config : config
-(** Paper-default platform, service defaults, depth 1024, no journal. *)
+(** Paper-default platform, service defaults, depth 1024, no journal,
+    no snapshotting, no shedding, 50 ms retry hint. *)
 
 type t
-(** A backend instance owning the live core and journal handle. *)
+(** A backend instance owning the live core, journal handle and dedup
+    cache. *)
 
 val create : config -> t
 (** Fresh backend at model time 0 — unless [config.journal] names an
-    existing journal, in which case its entries are replayed first and
-    the backend resumes at the recovered model time (see {!recovered}).
-    A drain entry in the journal re-runs the drain but does {e not}
-    leave the restarted backend in draining state. *)
+    existing journal (and possibly [config.snapshot] a valid snapshot),
+    in which case the state is recovered first and the backend resumes
+    at the recovered model time (see {!recovered}).  A drain entry in
+    the journal re-runs the drain but does {e not} leave the restarted
+    backend in draining state.
+
+    @raise Invalid_argument if [snapshot] is set without [journal], or
+    [shed_lowwater > shed_highwater] while shedding is enabled. *)
 
 val now : t -> float
 (** Current model time of the live core. *)
@@ -48,12 +103,28 @@ val draining : t -> bool
 (** Whether a drain has been requested; once set, submissions are
     refused with [Draining] and the daemon exits after flushing. *)
 
+val shedding : t -> bool
+(** Whether load-shed mode is active (submits rejected until the
+    backlog falls to the low-water mark). *)
+
 val recovered : t -> int
 (** Journal entries successfully replayed by {!create} (0 without a
-    journal). *)
+    journal; entries below a restored snapshot's watermark are covered
+    by the snapshot and not counted). *)
+
+val snapshots_written : t -> int
+(** Snapshots successfully written (and journal compactions performed)
+    since start-up. *)
 
 val live_jobs : t -> int
 (** Jobs admitted but not yet finished or cancelled. *)
+
+val snapshot_now : t -> (unit, string) result
+(** Checkpoint immediately: persist the live core + dedup cache to the
+    configured snapshot path and, on success, compact the journal to
+    empty.  [Error reason] when snapshotting is not configured or the
+    written file failed validation (in which case the journal is left
+    untouched and recovery still has full history). *)
 
 val take_notices : t -> Online.Service.notice list
 (** Drain the notices (re-solves, completions) the live core emitted
@@ -72,4 +143,5 @@ val handle : t -> clients:int -> Protocol.request -> Protocol.response
     failures become [R_error]).  [clients] is the daemon's current
     connection count, echoed in stats/status replies.  Requests with an
     [at] in the past are clamped to the current model time; [at] on a
-    drain is ignored. *)
+    drain is ignored.  A request whose [(sid, rid)] matches a cached
+    mutation returns the original response with no state change. *)

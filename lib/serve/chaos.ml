@@ -1,0 +1,93 @@
+type send_action =
+  | Pass
+  | Duplicate
+  | Reorder
+  | Truncate of int
+  | Kill
+  | Delay of float
+
+type read_action = R_pass | R_stall of float | R_kill
+
+type t = {
+  rng : Util.Rng.t;
+  p_dup : float;
+  p_reorder : float;
+  p_trunc : float;
+  p_kill : float;
+  p_delay : float;
+  delay : float;
+  p_stall : float;
+  stall : float;
+  p_read_kill : float;
+  mutable injected : int;
+}
+
+let create ?(p_dup = 0.) ?(p_reorder = 0.) ?(p_trunc = 0.) ?(p_kill = 0.)
+    ?(p_delay = 0.) ?(delay = 0.002) ?(p_stall = 0.) ?(stall = 0.02)
+    ?(p_read_kill = 0.) ~seed () =
+  let check name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Chaos.create: %s must be in [0, 1]" name)
+  in
+  check "p_dup" p_dup;
+  check "p_reorder" p_reorder;
+  check "p_trunc" p_trunc;
+  check "p_kill" p_kill;
+  check "p_delay" p_delay;
+  check "p_stall" p_stall;
+  check "p_read_kill" p_read_kill;
+  if p_dup +. p_reorder +. p_trunc +. p_kill +. p_delay > 1. then
+    invalid_arg "Chaos.create: send-fault probabilities sum past 1";
+  if p_stall +. p_read_kill > 1. then
+    invalid_arg "Chaos.create: read-fault probabilities sum past 1";
+  if not (delay >= 0. && stall >= 0.) then
+    invalid_arg "Chaos.create: delays must be non-negative";
+  {
+    rng = Util.Rng.create seed;
+    p_dup;
+    p_reorder;
+    p_trunc;
+    p_kill;
+    p_delay;
+    delay;
+    p_stall;
+    stall;
+    p_read_kill;
+    injected = 0;
+  }
+
+let storm ~seed =
+  create ~p_dup:0.1 ~p_reorder:0.08 ~p_trunc:0.08 ~p_kill:0.08 ~p_delay:0.08
+    ~delay:0.001 ~p_stall:0.1 ~stall:0.005 ~p_read_kill:0.06 ~seed ()
+
+let injected t = t.injected
+
+(* One uniform draw buckets the frame into an action; the draw count per
+   call is fixed (a second draw happens only inside the bucket that
+   needs it), so the schedule is a pure function of the seed and the
+   call sequence — the same property {!Campaign.Fault} guarantees. *)
+let on_send t ~len =
+  if len <= 0 then invalid_arg "Chaos.on_send: len must be positive";
+  let u = Util.Rng.float t.rng 1.0 in
+  let act =
+    if u < t.p_dup then Duplicate
+    else if u < t.p_dup +. t.p_reorder then Reorder
+    else if u < t.p_dup +. t.p_reorder +. t.p_trunc then
+      Truncate (Util.Rng.int t.rng len)
+    else if u < t.p_dup +. t.p_reorder +. t.p_trunc +. t.p_kill then Kill
+    else if u < t.p_dup +. t.p_reorder +. t.p_trunc +. t.p_kill +. t.p_delay
+    then Delay t.delay
+    else Pass
+  in
+  if act <> Pass then t.injected <- t.injected + 1;
+  act
+
+let on_read t =
+  let u = Util.Rng.float t.rng 1.0 in
+  let act =
+    if u < t.p_read_kill then R_kill
+    else if u < t.p_read_kill +. t.p_stall then R_stall t.stall
+    else R_pass
+  in
+  if act <> R_pass then t.injected <- t.injected + 1;
+  act

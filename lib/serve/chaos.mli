@@ -1,0 +1,66 @@
+(** Deterministic wire-level fault planner for the serving stack.
+
+    Where {!Campaign.Fault} tears persisted lines, [Chaos] perturbs the
+    {e transport}: frames get duplicated, held back and released out of
+    order, truncated mid-frame, delayed, or the connection is killed
+    outright; reads stall or die.  The planner itself is IO-free — it
+    only decides, per frame, what a faulty network would have done —
+    so the same schedule drives both the in-memory wire simulator of
+    the [@chaos] tests and {!Retry_client}'s real sockets.
+
+    Every decision is a pure function of the seed and the call sequence
+    (one bucketing draw per call, a second draw only for the truncation
+    point), never of wall-clock time, so a failing seed replays
+    byte-for-byte. *)
+
+type send_action =
+  | Pass               (** Deliver the frame untouched. *)
+  | Duplicate          (** Deliver the frame twice (retry storm). *)
+  | Reorder            (** Hold this frame; release it after the next. *)
+  | Truncate of int    (** Deliver only this many prefix bytes, then
+                           kill the connection (torn frame). *)
+  | Kill               (** Kill the connection before delivering. *)
+  | Delay of float     (** Deliver after sleeping this many seconds. *)
+(** What happens to one outbound frame. *)
+
+type read_action =
+  | R_pass             (** Read normally. *)
+  | R_stall of float   (** Stop reading for this many seconds (slow
+                           consumer). *)
+  | R_kill             (** Kill the connection instead of reading. *)
+(** What happens at one read attempt. *)
+
+type t
+(** A seeded fault schedule with mutable draw position. *)
+
+val create :
+  ?p_dup:float ->
+  ?p_reorder:float ->
+  ?p_trunc:float ->
+  ?p_kill:float ->
+  ?p_delay:float ->
+  ?delay:float ->
+  ?p_stall:float ->
+  ?stall:float ->
+  ?p_read_kill:float ->
+  seed:int ->
+  unit ->
+  t
+(** All probabilities default to 0 (a silent wire); [delay] and [stall]
+    are the injected sleep lengths (defaults 2 ms / 20 ms).
+    @raise Invalid_argument on probabilities outside [0, 1], send or
+    read probabilities summing past 1, or negative sleeps. *)
+
+val storm : seed:int -> t
+(** A preset with every fault class enabled at moderate rates — the
+    schedule the [@chaos] tests and [--chaos-seed] use. *)
+
+val on_send : t -> len:int -> send_action
+(** Plan the fate of the next outbound frame of [len] bytes.
+    @raise Invalid_argument if [len <= 0]. *)
+
+val on_read : t -> read_action
+(** Plan the next read attempt. *)
+
+val injected : t -> int
+(** Faults injected so far (non-[Pass]/[R_pass] decisions). *)

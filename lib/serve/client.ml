@@ -4,21 +4,40 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 type t = {
   fd : Unix.file_descr;
+  sid : string option;
   decoder : Frame.decoder;
   mutable next_rid : int;
   pushes : Protocol.push Queue.t;
   mutable closed : bool;
 }
 
-let make fd =
-  { fd; decoder = Frame.decoder (); next_rid = 0; pushes = Queue.create (); closed = false }
+(* Distinct connections sharing a --sid must not collide on the
+   backend's (sid, rid) dedup key, so a session-id connection draws its
+   first rid from the clock and pid instead of 0.  Only a client that
+   deliberately replays the same rid (Retry_client pins one per logical
+   request) is treated as a retransmission.  40-bit mask keeps every
+   rid this connection can issue far below the codec's 2^53 guard. *)
+let fresh_rid_base () =
+  let usec = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let mixed = Int64.logxor usec (Int64.of_int (Unix.getpid () * 0x9E3779B1)) in
+  Int64.to_int (Int64.logand mixed 0xFF_FFFF_FFFFL)
 
-let connect_with ~retries ~delay addr =
+let make ?sid fd =
+  {
+    fd;
+    sid;
+    decoder = Frame.decoder ();
+    next_rid = (match sid with None -> 0 | Some _ -> fresh_rid_base ());
+    pushes = Queue.create ();
+    closed = false;
+  }
+
+let connect_with ?sid ~retries ~delay addr =
   let rec go attempt =
     let domain = Unix.domain_of_sockaddr addr in
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () -> make fd
+    | () -> make ?sid fd
     | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN), _, _)
       when attempt < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -30,11 +49,11 @@ let connect_with ~retries ~delay addr =
   in
   go 0
 
-let connect ?(retries = 50) ?(delay = 0.1) path =
-  connect_with ~retries ~delay (Unix.ADDR_UNIX path)
+let connect ?sid ?(retries = 50) ?(delay = 0.1) path =
+  connect_with ?sid ~retries ~delay (Unix.ADDR_UNIX path)
 
-let connect_tcp ?(retries = 50) ?(delay = 0.1) ~port () =
-  connect_with ~retries ~delay (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+let connect_tcp ?sid ?(retries = 50) ?(delay = 0.1) ~port () =
+  connect_with ?sid ~retries ~delay (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
 
 let close t =
   if not t.closed then begin
@@ -57,7 +76,7 @@ let post t ?at verb =
   if t.closed then fail "client is closed";
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
-  write_all t (Frame.encode (Protocol.encode_request { rid; at; verb }));
+  write_all t (Frame.encode (Protocol.encode_request { rid; sid = t.sid; at; verb }));
   rid
 
 let read_buf = Bytes.create 65536

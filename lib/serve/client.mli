@@ -16,13 +16,19 @@ exception Error of string
 type t
 (** One blocking connection to a daemon. *)
 
-val connect : ?retries:int -> ?delay:float -> string -> t
+val connect : ?sid:string -> ?retries:int -> ?delay:float -> string -> t
 (** Connect to a Unix-domain socket path, retrying [retries] times
     (default 50) every [delay] seconds (default 0.1) while the socket
     does not exist yet or refuses — covers the daemon's start-up window.
+    [sid] is stamped into every request as the session id, enabling the
+    backend's retry dedup (see {!Retry_client} for a client that
+    actually retries); each connection draws a fresh request-id base so
+    that two invocations sharing a [sid] never collide on the backend's
+    [(sid, rid)] dedup key — only a genuine retransmission of the same
+    request id is deduplicated.
     @raise Error when the final attempt fails. *)
 
-val connect_tcp : ?retries:int -> ?delay:float -> port:int -> unit -> t
+val connect_tcp : ?sid:string -> ?retries:int -> ?delay:float -> port:int -> unit -> t
 (** Same, to the daemon's loopback TCP port. *)
 
 val post : t -> ?at:float -> Protocol.verb -> int

@@ -7,6 +7,9 @@ type config = {
   max_clients : int;
   drain_timeout : float option;
   client_timeout : float;
+  request_deadline : float option;
+  idle_timeout : float option;
+  max_buffer : int;
 }
 
 let default_config =
@@ -17,6 +20,9 @@ let default_config =
     max_clients = 64;
     drain_timeout = None;
     client_timeout = 10.;
+    request_deadline = None;
+    idle_timeout = None;
+    max_buffer = Session.default_max_out;
   }
 
 (* Registered once per process; recording is guarded by Probe.on. *)
@@ -43,6 +49,22 @@ let m_bad_frames =
 let m_slow_drops =
   Obs.Metrics.counter ~help:"Clients dropped by the write deadline"
     "serve.slow_client_drops"
+
+let m_evictions =
+  Obs.Metrics.counter ~help:"Clients evicted on outbound-buffer overflow"
+    "serve.evictions"
+
+let m_idle_reaps =
+  Obs.Metrics.counter ~help:"Clients reaped by the idle timeout"
+    "serve.idle_reaps"
+
+let m_dropped_pushes =
+  Obs.Metrics.counter ~help:"Push frames dropped on full client buffers"
+    "serve.dropped_pushes"
+
+let m_deadline =
+  Obs.Metrics.counter ~help:"Requests refused by the request deadline"
+    "serve.deadline_rejects"
 
 let listen_unix path =
   (* A stale socket file from a crashed daemon would make bind fail;
@@ -71,6 +93,8 @@ let run ?on_ready (config : config) =
   if config.max_clients < 1 then invalid_arg "Daemon.run: max_clients must be >= 1";
   if not (config.client_timeout > 0.) then
     invalid_arg "Daemon.run: client_timeout must be positive";
+  if config.max_buffer < 1 then
+    invalid_arg "Daemon.run: max_buffer must be positive";
   let backend = Backend.create config.backend in
   let unix_fd = listen_unix config.socket in
   let tcp_fd = Option.map listen_tcp config.port in
@@ -96,9 +120,45 @@ let run ?on_ready (config : config) =
     sessions := List.filter (fun s' -> Session.id s' <> Session.id s) !sessions;
     set_clients_gauge ()
   in
+  (* A response MUST reach the client or the connection must die —
+     silently losing a reply would wedge a blocking client forever.  On
+     overflow: discard queued output (framing-safe), enqueue an eviction
+     notice in the space just freed, and flush-then-close. *)
+  let send_response s payload =
+    if not (Session.send s payload) then begin
+      if Obs.Probe.on () then Obs.Metrics.incr m_evictions;
+      ignore (Session.truncate_out s : int);
+      let notice =
+        encode_response
+          {
+            rid = -1;
+            epoch = Backend.epoch backend;
+            reply =
+              R_error
+                {
+                  code = Overload;
+                  message =
+                    Printf.sprintf
+                      "slow consumer: outbound buffer exceeded %d bytes; \
+                       closing connection"
+                      config.max_buffer;
+                  retry_after = None;
+                };
+          }
+      in
+      ignore (Session.send s notice : bool);
+      Session.close_after_flush s
+    end
+  in
   let broadcast payload =
     List.iter
-      (fun s -> if Session.subscribed s then Session.send s payload)
+      (fun s ->
+        if Session.subscribed s && not (Session.send s payload) then begin
+          (* Pushes are best-effort: a subscriber that cannot keep up
+             loses events, not its connection (or its responses). *)
+          Session.note_dropped_push s;
+          if Obs.Probe.on () then Obs.Metrics.incr m_dropped_pushes
+        end)
       !sessions
   in
   let broadcast_notices () =
@@ -115,9 +175,34 @@ let run ?on_ready (config : config) =
   in
   let handle_request s req =
     let t0 = Unix.gettimeofday () in
+    (* Wall-clock deadline beside the model clock: drains get the drain
+       budget, everything else the per-request one.  Cooperative — the
+       backend polls {!Campaign.Watchdog.check} at its safepoints. *)
+    let deadline =
+      match req.verb with
+      | Drain -> config.drain_timeout
+      | _ -> config.request_deadline
+    in
     let resp =
-      Campaign.Watchdog.with_deadline ?seconds:config.drain_timeout (fun () ->
-          Backend.handle backend ~clients:(List.length !sessions) req)
+      match
+        Campaign.Watchdog.with_deadline ?seconds:deadline (fun () ->
+            Backend.handle backend ~clients:(List.length !sessions) req)
+      with
+      | resp -> resp
+      | exception Campaign.Watchdog.Timeout budget ->
+        if Obs.Probe.on () then Obs.Metrics.incr m_deadline;
+        {
+          rid = req.rid;
+          epoch = Backend.epoch backend;
+          reply =
+            R_error
+              {
+                code = Timeout;
+                message =
+                  Printf.sprintf "request deadline %gs elapsed" budget;
+                retry_after = None;
+              };
+        }
     in
     if Obs.Probe.on () then begin
       Obs.Metrics.incr m_requests;
@@ -129,7 +214,7 @@ let run ?on_ready (config : config) =
     (match req.verb with
     | Subscribe on -> Session.set_subscribed s on
     | _ -> ());
-    Session.send s (encode_response resp);
+    send_response s (encode_response resp);
     broadcast_notices ();
     if Backend.draining backend then begin_shutdown ()
   in
@@ -140,24 +225,29 @@ let run ?on_ready (config : config) =
       | `Await -> continue := false
       | `Error msg ->
         if Obs.Probe.on () then Obs.Metrics.incr m_bad_frames;
-        Session.send s
+        send_response s
           (encode_response
              {
                rid = -1;
                epoch = Backend.epoch backend;
                reply =
-                 R_error { code = Bad_request; message = "framing error: " ^ msg };
+                 R_error
+                   {
+                     code = Bad_request;
+                     message = "framing error: " ^ msg;
+                     retry_after = None;
+                   };
              });
         Session.close_after_flush s
       | `Frame payload -> (
         match decode_request payload with
         | Error (code, message) ->
-          Session.send s
+          send_response s
             (encode_response
                {
                  rid = -1;
                  epoch = Backend.epoch backend;
-                 reply = R_error { code; message };
+                 reply = R_error { code; message; retry_after = None };
                })
         | Ok req -> handle_request s req)
     done
@@ -184,6 +274,7 @@ let run ?on_ready (config : config) =
                       message =
                         Printf.sprintf "client limit %d reached"
                           config.max_clients;
+                      retry_after = None;
                     };
               }
           in
@@ -194,7 +285,10 @@ let run ?on_ready (config : config) =
         end
         else begin
           incr next_id;
-          sessions := Session.create ~id:!next_id fd :: !sessions;
+          sessions :=
+            Session.create ~max_out:config.max_buffer ~id:!next_id
+              ~now:(Unix.gettimeofday ()) fd
+            :: !sessions;
           set_clients_gauge ()
         end
     done
@@ -231,6 +325,7 @@ let run ?on_ready (config : config) =
         List.iter
           (fun s ->
             if List.mem (Session.fd s) readable && not (Session.closing s) then begin
+              Session.touch s ~now;
               match Session.read s with
               | `Eof ->
                 if Session.pending_out s = 0 then drop s
@@ -238,6 +333,21 @@ let run ?on_ready (config : config) =
               | `Data -> handle_frames s
             end)
           !sessions;
+        (* Reap clients idle past the heartbeat window: a well-behaved
+           quiet client pings; a dead one holds a slot forever. *)
+        (match config.idle_timeout with
+        | Some limit when not !shutting_down ->
+          List.iter
+            (fun s ->
+              if
+                (not (Session.closing s))
+                && now -. Session.last_active s > limit
+              then begin
+                if Obs.Probe.on () then Obs.Metrics.incr m_idle_reaps;
+                drop s
+              end)
+            !sessions
+        | _ -> ());
         List.iter
           (fun s ->
             if List.mem (Session.fd s) writable || Session.pending_out s > 0 then begin

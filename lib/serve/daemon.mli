@@ -8,21 +8,33 @@
     equivalence the serve test suite checks.  Model time is virtual: it
     advances only through request [at] timestamps and drains, never
     through the wall clock, which is also what makes journal replay
-    after a crash exact.
+    after a crash exact.  Beside the model clock, three wall-clock
+    guards protect the loop from misbehaving peers: a per-request
+    cooperative deadline ([request_deadline], the CLI's
+    [--deadline-ms]), a write-blockage deadline ([client_timeout]), and
+    an idle-reaping window ([idle_timeout]) that quiet clients outlive
+    by sending [Ping] heartbeats.
+
+    Outbound buffering is bounded per client ([max_buffer] bytes).  A
+    subscriber that cannot keep up loses push frames (counted, not
+    fatal); a client whose {e response} cannot be buffered is evicted:
+    queued output is discarded without tearing a partially-written
+    frame, an [Overload] eviction notice is enqueued, and the
+    connection is flushed and closed.
 
     Shutdown is graceful on SIGTERM/SIGINT (and on a client [drain]
     verb): finish every live job — bounded by the drain deadline via
     {!Campaign.Watchdog} — push a [drained] event to subscribers, flush
-    every connection, then exit, removing the socket file.  Clients that
-    stop reading are dropped after [client_timeout] seconds of
-    write-blockage so one slow consumer cannot wedge the loop.
+    every connection, then exit, removing the socket file.
 
     With {!Obs.Probe.on}, the daemon maintains a connected-clients
     gauge, a per-request latency histogram and rejected/overload/
-    bad-frame/slow-drop counters under the [serve.*] prefix. *)
+    bad-frame/slow-drop/eviction/idle-reap/dropped-push/deadline
+    counters under the [serve.*] prefix. *)
 
 type config = {
-  backend : Backend.config;      (** Scheduling core, journal, depth. *)
+  backend : Backend.config;      (** Scheduling core, journal, snapshot,
+                                     depth, shedding. *)
   socket : string;               (** Unix-domain socket path (stale
                                      files are unlinked at bind). *)
   port : int option;             (** Also listen on this loopback TCP
@@ -34,18 +46,30 @@ type config = {
   client_timeout : float;        (** Seconds a client may stay
                                      write-blocked before being
                                      dropped. *)
+  request_deadline : float option;
+                                 (** Cooperative wall-clock budget
+                                     (seconds) for each non-drain
+                                     request; exceeding it yields a
+                                     [Timeout] error reply.  [None] =
+                                     unbounded. *)
+  idle_timeout : float option;   (** Reap clients with no inbound
+                                     activity for this many seconds;
+                                     [None] disables reaping. *)
+  max_buffer : int;              (** Per-client outbound byte bound
+                                     (see {!Session.send}). *)
 }
 
 val default_config : config
 (** Backend defaults, ["cosched.sock"], no TCP, 64 clients, unbounded
-    drain, 10 s client deadline. *)
+    drain, 10 s client deadline, no request deadline, no idle reaping,
+    {!Session.default_max_out} buffer bound. *)
 
 val run : ?on_ready:(unit -> unit) -> config -> unit
 (** Run the daemon until it drains (SIGTERM, SIGINT or a [drain] verb),
     then clean up sockets and restore signal handlers.  [on_ready] fires
     once the listeners are bound and any journal replay has finished —
     tests and the CLI use it to signal "safe to connect".
-    @raise Invalid_argument on a non-positive [max_clients] or
-    [client_timeout].
+    @raise Invalid_argument on a non-positive [max_clients],
+    [client_timeout] or [max_buffer].
     @raise Unix.Unix_error when binding a listener fails (bad path,
     port in use). *)

@@ -2,53 +2,122 @@ let default_max_frame = 1 lsl 20
 
 let encode payload = Printf.sprintf "%d\n%s\n" (String.length payload) payload
 
+(* The decoder owns a single [Bytes.t] ring-less buffer: [pos..len) is
+   the live (fed, not yet framed) region.  Explicit capacity management
+   is the point — the previous [Buffer.t] implementation could move the
+   consumed prefix to the front but [Buffer] never returns capacity, so
+   one 1 MiB frame pinned ~2 MiB per connection for the connection's
+   lifetime. *)
 type decoder = {
-  buf : Buffer.t;
+  mutable buf : Bytes.t;
   mutable pos : int;  (* consumed prefix of [buf] *)
+  mutable len : int;  (* fed bytes: live region is [pos, len) *)
   max_frame : int;
   mutable dead : string option;
 }
 
+let initial_capacity = 512
+
+(* Capacity above this is reclaimed once the live region no longer needs
+   it (see [shrink]); below it we don't bother reallocating. *)
+let shrink_capacity = 1 lsl 16
+
 let decoder ?(max_frame = default_max_frame) () =
   if max_frame <= 0 then invalid_arg "Frame.decoder: max_frame must be positive";
-  { buf = Buffer.create 512; pos = 0; max_frame; dead = None }
+  {
+    buf = Bytes.create initial_capacity;
+    pos = 0;
+    len = 0;
+    max_frame;
+    dead = None;
+  }
 
-let feed d s = if d.dead = None then Buffer.add_string d.buf s
+let live d = d.len - d.pos
+
+let capacity d = Bytes.length d.buf
+
+(* Slide the live region to the front (no reallocation). *)
+let slide d =
+  if d.pos > 0 then begin
+    let n = live d in
+    if n > 0 then Bytes.blit d.buf d.pos d.buf 0 n;
+    d.pos <- 0;
+    d.len <- n
+  end
+
+let feed d s =
+  if d.dead = None then begin
+    let n = String.length s in
+    if n > 0 then begin
+      let cap = Bytes.length d.buf in
+      if d.len + n > cap then begin
+        if live d + n <= cap then slide d
+        else begin
+          let need = live d + n in
+          let cap' = ref (max cap initial_capacity) in
+          while !cap' < need do
+            cap' := !cap' * 2
+          done;
+          let buf' = Bytes.create !cap' in
+          Bytes.blit d.buf d.pos buf' 0 (live d);
+          d.len <- live d;
+          d.pos <- 0;
+          d.buf <- buf'
+        end
+      end;
+      Bytes.blit_string s 0 d.buf d.len n;
+      d.len <- d.len + n
+    end
+  end
 
 let die d msg =
   d.dead <- Some msg;
   `Error msg
 
-(* Drop the consumed prefix once it dominates the buffer, so a
-   long-lived connection doesn't grow the buffer without bound. *)
-let compact d =
-  let len = Buffer.length d.buf in
-  if d.pos > 4096 && d.pos * 2 >= len then begin
-    let rest = Buffer.sub d.buf d.pos (len - d.pos) in
-    Buffer.clear d.buf;
-    Buffer.add_string d.buf rest;
-    d.pos <- 0
+(* Reclaim capacity after large frames: once the live bytes would fit in
+   a quarter of an oversized buffer, reallocate down to the smallest
+   power of two holding twice the live region (floored at the initial
+   capacity).  The hysteresis (quarter to shrink, half kept) prevents
+   flapping on a connection that alternates near the threshold. *)
+let shrink d =
+  let cap = Bytes.length d.buf in
+  if cap > shrink_capacity && live d * 4 <= cap then begin
+    let n = live d in
+    let cap' = ref initial_capacity in
+    while !cap' < n * 2 do
+      cap' := !cap' * 2
+    done;
+    let buf' = Bytes.create !cap' in
+    if n > 0 then Bytes.blit d.buf d.pos buf' 0 n;
+    d.buf <- buf';
+    d.pos <- 0;
+    d.len <- n
   end
+
+(* Drop the consumed prefix once it dominates the buffer, so a
+   long-lived connection doesn't grow the buffer without bound; then
+   give back over-provisioned capacity. *)
+let compact d =
+  if d.pos > 4096 && d.pos * 2 >= d.len then slide d;
+  shrink d
 
 let next d =
   match d.dead with
   | Some msg -> `Error msg
   | None -> (
-    let len = Buffer.length d.buf in
     (* Find the header's terminating newline. *)
     let rec find_nl i =
-      if i >= len then None
-      else if Buffer.nth d.buf i = '\n' then Some i
+      if i >= d.len then None
+      else if Bytes.get d.buf i = '\n' then Some i
       else find_nl (i + 1)
     in
     match find_nl d.pos with
     | None ->
       (* No complete header yet; a header longer than the digits of
          max_frame (plus slack) can never be valid. *)
-      if len - d.pos > 20 then die d "frame header too long"
-      else `Await
+      if live d > 20 then die d "frame header too long" else `Await
     | Some nl ->
-      let header = Buffer.sub d.buf d.pos (nl - d.pos) in
+      let header = Bytes.sub_string d.buf d.pos (nl - d.pos) in
       let n = String.length header in
       let digits_ok =
         n > 0 && n <= 19
@@ -63,10 +132,10 @@ let next d =
           die d
             (Printf.sprintf "frame of %d bytes exceeds limit of %d bytes" flen
                d.max_frame)
-        else if len - nl - 1 < flen + 1 then `Await
+        else if d.len - nl - 1 < flen + 1 then `Await
         else begin
-          let payload = Buffer.sub d.buf (nl + 1) flen in
-          let trailer = Buffer.nth d.buf (nl + 1 + flen) in
+          let payload = Bytes.sub_string d.buf (nl + 1) flen in
+          let trailer = Bytes.get d.buf (nl + 1 + flen) in
           if trailer <> '\n' then die d "frame missing trailing newline"
           else begin
             d.pos <- nl + 1 + flen + 1;
@@ -75,4 +144,4 @@ let next d =
           end
         end)
 
-let buffered d = Buffer.length d.buf - d.pos
+let buffered d = live d

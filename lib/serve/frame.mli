@@ -32,3 +32,10 @@ val next : decoder -> [ `Frame of string | `Await | `Error of string ]
 
 val buffered : decoder -> int
 (** Bytes fed but not yet returned as frames (back-pressure signal). *)
+
+val capacity : decoder -> int
+(** Allocated buffer capacity in bytes.  Grows by doubling as frames are
+    fed and — unlike the [Buffer]-backed decoder this replaced — shrinks
+    back once the live bytes fit in a quarter of an oversized buffer, so
+    a single 1 MiB frame no longer pins megabytes for the connection's
+    lifetime.  Exposed for the capacity-reclamation tests. *)

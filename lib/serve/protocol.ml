@@ -20,7 +20,7 @@ type verb =
   | Drain
   | Ping
 
-type request = { rid : int; at : float option; verb : verb }
+type request = { rid : int; sid : string option; at : float option; verb : verb }
 
 type error_code =
   | Bad_request
@@ -91,12 +91,18 @@ type reply =
       clients : int;
       draining : bool;
       recovered : int;
+      shed : bool;
+      snapshots : int;
     }
   | R_allocs of { time : float; k : float option; jobs : job_view array }
   | R_subscribed of { on : bool }
   | R_drained of { time : float; completed : int }
   | R_pong
-  | R_error of { code : error_code; message : string }
+  | R_error of {
+      code : error_code;
+      message : string;
+      retry_after : float option;
+    }
 
 type response = { rid : int; epoch : int; reply : reply }
 
@@ -214,18 +220,19 @@ let app_fields (a : app_spec) b =
 let encode_request (r : request) =
   let b = Buffer.create 128 in
   let at = fopt (Option.map (fun t -> ("at", fnum t)) r.at) in
+  let sid = fopt (Option.map (fun s -> ("sid", fstr s)) r.sid) in
   (match r.verb with
   | Submit app ->
     add_obj b
       [
-        F ("v", fint version); F ("id", fint r.rid); F ("verb", fstr "submit");
-        at; F ("app", app_fields app);
+        F ("v", fint version); F ("id", fint r.rid); sid;
+        F ("verb", fstr "submit"); at; F ("app", app_fields app);
       ]
   | Cancel job ->
     add_obj b
       [
-        F ("v", fint version); F ("id", fint r.rid); F ("verb", fstr "cancel");
-        at; F ("job", fint job);
+        F ("v", fint version); F ("id", fint r.rid); sid;
+        F ("verb", fstr "cancel"); at; F ("job", fint job);
       ]
   | Query q ->
     let what, job =
@@ -237,21 +244,27 @@ let encode_request (r : request) =
     in
     add_obj b
       [
-        F ("v", fint version); F ("id", fint r.rid); F ("verb", fstr "query");
-        at; F ("what", fstr what); job;
+        F ("v", fint version); F ("id", fint r.rid); sid;
+        F ("verb", fstr "query"); at; F ("what", fstr what); job;
       ]
   | Subscribe on ->
     add_obj b
       [
-        F ("v", fint version); F ("id", fint r.rid);
+        F ("v", fint version); F ("id", fint r.rid); sid;
         F ("verb", fstr "subscribe"); at; F ("on", fbool on);
       ]
   | Drain ->
     add_obj b
-      [ F ("v", fint version); F ("id", fint r.rid); F ("verb", fstr "drain"); at ]
+      [
+        F ("v", fint version); F ("id", fint r.rid); sid;
+        F ("verb", fstr "drain"); at;
+      ]
   | Ping ->
     add_obj b
-      [ F ("v", fint version); F ("id", fint r.rid); F ("verb", fstr "ping"); at ]);
+      [
+        F ("v", fint version); F ("id", fint r.rid); sid;
+        F ("verb", fstr "ping"); at;
+      ]);
   Buffer.contents b
 
 let job_view_fields (j : job_view) b =
@@ -297,13 +310,18 @@ let encode_response (r : response) =
         F ("reply", fstr "stats"); F ("time", fnum time);
         F ("clients", fint clients); F ("metrics", metrics_fields metrics);
       ]
-  | R_status { time; live; queued; running; clients; draining; recovered } ->
+  | R_status
+      {
+        time; live; queued; running; clients; draining; recovered; shed;
+        snapshots;
+      } ->
     head
       [
         F ("reply", fstr "status"); F ("time", fnum time); F ("live", fint live);
         F ("queued", fint queued); F ("running", fint running);
         F ("clients", fint clients); F ("draining", fbool draining);
-        F ("recovered", fint recovered);
+        F ("recovered", fint recovered); F ("shed", fbool shed);
+        F ("snapshots", fint snapshots);
       ]
   | R_allocs { time; k; jobs } ->
     head
@@ -330,11 +348,12 @@ let encode_response (r : response) =
         F ("completed", fint completed);
       ]
   | R_pong -> head [ F ("reply", fstr "pong") ]
-  | R_error { code; message } ->
+  | R_error { code; message; retry_after } ->
     head
       [
         F ("reply", fstr "error"); F ("code", fstr (error_code_name code));
         F ("message", fstr message);
+        fopt (Option.map (fun t -> ("retry_after", fnum t)) retry_after);
       ]);
   Buffer.contents b
 
@@ -404,6 +423,12 @@ let opt_float name j =
   | Some (Num v) -> Some v
   | Some _ -> fail Bad_request "field %S must be a number" name
 
+let opt_string name j =
+  match member name j with
+  | None -> None
+  | Some (Str s) -> Some s
+  | Some _ -> fail Bad_request "field %S must be a string" name
+
 let check_version j =
   match member "v" j with
   | None -> fail Bad_request "missing protocol version field \"v\""
@@ -428,6 +453,7 @@ let decode_request payload =
     (match j with Obj _ -> () | _ -> fail Bad_request "frame must be a JSON object");
     check_version j;
     let rid = get_int "id" j in
+    let sid = opt_string "sid" j in
     let at = opt_float "at" j in
     let verb =
       match get_string "verb" j with
@@ -445,7 +471,7 @@ let decode_request payload =
       | "ping" -> Ping
       | v -> fail Unknown_verb "unknown verb %S" v
     in
-    { rid; at; verb }
+    { rid; sid; at; verb }
   with
   | r -> Ok r
   | exception Bad (code, msg) -> Error (code, msg)
@@ -509,6 +535,8 @@ let reply_of_json j =
         clients = get_int "clients" j;
         draining = get_bool "draining" j;
         recovered = get_int "recovered" j;
+        shed = get_bool "shed" j;
+        snapshots = get_int "snapshots" j;
       }
   | "allocs" ->
     R_allocs
@@ -533,6 +561,7 @@ let reply_of_json j =
            | Some code -> code
            | None -> fail Bad_request "unknown error code %S" c);
         message = get_string "message" j;
+        retry_after = opt_float "retry_after" j;
       }
   | r -> fail Bad_request "unknown reply kind %S" r
 

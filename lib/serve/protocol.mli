@@ -40,10 +40,14 @@ type verb =
   | Ping                  (** Liveness probe. *)
 (** Request verbs understood by the daemon. *)
 
-type request = { rid : int; at : float option; verb : verb }
+type request = { rid : int; sid : string option; at : float option; verb : verb }
 (** A client request: [rid] is echoed in the response so clients can
     pipeline; [at] optionally advances the daemon's model clock to that
-    time first (requests with no [at] happen "now"). *)
+    time first (requests with no [at] happen "now").  [sid] is an
+    optional client-chosen session id: a client that reconnects and
+    resends under the same [(sid, rid)] pair is deduplicated by the
+    backend, making retried mutations exactly-once (see
+    {!Backend.handle}). *)
 
 type error_code =
   | Bad_request           (** Unparseable or ill-typed payload. *)
@@ -101,6 +105,10 @@ type reply =
       clients : int;        (** Connected clients. *)
       draining : bool;
       recovered : int;      (** Journal entries replayed at start-up. *)
+      shed : bool;          (** Load-shed mode active (submits rejected
+                                until the queue falls to the low-water
+                                mark). *)
+      snapshots : int;      (** Snapshots written since start-up. *)
     }
       (** Answer to [Query Status]. *)
   | R_allocs of { time : float; k : float option; jobs : job_view array }
@@ -112,8 +120,14 @@ type reply =
       (** Drain finished at model time [time]. *)
   | R_pong
       (** Answer to [Ping]. *)
-  | R_error of { code : error_code; message : string }
-      (** Any failure; the connection stays usable. *)
+  | R_error of {
+      code : error_code;
+      message : string;
+      retry_after : float option;
+    }
+      (** Any failure; the connection stays usable.  [retry_after] is a
+          wall-clock hint in seconds on [Overload] errors — when to try
+          the submit again. *)
 (** Response bodies. *)
 
 type response = { rid : int; epoch : int; reply : reply }

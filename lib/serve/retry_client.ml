@@ -1,0 +1,257 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+exception Retry of string
+
+type config = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+  read_timeout : float;
+  connect_retries : int;
+  connect_delay : float;
+}
+
+let default_config =
+  {
+    base = 0.005;
+    cap = 0.25;
+    max_attempts = 40;
+    read_timeout = 2.0;
+    connect_retries = 50;
+    connect_delay = 0.05;
+  }
+
+type t = {
+  addr : Unix.sockaddr;
+  sid : string;
+  config : config;
+  rng : Util.Rng.t;
+  chaos : Chaos.t option;
+  mutable fd : Unix.file_descr option;
+  mutable decoder : Frame.decoder;
+  mutable held : string option;
+  mutable next_rid : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable closed : bool;
+}
+
+let create ?(config = default_config) ?chaos ~sid ~seed addr =
+  if sid = "" then invalid_arg "Retry_client.create: sid must be non-empty";
+  if config.max_attempts < 1 then
+    invalid_arg "Retry_client.create: max_attempts must be >= 1";
+  {
+    addr;
+    sid;
+    config;
+    rng = Util.Rng.create seed;
+    chaos;
+    fd = None;
+    decoder = Frame.decoder ();
+    held = None;
+    next_rid = 0;
+    retries = 0;
+    reconnects = 0;
+    closed = false;
+  }
+
+let retries t = t.retries
+let reconnects t = t.reconnects
+
+let sleep d = if d > 0. then ignore (Unix.select [] [] [] d)
+
+let kill_conn t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  (* The connection died: buffered partial frames and any held-back
+     (reordered) frame died with it. *)
+  t.decoder <- Frame.decoder ();
+  t.held <- None
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    kill_conn t
+  end
+
+let ensure_conn t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let rec go attempt =
+      let domain = Unix.domain_of_sockaddr t.addr in
+      let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd t.addr with
+      | () -> fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN), _, _)
+        when attempt < t.config.connect_retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        sleep t.config.connect_delay;
+        go (attempt + 1)
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "connect failed: %s" (Unix.error_message e)
+    in
+    let fd = go 0 in
+    t.fd <- Some fd;
+    t.reconnects <- t.reconnects + 1;
+    fd
+
+let write_all t bytes =
+  let fd = ensure_conn t in
+  let n = String.length bytes in
+  let pos = ref 0 in
+  try
+    while !pos < n do
+      match Unix.write_substring fd bytes !pos (n - !pos) with
+      | written -> pos := !pos + written
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  with Unix.Unix_error (e, _, _) ->
+    kill_conn t;
+    raise (Retry (Unix.error_message e))
+
+let flush_held t =
+  match t.held with
+  | None -> ()
+  | Some h ->
+    t.held <- None;
+    write_all t h
+
+(* Send one frame through the chaos plan.  The frame bytes are fixed per
+   logical request (same rid, same sid), so whatever the wire does —
+   duplication, reordering, truncation-and-kill — the daemon either sees
+   the exact request or a torn frame its decoder rejects. *)
+let send_frame t frame =
+  match t.chaos with
+  | None -> write_all t frame
+  | Some chaos -> (
+    match Chaos.on_send chaos ~len:(String.length frame) with
+    | Chaos.Pass ->
+      write_all t frame;
+      flush_held t
+    | Chaos.Duplicate ->
+      write_all t frame;
+      write_all t frame;
+      flush_held t
+    | Chaos.Delay d ->
+      sleep d;
+      write_all t frame;
+      flush_held t
+    | Chaos.Reorder ->
+      flush_held t;
+      t.held <- Some frame
+    | Chaos.Truncate n ->
+      (try write_all t (String.sub frame 0 n) with Retry _ -> ());
+      kill_conn t;
+      raise (Retry "chaos: frame truncated")
+    | Chaos.Kill ->
+      kill_conn t;
+      raise (Retry "chaos: connection killed on send"))
+
+let read_some t ~deadline =
+  let fd = ensure_conn t in
+  (match t.chaos with
+  | None -> ()
+  | Some chaos -> (
+    match Chaos.on_read chaos with
+    | Chaos.R_pass -> ()
+    | Chaos.R_stall d -> sleep d
+    | Chaos.R_kill ->
+      kill_conn t;
+      raise (Retry "chaos: connection killed on read")));
+  let budget = deadline -. Unix.gettimeofday () in
+  if budget <= 0. then begin
+    kill_conn t;
+    raise (Retry "read timeout")
+  end;
+  match Unix.select [ fd ] [] [] budget with
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | [], _, _ ->
+    kill_conn t;
+    raise (Retry "read timeout")
+  | _ :: _, _, _ -> (
+    let buf = Bytes.create 65536 in
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 ->
+      kill_conn t;
+      raise (Retry "connection closed by daemon")
+    | n -> Frame.feed t.decoder (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      kill_conn t;
+      raise (Retry (Unix.error_message e)))
+
+(* A reorder can leave the request frame held back with nothing behind
+   it to push it out; release it before blocking on the reply, or the
+   daemon would never see the request at all. *)
+let await_reply t ~rid =
+  let deadline = Unix.gettimeofday () +. t.config.read_timeout in
+  flush_held t;
+  let rec go () =
+    match Frame.next t.decoder with
+    | `Frame payload -> (
+      match Protocol.decode_incoming payload with
+      | Ok (Protocol.Reply r) when r.Protocol.rid = rid -> r
+      | Ok (Protocol.Reply _) ->
+        (* A duplicate or superseded retry's reply: the dedup layer may
+           answer every copy of an earlier transmission; skip anything
+           that is not the rid we are waiting for. *)
+        go ()
+      | Ok (Protocol.Event _) -> go ()
+      | Error (code, msg) ->
+        kill_conn t;
+        raise
+          (Retry
+             (Printf.sprintf "undecodable server frame (%s): %s"
+                (Protocol.error_code_name code) msg)))
+    | `Error msg ->
+      kill_conn t;
+      raise (Retry ("framing error from server: " ^ msg))
+    | `Await ->
+      read_some t ~deadline;
+      go ()
+  in
+  go ()
+
+let request t ?at verb =
+  if t.closed then fail "client is closed";
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let frame =
+    Frame.encode
+      (Protocol.encode_request { Protocol.rid; sid = Some t.sid; at; verb })
+  in
+  (* Exponential backoff with decorrelated jitter: each sleep is drawn
+     uniformly from [base, 3 * previous sleep], capped — retrying
+     clients desynchronise instead of stampeding a recovering daemon. *)
+  let rec attempt n sleep_prev last_err =
+    if n >= t.config.max_attempts then
+      fail "request %d failed after %d attempts: %s" rid t.config.max_attempts
+        last_err
+    else begin
+      let sleep_next =
+        if n = 0 then sleep_prev
+        else begin
+          t.retries <- t.retries + 1;
+          let hi = Float.max (sleep_prev *. 3.) (t.config.base *. (1. +. 1e-9)) in
+          let d =
+            Float.min t.config.cap (Util.Rng.uniform t.rng t.config.base hi)
+          in
+          sleep d;
+          Float.max d t.config.base
+        end
+      in
+      match
+        send_frame t frame;
+        await_reply t ~rid
+      with
+      | resp -> resp
+      | exception Retry why -> attempt (n + 1) sleep_next why
+    end
+  in
+  attempt 0 t.config.base "never attempted"

@@ -1,0 +1,63 @@
+(** A self-healing daemon client: retries with exponential backoff and
+    decorrelated jitter, reconnecting as needed, under idempotent
+    request ids.
+
+    Every request carries the client's session id and a request id that
+    is {e fixed across retransmissions}: the backend's [(sid, rid)]
+    dedup cache answers a retry of an already-executed mutation with
+    the original response instead of executing it again, so a workload
+    driven through this client is exactly-once against the journal no
+    matter how often the wire fails (see {!Backend}).
+
+    An optional {!Chaos} schedule perturbs the transport — the [@chaos]
+    tests drive a daemon through a fault storm and check the final
+    metrics equal an offline {!Online.Service} run of the same
+    workload.  Structured [R_error] replies are returned, not raised
+    (the request {e was} answered); only transport exhaustion raises
+    {!Error}. *)
+
+exception Error of string
+(** Connect failure, or one logical request exhausting its attempt
+    budget. *)
+
+type config = {
+  base : float;           (** Minimum backoff sleep (seconds). *)
+  cap : float;            (** Maximum backoff sleep. *)
+  max_attempts : int;     (** Transmissions per logical request. *)
+  read_timeout : float;   (** Seconds to wait for a reply before the
+                              attempt counts as failed. *)
+  connect_retries : int;  (** Connect attempts per reconnect. *)
+  connect_delay : float;  (** Sleep between connect attempts. *)
+}
+
+val default_config : config
+(** 5 ms base, 250 ms cap, 40 attempts, 2 s read timeout, 50 connect
+    retries every 50 ms. *)
+
+type t
+(** One logical client (possibly many TCP/Unix connections over its
+    lifetime). *)
+
+val create :
+  ?config:config -> ?chaos:Chaos.t -> sid:string -> seed:int -> Unix.sockaddr -> t
+(** A client addressing [addr] under session id [sid]; [seed] drives
+    the jitter stream (deterministic backoff schedules in tests).
+    Connection is lazy — the first {!request} dials.
+    @raise Invalid_argument on an empty [sid] or a non-positive attempt
+    budget. *)
+
+val request : t -> ?at:float -> Protocol.verb -> Protocol.response
+(** Send a verb and return its response, retrying through connection
+    kills, torn frames, stalls and timeouts.  Replies to earlier
+    transmissions of other requests (duplicates, superseded retries)
+    are skipped by rid.  @raise Error when [max_attempts]
+    transmissions all fail. *)
+
+val retries : t -> int
+(** Retransmissions performed so far (0 in a fault-free run). *)
+
+val reconnects : t -> int
+(** Connections dialled so far (1 in a fault-free run). *)
+
+val close : t -> unit
+(** Close the current connection (idempotent). *)

@@ -2,23 +2,34 @@ type t = {
   fd : Unix.file_descr;
   id : int;
   decoder : Frame.decoder;
-  out : Buffer.t;
-  mutable out_pos : int;
+  outq : string Queue.t;
+  mutable head_pos : int;
+  mutable out_bytes : int;
+  max_out : int;
   mutable subscribed : bool;
   mutable closing : bool;
   mutable blocked_since : float option;
+  mutable last_active : float;
+  mutable dropped_pushes : int;
 }
 
-let create ?max_frame ~id fd =
+let default_max_out = 4 * 1024 * 1024
+
+let create ?max_frame ?(max_out = default_max_out) ~id ~now fd =
+  if max_out < 1 then invalid_arg "Session.create: max_out must be positive";
   {
     fd;
     id;
     decoder = Frame.decoder ?max_frame ();
-    out = Buffer.create 512;
-    out_pos = 0;
+    outq = Queue.create ();
+    head_pos = 0;
+    out_bytes = 0;
+    max_out;
     subscribed = false;
     closing = false;
     blocked_since = None;
+    last_active = now;
+    dropped_pushes = 0;
   }
 
 let fd t = t.fd
@@ -28,8 +39,41 @@ let set_subscribed t on = t.subscribed <- on
 let closing t = t.closing
 let close_after_flush t = t.closing <- true
 let blocked_since t = t.blocked_since
-let send t payload = Buffer.add_string t.out (Frame.encode payload)
-let pending_out t = Buffer.length t.out - t.out_pos
+let last_active t = t.last_active
+let touch t ~now = t.last_active <- now
+let pending_out t = t.out_bytes
+let dropped_pushes t = t.dropped_pushes
+let note_dropped_push t = t.dropped_pushes <- t.dropped_pushes + 1
+
+let send t payload =
+  let frame = Frame.encode payload in
+  if t.out_bytes + String.length frame > t.max_out then false
+  else begin
+    Queue.add frame t.outq;
+    t.out_bytes <- t.out_bytes + String.length frame;
+    true
+  end
+
+(* Eviction support: discard queued output, but never a frame the socket
+   has already seen part of — truncating mid-frame would hand the client
+   a torn length-prefixed stream instead of a clean close. *)
+let truncate_out t =
+  let dropped = ref 0 in
+  let head =
+    if t.head_pos > 0 && not (Queue.is_empty t.outq) then Some (Queue.pop t.outq)
+    else None
+  in
+  while not (Queue.is_empty t.outq) do
+    ignore (Queue.pop t.outq : string);
+    incr dropped
+  done;
+  t.out_bytes <-
+    (match head with
+    | Some h ->
+      Queue.add h t.outq;
+      String.length h - t.head_pos
+    | None -> 0);
+  !dropped
 
 (* One shared scratch buffer: the daemon is single-threaded by design. *)
 let read_buf = Bytes.create 65536
@@ -46,28 +90,40 @@ let read t =
 let next_frame t = Frame.next t.decoder
 
 let flush t ~now =
-  let pending = pending_out t in
-  if pending = 0 then begin
+  if t.out_bytes = 0 then begin
     t.blocked_since <- None;
     `Idle
   end
-  else
-    match Unix.write_substring t.fd (Buffer.contents t.out) t.out_pos pending with
-    | n ->
-      t.out_pos <- t.out_pos + n;
-      if pending_out t = 0 then begin
-        Buffer.clear t.out;
-        t.out_pos <- 0;
-        t.blocked_since <- None;
-        `Idle
-      end
-      else begin
-        if t.blocked_since = None then t.blocked_since <- Some now;
-        `Blocked
-      end
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+  else begin
+    let progress = ref true and closed = ref false in
+    while !progress && (not !closed) && t.out_bytes > 0 do
+      let head = Queue.peek t.outq in
+      let len = String.length head - t.head_pos in
+      match Unix.write_substring t.fd head t.head_pos len with
+      | n ->
+        t.out_bytes <- t.out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop t.outq : string);
+          t.head_pos <- 0
+        end
+        else begin
+          t.head_pos <- t.head_pos + n;
+          progress := false
+        end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        progress := false
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        closed := true
+    done;
+    if !closed then `Closed
+    else if t.out_bytes = 0 then begin
+      t.blocked_since <- None;
+      `Idle
+    end
+    else begin
       if t.blocked_since = None then t.blocked_since <- Some now;
       `Blocked
-    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> `Closed
+    end
+  end
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

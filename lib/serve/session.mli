@@ -1,20 +1,37 @@
 (** Per-connection state of the daemon: a non-blocking socket, an
-    incremental {!Frame} decoder for the inbound byte stream, and an
-    outbound buffer drained opportunistically by the [select] loop.
+    incremental {!Frame} decoder for the inbound byte stream, and a
+    {e bounded} outbound frame queue drained opportunistically by the
+    [select] loop.
 
-    Writes never block the daemon: responses and pushes are appended to
-    the session buffer and flushed when the socket is writable.  A
-    session that stays write-blocked past the daemon's client deadline
-    is dropped — one slow subscriber must not stall the scheduler for
-    everyone else. *)
+    Writes never block the daemon: responses and pushes are enqueued as
+    whole frames and flushed when the socket is writable.  The queue is
+    bounded by [max_out] bytes; {!send} refuses (returns [false]) once
+    the bound would be exceeded, and the daemon decides the consequence
+    — pushes to a slow subscriber are dropped and counted, while an
+    unflushable {e response} evicts the client ({!truncate_out} + an
+    eviction notice + close).  Frame boundaries survive all of this:
+    truncation never discards a partially-written head frame, so a slow
+    reader sees a clean prefix of valid frames followed by EOF, never a
+    torn frame.
+
+    A session that stays write-blocked past the daemon's client deadline
+    is dropped, and one idle past the idle timeout is reaped — one slow
+    or dead client must not stall the scheduler or hold a connection
+    slot for everyone else. *)
 
 type t
 (** One client connection. *)
 
-val create : ?max_frame:int -> id:int -> Unix.file_descr -> t
+val default_max_out : int
+(** Default outbound bound: 4 MiB. *)
+
+val create : ?max_frame:int -> ?max_out:int -> id:int -> now:float -> Unix.file_descr -> t
 (** Wrap an accepted (already non-blocking) socket.  [max_frame] bounds
-    inbound frame payloads (default {!Frame.default_max_frame}); [id] is
-    a daemon-assigned label used in logs. *)
+    inbound frame payloads (default {!Frame.default_max_frame});
+    [max_out] bounds buffered outbound bytes (default
+    {!default_max_out}); [id] is a daemon-assigned label used in logs;
+    [now] seeds the last-activity clock.
+    @raise Invalid_argument if [max_out < 1]. *)
 
 val fd : t -> Unix.file_descr
 (** The underlying socket (for [select] sets). *)
@@ -36,11 +53,32 @@ val close_after_flush : t -> unit
 (** Mark the session closing (graceful: pending output survives). *)
 
 val blocked_since : t -> float option
-(** Wall-clock time the outbound buffer first failed to flush fully;
+(** Wall-clock time the outbound queue first failed to flush fully;
     [None] while writes keep up.  The daemon's slow-client deadline. *)
 
-val send : t -> string -> unit
-(** Frame a payload and append it to the outbound buffer. *)
+val last_active : t -> float
+(** Wall-clock time of the last inbound activity ({!touch}); the
+    daemon's idle-reaping clock.  Clients keep a quiet connection alive
+    with [Ping] heartbeats. *)
+
+val touch : t -> now:float -> unit
+(** Record inbound activity at [now]. *)
+
+val send : t -> string -> bool
+(** Frame a payload and enqueue it.  [false] means the bounded queue
+    would overflow and the frame was {e not} enqueued — the caller
+    chooses between dropping (pushes) and evicting (responses). *)
+
+val truncate_out : t -> int
+(** Discard queued output in preparation for an eviction notice,
+    preserving a partially-written head frame so the client's stream
+    stays well-framed.  Returns the number of whole frames dropped. *)
+
+val dropped_pushes : t -> int
+(** Push frames dropped on this session because the queue was full. *)
+
+val note_dropped_push : t -> unit
+(** Count one dropped push. *)
 
 val pending_out : t -> int
 (** Outbound bytes not yet written to the socket. *)
@@ -56,7 +94,7 @@ val next_frame : t -> [ `Frame of string | `Await | `Error of string ]
 
 val flush : t -> now:float -> [ `Idle | `Blocked | `Closed ]
 (** Write as much pending output as the socket accepts.  [`Idle] means
-    the buffer is empty (blocked-since clock reset), [`Blocked] that
+    the queue is empty (blocked-since clock reset), [`Blocked] that
     bytes remain (clock running, anchored at [now]), [`Closed] that the
     peer is gone. *)
 

@@ -1,0 +1,50 @@
+(** Checkpoint files for the daemon backend: the full live-core state
+    ({!Online.Service.persist}), the journal sequence watermark, and the
+    (session, request-id) dedup cache, rendered as one JSON payload line
+    followed by one FNV-1a checksum line.
+
+    The write path is crash-safe in layers: the file is assembled in
+    [path ^ ".tmp"], {e re-read and validated} before being published by
+    an atomic rename, and only a published (hence proven) snapshot ever
+    triggers journal compaction in {!Backend}.  A crash — or an armed
+    {!Campaign.Fault} harness tearing the payload at the [`Snapshot]
+    store site — therefore leaves either the previous snapshot or a tmp
+    file nobody reads, never a corrupt published checkpoint backed by a
+    compacted journal.
+
+    Recovery ({!load}) quarantines an invalid snapshot to
+    [path ^ ".quarantine"] and returns [None], at which point the backend
+    falls back to full journal replay.  Floats round-trip through
+    17-significant-digit text, so a restore is bit-identical
+    (see {!Online.Service.live_restore}). *)
+
+type t = {
+  seq : int;
+      (** Journal watermark: entries with sequence < [seq] are already
+          folded into this snapshot and are skipped on replay. *)
+  persist : Online.Service.persist;  (** The live core. *)
+  dedup : (string * int * Protocol.response) list;
+      (** Cached [(sid, rid, response)] idempotency entries. *)
+}
+
+val format_version : int
+(** Version stamped into (and required of) every snapshot file. *)
+
+val quarantine_path : string -> string
+(** Where {!load} preserves an invalid snapshot: [path ^ ".quarantine"]. *)
+
+val write : path:string -> t -> (unit, string) result
+(** Write, validate, then atomically publish a snapshot.  [Error reason]
+    means the written bytes failed re-validation (torn write — injected
+    or real); the previous snapshot, if any, is left in place and the
+    tmp file is removed.  Callers must not compact the journal on
+    [Error]. *)
+
+val load : path:string -> t option
+(** The published snapshot, if present and valid.  An invalid file is
+    quarantined and reported as [None] (recovery then replays the full
+    journal). *)
+
+val validate : path:string -> (t, string) result
+(** Non-destructive check used by [cosched journal]: parse and verify
+    the file, reporting what is wrong instead of quarantining. *)

@@ -16,10 +16,11 @@ let dir =
 let socket = Filename.concat dir "daemon.sock"
 let journal = Filename.concat dir "journal.jsonl"
 let journal2 = Filename.concat dir "journal2.jsonl"
+let journal3 = Filename.concat dir "journal3.jsonl"
 
 let fail fmt = Printf.ksprintf failwith fmt
 
-let daemon_config ?(max_clients = 4) ~journal () =
+let daemon_config ?(max_clients = 4) ?idle_timeout ~journal () =
   {
     Daemon.backend =
       { Backend.default_config with journal = Some journal; queue_depth = 16 };
@@ -28,15 +29,18 @@ let daemon_config ?(max_clients = 4) ~journal () =
     max_clients;
     drain_timeout = Some 120.;
     client_timeout = 30.;
+    request_deadline = None;
+    idle_timeout;
+    max_buffer = Session.default_max_out;
   }
 
-let start_daemon ?max_clients ~journal () =
+let start_daemon ?max_clients ?idle_timeout ~journal () =
   flush stdout;
   flush stderr;
   match Unix.fork () with
   | 0 ->
     (try
-       Daemon.run (daemon_config ?max_clients ~journal ());
+       Daemon.run (daemon_config ?max_clients ?idle_timeout ~journal ());
        Stdlib.exit 0
      with e ->
        Printf.eprintf "daemon died: %s\n%!" (Printexc.to_string e);
@@ -49,7 +53,7 @@ let submit_spec ~name w =
 
 let expect_ok what (r : Protocol.response) =
   match r.reply with
-  | Protocol.R_error { message; code } ->
+  | Protocol.R_error { message; code; _ } ->
     fail "%s failed: %s (%s)" what (Protocol.error_code_name code) message
   | reply -> reply
 
@@ -94,7 +98,7 @@ let () =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
   List.iter
     (fun p -> try Sys.remove p with Sys_error _ -> ())
-    [ socket; journal; journal2 ];
+    [ socket; journal; journal2; journal3 ];
 
   (* --- phase 1: live daemon ------------------------------------------- *)
   let pid = start_daemon ~journal () in
@@ -222,12 +226,44 @@ let () =
   if Backend.recovered b < 2 then fail "expected submit + drain in the journal";
   print_endline "serve smoke: SIGTERM drained, journalled and exited cleanly";
 
+  (* --- phase 5: idle reaping with ping heartbeats ----------------------- *)
+  let pid = start_daemon ~idle_timeout:0.3 ~journal:journal3 () in
+  let hb = Client.connect socket in
+  ignore (expect_ok "ping" (Client.request hb Protocol.Ping));
+  (* A client that connects and then goes completely quiet must be
+     reaped; one that heartbeats with pings must survive. *)
+  let silent = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect silent (Unix.ADDR_UNIX socket);
+  let deadline = Unix.gettimeofday () +. 10. in
+  let buf = Bytes.create 256 in
+  let rec wait_reap () =
+    ignore (expect_ok "heartbeat ping" (Client.request hb Protocol.Ping));
+    match Unix.select [ silent ] [] [] 0.1 with
+    | [], _, _ ->
+      if Unix.gettimeofday () > deadline then fail "idle client was not reaped";
+      wait_reap ()
+    | _ -> (
+      match Unix.read silent buf 0 (Bytes.length buf) with
+      | 0 -> () (* EOF: reaped. *)
+      | _ -> wait_reap ())
+  in
+  wait_reap ();
+  Unix.close silent;
+  ignore (expect_ok "ping after reap" (Client.request hb Protocol.Ping));
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "SIGTERMed daemon did not exit cleanly");
+  Client.close hb;
+  print_endline "serve smoke: idle client reaped, heartbeat client survived";
+
   List.iter
     (fun p -> try Sys.remove p with Sys_error _ -> ())
     [
-      socket; journal; journal2;
+      socket; journal; journal2; journal3;
       Campaign.Journal.quarantine_path journal;
       Campaign.Journal.quarantine_path journal2;
+      Campaign.Journal.quarantine_path journal3;
     ];
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   print_endline "serve smoke OK"

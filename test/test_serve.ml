@@ -14,7 +14,7 @@ let platform = Model.Platform.paper_default
 let synth ~seed n =
   Model.Workload.generate ~rng:(Util.Rng.create seed) Model.Workload.NpbSynth n
 
-let req ?at verb = { Protocol.rid = 0; at; verb }
+let req ?sid ?(rid = 0) ?at verb = { Protocol.rid; sid; at; verb }
 
 let spec_of_app (a : Model.App.t) =
   {
@@ -169,9 +169,10 @@ let gen_verb =
 let gen_request =
   QCheck.Gen.(
     let* rid = int_bound 1_000_000 in
+    let* sid = opt gen_name in
     let* at = opt (float_range 0. 1e9) in
     let* verb = gen_verb in
-    return { Protocol.rid; at; verb })
+    return { Protocol.rid; sid; at; verb })
 
 let qcheck_request_roundtrip =
   QCheck.Test.make ~count:500 ~name:"request encode/decode round trip"
@@ -233,7 +234,7 @@ let gen_reply =
             Protocol.R_stats { time = 1.5; clients; metrics = m })
           gen_metrics (int_bound 64);
         map2
-          (fun counts draining ->
+          (fun counts (draining, shed) ->
             Protocol.R_status
               {
                 time = 2.5;
@@ -243,8 +244,10 @@ let gen_reply =
                 clients = counts mod 11;
                 draining;
                 recovered = counts mod 13;
+                shed;
+                snapshots = counts mod 17;
               })
-          (int_bound 10_000) bool;
+          (int_bound 10_000) (pair bool bool);
         map2
           (fun k jobs -> Protocol.R_allocs { time = 3.5; k; jobs })
           (opt (float_range 0. 1e9))
@@ -254,15 +257,17 @@ let gen_reply =
           (fun completed -> Protocol.R_drained { time = 4.5; completed })
           (int_bound 1000);
         return Protocol.R_pong;
-        map2
-          (fun code message -> Protocol.R_error { code; message })
+        map3
+          (fun code message retry_after ->
+            Protocol.R_error { code; message; retry_after })
           (oneofl
              Protocol.
                [
                  Bad_request; Unknown_verb; Unsupported_version; Overload;
                  Draining; Unknown_job; Timeout; Internal;
                ])
-          gen_name;
+          gen_name
+          (opt (float_range 0. 60.));
       ])
 
 let gen_incoming =
@@ -489,6 +494,583 @@ let backend_journal_torn_tail () =
   Sys.remove path;
   (try Sys.remove (Campaign.Journal.quarantine_path path) with Sys_error _ -> ())
 
+(* --- exactly-once retry dedup ------------------------------------------ *)
+
+let backend_dedup_exactly_once () =
+  let b = backend () in
+  let apps = synth ~seed:31 2 in
+  let submit = req ~sid:"alice" ~rid:7 (Submit (spec_of_app apps.(0))) in
+  let first = Backend.handle b ~clients:1 submit in
+  let retry = Backend.handle b ~clients:1 submit in
+  Alcotest.(check string)
+    "retry returns the original response byte-for-byte"
+    (Protocol.encode_response first)
+    (Protocol.encode_response retry);
+  Alcotest.(check int) "no duplicate job" 1 (Backend.live_jobs b);
+  (* A different rid under the same sid is a fresh request. *)
+  match
+    reply_of
+      (Backend.handle b ~clients:1
+         (req ~sid:"alice" ~rid:8 (Submit (spec_of_app apps.(1)))))
+  with
+  | R_submitted { job } -> Alcotest.(check int) "next id" 1 job
+  | _ -> Alcotest.fail "second submit failed"
+
+let backend_dedup_cancel_retry () =
+  let b = backend () in
+  let apps = synth ~seed:32 1 in
+  ignore
+    (Backend.handle b ~clients:1
+       (req ~sid:"s" ~rid:0 (Submit (spec_of_app apps.(0)))));
+  let cancel = req ~sid:"s" ~rid:1 ~at:2. (Cancel 0) in
+  let r1 = Backend.handle b ~clients:1 cancel in
+  let r2 = Backend.handle b ~clients:1 cancel in
+  (* Without dedup the second cancel would see a dead job; the cache
+     must replay the original [was_live = true] answer instead. *)
+  (match (reply_of r1, reply_of r2) with
+  | R_cancelled { was_live = true; _ }, R_cancelled { was_live = true; _ } -> ()
+  | _ -> Alcotest.fail "retried cancel must replay the original reply");
+  Alcotest.(check string) "byte-identical"
+    (Protocol.encode_response r1)
+    (Protocol.encode_response r2)
+
+let backend_dedup_survives_recovery () =
+  let path = fresh_journal_path "serve_dedup_recovery.jsonl" in
+  let b1 = backend ~journal:path () in
+  let apps = synth ~seed:33 1 in
+  let submit = req ~sid:"alice" ~rid:3 (Submit (spec_of_app apps.(0))) in
+  let orig = Backend.handle b1 ~clients:1 submit in
+  (* Crash, recover, retry the same (sid, rid): the dedup cache is
+     rebuilt during replay, so the retry still must not double-admit. *)
+  let b2 = backend ~journal:path () in
+  let retry = Backend.handle b2 ~clients:1 submit in
+  Alcotest.(check string) "replayed dedup answers the retry"
+    (Protocol.encode_response orig)
+    (Protocol.encode_response retry);
+  Alcotest.(check int) "still one job" 1 (Backend.live_jobs b2);
+  Sys.remove path
+
+(* --- load shedding ------------------------------------------------------ *)
+
+let backend_shed_hysteresis () =
+  let b =
+    Backend.create
+      {
+        Backend.default_config with
+        platform;
+        shed_highwater = 3;
+        shed_lowwater = 1;
+      }
+  in
+  let apps = synth ~seed:41 5 in
+  let submit i at =
+    reply_of
+      (Backend.handle b ~clients:1 (req ~at (Submit (spec_of_app apps.(i)))))
+  in
+  (match (submit 0 0., submit 1 0., submit 2 0.) with
+  | R_submitted _, R_submitted _, R_submitted _ -> ()
+  | _ -> Alcotest.fail "admission below highwater failed");
+  Alcotest.(check bool) "shed at highwater" true (Backend.shedding b);
+  (match submit 3 0.5 with
+  | R_error { code = Overload; retry_after = Some hint; _ } ->
+    Alcotest.(check bool) "positive retry-after hint" true (hint > 0.)
+  | _ -> Alcotest.fail "expected overload with a retry-after hint");
+  (* Queries and cancels are still served in shed mode. *)
+  (match reply_of (Backend.handle b ~clients:1 (req (Query Status))) with
+  | R_status { shed = true; live = 3; _ } -> ()
+  | _ -> Alcotest.fail "expected shed status with 3 live jobs");
+  (match reply_of (Backend.handle b ~clients:1 (req ~at:1. (Cancel 0))) with
+  | R_cancelled _ -> ()
+  | _ -> Alcotest.fail "cancel refused in shed mode");
+  Alcotest.(check bool)
+    "hysteresis: still shed above lowwater" true (Backend.shedding b);
+  (match reply_of (Backend.handle b ~clients:1 (req ~at:1.5 (Cancel 1))) with
+  | R_cancelled _ -> ()
+  | _ -> Alcotest.fail "cancel refused in shed mode");
+  Alcotest.(check bool) "recovered at lowwater" false (Backend.shedding b);
+  match submit 4 2. with
+  | R_submitted _ -> ()
+  | _ -> Alcotest.fail "submit refused after shed mode ended"
+
+let backend_config_validation () =
+  (match
+     Backend.create
+       { Backend.default_config with platform; snapshot = Some "x.snap" }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "snapshot without a journal accepted");
+  match
+    Backend.create
+      {
+        Backend.default_config with
+        platform;
+        shed_highwater = 2;
+        shed_lowwater = 3;
+      }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lowwater above highwater accepted"
+
+(* --- snapshots and compaction ------------------------------------------- *)
+
+let fresh_snapshot_paths name =
+  let j = fresh_journal_path (name ^ ".jsonl") in
+  let s = Filename.concat (Filename.get_temp_dir_name ()) (name ^ ".snap") in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ s; Snapshot.quarantine_path s; s ^ ".tmp" ];
+  (j, s)
+
+let sbackend ?(snapshot_every = 0) ~journal ~snapshot () =
+  Backend.create
+    {
+      Backend.default_config with
+      platform;
+      journal = Some journal;
+      snapshot = Some snapshot;
+      snapshot_every;
+    }
+
+let cleanup_snapshot_paths j s =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ j; Campaign.Journal.quarantine_path j; s; Snapshot.quarantine_path s ]
+
+let backend_snapshot_compacts_journal () =
+  let j, s = fresh_snapshot_paths "serve_snap_basic" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (match Backend.snapshot_now b1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("snapshot failed: " ^ m));
+  Alcotest.(check int) "one snapshot written" 1 (Backend.snapshots_written b1);
+  let entries, corrupt = Campaign.Journal.scan ~path:j in
+  Alcotest.(check int) "journal compacted to empty" 0 (List.length entries);
+  Alcotest.(check int) "no corrupt lines" 0 (List.length corrupt);
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "nothing replayed" 0 (Backend.recovered b2);
+  Alcotest.(check string) "snapshot restored the exact state" before
+    (allocs_payload b2);
+  cleanup_snapshot_paths j s
+
+let backend_snapshot_watermark_replay () =
+  let j, s = fresh_snapshot_paths "serve_snap_watermark" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  let apps = synth ~seed:22 4 in
+  ignore (Backend.handle b1 ~clients:1 (req (Submit (spec_of_app apps.(0)))));
+  ignore
+    (Backend.handle b1 ~clients:1 (req ~at:3. (Submit (spec_of_app apps.(1)))));
+  (match Backend.snapshot_now b1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("snapshot failed: " ^ m));
+  (* Post-snapshot mutations land in the compacted journal and replay
+     on top of the restored checkpoint. *)
+  ignore
+    (Backend.handle b1 ~clients:1 (req ~at:5. (Submit (spec_of_app apps.(2)))));
+  ignore (Backend.handle b1 ~clients:1 (req ~at:7. (Cancel 0)));
+  let before = allocs_payload b1 in
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "only post-snapshot entries replayed" 2
+    (Backend.recovered b2);
+  Alcotest.(check string) "identical job set and allocations" before
+    (allocs_payload b2);
+  cleanup_snapshot_paths j s
+
+let backend_snapshot_every_triggers () =
+  let j, s = fresh_snapshot_paths "serve_snap_auto" in
+  let b1 = sbackend ~snapshot_every:2 ~journal:j ~snapshot:s () in
+  drive_scenario b1;
+  (* 6 journalled mutations at a period of 2: at least two automatic
+     checkpoints, and replay cost stays below one period. *)
+  Alcotest.(check bool)
+    "automatic snapshots written" true
+    (Backend.snapshots_written b1 >= 2);
+  let before = allocs_payload b1 in
+  let b2 = sbackend ~snapshot_every:2 ~journal:j ~snapshot:s () in
+  Alcotest.(check bool)
+    "replay bounded by the snapshot period" true
+    (Backend.recovered b2 < 2);
+  Alcotest.(check string) "identical job set and allocations" before
+    (allocs_payload b2);
+  cleanup_snapshot_paths j s
+
+let backend_torn_snapshot_write_keeps_journal () =
+  let j, s = fresh_snapshot_paths "serve_snap_torn_write" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (* An armed fault harness tears the snapshot payload mid-line, as a
+     crash inside the write would: validation must catch it and the
+     journal must keep its full history. *)
+  let fault = Campaign.Fault.create ~torn_write:1.0 ~seed:7 () in
+  (match Campaign.Fault.with_harness fault (fun () -> Backend.snapshot_now b1) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "torn snapshot write went undetected");
+  Alcotest.(check int) "no snapshot published" 0 (Backend.snapshots_written b1);
+  Alcotest.(check bool) "no snapshot file" false (Sys.file_exists s);
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "full journal replay" 6 (Backend.recovered b2);
+  Alcotest.(check string) "identical job set and allocations" before
+    (allocs_payload b2);
+  cleanup_snapshot_paths j s
+
+let backend_corrupt_snapshot_falls_back () =
+  let j, s = fresh_snapshot_paths "serve_snap_corrupt" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (* A torn checkpoint on disk — half a payload line, no checksum —
+     while the journal still holds full history.  Recovery must
+     quarantine it and fall back to replay. *)
+  let oc = open_out s in
+  output_string oc "{\"snapshot\":1,\"seq\":99,\"time\":3.5";
+  close_out oc;
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "full journal replay" 6 (Backend.recovered b2);
+  Alcotest.(check string) "journal replay recovered the state" before
+    (allocs_payload b2);
+  Alcotest.(check bool) "corrupt snapshot quarantined" true
+    (Sys.file_exists (Snapshot.quarantine_path s));
+  Alcotest.(check bool) "corrupt snapshot removed from its path" false
+    (Sys.file_exists s);
+  cleanup_snapshot_paths j s
+
+(* --- session: bounded outbound queue ------------------------------------ *)
+
+let session_pair () =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  (* Shrink the kernel buffer so a stalled reader blocks the writer
+     within a few frames. *)
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  (a, b)
+
+(* Flush [s] while reading its peer [b] until the session drains and the
+   peer sees EOF; returns the decoded payloads (in order) and any framing
+   error the peer hit. *)
+let drain_session s b =
+  let d = Frame.decoder () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let err = ref None in
+  let pull () =
+    let continue = ref true in
+    while !continue && !err = None do
+      match Frame.next d with
+      | `Frame p -> out := p :: !out
+      | `Await -> continue := false
+      | `Error m ->
+        err := Some m;
+        continue := false
+    done
+  in
+  let read_avail () =
+    let eof = ref false in
+    let continue = ref true in
+    while !continue do
+      match Unix.read b buf 0 (Bytes.length buf) with
+      | 0 ->
+        eof := true;
+        continue := false
+      | n -> Frame.feed d (Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+    done;
+    !eof
+  in
+  let writer_done = ref false in
+  let eof = ref false in
+  while not !eof do
+    (if not !writer_done then
+       match Session.flush s ~now:1. with
+       | `Idle ->
+         Session.close s;
+         writer_done := true
+       | `Blocked -> ()
+       | `Closed ->
+         Session.close s;
+         writer_done := true);
+    eof := read_avail ();
+    pull ()
+  done;
+  pull ();
+  Unix.close b;
+  (List.rev !out, !err)
+
+let session_send_refuses_past_bound () =
+  let a, b = session_pair () in
+  let s = Session.create ~max_out:256 ~id:0 ~now:0. a in
+  let payload = String.make 100 'x' in
+  Alcotest.(check bool) "first frame fits" true (Session.send s payload);
+  Alcotest.(check bool) "second frame fits" true (Session.send s payload);
+  Alcotest.(check bool) "third frame refused" false (Session.send s payload);
+  Alcotest.(check bool)
+    "refusal left the queue within its bound" true
+    (Session.pending_out s <= 256);
+  let decoded, err = drain_session s b in
+  Alcotest.(check (option string)) "no framing error" None err;
+  Alcotest.(check (list string))
+    "exactly the accepted frames arrive" [ payload; payload ] decoded
+
+let session_truncate_preserves_head_frame () =
+  let a, b = session_pair () in
+  let s = Session.create ~id:0 ~now:0. a in
+  let big = String.make 65536 'h' in
+  let tail = String.make 512 't' in
+  Alcotest.(check bool) "big frame queued" true (Session.send s big);
+  for _ = 1 to 4 do
+    ignore (Session.send s tail)
+  done;
+  (* One flush against a full kernel buffer: the big head frame is now
+     partially written — eviction truncation must finish it, not tear
+     it. *)
+  (match Session.flush s ~now:0.5 with
+  | `Blocked -> ()
+  | `Idle -> Alcotest.fail "kernel buffer swallowed 66 KiB; shrink SO_SNDBUF"
+  | `Closed -> Alcotest.fail "peer closed");
+  Alcotest.(check bool) "write-blocked clock running" true
+    (Session.blocked_since s <> None);
+  let dropped = Session.truncate_out s in
+  Alcotest.(check int) "whole queued frames dropped" 4 dropped;
+  Alcotest.(check bool) "eviction notice accepted after truncation" true
+    (Session.send s "notice");
+  Session.close_after_flush s;
+  let decoded, err = drain_session s b in
+  Alcotest.(check (option string)) "no framing error" None err;
+  Alcotest.(check (list string))
+    "head frame completed, then the notice" [ big; "notice" ] decoded
+
+let rec is_ordered_subseq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+    if String.equal x y then is_ordered_subseq xs' ys'
+    else is_ordered_subseq xs ys'
+
+let gen_overflow_scenario =
+  QCheck.Gen.(
+    let* payloads = list_size (int_range 1 30) (string_size (int_range 0 8192)) in
+    let* max_out = int_range 1024 32768 in
+    let* cut = int_range 0 30 in
+    return (payloads, max_out, cut))
+
+let qcheck_stalled_reader_framing =
+  QCheck.Test.make ~count:40
+    ~name:"stalled reader: overflow + eviction never corrupt framing"
+    (QCheck.make gen_overflow_scenario ~print:(fun (ps, m, c) ->
+         Printf.sprintf "%d payloads, max_out %d, cut %d" (List.length ps) m c))
+    (fun (payloads, max_out, cut) ->
+      let a, b = session_pair () in
+      let s = Session.create ~max_out ~id:0 ~now:0. a in
+      let accepted = ref [] in
+      List.iteri
+        (fun i p ->
+          (* Mid-stream, behave like the daemon evicting a slow client:
+             partial flush, then truncate. *)
+          if i = cut then begin
+            ignore (Session.flush s ~now:0.1);
+            ignore (Session.truncate_out s)
+          end;
+          if Session.send s p then accepted := p :: !accepted)
+        payloads;
+      ignore (Session.flush s ~now:0.2);
+      ignore (Session.truncate_out s);
+      let notice = "evicted" in
+      let notice_sent = Session.send s notice in
+      Session.close_after_flush s;
+      let decoded, err = drain_session s b in
+      (match err with
+      | Some m -> QCheck.Test.fail_reportf "framing error at the peer: %s" m
+      | None -> ());
+      (* Whatever was dropped, the peer must see whole frames only: an
+         in-order subsequence of the accepted payloads, with the notice
+         (if it fit) as the final frame. *)
+      let body, last =
+        match List.rev decoded with
+        | last :: rev_body when notice_sent && String.equal last notice ->
+          (List.rev rev_body, true)
+        | _ -> (decoded, false)
+      in
+      if notice_sent && not last then
+        QCheck.Test.fail_reportf "eviction notice did not arrive last";
+      if not (is_ordered_subseq body (List.rev !accepted)) then
+        QCheck.Test.fail_reportf
+          "peer saw %d frames that are not an ordered subsequence of the %d accepted"
+          (List.length body)
+          (List.length !accepted);
+      true)
+
+(* --- chaos wire simulator ----------------------------------------------- *)
+
+(* A faithful in-memory model of {!Retry_client} against the daemon: the
+   same {!Chaos} planner decides each frame's fate, the server side is a
+   real {!Frame} decoder in front of a real {!Backend}, and "killing the
+   connection" resets the decoder exactly as the daemon's drop of a dead
+   client does.  Sleeps are skipped — the planner's decisions, not the
+   timing, are what is under test. *)
+
+type sim = {
+  sim_backend : Backend.t;
+  sim_chaos : Chaos.t;
+  mutable sim_dec : Frame.decoder;
+  sim_replies : Protocol.response Queue.t;
+}
+
+exception Sim_retry
+
+let sim_kill sim =
+  sim.sim_dec <- Frame.decoder ();
+  Queue.clear sim.sim_replies
+
+let sim_deliver sim bytes =
+  Frame.feed sim.sim_dec bytes;
+  let continue = ref true in
+  while !continue do
+    match Frame.next sim.sim_dec with
+    | `Frame payload -> (
+      match Protocol.decode_request payload with
+      | Ok r ->
+        Queue.add (Backend.handle sim.sim_backend ~clients:1 r) sim.sim_replies
+      | Error _ -> ())
+    | `Await -> continue := false
+    | `Error _ ->
+      (* The daemon drops connections on framing errors. *)
+      sim_kill sim;
+      continue := false
+  done
+
+let sim_request sim ~sid ~rid ?at verb =
+  let frame =
+    Frame.encode
+      (Protocol.encode_request { Protocol.rid; sid = Some sid; at; verb })
+  in
+  let rec attempt n =
+    if n > 500 then failwith "chaos sim: attempt budget exhausted"
+    else
+      match
+        (match Chaos.on_send sim.sim_chaos ~len:(String.length frame) with
+        | Chaos.Pass | Chaos.Delay _ | Chaos.Reorder ->
+          (* A held-back frame is flushed before the client blocks on the
+             reply (see Retry_client), so with one request in flight a
+             reorder degenerates to in-order delivery. *)
+          sim_deliver sim frame
+        | Chaos.Duplicate ->
+          sim_deliver sim frame;
+          sim_deliver sim frame
+        | Chaos.Truncate k ->
+          sim_deliver sim (String.sub frame 0 k);
+          sim_kill sim;
+          raise Sim_retry
+        | Chaos.Kill ->
+          sim_kill sim;
+          raise Sim_retry);
+        (match Chaos.on_read sim.sim_chaos with
+        | Chaos.R_pass | Chaos.R_stall _ -> ()
+        | Chaos.R_kill ->
+          sim_kill sim;
+          raise Sim_retry);
+        (* Take our reply, skipping stale ones (duplicate deliveries of
+           earlier requests answered by the dedup cache). *)
+        let rec take () =
+          if Queue.is_empty sim.sim_replies then raise Sim_retry
+          else
+            let r = Queue.pop sim.sim_replies in
+            if r.Protocol.rid = rid then r else take ()
+        in
+        take ()
+      with
+      | r -> r
+      | exception Sim_retry -> attempt (n + 1)
+  in
+  attempt 0
+
+let qcheck_chaotic_retries_equal_offline =
+  QCheck.Test.make ~count:30
+    ~name:"retrying workload under chaos == offline Online.Service.run"
+    (QCheck.make
+       QCheck.Gen.(
+         let* seed = int_bound 10_000 in
+         let* n = int_range 1 6 in
+         let* cancel = list_size (return n) bool in
+         let* chaos_seed = int_bound 100_000 in
+         return (seed, n, cancel, chaos_seed))
+       ~print:(fun (seed, n, cancel, chaos_seed) ->
+         Printf.sprintf "seed %d, %d arrivals, cancels [%s], chaos seed %d" seed
+           n
+           (String.concat ";" (List.map string_of_bool cancel))
+           chaos_seed))
+    (fun (seed, n, cancel, chaos_seed) ->
+      let apps = synth ~seed n in
+      let rng = Util.Rng.create (seed + 1) in
+      let arrivals =
+        Array.init n (fun i ->
+            (10. *. float_of_int i) +. (5. *. Util.Rng.float rng 1.))
+      in
+      let horizon = arrivals.(n - 1) +. 10. in
+      let events =
+        List.concat
+          [
+            List.init n (fun i ->
+                {
+                  Online.Workload_stream.time = arrivals.(i);
+                  kind = Online.Workload_stream.Arrival apps.(i);
+                });
+            List.filteri (fun i _ -> List.nth cancel i) (List.init n Fun.id)
+            |> List.map (fun i ->
+                   {
+                     Online.Workload_stream.time = horizon +. float_of_int i;
+                     kind = Online.Workload_stream.Departure i;
+                   });
+          ]
+      in
+      let stream = Online.Workload_stream.of_events events in
+      let offline = Online.Service.run ~platform stream in
+      let sim =
+        {
+          sim_backend = backend ();
+          sim_chaos = Chaos.storm ~seed:chaos_seed;
+          sim_dec = Frame.decoder ();
+          sim_replies = Queue.create ();
+        }
+      in
+      let rid = ref 0 in
+      let send ?at verb =
+        let r = sim_request sim ~sid:"qc" ~rid:!rid ?at verb in
+        incr rid;
+        r
+      in
+      List.iter
+        (fun (ev : Online.Workload_stream.event) ->
+          let verb =
+            match ev.kind with
+            | Online.Workload_stream.Arrival app ->
+              Protocol.Submit (spec_of_app app)
+            | Online.Workload_stream.Departure id -> Protocol.Cancel id
+          in
+          match (send ~at:ev.time verb).reply with
+          | R_submitted _ | R_cancelled _ -> ()
+          | R_error { message; _ } -> failwith message
+          | _ -> failwith "unexpected reply")
+        (Online.Workload_stream.events stream);
+      (match (send Protocol.Drain).reply with
+      | R_drained _ -> ()
+      | _ -> failwith "drain failed");
+      match (send (Query Stats)).reply with
+      | R_stats { metrics; _ } ->
+        let served = Online.Metrics.to_json metrics in
+        let off = Online.Metrics.to_json offline.Online.Service.metrics in
+        if served <> off then
+          QCheck.Test.fail_reportf
+            "under chaos seed %d (%d faults injected):@.served  %s@.offline %s"
+            chaos_seed
+            (Chaos.injected sim.sim_chaos)
+            served off
+        else true
+      | _ -> failwith "stats failed")
+
 (* --- served-vs-offline equivalence ------------------------------------- *)
 
 let gen_scenario =
@@ -596,5 +1178,41 @@ let () =
           test "torn tail is quarantined, not replayed"
             backend_journal_torn_tail;
         ] );
+      ( "dedup",
+        [
+          test "retried submit is exactly-once" backend_dedup_exactly_once;
+          test "retried cancel replays the original reply"
+            backend_dedup_cancel_retry;
+          test "dedup cache survives journal recovery"
+            backend_dedup_survives_recovery;
+        ] );
+      ( "shedding",
+        [
+          test "hysteresis: shed at highwater, recover at lowwater"
+            backend_shed_hysteresis;
+          test "config validation" backend_config_validation;
+        ] );
+      ( "snapshot",
+        [
+          test "snapshot_now compacts the journal"
+            backend_snapshot_compacts_journal;
+          test "watermark replay on top of a snapshot"
+            backend_snapshot_watermark_replay;
+          test "snapshot_every triggers automatic checkpoints"
+            backend_snapshot_every_triggers;
+          test "torn snapshot write never compacts"
+            backend_torn_snapshot_write_keeps_journal;
+          test "corrupt snapshot is quarantined, journal replayed"
+            backend_corrupt_snapshot_falls_back;
+        ] );
+      ( "session",
+        [
+          test "send refuses past the outbound bound"
+            session_send_refuses_past_bound;
+          test "eviction truncation preserves the head frame"
+            session_truncate_preserves_head_frame;
+          qtest qcheck_stalled_reader_framing;
+        ] );
+      ("chaos-sim", [ qtest qcheck_chaotic_retries_equal_offline ]);
       ("equivalence", [ qtest qcheck_backend_equals_offline_service ]);
     ]
