@@ -201,7 +201,11 @@ let create (config : config) =
     let key = (sid, rid) in
     if not (Hashtbl.mem dedup key) then begin
       Hashtbl.replace dedup key resp;
-      Queue.add key dedup_fifo
+      Queue.add key dedup_fifo;
+      (* Same bound as [dedup_add]: a long uncompacted journal must not
+         rebuild an idempotency cache larger than the live one. *)
+      if Queue.length dedup_fifo > dedup_cap then
+        Hashtbl.remove dedup (Queue.pop dedup_fifo)
     end
   in
   let fresh () =
@@ -232,7 +236,12 @@ let create (config : config) =
           (lv, s.Snapshot.seq)
         | _ -> (fresh (), min_int)
       in
-      let applied = ref 0 and max_seq = ref (watermark - 1) in
+      (* [watermark - 1] underflows when there is no snapshot
+         (watermark = min_int), wrapping max_seq to max_int and making
+         every post-recovery mutation reuse historical journal keys —
+         which the journal's first-write-wins dedup then drops. *)
+      let applied = ref 0
+      and max_seq = ref (if watermark = min_int then -1 else watermark - 1) in
       List.iter
         (fun (e : Campaign.Journal.entry) ->
           match replay_entry lv ~record_dedup e with
@@ -357,21 +366,36 @@ let view_of_job (j : Online.State.job) : job_view =
 let completed_count t = completed_of t.lv
 
 let drain_all t ~journal:write_entry ~sid ~rid =
-  if write_entry then
-    journal_entry t
-      (Printf.sprintf "drain:%d:%s:%d" (next_seq t) (hex_of_sid sid)
-         (Option.value ~default:(-1) rid))
-      [| now t |];
   t.draining <- true;
-  match
-    let continuing = ref true in
-    while !continuing do
-      Campaign.Watchdog.check ();
-      continuing := Online.Service.drain_step t.lv
-    done
-  with
-  | () -> true
-  | exception Campaign.Watchdog.Timeout _ -> false
+  let started_at = now t in
+  let completed =
+    match
+      let continuing = ref true in
+      while !continuing do
+        Campaign.Watchdog.check ();
+        continuing := Online.Service.drain_step t.lv
+      done
+    with
+    | () -> true
+    | exception Campaign.Watchdog.Timeout _ -> false
+  in
+  (* Journal only after the outcome is known: replay runs an unbounded
+     full drain, so a record written ahead of a watchdog-interrupted
+     drain would recover more state than the pre-crash daemon had (and
+     cache a successful R_drained for a request that was answered with
+     Timeout).  A completed drain is replay-deterministic from the
+     timeline; a partial one is exactly a time advance to wherever the
+     watchdog stopped it. *)
+  if write_entry then begin
+    if completed then
+      journal_entry t
+        (Printf.sprintf "drain:%d:%s:%d" (next_seq t) (hex_of_sid sid)
+           (Option.value ~default:(-1) rid))
+        [| started_at |]
+    else if now t > started_at then
+      journal_entry t (Printf.sprintf "advance:%d" (next_seq t)) [| now t |]
+  end;
+  completed
 
 let shutdown_drain t = drain_all t ~journal:true ~sid:None ~rid:None
 

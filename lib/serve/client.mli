@@ -16,6 +16,13 @@ exception Error of string
 type t
 (** One blocking connection to a daemon. *)
 
+val fresh_rid_base : unit -> int
+(** A clock-and-pid-derived first request id (40-bit), so independent
+    clients sharing a session id never collide on the backend's
+    [(sid, rid)] dedup key.  Used by {!connect} for session-id
+    connections and by {!Retry_client.create}; exposed for any other
+    client construction that carries a [sid]. *)
+
 val connect : ?sid:string -> ?retries:int -> ?delay:float -> string -> t
 (** Connect to a Unix-domain socket path, retrying [retries] times
     (default 50) every [delay] seconds (default 0.1) while the socket

@@ -124,10 +124,12 @@ let next d =
         && (n = 1 || header.[0] <> '0')
         && String.for_all (fun c -> c >= '0' && c <= '9') header
       in
-      if not digits_ok then
+      match if digits_ok then int_of_string_opt header else None with
+      | None ->
+        (* Covers both non-digit headers and 19-digit values past
+           [max_int], which [digits_ok] alone lets through. *)
         die d (Printf.sprintf "invalid frame length header %S" header)
-      else
-        let flen = int_of_string header in
+      | Some flen ->
         if flen > d.max_frame then
           die d
             (Printf.sprintf "frame of %d bytes exceeds limit of %d bytes" flen

@@ -51,7 +51,11 @@ let create ?(config = default_config) ?chaos ~sid ~seed addr =
     fd = None;
     decoder = Frame.decoder ();
     held = None;
-    next_rid = 0;
+    (* sid is mandatory here, so the same collision Client.make guards
+       against applies: two processes (or sequential runs) sharing a sid
+       must not reuse each other's (sid, rid) dedup keys, or the later
+       one is served the earlier one's cached responses. *)
+    next_rid = Client.fresh_rid_base ();
     retries = 0;
     reconnects = 0;
     closed = false;

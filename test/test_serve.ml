@@ -78,7 +78,11 @@ let frame_bad_header_is_error () =
       | `Error _ -> ()
       | `Frame _ | `Await ->
         Alcotest.fail (Printf.sprintf "header %S accepted" header))
-    [ ""; "abc"; "-3"; "07"; "3x"; "99999999999999999999999" ]
+    (* The 19-digit value passes the digit-count check but overflows
+       max_int: it must die as a framing error, not raise through the
+       daemon. *)
+    [ ""; "abc"; "-3"; "07"; "3x"; "9999999999999999999";
+      "99999999999999999999999" ]
 
 let frame_oversized_is_error () =
   let d = Frame.decoder ~max_frame:16 () in
@@ -493,6 +497,30 @@ let backend_journal_torn_tail () =
     (Sys.file_exists (Campaign.Journal.quarantine_path path));
   Sys.remove path;
   (try Sys.remove (Campaign.Journal.quarantine_path path) with Sys_error _ -> ())
+
+let backend_post_recovery_mutations_survive () =
+  (* Regression: after a journal-only recovery (no snapshot) the
+     sequence counter must resume past the replayed history.  It used
+     to restart at 0, so the next mutation reused a historical journal
+     key and the journal's first-write-wins dedup silently dropped it —
+     live but unjournalled, lost on the next crash. *)
+  let path = fresh_journal_path "serve_reseq.jsonl" in
+  let b1 = backend ~journal:path () in
+  drive_scenario b1;
+  let b2 = backend ~journal:path () in
+  let app = (synth ~seed:22 1).(0) in
+  (match
+     reply_of (Backend.handle b2 ~clients:1 (req ~at:15. (Submit (spec_of_app app))))
+   with
+  | R_submitted _ -> ()
+  | _ -> Alcotest.fail "post-recovery submit failed");
+  let after = allocs_payload b2 in
+  let b3 = backend ~journal:path () in
+  Alcotest.(check int) "replay includes the post-recovery submit" 7
+    (Backend.recovered b3);
+  Alcotest.(check string) "post-recovery submit survives the next crash" after
+    (allocs_payload b3);
+  Sys.remove path
 
 (* --- exactly-once retry dedup ------------------------------------------ *)
 
@@ -1177,6 +1205,8 @@ let () =
           test "journal replay restores the job set" backend_journal_recovery;
           test "torn tail is quarantined, not replayed"
             backend_journal_torn_tail;
+          test "post-recovery mutations survive the next crash"
+            backend_post_recovery_mutations_survive;
         ] );
       ( "dedup",
         [
