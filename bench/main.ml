@@ -6,7 +6,7 @@
                    [--on-failure abort|skip|retry] [--max-retries N]
                    [--trial-timeout S] [--trace FILE]
                    [--metrics text|prom|json] [--no-micro] [--no-figures]
-                   [--no-online] [--no-serve] [--guard] [--full]
+                   [--no-online] [--no-serve] [--no-stats] [--guard] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -19,6 +19,7 @@ let run_micro = ref true
 let run_figures = ref true
 let run_online = ref true
 let run_serve = ref true
+let run_stats = ref true
 let guard = ref false
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
@@ -31,7 +32,7 @@ let usage () =
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
      [--trace FILE] [--metrics text|prom|json] [--no-micro] [--no-figures] \
-     [--no-online] [--no-serve] [--guard] [--full]";
+     [--no-online] [--no-serve] [--no-stats] [--guard] [--full]";
   exit 2
 
 let int_flag ~flag ~min v =
@@ -102,6 +103,9 @@ let rec parse = function
     parse rest
   | "--no-serve" :: rest ->
     run_serve := false;
+    parse rest
+  | "--no-stats" :: rest ->
+    run_stats := false;
     parse rest
   | "--guard" :: rest ->
     guard := true;
@@ -215,6 +219,80 @@ let micro () =
   print_endline "== micro-benchmarks (Bechamel, OLS ns/run) ==";
   Util.Table.print table
 
+(* --- heavy-tailed workload library -------------------------------------- *)
+
+(* Sampler cost per distribution plus end-to-end service throughput under
+   a flash-crowd arrival process; the record lands under the "stats" key
+   of BENCH_online.json and, with --guard, the flash-crowd events/sec is
+   gated against the committed baseline. *)
+let stats_bench () =
+  let n = 200_000 in
+  let dists =
+    [
+      ("exponential", Stats.Dist.Exponential { rate = 1. });
+      ("pareto", Stats.Dist.Pareto { alpha = 1.5; xm = 1. });
+      ("lognormal", Stats.Dist.Lognormal { mu = 0.; sigma = 1. });
+      ("weibull", Stats.Dist.Weibull { shape = 0.7; scale = 1. });
+      ("hyperexp", Stats.Dist.of_string "hyperexp:p=0.9,mean1=0.5,mean2=8");
+    ]
+  in
+  let sampler_rows =
+    List.map
+      (fun (name, d) ->
+        let rng = Util.Rng.create !seed in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          ignore (Sys.opaque_identity (Stats.Dist.sample d rng))
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        (name, 1e9 *. dt /. float_of_int n))
+      dists
+  in
+  let platform = Model.Platform.paper_default in
+  let rng = Util.Rng.create !seed in
+  let scenario =
+    Stats.Scenario.of_string "flash:base=2,burst=24,every=40,a=1.5,xm=3"
+  in
+  let stream =
+    Online.Workload_stream.scenario_load ~rng ~platform ~scenario
+      ~dataset:Model.Workload.NpbSynth 150
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Online.Service.run ~platform stream in
+  let dt = Unix.gettimeofday () -. t0 in
+  let m = report.Online.Service.metrics in
+  let flash_eps = float_of_int m.Online.Metrics.events /. Float.max dt 1e-9 in
+  let table = Util.Table.create [ "sampler"; "ns/op" ] in
+  List.iter
+    (fun (name, ns) -> Util.Table.add_row table [ name; Printf.sprintf "%.0f" ns ])
+    sampler_rows;
+  print_endline "== stats: heavy-tailed samplers and flash-crowd serving ==";
+  Util.Table.print table;
+  Printf.printf
+    "flash crowd: %d events in %.3g s = %.0f events/s (mean stretch %.3g)\n\n"
+    m.Online.Metrics.events dt flash_eps m.Online.Metrics.mean_stretch;
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"samples_per_dist\":%d," n;
+        "\"sampler_ns_per_op\":{";
+        String.concat ","
+          (List.map
+             (fun (name, ns) -> Printf.sprintf "\"%s\":%.6g" name ns)
+             sampler_rows);
+        "},";
+        Printf.sprintf "\"flash_scenario\":\"%s\","
+          (Stats.Scenario.to_string scenario);
+        Printf.sprintf "\"flash_events\":%d," m.Online.Metrics.events;
+        Printf.sprintf "\"flash_events_per_sec\":%.6g," flash_eps;
+        Printf.sprintf "\"flash_mean_stretch\":%.6g"
+          m.Online.Metrics.mean_stretch;
+        "}";
+      ]
+  in
+  (json, flash_eps)
+
 (* --- online service throughput ---------------------------------------- *)
 
 (* Serve one 100-application Poisson stream under every built-in re-solve
@@ -280,6 +358,31 @@ let online () =
   print_endline "== online service (100-app Poisson stream, load 8) ==";
   Util.Table.print table;
   print_newline ();
+  (* The flash-crowd baseline must be read before the file is
+     overwritten; the guard verdict is checked after the new record is
+     on disk so a failing run still leaves its numbers inspectable. *)
+  let baseline_flash_eps =
+    if not (!guard && !run_stats && Sys.file_exists "BENCH_online.json") then
+      None
+    else
+      let ic = open_in "BENCH_online.json" in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Trace_json.parse text with
+      | j -> (
+        match
+          Option.bind
+            (Obs.Trace_json.member "stats" j)
+            (Obs.Trace_json.member "flash_events_per_sec")
+        with
+        | Some (Obs.Trace_json.Num v) -> Some v
+        | _ -> None)
+      | exception Failure _ -> None
+  in
+  let stats = if !run_stats then Some (stats_bench ()) else None in
   let json =
     String.concat ""
       [
@@ -287,6 +390,9 @@ let online () =
         Printf.sprintf "\"apps\":%d," napps;
         Printf.sprintf "\"load\":%g," load;
         Printf.sprintf "\"seed\":%d," !seed;
+        (match stats with
+        | Some (stats_json, _) -> Printf.sprintf "\"stats\":%s," stats_json
+        | None -> "");
         "\"policies\":[";
         String.concat "," entries;
         "]}";
@@ -296,7 +402,19 @@ let online () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc json);
-  print_endline "wrote BENCH_online.json"
+  print_endline "wrote BENCH_online.json";
+  if !guard then
+    match (stats, baseline_flash_eps) with
+    | Some (_, eps), Some old when eps < 0.8 *. old ->
+      Printf.eprintf
+        "bench guard: flash-crowd serving regressed >20%%: %.0f -> %.0f \
+         events/s\n"
+        old eps;
+      exit 1
+    | Some _, None ->
+      print_endline
+        "bench guard: no flash-crowd baseline in BENCH_online.json; gate only"
+    | _ -> print_endline "bench guard (stats): ok"
 
 (* --- crash-recovery timing --------------------------------------------- *)
 

@@ -425,6 +425,22 @@ let validate_cmd =
 
 (* --- online ------------------------------------------------------------ *)
 
+(* Named-spec converters for the heavy-tailed workload flags, shared by
+   `online` (stream generation) and `client storm` (wire submission). *)
+let scenario_conv =
+  let parse s =
+    try Ok (Stats.Scenario.of_string s) with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf sc = Format.pp_print_string ppf (Stats.Scenario.to_string sc) in
+  Arg.conv (parse, print)
+
+let dist_conv =
+  let parse s =
+    try Ok (Stats.Dist.of_string s) with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf d = Format.pp_print_string ppf (Stats.Dist.to_string d) in
+  Arg.conv (parse, print)
+
 let online_cmd =
   let online_policy_arg =
     let parse s =
@@ -467,13 +483,50 @@ let online_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit metrics as one JSON object per policy.")
   in
-  let run seed dataset napps procs cs load policy cold check json trace metrics
-      =
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process instead of $(b,--load): a renewal distribution \
+             ($(b,poisson:rate=4), $(b,pareto:a=1.5,xm=0.2), \
+             $(b,lognormal:mu=0,sigma=1), $(b,weibull:k=0.7,scale=1), \
+             $(b,hyperexp:p=0.9,mean1=0.5,mean2=8)), a flash crowd \
+             ($(b,flash:base=2,burst=20,every=50,a=1.5,xm=2)) or a diurnal \
+             cycle ($(b,diurnal:rate=4,amp=0.8,period=200)).  Rates are in \
+             jobs per mean alone-time, so $(b,poisson:rate=4) matches \
+             $(b,--load 4).")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (some dist_conv) None
+      & info [ "sizes" ] ~docv:"SPEC"
+          ~doc:
+            "Heavy-tailed job sizes: override each generated application's \
+             work with a draw from SPEC, in operations (the NPB-SYNTH range \
+             is 1e8..1e12, so e.g. $(b,pareto:a=1.1,xm=1e9)).")
+  in
+  let run seed dataset napps procs cs load arrivals sizes policy cold check
+      json trace metrics =
     with_obs trace metrics @@ fun () ->
     let rng = Util.Rng.create seed in
     let platform = platform_of ~procs ~cs in
     let stream =
-      Online.Workload_stream.poisson_load ~rng ~platform ~load ~dataset napps
+      match (arrivals, sizes) with
+      | None, None ->
+        Online.Workload_stream.poisson_load ~rng ~platform ~load ~dataset napps
+      | scenario, _ ->
+        (* --sizes without --arrivals keeps the Poisson process at the
+           requested load; only the job-size marginal changes. *)
+        let scenario =
+          Option.value scenario
+            ~default:
+              (Stats.Scenario.Renewal (Stats.Dist.Exponential { rate = load }))
+        in
+        Online.Workload_stream.scenario_load ~rng ~platform ?sizes ~scenario
+          ~dataset napps
     in
     let policies =
       match policy with Some p -> [ p ] | None -> Online.Policy.defaults
@@ -500,14 +553,15 @@ let online_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
-      $ load_arg $ online_policy_arg $ cold_arg $ check_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ load_arg $ arrivals_arg $ sizes_arg $ online_policy_arg $ cold_arg
+      $ check_arg $ json_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "online"
        ~doc:
-         "Serve a Poisson stream of applications with the event-driven \
-          online co-scheduler.")
+         "Serve a stream of applications with the event-driven online \
+          co-scheduler: Poisson by default, or heavy-tailed / flash-crowd / \
+          diurnal arrivals via $(b,--arrivals) and $(b,--sizes).")
     term
 
 (* --- instance ---------------------------------------------------------- *)
@@ -720,6 +774,17 @@ let serve_cmd =
             "Journaled mutations between automatic snapshots (ignored \
              without $(b,--snapshot)).")
   in
+  let snapshot_keep_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"snapshot-keep") Serve.Backend.default_config.snapshot_keep
+      & info [ "snapshot-keep" ] ~docv:"N"
+          ~doc:
+            "Snapshot generations to keep on disk (FILE, FILE.1, ...).  \
+             Recovery falls back generation by generation before resorting \
+             to full journal replay; the journal retains every mutation \
+             since the oldest kept checkpoint.")
+  in
   let deadline_ms_arg =
     Arg.(
       value
@@ -770,8 +835,9 @@ let serve_cmd =
              half the high-water mark; hysteresis against flapping).")
   in
   let run socket port max_clients queue_depth drain_timeout client_timeout
-      journal snapshot snapshot_every deadline_ms idle_timeout max_buffer
-      shed_highwater shed_lowwater policy cold check procs cs trace metrics =
+      journal snapshot snapshot_every snapshot_keep deadline_ms idle_timeout
+      max_buffer shed_highwater shed_lowwater policy cold check procs cs trace
+      metrics =
     with_obs trace metrics @@ fun () ->
     let mode =
       if cold then Online.Incremental.Cold else Online.Incremental.Warm
@@ -799,6 +865,7 @@ let serve_cmd =
             journal;
             snapshot;
             snapshot_every;
+            snapshot_keep;
             shed_highwater;
             shed_lowwater;
             shed_retry_after = Serve.Backend.default_config.shed_retry_after;
@@ -826,7 +893,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ max_clients_arg $ queue_depth_arg
       $ drain_timeout_arg $ client_timeout_arg $ journal_arg $ snapshot_arg
-      $ snapshot_every_arg $ deadline_ms_arg $ idle_timeout_arg
+      $ snapshot_every_arg $ snapshot_keep_arg $ deadline_ms_arg $ idle_timeout_arg
       $ max_buffer_arg $ shed_highwater_arg $ shed_lowwater_arg
       $ serve_policy_arg $ cold_arg $ check_arg $ procs_arg $ cs_arg
       $ trace_arg $ metrics_arg)
@@ -848,14 +915,16 @@ let client_cmd =
                ("ping", `Ping); ("status", `Status); ("stats", `Stats);
                ("allocs", `Allocs); ("job", `Job); ("submit", `Submit);
                ("cancel", `Cancel); ("drain", `Drain); ("watch", `Watch);
+               ("storm", `Storm);
              ])
           `Status
       & info [] ~docv:"ACTION"
           ~doc:
             "One of $(b,ping), $(b,status), $(b,stats), $(b,allocs), \
-             $(b,job) ID, $(b,submit), $(b,cancel) ID, $(b,drain) or \
+             $(b,job) ID, $(b,submit), $(b,cancel) ID, $(b,drain), \
              $(b,watch) (subscribe and print push events until the daemon \
-             drains).")
+             drains) or $(b,storm) (submit a scenario-timed stream, see \
+             $(b,--arrivals)).")
   in
   let id_arg =
     Arg.(
@@ -924,7 +993,34 @@ let client_cmd =
              the same session id and request id is deduplicated by the \
              daemon (exactly-once retries).")
   in
-  let run socket port sid action id at name w s f m0 c0 footprint trace metrics =
+  let storm_arrivals_arg =
+    Arg.(
+      value
+      & opt scenario_conv (Stats.Scenario.Renewal (Stats.Dist.Exponential { rate = 1. }))
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process for $(b,storm), in raw model-time units: e.g. \
+             $(b,poisson:rate=1), $(b,pareto:a=1.5,xm=0.2) or \
+             $(b,flash:base=2,burst=20,every=50,a=1.5,xm=2) (a flash crowd \
+             is how to drive a shedding daemon into and out of overload).")
+  in
+  let storm_sizes_arg =
+    Arg.(
+      value
+      & opt (some dist_conv) None
+      & info [ "sizes" ] ~docv:"SPEC"
+          ~doc:
+            "Draw each storm job's work from SPEC (operations, e.g. \
+             $(b,pareto:a=1.1,xm=1e9)) instead of the fixed $(b,--w).")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"count") 50
+      & info [ "count" ] ~docv:"N" ~doc:"Jobs submitted by $(b,storm).")
+  in
+  let run socket port sid action id at name w s f m0 c0 footprint seed
+      arrivals sizes count trace metrics =
     let ok =
       with_obs trace metrics @@ fun () ->
       let conn =
@@ -976,6 +1072,45 @@ let client_cmd =
           done;
           true
         with Serve.Client.Error _ -> true (* daemon exited; watch is done *))
+      | `Storm ->
+        (* A seeded scenario-timed submit stream: arrival instants become
+           request timestamps, so the daemon's virtual clock replays the
+           storm deterministically.  Overload rejections are the expected
+           behaviour of a shedding daemon under a burst — counted, not
+           fatal. *)
+        let rng = Util.Rng.create seed in
+        let times = Stats.Scenario.arrival_times ~rng arrivals count in
+        let submitted = ref 0 and shed = ref 0 and failed = ref 0 in
+        Array.iteri
+          (fun i at ->
+            let w =
+              match sizes with
+              | None -> w
+              | Some d -> Stats.Dist.sample d rng
+            in
+            let resp =
+              Serve.Client.request conn ~at
+                (Serve.Protocol.Submit
+                   {
+                     Serve.Protocol.name = Printf.sprintf "%s-%d" name i;
+                     w; s; f; m0; c0;
+                     footprint = Option.value ~default:infinity footprint;
+                   })
+            in
+            match resp.Serve.Protocol.reply with
+            | Serve.Protocol.R_submitted _ -> incr submitted
+            | Serve.Protocol.R_error
+                { code = Serve.Protocol.Overload; _ } -> incr shed
+            | _ -> incr failed)
+          times;
+        Printf.printf
+          "storm: arrivals=%s jobs=%d submitted=%d shed=%d failed=%d \
+           horizon=%.6g\n"
+          (Stats.Scenario.to_string arrivals)
+          count !submitted !shed !failed
+          (if Array.length times = 0 then 0.
+           else times.(Array.length times - 1));
+        !failed = 0
     in
     if not ok then exit 1
   in
@@ -983,7 +1118,8 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ sid_arg $ action_arg $ id_arg
       $ at_arg $ name_arg $ w_arg $ s_arg $ f_arg $ m0_arg $ c0_arg
-      $ footprint_arg $ trace_arg $ metrics_arg)
+      $ footprint_arg $ seed_arg $ storm_arrivals_arg $ storm_sizes_arg
+      $ count_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "client"

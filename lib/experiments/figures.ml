@@ -876,6 +876,57 @@ let footprint ?(config = Runner.default_config) () =
       ~rows;
   ]
 
+let heavytail ?(config = Runner.default_config) () =
+  (* Heavy-tailed job sizes under the online co-scheduler: sweep the
+     Pareto tail index of the size distribution at a fixed Poisson load.
+     As alpha drops toward 1 a few giant jobs dominate the offered work
+     — mean stretch and the response tail blow up while utilization
+     stays high, the signature that motivates the flash-crowd and
+     shedding machinery in lib/serve. *)
+  let platform = Model.Platform.paper_default in
+  let alphas = [ 1.1; 1.3; 1.5; 2.0; 3.0 ] in
+  let scenario =
+    Stats.Scenario.Renewal (Stats.Dist.Exponential { rate = 4. })
+  in
+  let rows =
+    List.map
+      (fun alpha ->
+        let work rng =
+          let stream =
+            Online.Workload_stream.scenario_load ~rng ~platform
+              ~sizes:(Stats.Dist.Pareto { alpha; xm = 1e9 })
+              ~scenario ~dataset:Model.Workload.NpbSynth 24
+          in
+          let report = Online.Service.run ~platform stream in
+          let m = report.Online.Service.metrics in
+          [|
+            m.Online.Metrics.mean_response; m.Online.Metrics.max_response;
+            m.Online.Metrics.mean_stretch; m.Online.Metrics.utilization;
+          |]
+        in
+        let outcome =
+          Runner.run_trials ~config
+            ~tag:(Printf.sprintf "heavytail/alpha=%g" alpha)
+            ~work ()
+        in
+        let accs = online_fold ~ncols:4 outcome in
+        ( alpha,
+          [
+            mean_or_nan accs.(0); max_or_nan accs.(1); mean_or_nan accs.(2);
+            mean_or_nan accs.(3);
+          ] ))
+      alphas
+  in
+  [
+    Report.make ~id:"heavytail"
+      ~title:"Heavy-tailed job sizes online: Pareto(alpha, xm=1e9) work at \
+              Poisson load 4, 24 apps, every-event policy"
+      ~xlabel:"tail index alpha"
+      ~columns:
+        [ "mean response"; "max response"; "mean stretch"; "utilization" ]
+      ~rows;
+  ]
+
 let catalogue =
   [
     ("table2", table2);
@@ -907,6 +958,7 @@ let catalogue =
     ("profiles", profiles);
     ("tracedriven", tracedriven);
     ("footprint", footprint);
+    ("heavytail", heavytail);
   ]
 
 let all_ids = List.map fst catalogue

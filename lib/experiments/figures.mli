@@ -120,6 +120,12 @@ val footprint : ?config:Runner.config -> unit -> Report.figure list
     ({!Theory.Dominant.cache_allocation_capped}) vs naively clamping the
     Theorem 3 shares. *)
 
+val heavytail : ?config:Runner.config -> unit -> Report.figure list
+(** Heavy-tailed job sizes under the online co-scheduler: sweep the
+    Pareto tail index of {!Stats.Dist} work draws at a fixed Poisson
+    load and track response, stretch and utilization as alpha drops
+    toward 1. *)
+
 val all_ids : string list
 (** Every experiment id accepted by {!run}, in presentation order. *)
 

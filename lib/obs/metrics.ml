@@ -114,10 +114,7 @@ let quantile h q =
   locked (fun () ->
       if h.hcount = 0 then 0.
       else begin
-        let target =
-          Stdlib.max 1
-            (int_of_float (Float.ceil (q *. float_of_int h.hcount)))
-        in
+        let target = Util.Stats.Quantile.rank ~count:h.hcount ~q in
         let cum = ref 0 and slot = ref (n_regular + 1) in
         (try
            for k = 0 to n_regular + 1 do

@@ -46,18 +46,46 @@ let poisson ~rng ~rate ~apps =
          { time = !clock; kind = Arrival app })
        (Array.to_list apps))
 
+let mean_alone ~platform apps =
+  let alone =
+    Array.map
+      (fun app ->
+        Model.Exec_model.exe ~app ~platform ~p:platform.Model.Platform.p ~x:1.)
+      apps
+  in
+  Util.Stats.mean alone
+
 let poisson_load ~rng ~platform ~load ~dataset n =
   if not (load > 0. && Float.is_finite load) then
     invalid_arg "Workload_stream.poisson_load: load must be positive and finite";
   let apps = Model.Workload.generate ~rng dataset n in
   if n = 0 then of_events []
+  else poisson ~rng ~rate:(load /. mean_alone ~platform apps) ~apps
+
+let of_arrivals ~apps times =
+  if Array.length apps <> Array.length times then
+    invalid_arg "Workload_stream.of_arrivals: apps and times lengths differ";
+  of_events
+    (List.init (Array.length apps) (fun i ->
+         { time = times.(i); kind = Arrival apps.(i) }))
+
+let scenario ~rng ~scenario ~apps =
+  of_arrivals ~apps (Stats.Scenario.arrival_times ~rng scenario (Array.length apps))
+
+let sized ~rng ~sizes ~dataset n =
+  Stats.Dist.validate sizes;
+  let apps = Model.Workload.generate ~rng dataset n in
+  Array.map (fun app -> Model.App.with_w app (Stats.Dist.sample sizes rng)) apps
+
+let scenario_load ~rng ~platform ?sizes ~scenario:sc ~dataset n =
+  let apps =
+    match sizes with
+    | None -> Model.Workload.generate ~rng dataset n
+    | Some d -> sized ~rng ~sizes:d ~dataset n
+  in
+  if n = 0 then of_events []
   else begin
-    let alone =
-      Array.map
-        (fun app ->
-          Model.Exec_model.exe ~app ~platform ~p:platform.Model.Platform.p ~x:1.)
-        apps
-    in
-    let mean = Util.Stats.mean alone in
-    poisson ~rng ~rate:(load /. mean) ~apps
+    let unit_time = mean_alone ~platform apps in
+    let times = Stats.Scenario.arrival_times ~rng sc n in
+    of_arrivals ~apps (Array.map (fun t -> t *. unit_time) times)
   end

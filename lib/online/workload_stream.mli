@@ -54,3 +54,37 @@ val poisson_load :
     platform: [rate = load / mean alone-time].  The usual entry point of
     the CLI and benches; [load] must be positive and finite.
     @raise Invalid_argument on a bad [load] or [n < 0]. *)
+
+val of_arrivals : apps:Model.App.t array -> float array -> t
+(** [of_arrivals ~apps times] pairs [apps.(i)] with arrival instant
+    [times.(i)] (no departures).
+    @raise Invalid_argument if lengths differ or the times are not
+    nondecreasing, finite and nonnegative. *)
+
+val scenario :
+  rng:Util.Rng.t -> scenario:Stats.Scenario.t -> apps:Model.App.t array -> t
+(** Arrival times drawn from a {!Stats.Scenario} process, in raw model
+    time units (no load normalisation) — one arrival per application, in
+    order.  [scenario ~rng ~scenario:(Renewal (Exponential {rate}))
+    ~apps] reproduces {!poisson} draw-for-draw. *)
+
+val sized :
+  rng:Util.Rng.t -> sizes:Stats.Dist.t -> dataset:Model.Workload.dataset ->
+  int -> Model.App.t array
+(** [sized ~rng ~sizes ~dataset n] draws [n] applications from [dataset]
+    and replaces each work amount [w] with a draw from [sizes] — the
+    heavy-tailed job-size generator beside NPB-SYNTH.  Size draws are in
+    absolute operation counts (the NPB range is 1e8..1e12, so e.g.
+    [pareto:a=1.1,xm=1e9] is a natural heavy-tail choice).
+    @raise Invalid_argument on an invalid distribution, a nonpositive
+    sampled size, or [n < 0]. *)
+
+val scenario_load :
+  rng:Util.Rng.t -> platform:Model.Platform.t -> ?sizes:Stats.Dist.t ->
+  scenario:Stats.Scenario.t -> dataset:Model.Workload.dataset -> int -> t
+(** The scenario counterpart of {!poisson_load}: generates [n]
+    applications (work overridden by [sizes] when given), then scales the
+    scenario's arrival axis by the mean alone-time of the generated set,
+    so scenario rates are in jobs per mean alone-time and
+    [poisson:rate=4] is comparable to [~load:4.].
+    @raise Invalid_argument on invalid specs or [n < 0]. *)

@@ -7,6 +7,7 @@ type config = {
   journal : string option;
   snapshot : string option;
   snapshot_every : int;
+  snapshot_keep : int;
   shed_highwater : int;
   shed_lowwater : int;
   shed_retry_after : float;
@@ -20,6 +21,7 @@ let default_config =
     journal = None;
     snapshot = None;
     snapshot_every = 0;
+    snapshot_keep = 2;
     shed_highwater = 0;
     shed_lowwater = 0;
     shed_retry_after = 0.05;
@@ -51,6 +53,12 @@ type t = {
   journal : Campaign.Journal.t option;
   snapshot_path : string option;
   snapshot_every : int;
+  mutable gen_seqs : int list option;
+      (* Watermarks of the on-disk snapshot generations, newest first;
+         their minimum is the journal-compaction retention floor.
+         [None] until the first checkpoint scans the disk — recovery
+         itself never pays for validating generations it did not
+         restore. *)
   mutable seq : int;
   mutable draining : bool;
   mutable shed : bool;
@@ -136,6 +144,14 @@ let app_of_spec (a : app_spec) =
 
 let completed_of lv = (Online.Service.live_report lv).Online.Service.metrics.completed
 
+(* Every journal key is [verb:<seq>:...]; an unparseable second field
+   means a foreign/corrupt key, reported as [None] so callers treat the
+   entry conservatively. *)
+let seq_of_key key =
+  match String.split_on_char ':' key with
+  | _ :: seq :: _ -> int_of_string_opt seq
+  | _ -> None
+
 (* One journal entry per state mutation, keyed
    [verb:<seq>:<sidhex>:<rid>...] so the journal's first-write-wins
    dedup never collides and a replay can rebuild the idempotency cache.
@@ -191,6 +207,8 @@ let replay_entry lv ~record_dedup (e : Campaign.Journal.entry) =
 let create (config : config) =
   if config.snapshot <> None && config.journal = None then
     invalid_arg "Backend.create: snapshotting requires a journal";
+  if config.snapshot_keep < 1 then
+    invalid_arg "Backend.create: snapshot_keep must be >= 1";
   if config.shed_highwater > 0 && config.shed_lowwater > config.shed_highwater
   then invalid_arg "Backend.create: shed_lowwater must be <= shed_highwater";
   let notices = Queue.create () in
@@ -217,15 +235,22 @@ let create (config : config) =
     | None -> (fresh (), None, 0, 0)
     | Some path ->
       let j = Campaign.Journal.create ~path in
-      (* Recovery prefers the newest valid snapshot: restore the live
-         core from it and replay only the journal entries at or past its
-         sequence watermark — O(live jobs + post-snapshot events) instead
-         of O(history).  An invalid snapshot is quarantined by [load] and
-         recovery falls back to full replay (the journal is only ever
-         compacted against a validated snapshot, so nothing is lost). *)
+      (* Recovery prefers the newest valid snapshot generation: restore
+         the live core from it and replay only the journal entries at or
+         past its sequence watermark — O(live jobs + post-snapshot
+         events) instead of O(history).  An invalid generation is
+         quarantined by [load_generations], which falls back to the next
+         older one; with every generation gone, full replay rebuilds the
+         state (the journal retains entries back to the oldest kept
+         generation's watermark, so nothing is lost). *)
       let lv, watermark =
-        match Option.map (fun p -> Snapshot.load ~path:p) config.snapshot with
-        | Some (Some s) ->
+        match
+          Option.map
+            (fun p ->
+              Snapshot.load_generations ~path:p ~keep:config.snapshot_keep)
+            config.snapshot
+        with
+        | Some (Some (s, _gen)) ->
           let lv =
             Online.Service.live_restore ~config:config.service ~listener
               ~platform:config.platform s.Snapshot.persist
@@ -244,11 +269,18 @@ let create (config : config) =
       and max_seq = ref (if watermark = min_int then -1 else watermark - 1) in
       List.iter
         (fun (e : Campaign.Journal.entry) ->
-          match replay_entry lv ~record_dedup e with
-          | Some s when s >= watermark ->
-            incr applied;
-            if s > !max_seq then max_seq := s
-          | Some _ | None -> ())
+          (* Entries below the restored watermark are already folded into
+             the snapshot; applying them again would double-execute, so
+             they are skipped before touching the core.  (They are only
+             on disk at all to serve OLDER generations as fallbacks.) *)
+          match seq_of_key e.key with
+          | Some s when s < watermark -> ()
+          | _ -> (
+            match replay_entry lv ~record_dedup e with
+            | Some s when s >= watermark ->
+              incr applied;
+              if s > !max_seq then max_seq := s
+            | Some _ | None -> ()))
         (Campaign.Journal.entries j);
       (lv, Some j, !applied, max 0 (!max_seq + 1))
   in
@@ -260,6 +292,7 @@ let create (config : config) =
     journal;
     snapshot_path = config.snapshot;
     snapshot_every = config.snapshot_every;
+    gen_seqs = None;
     seq;
     draining = false;
     shed = false;
@@ -298,12 +331,41 @@ let snapshot_now t =
         dedup;
       }
     in
-    match Snapshot.write ~path s with
+    (* First checkpoint since startup: scan the surviving on-disk
+       generations (pre-rotation) so their watermarks can floor the
+       compaction below.  Deferred to here rather than done in
+       [create] so recovery time stays O(restored generation + tail),
+       not O(all generations). *)
+    let prev_gens =
+      match t.gen_seqs with
+      | Some l -> l
+      | None ->
+        List.map snd
+          (Snapshot.generation_seqs ~path ~keep:t.config.snapshot_keep)
+    in
+    match Snapshot.write ~path ~keep:t.config.snapshot_keep s with
     | Ok () ->
-      (* Every journal entry has sequence < [t.seq] and is folded into
-         the (validated) snapshot — compact the journal to empty.
-         Replay cost from here is O(live jobs). *)
-      Campaign.Journal.rewrite j [];
+      (* Every journal entry with sequence < [t.seq] is folded into the
+         (validated) new generation, but older generations on disk still
+         need their tail: retain entries back to the oldest kept
+         generation's watermark, so falling back N generations during
+         recovery still finds every mutation since that checkpoint.
+         With [snapshot_keep = 1] the floor is [t.seq] and the journal
+         compacts to empty, exactly the single-snapshot behaviour. *)
+      let keep_gens =
+        List.filteri (fun i _ -> i < t.config.snapshot_keep - 1) prev_gens
+      in
+      t.gen_seqs <- Some (t.seq :: keep_gens);
+      let floor = List.fold_left min t.seq keep_gens in
+      let retained =
+        List.filter
+          (fun (e : Campaign.Journal.entry) ->
+            match seq_of_key e.key with
+            | Some s -> s >= floor
+            | None -> true (* unparseable: retain conservatively *))
+          (Campaign.Journal.entries j)
+      in
+      Campaign.Journal.rewrite j retained;
       t.muts_since_snapshot <- 0;
       t.snapshots <- t.snapshots + 1;
       if Obs.Probe.on () then Obs.Metrics.incr m_snapshots;

@@ -18,14 +18,19 @@
     mutations the backend checkpoints the full live-core state
     ({!Online.Service.live_persist}) plus the dedup cache to a
     {!Snapshot} file and — only after the snapshot is written, re-read
-    and validated — compacts the journal to empty.  Recovery then
-    restores from the newest valid snapshot and replays only the
-    entries at or past its sequence watermark, making restart cost
-    O(live jobs + post-snapshot events) instead of O(history).  An
-    invalid snapshot (torn write, injected fault) is quarantined and
-    recovery falls back to full journal replay; since compaction only
-    ever follows a {e validated} snapshot, no committed mutation can be
-    lost to a torn checkpoint.
+    and validated — compacts the journal down to the entries newer than
+    the {e oldest} kept checkpoint.  The last [config.snapshot_keep]
+    validated checkpoints are retained as generations
+    ([path], [path.1], ...); recovery restores from the newest valid
+    one and replays only the entries at or past its sequence watermark,
+    making restart cost O(live jobs + post-snapshot events) instead of
+    O(history).  An invalid generation (torn write, injected fault) is
+    quarantined and recovery falls back generation by generation before
+    resorting to full journal replay; since the journal always retains
+    every mutation since the oldest surviving checkpoint, no committed
+    mutation can be lost to a torn checkpoint — one torn file costs one
+    generation of extra replay, nothing more.  With [snapshot_keep = 1]
+    compaction empties the journal, the pre-generation behaviour.
 
     {2 Exactly-once retries}
 
@@ -65,6 +70,9 @@ type config = {
                                         automatic snapshots; [0] means
                                         only explicit {!snapshot_now}
                                         calls checkpoint. *)
+  snapshot_keep : int;              (** Snapshot generations kept on
+                                        disk (>= 1); recovery falls back
+                                        through them newest-first. *)
   shed_highwater : int;             (** Live jobs at which shed mode
                                         starts; [0] disables shedding. *)
   shed_lowwater : int;              (** Live jobs at which shed mode
@@ -75,7 +83,8 @@ type config = {
 
 val default_config : config
 (** Paper-default platform, service defaults, depth 1024, no journal,
-    no snapshotting, no shedding, 50 ms retry hint. *)
+    no snapshotting (2 generations kept once enabled), no shedding,
+    50 ms retry hint. *)
 
 type t
 (** A backend instance owning the live core, journal handle and dedup
@@ -89,8 +98,9 @@ val create : config -> t
     the journal re-runs the drain but does {e not} leave the restarted
     backend in draining state.
 
-    @raise Invalid_argument if [snapshot] is set without [journal], or
-    [shed_lowwater > shed_highwater] while shedding is enabled. *)
+    @raise Invalid_argument if [snapshot] is set without [journal],
+    [snapshot_keep < 1], or [shed_lowwater > shed_highwater] while
+    shedding is enabled. *)
 
 val now : t -> float
 (** Current model time of the live core. *)
@@ -120,11 +130,14 @@ val live_jobs : t -> int
 (** Jobs admitted but not yet finished or cancelled. *)
 
 val snapshot_now : t -> (unit, string) result
-(** Checkpoint immediately: persist the live core + dedup cache to the
-    configured snapshot path and, on success, compact the journal to
-    empty.  [Error reason] when snapshotting is not configured or the
-    written file failed validation (in which case the journal is left
-    untouched and recovery still has full history). *)
+(** Checkpoint immediately: rotate the surviving generations, persist
+    the live core + dedup cache to the configured snapshot path and, on
+    success, compact the journal down to the entries at or past the
+    oldest kept generation's watermark (to empty when
+    [snapshot_keep = 1]).  [Error reason] when snapshotting is not
+    configured or the written file failed validation (in which case the
+    journal and existing generations are left untouched and recovery
+    still has full history). *)
 
 val take_notices : t -> Online.Service.notice list
 (** Drain the notices (re-solves, completions) the live core emitted

@@ -9,6 +9,11 @@ let format_version = 1
 let quarantine_path path = path ^ ".quarantine"
 let tmp_path path = path ^ ".tmp"
 
+let generation_path path k =
+  if k < 0 then invalid_arg "Snapshot.generation_path: negative generation"
+  else if k = 0 then path
+  else Printf.sprintf "%s.%d" path k
+
 (* --- rendering ---------------------------------------------------------- *)
 
 let buf_escaped b s =
@@ -279,7 +284,40 @@ let load ~path =
       (try Sys.rename path (quarantine_path path) with Sys_error _ -> ());
       None
 
-let write ~path t =
+let load_generations ~path ~keep =
+  if keep < 1 then invalid_arg "Snapshot.load_generations: keep must be >= 1";
+  let rec go k =
+    if k >= keep then None
+    else
+      match load ~path:(generation_path path k) with
+      | Some t -> Some (t, k)
+      | None -> go (k + 1)
+  in
+  go 0
+
+let generation_seqs ~path ~keep =
+  if keep < 1 then invalid_arg "Snapshot.generation_seqs: keep must be >= 1";
+  List.filter_map
+    (fun k ->
+      let p = generation_path path k in
+      if Sys.file_exists p then
+        match parse_file p with Ok t -> Some (k, t.seq) | Error _ -> None
+      else None)
+    (List.init keep Fun.id)
+
+(* Shift surviving generations one slot down (k -> k+1, newest first so
+   nothing is clobbered); the oldest slot falls off the end.  Each step
+   is an atomic rename, so a crash mid-rotation leaves every slot either
+   its old or its new valid snapshot — never a torn file. *)
+let rotate ~path ~keep =
+  for k = keep - 2 downto 0 do
+    let src = generation_path path k in
+    if Sys.file_exists src then
+      try Sys.rename src (generation_path path (k + 1)) with Sys_error _ -> ()
+  done
+
+let write ~path ?(keep = 1) t =
+  if keep < 1 then invalid_arg "Snapshot.write: keep must be >= 1";
   let payload = render t in
   (* The fault-injection site: an armed harness can tear the payload
      line, exactly like a crash mid-write would. *)
@@ -298,6 +336,7 @@ let write ~path t =
      compacted against an unproven one. *)
   match parse_file tmp with
   | Ok _ ->
+    if keep > 1 then rotate ~path ~keep;
     Sys.rename tmp path;
     Ok ()
   | Error m ->

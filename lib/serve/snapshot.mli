@@ -16,7 +16,15 @@
     [path ^ ".quarantine"] and returns [None], at which point the backend
     falls back to full journal replay.  Floats round-trip through
     17-significant-digit text, so a restore is bit-identical
-    (see {!Online.Service.live_restore}). *)
+    (see {!Online.Service.live_restore}).
+
+    Snapshots are kept in {e generations}: on publish with [keep = N],
+    the previous checkpoint is rotated to [path.1], that one to [path.2]
+    and so on, the oldest falling off the end.  Recovery
+    ({!load_generations}) walks generation by generation — newest first,
+    quarantining invalid files — before the backend resorts to full
+    replay, so one torn checkpoint costs one generation of replay, not
+    the whole history. *)
 
 type t = {
   seq : int;
@@ -33,17 +41,38 @@ val format_version : int
 val quarantine_path : string -> string
 (** Where {!load} preserves an invalid snapshot: [path ^ ".quarantine"]. *)
 
-val write : path:string -> t -> (unit, string) result
-(** Write, validate, then atomically publish a snapshot.  [Error reason]
-    means the written bytes failed re-validation (torn write — injected
-    or real); the previous snapshot, if any, is left in place and the
-    tmp file is removed.  Callers must not compact the journal on
-    [Error]. *)
+val generation_path : string -> int -> string
+(** [generation_path path k] is where generation [k] lives: [path]
+    itself for [k = 0] (the newest), [path.k] for older ones.
+    @raise Invalid_argument on a negative [k]. *)
+
+val write : path:string -> ?keep:int -> t -> (unit, string) result
+(** Write, validate, then atomically publish a snapshot.  With
+    [keep > 1] (default 1), surviving generations are rotated one slot
+    down first, so the last [keep] validated checkpoints stay on disk.
+    [Error reason] means the written bytes failed re-validation (torn
+    write — injected or real); the previous snapshot, if any, is left in
+    place (unrotated) and the tmp file is removed.  Callers must not
+    compact the journal on [Error].
+    @raise Invalid_argument if [keep < 1]. *)
 
 val load : path:string -> t option
 (** The published snapshot, if present and valid.  An invalid file is
     quarantined and reported as [None] (recovery then replays the full
     journal). *)
+
+val load_generations : path:string -> keep:int -> (t * int) option
+(** Walk generations newest-first: the first valid one is returned with
+    its generation index; invalid files along the way are quarantined
+    (each to its own [.quarantine]).  [None] means no generation was
+    usable and recovery must replay the whole journal.
+    @raise Invalid_argument if [keep < 1]. *)
+
+val generation_seqs : path:string -> keep:int -> (int * int) list
+(** [(generation, seq)] of every valid on-disk generation, newest first,
+    without quarantining anything — the backend uses the oldest seq as
+    its journal-compaction retention floor.
+    @raise Invalid_argument if [keep < 1]. *)
 
 val validate : path:string -> (t, string) result
 (** Non-destructive check used by [cosched journal]: parse and verify

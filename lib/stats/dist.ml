@@ -1,0 +1,417 @@
+type exponential = { rate : float }
+type pareto = { alpha : float; xm : float }
+type lognormal = { mu : float; sigma : float }
+type weibull = { shape : float; scale : float }
+
+module type S = sig
+  type params
+
+  val validate : params -> unit
+  val mean : params -> float
+  val pdf : params -> float -> float
+  val cdf : params -> float -> float
+  val quantile : params -> float -> float
+  val sample : params -> Util.Rng.t -> float
+end
+
+let check_pos name x =
+  if not (Float.is_finite x && x > 0.) then
+    invalid_arg (Printf.sprintf "Dist: %s must be positive and finite (got %g)" name x)
+
+let check_finite name x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "Dist: %s must be finite (got %g)" name x)
+
+let check_q q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg (Printf.sprintf "Dist.quantile: q outside [0,1] (got %g)" q)
+
+(* Complementary error function, rational Chebyshev approximation
+   (Numerical Recipes 6.2); |relative error| < 1.2e-7 everywhere. *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let tau =
+    t
+    *. exp
+         ((-.z *. z) -. 1.26551223
+         +. (t
+             *. (1.00002368
+                +. (t
+                    *. (0.37409196
+                       +. (t
+                           *. (0.09678418
+                              +. (t
+                                  *. (-0.18628806
+                                     +. (t
+                                         *. (0.27886807
+                                            +. (t
+                                                *. (-1.13520398
+                                                   +. (t
+                                                       *. (1.48851587
+                                                          +. (t
+                                                              *. (-0.82215223
+                                                                 +. (t *. 0.17087277)
+                                                                 )))))))))))))))))
+  in
+  if x >= 0. then tau else 2. -. tau
+
+let sqrt2 = sqrt 2.
+let normal_cdf z = 0.5 *. erfc (-.z /. sqrt2)
+
+(* Acklam's inverse normal cdf approximation: |relative error| < 1.15e-9
+   on (0, 1).  Endpoints map to infinities. *)
+let normal_quantile p =
+  if p <= 0. then neg_infinity
+  else if p >= 1. then infinity
+  else begin
+    let a1 = -3.969683028665376e+01 and a2 = 2.209460984245205e+02 in
+    let a3 = -2.759285104469687e+02 and a4 = 1.383577518672690e+02 in
+    let a5 = -3.066479806614716e+01 and a6 = 2.506628277459239e+00 in
+    let b1 = -5.447609879822406e+01 and b2 = 1.615858368580409e+02 in
+    let b3 = -1.556989798598866e+02 and b4 = 6.680131188771972e+01 in
+    let b5 = -1.328068155288572e+01 in
+    let c1 = -7.784894002430293e-03 and c2 = -3.223964580411365e-01 in
+    let c3 = -2.400758277161838e+00 and c4 = -2.549732539343734e+00 in
+    let c5 = 4.374664141464968e+00 and c6 = 2.938163982698783e+00 in
+    let d1 = 7.784695709041462e-03 and d2 = 3.224671290700398e-01 in
+    let d3 = 2.445134137142996e+00 and d4 = 3.754408661907416e+00 in
+    let p_low = 0.02425 in
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      (((((c1 *. q) +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6
+      |> fun num ->
+      num /. (((((d1 *. q) +. d2) *. q +. d3) *. q +. d4) *. q +. 1.)
+    end
+    else if p > 1. -. p_low then begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.(((((((c1 *. q) +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6)
+         /. (((((d1 *. q) +. d2) *. q +. d3) *. q +. d4) *. q +. 1.))
+    end
+    else begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a1 *. r) +. a2) *. r +. a3) *. r +. a4) *. r +. a5) *. r +. a6
+      |> fun num ->
+      num *. q
+      /. ((((((b1 *. r) +. b2) *. r +. b3) *. r +. b4) *. r +. b5) *. r +. 1.)
+    end
+  end
+
+(* Lanczos approximation (g = 7, 9 terms) of the gamma function for
+   positive arguments — only needed for the Weibull mean. *)
+let gamma_pos z =
+  let coef =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  let g = 7. in
+  let z = z -. 1. in
+  let x = ref coef.(0) in
+  for i = 1 to 8 do
+    x := !x +. (coef.(i) /. (z +. float_of_int i))
+  done;
+  let t = z +. g +. 0.5 in
+  sqrt (2. *. Float.pi) *. (t ** (z +. 0.5)) *. exp (-.t) *. !x
+
+module Exponential = struct
+  type params = exponential
+
+  let validate { rate } = check_pos "exp rate" rate
+  let mean { rate } = 1. /. rate
+  let pdf { rate } x = if x < 0. then 0. else rate *. exp (-.rate *. x)
+  let cdf { rate } x = if x < 0. then 0. else -.Float.expm1 (-.rate *. x)
+
+  let quantile { rate } q =
+    check_q q;
+    if q = 1. then infinity else -.Float.log1p (-.q) /. rate
+
+  let sample { rate } rng = Util.Rng.exponential rng rate
+end
+
+module Pareto = struct
+  type params = pareto
+
+  let validate { alpha; xm } =
+    check_pos "pareto alpha" alpha;
+    check_pos "pareto xm" xm
+
+  let mean { alpha; xm } =
+    if alpha <= 1. then infinity else alpha *. xm /. (alpha -. 1.)
+
+  let pdf { alpha; xm } x =
+    if x < xm then 0. else alpha *. (xm ** alpha) /. (x ** (alpha +. 1.))
+
+  let cdf { alpha; xm } x = if x < xm then 0. else 1. -. ((xm /. x) ** alpha)
+
+  let quantile { alpha; xm } q =
+    check_q q;
+    if q = 1. then infinity else xm *. ((1. -. q) ** (-1. /. alpha))
+
+  let sample p rng =
+    (* Inversion on 1 - u with u uniform in [0, 1): never hits q = 1. *)
+    let u = Util.Rng.float rng 1.0 in
+    p.xm *. ((1. -. u) ** (-1. /. p.alpha))
+end
+
+module Lognormal = struct
+  type params = lognormal
+
+  let validate { mu; sigma } =
+    check_finite "lognormal mu" mu;
+    check_pos "lognormal sigma" sigma
+
+  let mean { mu; sigma } = exp (mu +. (0.5 *. sigma *. sigma))
+
+  let pdf { mu; sigma } x =
+    if x <= 0. then 0.
+    else
+      let z = (log x -. mu) /. sigma in
+      exp (-0.5 *. z *. z) /. (x *. sigma *. sqrt (2. *. Float.pi))
+
+  let cdf { mu; sigma } x =
+    if x <= 0. then 0. else normal_cdf ((log x -. mu) /. sigma)
+
+  let quantile { mu; sigma } q =
+    check_q q;
+    if q = 0. then 0.
+    else if q = 1. then infinity
+    else exp (mu +. (sigma *. normal_quantile q))
+
+  let sample { mu; sigma } rng = exp (Util.Rng.normal rng mu sigma)
+end
+
+module Weibull = struct
+  type params = weibull
+
+  let validate { shape; scale } =
+    check_pos "weibull shape" shape;
+    check_pos "weibull scale" scale
+
+  let mean { shape; scale } = scale *. gamma_pos (1. +. (1. /. shape))
+
+  let pdf { shape; scale } x =
+    if x < 0. then 0.
+    else if x = 0. then if shape < 1. then infinity else if shape = 1. then 1. /. scale else 0.
+    else
+      let r = x /. scale in
+      shape /. scale *. (r ** (shape -. 1.)) *. exp (-.(r ** shape))
+
+  let cdf { shape; scale } x =
+    if x <= 0. then 0. else -.Float.expm1 (-.((x /. scale) ** shape))
+
+  let quantile { shape; scale } q =
+    check_q q;
+    if q = 1. then infinity
+    else scale *. ((-.Float.log1p (-.q)) ** (1. /. shape))
+
+  let sample { shape; scale } rng =
+    scale *. (Util.Rng.exponential rng 1.0 ** (1. /. shape))
+end
+
+type t =
+  | Exponential of exponential
+  | Pareto of pareto
+  | Lognormal of lognormal
+  | Weibull of weibull
+  | Mixture of (float * t) list
+
+let rec validate = function
+  | Exponential p -> Exponential.validate p
+  | Pareto p -> Pareto.validate p
+  | Lognormal p -> Lognormal.validate p
+  | Weibull p -> Weibull.validate p
+  | Mixture [] -> invalid_arg "Dist: empty mixture"
+  | Mixture comps ->
+    List.iter
+      (fun (w, d) ->
+        check_pos "mixture weight" w;
+        validate d)
+      comps
+
+let total_weight comps = List.fold_left (fun acc (w, _) -> acc +. w) 0. comps
+
+let rec name = function
+  | Exponential { rate } -> Printf.sprintf "exp(rate=%g)" rate
+  | Pareto { alpha; xm } -> Printf.sprintf "pareto(a=%g,xm=%g)" alpha xm
+  | Lognormal { mu; sigma } -> Printf.sprintf "lognormal(mu=%g,sigma=%g)" mu sigma
+  | Weibull { shape; scale } -> Printf.sprintf "weibull(k=%g,scale=%g)" shape scale
+  | Mixture comps ->
+    let total = total_weight comps in
+    comps
+    |> List.map (fun (w, d) -> Printf.sprintf "%g*%s" (w /. total) (name d))
+    |> String.concat " + "
+    |> Printf.sprintf "mix(%s)"
+
+let rec mean = function
+  | Exponential p -> Exponential.mean p
+  | Pareto p -> Pareto.mean p
+  | Lognormal p -> Lognormal.mean p
+  | Weibull p -> Weibull.mean p
+  | Mixture comps ->
+    let total = total_weight comps in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean d)) 0. comps
+
+let rec support = function
+  | Exponential _ | Lognormal _ | Weibull _ -> (0., infinity)
+  | Pareto { xm; _ } -> (xm, infinity)
+  | Mixture comps ->
+    List.fold_left
+      (fun (lo, hi) (_, d) ->
+        let l, h = support d in
+        (Float.min lo l, Float.max hi h))
+      (infinity, neg_infinity) comps
+
+let rec pdf d x =
+  match d with
+  | Exponential p -> Exponential.pdf p x
+  | Pareto p -> Pareto.pdf p x
+  | Lognormal p -> Lognormal.pdf p x
+  | Weibull p -> Weibull.pdf p x
+  | Mixture comps ->
+    let total = total_weight comps in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. pdf d x)) 0. comps
+
+let rec cdf d x =
+  match d with
+  | Exponential p -> Exponential.cdf p x
+  | Pareto p -> Pareto.cdf p x
+  | Lognormal p -> Lognormal.cdf p x
+  | Weibull p -> Weibull.cdf p x
+  | Mixture comps ->
+    let total = total_weight comps in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. cdf d x)) 0. comps
+
+let quantile d q =
+  match d with
+  | Exponential p -> Exponential.quantile p q
+  | Pareto p -> Pareto.quantile p q
+  | Lognormal p -> Lognormal.quantile p q
+  | Weibull p -> Weibull.quantile p q
+  | Mixture _ ->
+    check_q q;
+    let lo, _ = support d in
+    if q = 0. then lo
+    else if q = 1. then infinity
+    else begin
+      (* cdf is monotone: bracket [lo, hi] with cdf hi >= q by doubling,
+         then bisect cdf x = q. *)
+      let hi = ref (Float.max 1. (2. *. Float.max lo 0.5)) in
+      let guard = ref 0 in
+      while cdf d !hi < q && !guard < 300 do
+        hi := !hi *. 2.;
+        incr guard
+      done;
+      Util.Solver.bisect ~f:(fun x -> cdf d x -. q) lo !hi
+    end
+
+let rec sample d rng =
+  match d with
+  | Exponential p -> Exponential.sample p rng
+  | Pareto p -> Pareto.sample p rng
+  | Lognormal p -> Lognormal.sample p rng
+  | Weibull p -> Weibull.sample p rng
+  | Mixture comps ->
+    let total = total_weight comps in
+    let u = Util.Rng.float rng total in
+    let rec pick acc = function
+      | [] -> snd (List.hd comps)
+      | (w, d) :: rest -> if u < acc +. w then d else pick (acc +. w) rest
+    in
+    sample (pick 0. comps) rng
+
+let sample_array d rng n =
+  if n < 0 then invalid_arg "Dist.sample_array: negative count";
+  Array.init n (fun _ -> sample d rng)
+
+(* --- CLI spec parsing ------------------------------------------------- *)
+
+let parse_fields spec body =
+  body |> String.split_on_char ','
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun kv ->
+         match String.index_opt kv '=' with
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Dist.of_string: %S: expected key=value, got %S" spec kv)
+         | Some i ->
+           let k = String.trim (String.sub kv 0 i) in
+           let v = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+           (match float_of_string_opt v with
+           | Some f -> (String.lowercase_ascii k, f)
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Dist.of_string: %S: %s is not a number (%S)" spec k v)))
+
+let field fields aliases =
+  match List.find_opt (fun (k, _) -> List.mem k aliases) fields with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let require spec fields aliases =
+  match field fields aliases with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dist.of_string: %S: missing %s=" spec (List.hd aliases))
+
+let of_string spec =
+  let spec = String.trim spec in
+  let family, body =
+    match String.index_opt spec ':' with
+    | None -> (String.lowercase_ascii spec, "")
+    | Some i ->
+      ( String.lowercase_ascii (String.sub spec 0 i),
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  let fields = parse_fields spec body in
+  let d =
+    match family with
+    | "exp" | "exponential" | "poisson" -> (
+      match (field fields [ "rate"; "lambda" ], field fields [ "mean" ]) with
+      | Some rate, _ -> Exponential { rate }
+      | None, Some m when m > 0. -> Exponential { rate = 1. /. m }
+      | None, Some m ->
+        invalid_arg (Printf.sprintf "Dist.of_string: %S: mean must be positive (got %g)" spec m)
+      | None, None ->
+        invalid_arg (Printf.sprintf "Dist.of_string: %S: missing rate= (or mean=)" spec))
+    | "pareto" ->
+      Pareto
+        { alpha = require spec fields [ "a"; "alpha" ];
+          xm = require spec fields [ "xm"; "min"; "scale" ] }
+    | "lognormal" | "lognorm" ->
+      Lognormal
+        { mu = require spec fields [ "mu" ]; sigma = require spec fields [ "sigma" ] }
+    | "weibull" ->
+      Weibull
+        { shape = require spec fields [ "k"; "shape" ];
+          scale = require spec fields [ "scale"; "lambda" ] }
+    | "hyperexp" | "hyperexponential" ->
+      let p = require spec fields [ "p" ] in
+      let m1 = require spec fields [ "mean1" ] in
+      let m2 = require spec fields [ "mean2" ] in
+      if p <= 0. || p >= 1. then
+        invalid_arg
+          (Printf.sprintf "Dist.of_string: %S: p must be in (0,1) (got %g)" spec p);
+      if m1 <= 0. || m2 <= 0. then
+        invalid_arg (Printf.sprintf "Dist.of_string: %S: means must be positive" spec);
+      Mixture
+        [ (p, Exponential { rate = 1. /. m1 });
+          (1. -. p, Exponential { rate = 1. /. m2 }) ]
+    | other ->
+      invalid_arg
+        (Printf.sprintf
+           "Dist.of_string: unknown family %S (expected exp, pareto, lognormal, \
+            weibull or hyperexp)"
+           other)
+  in
+  validate d;
+  d
+
+let to_string = function
+  | Exponential { rate } -> Printf.sprintf "exp:rate=%g" rate
+  | Pareto { alpha; xm } -> Printf.sprintf "pareto:a=%g,xm=%g" alpha xm
+  | Lognormal { mu; sigma } -> Printf.sprintf "lognormal:mu=%g,sigma=%g" mu sigma
+  | Weibull { shape; scale } -> Printf.sprintf "weibull:k=%g,scale=%g" shape scale
+  | Mixture _ as d -> name d

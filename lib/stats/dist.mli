@@ -1,0 +1,148 @@
+(** Heavy-tailed and light-tailed sampling distributions.
+
+    The paper's experiments (and every figure in this repo before PR 8)
+    assume Poisson arrivals and uniform NPB-SYNTH work draws; the
+    co-scheduling literature evaluates exactly the opposite regime —
+    bursty arrivals and heavy-tailed job sizes.  This module provides the
+    four families that cover that space (Exponential, Pareto type I,
+    Lognormal, Weibull) plus finite mixtures, each with density,
+    distribution function, quantile, analytic mean and seeded sampling
+    via {!Util.Rng}.  Parameters are validated eagerly so a bad CLI spec
+    fails at parse time, not deep inside a campaign.
+
+    Every sampler is a pure function of the generator state, so streams
+    are exactly reproducible from a seed — the repo-wide determinism
+    contract. *)
+
+type exponential = { rate : float  (** Events per unit time, [> 0]. *) }
+(** Parameters of the exponential distribution Exp([rate]). *)
+
+type pareto = {
+  alpha : float;  (** Tail index, [> 0]; heavier tails for smaller values. *)
+  xm : float;  (** Scale = minimum possible value, [> 0]. *)
+}
+(** Parameters of the Pareto type-I distribution. *)
+
+type lognormal = {
+  mu : float;  (** Mean of the underlying normal (log scale). *)
+  sigma : float;  (** Standard deviation of the underlying normal, [> 0]. *)
+}
+(** Parameters of the lognormal distribution: [exp N(mu, sigma^2)]. *)
+
+type weibull = {
+  shape : float;  (** Shape [k > 0]; [k < 1] gives a heavy-ish tail. *)
+  scale : float;  (** Scale [lambda > 0]. *)
+}
+(** Parameters of the Weibull distribution. *)
+
+(** Module type implemented by each base family: a parameter record plus
+    the standard distribution functions.  Mirrors the module-type-driven
+    layout of classic OCaml distribution libraries so new families slot
+    in without touching the packed {!t} operations. *)
+module type S = sig
+  type params
+  (** Family-specific parameter record. *)
+
+  val validate : params -> unit
+  (** Check parameter ranges.
+      @raise Invalid_argument naming the offending field. *)
+
+  val mean : params -> float
+  (** Analytic mean; [infinity] when the mean diverges (Pareto with
+      [alpha <= 1]). *)
+
+  val pdf : params -> float -> float
+  (** Probability density at a point ([0.] outside the support). *)
+
+  val cdf : params -> float -> float
+  (** Cumulative distribution function ([0.] below the support). *)
+
+  val quantile : params -> float -> float
+  (** Inverse cdf for [q] in [0, 1]; [q = 1] may return [infinity].
+      @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+  val sample : params -> Util.Rng.t -> float
+  (** One seeded draw (inversion or a dedicated transform). *)
+end
+
+module Exponential : S with type params = exponential
+(** Exp(rate): cdf [1 - exp (-rate x)]; sampled via {!Util.Rng.exponential}. *)
+
+module Pareto : S with type params = pareto
+(** Pareto type I: cdf [1 - (xm / x)^alpha] on [x >= xm]; sampled by
+    inversion.  The canonical heavy tail: infinite variance for
+    [alpha <= 2], infinite mean for [alpha <= 1]. *)
+
+module Lognormal : S with type params = lognormal
+(** Lognormal: [exp N(mu, sigma^2)].  The cdf uses an [erfc] rational
+    approximation (|error| < 1.2e-7) and the quantile Acklam's inverse
+    normal approximation; sampling goes through Box–Muller
+    ({!Util.Rng.normal}), so sampler and cdf agree to far better than any
+    Kolmogorov–Smirnov resolution used in the tests. *)
+
+module Weibull : S with type params = weibull
+(** Weibull(shape, scale): cdf [1 - exp (-(x / scale)^shape)]; sampled as
+    [scale * e^(1/shape)] with [e] a unit exponential draw. *)
+
+type t =
+  | Exponential of exponential  (** Exp(rate). *)
+  | Pareto of pareto  (** Pareto type I (alpha, xm). *)
+  | Lognormal of lognormal  (** Lognormal (mu, sigma). *)
+  | Weibull of weibull  (** Weibull (shape, scale). *)
+  | Mixture of (float * t) list
+      (** Finite mixture of weighted components; weights must be positive
+          and finite and are normalised by their sum. *)
+
+(** A packed distribution: one of the four base families or a finite
+    mixture (possibly nested). *)
+
+val validate : t -> unit
+(** Validate all parameters (recursively for mixtures).
+    @raise Invalid_argument naming the offending field or weight. *)
+
+val name : t -> string
+(** Compact human-readable label, e.g. ["pareto(a=1.5,xm=0.2)"]; mixtures
+    render their weighted components. *)
+
+val mean : t -> float
+(** Analytic mean ([infinity] when divergent; mixtures containing a
+    divergent component are [infinity]). *)
+
+val support : t -> float * float
+(** [(lo, hi)] bounds of the support; [hi] is [infinity] for every family
+    here.  Mixture support is the union envelope of its components. *)
+
+val pdf : t -> float -> float
+(** Probability density at a point ([0.] outside the support). *)
+
+val cdf : t -> float -> float
+(** Cumulative distribution function.  Monotone nondecreasing, [0.]
+    below the support, tends to [1.] at [infinity]. *)
+
+val quantile : t -> float -> float
+(** Inverse cdf for [q] in [0, 1].  Closed form for base families;
+    mixtures invert {!cdf} by bisection ({!Util.Solver.bisect}) on a
+    geometrically expanded bracket.
+    @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+val sample : t -> Util.Rng.t -> float
+(** One seeded draw.  Mixtures first pick a component in proportion to
+    its weight, then sample it. *)
+
+val sample_array : t -> Util.Rng.t -> int -> float array
+(** [sample_array d rng n] draws [n] values in stream order.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_string : string -> t
+(** Parse a CLI spec of the form [family:key=value,...]:
+    [exp:rate=2] (or [exp:mean=0.5]), [pareto:a=1.5,xm=0.2],
+    [lognormal:mu=0,sigma=1.2], [weibull:k=0.7,scale=2], and the
+    two-phase hyperexponential [hyperexp:p=0.9,mean1=0.5,mean2=50]
+    (a mixture of two exponentials — the classic tractable heavy-tail
+    stand-in).  Keys accept aliases ([a]/[alpha], [k]/[shape]).
+    @raise Invalid_argument with the offending spec and reason. *)
+
+val to_string : t -> string
+(** Render a base family back to its parseable spec (inverse of
+    {!of_string} up to float formatting).  Mixtures render as a label
+    (see {!name}) and are not guaranteed to re-parse. *)

@@ -1,0 +1,78 @@
+let check name xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg (name ^ ": need at least 2 observations");
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x && x > 0.) then
+        invalid_arg (name ^ ": observations must be positive and finite"))
+    xs
+
+let degenerate xs =
+  let x0 = xs.(0) in
+  Array.for_all (fun x -> x = x0) xs
+
+let exponential xs =
+  check "Fit.exponential" xs;
+  Dist.Exponential { rate = 1. /. Util.Stats.mean xs }
+
+let pareto xs =
+  check "Fit.pareto" xs;
+  if degenerate xs then invalid_arg "Fit.pareto: degenerate (all-equal) sample";
+  let xm = fst (Util.Stats.min_max xs) in
+  let sum_log = Array.fold_left (fun acc x -> acc +. log (x /. xm)) 0. xs in
+  Dist.Pareto { alpha = float_of_int (Array.length xs) /. sum_log; xm }
+
+let lognormal xs =
+  check "Fit.lognormal" xs;
+  if degenerate xs then invalid_arg "Fit.lognormal: degenerate (all-equal) sample";
+  let logs = Array.map log xs in
+  let mu = Util.Stats.mean logs in
+  let n = float_of_int (Array.length logs) in
+  let ss = Array.fold_left (fun acc l -> acc +. ((l -. mu) *. (l -. mu))) 0. logs in
+  Dist.Lognormal { mu; sigma = sqrt (ss /. n) }
+
+let weibull xs =
+  check "Fit.weibull" xs;
+  if degenerate xs then invalid_arg "Fit.weibull: degenerate (all-equal) sample";
+  (* Normalise by the geometric mean: the shape equation is scale-free and
+     y^k stays near 1 instead of overflowing for 1e12-sized work values. *)
+  let gm = Util.Stats.geomean xs in
+  let ys = Array.map (fun x -> x /. gm) xs in
+  let logs = Array.map log ys in
+  let mean_log = Util.Stats.mean logs in
+  let sums k =
+    let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. in
+    Array.iteri
+      (fun i y ->
+        let yk = y ** k in
+        let l = logs.(i) in
+        s0 := !s0 +. yk;
+        s1 := !s1 +. (yk *. l);
+        s2 := !s2 +. (yk *. l *. l))
+      ys;
+    (!s0, !s1, !s2)
+  in
+  let f k =
+    let s0, s1, _ = sums k in
+    (s1 /. s0) -. (1. /. k) -. mean_log
+  in
+  let df k =
+    let s0, s1, s2 = sums k in
+    let r = s1 /. s0 in
+    (s2 /. s0) -. (r *. r) +. (1. /. (k *. k))
+  in
+  (* Standard moment-based initial guess; f is increasing in k, so the wide
+     bracket hands Newton a guaranteed bisection fallback. *)
+  let sd = Util.Stats.stddev logs in
+  let k0 = Float.max 1e-2 (Float.min 1e2 (1.2 /. Float.max sd 1e-6)) in
+  let shape = Util.Solver.newton ~bracket:(1e-3, 1e3) ~f ~df k0 in
+  let s0, _, _ = sums shape in
+  let scale_norm = (s0 /. float_of_int (Array.length ys)) ** (1. /. shape) in
+  Dist.Weibull { shape; scale = gm *. scale_norm }
+
+let log_likelihood d xs =
+  Array.fold_left
+    (fun acc x ->
+      let p = Dist.pdf d x in
+      if p > 0. then acc +. log p else neg_infinity)
+    0. xs

@@ -1,0 +1,42 @@
+(** Maximum-likelihood fitting for the base distribution families.
+
+    Exponential, Pareto and lognormal have closed-form maximum-likelihood
+    estimators; Weibull needs one-dimensional root finding on its shape
+    profile, done here with the safeguarded Newton iteration of
+    {!Util.Solver.newton} (bisection fallback on a wide bracket).  A
+    fitted distribution can then be fed to {!Gof} to test whether the
+    sample is actually consistent with the family — fit quality is a
+    statistical claim here, not an eyeball judgement.
+
+    All fitters require a sample of positive, finite values ([n >= 2])
+    and raise [Invalid_argument] otherwise; degenerate all-equal samples
+    are rejected where the family cannot represent them (Pareto,
+    lognormal, Weibull). *)
+
+val exponential : float array -> Dist.t
+(** MLE [rate = 1 / sample mean].
+    @raise Invalid_argument on short, nonpositive or non-finite data. *)
+
+val pareto : float array -> Dist.t
+(** MLE [xm = min x], [alpha = n / sum (log (x / xm))] (the Hill
+    estimator at full depth).
+    @raise Invalid_argument on degenerate (all-equal) samples. *)
+
+val lognormal : float array -> Dist.t
+(** MLE [mu = mean (log x)], [sigma = sqrt (mean ((log x - mu)^2))] (the
+    biased / maximum-likelihood variance, not the unbiased one).
+    @raise Invalid_argument on degenerate samples. *)
+
+val weibull : float array -> Dist.t
+(** Newton iteration on the profile-likelihood shape equation
+    [sum x^k log x / sum x^k - 1/k = mean (log x)], then the closed-form
+    scale [(mean x^k)^(1/k)].  Data is normalised by its geometric mean
+    before exponentiation so [x^k] cannot overflow for workload-sized
+    magnitudes (1e8..1e12).
+    @raise Invalid_argument on degenerate samples or if the iteration
+    leaves the bracket [1e-3, 1e3]. *)
+
+val log_likelihood : Dist.t -> float array -> float
+(** Sum of log densities of the sample under the distribution;
+    [neg_infinity] if any point has zero density (e.g. below a Pareto
+    [xm]).  Useful for comparing candidate fits. *)

@@ -1,0 +1,89 @@
+type verdict = { statistic : float; critical : float; alpha : float; pass : bool }
+
+let sorted_sample name xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg (name ^ ": empty sample");
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then invalid_arg (name ^ ": non-finite observation"))
+    xs;
+  let b = Array.copy xs in
+  Array.sort compare b;
+  b
+
+let ks_statistic ~cdf xs =
+  let b = sorted_sample "Gof.ks_statistic" xs in
+  let n = float_of_int (Array.length b) in
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let fx = cdf x in
+      let hi = (float_of_int (i + 1) /. n) -. fx in
+      let lo = fx -. (float_of_int i /. n) in
+      if hi > !d then d := hi;
+      if lo > !d then d := lo)
+    b;
+  !d
+
+(* Stephens (1970) adjusted sample size: lambda = (sqrt n + 0.12 +
+   0.11/sqrt n) * D is compared against the asymptotic Kolmogorov law. *)
+let stephens_factor n =
+  let sn = sqrt (float_of_int n) in
+  sn +. 0.12 +. (0.11 /. sn)
+
+let ks_critical ~n ~alpha =
+  if n <= 0 then invalid_arg "Gof.ks_critical: n must be positive";
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Gof.ks_critical: alpha outside (0,1)";
+  sqrt (log (2. /. alpha) /. 2.) /. stephens_factor n
+
+let ks_pvalue ~n d =
+  if n <= 0 then invalid_arg "Gof.ks_pvalue: n must be positive";
+  let lambda = stephens_factor n *. d in
+  if lambda <= 0. then 1.
+  else begin
+    let sum = ref 0. in
+    for k = 1 to 101 do
+      let fk = float_of_int k in
+      let term = exp (-2. *. fk *. fk *. lambda *. lambda) in
+      sum := !sum +. (if k land 1 = 1 then term else -.term)
+    done;
+    Float.max 0. (Float.min 1. (2. *. !sum))
+  end
+
+let ad_statistic ~cdf xs =
+  let b = sorted_sample "Gof.ad_statistic" xs in
+  let n = Array.length b in
+  let nf = float_of_int n in
+  (* Clamp F into (0, 1): a sample point sitting exactly on the support
+     boundary would otherwise contribute log 0 = -inf. *)
+  let clamp f = Float.max 1e-300 (Float.min (1. -. 1e-15) f) in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let fi = clamp (cdf b.(i)) in
+    let fr = clamp (cdf b.(n - 1 - i)) in
+    let w = float_of_int ((2 * (i + 1)) - 1) in
+    acc := !acc +. (w *. (log fi +. Float.log1p (-.fr)))
+  done;
+  -.nf -. (!acc /. nf)
+
+let ad_table = [ (0.10, 1.933); (0.05, 2.492); (0.025, 3.070); (0.01, 3.857) ]
+
+let ad_critical ~alpha =
+  match List.assoc_opt alpha ad_table with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Gof.ad_critical: alpha %g not in the case-0 table (0.10, 0.05, 0.025, 0.01)"
+         alpha)
+
+let ks_test ?(alpha = 0.05) dist xs =
+  let statistic = ks_statistic ~cdf:(Dist.cdf dist) xs in
+  let critical = ks_critical ~n:(Array.length xs) ~alpha in
+  { statistic; critical; alpha; pass = statistic < critical }
+
+let ad_test ?(alpha = 0.05) dist xs =
+  let statistic = ad_statistic ~cdf:(Dist.cdf dist) xs in
+  let critical = ad_critical ~alpha in
+  { statistic; critical; alpha; pass = statistic < critical }

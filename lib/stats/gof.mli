@@ -1,0 +1,69 @@
+(** Goodness-of-fit statistics: Kolmogorov–Smirnov and Anderson–Darling.
+
+    These are the acceptance gates of the distribution layer: a sampled
+    stream is checked {e statistically} against the cdf that allegedly
+    generated it, at a documented significance level, instead of being
+    eyeballed.  Both tests here are the fully-specified ("case 0")
+    variants — the hypothesised cdf is fixed in advance, not fitted to
+    the same data — which is exactly the situation of the repo's
+    sampler-vs-cdf self-tests and simulator acceptance tests.  (Testing
+    against a cdf fitted on the same sample makes both tests
+    anti-conservative; fit on one half and test on the other if you need
+    that.)
+
+    Critical values:
+    {ul
+    {- KS uses the Stephens (1970) small-sample approximation: the
+       critical statistic at level [alpha] is
+       [sqrt (ln (2/alpha) / 2) / (sqrt n + 0.12 + 0.11 / sqrt n)],
+       accurate to three digits for [n >= 5] at conventional levels.}
+    {- Anderson–Darling uses the case-0 asymptotic points
+       (1.933, 2.492, 3.070, 3.857 at 10%, 5%, 2.5%, 1%); for case 0
+       these are accurate to the displayed digits for [n >= 5]
+       (Marsaglia & Marsaglia 2004), so no [n] correction is applied.}} *)
+
+type verdict = {
+  statistic : float;  (** The computed test statistic (KS [D_n] or AD [A^2]). *)
+  critical : float;  (** Critical value at the requested level. *)
+  alpha : float;  (** Significance level the verdict was computed at. *)
+  pass : bool;  (** [statistic < critical]: the sample is consistent. *)
+}
+(** Outcome of one test at one significance level. *)
+
+val ks_statistic : cdf:(float -> float) -> float array -> float
+(** Two-sided Kolmogorov–Smirnov statistic
+    [D_n = sup_x |F_n x - F x|], computed over the sorted sample as
+    [max_i (max (i/n - F x_i) (F x_i - (i-1)/n))].  Does not mutate the
+    input.  @raise Invalid_argument on an empty or non-finite sample. *)
+
+val ks_critical : n:int -> alpha:float -> float
+(** Stephens small-sample critical value for [D_n] at level [alpha]
+    (any [alpha] in (0, 1); see the module header).
+    @raise Invalid_argument if [n <= 0] or [alpha] outside (0, 1). *)
+
+val ks_pvalue : n:int -> float -> float
+(** Asymptotic two-sided p-value of an observed statistic [d]:
+    the Kolmogorov tail series [2 sum (-1)^(k-1) exp (-2 k^2 lambda^2)]
+    at the Stephens-adjusted [lambda], clamped to [0, 1]. *)
+
+val ad_statistic : cdf:(float -> float) -> float array -> float
+(** Anderson–Darling statistic
+    [A^2 = -n - mean_i ((2i-1) (ln F x_i + ln (1 - F x_(n+1-i))))] over
+    the sorted sample; cdf values are clamped away from 0 and 1 so a
+    support-boundary point cannot produce a NaN.  Weighs the tails far
+    more than KS — the reason both gates are run on heavy-tailed
+    samplers.  @raise Invalid_argument on an empty or non-finite sample. *)
+
+val ad_critical : alpha:float -> float
+(** Case-0 asymptotic critical value for [A^2]; [alpha] must be one of
+    0.10, 0.05, 0.025, 0.01 (the published table points).
+    @raise Invalid_argument on any other level. *)
+
+val ks_test : ?alpha:float -> Dist.t -> float array -> verdict
+(** KS verdict of a sample against a distribution's cdf at level
+    [alpha] (default 0.05). *)
+
+val ad_test : ?alpha:float -> Dist.t -> float array -> verdict
+(** Anderson–Darling verdict of a sample against a distribution's cdf at
+    level [alpha] (default 0.05; must be a table point of
+    {!ad_critical}). *)

@@ -1,0 +1,172 @@
+type t =
+  | Renewal of Dist.t
+  | Flash_crowd of {
+      base_rate : float;
+      burst_rate : float;
+      burst_every : float;
+      burst_dur : Dist.t;
+    }
+  | Diurnal of { mean_rate : float; amplitude : float; period : float }
+
+let check_pos name x =
+  if not (Float.is_finite x && x > 0.) then
+    invalid_arg
+      (Printf.sprintf "Scenario: %s must be positive and finite (got %g)" name x)
+
+let validate = function
+  | Renewal d ->
+    Dist.validate d;
+    let lo, _ = Dist.support d in
+    if lo < 0. then invalid_arg "Scenario: inter-arrival distribution must be nonnegative"
+  | Flash_crowd { base_rate; burst_rate; burst_every; burst_dur } ->
+    check_pos "flash base rate" base_rate;
+    check_pos "flash burst rate" burst_rate;
+    check_pos "flash burst_every" burst_every;
+    Dist.validate burst_dur
+  | Diurnal { mean_rate; amplitude; period } ->
+    check_pos "diurnal mean rate" mean_rate;
+    check_pos "diurnal period" period;
+    if not (amplitude >= 0. && amplitude <= 1.) then
+      invalid_arg
+        (Printf.sprintf "Scenario: diurnal amplitude outside [0,1] (got %g)" amplitude)
+
+let name = function
+  | Renewal d -> Printf.sprintf "renewal(%s)" (Dist.name d)
+  | Flash_crowd { base_rate; burst_rate; burst_every; burst_dur } ->
+    Printf.sprintf "flash(base=%g,burst=%g,every=%g,dur=%s)" base_rate burst_rate
+      burst_every (Dist.name burst_dur)
+  | Diurnal { mean_rate; amplitude; period } ->
+    Printf.sprintf "diurnal(rate=%g,amp=%g,period=%g)" mean_rate amplitude period
+
+let parse_fields spec body =
+  body |> String.split_on_char ','
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun kv ->
+         match String.index_opt kv '=' with
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Scenario.of_string: %S: expected key=value, got %S" spec
+                kv)
+         | Some i ->
+           let k = String.trim (String.sub kv 0 i) in
+           let v = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+           (match float_of_string_opt v with
+           | Some f -> (String.lowercase_ascii k, f)
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Scenario.of_string: %S: %s is not a number (%S)" spec k
+                  v)))
+
+let require spec fields aliases =
+  match List.find_opt (fun (k, _) -> List.mem k aliases) fields with
+  | Some (_, v) -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scenario.of_string: %S: missing %s=" spec (List.hd aliases))
+
+let of_string spec =
+  let spec = String.trim spec in
+  let family, body =
+    match String.index_opt spec ':' with
+    | None -> (String.lowercase_ascii spec, "")
+    | Some i ->
+      ( String.lowercase_ascii (String.sub spec 0 i),
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  let s =
+    match family with
+    | "flash" | "flash-crowd" | "flashcrowd" ->
+      let fields = parse_fields spec body in
+      Flash_crowd
+        {
+          base_rate = require spec fields [ "base"; "base_rate" ];
+          burst_rate = require spec fields [ "burst"; "burst_rate" ];
+          burst_every = require spec fields [ "every"; "burst_every" ];
+          burst_dur =
+            Dist.Pareto
+              {
+                alpha = require spec fields [ "a"; "alpha" ];
+                xm = require spec fields [ "xm"; "min" ];
+              };
+        }
+    | "diurnal" ->
+      let fields = parse_fields spec body in
+      Diurnal
+        {
+          mean_rate = require spec fields [ "rate"; "mean_rate" ];
+          amplitude = require spec fields [ "amp"; "amplitude" ];
+          period = require spec fields [ "period" ];
+        }
+    | _ -> Renewal (Dist.of_string spec)
+  in
+  validate s;
+  s
+
+let to_string = function
+  | Renewal d -> Dist.to_string d
+  | Flash_crowd { base_rate; burst_rate; burst_every; burst_dur } ->
+    let a, xm =
+      match burst_dur with
+      | Dist.Pareto { alpha; xm } -> (alpha, xm)
+      | _ -> invalid_arg "Scenario.to_string: flash burst_dur is not Pareto"
+    in
+    Printf.sprintf "flash:base=%g,burst=%g,every=%g,a=%g,xm=%g" base_rate burst_rate
+      burst_every a xm
+  | Diurnal { mean_rate; amplitude; period } ->
+    Printf.sprintf "diurnal:rate=%g,amp=%g,period=%g" mean_rate amplitude period
+
+let arrival_times ~rng scenario n =
+  if n < 0 then invalid_arg "Scenario.arrival_times: negative count";
+  validate scenario;
+  match scenario with
+  | Renewal d ->
+    let clock = ref 0. in
+    Array.init n (fun _ ->
+        clock := !clock +. Dist.sample d rng;
+        !clock)
+  | Flash_crowd { base_rate; burst_rate; burst_every; burst_dur } ->
+    (* Exact simulation of a two-phase modulated Poisson process: within a
+       phase arrivals are memoryless at the phase rate, so a gap that
+       crosses the phase boundary can be discarded and redrawn at the new
+       rate from the boundary instant. *)
+    let t = ref 0. in
+    let in_burst = ref false in
+    let phase_end = ref (Util.Rng.exponential rng (1. /. burst_every)) in
+    let next_arrival () =
+      let placed = ref nan in
+      while Float.is_nan !placed do
+        let rate = if !in_burst then burst_rate else base_rate in
+        let candidate = !t +. Util.Rng.exponential rng rate in
+        if candidate <= !phase_end then begin
+          t := candidate;
+          placed := candidate
+        end
+        else begin
+          t := !phase_end;
+          if !in_burst then begin
+            in_burst := false;
+            phase_end := !t +. Util.Rng.exponential rng (1. /. burst_every)
+          end
+          else begin
+            in_burst := true;
+            phase_end := !t +. Dist.sample burst_dur rng
+          end
+        end
+      done;
+      !placed
+    in
+    Array.init n (fun _ -> next_arrival ())
+  | Diurnal { mean_rate; amplitude; period } ->
+    (* Lewis–Shedler thinning at the peak rate. *)
+    let rate_max = mean_rate *. (1. +. amplitude) in
+    let rate t = mean_rate *. (1. +. (amplitude *. sin (2. *. Float.pi *. t /. period))) in
+    let t = ref 0. in
+    let next_arrival () =
+      let placed = ref nan in
+      while Float.is_nan !placed do
+        t := !t +. Util.Rng.exponential rng rate_max;
+        if Util.Rng.float rng 1.0 *. rate_max <= rate !t then placed := !t
+      done;
+      !placed
+    in
+    Array.init n (fun _ -> next_arrival ())

@@ -1,0 +1,68 @@
+(** Arrival-process scenarios built on the distribution layer.
+
+    The online service and the serving daemon consume time-stamped
+    arrival streams; before PR 8 the only generator was a homogeneous
+    Poisson process.  A scenario describes {e when} jobs arrive —
+    renewal processes with arbitrary inter-arrival laws, flash crowds
+    (baseline Poisson traffic interrupted by seeded bursts whose
+    durations are Pareto, so some bursts are catastrophically long), and
+    diurnal load (sinusoidally modulated rate, simulated exactly by
+    thinning).  Times are in abstract model units; callers that want
+    "rate 4 ≈ load 4" scale the axis by the mean alone-time of their job
+    set (see [Online.Workload_stream.scenario_load]).
+
+    Every generator is a pure function of its {!Util.Rng} seed. *)
+
+type t =
+  | Renewal of Dist.t
+      (** Independent inter-arrival gaps drawn from the distribution;
+          [Renewal (Exponential _)] is the homogeneous Poisson process. *)
+  | Flash_crowd of {
+      base_rate : float;  (** Poisson rate between bursts, [> 0]. *)
+      burst_rate : float;  (** Poisson rate inside a burst, [> 0]. *)
+      burst_every : float;
+          (** Mean quiet time before the next burst begins (exponentially
+              distributed), [> 0]. *)
+      burst_dur : Dist.t;
+          (** Burst-length distribution — canonically a Pareto, so burst
+              lengths are heavy-tailed. *)
+    }
+      (** Two-phase modulated Poisson process: quiet/burst phases
+          alternate, each phase memoryless at its own rate, so the
+          construction by gap-discarding at phase boundaries is exact. *)
+  | Diurnal of {
+      mean_rate : float;  (** Average arrival rate over a period, [> 0]. *)
+      amplitude : float;  (** Relative swing in [0, 1]: rate varies in
+                              [mean_rate * (1 ± amplitude)]. *)
+      period : float;  (** Length of one sinusoidal cycle, [> 0]. *)
+    }
+      (** Non-homogeneous Poisson process with
+          [rate t = mean_rate * (1 + amplitude * sin (2 pi t / period))],
+          sampled exactly by Lewis–Shedler thinning at the peak rate. *)
+
+(** How arrival instants are produced. *)
+
+val validate : t -> unit
+(** Check all rates, the amplitude range and nested distributions.
+    @raise Invalid_argument naming the offending field. *)
+
+val name : t -> string
+(** Compact label, e.g. ["flash(base=0.5,burst=20,every=40,dur=pareto(a=1.5,xm=0.2))"]. *)
+
+val of_string : string -> t
+(** Parse a CLI spec: ["poisson:rate=4"] (or any {!Dist.of_string} spec)
+    becomes a renewal process;
+    ["flash:base=0.5,burst=20,every=40,a=1.5,xm=0.2"] a flash crowd with
+    Pareto(a, xm) burst durations;
+    ["diurnal:rate=4,amp=0.8,period=50"] a diurnal process.
+    @raise Invalid_argument with the offending spec and reason. *)
+
+val to_string : t -> string
+(** Render back to a parseable spec for base cases (renewal of a base
+    family, flash, diurnal); inverse of {!of_string} up to float
+    formatting. *)
+
+val arrival_times : rng:Util.Rng.t -> t -> int -> float array
+(** [arrival_times ~rng scenario n] generates the first [n] arrival
+    instants (nondecreasing, starting after time 0).
+    @raise Invalid_argument if [n < 0] or the scenario is invalid. *)

@@ -40,17 +40,36 @@ let median a =
   let n = Array.length b in
   if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
 
+module Quantile = struct
+  let check_q name q =
+    if Float.is_nan q || q < 0. || q > 1. then
+      invalid_arg (name ^ ": q must be in [0, 1]")
+
+  let rank ~count ~q =
+    if count <= 0 then invalid_arg "Stats.Quantile.rank: count must be positive";
+    check_q "Stats.Quantile.rank" q;
+    Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int count)))
+
+  let nearest_sorted b q =
+    check_nonempty "Stats.Quantile.nearest_sorted" b;
+    b.(rank ~count:(Array.length b) ~q - 1)
+
+  let interpolated_sorted b q =
+    check_nonempty "Stats.Quantile.interpolated_sorted" b;
+    check_q "Stats.Quantile.interpolated_sorted" q;
+    let n = Array.length b in
+    let r = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor r) and hi = int_of_float (ceil r) in
+    if lo = hi then b.(lo)
+    else
+      let frac = r -. float_of_int lo in
+      b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+end
+
 let percentile a q =
   check_nonempty "Stats.percentile" a;
   if q < 0. || q > 100. then invalid_arg "Stats.percentile: q outside [0,100]";
-  let b = sorted_copy a in
-  let n = Array.length b in
-  let rank = q /. 100.0 *. float_of_int (n - 1) in
-  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
-  if lo = hi then b.(lo)
-  else
-    let frac = rank -. float_of_int lo in
-    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  Quantile.interpolated_sorted (sorted_copy a) (q /. 100.0)
 
 let confidence_interval_95 a =
   let m = mean a in

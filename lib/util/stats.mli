@@ -25,9 +25,34 @@ val median : float array -> float
 (** Median (average of middle pair for even sizes).  Does not mutate the
     input.  @raise Invalid_argument on empty. *)
 
+module Quantile : sig
+  val rank : count:int -> q:float -> int
+  (** Ceil-based nearest rank (1-based): [max 1 (ceil (q * count))] for
+      [q] in [0, 1].  The single rank rule shared by {!percentile}'s
+      callers and [Obs.Metrics] histogram quantiles, so exact-array and
+      histogram quantiles cannot drift apart.
+      @raise Invalid_argument if [count <= 0] or [q] outside [0, 1]. *)
+
+  val nearest_sorted : float array -> float -> float
+  (** [nearest_sorted b q] is the element of the {e sorted} array [b] at
+      {!rank} — the exact-array reference for histogram quantiles.
+      Does not validate sortedness.
+      @raise Invalid_argument on an empty array or bad [q]. *)
+
+  val interpolated_sorted : float array -> float -> float
+  (** [interpolated_sorted b q] linearly interpolates between the two
+      closest ranks of the {e sorted} array [b], [q] in [0, 1] — the
+      kernel behind {!percentile}.
+      @raise Invalid_argument on an empty array or bad [q]. *)
+end
+(** Shared quantile kernels: every quantile in the repo (experiment
+    percentiles, bench summaries, [Obs.Metrics] histograms) routes
+    through this submodule. *)
+
 val percentile : float array -> float -> float
 (** [percentile a q] with [q] in [0, 100], linear interpolation between
-    closest ranks.  Does not mutate the input. *)
+    closest ranks ({!Quantile.interpolated_sorted} after sorting a
+    copy).  Does not mutate the input. *)
 
 val confidence_interval_95 : float array -> float * float
 (** [(lo, hi)] of the normal-approximation 95% confidence interval on the

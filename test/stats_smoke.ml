@@ -1,0 +1,138 @@
+(* Heavy-tailed workload smoke, in two acts.
+
+   1. A fast fixed-seed KS gate: every base distribution and a
+      two-phase hyperexponential mixture must pass a 1%-level
+      Kolmogorov–Smirnov test against a 400-draw sample from its own
+      sampler.  Seeded, so a failure is a real sampler/cdf defect, not
+      noise.
+
+   2. A seeded flash crowd drives a shedding {!Serve.Backend} into
+      load-shed mode and back out: burst arrivals of ~1.5-unit jobs pile
+      past the high-water mark (submits start bouncing with [Overload]),
+      the quiet phase drains the backlog below the low-water mark, and
+      admission resumes.
+
+   Part of `dune runtest`; runnable alone as `dune build @stats`. *)
+
+let () =
+  Printexc.record_backtrace true;
+  (* --- act 1: sampler-vs-cdf KS gate ----------------------------------- *)
+  let dists =
+    [
+      Stats.Dist.Exponential { rate = 1.5 };
+      Stats.Dist.Pareto { alpha = 1.5; xm = 0.2 };
+      Stats.Dist.Lognormal { mu = 0.; sigma = 1. };
+      Stats.Dist.Weibull { shape = 0.7; scale = 2. };
+      Stats.Dist.of_string "hyperexp:p=0.9,mean1=0.5,mean2=8";
+    ]
+  in
+  List.iter
+    (fun d ->
+      let rng = Util.Rng.create 2017 in
+      let xs = Stats.Dist.sample_array d rng 400 in
+      let v = Stats.Gof.ks_test ~alpha:0.01 d xs in
+      if not v.Stats.Gof.pass then
+        failwith
+          (Printf.sprintf "%s: KS %.4f >= critical %.4f at alpha=%.2g"
+             (Stats.Dist.name d) v.Stats.Gof.statistic v.Stats.Gof.critical
+             v.Stats.Gof.alpha);
+      Printf.printf "ks gate  %-12s D=%.4f < %.4f (n=400, alpha=0.01)\n"
+        (Stats.Dist.name d) v.Stats.Gof.statistic v.Stats.Gof.critical)
+    dists;
+  (* --- act 2: flash crowd vs load shedding ------------------------------ *)
+  let platform = Model.Platform.paper_default in
+  let app_of_w w = Model.App.make ~name:"flash" ~s:0.05 ~w ~f:0.4 ~m0:5e-3 () in
+  (* Alone time is linear in w; size jobs to ~1.5 model-time units so a
+     burst piles them up and a quiet phase drains them. *)
+  let k =
+    Model.Exec_model.exe ~app:(app_of_w 1.) ~platform
+      ~p:platform.Model.Platform.p ~x:1.
+  in
+  let w = 1.5 /. k in
+  let scenario =
+    Stats.Scenario.Flash_crowd
+      {
+        base_rate = 0.2;
+        burst_rate = 30.;
+        burst_every = 15.;
+        burst_dur = Stats.Dist.Pareto { alpha = 1.5; xm = 1. };
+      }
+  in
+  let times =
+    Stats.Scenario.arrival_times ~rng:(Util.Rng.create 42) scenario 40
+  in
+  let b =
+    Serve.Backend.create
+      {
+        Serve.Backend.default_config with
+        platform;
+        shed_highwater = 6;
+        shed_lowwater = 2;
+      }
+  in
+  let app = app_of_w w in
+  let spec =
+    {
+      Serve.Protocol.name = app.Model.App.name;
+      w = app.Model.App.w;
+      s = app.Model.App.s;
+      f = app.Model.App.f;
+      m0 = app.Model.App.m0;
+      c0 = app.Model.App.c0;
+      footprint = app.Model.App.footprint;
+    }
+  in
+  let admitted = ref 0 and shed = ref 0 in
+  let first_shed = ref None in
+  Array.iteri
+    (fun i t ->
+      let resp =
+        Serve.Backend.handle b ~clients:1
+          { Serve.Protocol.rid = i; sid = None; at = Some t; verb = Submit spec }
+      in
+      match resp.Serve.Protocol.reply with
+      | Serve.Protocol.R_submitted _ -> incr admitted
+      | Serve.Protocol.R_error { code = Serve.Protocol.Overload; _ } ->
+        incr shed;
+        if !first_shed = None then first_shed := Some t
+      | _ -> failwith "flash submit: unexpected reply")
+    times;
+  if !shed = 0 then failwith "flash crowd never pushed the backend into shed";
+  (* The quiet tail: advance past every in-flight job; the backlog drains
+     below the low-water mark and admission must resume. *)
+  let late = times.(Array.length times - 1) +. 50. in
+  (match
+     (Serve.Backend.handle b ~clients:1
+        {
+          Serve.Protocol.rid = 1000;
+          sid = None;
+          at = Some late;
+          verb = Query Status;
+        })
+       .Serve.Protocol.reply
+   with
+  | Serve.Protocol.R_status { shed = false; live = 0; _ } -> ()
+  | Serve.Protocol.R_status { shed; live; _ } ->
+    failwith
+      (Printf.sprintf "after the storm: shed=%b live=%d (want false/0)" shed
+         live)
+  | _ -> failwith "status failed");
+  (match
+     (Serve.Backend.handle b ~clients:1
+        {
+          Serve.Protocol.rid = 1001;
+          sid = None;
+          at = Some (late +. 1.);
+          verb = Submit spec;
+        })
+       .Serve.Protocol.reply
+   with
+  | Serve.Protocol.R_submitted _ -> ()
+  | _ -> failwith "admission did not resume after the storm drained");
+  Printf.printf
+    "flash crowd: %d arrivals, %d admitted, %d shed (first at t=%.2f); \
+     drained and admitting again by t=%.1f\n"
+    (Array.length times) !admitted !shed
+    (Option.value ~default:Float.nan !first_shed)
+    late;
+  print_endline "stats smoke OK"

@@ -646,7 +646,12 @@ let fresh_snapshot_paths name =
   let s = Filename.concat (Filename.get_temp_dir_name ()) (name ^ ".snap") in
   List.iter
     (fun p -> try Sys.remove p with Sys_error _ -> ())
-    [ s; Snapshot.quarantine_path s; s ^ ".tmp" ];
+    (List.concat_map
+       (fun k ->
+         let g = Snapshot.generation_path s k in
+         [ g; Snapshot.quarantine_path g ])
+       [ 0; 1; 2; 3 ]
+    @ [ s ^ ".tmp" ]);
   (j, s)
 
 let sbackend ?(snapshot_every = 0) ~journal ~snapshot () =
@@ -662,7 +667,12 @@ let sbackend ?(snapshot_every = 0) ~journal ~snapshot () =
 let cleanup_snapshot_paths j s =
   List.iter
     (fun p -> try Sys.remove p with Sys_error _ -> ())
-    [ j; Campaign.Journal.quarantine_path j; s; Snapshot.quarantine_path s ]
+    ([ j; Campaign.Journal.quarantine_path j ]
+    @ List.concat_map
+        (fun k ->
+          let g = Snapshot.generation_path s k in
+          [ g; Snapshot.quarantine_path g ])
+        [ 0; 1; 2; 3 ])
 
 let backend_snapshot_compacts_journal () =
   let j, s = fresh_snapshot_paths "serve_snap_basic" in
@@ -762,6 +772,72 @@ let backend_corrupt_snapshot_falls_back () =
     (Sys.file_exists (Snapshot.quarantine_path s));
   Alcotest.(check bool) "corrupt snapshot removed from its path" false
     (Sys.file_exists s);
+  cleanup_snapshot_paths j s
+
+let corrupt_file p =
+  let oc = open_out p in
+  output_string oc "{\"snapshot\":1,\"seq\":99,\"time\":3.5";
+  close_out oc
+
+let backend_generation_fallback () =
+  let j, s = fresh_snapshot_paths "serve_snap_generations" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  let apps = synth ~seed:23 6 in
+  let submit i at =
+    ignore
+      (Backend.handle b1 ~clients:1 (req ~at (Submit (spec_of_app apps.(i)))))
+  in
+  submit 0 0.5;
+  submit 1 3.;
+  (match Backend.snapshot_now b1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("first snapshot failed: " ^ m));
+  submit 2 5.;
+  ignore (Backend.handle b1 ~clients:1 (req ~at:7. (Cancel 0)));
+  (match Backend.snapshot_now b1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("second snapshot failed: " ^ m));
+  (* The second checkpoint rotated the first to generation 1, and the
+     compacted journal kept the tail back to generation 1's watermark
+     (submit 2 + cancel), plus this post-checkpoint submit. *)
+  submit 3 9.;
+  Alcotest.(check bool) "generation 1 on disk" true
+    (Sys.file_exists (Snapshot.generation_path s 1));
+  let entries, _ = Campaign.Journal.scan ~path:j in
+  Alcotest.(check int) "journal retains the older generation's tail" 3
+    (List.length entries);
+  let before = allocs_payload b1 in
+  (* Tear the newest checkpoint on disk: recovery must quarantine it,
+     restore generation 1 and replay the retained tail — never resort
+     to (impossible) full replay. *)
+  corrupt_file s;
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "tail since generation 1 replayed" 3
+    (Backend.recovered b2);
+  Alcotest.(check string) "older generation + tail restore the exact state"
+    before (allocs_payload b2);
+  Alcotest.(check bool) "torn generation 0 quarantined" true
+    (Sys.file_exists (Snapshot.quarantine_path s));
+  cleanup_snapshot_paths j s
+
+let backend_all_generations_corrupt_full_replay () =
+  let j, s = fresh_snapshot_paths "serve_snap_gen_all_corrupt" in
+  let b1 = sbackend ~journal:j ~snapshot:s () in
+  drive_scenario b1;
+  let before = allocs_payload b1 in
+  (* No checkpoint ever succeeded, so the journal still holds full
+     history; torn files in every generation slot must all be
+     quarantined on the way down to full replay. *)
+  corrupt_file s;
+  corrupt_file (Snapshot.generation_path s 1);
+  let b2 = sbackend ~journal:j ~snapshot:s () in
+  Alcotest.(check int) "full journal replay" 6 (Backend.recovered b2);
+  Alcotest.(check string) "identical job set and allocations" before
+    (allocs_payload b2);
+  Alcotest.(check bool) "generation 0 quarantined" true
+    (Sys.file_exists (Snapshot.quarantine_path s));
+  Alcotest.(check bool) "generation 1 quarantined" true
+    (Sys.file_exists (Snapshot.quarantine_path (Snapshot.generation_path s 1)));
   cleanup_snapshot_paths j s
 
 (* --- session: bounded outbound queue ------------------------------------ *)
@@ -1234,6 +1310,10 @@ let () =
             backend_torn_snapshot_write_keeps_journal;
           test "corrupt snapshot is quarantined, journal replayed"
             backend_corrupt_snapshot_falls_back;
+          test "torn newest generation falls back to the older one"
+            backend_generation_fallback;
+          test "all generations torn: quarantine chain, full replay"
+            backend_all_generations_corrupt_full_replay;
         ] );
       ( "session",
         [

@@ -216,6 +216,28 @@ let stats_percentile_invalid () =
     (Invalid_argument "Stats.percentile: q outside [0,100]") (fun () ->
       ignore (Util.Stats.percentile [| 1. |] 101.))
 
+let stats_quantile_rank () =
+  Alcotest.(check int) "q=0 clamps to rank 1" 1
+    (Util.Stats.Quantile.rank ~count:10 ~q:0.);
+  Alcotest.(check int) "median of 10" 5
+    (Util.Stats.Quantile.rank ~count:10 ~q:0.5);
+  Alcotest.(check int) "p99 of 100" 99
+    (Util.Stats.Quantile.rank ~count:100 ~q:0.99);
+  Alcotest.(check int) "q=1 is the max" 10
+    (Util.Stats.Quantile.rank ~count:10 ~q:1.);
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Stats.Quantile.rank: q must be in [0, 1]") (fun () ->
+      ignore (Util.Stats.Quantile.rank ~count:10 ~q:1.5))
+
+let stats_quantile_sorted_variants () =
+  let b = [| 10.; 20.; 30.; 40. |] in
+  check_float "nearest p50" 20. (Util.Stats.Quantile.nearest_sorted b 0.5);
+  check_float "nearest p100" 40. (Util.Stats.Quantile.nearest_sorted b 1.);
+  check_float "interp p50" 25. (Util.Stats.Quantile.interpolated_sorted b 0.5);
+  (* [percentile] is the interpolated variant on an unsorted copy. *)
+  check_float "percentile routes through interpolated" 25.
+    (Util.Stats.percentile [| 40.; 10.; 30.; 20. |] 50.)
+
 let stats_ci_singleton () =
   let lo, hi = Util.Stats.confidence_interval_95 [| 4. |] in
   check_float "lo" 4. lo;
@@ -573,6 +595,8 @@ let () =
           test "median does not mutate" stats_median_does_not_mutate;
           test "percentile" stats_percentile;
           test "percentile range check" stats_percentile_invalid;
+          test "shared quantile rank" stats_quantile_rank;
+          test "quantile sorted variants" stats_quantile_sorted_variants;
           test "ci singleton" stats_ci_singleton;
           test "ci contains mean" stats_ci_contains_mean;
           test "online matches batch" online_matches_batch;
