@@ -293,6 +293,182 @@ let stats_bench () =
   in
   (json, flash_eps)
 
+(* --- online service at scale ------------------------------------------- *)
+
+(* Events/sec with n = 10^4 and 10^5 jobs actually live, measured on a
+   steady-state arrival window rather than a full stream replay (replaying
+   10^5 arrivals through an oversubscribed platform is quadratic in n and
+   measures the ramp, not the scaled service).  The instance is
+   prepopulated through the checkpoint-restore path (O(n)), one forced
+   re-solve pays the cold sort and bracket, and the timed window then
+   submits arrivals a sliver of model time apart — each event runs the
+   real path: progress integration, policy decision, batched columnar
+   re-solves, completion re-prediction.  The n = 10^4 case runs twice,
+   sequential and sharded across a 2-worker {!Exec.Pool}; on a
+   single-core host the sharded run can only document its overhead, so
+   the guard gate adapts: cores >= 2 demands sharded >= sequential,
+   cores = 1 demands the overhead stays under 2x. *)
+type scale_entry = {
+  sc_label : string;
+  sc_n : int;
+  sc_events_per_sec : float;
+  sc_window : int;
+  sc_resolves : int;
+  sc_restore_s : float;
+  sc_first_solve_s : float;
+}
+
+let scale_case ~label ~n ~batch ~window pool =
+  let platform = Model.Platform.paper_default in
+  let apps =
+    Model.Workload.generate ~rng:(Util.Rng.create !seed) Model.Workload.NpbSynth
+      (n + window)
+  in
+  let pjobs =
+    List.init n (fun i ->
+        {
+          Online.Service.pj_id = i;
+          pj_app = apps.(i);
+          pj_arrival = 0.;
+          pj_remaining = 1.;
+          pj_procs = 0.;
+          pj_cache = 0.;
+          pj_allocated = false;
+          pj_epoch = 0;
+          pj_migrations = 0;
+        })
+  in
+  let persist =
+    {
+      Online.Service.p_time = 0.;
+      p_next_id = n;
+      p_busy = 0.;
+      p_pending = None;
+      p_last_solve = 0.;
+      p_last_k = None;
+      p_prev_d = 0.;
+      p_events_handled = 0;
+      p_events_since = 0;
+      p_forced = 0;
+      p_migrations = 0;
+      p_resolves = 0;
+      p_solver_iters = 0;
+      p_partition_ops = 0;
+      p_warm_hits = 0;
+      p_cold_fallbacks = 0;
+      p_completed = 0;
+      p_cancelled = 0;
+      p_resp_sum = 0.;
+      p_resp_max = neg_infinity;
+      p_str_sum = 0.;
+      p_str_max = neg_infinity;
+      p_jobs = pjobs;
+    }
+  in
+  let config =
+    {
+      Online.Service.default_config with
+      policy = Online.Policy.Batched batch;
+      mode = Online.Incremental.Warm;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let lv =
+    Online.Service.live_restore ~config ?pool ~shard_min:1024 ~platform persist
+  in
+  let restore_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  ignore (Online.Service.drain_step lv : bool);
+  let first_solve_s = Unix.gettimeofday () -. t0 in
+  let k =
+    match Online.Service.last_makespan lv with Some k -> k | None -> 1.
+  in
+  let dt = k *. 1e-7 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to window - 1 do
+    ignore
+      (Online.Service.submit lv
+         ~at:(Online.Service.live_now lv +. dt)
+         apps.(n + i)
+        : Online.State.job)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let m = (Online.Service.live_report lv).Online.Service.metrics in
+  {
+    sc_label = label;
+    sc_n = n;
+    sc_events_per_sec = float_of_int window /. Float.max wall 1e-9;
+    sc_window = window;
+    sc_resolves = m.Online.Metrics.resolves;
+    sc_restore_s = restore_s;
+    sc_first_solve_s = first_solve_s;
+  }
+
+let scale_bench () =
+  let cores = Domain.recommended_domain_count () in
+  let seq_1e4 = scale_case ~label:"n=1e4 seq" ~n:10_000 ~batch:16 ~window:2_000 None in
+  let shard_1e4 =
+    Exec.Pool.with_pool ~jobs:2 (fun pool ->
+        scale_case ~label:"n=1e4 sharded(2)" ~n:10_000 ~batch:16 ~window:2_000
+          (Some pool))
+  in
+  let seq_1e5 =
+    scale_case ~label:"n=1e5 seq" ~n:100_000 ~batch:64 ~window:500 None
+  in
+  let entries = [ seq_1e4; shard_1e4; seq_1e5 ] in
+  let table =
+    Util.Table.create
+      [ "case"; "events/s"; "window"; "resolves"; "restore"; "first solve" ]
+  in
+  List.iter
+    (fun e ->
+      Util.Table.add_row table
+        [
+          e.sc_label;
+          Printf.sprintf "%.0f" e.sc_events_per_sec;
+          string_of_int e.sc_window;
+          string_of_int e.sc_resolves;
+          Printf.sprintf "%.3g s" e.sc_restore_s;
+          Printf.sprintf "%.3g s" e.sc_first_solve_s;
+        ])
+    entries;
+  Printf.printf "== online service at scale (prepopulated live set, %d core%s) ==\n"
+    cores (if cores = 1 then "" else "s");
+  Util.Table.print table;
+  print_newline ();
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"cores\":%d," cores;
+        "\"cases\":[";
+        String.concat ","
+          (List.map
+             (fun e ->
+               String.concat ""
+                 [
+                   "{";
+                   Printf.sprintf "\"label\":\"%s\"," e.sc_label;
+                   Printf.sprintf "\"n\":%d," e.sc_n;
+                   Printf.sprintf "\"events_per_sec\":%.6g," e.sc_events_per_sec;
+                   Printf.sprintf "\"window\":%d," e.sc_window;
+                   Printf.sprintf "\"resolves\":%d," e.sc_resolves;
+                   Printf.sprintf "\"restore_seconds\":%.6g," e.sc_restore_s;
+                   Printf.sprintf "\"first_solve_seconds\":%.6g"
+                     e.sc_first_solve_s;
+                   "}";
+                 ])
+             entries);
+        "]}";
+      ]
+  in
+  (json, cores, seq_1e4, shard_1e4, seq_1e5)
+
+(* The n=1e5 absolute floor (events/sec sustained with 1e5 live jobs on
+   a single core) — the ROADMAP item-2 target.  Measured ~480 on the
+   reference container; the floor leaves 2x headroom for slower hosts. *)
+let scale_floor_1e5 = 200.
+
 (* --- online service throughput ---------------------------------------- *)
 
 (* Serve one 100-application Poisson stream under every built-in re-solve
@@ -322,6 +498,7 @@ let online () =
         "migrations";
       ]
   in
+  let gate_failures = ref [] in
   let entries =
     List.map
       (fun policy ->
@@ -331,6 +508,20 @@ let online () =
           float_of_int cold.Online.Metrics.solver_iters
           /. float_of_int (max 1 warm.Online.Metrics.solver_iters)
         in
+        (* Absolute gates at the default stream: the warm path may never
+           lose to cold on wall-clock (the PR-9 inversion), and the
+           predicted-seed speedup must hold >= 1.5x.  Wall-clock is
+           noisy, so warm gets a 10% measurement allowance. *)
+        if eps_warm < 0.9 *. eps_cold then
+          gate_failures :=
+            Printf.sprintf "%s: warm %.0f ev/s < cold %.0f ev/s"
+              (Online.Policy.name policy) eps_warm eps_cold
+            :: !gate_failures;
+        if speedup < 1.5 then
+          gate_failures :=
+            Printf.sprintf "%s: warm_vs_cold_iter_speedup %.2f < 1.5"
+              (Online.Policy.name policy) speedup
+            :: !gate_failures;
         Util.Table.add_row table
           [
             Online.Policy.name policy;
@@ -382,6 +573,27 @@ let online () =
         | _ -> None)
       | exception Failure _ -> None
   in
+  let scale_json, cores, seq_1e4, shard_1e4, seq_1e5 = scale_bench () in
+  (if cores >= 2 then begin
+     if shard_1e4.sc_events_per_sec < seq_1e4.sc_events_per_sec then
+       gate_failures :=
+         Printf.sprintf
+           "scale n=1e4: sharded %.0f ev/s < sequential %.0f ev/s on %d cores"
+           shard_1e4.sc_events_per_sec seq_1e4.sc_events_per_sec cores
+         :: !gate_failures
+   end
+   else if shard_1e4.sc_events_per_sec < 0.5 *. seq_1e4.sc_events_per_sec then
+     gate_failures :=
+       Printf.sprintf
+         "scale n=1e4: sharding overhead >2x on a single core (%.0f vs %.0f \
+          ev/s)"
+         shard_1e4.sc_events_per_sec seq_1e4.sc_events_per_sec
+       :: !gate_failures);
+  if seq_1e5.sc_events_per_sec < scale_floor_1e5 then
+    gate_failures :=
+      Printf.sprintf "scale n=1e5: %.0f ev/s below the %.0f floor"
+        seq_1e5.sc_events_per_sec scale_floor_1e5
+      :: !gate_failures;
   let stats = if !run_stats then Some (stats_bench ()) else None in
   let json =
     String.concat ""
@@ -390,6 +602,7 @@ let online () =
         Printf.sprintf "\"apps\":%d," napps;
         Printf.sprintf "\"load\":%g," load;
         Printf.sprintf "\"seed\":%d," !seed;
+        Printf.sprintf "\"scale\":%s," scale_json;
         (match stats with
         | Some (stats_json, _) -> Printf.sprintf "\"stats\":%s," stats_json
         | None -> "");
@@ -403,6 +616,11 @@ let online () =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc json);
   print_endline "wrote BENCH_online.json";
+  List.iter
+    (fun msg -> Printf.eprintf "bench %s: %s\n" (if !guard then "guard" else "warning") msg)
+    !gate_failures;
+  if !guard && !gate_failures <> [] then exit 1;
+  if !guard then print_endline "bench guard (online/scale): ok";
   if !guard then
     match (stats, baseline_flash_eps) with
     | Some (_, eps), Some old when eps < 0.8 *. old ->

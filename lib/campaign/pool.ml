@@ -1,57 +1,14 @@
-type t = {
-  size : int;
-  queue : (unit -> unit) Queue.t;
-  lock : Mutex.t;
-  work_ready : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
-}
+(* Campaign's worker pool is a thin instrumentation layer over the
+   shared [Exec.Pool] domain pool: the campaign-specific trial metrics
+   and spans live here, the queueing/ordering machinery in lib/exec. *)
 
-let rec worker_loop t =
-  Mutex.lock t.lock;
-  while Queue.is_empty t.queue && not t.closed do
-    Condition.wait t.work_ready t.lock
-  done;
-  if Queue.is_empty t.queue then Mutex.unlock t.lock
-  else begin
-    let job = Queue.pop t.queue in
-    Mutex.unlock t.lock;
-    job ();
-    worker_loop t
-  end
+type t = Exec.Pool.t
 
-let create ~jobs =
-  let size = if jobs <= 1 then 0 else jobs in
-  let t =
-    {
-      size;
-      queue = Queue.create ();
-      lock = Mutex.create ();
-      work_ready = Condition.create ();
-      closed = false;
-      workers = [];
-    }
-  in
-  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
-
-let size t = t.size
-
-let default_jobs () = Domain.recommended_domain_count ()
-
-let submit t job =
-  Mutex.lock t.lock;
-  Queue.push job t.queue;
-  Condition.signal t.work_ready;
-  Mutex.unlock t.lock
-
-let shutdown t =
-  Mutex.lock t.lock;
-  t.closed <- true;
-  Condition.broadcast t.work_ready;
-  Mutex.unlock t.lock;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+let create = Exec.Pool.create
+let size = Exec.Pool.size
+let default_jobs = Exec.Pool.default_jobs
+let shutdown = Exec.Pool.shutdown
+let with_pool = Exec.Pool.with_pool
 
 let m_trials =
   Obs.Metrics.counter ~help:"trials executed by the worker pool" "pool.trials"
@@ -65,10 +22,11 @@ let m_errors =
     "pool.trial_errors"
 
 (* Worker domains record spans under their own tid, so a traced campaign
-   shows one lane per pool worker in the Chrome trace viewer. *)
-let capture f x =
-  if not (Obs.Probe.on ()) then
-    try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+   shows one lane per pool worker in the Chrome trace viewer.  The
+   underlying pool captures exceptions per input slot, so [instrument]
+   records the error metric and re-raises with the original backtrace. *)
+let instrument f x =
+  if not (Obs.Probe.on ()) then f x
   else begin
     let sp = Obs.Span.start "campaign.trial" in
     let t0 = Obs.Clock.now_ns () in
@@ -77,47 +35,13 @@ let capture f x =
     Obs.Metrics.incr m_trials;
     (match r with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
     Obs.Span.stop sp;
-    r
+    match r with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
   end
 
-let map_outcomes t f a =
-  let n = Array.length a in
-  if t.size = 0 || n <= 1 then Array.map (capture f) a
-  else begin
-    let results = Array.make n None in
-    let remaining = ref n in
-    let all_done = Condition.create () in
-    Array.iteri
-      (fun i x ->
-        submit t (fun () ->
-            let outcome = capture f x in
-            Mutex.lock t.lock;
-            results.(i) <- Some outcome;
-            remaining := !remaining - 1;
-            if !remaining = 0 then Condition.broadcast all_done;
-            Mutex.unlock t.lock))
-      a;
-    Mutex.lock t.lock;
-    while !remaining > 0 do
-      Condition.wait all_done t.lock
-    done;
-    Mutex.unlock t.lock;
-    Array.map (function Some r -> r | None -> assert false) results
-  end
-
-let map_array t f a =
-  let outcomes = map_outcomes t f a in
-  (* Re-raise the exception of the smallest failing index so that a
-     parallel run fails exactly like the sequential one would. *)
-  Array.iter
-    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
-    outcomes;
-  Array.map (function Ok r -> r | Error _ -> assert false) outcomes
-
-let with_pool ~jobs f =
-  let t = create ~jobs in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
-
+let map_outcomes t f a = Exec.Pool.map_outcomes t (instrument f) a
+let map_array t f a = Exec.Pool.map_array t (instrument f) a
 let map_ordered ~jobs f a = with_pool ~jobs (fun t -> map_array t f a)
 
 let map_outcomes_ordered ~jobs f a =

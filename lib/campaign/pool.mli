@@ -1,7 +1,10 @@
-(** Fixed-size domain pool with a mutex/condvar work queue.
+(** Campaign view of the shared {!Exec.Pool} domain pool.
 
-    The pool owns [jobs] worker domains that block on a condition variable
-    until tasks arrive.  {!map_array} (and the one-shot {!map_ordered})
+    The scheduling machinery (worker domains, mutex/condvar queue,
+    input-order result collection) lives in [lib/exec]; this module adds
+    the campaign-specific instrumentation — per-trial wall-time
+    histogram, trial/error counters and the ["campaign.trial"] span —
+    around every mapped function.  {!map_array} (and the one-shot {!map_ordered})
     distributes an array of independent computations over the workers and
     returns the results *in input order*, whatever the completion order;
     a worker exception is captured and re-raised in the caller, always the

@@ -1,0 +1,213 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let m_tasks =
+  Obs.Metrics.counter ~help:"tasks dispatched to pool workers" "exec.pool.tasks"
+
+let m_sections =
+  Obs.Metrics.counter ~help:"parallel sections (chunked for/reduce barriers)"
+    "exec.pool.sections"
+
+let m_idle_waits =
+  Obs.Metrics.counter ~help:"times a worker went to sleep on an empty queue"
+    "exec.pool.idle_waits"
+
+let m_shard_us =
+  Obs.Metrics.histogram ~help:"per-shard wall time, in microseconds"
+    "exec.pool.shard_us"
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closed do
+    if Obs.Probe.on () then Obs.Metrics.incr m_idle_waits;
+    Condition.wait t.work_ready t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let size = if jobs <= 1 then 0 else jobs in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let submit t job =
+  if Obs.Probe.on () then Obs.Metrics.incr m_tasks;
+  Mutex.lock t.lock;
+  Queue.push job t.queue;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let protect f x =
+  try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let map_outcomes t f a =
+  let n = Array.length a in
+  if t.size = 0 || n <= 1 then Array.map (protect f) a
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let outcome = protect f x in
+            Mutex.lock t.lock;
+            results.(i) <- Some outcome;
+            remaining := !remaining - 1;
+            if !remaining = 0 then Condition.broadcast all_done;
+            Mutex.unlock t.lock))
+      a;
+    Mutex.lock t.lock;
+    while !remaining > 0 do
+      Condition.wait all_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let reraise_first outcomes =
+  (* Re-raise the exception of the smallest failing index so that a
+     parallel run fails exactly like the sequential one would. *)
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    outcomes
+
+let map_array t f a =
+  let outcomes = map_outcomes t f a in
+  reraise_first outcomes;
+  Array.map (function Ok r -> r | Error _ -> assert false) outcomes
+
+(* Chunk [c] of [chunks] over [0, n): the remainder indices go to the
+   leading chunks, so boundaries depend only on (n, chunks). *)
+let chunk_bounds ~n ~chunks c =
+  let base = n / chunks and rem = n mod chunks in
+  let lo = (c * base) + min c rem in
+  let hi = lo + base + (if c < rem then 1 else 0) in
+  (lo, hi)
+
+let effective_chunks t ?chunks n =
+  let chunks = match chunks with Some c -> c | None -> t.size in
+  max 1 (min chunks n)
+
+(* Worker domains record spans under their own tid, so a traced solve
+   shows one lane per pool worker in the Chrome trace viewer. *)
+let run_shard f lo hi =
+  if not (Obs.Probe.on ()) then f lo hi
+  else begin
+    let sp = Obs.Span.start "exec.shard" in
+    let t0 = Obs.Clock.now_ns () in
+    let r = protect (fun () -> f lo hi) () in
+    Obs.Metrics.observe m_shard_us (Obs.Clock.elapsed_us ~since:t0);
+    Obs.Span.stop sp;
+    match r with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+
+(* Barrier: run [g c] for every chunk index on the workers, collect
+   per-chunk outcomes, re-raise the smallest failing chunk's exception. *)
+let barrier_chunks t ~chunks g =
+  let outcomes = Array.make chunks (Ok ()) in
+  let remaining = ref chunks in
+  let all_done = Condition.create () in
+  if Obs.Probe.on () then Obs.Metrics.incr m_sections;
+  for c = 0 to chunks - 1 do
+    submit t (fun () ->
+        let outcome = protect g c in
+        Mutex.lock t.lock;
+        outcomes.(c) <- outcome;
+        remaining := !remaining - 1;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock t.lock)
+  done;
+  Mutex.lock t.lock;
+  while !remaining > 0 do
+    Condition.wait all_done t.lock
+  done;
+  Mutex.unlock t.lock;
+  reraise_first outcomes
+
+let run_chunks t ?chunks ~n f =
+  if n <= 0 then ()
+  else begin
+    let chunks = effective_chunks t ?chunks n in
+    if t.size = 0 || chunks = 1 then f 0 n
+    else
+      barrier_chunks t ~chunks (fun c ->
+          let lo, hi = chunk_bounds ~n ~chunks c in
+          run_shard f lo hi)
+  end
+
+let reduce_chunks t ?chunks ~n f =
+  if n <= 0 then 0.
+  else begin
+    let chunks = effective_chunks t ?chunks n in
+    if chunks = 1 then f 0 n
+    else if t.size = 0 then begin
+      (* Sequential pool, explicit chunking: compute the same partials
+         in the calling domain so the float association — and therefore
+         the result — depends only on (n, chunks), never on the pool
+         size. *)
+      let acc = ref 0. in
+      for c = 0 to chunks - 1 do
+        let lo, hi = chunk_bounds ~n ~chunks c in
+        acc := !acc +. f lo hi
+      done;
+      !acc
+    end
+    else begin
+      let partials = Array.make chunks 0. in
+      barrier_chunks t ~chunks (fun c ->
+          let lo, hi = chunk_bounds ~n ~chunks c in
+          partials.(c) <- run_shard f lo hi);
+      (* Combine in ascending chunk order: deterministic for a given
+       chunk count. *)
+      let acc = ref 0. in
+      for c = 0 to chunks - 1 do
+        acc := !acc +. partials.(c)
+      done;
+      !acc
+    end
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_ordered ~jobs f a = with_pool ~jobs (fun t -> map_array t f a)
+
+let map_outcomes_ordered ~jobs f a =
+  with_pool ~jobs (fun t -> map_outcomes t f a)

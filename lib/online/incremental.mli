@@ -72,6 +72,17 @@ val invalidate : t -> unit
 (** Forget the warm state — the next solve runs cold and the carried
     permutation is rebuilt from identity — keeping counters. *)
 
+val prev_demand : t -> float
+(** The residual parallel demand [sum (1-s_i) c_i] recorded by the last
+    {!solve_state} (0 when none ran) — checkpointed alongside the last
+    makespan so a restored service seeds its first re-solve exactly as
+    the uncrashed run would. *)
+
+val reseed : t -> prev_k:float option -> prev_d:float -> unit
+(** Install a checkpointed warm seed (previous makespan and demand
+    scale).  The carried permutation is {e not} restored — it only buys
+    sort adaptivity; the partition result is exact either way. *)
+
 val cold_partition :
   ?counters:counters -> platform:Model.Platform.t ->
   Model.App.t array -> Theory.Dominant.subset
@@ -106,3 +117,25 @@ val solve :
     [Cold] ignores and does not consume warm state, but still counts its
     work in the same counters.
     @raise Invalid_argument on an empty instance. *)
+
+val solve_state :
+  t -> ?pool:Exec.Pool.t -> ?shard_min:int -> elapsed:float ->
+  state:State.t -> unit -> float * int
+(** The warm re-solve on {!State}'s columns directly — the service's hot
+    path.  Reads the live set through {!State.view} (no per-job
+    [Model.App.t] materialization), runs the same partition repair and
+    capped water-filling as {!solve}, roots the makespan with
+    {!Sched.Equalize.solve_cols} (Illinois refinement) seeded by the
+    {e predicted} residual makespan [prev_k * D / prev_D] (where [D] is
+    the residual parallel demand [sum (1-s_i) c_i]), and installs the
+    allocations through {!State.apply_view}.  Returns [(k, migrations)].
+
+    The three per-position passes (weight/ratio, work costs, processor
+    shares) shard across [pool] when it is given, has workers, and
+    [n >= shard_min] (default 4096); every shard writes disjoint
+    positions and all reductions stay sequential, so the result is
+    bit-identical to the sequential path for any pool size and chunking
+    (QCheck-enforced under churn).  Counts work in the same {!counters}
+    as {!solve} and updates the same warm state ([elapsed] ages the seed
+    on the fallback path when no demand scale is carried yet).
+    @raise Invalid_argument on an empty live set. *)

@@ -73,6 +73,9 @@ type live = {
   state : State.t;
   engine : Simulator.Engine.t;
   inc : Incremental.t;
+  pool : Exec.Pool.t option;
+      (* shared domain pool for sharded re-solve passes, if any *)
+  shard_min : int;  (* live-set size below which re-solves stay sequential *)
   jobs_by_id : (int, State.job) Hashtbl.t;
   listener : (notice -> unit) option;
   mutable events_since : int;
@@ -88,7 +91,10 @@ type live = {
   mutable basis : stats_basis option;  (* Some after a live_restore *)
 }
 
-let live_create ?(config = default_config) ?listener ~platform () =
+let default_shard_min = 4096
+
+let live_create ?(config = default_config) ?pool ?(shard_min = default_shard_min)
+    ?listener ~platform () =
   Policy.validate config.policy;
   {
     config;
@@ -96,6 +102,8 @@ let live_create ?(config = default_config) ?listener ~platform () =
     state = State.create platform;
     engine = Simulator.Engine.create ();
     inc = Incremental.create ();
+    pool;
+    shard_min;
     jobs_by_id = Hashtbl.create 64;
     listener;
     events_since = 0;
@@ -129,63 +137,61 @@ let notify lv n = match lv.listener with None -> () | Some f -> f n
    decision must not depend on bisection noise (it would split warm and
    cold runs on razor-edge ties). *)
 let degradation lv () =
-  let jobs = State.live lv.state in
   let p = lv.platform.Model.Platform.p in
-  let used =
-    Array.fold_left (fun acc (j : State.job) -> acc +. j.procs) 0. jobs
-  in
+  let used, queued_w, total_w = State.demand_summary lv.state in
   let idle =
     let frac = (p -. used) /. p in
     if frac > 1e-9 then frac else 0.
   in
-  let queued_w = ref 0. and total_w = ref 0. in
-  Array.iter
-    (fun (j : State.job) ->
-      let c =
-        Model.Exec_model.work_cost ~app:j.app ~platform:lv.platform ~x:j.cache
-      in
-      let w = j.remaining *. c in
-      total_w := !total_w +. w;
-      if j.procs = 0. then queued_w := !queued_w +. w)
-    jobs;
-  idle +. (if !total_w > 0. then !queued_w /. !total_w else 0.)
+  idle +. (if total_w > 0. then queued_w /. total_w else 0.)
 
 let resolve lv ~is_forced () =
-  let jobs = State.live lv.state in
-  if Array.length jobs > 0 then begin
-    let apps = Array.map State.remaining_app jobs in
+  if State.live_count lv.state > 0 then begin
     let now = Simulator.Engine.now lv.engine in
-    let sol =
-      Incremental.solve lv.inc ~mode:lv.config.mode
-        ~elapsed:(now -. lv.last_solve) ~platform:lv.platform ~apps
+    let elapsed = now -. lv.last_solve in
+    let k, migrations =
+      match lv.config.mode with
+      | Incremental.Warm ->
+        (* Columnar hot path: no per-job materialization, sharded over
+           the pool when the live set is large enough. *)
+        Incremental.solve_state lv.inc ?pool:lv.pool ~shard_min:lv.shard_min
+          ~elapsed ~state:lv.state ()
+      | Incremental.Cold ->
+        let jobs = State.live lv.state in
+        let apps = Array.map State.remaining_app jobs in
+        let sol =
+          Incremental.solve lv.inc ~mode:Incremental.Cold ~elapsed
+            ~platform:lv.platform ~apps
+        in
+        ( sol.Incremental.k,
+          State.apply lv.state jobs sol.Incremental.schedule.Model.Schedule.allocs )
     in
-    lv.migrations <-
-      lv.migrations
-      + State.apply lv.state jobs sol.Incremental.schedule.Model.Schedule.allocs;
+    lv.migrations <- lv.migrations + migrations;
     if is_forced then lv.forced <- lv.forced + 1;
     lv.events_since <- 0;
     lv.last_solve <- now;
-    lv.last_k <- Some sol.Incremental.k;
-    if lv.config.record then
+    lv.last_k <- Some k;
+    if lv.config.record then begin
+      let jobs = State.live lv.state in
       lv.snapshots_rev <-
         {
           time = now;
-          job_ids = Array.map (fun (j : State.job) -> j.id) jobs;
-          procs = Array.map (fun (j : State.job) -> j.procs) jobs;
-          cache = Array.map (fun (j : State.job) -> j.cache) jobs;
-          k = sol.Incremental.k;
+          job_ids = Array.map State.id jobs;
+          procs = Array.map State.procs jobs;
+          cache = Array.map State.cache jobs;
+          k;
         }
-        :: lv.snapshots_rev;
+        :: lv.snapshots_rev
+    end;
     if lv.config.validate then State.assert_conservation lv.state;
-    notify lv (Resolved { time = now; epoch = live_epoch lv; k = sol.Incremental.k })
+    notify lv (Resolved { time = now; epoch = live_epoch lv; k })
   end
 
 let decide lv =
-  let jobs = State.live lv.state in
-  if Array.length jobs = 0 then ()
+  if State.live_count lv.state = 0 then ()
   else begin
-    let queued = Array.exists (fun (j : State.job) -> j.procs = 0.) jobs in
-    let running = Array.exists (fun (j : State.job) -> j.procs > 0.) jobs in
+    let queued = State.queued lv.state > 0 in
+    let running = State.running lv.state > 0 in
     if queued && not running then resolve lv ~is_forced:true ()
     else if
       Policy.should_resolve lv.config.policy ~events_pending:lv.events_since
@@ -200,14 +206,8 @@ let decide lv =
 let finish_event lv sp t0 =
   Obs.Metrics.incr m_events;
   Obs.Metrics.observe m_event_us (Obs.Clock.elapsed_us ~since:t0);
-  let jobs = State.live lv.state in
-  let queued =
-    Array.fold_left
-      (fun acc (j : State.job) -> if j.procs = 0. then acc + 1 else acc)
-      0 jobs
-  in
-  Obs.Metrics.set m_queue_depth (float_of_int queued);
-  Obs.Metrics.set m_live_jobs (float_of_int (Array.length jobs));
+  Obs.Metrics.set m_queue_depth (float_of_int (State.queued lv.state));
+  Obs.Metrics.set m_live_jobs (float_of_int (State.live_count lv.state));
   Obs.Span.stop sp
 
 (* One next-completion event per allocation epoch: equalised cohorts
@@ -217,11 +217,7 @@ let finish_event lv sp t0 =
 let rec schedule_next_completion lv =
   lv.pred_epoch <- lv.pred_epoch + 1;
   let e = lv.pred_epoch in
-  let next =
-    Array.fold_left
-      (fun acc j -> Float.min acc (State.remaining_time ~platform:lv.platform j))
-      infinity (State.live lv.state)
-  in
+  let next = State.min_remaining_time lv.state in
   if next < infinity then begin
     let at = Simulator.Engine.now lv.engine +. next in
     lv.pred_at <- Some at;
@@ -238,13 +234,11 @@ and on_completion lv eng e =
     let t0 = if on then Obs.Clock.now_ns () else 0L in
     let now = Simulator.Engine.now eng in
     State.advance lv.state ~to_:now;
-    Array.iter
-      (fun (j : State.job) ->
-        if j.procs > 0. && j.remaining <= completion_eps then begin
+    State.iter_live lv.state (fun j ->
+        if State.procs j > 0. && State.remaining j <= completion_eps then begin
           State.complete lv.state j;
-          notify lv (Completed { time = now; id = j.id })
-        end)
-      (State.live lv.state);
+          notify lv (Completed { time = now; id = State.id j })
+        end);
     lv.events_handled <- lv.events_handled + 1;
     lv.events_since <- lv.events_since + 1;
     after_event lv;
@@ -273,7 +267,7 @@ let submit lv ~at app =
   let t0 = if on then Obs.Clock.now_ns () else 0L in
   State.advance lv.state ~to_:at;
   let job = State.add lv.state ~app in
-  Hashtbl.replace lv.jobs_by_id job.State.id job;
+  Hashtbl.replace lv.jobs_by_id (State.id job) job;
   lv.events_handled <- lv.events_handled + 1;
   lv.events_since <- lv.events_since + 1;
   after_event lv;
@@ -287,7 +281,7 @@ let cancel lv ~at ~id =
      departure arrives is not cancelled. *)
   Simulator.Engine.advance_to lv.engine ~to_:at;
   match Hashtbl.find_opt lv.jobs_by_id id with
-  | Some job when job.State.finish = None && not job.State.cancelled ->
+  | Some job when State.finish job = None && not (State.cancelled job) ->
     let on = Obs.Probe.on () in
     let sp = if on then Obs.Span.start "service.departure" else Obs.Span.null in
     let t0 = if on then Obs.Clock.now_ns () else 0L in
@@ -302,7 +296,7 @@ let cancel lv ~at ~id =
 
 let drain_step lv =
   Simulator.Engine.run lv.engine;
-  if Array.length (State.live lv.state) = 0 then false
+  if State.live_count lv.state = 0 then false
   else begin
     (* A policy can leave jobs queued after the input stops (it never
        triggered and nothing was running to force it). *)
@@ -336,11 +330,11 @@ let merged_stats lv =
   let b = Option.value ~default:zero_basis lv.basis in
   let finished = State.finished lv.state in
   List.fold_left
-    (fun acc (j : State.job) ->
-      match j.finish with
+    (fun acc j ->
+      match State.finish j with
       | Some f ->
-        let resp = f -. j.arrival in
-        let str = resp /. j.alone_time in
+        let resp = f -. State.arrival j in
+        let str = resp /. State.alone_time j in
         {
           b_completed = acc.b_completed + 1;
           b_cancelled = acc.b_cancelled;
@@ -414,6 +408,7 @@ type persist = {
   p_pending : float option;
   p_last_solve : float;
   p_last_k : float option;
+  p_prev_d : float;
   p_events_handled : int;
   p_events_since : int;
   p_forced : int;
@@ -438,17 +433,17 @@ let live_persist lv =
   let jobs =
     Array.to_list
       (Array.map
-         (fun (j : State.job) ->
+         (fun j ->
            {
-             pj_id = j.State.id;
-             pj_app = j.State.app;
-             pj_arrival = j.State.arrival;
-             pj_remaining = j.State.remaining;
-             pj_procs = j.State.procs;
-             pj_cache = j.State.cache;
-             pj_allocated = j.State.allocated;
-             pj_epoch = j.State.epoch;
-             pj_migrations = j.State.migrations;
+             pj_id = State.id j;
+             pj_app = State.app j;
+             pj_arrival = State.arrival j;
+             pj_remaining = State.remaining j;
+             pj_procs = State.procs j;
+             pj_cache = State.cache j;
+             pj_allocated = State.allocated j;
+             pj_epoch = State.epoch j;
+             pj_migrations = State.migrations j;
            })
          (State.live lv.state))
   in
@@ -459,6 +454,7 @@ let live_persist lv =
     p_pending = lv.pred_at;
     p_last_solve = lv.last_solve;
     p_last_k = lv.last_k;
+    p_prev_d = Incremental.prev_demand lv.inc;
     p_events_handled = lv.events_handled;
     p_events_since = lv.events_since;
     p_forced = lv.forced;
@@ -477,7 +473,8 @@ let live_persist lv =
     p_jobs = jobs;
   }
 
-let live_restore ?(config = default_config) ?listener ~platform p =
+let live_restore ?(config = default_config) ?pool
+    ?(shard_min = default_shard_min) ?listener ~platform p =
   Policy.validate config.policy;
   let lv =
     {
@@ -486,6 +483,8 @@ let live_restore ?(config = default_config) ?listener ~platform p =
       state = State.create platform;
       engine = Simulator.Engine.create ();
       inc = Incremental.create ();
+      pool;
+      shard_min;
       jobs_by_id = Hashtbl.create 64;
       listener;
       events_since = p.p_events_since;
@@ -528,6 +527,11 @@ let live_restore ?(config = default_config) ?listener ~platform p =
   c.Incremental.partition_ops <- p.p_partition_ops;
   c.Incremental.warm_hits <- p.p_warm_hits;
   c.Incremental.cold_fallbacks <- p.p_cold_fallbacks;
+  (* Re-arm the warm seed: the first post-restore re-solve must predict
+     from the same previous makespan and demand scale as the uncrashed
+     run, or its Illinois refinement would land ulps away and break the
+     byte-identical recovery property. *)
+  Incremental.reseed lv.inc ~prev_k:p.p_last_k ~prev_d:p.p_prev_d;
   (* Re-arm the completion prediction at its exact recorded absolute
      time.  Recomputing [now + remaining_time] here would land within
      ulps of the original but not necessarily on it; carrying the
@@ -543,8 +547,8 @@ let live_restore ?(config = default_config) ?listener ~platform p =
   | _ -> ());
   lv
 
-let run ?(config = default_config) ~platform stream =
-  let lv = live_create ~config ~platform () in
+let run ?(config = default_config) ?pool ?shard_min ~platform stream =
+  let lv = live_create ~config ?pool ?shard_min ~platform () in
   List.iter
     (fun { Workload_stream.time; kind } ->
       match kind with

@@ -75,10 +75,16 @@ type live
     engine, the warm {!Incremental} re-solver and the run counters. *)
 
 val live_create :
-  ?config:config -> ?listener:(notice -> unit) -> platform:Model.Platform.t ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?shard_min:int ->
+  ?listener:(notice -> unit) -> platform:Model.Platform.t ->
   unit -> live
 (** Fresh instance at model time 0.  The optional [listener] is invoked
     synchronously on every re-solve and completion.
+
+    [pool], when given, shards the per-job passes of every warm re-solve
+    across its worker domains once the live set reaches [shard_min]
+    jobs (default 4096) — bit-identical to the sequential path (see
+    {!Incremental.solve_state}); the caller owns the pool's lifetime.
     @raise Invalid_argument on an invalid [config.policy]. *)
 
 val live_now : live -> float
@@ -147,11 +153,12 @@ val live_report : live -> report
     floats round-trip through 17-significant-digit text, the completion
     prediction is re-armed at its exact recorded absolute time (not
     recomputed, which could drift by ulps), and allocations are
-    reinstalled verbatim without re-solving.  The warm re-solver state is
-    {e not} carried — the first post-restore solve runs from the cold
-    bracket, which the warm==cold properties of the online test suite
-    prove bit-identical in result (only [solver_iters]/[warm_hits]/
-    [cold_fallbacks] counters can differ from the uncrashed run).
+    reinstalled verbatim without re-solving.  The warm {e seed} (the
+    previous makespan and demand scale) is carried, so the first
+    post-restore re-solve predicts from exactly the values the uncrashed
+    run would have used; the carried sort permutation is not (it only
+    buys adaptivity — only [partition_ops] can differ from the uncrashed
+    run).
     [Serve.Snapshot] serializes this value to the checksummed snapshot
     file behind journal compaction. *)
 
@@ -177,6 +184,10 @@ type persist = {
                                   completion prediction, if any. *)
   p_last_solve : float;
   p_last_k : float option;
+  p_prev_d : float;           (** Residual demand scale at the last
+                                  solve — with [p_last_k], the warm
+                                  seed of the first post-restore
+                                  re-solve (0 when none ran). *)
   p_events_handled : int;
   p_events_since : int;
   p_forced : int;
@@ -201,16 +212,20 @@ val live_persist : live -> persist
     read-only; the instance keeps running. *)
 
 val live_restore :
-  ?config:config -> ?listener:(notice -> unit) -> platform:Model.Platform.t ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?shard_min:int ->
+  ?listener:(notice -> unit) -> platform:Model.Platform.t ->
   persist -> live
 (** Rebuild a live instance from a checkpoint (see above for the
-    bit-identical-evolution guarantee).  [config] and [listener] are
-    supplied fresh — they are process-level concerns, not model state.
+    bit-identical-evolution guarantee).  [config], [listener] and the
+    sharding [pool] are supplied fresh — they are process-level
+    concerns, not model state.
     @raise Invalid_argument on an invalid [config.policy] or a malformed
     checkpoint (out-of-order job ids, negative clock). *)
 
 val run :
-  ?config:config -> platform:Model.Platform.t -> Workload_stream.t -> report
+  ?config:config -> ?pool:Exec.Pool.t -> ?shard_min:int ->
+  platform:Model.Platform.t -> Workload_stream.t -> report
 (** Replay the stream to completion through a fresh live instance (every
     admitted job either completes or is cancelled).  Deterministic: a
-    pure function of the platform, stream and config. *)
+    pure function of the platform, stream and config — with or without a
+    sharding [pool] (see {!live_create}). *)

@@ -1,81 +1,272 @@
+(* Columnar live-set state.
+
+   Hot per-job quantities live in flat float-array columns indexed by a
+   [slot] drawn from a freelist; a [job] value is a thin handle carrying
+   the immutable identity (id, app, arrival) plus its slot.  The event
+   loop (progress integration, completion prediction, degradation
+   estimation) walks the columns linearly instead of chasing a record
+   per job, and the incremental solver reads the same columns through
+   {!view} — one arrival touches cache-dense arrays end to end.
+
+   Retirement marks the handle's slot [-1] (final values are stashed on
+   the handle first) and returns the slot to the freelist, so the next
+   admission reuses it; the admission-ordered [dense] iteration array
+   keeps a hole where the job was until {!compact} squeezes it (lazily,
+   when holes pile up or a solver view is taken).  Handles never read
+   columns after retirement, so slot reuse cannot alias. *)
+
 type job = {
   id : int;
   app : Model.App.t;
   arrival : float;
   alone_time : float;
-  mutable remaining : float;
-  mutable procs : float;
-  mutable cache : float;
+  mutable slot : int; (* column index; -1 once retired *)
+  mutable dpos : int; (* index in the dense iteration array *)
   mutable allocated : bool;
   mutable epoch : int;
   mutable migrations : int;
   mutable finish : float option;
   mutable cancelled : bool;
+  mutable rem_final : float; (* remaining fraction at retirement *)
+  cols : cols;
+}
+
+(* Parallel per-slot columns, all replaced together on growth.  The
+   solver-input columns (w, s, f, m0, c0, footprint, d, dpow, capx) are
+   pure functions of the app and the platform, computed once at
+   admission; exe and access are caches of the execution model under
+   the *current* allocation, refreshed on every allocation change. *)
+and cols = {
+  mutable cap : int;
+  mutable c_remaining : float array;
+  mutable c_procs : float array;
+  mutable c_cache : float array;
+  mutable c_exe : float array; (* Exe(p, x); infinity while queued *)
+  mutable c_access : float array; (* access_cost at the current x *)
+  mutable c_w : float array;
+  mutable c_s : float array;
+  mutable c_f : float array;
+  mutable c_m0 : float array;
+  mutable c_c0 : float array;
+  mutable c_fp : float array;
+  mutable c_d : float array; (* Power_law.d_of *)
+  mutable c_dpow : float array; (* d ** (1 / alpha) *)
+  mutable c_capx : float array; (* max useful cache fraction *)
 }
 
 type t = {
   platform : Model.Platform.t;
+  cols : cols;
   mutable clock : float;
-  mutable live_rev : job list;      (* newest first *)
-  mutable finished_rev : job list;  (* newest first *)
   mutable next_id : int;
   mutable busy : float;
+  mutable dense : job array; (* admission order, with retirement holes *)
+  mutable dense_slot : int array; (* slot mirror of [dense]; -1 = hole *)
+  mutable ndense : int;
+  mutable nlive : int;
+  mutable free : int array; (* freelist stack of retired slots *)
+  mutable nfree : int;
+  mutable hwm : int; (* slots ever allocated *)
+  mutable finished_rev : job list;
+  mutable view_slot : int array; (* position -> slot, for {!view} *)
 }
 
 let create platform =
-  { platform; clock = 0.; live_rev = []; finished_rev = []; next_id = 0; busy = 0. }
+  {
+    platform;
+    cols =
+      {
+        cap = 0;
+        c_remaining = [||];
+        c_procs = [||];
+        c_cache = [||];
+        c_exe = [||];
+        c_access = [||];
+        c_w = [||];
+        c_s = [||];
+        c_f = [||];
+        c_m0 = [||];
+        c_c0 = [||];
+        c_fp = [||];
+        c_d = [||];
+        c_dpow = [||];
+        c_capx = [||];
+      };
+    clock = 0.;
+    next_id = 0;
+    busy = 0.;
+    dense = [||];
+    dense_slot = [||];
+    ndense = 0;
+    nlive = 0;
+    free = [||];
+    nfree = 0;
+    hwm = 0;
+    finished_rev = [];
+    view_slot = [||];
+  }
 
 let platform t = t.platform
 let now t = t.clock
 let next_id t = t.next_id
 
-let advance t ~to_ =
-  if Float.is_nan to_ then invalid_arg "State.advance: NaN time";
-  if to_ < t.clock then invalid_arg "State.advance: cannot advance backwards";
-  let dt = to_ -. t.clock in
-  if dt > 0. then
-    List.iter
-      (fun job ->
-        if job.procs > 0. then begin
-          t.busy <- t.busy +. (job.procs *. dt);
-          if job.remaining > 0. then begin
-            let exe =
-              Model.Exec_model.exe ~app:job.app ~platform:t.platform
-                ~p:job.procs ~x:job.cache
-            in
-            job.remaining <- Float.max 0. (job.remaining -. (dt /. exe))
-          end
-        end)
-      t.live_rev;
-  t.clock <- to_
+(* --- accessors --------------------------------------------------------- *)
 
-let add t ~app =
+let id j = j.id
+let app j = j.app
+let arrival j = j.arrival
+let alone_time j = j.alone_time
+let allocated j = j.allocated
+let epoch j = j.epoch
+let migrations j = j.migrations
+let finish j = j.finish
+let cancelled j = j.cancelled
+let remaining j = if j.slot >= 0 then j.cols.c_remaining.(j.slot) else j.rem_final
+let procs j = if j.slot >= 0 then j.cols.c_procs.(j.slot) else 0.
+let cache j = if j.slot >= 0 then j.cols.c_cache.(j.slot) else 0.
+
+(* --- growth ------------------------------------------------------------ *)
+
+let grow_float a cap =
+  let b = Array.make cap 0. in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_cols c =
+  let cap = max 8 (2 * c.cap) in
+  c.c_remaining <- grow_float c.c_remaining cap;
+  c.c_procs <- grow_float c.c_procs cap;
+  c.c_cache <- grow_float c.c_cache cap;
+  c.c_exe <- grow_float c.c_exe cap;
+  c.c_access <- grow_float c.c_access cap;
+  c.c_w <- grow_float c.c_w cap;
+  c.c_s <- grow_float c.c_s cap;
+  c.c_f <- grow_float c.c_f cap;
+  c.c_m0 <- grow_float c.c_m0 cap;
+  c.c_c0 <- grow_float c.c_c0 cap;
+  c.c_fp <- grow_float c.c_fp cap;
+  c.c_d <- grow_float c.c_d cap;
+  c.c_dpow <- grow_float c.c_dpow cap;
+  c.c_capx <- grow_float c.c_capx cap;
+  c.cap <- cap
+
+let alloc_slot t =
+  if t.nfree > 0 then begin
+    t.nfree <- t.nfree - 1;
+    t.free.(t.nfree)
+  end
+  else begin
+    if t.hwm >= t.cols.cap then grow_cols t.cols;
+    let s = t.hwm in
+    t.hwm <- t.hwm + 1;
+    s
+  end
+
+let free_slot t s =
+  if Array.length t.free <= t.nfree then begin
+    let b = Array.make (max 8 (2 * Array.length t.free)) 0 in
+    Array.blit t.free 0 b 0 t.nfree;
+    t.free <- b
+  end;
+  t.free.(t.nfree) <- s;
+  t.nfree <- t.nfree + 1
+
+(* Squeeze retirement holes out of the dense iteration array, preserving
+   admission order. *)
+let compact t =
+  if t.ndense <> t.nlive then begin
+    let k = ref 0 in
+    for i = 0 to t.ndense - 1 do
+      let s = t.dense_slot.(i) in
+      if s >= 0 then begin
+        let j = t.dense.(i) in
+        t.dense.(!k) <- j;
+        t.dense_slot.(!k) <- s;
+        j.dpos <- !k;
+        incr k
+      end
+    done;
+    t.ndense <- !k
+  end
+
+let push_dense t j =
+  if t.ndense >= Array.length t.dense then begin
+    (* Prefer squeezing holes to growing when most entries are dead. *)
+    if t.nlive * 2 <= t.ndense then compact t;
+    if t.ndense >= Array.length t.dense then begin
+      let cap = max 8 (2 * Array.length t.dense) in
+      let d = Array.make cap j in
+      Array.blit t.dense 0 d 0 t.ndense;
+      t.dense <- d;
+      let ds = Array.make cap (-1) in
+      Array.blit t.dense_slot 0 ds 0 t.ndense;
+      t.dense_slot <- ds
+    end
+  end;
+  j.dpos <- t.ndense;
+  t.dense.(t.ndense) <- j;
+  t.dense_slot.(t.ndense) <- j.slot;
+  t.ndense <- t.ndense + 1;
+  t.nlive <- t.nlive + 1
+
+(* --- admission --------------------------------------------------------- *)
+
+(* Fill every column of [slot] for a job on [app] with the given
+   progress/allocation.  The exe/access caches are pure functions of
+   the app, platform and allocation, so a checkpoint restore recomputes
+   bit-identical values. *)
+let fill_slot t slot ~(app : Model.App.t) ~remaining ~procs ~cache =
+  let c = t.cols and pf = t.platform in
+  c.c_remaining.(slot) <- remaining;
+  c.c_procs.(slot) <- procs;
+  c.c_cache.(slot) <- cache;
+  c.c_w.(slot) <- app.Model.App.w;
+  c.c_s.(slot) <- app.Model.App.s;
+  c.c_f.(slot) <- app.Model.App.f;
+  c.c_m0.(slot) <- app.Model.App.m0;
+  c.c_c0.(slot) <- app.Model.App.c0;
+  c.c_fp.(slot) <- app.Model.App.footprint;
+  let d = Model.Power_law.d_of ~app ~platform:pf in
+  c.c_d.(slot) <- d;
+  c.c_dpow.(slot) <- (if d = 0. then 0. else d ** (1. /. pf.Model.Platform.alpha));
+  c.c_capx.(slot) <- Model.Power_law.max_useful_fraction ~app ~platform:pf;
+  let access = Model.Exec_model.access_cost ~app ~platform:pf cache in
+  c.c_access.(slot) <- access;
+  c.c_exe.(slot) <-
+    (if procs > 0. then Model.Exec_model.amdahl_flops ~app procs *. access
+     else infinity)
+
+let mk_job t ~id ~app ~arrival ~slot =
   let alone_time =
     Model.Exec_model.exe ~app ~platform:t.platform
       ~p:t.platform.Model.Platform.p ~x:1.
   in
-  let job =
-    {
-      id = t.next_id;
-      app;
-      arrival = t.clock;
-      alone_time;
-      remaining = 1.;
-      procs = 0.;
-      cache = 0.;
-      allocated = false;
-      epoch = 0;
-      migrations = 0;
-      finish = None;
-      cancelled = false;
-    }
-  in
+  {
+    id;
+    app;
+    arrival;
+    alone_time;
+    slot;
+    dpos = -1;
+    allocated = false;
+    epoch = 0;
+    migrations = 0;
+    finish = None;
+    cancelled = false;
+    rem_final = 0.;
+    cols = t.cols;
+  }
+
+let add t ~app =
+  let slot = alloc_slot t in
+  fill_slot t slot ~app ~remaining:1. ~procs:0. ~cache:0.;
+  let job = mk_job t ~id:t.next_id ~app ~arrival:t.clock ~slot in
   t.next_id <- t.next_id + 1;
-  t.live_rev <- job :: t.live_rev;
+  push_dense t job;
   job
 
 let restore t ~clock ~next_id ~busy =
-  if t.live_rev <> [] || t.finished_rev <> [] then
+  if t.nlive > 0 || t.finished_rev <> [] then
     invalid_arg "State.restore: state is not fresh";
   if Float.is_nan clock || clock < 0. then
     invalid_arg "State.restore: bad clock";
@@ -84,126 +275,288 @@ let restore t ~clock ~next_id ~busy =
   t.next_id <- next_id;
   t.busy <- busy
 
+(* The id of the newest live job, or -1: injection order enforcement.
+   The newest live handle is the last non-hole dense entry. *)
+let last_live_id t =
+  let rec scan i = if i < 0 then -1
+    else if t.dense_slot.(i) >= 0 then t.dense.(i).id
+    else scan (i - 1)
+  in
+  scan (t.ndense - 1)
+
 let inject t ~id ~app ~arrival ~remaining ~procs ~cache ~allocated ~epoch
     ~migrations =
-  if List.exists (fun j -> j.id = id) t.live_rev then
-    invalid_arg "State.inject: duplicate job id";
-  (match t.live_rev with
-  | j :: _ when j.id >= id ->
-    invalid_arg "State.inject: jobs must be injected in id order"
-  | _ -> ());
-  let alone_time =
-    Model.Exec_model.exe ~app ~platform:t.platform
-      ~p:t.platform.Model.Platform.p ~x:1.
-  in
-  let job =
-    {
-      id;
-      app;
-      arrival;
-      alone_time;
-      remaining;
-      procs;
-      cache;
-      allocated;
-      epoch;
-      migrations;
-      finish = None;
-      cancelled = false;
-    }
-  in
-  t.live_rev <- job :: t.live_rev;
+  if last_live_id t >= id then
+    invalid_arg "State.inject: jobs must be injected in id order";
+  let slot = alloc_slot t in
+  fill_slot t slot ~app ~remaining ~procs ~cache;
+  let job = mk_job t ~id ~app ~arrival ~slot in
+  job.allocated <- allocated;
+  job.epoch <- epoch;
+  job.migrations <- migrations;
+  push_dense t job;
   if id >= t.next_id then t.next_id <- id + 1;
   job
 
-let retire t job =
-  let rest = List.filter (fun j -> j.id <> job.id) t.live_rev in
-  if List.length rest = List.length t.live_rev then
-    invalid_arg "State: job is not live";
-  t.live_rev <- rest;
+(* --- retirement -------------------------------------------------------- *)
+
+let retire t job ~zero_remaining =
+  if job.slot < 0 then invalid_arg "State: job is not live";
+  let s = job.slot in
+  job.rem_final <- (if zero_remaining then 0. else t.cols.c_remaining.(s));
+  job.slot <- (-1);
+  t.dense_slot.(job.dpos) <- (-1);
+  free_slot t s;
+  t.nlive <- t.nlive - 1;
   t.finished_rev <- job :: t.finished_rev
 
 let complete t job =
-  retire t job;
-  job.remaining <- 0.;
-  job.finish <- Some t.clock;
-  job.procs <- 0.;
-  job.cache <- 0.
+  retire t job ~zero_remaining:true;
+  job.finish <- Some t.clock
 
 let cancel t job =
-  retire t job;
-  job.cancelled <- true;
-  job.procs <- 0.;
-  job.cache <- 0.
+  retire t job ~zero_remaining:false;
+  job.cancelled <- true
+
+(* --- iteration --------------------------------------------------------- *)
+
+let live_count t = t.nlive
+
+let iter_live t f =
+  (* Safe against retirement of the visited job from inside [f]:
+     retiring only blanks dense entries, never moves them. *)
+  for i = 0 to t.ndense - 1 do
+    if t.dense_slot.(i) >= 0 then f t.dense.(i)
+  done
 
 let live t =
-  let arr = Array.of_list t.live_rev in
-  let n = Array.length arr in
-  (* live_rev is newest first; arrival order is the reverse. *)
-  Array.init n (fun i -> arr.(n - 1 - i))
+  if t.nlive = 0 then [||]
+  else begin
+    compact t;
+    Array.sub t.dense 0 t.nlive
+  end
 
 let finished t = List.rev t.finished_rev
-let running t = List.length (List.filter (fun j -> j.procs > 0.) t.live_rev)
-let queued t = List.length (List.filter (fun j -> j.procs = 0.) t.live_rev)
+
+let running t =
+  let c = ref 0 in
+  for i = 0 to t.ndense - 1 do
+    let s = t.dense_slot.(i) in
+    if s >= 0 && t.cols.c_procs.(s) > 0. then incr c
+  done;
+  !c
+
+let queued t =
+  let c = ref 0 in
+  for i = 0 to t.ndense - 1 do
+    let s = t.dense_slot.(i) in
+    if s >= 0 && t.cols.c_procs.(s) = 0. then incr c
+  done;
+  !c
+
+(* --- progress ---------------------------------------------------------- *)
+
+let advance t ~to_ =
+  if Float.is_nan to_ then invalid_arg "State.advance: NaN time";
+  if to_ < t.clock then invalid_arg "State.advance: cannot advance backwards";
+  let dt = to_ -. t.clock in
+  if dt > 0. then begin
+    let c = t.cols in
+    for i = 0 to t.ndense - 1 do
+      let s = t.dense_slot.(i) in
+      if s >= 0 then begin
+        let p = c.c_procs.(s) in
+        if p > 0. then begin
+          t.busy <- t.busy +. (p *. dt);
+          let rem = c.c_remaining.(s) in
+          if rem > 0. then
+            c.c_remaining.(s) <- Float.max 0. (rem -. (dt /. c.c_exe.(s)))
+        end
+      end
+    done
+  end;
+  t.clock <- to_
 
 let remaining_app job =
   if job.finish <> None || job.cancelled then
     invalid_arg "State.remaining_app: job is finished";
-  Model.App.with_w job.app (job.remaining *. job.app.Model.App.w)
+  Model.App.with_w job.app (remaining job *. job.app.Model.App.w)
 
-let remaining_time ~platform job =
-  if job.procs <= 0. then infinity
-  else
-    job.remaining
-    *. Model.Exec_model.exe ~app:job.app ~platform ~p:job.procs ~x:job.cache
+let remaining_time ~platform:_ job =
+  if job.slot < 0 then infinity
+  else begin
+    let c = job.cols and s = job.slot in
+    if c.c_procs.(s) <= 0. then infinity
+    else c.c_remaining.(s) *. c.c_exe.(s)
+  end
+
+let min_remaining_time t =
+  let c = t.cols in
+  let acc = ref infinity in
+  for i = 0 to t.ndense - 1 do
+    let s = t.dense_slot.(i) in
+    if s >= 0 && c.c_procs.(s) > 0. then begin
+      let v = c.c_remaining.(s) *. c.c_exe.(s) in
+      if v < !acc then acc := v
+    end
+  done;
+  !acc
+
+let demand_summary t =
+  let c = t.cols in
+  let used = ref 0. and queued_w = ref 0. and total_w = ref 0. in
+  for i = 0 to t.ndense - 1 do
+    let s = t.dense_slot.(i) in
+    if s >= 0 then begin
+      let p = c.c_procs.(s) in
+      used := !used +. p;
+      let wk = c.c_remaining.(s) *. (c.c_w.(s) *. c.c_access.(s)) in
+      total_w := !total_w +. wk;
+      if p = 0. then queued_w := !queued_w +. wk
+    end
+  done;
+  (!used, !queued_w, !total_w)
+
+(* --- allocation -------------------------------------------------------- *)
 
 let rel_changed a b =
   Float.abs (a -. b) > 1e-9 *. Float.max 1e-30 (Float.max (Float.abs a) (Float.abs b))
 
-let apply _t jobs allocs =
+(* Install one job's allocation: columns, the exe/access caches, and the
+   migration/epoch bookkeeping.  [access] is the precomputed access cost
+   at [cache] when the caller (the columnar solver) already derived it;
+   otherwise it is recomputed from the model — the same pure function,
+   so both paths cache bit-identical values. *)
+let set_alloc t job ~procs ~cache ~access =
+  if job.slot < 0 then invalid_arg "State: job is not live";
+  let c = t.cols and s = job.slot in
+  let migrated =
+    job.allocated
+    && (rel_changed c.c_procs.(s) procs || rel_changed c.c_cache.(s) cache)
+  in
+  if migrated then job.migrations <- job.migrations + 1;
+  c.c_procs.(s) <- procs;
+  c.c_cache.(s) <- cache;
+  let access =
+    match access with
+    | Some a -> a
+    | None ->
+      Model.Exec_model.access_cost ~app:job.app ~platform:t.platform cache
+  in
+  c.c_access.(s) <- access;
+  c.c_exe.(s) <-
+    (if procs > 0. then
+       ((c.c_s.(s) *. c.c_w.(s)) +. ((1. -. c.c_s.(s)) *. c.c_w.(s) /. procs))
+       *. access
+     else infinity);
+  if procs > 0. then job.allocated <- true;
+  job.epoch <- job.epoch + 1;
+  migrated
+
+let apply t jobs allocs =
   if Array.length jobs <> Array.length allocs then
     invalid_arg "State.apply: jobs and allocations must have the same length";
   let migrations = ref 0 in
   Array.iteri
     (fun i job ->
       let { Model.Schedule.procs; cache } = allocs.(i) in
-      if job.allocated && (rel_changed job.procs procs || rel_changed job.cache cache)
-      then begin
-        job.migrations <- job.migrations + 1;
-        incr migrations
-      end;
-      job.procs <- procs;
-      job.cache <- cache;
-      if procs > 0. then job.allocated <- true;
-      job.epoch <- job.epoch + 1)
+      if set_alloc t job ~procs ~cache ~access:None then incr migrations)
     jobs;
   !migrations
 
+(* --- solver view ------------------------------------------------------- *)
+
+type view = {
+  v_n : int;
+  v_slot : int array;
+  v_remaining : float array;
+  v_w : float array;
+  v_s : float array;
+  v_f : float array;
+  v_m0 : float array;
+  v_c0 : float array;
+  v_fp : float array;
+  v_d : float array;
+  v_dpow : float array;
+  v_capx : float array;
+}
+
+let view t =
+  compact t;
+  let n = t.nlive in
+  if Array.length t.view_slot < n then
+    t.view_slot <- Array.make (max n ((2 * Array.length t.view_slot) + 8)) 0;
+  Array.blit t.dense_slot 0 t.view_slot 0 n;
+  let c = t.cols in
+  {
+    v_n = n;
+    v_slot = t.view_slot;
+    v_remaining = c.c_remaining;
+    v_w = c.c_w;
+    v_s = c.c_s;
+    v_f = c.c_f;
+    v_m0 = c.c_m0;
+    v_c0 = c.c_c0;
+    v_fp = c.c_fp;
+    v_d = c.c_d;
+    v_dpow = c.c_dpow;
+    v_capx = c.c_capx;
+  }
+
+let apply_view t ~n ~procs ~cache ~access =
+  if n <> t.nlive || t.ndense <> t.nlive then
+    invalid_arg "State.apply_view: stale view";
+  let migrations = ref 0 in
+  for i = 0 to n - 1 do
+    if
+      set_alloc t t.dense.(i) ~procs:procs.(i) ~cache:cache.(i)
+        ~access:(Some access.(i))
+    then incr migrations
+  done;
+  !migrations
+
+(* --- bookkeeping ------------------------------------------------------- *)
+
 let busy_integral t = t.busy
+
+let mem_stats t = (t.hwm, t.nfree, t.nlive, t.ndense)
 
 let conservation_violation t =
   let p = t.platform.Model.Platform.p in
   let eps = 1e-6 in
   let bad = ref None in
   let set msg = if !bad = None then bad := Some msg in
-  List.iter
-    (fun job ->
-      if job.procs < 0. then
-        set (Printf.sprintf "job %d has negative processors %g" job.id job.procs);
-      if job.cache < 0. || job.cache > 1. +. eps then
-        set (Printf.sprintf "job %d has cache fraction %g outside [0,1]" job.id
-               job.cache))
-    t.live_rev;
-  let total_p =
-    Util.Floatx.sum (List.map (fun j -> j.procs) t.live_rev)
-  and total_x =
-    Util.Floatx.sum (List.map (fun j -> j.cache) t.live_rev)
-  in
-  if total_p > p *. (1. +. eps) then
-    set (Printf.sprintf "processors oversubscribed: sum p_i = %.17g > p = %g"
-           total_p p);
-  if total_x > 1. +. eps then
-    set (Printf.sprintf "cache oversubscribed: sum x_i = %.17g > 1" total_x);
+  let c = t.cols in
+  (* Kahan sums over the live columns, admission order. *)
+  let tp = ref 0. and cp = ref 0. in
+  let tx = ref 0. and cx = ref 0. in
+  for i = 0 to t.ndense - 1 do
+    let s = t.dense_slot.(i) in
+    if s >= 0 then begin
+      let pr = c.c_procs.(s) and x = c.c_cache.(s) in
+      if pr < 0. then
+        set
+          (Printf.sprintf "job %d has negative processors %g" t.dense.(i).id pr);
+      if x < 0. || x > 1. +. eps then
+        set
+          (Printf.sprintf "job %d has cache fraction %g outside [0,1]"
+             t.dense.(i).id x);
+      let y = pr -. !cp in
+      let tn = !tp +. y in
+      cp := tn -. !tp -. y;
+      tp := tn;
+      let y = x -. !cx in
+      let tn = !tx +. y in
+      cx := tn -. !tx -. y;
+      tx := tn
+    end
+  done;
+  if !tp > p *. (1. +. eps) then
+    set
+      (Printf.sprintf "processors oversubscribed: sum p_i = %.17g > p = %g" !tp
+         p);
+  if !tx > 1. +. eps then
+    set (Printf.sprintf "cache oversubscribed: sum x_i = %.17g > 1" !tx);
   !bad
 
 let assert_conservation t =

@@ -69,6 +69,34 @@ val solve_with_costs :
     result is bit-identical either way (QCheck-enforced).
     @raise Invalid_argument if [n = 0]. *)
 
+val solve_cols :
+  ?tol:float -> ?warm:float -> ?iters:int ref -> ?pool:Exec.Pool.t ->
+  platform:Model.Platform.t -> s:float array ->
+  costs:float array -> n:int -> unit -> float
+(** Columnar variant of {!solve_with_costs} for the online service's
+    flat-array hot path: the sequential fractions arrive as a
+    position-indexed array [s.(0 .. n-1)] instead of [Model.App.t]
+    values, and the final bracketed refinement uses Illinois false
+    position (damped secant with a guaranteed bracket) instead of pure
+    bisection — typically 6–10 objective evaluations to the same
+    [hi - lo <= tol * (1 + |mid|)] stopping criterion where bisection
+    needs ~40, which is what pushes the warm-vs-cold iteration speedup
+    past the 1.5× gate in [BENCH_online.json].  The returned makespan
+    agrees with {!solve_with_costs} to within the bracket-width
+    tolerance (QCheck-checked); the bisection reference path itself is
+    unchanged.  [iters] counts objective evaluations as in
+    {!solve_makespan}.
+
+    The demand sum inside each objective evaluation is chunked at a
+    fixed width (2048 positions) whenever [n] exceeds one chunk, with
+    per-chunk partials combined in ascending order — the association
+    depends only on [n], never on [pool].  Passing a [pool] with
+    workers runs the chunks in parallel ({!Exec.Pool.reduce_chunks});
+    omitting it, or passing a sequential pool, runs the identical
+    chunked sum in the calling domain, so the returned makespan is
+    bit-identical across all pool configurations (QCheck-enforced).
+    @raise Invalid_argument if [n = 0]. *)
+
 val procs_at :
   platform:Model.Platform.t -> apps:Model.App.t array -> x:float array ->
   k:float -> float array

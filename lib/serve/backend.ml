@@ -77,7 +77,7 @@ let draining t = t.draining
 let shedding t = t.shed
 let recovered t = t.recovered
 let snapshots_written t = t.snapshots
-let live_jobs t = Array.length (Online.State.live (Online.Service.live_state t.lv))
+let live_jobs t = Online.State.live_count (Online.Service.live_state t.lv)
 
 let take_notices t =
   let rec go acc =
@@ -177,7 +177,7 @@ let replay_entry lv ~record_dedup (e : Campaign.Journal.entry) =
       match Model.App.make ~name ~s ~footprint ~c0 ~w ~f ~m0 () with
       | app ->
         let job = Online.Service.submit lv ~at app in
-        with_dedup sidhex rid_s (R_submitted { job = job.Online.State.id });
+        with_dedup sidhex rid_s (R_submitted { job = Online.State.id job });
         int_of_string_opt seq
       | exception Invalid_argument _ -> None)
     | _ -> None)
@@ -409,20 +409,21 @@ let update_shed t =
 (* --- request handling --------------------------------------------------- *)
 
 let view_of_job (j : Online.State.job) : job_view =
+  let finish = Online.State.finish j in
   let state =
-    if j.cancelled then Cancelled
-    else if j.finish <> None then Done
-    else if j.procs > 0. then Running
+    if Online.State.cancelled j then Cancelled
+    else if finish <> None then Done
+    else if Online.State.procs j > 0. then Running
     else Queued
   in
   {
-    job = j.id;
+    job = Online.State.id j;
     state;
-    procs = j.procs;
-    cache = j.cache;
-    remaining = j.remaining;
-    arrival = j.arrival;
-    finish = j.finish;
+    procs = Online.State.procs j;
+    cache = Online.State.cache j;
+    remaining = Online.State.remaining j;
+    arrival = Online.State.arrival j;
+    finish;
   }
 
 let completed_count t = completed_of t.lv
@@ -527,7 +528,7 @@ let handle t ~clients (req : request) =
                  (hex_of_sid req.sid) req.rid spec.name)
               [| t_eff; spec.w; spec.s; spec.f; spec.m0; spec.c0; spec.footprint |];
             let job = Online.Service.submit t.lv ~at:t_eff app in
-            R_submitted { job = job.id })
+            R_submitted { job = Online.State.id job })
       | Cancel id -> (
         match Online.Service.find_job t.lv id with
         | None ->

@@ -72,6 +72,7 @@ let render t =
   (match p.p_pending with Some at -> buf_kv_num b "pending" at | None -> ());
   buf_kv_num b "last_solve" p.p_last_solve;
   (match p.p_last_k with Some k -> buf_kv_num b "last_k" k | None -> ());
+  buf_kv_num b "prev_d" p.p_prev_d;
   buf_kv_int b "events_handled" p.p_events_handled;
   buf_kv_int b "events_since" p.p_events_since;
   buf_kv_int b "forced" p.p_forced;
@@ -218,6 +219,7 @@ let of_payload payload =
       p_pending = opt_num "pending" j;
       p_last_solve = num "last_solve" j;
       p_last_k = opt_num "last_k" j;
+      p_prev_d = num_or "prev_d" j 0.;
       p_events_handled = int_ "events_handled" j;
       p_events_since = int_ "events_since" j;
       p_forced = int_ "forced" j;

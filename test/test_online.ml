@@ -123,11 +123,11 @@ let state_integrates_progress () =
     Model.Exec_model.exe ~app ~platform ~p:platform.Model.Platform.p ~x:1.
   in
   Online.State.advance state ~to_:(0.25 *. exe);
-  check_float "quarter done" 0.75 job.Online.State.remaining;
+  check_float "quarter done" 0.75 (Online.State.remaining job);
   check_float "remaining time" (0.75 *. exe)
     (Online.State.remaining_time ~platform job);
   Online.State.advance state ~to_:exe;
-  Alcotest.(check bool) "done" true (job.Online.State.remaining <= 1e-9);
+  Alcotest.(check bool) "done" true (Online.State.remaining job <= 1e-9);
   check_float "busy integral" (platform.Model.Platform.p *. exe)
     (Online.State.busy_integral state)
 
@@ -147,8 +147,8 @@ let state_lifecycle () =
   Online.State.complete state jobs.(0);
   Online.State.cancel state jobs.(2);
   Alcotest.(check int) "one live" 1 (Array.length (Online.State.live state));
-  Alcotest.(check bool) "finish recorded" true (jobs.(0).Online.State.finish <> None);
-  Alcotest.(check bool) "cancel recorded" true jobs.(2).Online.State.cancelled;
+  Alcotest.(check bool) "finish recorded" true (Online.State.finish jobs.(0) <> None);
+  Alcotest.(check bool) "cancel recorded" true (Online.State.cancelled jobs.(2));
   Alcotest.(check int) "retired in order" 2
     (List.length (Online.State.finished state))
 
@@ -164,7 +164,7 @@ let state_counts_migrations () =
     (Online.State.apply state jobs (alloc 8. 0.5));
   Alcotest.(check int) "a real change migrates" 1
     (Online.State.apply state jobs (alloc 6. 0.5));
-  Alcotest.(check int) "per-job count" 1 job.Online.State.migrations
+  Alcotest.(check int) "per-job count" 1 (Online.State.migrations job)
 
 let state_detects_oversubscription () =
   let state = Online.State.create platform in
@@ -353,6 +353,124 @@ let warm_service_saves_solver_work () =
     (Printf.sprintf "warm %d < cold %d" warm cold)
     true (warm < cold)
 
+(* --- Sharded re-solve passes ------------------------------------------- *)
+
+(* Drive one churned instance through two columnar re-solves and capture
+   everything the solver wrote.  [jobs = 0] means no pool at all; the
+   captured trace must be structurally identical — float bit-compare via
+   (=) — whatever the pool size, because every sharded pass writes
+   disjoint positions and every reduction keeps a pool-independent
+   association. *)
+let sharded_trace ~n ~jobs () =
+  let run pool =
+    let state = Online.State.create platform in
+    let inc = Online.Incremental.create () in
+    let apps = synth ~seed:31 (n + (n / 4) + 1) in
+    for i = 0 to n - 1 do
+      ignore (Online.State.add state ~app:apps.(i))
+    done;
+    let solve ~elapsed =
+      Online.Incremental.solve_state inc ?pool ~shard_min:1 ~elapsed ~state ()
+    in
+    let k1, m1 = solve ~elapsed:0. in
+    let dt = 0.25 *. Online.State.min_remaining_time state in
+    Online.State.advance state ~to_:dt;
+    Array.iteri
+      (fun i j -> if i mod 5 = 2 then Online.State.cancel state j)
+      (Online.State.live state);
+    for i = n to n + (n / 4) do
+      ignore (Online.State.add state ~app:apps.(i))
+    done;
+    let k2, m2 = solve ~elapsed:dt in
+    let live = Online.State.live state in
+    ( (k1, m1, k2, m2),
+      Array.map Online.State.procs live,
+      Array.map Online.State.cache live )
+  in
+  if jobs = 0 then run None
+  else Exec.Pool.with_pool ~jobs (fun p -> run (Some p))
+
+let sharded_solve_state_bit_identical () =
+  (* n = 12 stays on single-chunk demand sums; n = 2500 crosses the
+     solver's 2048-wide eval chunk, so the chunked association itself is
+     exercised with and without worker domains. *)
+  List.iter
+    (fun n ->
+      let reference = sharded_trace ~n ~jobs:0 () in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d pool=%d == sequential" n jobs)
+            true
+            (sharded_trace ~n ~jobs () = reference))
+        [ 1; 2; 8 ])
+    [ 12; 2500 ]
+
+let qcheck_sharded_equals_sequential_service =
+  (* Full service runs under churn: a sharding pool (sizes 1, 2, 8 with
+     shard_min 1, so every re-solve shards) commits bit-identical
+     snapshots and metrics to the unsharded run. *)
+  QCheck.Test.make ~name:"sharded service run == sequential (pool 1/2/8)"
+    ~count:12
+    QCheck.(pair (int_bound 10_000) (oneofl [ 1; 2; 8 ]))
+    (fun (seed, jobs) ->
+      let stream = stream_of ~seed ~load:3. 12 in
+      let config =
+        {
+          Online.Service.policy = Online.Policy.Every_event;
+          mode = Online.Incremental.Warm;
+          validate = true;
+          record = true;
+        }
+      in
+      let seq = Online.Service.run ~config ~platform stream in
+      let shd =
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            Online.Service.run ~config ~pool ~shard_min:1 ~platform stream)
+      in
+      seq.Online.Service.metrics = shd.Online.Service.metrics
+      && seq.Online.Service.snapshots = shd.Online.Service.snapshots)
+
+(* --- Columnar state: freelist and compaction invariants ----------------- *)
+
+let state_freelist_and_compaction () =
+  let st = Online.State.create platform in
+  let apps = synth ~seed:33 40 in
+  let jobs = Array.init 30 (fun i -> Online.State.add st ~app:apps.(i)) in
+  let ever0, free0, live0, dense0 = Online.State.mem_stats st in
+  Alcotest.(check int) "slots_ever = free + live" ever0 (free0 + live0);
+  Alcotest.(check int) "30 live" 30 live0;
+  Alcotest.(check int) "no holes before retirement" live0 dense0;
+  (* Retire 10 of 30: the freelist grows and the iteration array keeps
+     the holes (compaction is lazy, and 20 live of 30 dense is above the
+     half-dead auto-compaction threshold). *)
+  for i = 0 to 29 do
+    if i mod 3 = 1 then Online.State.cancel st jobs.(i)
+  done;
+  let ever1, free1, live1, dense1 = Online.State.mem_stats st in
+  Alcotest.(check int) "slots conserved across retirement" ever1 (free1 + live1);
+  Alcotest.(check int) "20 live" 20 live1;
+  Alcotest.(check int) "10 holes pending" 10 (dense1 - live1);
+  Online.State.compact st;
+  let ever2, _, live2, dense2 = Online.State.mem_stats st in
+  Alcotest.(check int) "compact squeezes every hole" live2 dense2;
+  Alcotest.(check int) "compact frees no slots" ever1 ever2;
+  (* Re-admission drains the freelist before minting new slots: the
+     high-water mark must not move while freed slots can serve. *)
+  for i = 30 to 39 do
+    ignore (Online.State.add st ~app:apps.(i))
+  done;
+  let ever3, free3, live3, _ = Online.State.mem_stats st in
+  Alcotest.(check int) "slot reuse keeps slots_ever" ever2 ever3;
+  Alcotest.(check int) "freelist drained" 0 free3;
+  Alcotest.(check int) "30 live again" 30 live3;
+  (* Live iteration order is admission (= id) order through holes,
+     compaction and slot reuse alike. *)
+  let ids = Array.map Online.State.id (Online.State.live st) in
+  let sorted = Array.copy ids in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "live in admission order" true (ids = sorted)
+
 let () =
   Alcotest.run "online"
     [
@@ -375,6 +493,7 @@ let () =
           test "job lifecycle" state_lifecycle;
           test "counts migrations" state_counts_migrations;
           test "detects oversubscription" state_detects_oversubscription;
+          test "freelist and compaction invariants" state_freelist_and_compaction;
         ] );
       ( "incremental",
         [
@@ -391,5 +510,11 @@ let () =
           test "deterministic" service_deterministic;
           qtest qcheck_warm_equals_cold_service;
           test "warm saves solver work" warm_service_saves_solver_work;
+        ] );
+      ( "sharding",
+        [
+          test "solve_state bit-identical across pools"
+            sharded_solve_state_bit_identical;
+          qtest qcheck_sharded_equals_sequential_service;
         ] );
     ]

@@ -424,8 +424,8 @@ let sojourn_acceptance () =
   let responses =
     report.Online.Service.jobs
     |> List.filter_map (fun j ->
-           match j.Online.State.finish with
-           | Some f -> Some (f -. j.Online.State.arrival)
+           match Online.State.finish j with
+           | Some f -> Some (f -. Online.State.arrival j)
            | None -> None)
     |> Array.of_list
   in
