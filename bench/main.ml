@@ -6,7 +6,8 @@
                    [--on-failure abort|skip|retry] [--max-retries N]
                    [--trial-timeout S] [--trace FILE]
                    [--metrics text|prom|json] [--no-micro] [--no-figures]
-                   [--no-online] [--no-serve] [--no-stats] [--guard] [--full]
+                   [--no-online] [--no-serve] [--no-stats] [--no-exact]
+                   [--guard] [--full]
 
    Defaults use the paper's 50 trials per point (the whole harness runs in
    seconds); [--full] is a synonym kept for compatibility. *)
@@ -20,6 +21,7 @@ let run_figures = ref true
 let run_online = ref true
 let run_serve = ref true
 let run_stats = ref true
+let run_exact = ref true
 let guard = ref false
 let on_failure : [ `Abort | `Skip | `Retry ] ref = ref `Abort
 let max_retries = ref 2
@@ -32,7 +34,7 @@ let usage () =
     "usage: main.exe [--trials N] [--seed S] [--jobs N] [--only id,id] \
      [--on-failure abort|skip|retry] [--max-retries N] [--trial-timeout S] \
      [--trace FILE] [--metrics text|prom|json] [--no-micro] [--no-figures] \
-     [--no-online] [--no-serve] [--no-stats] [--guard] [--full]";
+     [--no-online] [--no-serve] [--no-stats] [--no-exact] [--guard] [--full]";
   exit 2
 
 let int_flag ~flag ~min v =
@@ -106,6 +108,9 @@ let rec parse = function
     parse rest
   | "--no-stats" :: rest ->
     run_stats := false;
+    parse rest
+  | "--no-exact" :: rest ->
+    run_exact := false;
     parse rest
   | "--guard" :: rest ->
     guard := true;
@@ -634,6 +639,154 @@ let online () =
         "bench guard: no flash-crowd baseline in BENCH_online.json; gate only"
     | _ -> print_endline "bench guard (stats): ok"
 
+(* --- branch-and-bound certification ------------------------------------ *)
+
+(* Three measurements, recorded in BENCH_exact.json:
+   - speedup vs the 2^n enumeration at n = 20: one Exact.optimal run
+     against the warm average of repeated Bnb solves on the same
+     instance (the acceptance gate is >= 1e4x);
+   - node throughput during *real* search: on the paper's 32 GB node the
+     bounds close almost every instance at the root, so the timed
+     workload moves to the 1 GB LLC with m0 = 0.9 Random instances at
+     n = 32 — cache pressure loosens the relaxation enough to force tens
+     to hundreds of thousands of node expansions while still certifying;
+   - the certification frontier: a paper-default n = 36 instance
+     certified under the default budget.
+   With --guard the speedup and an absolute node-throughput floor are
+   enforced; both leave an order of magnitude of headroom for slower
+   hosts. *)
+let exact_speedup_floor = 1e4
+let exact_nodes_per_sec_floor = 100_000.
+
+let exact_bench () =
+  let gate_failures = ref [] in
+  (* Speedup vs the enumerator at its n = 20 ceiling. *)
+  let platform = Model.Platform.paper_default in
+  let apps_20 =
+    Model.Workload.generate ~fixed_s:0.
+      ~rng:(Util.Rng.create !seed)
+      Model.Workload.NpbSynth 20
+  in
+  let t0 = Unix.gettimeofday () in
+  let enum = Theory.Exact.optimal ~platform ~apps:apps_20 () in
+  let t_exact = Unix.gettimeofday () -. t0 in
+  let reps = 50 in
+  ignore (Theory.Bnb.solve ~platform ~apps:apps_20 () : Theory.Bnb.result);
+  let t0 = Unix.gettimeofday () in
+  let last = ref None in
+  for _ = 1 to reps do
+    last := Some (Theory.Bnb.solve ~platform ~apps:apps_20 ())
+  done;
+  let t_bnb = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let bnb_20 = Option.get !last in
+  if bnb_20.Theory.Bnb.makespan <> enum.Theory.Exact.makespan then
+    failwith "exact bench: Bnb optimum differs from the 2^n enumeration";
+  let speedup = t_exact /. Float.max t_bnb 1e-12 in
+  if speedup < exact_speedup_floor then
+    gate_failures :=
+      Printf.sprintf "speedup vs Exact at n=20: %.0fx below the %.0fx floor"
+        speedup exact_speedup_floor
+      :: !gate_failures;
+  (* Node throughput under cache pressure (aggregate over six seeds). *)
+  let pressured = Model.Platform.small_llc in
+  let budget = { Theory.Bnb.max_nodes = 2_000_000; max_seconds = 30. } in
+  let total_nodes = ref 0 and uncertified = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for s = 1 to 6 do
+    let apps =
+      Model.Workload.generate ~fixed_s:0. ~fixed_m0:0.9
+        ~rng:(Util.Rng.create (!seed + s))
+        Model.Workload.Random 32
+    in
+    let r = Theory.Bnb.solve ~budget ~platform:pressured ~apps () in
+    total_nodes := !total_nodes + r.Theory.Bnb.stats.Theory.Bnb.nodes;
+    if r.Theory.Bnb.verdict <> Theory.Bnb.Certified then incr uncertified
+  done;
+  let t_search = Unix.gettimeofday () -. t0 in
+  let nodes_per_sec = float_of_int !total_nodes /. Float.max t_search 1e-9 in
+  if nodes_per_sec < exact_nodes_per_sec_floor then
+    gate_failures :=
+      Printf.sprintf "node throughput %.0f/s below the %.0f/s floor"
+        nodes_per_sec exact_nodes_per_sec_floor
+      :: !gate_failures;
+  if !uncertified > 0 then
+    gate_failures :=
+      Printf.sprintf "%d of 6 cache-pressured n=32 instances not certified"
+        !uncertified
+      :: !gate_failures;
+  (* Certification frontier: n = 36 under the default budget. *)
+  let apps_36 =
+    Model.Workload.generate ~fixed_s:0.
+      ~rng:(Util.Rng.create !seed)
+      Model.Workload.NpbSynth 36
+  in
+  let t0 = Unix.gettimeofday () in
+  let front = Theory.Bnb.solve ~platform ~apps:apps_36 () in
+  let t_front = Unix.gettimeofday () -. t0 in
+  if front.Theory.Bnb.verdict <> Theory.Bnb.Certified then
+    gate_failures :=
+      "n=36 paper-default instance not certified under the default budget"
+      :: !gate_failures;
+  let table = Util.Table.create [ "metric"; "value" ] in
+  List.iter
+    (fun (k, v) -> Util.Table.add_row table [ k; v ])
+    [
+      ("Exact.optimal n=20", Printf.sprintf "%.3g s" t_exact);
+      ( "Bnb.solve n=20",
+        Printf.sprintf "%.3g s (avg of %d, %d nodes)" t_bnb reps
+          bnb_20.Theory.Bnb.stats.Theory.Bnb.nodes );
+      ("speedup", Printf.sprintf "%.0fx (floor %.0fx)" speedup exact_speedup_floor);
+      ( "node throughput",
+        Printf.sprintf "%.0f nodes/s over %d nodes (floor %.0f/s)" nodes_per_sec
+          !total_nodes exact_nodes_per_sec_floor );
+      ( "certify n=36",
+        Printf.sprintf "%s in %.3g s (%d nodes)"
+          (Theory.Bnb.verdict_name front.Theory.Bnb.verdict)
+          t_front front.Theory.Bnb.stats.Theory.Bnb.nodes );
+    ];
+  print_endline "== branch-and-bound certification (Theory.Bnb) ==";
+  Util.Table.print table;
+  print_newline ();
+  let json =
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"seed\":%d," !seed;
+        Printf.sprintf "\"exact_n20_seconds\":%.6g," t_exact;
+        Printf.sprintf "\"bnb_n20_seconds\":%.6g," t_bnb;
+        Printf.sprintf "\"bnb_n20_nodes\":%d,"
+          bnb_20.Theory.Bnb.stats.Theory.Bnb.nodes;
+        Printf.sprintf "\"speedup_vs_exact_n20\":%.6g," speedup;
+        Printf.sprintf "\"speedup_floor\":%.6g," exact_speedup_floor;
+        "\"node_throughput\":{";
+        "\"workload\":\"random n=32, 1 GB LLC, m0=0.9, 6 seeds\",";
+        Printf.sprintf "\"nodes\":%d," !total_nodes;
+        Printf.sprintf "\"seconds\":%.6g," t_search;
+        Printf.sprintf "\"nodes_per_sec\":%.6g," nodes_per_sec;
+        Printf.sprintf "\"floor\":%.6g" exact_nodes_per_sec_floor;
+        "},";
+        "\"certify_n36\":{";
+        Printf.sprintf "\"verdict\":\"%s\","
+          (Theory.Bnb.verdict_name front.Theory.Bnb.verdict);
+        Printf.sprintf "\"seconds\":%.6g," t_front;
+        Printf.sprintf "\"nodes\":%d" front.Theory.Bnb.stats.Theory.Bnb.nodes;
+        "}}";
+      ]
+  in
+  let oc = open_out "BENCH_exact.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  print_endline "wrote BENCH_exact.json";
+  List.iter
+    (fun msg ->
+      Printf.eprintf "bench %s: %s\n"
+        (if !guard then "guard" else "warning")
+        msg)
+    !gate_failures;
+  if !guard && !gate_failures <> [] then exit 1;
+  if !guard then print_endline "bench guard (exact): ok"
+
 (* --- crash-recovery timing --------------------------------------------- *)
 
 (* Drive a journal-backed backend in-process (no daemon needed: recovery
@@ -1039,4 +1192,5 @@ let () =
       if !run_serve then serve_bench ();
       if !run_figures then figures config;
       if !run_online then online ();
+      if !run_exact then exact_bench ();
       if !run_micro then micro ())

@@ -3,6 +3,7 @@
    Subcommands:
      experiment  — regenerate a paper table/figure (or all of them)
      schedule    — run one policy on a generated instance and print it
+     exact       — certify an instance with the branch-and-bound solver
      cachesim    — calibrate a synthetic NPB-like kernel's power law
      validate    — replay a schedule in the discrete-event simulator
      online      — serve a Poisson application stream event-by-event
@@ -330,6 +331,119 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Run one co-scheduling policy on a generated instance.")
+    term
+
+(* --- exact ------------------------------------------------------------- *)
+
+let exact_cmd =
+  let order_arg =
+    let parse s =
+      try Ok (Theory.Bnb.order_of_string s)
+      with Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf o = Format.pp_print_string ppf (Theory.Bnb.order_name o) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Theory.Bnb.Best
+      & info [ "order" ] ~docv:"ORDER"
+          ~doc:"Node order: $(b,best) (best-first on the lower bound, the \
+                default) or $(b,dfs) (bounded-stack depth-first).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"budget") Theory.Bnb.default_budget.Theory.Bnb.max_nodes
+      & info [ "budget" ] ~docv:"NODES"
+          ~doc:"Node budget: the search stops with a $(b,budget-exhausted) \
+                verdict after expanding this many nodes.")
+  in
+  let seconds_arg =
+    Arg.(
+      value
+      & opt (pos_float ~flag:"seconds") Theory.Bnb.default_budget.Theory.Bnb.max_seconds
+      & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
+  in
+  let max_n_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"max-n") 62
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:"Refuse instances larger than N applications (the subset \
+                masks cap the solver at 62).")
+  in
+  let exact_jobs_arg =
+    Arg.(
+      value
+      & opt (nonneg_int ~flag:"jobs") 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel subtree exploration: 1 searches \
+             sequentially (the default), 0 uses one domain per core.  The \
+             certified optimum is identical for every value.")
+  in
+  let run seed dataset napps procs cs file order budget seconds max_n jobs
+      trace metrics =
+    with_obs trace metrics @@ fun () ->
+    let rng, platform, apps =
+      make_instance ?file ~seed ~dataset ~napps ~procs ~cs ()
+    in
+    (* The certificate is for the Lemma 3 objective, which assumes
+       perfectly parallel applications; force s = 0 so the heuristic
+       makespans are measured against the same objective. *)
+    let apps = Array.map (fun a -> Model.App.with_s a 0.) apps in
+    let budget = { Theory.Bnb.max_nodes = budget; max_seconds = seconds } in
+    let solve pool =
+      Sched.Certify.gaps ~order ~budget ?pool ~max_n ~rng ~platform ~apps ()
+    in
+    let result, gaps =
+      if jobs = 1 then solve None
+      else
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            solve (if Exec.Pool.size pool = 0 then None else Some pool))
+    in
+    let table = Util.Table.create [ "policy"; "makespan"; "ratio to optimum" ] in
+    List.iter
+      (fun (g : Sched.Certify.gap) ->
+        Util.Table.add_row table
+          [
+            Sched.Heuristics.name g.Sched.Certify.policy;
+            Printf.sprintf "%.6g" g.Sched.Certify.makespan;
+            Printf.sprintf "%.6f" g.Sched.Certify.ratio;
+          ])
+      gaps;
+    Util.Table.print table;
+    let stats = result.Theory.Bnb.stats in
+    Printf.printf "verdict     = %s\n"
+      (Theory.Bnb.verdict_name result.Theory.Bnb.verdict);
+    Printf.printf "%s = %.6g\n"
+      (match result.Theory.Bnb.verdict with
+      | Theory.Bnb.Certified -> "optimum    "
+      | Theory.Bnb.Budget_exhausted -> "incumbent  ")
+      result.Theory.Bnb.makespan;
+    Printf.printf "lower bound = %.6g (gap %.3g)\n"
+      result.Theory.Bnb.lower_bound
+      (result.Theory.Bnb.makespan /. result.Theory.Bnb.lower_bound -. 1.);
+    Printf.printf "cached      = {%s}\n"
+      (String.concat ", "
+         (List.map
+            (fun i -> apps.(i).Model.App.name)
+            (Theory.Dominant.indices result.Theory.Bnb.subset)));
+    Printf.printf "nodes=%d pruned=%d leaves=%d incumbent updates=%d\n"
+      stats.Theory.Bnb.nodes stats.Theory.Bnb.pruned stats.Theory.Bnb.leaves
+      stats.Theory.Bnb.incumbent_updates
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ dataset_arg $ napps_arg $ procs_arg $ cs_arg
+      $ file_arg $ order_arg $ budget_arg $ seconds_arg $ max_n_arg
+      $ exact_jobs_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Certify an instance: branch-and-bound exact solver with the \
+          heuristics as incumbent seeds, reporting each policy's \
+          optimality gap and a certified-vs-budget-exhausted verdict.")
     term
 
 (* --- cachesim ---------------------------------------------------------- *)
@@ -1318,8 +1432,8 @@ let main_cmd =
   let doc = "Co-scheduling algorithms for cache-partitioned systems" in
   Cmd.group (Cmd.info "cosched" ~version:"1.0.0" ~doc)
     [
-      experiment_cmd; schedule_cmd; cachesim_cmd; validate_cmd; online_cmd;
-      instance_cmd; refine_cmd; serve_cmd; client_cmd; journal_cmd;
+      experiment_cmd; schedule_cmd; exact_cmd; cachesim_cmd; validate_cmd;
+      online_cmd; instance_cmd; refine_cmd; serve_cmd; client_cmd; journal_cmd;
     ]
 
 let () =

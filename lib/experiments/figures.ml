@@ -356,6 +356,99 @@ let optgap ?(config = Runner.default_config) () =
       ~rows;
   ]
 
+let gap ?(config = Runner.default_config) () =
+  (* Certified optimality gaps (ROADMAP item 5): every heuristic ratio is
+     measured against the Theory.Bnb *certified* optimum, so the table
+     extends the 2^n optgap sweep from n <= 10 to n = 36.  Work sizes are
+     redrawn from the PR-8 lib/stats families (exponential vs heavy-tailed
+     Pareto) on top of the NPB-SYNTH cache parameters; s = 0 keeps the
+     instances inside the perfectly-parallel model that Exact/Bnb
+     optimise.  Ratio columns accumulate only certified trials — a
+     budget-exhausted incumbent is an upper bound, not an optimum — and
+     the last column reports how often the default budget certified. *)
+  let platform = Model.Platform.paper_default in
+  let sizes = [ 4.; 8.; 12.; 16.; 20.; 24.; 28.; 32.; 36. ] in
+  let policies = Sched.Certify.default_policies in
+  let nb = List.length policies in
+  let budget = { Theory.Bnb.max_nodes = 200_000; max_seconds = 2. } in
+  let family ~id ~title dist =
+    let rows =
+      List.map
+        (fun size ->
+          let n = int_of_float size in
+          let work rng =
+            let apps =
+              Array.map
+                (fun (a : Model.App.t) ->
+                  Model.App.with_w a
+                    (Float.max 1e6 (1e9 *. Stats.Dist.sample dist rng)))
+                (Model.Workload.generate ~fixed_s:0. ~rng
+                   Model.Workload.NpbSynth n)
+            in
+            let result, gaps =
+              Sched.Certify.gaps ~budget ~rng ~platform ~apps ()
+            in
+            let cert =
+              match result.Theory.Bnb.verdict with
+              | Theory.Bnb.Certified -> 1.
+              | Theory.Bnb.Budget_exhausted -> 0.
+            in
+            let ratios =
+              List.map (fun (g : Sched.Certify.gap) -> g.Sched.Certify.ratio) gaps
+            in
+            let dmr_exact =
+              match ratios with
+              | r :: _ when r <= 1. +. 1e-9 -> 1.
+              | _ -> 0.
+            in
+            Array.of_list (cert :: dmr_exact :: ratios)
+          in
+          let outcome =
+            Runner.run_trials ~config
+              ~tag:(Printf.sprintf "%s/n=%d" id n)
+              ~work ()
+          in
+          let cert = Util.Stats.Online.create () in
+          let exact_opt = Util.Stats.Online.create () in
+          let accs = Array.init nb (fun _ -> Util.Stats.Online.create ()) in
+          Array.iter
+            (fun row ->
+              Util.Stats.Online.add cert row.(0);
+              if row.(0) = 1. then begin
+                Util.Stats.Online.add exact_opt row.(1);
+                for j = 0 to nb - 1 do
+                  Util.Stats.Online.add accs.(j) row.(j + 2)
+                done
+              end)
+            (Campaign.ok_results outcome);
+          ( size,
+            List.concat_map
+              (fun acc -> [ mean_or_nan acc; max_or_nan acc ])
+              (Array.to_list accs)
+            @ [ 100. *. mean_or_nan exact_opt; 100. *. mean_or_nan cert ] ))
+        sizes
+    in
+    Report.make ~id ~title ~xlabel:"#apps"
+      ~columns:
+        (List.concat_map
+           (fun p ->
+             let n = Sched.Heuristics.name p in
+             [ n ^ ":mean"; n ^ ":max" ])
+           policies
+        @ [ "% DMR optimal"; "% certified" ])
+      ~rows
+  in
+  [
+    family ~id:"gap-exp"
+      ~title:"Certified optimality gaps, exponential work sizes (rate 1): \
+              heuristic/optimum ratio over certified instances"
+      (Stats.Dist.Exponential { rate = 1. });
+    family ~id:"gap-pareto"
+      ~title:"Certified optimality gaps, Pareto work sizes (alpha 1.5, xm \
+              0.2): heuristic/optimum ratio over certified instances"
+      (Stats.Dist.Pareto { alpha = 1.5; xm = 0.2 });
+  ]
+
 let alpha_sens ?config () =
   let alphas = [ 0.3; 0.4; 0.5; 0.6; 0.7 ] in
   let gen_alpha a rng =
@@ -949,6 +1042,7 @@ let catalogue =
     ("fig17", fig17);
     ("fig18", fig18);
     ("optgap", optgap);
+    ("gap", gap);
     ("alpha", alpha_sens);
     ("validation", validation);
     ("rounding", rounding);

@@ -80,6 +80,15 @@ val optgap : ?config:Runner.config -> unit -> Report.figure list
 (** Heuristic-to-exact makespan ratio on small perfectly parallel
     instances (2^n enumeration), vs instance size. *)
 
+val gap : ?config:Runner.config -> unit -> Report.figure list
+(** Certified optimality gaps: heuristic makespan over the
+    {!Theory.Bnb} certified optimum, n = 4..36, with work sizes redrawn
+    from the {!Stats.Dist} exponential and Pareto (a = 1.5) families on
+    perfectly parallel NPB-SYNTH instances.  Two figures (one per
+    family); ratio columns accumulate certified trials only, and the
+    trailing columns report the fraction of instances where
+    DominantMinRatio is exactly optimal and where the budget certified. *)
+
 val alpha_sens : ?config:Runner.config -> unit -> Report.figure list
 (** Sensitivity of the policy ranking to the power-law exponent
     [alpha] in [0.3, 0.7]; normalised by DominantMinRatio. *)
@@ -130,6 +139,6 @@ val all_ids : string list
 (** Every experiment id accepted by {!run}, in presentation order. *)
 
 val run : ?config:Runner.config -> string -> Report.figure list
-(** Dispatch by id ("fig1" ... "fig18", "table2", "optgap", "alpha",
-    "validation", "rounding", "integer", "speedup").
+(** Dispatch by id ("fig1" ... "fig18", "table2", "optgap", "gap",
+    "alpha", "validation", "rounding", "integer", "speedup", ...).
     @raise Invalid_argument on unknown ids. *)

@@ -1,0 +1,52 @@
+type gap = { policy : Heuristics.t; makespan : float; ratio : float }
+
+let default_policies =
+  Heuristics.
+    [
+      dominant_min_ratio;
+      DominantPartition (Partition_builder.DominantRev, Choice.MaxRatio);
+      Fair;
+      RandomPart;
+    ]
+
+let dedup subsets =
+  List.fold_left
+    (fun acc s -> if List.exists (fun t -> t = s) acc then acc else s :: acc)
+    [] subsets
+  |> List.rev
+
+let seed_subsets ~rng ~platform ~apps =
+  List.filter_map
+    (fun policy -> (Heuristics.run ~rng ~platform ~apps policy).Heuristics.cached)
+    Heuristics.dominant_heuristics
+  |> dedup
+
+let certify ?order ?budget ?pool ?split_depth ?max_n ~rng ~platform ~apps () =
+  let seeds = seed_subsets ~rng ~platform ~apps in
+  Theory.Bnb.solve ?order ?budget ?pool ?split_depth ?max_n ~seeds ~platform
+    ~apps ()
+
+let gaps ?order ?budget ?pool ?split_depth ?max_n
+    ?(policies = default_policies) ~rng ~platform ~apps () =
+  let runs = List.map (fun p -> Heuristics.run ~rng ~platform ~apps p) policies in
+  let seeds =
+    dedup
+      (List.filter_map (fun (r : Heuristics.result) -> r.Heuristics.cached) runs
+      @ seed_subsets ~rng ~platform ~apps)
+  in
+  let result =
+    Theory.Bnb.solve ?order ?budget ?pool ?split_depth ?max_n ~seeds ~platform
+      ~apps ()
+  in
+  let opt = result.Theory.Bnb.makespan in
+  let gaps =
+    List.map
+      (fun (r : Heuristics.result) ->
+        {
+          policy = r.Heuristics.policy;
+          makespan = r.Heuristics.makespan;
+          ratio = (if opt > 0. then r.Heuristics.makespan /. opt else nan);
+        })
+      runs
+  in
+  (result, gaps)

@@ -1,0 +1,67 @@
+(** Heuristic-seeded certification: the {!Sched} front end of
+    {!Theory.Bnb}.
+
+    {!Theory.Bnb} lives below this library (the dependency direction is
+    [theory <- sched]), so it cannot run the Section 5 heuristics
+    itself; this module closes the loop.  It runs the dominant-partition
+    heuristics, hands their cached subsets to the branch-and-bound
+    solver as incumbent seeds (the heuristic bound prunes from the first
+    node), and reports each policy's makespan as a ratio to the
+    certified optimum — the numbers behind the "Certified optimality
+    gaps" table in EXPERIMENTS.md and the [cosched exact]
+    subcommand. *)
+
+type gap = {
+  policy : Heuristics.t; (** The policy measured. *)
+  makespan : float;      (** Its makespan on the instance. *)
+  ratio : float;         (** [makespan] over the branch-and-bound optimum
+                             (incumbent when budget-exhausted). *)
+}
+(** One row of a certified-gap report. *)
+
+val default_policies : Heuristics.t list
+(** The policies reported by default: DominantMinRatio,
+    DominantRevMaxRatio, Fair and RandomPart — the Section 6.3 sweep
+    minus the baselines that need no certification. *)
+
+val seed_subsets :
+  rng:Util.Rng.t -> platform:Model.Platform.t -> apps:Model.App.t array ->
+  Theory.Dominant.subset list
+(** The deduplicated cached subsets produced by the six
+    dominant-partition heuristics on this instance — the incumbent seeds
+    {!certify} hands to {!Theory.Bnb.solve}.  Randomness is consumed
+    only by the [Random]-choice variants, as in {!Heuristics.run}. *)
+
+val certify :
+  ?order:Theory.Bnb.order ->
+  ?budget:Theory.Bnb.budget ->
+  ?pool:Exec.Pool.t ->
+  ?split_depth:int ->
+  ?max_n:int ->
+  rng:Util.Rng.t ->
+  platform:Model.Platform.t ->
+  apps:Model.App.t array ->
+  unit ->
+  Theory.Bnb.result
+(** {!Theory.Bnb.solve} seeded with {!seed_subsets}: the returned
+    incumbent never exceeds any dominant heuristic's makespan (up to the
+    equalisation bisection tolerance), whatever the budget. *)
+
+val gaps :
+  ?order:Theory.Bnb.order ->
+  ?budget:Theory.Bnb.budget ->
+  ?pool:Exec.Pool.t ->
+  ?split_depth:int ->
+  ?max_n:int ->
+  ?policies:Heuristics.t list ->
+  rng:Util.Rng.t ->
+  platform:Model.Platform.t ->
+  apps:Model.App.t array ->
+  unit ->
+  Theory.Bnb.result * gap list
+(** Run every policy in [policies] (default {!default_policies}),
+    certify the instance with their cached subsets (plus
+    {!seed_subsets}) as seeds, and report each policy's makespan ratio
+    to the optimum, in [policies] order.  On perfectly parallel
+    instances a ratio of 1 (within the 1e-9 equalisation tolerance)
+    means the heuristic is exactly optimal. *)

@@ -1,0 +1,702 @@
+(* Branch and bound over the cached subset [IC].
+
+   The search space is Exact.optimal's: every subset of applications may
+   be granted cache, the Theorem 3 closed form splits the cache inside
+   the subset, Lemma 3 prices the result.  A node fixes a prefix of the
+   static branch order in or out of [IC] and leaves the suffix free, so
+   a node is just (depth, mask) — bit j of [mask] is the decision for
+   branch position j < depth.  That keeps the open set representable in
+   two int arrays and the whole DFS path free of per-node allocation.
+
+   Two admissible relaxations bound a node from below (both in "total
+   sequential work" units; the makespan divides by p at the end):
+
+   - LB1, budget-coupled: write the cost of subset T as
+     sum_i base_i + sum_i g_i miss_i(x_i) with g_i = w_i f_i ll.  For
+     i in T, g_i miss_i(x_i) >= min(ghat_i, g_i d_i x_i^{-alpha}) with
+     ghat_i = g_i miss_i(0), and the closed-form identity
+     min_{sum_R x = 1} sum_R g_i d_i x_i^{-alpha} = (sum_R sigma_i)^{alpha+1},
+     sigma_i = (g_i d_i)^{1/(alpha+1)}, collapses the inner minimisation
+     to "spend sigma-mass t, save at most the fractional-knapsack
+     envelope G~(t)".  Pieces sorted by density ghat_i/sigma_i make
+     t^{alpha+1} - G~(t) convex piecewise, so one early-exiting scan per
+     node finds its minimum.  Applications forced out just lose their
+     piece, which only raises the bound.
+   - LB2, forced-in: any completion T contains the forced set I, so the
+     Theorem 3 share of i in I is at most w_i / W(I); work costs are
+     nonincreasing in cache, so charging every i in I its best possible
+     share, every forced-out application its zero-cache cost and every
+     free application its full-cache cost is a lower bound.  The free
+     suffix is a precomputed suffix sum over the branch order.
+
+   Leaves replicate Exact.optimal's evaluation operation for operation:
+   Dominant.weight values precomputed once (they are a deterministic
+   function of app and platform), the plain left-to-right weight sum of
+   Dominant.weight_sum, the guarded division of
+   Dominant.cache_allocation, and Perfect.makespan's Kahan-compensated
+   sum of Exec_model.exe_seq values in index order.  Bounds, in
+   contrast, run on the memoized Model.Kernel and are only ulp-accurate,
+   so pruning demands lb >= incumbent * (1 + 1e-9): three orders of
+   magnitude above the kernels' documented rounding, which makes it
+   impossible to discard the subtree holding the true optimum — the
+   certified incumbent is therefore bit-identical to the 2^n
+   enumeration. *)
+
+type order = Dfs | Best
+
+type budget = { max_nodes : int; max_seconds : float }
+
+let default_budget = { max_nodes = 2_000_000; max_seconds = 30. }
+
+type verdict = Certified | Budget_exhausted
+
+type stats = { nodes : int; pruned : int; leaves : int; incumbent_updates : int }
+
+type result = {
+  subset : Dominant.subset;
+  x : float array;
+  makespan : float;
+  lower_bound : float;
+  verdict : verdict;
+  stats : stats;
+}
+
+let order_name = function Dfs -> "dfs" | Best -> "best"
+
+let order_of_string s =
+  match String.lowercase_ascii s with
+  | "dfs" | "depth" | "depth-first" -> Dfs
+  | "best" | "best-first" | "bestfirst" -> Best
+  | other -> invalid_arg ("Bnb.order_of_string: unknown order " ^ other)
+
+let verdict_name = function
+  | Certified -> "certified"
+  | Budget_exhausted -> "budget-exhausted"
+
+(* Conservative pruning slack: the bound side evaluates through
+   Model.Kernel (<= 1e-12 relative of the direct model) and the LB1
+   algebra reassociates a handful of products, so 1e-9 dwarfs every
+   rounding source while costing nothing measurable in pruning power. *)
+let slack = 1e-9
+
+let m_nodes = Obs.Metrics.counter ~help:"B&B nodes processed" "theory.bnb.nodes"
+
+let m_pruned =
+  Obs.Metrics.counter ~help:"B&B subtrees pruned by bound" "theory.bnb.pruned"
+
+let m_leaves =
+  Obs.Metrics.counter ~help:"B&B leaves evaluated exactly" "theory.bnb.leaves"
+
+let m_incumbent =
+  Obs.Metrics.counter ~help:"B&B incumbent improvements"
+    "theory.bnb.incumbent_updates"
+
+let m_gap =
+  Obs.Metrics.gauge ~help:"B&B final relative incumbent-to-bound gap"
+    "theory.bnb.bound_gap"
+
+(* --- immutable per-instance precomputation ----------------------------- *)
+
+type inst = {
+  n : int;
+  p : float;
+  alpha : float;
+  platform : Model.Platform.t;
+  apps : Model.App.t array;
+  wt : float array;         (* Dominant.weight, index order *)
+  wc0 : float array;        (* work cost at zero cache *)
+  wc0_sum : float;          (* sum of wc0 (LB1's additive constant) *)
+  ghat : float array;       (* knapsack piece saving: wc0 - base *)
+  sigma : float array;      (* (g_i d_i)^{1/(alpha+1)} *)
+  rho : float array;        (* piece density ghat/sigma *)
+  rho_ord : int array;      (* piece indices, density descending *)
+  branch : int array;       (* branch position -> app index *)
+  pos_of : int array;       (* app index -> branch position *)
+  suffix_wc1 : float array; (* suffix sums of full-cache costs, branch order *)
+}
+
+let build ~platform ~(apps : Model.App.t array) =
+  let n = Array.length apps in
+  let kern = Model.Kernel.create ~platform apps in
+  let wt = Array.map (fun app -> Dominant.weight ~platform app) apps in
+  let wc0 = Array.init n (fun i -> Model.Kernel.work_cost kern i 0.) in
+  let wc1 = Array.init n (fun i -> Model.Kernel.work_cost kern i 1.) in
+  let alpha = platform.Model.Platform.alpha in
+  let ll = platform.Model.Platform.ll in
+  let ls = platform.Model.Platform.ls in
+  let ghat =
+    Array.init n (fun i ->
+        let (app : Model.App.t) = apps.(i) in
+        let base = app.w *. (1. +. (app.f *. ls)) in
+        Float.max 0. (wc0.(i) -. base))
+  in
+  let sigma =
+    Array.init n (fun i ->
+        let (app : Model.App.t) = apps.(i) in
+        let gd = app.w *. app.f *. ll *. Model.Kernel.d kern i in
+        if gd > 0. then gd ** (1. /. (alpha +. 1.)) else 0.)
+  in
+  let rho =
+    Array.init n (fun i -> if sigma.(i) > 0. then ghat.(i) /. sigma.(i) else 0.)
+  in
+  let rho_ord =
+    let pieces = ref [] in
+    for i = n - 1 downto 0 do
+      if sigma.(i) > 0. && ghat.(i) > 0. then pieces := i :: !pieces
+    done;
+    let a = Array.of_list !pieces in
+    Array.sort
+      (fun i j ->
+        let c = compare rho.(j) rho.(i) in
+        if c <> 0 then c else compare i j)
+      a;
+    a
+  in
+  let branch =
+    let a = Array.init n (fun i -> i) in
+    let swing = Array.init n (fun i -> wc0.(i) -. wc1.(i)) in
+    Array.sort
+      (fun i j ->
+        let c = compare swing.(j) swing.(i) in
+        if c <> 0 then c else compare i j)
+      a;
+    a
+  in
+  let pos_of = Array.make n 0 in
+  Array.iteri (fun j i -> pos_of.(i) <- j) branch;
+  let suffix_wc1 = Array.make (n + 1) 0. in
+  for j = n - 1 downto 0 do
+    suffix_wc1.(j) <- wc1.(branch.(j)) +. suffix_wc1.(j + 1)
+  done;
+  let wc0_sum = Array.fold_left ( +. ) 0. wc0 in
+  {
+    n;
+    p = platform.Model.Platform.p;
+    alpha;
+    platform;
+    apps;
+    wt;
+    wc0;
+    wc0_sum;
+    ghat;
+    sigma;
+    rho;
+    rho_ord;
+    branch;
+    pos_of;
+    suffix_wc1;
+  }
+
+(* Exact leaf evaluation: bit-for-bit the value Exact.optimal's
+   [consider] computes for this subset (see the module comment). *)
+let leaf_value inst mask =
+  let n = inst.n in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if mask land (1 lsl inst.pos_of.(i)) <> 0 then acc := !acc +. inst.wt.(i)
+  done;
+  let total = !acc in
+  let sum = ref 0. and c = ref 0. in
+  for i = 0 to n - 1 do
+    let xi =
+      if mask land (1 lsl inst.pos_of.(i)) <> 0 && total > 0. then
+        inst.wt.(i) /. total
+      else 0.
+    in
+    let v =
+      Model.Exec_model.exe_seq ~app:inst.apps.(i) ~platform:inst.platform ~x:xi
+    in
+    let y = v -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum /. inst.p
+
+let subset_of_mask inst mask =
+  Array.init inst.n (fun i -> mask land (1 lsl inst.pos_of.(i)) <> 0)
+
+(* --- per-search mutable state ------------------------------------------ *)
+
+(* All-float scratch so the per-node accumulators live in unboxed
+   mutable fields (the Floatx.sum_array pattern), not fresh ref cells. *)
+type fscratch = {
+  mutable w_in : float;   (* W(I): weight mass forced in *)
+  mutable out0 : float;   (* sum of zero-cache costs over O *)
+  mutable lb2 : float;
+  mutable t0 : float;     (* LB1 scan: sigma-mass consumed *)
+  mutable s0 : float;     (* LB1 scan: savings banked *)
+  mutable minv : float;   (* LB1 scan result *)
+}
+
+type searcher = {
+  inst : inst;
+  kern : Model.Kernel.t; (* private memo: never shared across domains *)
+  st : int array;        (* 0 free / 1 in / 2 out, rebuilt per node *)
+  pref : bool array;     (* preferred first child per branch position *)
+  fs : fscratch;
+  incumbent : float Atomic.t;
+  nodes_used : int Atomic.t;
+  max_nodes : int;
+  deadline : int64;
+  mutable best_local : float;
+  mutable best_mask : int;
+  mutable has_best : bool;
+  mutable nodes : int;
+  mutable pruned : int;
+  mutable leaves : int;
+  mutable updates : int;
+  mutable open_min : float;
+  mutable exhausted : bool;
+  (* DFS stack *)
+  mutable sp : int;
+  stk_depth : int array;
+  stk_mask : int array;
+  (* best-first heap (parallel arrays keyed by lb) *)
+  mutable hn : int;
+  mutable h_lb : float array;
+  mutable h_depth : int array;
+  mutable h_mask : int array;
+}
+
+let mk_searcher inst ~pref ~incumbent ~nodes_used ~max_nodes ~deadline =
+  {
+    inst;
+    kern = Model.Kernel.create ~platform:inst.platform inst.apps;
+    st = Array.make inst.n 0;
+    pref;
+    fs = { w_in = 0.; out0 = 0.; lb2 = 0.; t0 = 0.; s0 = 0.; minv = 0. };
+    incumbent;
+    nodes_used;
+    max_nodes;
+    deadline;
+    best_local = infinity;
+    best_mask = 0;
+    has_best = false;
+    nodes = 0;
+    pruned = 0;
+    leaves = 0;
+    updates = 0;
+    open_min = infinity;
+    exhausted = false;
+    sp = 0;
+    stk_depth = Array.make ((2 * inst.n) + 4) 0;
+    stk_mask = Array.make ((2 * inst.n) + 4) 0;
+    hn = 0;
+    h_lb = Array.make 256 0.;
+    h_depth = Array.make 256 0;
+    h_mask = Array.make 256 0;
+  }
+
+(* Node lower bound, in makespan units.  Rebuilds the status array from
+   (depth, mask) — O(n), which for n <= 62 is cheaper than maintaining
+   undo state — then takes the max of the two relaxations. *)
+let node_bound s depth mask =
+  let inst = s.inst in
+  let n = inst.n in
+  let st = s.st in
+  Array.fill st 0 n 0;
+  let fs = s.fs in
+  fs.w_in <- 0.;
+  fs.out0 <- 0.;
+  for j = 0 to depth - 1 do
+    let i = inst.branch.(j) in
+    if mask land (1 lsl j) <> 0 then begin
+      st.(i) <- 1;
+      fs.w_in <- fs.w_in +. inst.wt.(i)
+    end
+    else begin
+      st.(i) <- 2;
+      fs.out0 <- fs.out0 +. inst.wc0.(i)
+    end
+  done;
+  (* LB2: forced-in best shares + forced-out floors + free full-cache. *)
+  fs.lb2 <- fs.out0 +. inst.suffix_wc1.(depth);
+  for j = 0 to depth - 1 do
+    let i = inst.branch.(j) in
+    if st.(i) = 1 then begin
+      let x =
+        if fs.w_in > 0. then
+          let x = inst.wt.(i) /. fs.w_in in
+          if x > 1. then 1. else x
+        else 1.
+      in
+      fs.lb2 <- fs.lb2 +. Model.Kernel.work_cost s.kern i x
+    end
+  done;
+  (* LB1: convex scan of t^{alpha+1} - G~(t) over the density-sorted
+     pieces that are still in U = I union F. *)
+  let a1 = inst.alpha +. 1. in
+  fs.t0 <- 0.;
+  fs.s0 <- 0.;
+  fs.minv <- nan;
+  let npieces = Array.length inst.rho_ord in
+  let k = ref 0 in
+  while Float.is_nan fs.minv && !k < npieces do
+    let i = inst.rho_ord.(!k) in
+    if st.(i) <> 2 then begin
+      let r = inst.rho.(i) in
+      if (a1 *. (fs.t0 ** inst.alpha)) -. r >= 0. then
+        (* the objective stops decreasing here; later pieces are flatter *)
+        fs.minv <- (fs.t0 ** a1) -. fs.s0
+      else begin
+        let ts = (r /. a1) ** (1. /. inst.alpha) in
+        let t1 = fs.t0 +. inst.sigma.(i) in
+        if ts <= t1 then
+          fs.minv <- (ts ** a1) -. (fs.s0 +. (r *. (ts -. fs.t0)))
+        else begin
+          fs.t0 <- t1;
+          fs.s0 <- fs.s0 +. inst.ghat.(i)
+        end
+      end
+    end;
+    incr k
+  done;
+  if Float.is_nan fs.minv then fs.minv <- (fs.t0 ** a1) -. fs.s0;
+  let lb1 = inst.wc0_sum +. fs.minv in
+  (if lb1 > fs.lb2 then lb1 else fs.lb2) /. inst.p
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let process_leaf s mask =
+  s.leaves <- s.leaves + 1;
+  let v = leaf_value s.inst mask in
+  if v < Atomic.get s.incumbent then begin
+    s.updates <- s.updates + 1;
+    atomic_min s.incumbent v
+  end;
+  if v < s.best_local then begin
+    s.best_local <- v;
+    s.best_mask <- mask;
+    s.has_best <- true
+  end
+
+(* Consume one node-budget slot; true when the search must stop. *)
+let budget_hit s =
+  s.exhausted
+  ||
+  if Atomic.fetch_and_add s.nodes_used 1 >= s.max_nodes then begin
+    s.exhausted <- true;
+    true
+  end
+  else if
+    s.nodes land 63 = 0
+    && Int64.compare (Obs.Clock.now_ns ()) s.deadline >= 0
+  then begin
+    s.exhausted <- true;
+    true
+  end
+  else false
+
+(* --- depth-first search ------------------------------------------------ *)
+
+let dfs_push s depth mask =
+  s.stk_depth.(s.sp) <- depth;
+  s.stk_mask.(s.sp) <- mask;
+  s.sp <- s.sp + 1
+
+let run_dfs s root_depth root_mask =
+  let inst = s.inst in
+  dfs_push s root_depth root_mask;
+  let continue_ = ref true in
+  while !continue_ && s.sp > 0 do
+    if budget_hit s then continue_ := false
+    else begin
+      s.sp <- s.sp - 1;
+      let depth = s.stk_depth.(s.sp) and mask = s.stk_mask.(s.sp) in
+      s.nodes <- s.nodes + 1;
+      if depth = inst.n then process_leaf s mask
+      else begin
+        let lb = node_bound s depth mask in
+        if lb >= Atomic.get s.incumbent *. (1. +. slack) then
+          s.pruned <- s.pruned + 1
+        else begin
+          let d' = depth + 1 in
+          let bit = 1 lsl depth in
+          (* push the non-preferred child first so the branch agreeing
+             with the incumbent subset is explored first *)
+          if s.pref.(depth) then begin
+            dfs_push s d' mask;
+            dfs_push s d' (mask lor bit)
+          end
+          else begin
+            dfs_push s d' (mask lor bit);
+            dfs_push s d' mask
+          end
+        end
+      end
+    end
+  done;
+  (* whatever is left on the stack was never explored: its bounds cap
+     the certified optimum from below *)
+  for k = 0 to s.sp - 1 do
+    let lb = node_bound s s.stk_depth.(k) s.stk_mask.(k) in
+    if lb < s.open_min then s.open_min <- lb
+  done;
+  s.sp <- 0
+
+(* --- best-first search ------------------------------------------------- *)
+
+let heap_grow s =
+  let cap = Array.length s.h_lb in
+  if s.hn = cap then begin
+    let lb = Array.make (2 * cap) 0. in
+    let dp = Array.make (2 * cap) 0 in
+    let mk = Array.make (2 * cap) 0 in
+    Array.blit s.h_lb 0 lb 0 cap;
+    Array.blit s.h_depth 0 dp 0 cap;
+    Array.blit s.h_mask 0 mk 0 cap;
+    s.h_lb <- lb;
+    s.h_depth <- dp;
+    s.h_mask <- mk
+  end
+
+let heap_swap s a b =
+  let l = s.h_lb.(a) and d = s.h_depth.(a) and m = s.h_mask.(a) in
+  s.h_lb.(a) <- s.h_lb.(b);
+  s.h_depth.(a) <- s.h_depth.(b);
+  s.h_mask.(a) <- s.h_mask.(b);
+  s.h_lb.(b) <- l;
+  s.h_depth.(b) <- d;
+  s.h_mask.(b) <- m
+
+let heap_push s lb depth mask =
+  heap_grow s;
+  s.h_lb.(s.hn) <- lb;
+  s.h_depth.(s.hn) <- depth;
+  s.h_mask.(s.hn) <- mask;
+  s.hn <- s.hn + 1;
+  let i = ref (s.hn - 1) in
+  while !i > 0 && s.h_lb.((!i - 1) / 2) > s.h_lb.(!i) do
+    heap_swap s ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let heap_pop s =
+  s.hn <- s.hn - 1;
+  if s.hn > 0 then begin
+    heap_swap s 0 s.hn;
+    let i = ref 0 in
+    let again = ref true in
+    while !again do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let sm = ref !i in
+      if l < s.hn && s.h_lb.(l) < s.h_lb.(!sm) then sm := l;
+      if r < s.hn && s.h_lb.(r) < s.h_lb.(!sm) then sm := r;
+      if !sm <> !i then begin
+        heap_swap s !i !sm;
+        i := !sm
+      end
+      else again := false
+    done
+  end
+
+let run_best s root_depth root_mask =
+  let inst = s.inst in
+  if root_depth = inst.n then begin
+    if not (budget_hit s) then begin
+      s.nodes <- s.nodes + 1;
+      process_leaf s root_mask
+    end
+  end
+  else begin
+    let lb = node_bound s root_depth root_mask in
+    heap_push s lb root_depth root_mask
+  end;
+  let continue_ = ref true in
+  while !continue_ && s.hn > 0 do
+    if budget_hit s then continue_ := false
+    else begin
+      let lb = s.h_lb.(0) and depth = s.h_depth.(0) and mask = s.h_mask.(0) in
+      heap_pop s;
+      s.nodes <- s.nodes + 1;
+      let inc = Atomic.get s.incumbent in
+      if lb >= inc *. (1. +. slack) then begin
+        (* min-heap: everything remaining is at least lb — prune it all *)
+        s.pruned <- s.pruned + 1 + s.hn;
+        s.hn <- 0
+      end
+      else begin
+        let d' = depth + 1 in
+        let bit = 1 lsl depth in
+        let child first_mask =
+          if d' = inst.n then begin
+            if not (budget_hit s) then begin
+              s.nodes <- s.nodes + 1;
+              process_leaf s first_mask
+            end
+            else continue_ := false
+          end
+          else begin
+            let clb = node_bound s d' first_mask in
+            if clb >= Atomic.get s.incumbent *. (1. +. slack) then
+              s.pruned <- s.pruned + 1
+            else heap_push s clb d' first_mask
+          end
+        in
+        if s.pref.(depth) then begin
+          child (mask lor bit);
+          child mask
+        end
+        else begin
+          child mask;
+          child (mask lor bit)
+        end
+      end
+    end
+  done;
+  for k = 0 to s.hn - 1 do
+    if s.h_lb.(k) < s.open_min then s.open_min <- s.h_lb.(k)
+  done;
+  s.hn <- 0
+
+(* --- driver ------------------------------------------------------------ *)
+
+let solve ?(order = Dfs) ?(budget = default_budget) ?(seeds = []) ?pool
+    ?split_depth ?(max_n = 62) ~platform ~apps () =
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Bnb.solve: empty instance";
+  if n > 62 then
+    invalid_arg "Bnb.solve: more than 62 applications cannot be mask-indexed";
+  if n > max_n then
+    invalid_arg "Bnb.solve: instance larger than max_n; raise it explicitly";
+  let inst = build ~platform ~apps in
+  (* Seed the incumbent with exact leaf evaluations: the improved full
+     set, every ratio-descending prefix, and the caller's subsets. *)
+  let best_v = ref infinity in
+  let best_subset = ref (Array.make n false) in
+  let consider subset =
+    let mask = ref 0 in
+    for i = 0 to n - 1 do
+      if subset.(i) then mask := !mask lor (1 lsl inst.pos_of.(i))
+    done;
+    let v = leaf_value inst !mask in
+    if v < !best_v then begin
+      best_v := v;
+      best_subset := Array.copy subset
+    end
+  in
+  consider (Dominant.improve_to_dominant ~platform ~apps (Array.make n true));
+  let by_ratio = Array.init n (fun i -> i) in
+  let ratio = Array.map (fun app -> Dominant.ratio ~platform app) apps in
+  Array.sort
+    (fun a b ->
+      let c = compare ratio.(b) ratio.(a) in
+      if c <> 0 then c else compare a b)
+    by_ratio;
+  let acc = Array.make n false in
+  consider acc;
+  Array.iter
+    (fun i ->
+      acc.(i) <- true;
+      consider acc)
+    by_ratio;
+  List.iter
+    (fun s ->
+      if Array.length s <> n then
+        invalid_arg "Bnb.solve: seed subset length mismatch";
+      consider s)
+    seeds;
+  let pref = Array.init n (fun j -> !best_subset.(inst.branch.(j))) in
+  let incumbent = Atomic.make !best_v in
+  let nodes_used = Atomic.make 0 in
+  let deadline =
+    Int64.add (Obs.Clock.now_ns ())
+      (Int64.of_float (budget.max_seconds *. 1e9))
+  in
+  let run_root s root_depth root_mask =
+    (match order with
+    | Dfs -> run_dfs s root_depth root_mask
+    | Best -> run_best s root_depth root_mask);
+    s
+  in
+  let searchers =
+    let parallel_split =
+      match pool with
+      | Some pool when Exec.Pool.size pool > 0 && n > 4 ->
+        let k =
+          match split_depth with
+          | Some d -> max 1 (min d (n - 1))
+          | None ->
+            let target = 4 * Exec.Pool.size pool in
+            let k = ref 1 in
+            while 1 lsl !k < target && !k < n - 1 && !k < 10 do
+              incr k
+            done;
+            !k
+        in
+        Some (pool, k)
+      | _ -> None
+    in
+    match parallel_split with
+    | None ->
+      let s =
+        mk_searcher inst ~pref ~incumbent ~nodes_used
+          ~max_nodes:budget.max_nodes ~deadline
+      in
+      [| run_root s 0 0 |]
+    | Some (pool, k) ->
+      let roots = Array.init (1 lsl k) (fun m -> m) in
+      Exec.Pool.map_array pool
+        (fun m ->
+          let s =
+            mk_searcher inst ~pref ~incumbent ~nodes_used
+              ~max_nodes:budget.max_nodes ~deadline
+          in
+          run_root s k m)
+        roots
+  in
+  (* Deterministic merge: seeds first, then subtrees in root order, with
+     strict improvement only — equal optima keep the earliest witness. *)
+  Array.iter
+    (fun s ->
+      if s.has_best && s.best_local < !best_v then begin
+        best_v := s.best_local;
+        best_subset := subset_of_mask inst s.best_mask
+      end)
+    searchers;
+  let exhausted = Array.exists (fun s -> s.exhausted) searchers in
+  let open_min =
+    Array.fold_left (fun m s -> Float.min m s.open_min) infinity searchers
+  in
+  let stats =
+    Array.fold_left
+      (fun (acc : stats) s ->
+        {
+          nodes = acc.nodes + s.nodes;
+          pruned = acc.pruned + s.pruned;
+          leaves = acc.leaves + s.leaves;
+          incumbent_updates = acc.incumbent_updates + s.updates;
+        })
+      { nodes = 0; pruned = 0; leaves = 0; incumbent_updates = 0 }
+      searchers
+  in
+  let verdict = if exhausted then Budget_exhausted else Certified in
+  let lower_bound =
+    match verdict with
+    | Certified -> !best_v
+    | Budget_exhausted -> Float.min !best_v open_min
+  in
+  if Obs.Probe.on () then begin
+    Obs.Metrics.add m_nodes stats.nodes;
+    Obs.Metrics.add m_pruned stats.pruned;
+    Obs.Metrics.add m_leaves stats.leaves;
+    Obs.Metrics.add m_incumbent stats.incumbent_updates;
+    let gap =
+      if !best_v > 0. && Float.is_finite lower_bound then
+        (!best_v -. lower_bound) /. !best_v
+      else 0.
+    in
+    Obs.Metrics.set m_gap gap
+  end;
+  let subset = !best_subset in
+  {
+    subset;
+    x = Dominant.cache_allocation ~platform ~apps subset;
+    makespan = !best_v;
+    lower_bound;
+    verdict;
+    stats;
+  }

@@ -1,0 +1,133 @@
+(** Branch-and-bound exact solver for perfectly parallel instances —
+    {!Exact.optimal} pushed from n <= 20 to n ~ 30-40.
+
+    {!Exact.optimal} certifies the heuristics by enumerating all [2^n]
+    cached subsets [IC]: by Theorem 2 the optimum is attained at a
+    dominant partition, Theorem 3 gives the closed-form fractions
+    [x_i = w_i / sum_{IC} w_j] (with [w_i = (w_i f_i d_i)^{1/(alpha+1)}]
+    the dominant weights), and Lemma 3 evaluates the makespan
+    [1/p sum_i Exe_i(x_i, 1)].  Enumeration is hopeless past n ~ 20, so
+    this module organises the same search as branch and bound over the
+    per-application cached/uncached status:
+
+    - {b Branching} fixes one application in or out of [IC] per level, in
+      a static order of decreasing cost swing (work cost at zero cache
+      minus work cost at full cache), so the applications that matter
+      most are decided first.
+    - {b Bounding} relaxes the dominant-partition closed form.  Writing
+      the Lemma 3 objective as [sum_i base_i + sum_i g_i miss_i(x_i)]
+      with [g_i = w_i f_i ll], the subset-IC cost is lower-bounded by a
+      fractional-knapsack concave envelope of the per-application
+      saving/weight pieces [(ghat_i, sigma_i)] — the closed-form identity
+      [min_{sum x = 1} sum_R g_i d_i x_i^{-alpha} = (sum_R sigma_i)^{alpha+1}]
+      with [sigma_i = (g_i d_i)^{1/(alpha+1)}] makes the envelope scan
+      O(n) per node — combined with a forced-in refinement that charges
+      every committed application its best possible Theorem 3 share
+      [x_i <= w_i / W(I)].  Both relaxations are admissible: they never
+      exceed the true cost of any completion, so pruning is safe.
+    - {b Evaluation} at leaves replicates {!Exact.optimal}'s evaluation
+      operation for operation (dominant weights, plain left-to-right
+      weight sum, Theorem 3 division, Kahan-compensated Lemma 3 sum), so
+      the returned optimum is {e bit-identical} to the [2^n] enumeration
+      whenever the search is certified.  Interior bounds run on the
+      memoized {!Model.Kernel} power-law kernels and preallocated
+      buffers, so the steady-state search allocates nothing per node.
+
+    Pruning uses a conservative relative slack (a node is cut only when
+    its bound exceeds the incumbent by more than 1e-9 relative, three
+    orders of magnitude above the kernels' documented rounding), so the
+    subtree holding the true optimum is never discarded and the certified
+    value matches {!Exact.optimal} bitwise (QCheck-enforced for
+    n <= 14). *)
+
+type order = Dfs | Best
+(** Node exploration order: depth-first on an explicit stack (the
+    allocation-free default) or best-first on a binary heap keyed by the
+    node lower bound (fewer nodes, a few words per open node). *)
+
+type budget = {
+  max_nodes : int;     (** Nodes (incl. leaves) processed before giving up. *)
+  max_seconds : float; (** Wall-clock limit, checked every few nodes. *)
+}
+(** Search budget.  Exhausting either limit ends the search with the
+    incumbent found so far and verdict {!Budget_exhausted}. *)
+
+type verdict =
+  | Certified        (** The search space is exhausted: the returned
+                         makespan is the exact optimum, bit-identical to
+                         {!Exact.optimal}. *)
+  | Budget_exhausted (** The budget ran out: the makespan is the best
+                         incumbent (never worse than the seeds) and
+                         [lower_bound] brackets the optimum from below. *)
+(** Whether the incumbent is a certificate or merely the best found. *)
+
+type stats = {
+  nodes : int;             (** Nodes processed (internal + leaves). *)
+  pruned : int;            (** Subtrees cut by the bound. *)
+  leaves : int;            (** Complete assignments evaluated exactly. *)
+  incumbent_updates : int; (** Strict improvements over the seed incumbent. *)
+}
+(** Search counters, also mirrored to the [theory.bnb.*] metrics when
+    the observability probes are armed ({!Obs.Probe.on}). *)
+
+type result = {
+  subset : Dominant.subset; (** The best cached subset [IC] found. *)
+  x : float array;          (** Its Theorem 3 fractions
+                                ({!Dominant.cache_allocation}). *)
+  makespan : float;         (** Its Lemma 3 makespan. *)
+  lower_bound : float;      (** Certified global lower bound on the optimal
+                                makespan: equals [makespan] when
+                                {!Certified}, the smallest open-node bound
+                                otherwise. *)
+  verdict : verdict;        (** Certificate status. *)
+  stats : stats;            (** Search counters. *)
+}
+(** Outcome of a {!solve} call. *)
+
+val default_budget : budget
+(** [{ max_nodes = 2_000_000; max_seconds = 30. }] — enough to certify
+    the n ~ 30-40 instances the ROADMAP targets on the reference
+    container (see [BENCH_exact.json]). *)
+
+val solve :
+  ?order:order ->
+  ?budget:budget ->
+  ?seeds:Dominant.subset list ->
+  ?pool:Exec.Pool.t ->
+  ?split_depth:int ->
+  ?max_n:int ->
+  platform:Model.Platform.t ->
+  apps:Model.App.t array ->
+  unit ->
+  result
+(** Run the branch-and-bound search.
+
+    The incumbent is seeded before the search proper: the full set
+    improved to dominance ({!Dominant.improve_to_dominant}), every prefix
+    of the ratio-descending order (n+1 exact evaluations), and every
+    subset in [seeds] (the heuristics' cached subsets, via
+    [Sched.Certify]) are evaluated with the exact leaf evaluator, so the
+    returned makespan never exceeds any seed's Lemma 3 makespan — even
+    with a zero budget.
+
+    [pool], when given and sized, splits the tree at depth [split_depth]
+    (default: enough to give each worker a few subtrees) and explores the
+    subtrees in parallel on the {!Exec.Pool} workers, sharing the
+    incumbent through an atomic cell; results are merged in deterministic
+    subtree order.  A certified optimum is identical to the sequential
+    one (the optimal leaf is never pruned under any interleaving); only
+    the node/pruned counters may vary with scheduling.
+
+    [max_n] (default 62, the mask width) guards against instances whose
+    tree cannot even be indexed.
+    @raise Invalid_argument on an empty or oversized instance. *)
+
+val order_name : order -> string
+(** ["dfs"] or ["best"]. *)
+
+val order_of_string : string -> order
+(** Inverse of {!order_name}, case-insensitive (accepts ["best-first"]).
+    @raise Invalid_argument on unknown names. *)
+
+val verdict_name : verdict -> string
+(** ["certified"] or ["budget-exhausted"]. *)

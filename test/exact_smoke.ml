@@ -1,0 +1,86 @@
+(* Certification-path smoke: part of `dune runtest` via the @exact
+   alias, runnable alone as `dune build @exact`.  Tiny, seeded, fast.
+
+   Asserts, on fixed-seed perfectly parallel instances:
+   - Theory.Bnb (both node orders) returns the makespan of the 2^n
+     enumeration bit-for-bit, with a Certified verdict;
+   - a starved budget yields Budget_exhausted with an incumbent no worse
+     than the heuristic seeds and a lower bound below the incumbent;
+   - parallel subtree exploration on a 2-worker Exec.Pool certifies the
+     same optimum as the sequential search. *)
+
+let platform = Model.Platform.paper_default
+
+let synth ~seed n =
+  Model.Workload.generate ~fixed_s:0.
+    ~rng:(Util.Rng.create seed)
+    Model.Workload.NpbSynth n
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  (* Bit-identity vs the enumerator, both orders, a few sizes/seeds. *)
+  List.iter
+    (fun (seed, n) ->
+      let apps = synth ~seed n in
+      let exact = Theory.Exact.optimal ~platform ~apps () in
+      List.iter
+        (fun order ->
+          let r = Theory.Bnb.solve ~order ~platform ~apps () in
+          if r.Theory.Bnb.verdict <> Theory.Bnb.Certified then
+            fail "bnb %s: seed %d n %d not certified"
+              (Theory.Bnb.order_name order) seed n;
+          if r.Theory.Bnb.makespan <> exact.Theory.Exact.makespan then
+            fail "bnb %s: seed %d n %d makespan %.17g <> exact %.17g"
+              (Theory.Bnb.order_name order) seed n r.Theory.Bnb.makespan
+              exact.Theory.Exact.makespan)
+        [ Theory.Bnb.Dfs; Theory.Bnb.Best ])
+    [ (1, 4); (2, 7); (3, 10); (4, 12); (5, 13) ];
+  (* Starved budget: exhausted verdict, incumbent never above a seed. *)
+  let apps = synth ~seed:11 16 in
+  let rng = Util.Rng.create 11 in
+  let seeds =
+    List.filter_map
+      (fun p -> (Sched.Heuristics.run ~rng ~platform ~apps p).Sched.Heuristics.cached)
+      Sched.Heuristics.dominant_heuristics
+  in
+  let starved =
+    Theory.Bnb.solve
+      ~budget:{ Theory.Bnb.max_nodes = 3; max_seconds = 10. }
+      ~seeds ~platform ~apps ()
+  in
+  if starved.Theory.Bnb.verdict <> Theory.Bnb.Budget_exhausted then
+    fail "starved budget still certified";
+  if not (starved.Theory.Bnb.lower_bound <= starved.Theory.Bnb.makespan) then
+    fail "lower bound above incumbent";
+  let rng = Util.Rng.create 11 in
+  List.iter
+    (fun p ->
+      let k = Sched.Heuristics.makespan ~rng ~platform ~apps p in
+      if starved.Theory.Bnb.makespan > k *. (1. +. 1e-9) then
+        fail "starved incumbent %.17g above heuristic %s %.17g"
+          starved.Theory.Bnb.makespan (Sched.Heuristics.name p) k)
+    Sched.Heuristics.dominant_heuristics;
+  (* Parallel subtrees agree with the sequential certificate. *)
+  let apps = synth ~seed:21 14 in
+  let sequential = Theory.Bnb.solve ~platform ~apps () in
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let par = Theory.Bnb.solve ~pool ~platform ~apps () in
+      if par.Theory.Bnb.verdict <> Theory.Bnb.Certified then
+        fail "parallel search not certified";
+      if par.Theory.Bnb.makespan <> sequential.Theory.Bnb.makespan then
+        fail "parallel makespan %.17g <> sequential %.17g"
+          par.Theory.Bnb.makespan sequential.Theory.Bnb.makespan);
+  (* Certify.gaps: ratios >= 1 - slack against the certified optimum. *)
+  let apps = synth ~seed:31 12 in
+  let rng = Util.Rng.create 31 in
+  let result, gaps = Sched.Certify.gaps ~rng ~platform ~apps () in
+  if result.Theory.Bnb.verdict <> Theory.Bnb.Certified then
+    fail "certify: n=12 not certified";
+  List.iter
+    (fun (g : Sched.Certify.gap) ->
+      if g.Sched.Certify.ratio < 1. -. 1e-9 then
+        fail "certify: %s beats the certified optimum (ratio %.17g)"
+          (Sched.Heuristics.name g.Sched.Certify.policy) g.Sched.Certify.ratio)
+    gaps;
+  print_endline "exact smoke ok"

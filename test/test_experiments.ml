@@ -134,7 +134,7 @@ let runner_fair_repartition_uniform () =
 (* --- Figures ------------------------------------------------------------------ *)
 
 let all_ids_known () =
-  Alcotest.(check int) "30 experiments" 30
+  Alcotest.(check int) "31 experiments" 31
     (List.length Experiments.Figures.all_ids);
   List.iter
     (fun id ->

@@ -439,6 +439,153 @@ let qcheck_reduction_equivalence =
       expected = got)
 
 
+(* --- Bnb (branch-and-bound certification) -------------------------------- *)
+
+let qcheck_bnb_bit_identical_to_exact =
+  (* The acceptance property of the solver: on any instance inside the
+     enumerator's reach, both node orders return the 2^n optimum
+     bit-for-bit, with a Certified verdict. *)
+  QCheck.Test.make ~name:"Bnb optimum bit-identical to Exact (n <= 14)"
+    ~count:30
+    QCheck.(
+      make
+        ~print:(fun (seed, n) -> Printf.sprintf "(seed %d, n %d)" seed n)
+        Gen.(pair (int_bound 10_000) (int_range 2 14)))
+    (fun (seed, n) ->
+      let dataset =
+        if seed mod 2 = 0 then Model.Workload.NpbSynth else Model.Workload.Random
+      in
+      let apps =
+        Model.Workload.generate ~fixed_s:0. ~rng:(Util.Rng.create seed) dataset n
+      in
+      let exact = Theory.Exact.optimal ~platform ~apps () in
+      List.for_all
+        (fun order ->
+          let r = Theory.Bnb.solve ~order ~platform ~apps () in
+          r.Theory.Bnb.verdict = Theory.Bnb.Certified
+          && r.Theory.Bnb.makespan = exact.Theory.Exact.makespan)
+        [ Theory.Bnb.Dfs; Theory.Bnb.Best ])
+
+let qcheck_bnb_incumbent_below_heuristics =
+  (* Seeded incumbents survive any budget: even a one-node search returns
+     a makespan no worse than every dominant heuristic (up to the
+     equalisation bisection tolerance). *)
+  QCheck.Test.make ~name:"Bnb incumbent <= heuristic makespan at any budget"
+    ~count:30
+    QCheck.(
+      make
+        ~print:(fun (seed, n) -> Printf.sprintf "(seed %d, n %d)" seed n)
+        Gen.(pair (int_bound 10_000) (int_range 2 30)))
+    (fun (seed, n) ->
+      let apps = synth_parallel ~seed n in
+      let rng = Util.Rng.create seed in
+      let seeds = Sched.Certify.seed_subsets ~rng ~platform ~apps in
+      let r =
+        Theory.Bnb.solve
+          ~budget:{ Theory.Bnb.max_nodes = 1; max_seconds = 10. }
+          ~seeds ~platform ~apps ()
+      in
+      let rng = Util.Rng.create seed in
+      List.for_all
+        (fun policy ->
+          r.Theory.Bnb.makespan
+          <= Sched.Heuristics.makespan ~rng ~platform ~apps policy
+             *. (1. +. 1e-9))
+        Sched.Heuristics.dominant_heuristics)
+
+let bnb_certifies_past_enumeration () =
+  (* ROADMAP item 5: certified optima at n >= 30 under the default
+     budget, where the 2^n enumeration is out of reach by orders of
+     magnitude. *)
+  List.iter
+    (fun (seed, n) ->
+      let apps = synth_parallel ~seed n in
+      let rng = Util.Rng.create seed in
+      let r = Sched.Certify.certify ~rng ~platform ~apps () in
+      Alcotest.(check bool)
+        (Printf.sprintf "certified at n=%d" n)
+        true
+        (r.Theory.Bnb.verdict = Theory.Bnb.Certified);
+      let h =
+        Sched.Heuristics.makespan ~rng:(Util.Rng.create seed) ~platform ~apps
+          Sched.Heuristics.dominant_min_ratio
+      in
+      Alcotest.(check bool) "optimum <= DominantMinRatio" true
+        (r.Theory.Bnb.makespan <= h *. (1. +. 1e-9)))
+    [ (1, 30); (2, 33); (3, 36) ]
+
+let bnb_budget_exhausted_reports_bound () =
+  let apps = synth_parallel ~seed:9 18 in
+  let r =
+    Theory.Bnb.solve
+      ~budget:{ Theory.Bnb.max_nodes = 2; max_seconds = 10. }
+      ~platform ~apps ()
+  in
+  Alcotest.(check bool) "exhausted" true
+    (r.Theory.Bnb.verdict = Theory.Bnb.Budget_exhausted);
+  Alcotest.(check bool) "lower bound <= incumbent" true
+    (r.Theory.Bnb.lower_bound <= r.Theory.Bnb.makespan);
+  Alcotest.(check bool) "lower bound positive" true
+    (r.Theory.Bnb.lower_bound > 0.)
+
+let bnb_parallel_matches_sequential () =
+  (* Cache pressure forces a real search (thousands of nodes); the
+     2-worker parallel exploration must certify the same optimum. *)
+  let pressured = Model.Platform.small_llc in
+  let apps =
+    Model.Workload.generate ~fixed_s:0. ~fixed_m0:0.9
+      ~rng:(Util.Rng.create 4) Model.Workload.Random 20
+  in
+  let seq = Theory.Bnb.solve ~platform:pressured ~apps () in
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let par = Theory.Bnb.solve ~pool ~platform:pressured ~apps () in
+      Alcotest.(check bool) "both certified" true
+        (seq.Theory.Bnb.verdict = Theory.Bnb.Certified
+        && par.Theory.Bnb.verdict = Theory.Bnb.Certified);
+      Alcotest.(check bool) "same optimum bitwise" true
+        (par.Theory.Bnb.makespan = seq.Theory.Bnb.makespan))
+
+let bnb_rejects_oversized () =
+  let apps = synth_parallel ~seed:5 12 in
+  Alcotest.(check bool) "max_n enforced" true
+    (try
+       ignore (Theory.Bnb.solve ~max_n:10 ~platform ~apps ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Theory.Bnb.solve ~platform ~apps:[||] ());
+       false
+     with Invalid_argument _ -> true)
+
+let bnb_probes_record () =
+  (* theory.bnb.* instruments fill under Obs.Probe; a disabled run
+     records nothing. *)
+  let apps = synth_parallel ~seed:6 12 in
+  let nodes = Obs.Metrics.counter "theory.bnb.nodes" in
+  let before = Obs.Metrics.count nodes in
+  ignore (Theory.Bnb.solve ~platform ~apps () : Theory.Bnb.result);
+  Alcotest.(check int) "probes off: nothing recorded" before
+    (Obs.Metrics.count nodes);
+  let r =
+    Obs.Probe.with_enabled (fun () -> Theory.Bnb.solve ~platform ~apps ())
+  in
+  Alcotest.(check int) "probes on: node count recorded"
+    (before + r.Theory.Bnb.stats.Theory.Bnb.nodes)
+    (Obs.Metrics.count nodes)
+
+let bnb_order_round_trip () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "round trip" true
+        (Theory.Bnb.order_of_string (Theory.Bnb.order_name o) = o))
+    [ Theory.Bnb.Dfs; Theory.Bnb.Best ];
+  Alcotest.(check bool) "unknown order rejected" true
+    (try
+       ignore (Theory.Bnb.order_of_string "breadth");
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Capped (footprint-aware) allocation --------------------------------- *)
 
 let capped_apps ~fractions =
@@ -578,6 +725,19 @@ let () =
           test "rejects empty" exact_rejects_empty;
           test "optimal schedule valid" exact_schedule_valid;
           test "single application takes all cache" exact_single_app;
+        ] );
+      ( "bnb",
+        [
+          qtest qcheck_bnb_bit_identical_to_exact;
+          qtest qcheck_bnb_incumbent_below_heuristics;
+          test "certifies past the enumeration (n >= 30)"
+            bnb_certifies_past_enumeration;
+          test "budget-exhausted verdict carries a bound"
+            bnb_budget_exhausted_reports_bound;
+          test "parallel subtrees match sequential" bnb_parallel_matches_sequential;
+          test "rejects oversized and empty instances" bnb_rejects_oversized;
+          test "obs probes record node counts" bnb_probes_record;
+          test "order names round-trip" bnb_order_round_trip;
         ] );
       ( "knapsack",
         [
